@@ -1,0 +1,34 @@
+// Fig. 4 — Pox diagram of R/S for the empirical trace.
+//
+// log10 R(t_i, n)/S(t_i, n) against log10 n with a least-squares fit;
+// the paper reads slope (= H_hat) 0.9287 => H ~ 0.92.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fractal/hurst.h"
+
+int main() {
+  using namespace ssvbr;
+  bench::banner("Fig. 4: pox diagram of R/S",
+                "pox cloud with least-squares slope ~0.929 => H ~ 0.92");
+
+  // The pox diagram is computed on the I-frame series — the series the
+  // Section 3.2/3.3 pipeline models. (On the composite I/B/P frame
+  // series the per-scene motion modulation of P/B frames inflates the
+  // rescaled range and pushes the fitted slope above 1.)
+  const trace::VideoTrace& tr = bench::empirical_trace();
+  const std::vector<double> series = tr.i_frame_series();
+  fractal::RsOptions options;
+  options.n_blocks = 10;
+  options.min_n = 16;
+  options.max_n = series.size() / 4;
+  options.n_sizes = 30;
+  const fractal::RsResult rs = fractal::rs_analysis(series, options);
+
+  std::printf("log10_n,log10_rs\n");
+  for (const auto& p : rs.points) std::printf("%.4f,%.4f\n", p.log_x, p.log_y);
+  std::printf("# fit_slope_hurst,%.4f  (paper: 0.9287)\n", rs.hurst);
+  std::printf("# fit_intercept,%.4f\n", rs.fit.intercept);
+  std::printf("# fit_r_squared,%.4f\n", rs.fit.r_squared);
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Fig. 5 — Estimated autocorrelation function of the empirical trace
+// (I-frame series, lags 1..500), showing the SRD "knee" around lag
+// 60-80 followed by a slowly decaying LRD tail.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "stats/descriptive.h"
+
+int main() {
+  using namespace ssvbr;
+  bench::banner("Fig. 5: empirical autocorrelation, lags 0..500",
+                "r(1) ~ 0.97 decaying to ~0.45 at lag 500 with a knee near 60-80");
+
+  const trace::VideoTrace& tr = bench::empirical_trace();
+  const std::vector<double> series = tr.i_frame_series();
+  const std::vector<double> acf = stats::autocorrelation_fft(series, 500);
+
+  std::printf("lag,autocorrelation\n");
+  for (std::size_t k = 0; k <= 500; ++k) std::printf("%zu,%.5f\n", k, acf[k]);
+  return 0;
+}

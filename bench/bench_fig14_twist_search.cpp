@@ -1,0 +1,55 @@
+// Fig. 14 — Normalized variance of the IS estimator versus the
+// background twisted mean m*.
+//
+// Paper setting: stopping time k = 500, utilization 0.2, normalized
+// buffer size b = 25, 1000 replications. The curve shows a sharp
+// "valley"; the paper picks m* = 3.2 as near-optimal, achieving ~1000x
+// variance reduction.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/error.h"
+#include "is/twist_search.h"
+
+int main() {
+  using namespace ssvbr;
+  bench::banner(
+      "Fig. 14: normalized variance of the IS estimator vs twisted mean m*",
+      "valley shape, near-optimal m* ~ 3.2, ~1000x variance reduction at the bottom");
+
+  const core::FittedModel& fitted = bench::fitted_i_frame_model();
+  const double mean_rate = fitted.model.mean();
+  const double utilization = 0.2;
+  const double b_normalized = 25.0;
+
+  is::IsOverflowSettings settings;
+  settings.service_rate = mean_rate / utilization;
+  settings.buffer = b_normalized * mean_rate;
+  settings.stop_time = 500;
+  settings.replications = bench::scaled(1000, 100);
+
+  const fractal::HoskingModel background(fitted.model.background_correlation(),
+                                         settings.stop_time);
+
+  std::vector<double> twists;
+  for (double m = 0.5; m <= 5.0 + 1e-9; m += 0.25) twists.push_back(m);
+
+  RandomEngine rng(14);
+  const auto sweep = is::sweep_twist(fitted.model, background, settings, twists, rng);
+
+  std::printf("twisted_mean,normalized_variance,probability,hits,variance_reduction\n");
+  for (const auto& p : sweep) {
+    std::printf("%.2f,%.6f,%.6e,%zu,%.1f\n", p.twisted_mean,
+                p.estimate.normalized_variance, p.estimate.probability, p.estimate.hits,
+                p.estimate.variance_reduction_vs_mc);
+  }
+  try {
+    const auto& best = is::find_best_twist(sweep);
+    std::printf("# best_twist,%.2f  (paper: 3.2)\n", best.twisted_mean);
+    std::printf("# best_variance_reduction,%.1f  (paper: ~1000)\n",
+                best.estimate.variance_reduction_vs_mc);
+  } catch (const NumericalError&) {
+    std::printf("# best_twist,none (no usable estimate at this scale)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Performance microbenchmarks (google-benchmark): cost of the exact
+// self-similar generators and of the pipeline's heavy primitives.
+//
+// The paper repeatedly notes that "the generation of self-similar
+// traffic using Hosking's method is computationally quite demanding" —
+// these benchmarks quantify that: Hosking is O(n^2) per path while
+// Davies-Harte is O(n log n), and a shared coefficient table amortizes
+// Hosking's setup across replications.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/ar1.h"
+#include "core/marginal_transform.h"
+#include "dist/distributions.h"
+#include "fractal/autocorrelation.h"
+#include "fractal/davies_harte.h"
+#include "fractal/hosking.h"
+#include "stats/descriptive.h"
+
+namespace {
+
+using namespace ssvbr;
+
+const fractal::FgnAutocorrelation& fgn() {
+  static const fractal::FgnAutocorrelation corr(0.9);
+  return corr;
+}
+
+void BM_HoskingTableSetup(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const fractal::HoskingModel model(fgn(), n);
+    benchmark::DoNotOptimize(model.innovation_variance(n - 1));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_HoskingTableSetup)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)->Complexity();
+
+void BM_HoskingPathWithSharedTable(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const fractal::HoskingModel model(fgn(), n);
+  RandomEngine rng(1);
+  std::vector<double> path(n);
+  for (auto _ : state) {
+    model.sample_path(rng, path);
+    benchmark::DoNotOptimize(path.data());
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_HoskingPathWithSharedTable)
+    ->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)->Complexity();
+
+void BM_HoskingStreamingPath(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RandomEngine rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fractal::hosking_sample_streaming(fgn(), n, rng));
+  }
+}
+BENCHMARK(BM_HoskingStreamingPath)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_DaviesHartePath(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const fractal::DaviesHarteModel model(fgn(), n);
+  RandomEngine rng(3);
+  std::vector<double> path(n);
+  for (auto _ : state) {
+    model.sample_path(rng, path);
+    benchmark::DoNotOptimize(path.data());
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_DaviesHartePath)
+    ->Arg(1024)->Arg(4096)->Arg(16384)->Arg(65536)->Complexity();
+
+void BM_Ar1Path(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const baselines::Ar1Process ar(0.95);
+  RandomEngine rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ar.sample(n, rng));
+  }
+}
+BENCHMARK(BM_Ar1Path)->Arg(1024)->Arg(16384)->Arg(65536);
+
+void BM_MarginalTransformApply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  // Gamma target: exercises the incomplete-gamma inverse per sample.
+  const core::MarginalTransform h(std::make_shared<GammaDistribution>(2.0, 1000.0));
+  RandomEngine rng(5);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.normal();
+  std::vector<double> y(n);
+  for (auto _ : state) {
+    h.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_MarginalTransformApply)->Arg(1024)->Arg(8192);
+
+void BM_AutocorrelationFft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RandomEngine rng(6);
+  std::vector<double> xs(n);
+  for (auto& v : xs) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::autocorrelation_fft(xs, 500));
+  }
+}
+BENCHMARK(BM_AutocorrelationFft)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_AutocorrelationDirect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RandomEngine rng(7);
+  std::vector<double> xs(n);
+  for (auto& v : xs) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::autocorrelation(xs, 500));
+  }
+}
+BENCHMARK(BM_AutocorrelationDirect)->Arg(1 << 14);
+
+}  // namespace

@@ -1,0 +1,60 @@
+// Shared helpers for the figure-reproduction harness.
+//
+// Every bench binary regenerates one exhibit of the paper (a table or a
+// figure) and prints it as CSV to stdout, prefixed by '#' comment lines
+// that state what the paper reported so the shapes can be compared at a
+// glance. REPRO_BENCH_SCALE (a positive float, default 1.0) scales
+// replication counts and grid sizes for quick runs, e.g.
+// REPRO_BENCH_SCALE=0.1 ./bench_fig16_overflow.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/model_builder.h"
+#include "trace/scene_mpeg_source.h"
+
+namespace ssvbr::bench {
+
+/// REPRO_BENCH_SCALE environment knob.
+inline double bench_scale() {
+  const char* env = std::getenv("REPRO_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+/// Scale a count, keeping at least `minimum`.
+inline std::size_t scaled(std::size_t base, std::size_t minimum = 1) {
+  const auto v = static_cast<std::size_t>(static_cast<double>(base) * bench_scale());
+  return v < minimum ? minimum : v;
+}
+
+/// The canonical "empirical" stand-in trace (full length unless the
+/// scale knob shrinks it; never below ~2000 GOPs so the fits stay sane).
+inline const trace::VideoTrace& empirical_trace() {
+  static const trace::VideoTrace tr = [] {
+    const std::size_t frames =
+        bench_scale() >= 1.0 ? 0 : scaled(238626, 2000 * 12);
+    return trace::make_empirical_standin_trace(frames);
+  }();
+  return tr;
+}
+
+/// The Section 3.2 pipeline fitted to the canonical trace's I frames,
+/// computed once per binary.
+inline const core::FittedModel& fitted_i_frame_model() {
+  static const core::FittedModel fitted =
+      core::fit_unified_model(empirical_trace().i_frame_series());
+  return fitted;
+}
+
+/// Print the standard exhibit banner.
+inline void banner(const char* exhibit, const char* paper_reference) {
+  std::printf("# %s\n", exhibit);
+  std::printf("# paper: %s\n", paper_reference);
+  std::printf("# bench_scale: %.3g\n", bench_scale());
+}
+
+}  // namespace ssvbr::bench

@@ -1,0 +1,68 @@
+// ATM multiplexer dimensioning study: multiplex several independent
+// model-driven VBR video sources onto one ATM link and measure the cell
+// loss ratio as a function of buffer size and link capacity — the
+// engineering question (how much buffer / bandwidth does self-similar
+// video need?) that motivates the paper's modeling work.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "atm/cell.h"
+#include "atm/multiplexer.h"
+#include "atm/segmentation.h"
+#include "core/gop_model.h"
+#include "trace/scene_mpeg_source.h"
+
+int main() {
+  using namespace ssvbr;
+
+  std::printf("=== ATM multiplexer study: N VBR video sources on one link ===\n\n");
+
+  // Fit the composite I/B/P model once, then instantiate independent
+  // sources from it.
+  const trace::VideoTrace movie = trace::make_empirical_standin_trace(60000);
+  const core::FittedGopModel fitted = core::fit_gop_model(movie);
+
+  const std::size_t n_sources = 6;
+  const std::size_t n_frames = 12000;           // ~6.7 minutes per source
+  const std::size_t slots_per_frame = 15;       // one slot per slice interval
+  RandomEngine rng(1);
+
+  // Per-slot cell arrivals of every source (AAL5 segmentation, smooth
+  // pacing across the frame interval).
+  std::vector<std::vector<std::size_t>> sources;
+  double total_cell_rate = 0.0;  // cells per slot
+  for (std::size_t s = 0; s < n_sources; ++s) {
+    const trace::VideoTrace tr = fitted.model.generate(n_frames, rng);
+    sources.push_back(
+        atm::segment_frames(tr.frame_sizes(), slots_per_frame, atm::PacingMode::kSmooth));
+    total_cell_rate += static_cast<double>(atm::total_cells(tr.frame_sizes())) /
+                       static_cast<double>(n_frames * slots_per_frame);
+  }
+  std::printf("%zu sources, %zu slots each, aggregate offered load %.1f cells/slot\n",
+              n_sources, sources.front().size(), total_cell_rate);
+
+  // Sweep buffer size at a fixed 80%-utilization link.
+  const double service = total_cell_rate / 0.8;
+  std::printf("\nlink rate %.1f cells/slot (utilization 0.80)\n", service);
+  std::printf("buffer_cells,cell_loss_ratio,peak_queue\n");
+  for (const std::size_t buffer : {100u, 400u, 1600u, 6400u, 25600u}) {
+    const atm::MuxStats stats = atm::multiplex(sources, buffer, service);
+    std::printf("%zu,%.3e,%zu\n", buffer, stats.cell_loss_ratio(), stats.peak_queue);
+  }
+
+  // Sweep utilization at a fixed buffer: the self-similar burstiness
+  // forces conservative dimensioning.
+  const std::size_t buffer = 1600;
+  std::printf("\nbuffer %zu cells\n", buffer);
+  std::printf("utilization,link_cells_per_slot,cell_loss_ratio\n");
+  for (const double util : {0.5, 0.6, 0.7, 0.8, 0.9}) {
+    const atm::MuxStats stats = atm::multiplex(sources, buffer, total_cell_rate / util);
+    std::printf("%.1f,%.1f,%.3e\n", util, total_cell_rate / util,
+                stats.cell_loss_ratio());
+  }
+  std::printf("\nNote the slow improvement with buffer size: with long-range-\n"
+              "dependent input, buffering is far less effective than extra\n"
+              "bandwidth — the paper's core operational message.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Rare-event estimation with importance sampling (Section 4 of the
+// paper): estimate the probability that an ATM multiplexer buffer fed
+// by self-similar VBR video overflows — an event far too rare for crude
+// Monte Carlo — by twisting the mean of the Gaussian background process
+// and reweighting with the sequential likelihood ratio.
+#include <cstdio>
+#include <cmath>
+
+#include "core/model_builder.h"
+#include "is/is_estimator.h"
+#include "is/twist_search.h"
+#include "trace/scene_mpeg_source.h"
+
+int main() {
+  using namespace ssvbr;
+
+  std::printf("=== Rare buffer-overflow estimation via importance sampling ===\n\n");
+
+  // Fit the traffic model.
+  const trace::VideoTrace movie = trace::make_empirical_standin_trace();
+  const core::FittedModel fitted = core::fit_unified_model(movie.i_frame_series());
+  const double mean_rate = fitted.model.mean();
+
+  // Queue setting: low utilization, large buffer => very rare overflow.
+  const double utilization = 0.2;
+  const double buffer_normalized = 25.0;
+  const std::size_t stop_time = 500;
+  std::printf("queue: utilization %.1f, normalized buffer %.0f, stop time k=%zu\n",
+              utilization, buffer_normalized, stop_time);
+
+  const fractal::HoskingModel background(fitted.model.background_correlation(),
+                                         stop_time);
+  is::IsOverflowSettings settings;
+  settings.service_rate = mean_rate / utilization;
+  settings.buffer = buffer_normalized * mean_rate;
+  settings.stop_time = stop_time;
+  settings.replications = 500;
+
+  // Stage 1: coarse scan for the variance valley (Fig. 14).
+  std::printf("\nStage 1: twist scan (500 replications each)\n");
+  std::printf("  m*    P_hat        norm.var   hits\n");
+  RandomEngine rng(42);
+  const auto sweep = is::sweep_twist(fitted.model, background, settings,
+                                     {1.0, 2.0, 3.0, 4.0, 5.0}, rng);
+  for (const auto& p : sweep) {
+    std::printf("  %.1f   %.3e   %8.4f   %zu\n", p.twisted_mean, p.estimate.probability,
+                p.estimate.normalized_variance, p.estimate.hits);
+  }
+  const auto& best = is::find_best_twist(sweep);
+  std::printf("  -> near-optimal twist m* = %.1f\n", best.twisted_mean);
+
+  // Stage 2: production run at the chosen twist.
+  settings.twisted_mean = best.twisted_mean;
+  settings.replications = 4000;
+  RandomEngine rng2(43);
+  const is::IsOverflowEstimate est =
+      is::estimate_overflow_is(fitted.model, background, settings, rng2);
+  std::printf("\nStage 2: final estimate (%zu replications)\n", est.replications);
+  std::printf("  P(overflow by k=%zu) = %.3e  (95%% CI +- %.1e)\n", stop_time,
+              est.probability, est.ci95_halfwidth);
+  std::printf("  variance reduction vs crude MC: %.0fx\n", est.variance_reduction_vs_mc);
+  if (est.probability > 0.0) {
+    const double mc_reps = 384.0 / est.probability;  // ~10% CI for Bernoulli
+    std::printf("  crude MC would need ~%.2e replications for the same precision;\n"
+                "  importance sampling needed %zu.\n",
+                mc_reps, est.replications);
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// ssvbr/atm/cell.h
+//
+// ATM layer constants. The paper's queueing study is fluid (arbitrary
+// non-negative arrivals per slot); this substrate adds the cell-level
+// granularity of a real ATM multiplexer for the example applications.
+#pragma once
+
+#include <cstddef>
+
+namespace ssvbr::atm {
+
+inline constexpr std::size_t kCellBytes = 53;         ///< full ATM cell
+inline constexpr std::size_t kCellPayloadBytes = 48;  ///< payload per cell
+inline constexpr std::size_t kAal5TrailerBytes = 8;   ///< AAL5 CPCS trailer
+
+/// Number of ATM cells required to carry `pdu_bytes` of user data with
+/// AAL5 encapsulation (trailer + padding to a cell boundary).
+constexpr std::size_t aal5_cells_for(std::size_t pdu_bytes) noexcept {
+  const std::size_t total = pdu_bytes + kAal5TrailerBytes;
+  return (total + kCellPayloadBytes - 1) / kCellPayloadBytes;
+}
+
+}  // namespace ssvbr::atm

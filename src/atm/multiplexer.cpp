@@ -1,0 +1,63 @@
+#include "atm/multiplexer.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ssvbr::atm {
+
+Multiplexer::Multiplexer(std::size_t buffer_cells, double service_cells_per_slot)
+    : buffer_(buffer_cells), service_(service_cells_per_slot) {
+  SSVBR_REQUIRE(buffer_cells >= 1, "buffer must hold at least one cell");
+  SSVBR_REQUIRE(service_cells_per_slot > 0.0, "service rate must be positive");
+}
+
+void Multiplexer::step(std::size_t arriving_cells) {
+  // Serve first (departures-first), with fractional service carried as
+  // credit so non-integer link rates work exactly.
+  service_credit_ += service_;
+  const auto can_serve = static_cast<std::size_t>(service_credit_);
+  const std::size_t served = std::min(can_serve, queue_);
+  queue_ -= served;
+  service_credit_ -= static_cast<double>(can_serve);
+  stats_.cells_served += served;
+
+  // Admit up to the buffer limit.
+  const std::size_t room = buffer_ - queue_;
+  const std::size_t admitted = std::min(arriving_cells, room);
+  queue_ += admitted;
+  stats_.cells_arrived += arriving_cells;
+  stats_.cells_dropped += arriving_cells - admitted;
+  stats_.peak_queue = std::max(stats_.peak_queue, queue_);
+  ++stats_.slots;
+}
+
+void Multiplexer::step(std::span<const std::size_t> per_input_cells) {
+  std::size_t total = 0;
+  for (const std::size_t c : per_input_cells) total += c;
+  step(total);
+}
+
+void Multiplexer::reset() {
+  queue_ = 0;
+  service_credit_ = 0.0;
+  stats_ = MuxStats{};
+}
+
+MuxStats multiplex(std::span<const std::vector<std::size_t>> sources,
+                   std::size_t buffer_cells, double service_cells_per_slot) {
+  SSVBR_REQUIRE(!sources.empty(), "need at least one source");
+  const std::size_t slots = sources.front().size();
+  for (const auto& s : sources) {
+    SSVBR_REQUIRE(s.size() == slots, "all sources must cover the same slot count");
+  }
+  Multiplexer mux(buffer_cells, service_cells_per_slot);
+  for (std::size_t t = 0; t < slots; ++t) {
+    std::size_t total = 0;
+    for (const auto& s : sources) total += s[t];
+    mux.step(total);
+  }
+  return mux.stats();
+}
+
+}  // namespace ssvbr::atm

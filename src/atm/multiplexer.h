@@ -1,0 +1,65 @@
+// ssvbr/atm/multiplexer.h
+//
+// An N-input ATM multiplexer: per slot, every input contributes some
+// cells; the shared FIFO output buffer holds at most `buffer_cells`
+// cells and the output link serves `service_cells_per_slot` cells per
+// slot. Cells that do not fit are dropped and counted — the cell loss
+// ratio (CLR) this multiplexer reports is the quantity ATM CAC design
+// cares about and the motivation for the paper's overflow estimates.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ssvbr::atm {
+
+/// Result of a multiplexer run.
+struct MuxStats {
+  std::size_t slots = 0;
+  std::size_t cells_arrived = 0;
+  std::size_t cells_served = 0;
+  std::size_t cells_dropped = 0;
+  std::size_t peak_queue = 0;
+  double cell_loss_ratio() const noexcept {
+    return cells_arrived > 0
+               ? static_cast<double>(cells_dropped) / static_cast<double>(cells_arrived)
+               : 0.0;
+  }
+  double utilization_observed(double service_cells_per_slot) const noexcept {
+    return slots > 0 ? static_cast<double>(cells_served) /
+                           (service_cells_per_slot * static_cast<double>(slots))
+                     : 0.0;
+  }
+};
+
+/// Slot-stepped cell multiplexer.
+class Multiplexer {
+ public:
+  Multiplexer(std::size_t buffer_cells, double service_cells_per_slot);
+
+  /// Advance one slot with `arriving_cells` total new cells.
+  void step(std::size_t arriving_cells);
+
+  /// Advance one slot with per-input arrivals (summed internally).
+  void step(std::span<const std::size_t> per_input_cells);
+
+  std::size_t queue_cells() const noexcept { return queue_; }
+  const MuxStats& stats() const noexcept { return stats_; }
+
+  void reset();
+
+ private:
+  std::size_t buffer_;
+  double service_;
+  double service_credit_ = 0.0;  ///< fractional service accumulation
+  std::size_t queue_ = 0;
+  MuxStats stats_;
+};
+
+/// Convenience: run `n_sources` per-slot cell sequences (all the same
+/// length) through a multiplexer and return the stats.
+MuxStats multiplex(std::span<const std::vector<std::size_t>> sources,
+                   std::size_t buffer_cells, double service_cells_per_slot);
+
+}  // namespace ssvbr::atm

@@ -1,0 +1,50 @@
+#include "atm/segmentation.h"
+
+#include <cmath>
+
+#include "atm/cell.h"
+#include "common/error.h"
+
+namespace ssvbr::atm {
+
+std::vector<std::size_t> segment_frames(std::span<const double> frame_sizes,
+                                        std::size_t slots_per_frame, PacingMode mode) {
+  SSVBR_REQUIRE(slots_per_frame >= 1, "need at least one slot per frame");
+  std::vector<std::size_t> slots;
+  slots.reserve(frame_sizes.size() * slots_per_frame);
+  for (const double bytes : frame_sizes) {
+    SSVBR_REQUIRE(bytes >= 0.0, "frame sizes must be non-negative");
+    const std::size_t cells =
+        aal5_cells_for(static_cast<std::size_t>(std::llround(bytes)));
+    switch (mode) {
+      case PacingMode::kBurst: {
+        slots.push_back(cells);
+        for (std::size_t s = 1; s < slots_per_frame; ++s) slots.push_back(0);
+        break;
+      }
+      case PacingMode::kSmooth: {
+        // Distribute `cells` over `slots_per_frame` slots as evenly as
+        // integer arithmetic allows (error-diffusion rounding).
+        const std::size_t base = cells / slots_per_frame;
+        const std::size_t extra = cells % slots_per_frame;
+        for (std::size_t s = 0; s < slots_per_frame; ++s) {
+          // Spread the `extra` remainder cells at evenly spaced slots.
+          const bool bonus = (s * extra) % slots_per_frame + extra >= slots_per_frame;
+          slots.push_back(base + (bonus ? 1 : 0));
+        }
+        break;
+      }
+    }
+  }
+  return slots;
+}
+
+std::size_t total_cells(std::span<const double> frame_sizes) {
+  std::size_t total = 0;
+  for (const double bytes : frame_sizes) {
+    total += aal5_cells_for(static_cast<std::size_t>(std::llround(bytes)));
+  }
+  return total;
+}
+
+}  // namespace ssvbr::atm

@@ -1,0 +1,34 @@
+// ssvbr/atm/segmentation.h
+//
+// Segmentation of video frames into per-slot ATM cell arrivals.
+//
+// A VBR encoder emits one frame per frame interval; the adaptation
+// layer segments the frame into AAL5 cells and (in the smoothed mode
+// typical of video endpoints) spreads them evenly over the slots of the
+// frame interval rather than bursting them out back-to-back.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ssvbr::atm {
+
+/// How cells of a frame are placed within the frame interval.
+enum class PacingMode {
+  kBurst,   ///< all cells in the frame's first slot
+  kSmooth,  ///< cells spread evenly over the interval's slots
+};
+
+/// Convert a frame-size sequence (bytes/frame) into a per-slot cell
+/// count sequence with `slots_per_frame` slots per frame interval.
+/// The output has frame_sizes.size() * slots_per_frame entries and
+/// conserves the total cell count exactly.
+std::vector<std::size_t> segment_frames(std::span<const double> frame_sizes,
+                                        std::size_t slots_per_frame,
+                                        PacingMode mode = PacingMode::kSmooth);
+
+/// Total AAL5 cells needed for a frame-size sequence.
+std::size_t total_cells(std::span<const double> frame_sizes);
+
+}  // namespace ssvbr::atm

@@ -1,0 +1,34 @@
+#include "baselines/ar1.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ssvbr::baselines {
+
+Ar1Process::Ar1Process(double rho) : rho_(rho) {
+  SSVBR_REQUIRE(rho > -1.0 && rho < 1.0, "AR(1) coefficient must lie in (-1, 1)");
+}
+
+Ar1Process Ar1Process::from_decay_rate(double lambda) {
+  SSVBR_REQUIRE(lambda > 0.0, "decay rate must be positive");
+  return Ar1Process(std::exp(-lambda));
+}
+
+double Ar1Process::decay_rate() const {
+  SSVBR_REQUIRE(rho_ > 0.0, "decay rate undefined for non-positive rho");
+  return -std::log(rho_);
+}
+
+std::vector<double> Ar1Process::sample(std::size_t n, RandomEngine& rng) const {
+  SSVBR_REQUIRE(n >= 1, "cannot sample an empty path");
+  std::vector<double> x(n);
+  x[0] = rng.normal();  // stationary marginal N(0, 1)
+  const double innov = std::sqrt(1.0 - rho_ * rho_);
+  for (std::size_t k = 1; k < n; ++k) {
+    x[k] = rho_ * x[k - 1] + innov * rng.normal();
+  }
+  return x;
+}
+
+}  // namespace ssvbr::baselines

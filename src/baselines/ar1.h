@@ -1,0 +1,38 @@
+// ssvbr/baselines/ar1.h
+//
+// Gaussian AR(1) baseline — the canonical short-range-dependent
+// "traditional model" the paper contrasts with (its correlation decays
+// exactly exponentially, matching the SRD-only model of Fig. 17 while
+// being generatable in O(1) per step instead of Hosking's O(k)).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/random.h"
+
+namespace ssvbr::baselines {
+
+/// Zero-mean, unit-variance stationary Gaussian AR(1):
+///   X_k = rho X_{k-1} + sqrt(1 - rho^2) eps_k,  eps ~ N(0,1),
+/// with correlation r(k) = rho^k = exp(-lambda k), lambda = -ln(rho).
+class Ar1Process {
+ public:
+  /// Construct from the AR coefficient rho in (-1, 1).
+  explicit Ar1Process(double rho);
+
+  /// Construct from an exponential correlation rate lambda > 0 so that
+  /// r(k) = exp(-lambda k).
+  static Ar1Process from_decay_rate(double lambda);
+
+  double rho() const noexcept { return rho_; }
+  double decay_rate() const;
+
+  /// Draw a stationary path of length n.
+  std::vector<double> sample(std::size_t n, RandomEngine& rng) const;
+
+ private:
+  double rho_;
+};
+
+}  // namespace ssvbr::baselines

@@ -1,0 +1,29 @@
+#include "baselines/dar.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ssvbr::baselines {
+
+Dar1Process::Dar1Process(double rho, DistributionPtr marginal)
+    : rho_(rho), marginal_(std::move(marginal)) {
+  SSVBR_REQUIRE(rho >= 0.0 && rho < 1.0, "DAR(1) rho must lie in [0, 1)");
+  SSVBR_REQUIRE(marginal_ != nullptr, "marginal distribution must not be null");
+}
+
+double Dar1Process::autocorrelation(std::size_t lag) const noexcept {
+  return std::pow(rho_, static_cast<double>(lag));
+}
+
+std::vector<double> Dar1Process::sample(std::size_t n, RandomEngine& rng) const {
+  SSVBR_REQUIRE(n >= 1, "cannot sample an empty path");
+  std::vector<double> out(n);
+  out[0] = marginal_->sample(rng);
+  for (std::size_t k = 1; k < n; ++k) {
+    out[k] = rng.uniform() < rho_ ? out[k - 1] : marginal_->sample(rng);
+  }
+  return out;
+}
+
+}  // namespace ssvbr::baselines

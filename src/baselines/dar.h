@@ -1,0 +1,41 @@
+// ssvbr/baselines/dar.h
+//
+// DAR(1) — discrete autoregressive process of order one (Jacobs &
+// Lewis), the construction behind Heyman et al.'s VBR teleconference
+// models (reference [10] of the paper): each slot keeps the previous
+// value with probability rho and otherwise draws a fresh sample from
+// the marginal. The marginal is matched *exactly* (any distribution)
+// and the autocorrelation is exactly rho^k — i.e. the strongest SRD
+// baseline with an arbitrary marginal, but structurally incapable of
+// long-range dependence.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/distribution.h"
+#include "dist/random.h"
+
+namespace ssvbr::baselines {
+
+/// DAR(1) with an arbitrary marginal.
+class Dar1Process {
+ public:
+  /// `rho` in [0, 1) is the per-slot repetition probability.
+  Dar1Process(double rho, DistributionPtr marginal);
+
+  /// Exact autocorrelation rho^k.
+  double autocorrelation(std::size_t lag) const noexcept;
+
+  /// Generate a stationary path of length n.
+  std::vector<double> sample(std::size_t n, RandomEngine& rng) const;
+
+  double rho() const noexcept { return rho_; }
+  const Distribution& marginal() const { return *marginal_; }
+
+ private:
+  double rho_;
+  DistributionPtr marginal_;
+};
+
+}  // namespace ssvbr::baselines

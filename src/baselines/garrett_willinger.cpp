@@ -1,0 +1,29 @@
+#include "baselines/garrett_willinger.h"
+
+#include <memory>
+
+#include "common/error.h"
+#include "dist/distributions.h"
+#include "fractal/autocorrelation.h"
+
+namespace ssvbr::baselines {
+
+core::UnifiedVbrModel make_garrett_willinger_model(const GarrettWillingerParams& params) {
+  SSVBR_REQUIRE(params.hurst > 0.5 && params.hurst < 1.0,
+                "Garrett-Willinger requires H in (0.5, 1)");
+  SSVBR_REQUIRE(params.split_quantile > 0.0 && params.split_quantile < 1.0,
+                "split quantile must lie in (0, 1)");
+  const double d = params.hurst - 0.5;
+  auto background = std::make_shared<fractal::FarimaAutocorrelation>(d);
+
+  const GammaDistribution body(params.gamma_shape, params.gamma_scale);
+  const double split = body.quantile(params.split_quantile);
+  auto marginal = std::make_shared<GammaParetoDistribution>(
+      GammaParetoDistribution::with_continuous_density(
+          params.gamma_shape, params.gamma_scale, split, params.pareto_alpha));
+
+  return core::UnifiedVbrModel(std::move(background),
+                               core::MarginalTransform(std::move(marginal)));
+}
+
+}  // namespace ssvbr::baselines

@@ -1,0 +1,32 @@
+// ssvbr/baselines/garrett_willinger.h
+//
+// The Garrett & Willinger (SIGCOMM '94) VBR video model that the paper
+// extends: a fractional ARIMA(0, d, 0) background process transformed
+// to a combined Gamma/Pareto marginal. It captures the LRD and the
+// heavy-tailed marginal but — unlike the paper's unified model — does
+// not model the short-range part of the autocorrelation explicitly;
+// that gap is exactly what Section 3.2 adds.
+#pragma once
+
+#include <memory>
+
+#include "core/unified_model.h"
+
+namespace ssvbr::baselines {
+
+/// Parameters of the Garrett-Willinger model.
+struct GarrettWillingerParams {
+  double hurst = 0.9;        ///< H; the FARIMA d is H - 1/2
+  double gamma_shape = 2.0;  ///< Gamma body shape
+  double gamma_scale = 1500.0;  ///< Gamma body scale (bytes)
+  double pareto_alpha = 1.6; ///< Pareto tail index
+  /// Splice point as a quantile of the Gamma body (the tail carries the
+  /// mass above it with density continuity).
+  double split_quantile = 0.97;
+};
+
+/// Build the model as a UnifiedVbrModel with a FARIMA background and a
+/// Gamma/Pareto marginal transform.
+core::UnifiedVbrModel make_garrett_willinger_model(const GarrettWillingerParams& params);
+
+}  // namespace ssvbr::baselines

@@ -1,0 +1,188 @@
+#include "baselines/mmpp.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "stats/descriptive.h"
+
+namespace ssvbr::baselines {
+
+MmppProcess::MmppProcess(std::vector<double> transition, std::vector<double> rates)
+    : transition_(std::move(transition)), rates_(std::move(rates)) {
+  const std::size_t m = rates_.size();
+  SSVBR_REQUIRE(m >= 1, "MMPP needs at least one state");
+  SSVBR_REQUIRE(transition_.size() == m * m, "transition matrix must be m x m");
+  for (std::size_t i = 0; i < m; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      const double p = transition_[i * m + j];
+      SSVBR_REQUIRE(p >= 0.0 && p <= 1.0, "transition probabilities must lie in [0, 1]");
+      row += p;
+    }
+    SSVBR_REQUIRE(std::fabs(row - 1.0) < 1e-9, "transition rows must sum to 1");
+    SSVBR_REQUIRE(rates_[i] >= 0.0, "Poisson rates must be non-negative");
+  }
+}
+
+MmppProcess MmppProcess::two_state(double rate_low, double rate_high,
+                                   double mean_sojourn_low, double mean_sojourn_high) {
+  SSVBR_REQUIRE(mean_sojourn_low >= 1.0 && mean_sojourn_high >= 1.0,
+                "mean sojourn times must be at least one slot");
+  const double p = 1.0 / mean_sojourn_low;   // low -> high
+  const double q = 1.0 / mean_sojourn_high;  // high -> low
+  return MmppProcess({1.0 - p, p, q, 1.0 - q}, {rate_low, rate_high});
+}
+
+MmppProcess MmppProcess::fit_two_state(std::span<const double> series) {
+  SSVBR_REQUIRE(series.size() >= 1000, "moment matching needs at least 1000 samples");
+  stats::RunningStats moments;
+  for (const double v : series) moments.add(v);
+  const double m = moments.mean();
+  const double v = moments.variance();
+  SSVBR_REQUIRE(m > 0.0, "series mean must be positive");
+  SSVBR_REQUIRE(v > m, "series must be overdispersed relative to Poisson");
+  const std::vector<double> acf = stats::autocorrelation_fft(series, 2);
+  SSVBR_REQUIRE(acf[1] > 0.0 && acf[2] > 0.0,
+                "series must have positive lag-1/lag-2 autocorrelation");
+
+  // Geometric decay eigenvalue from consecutive autocorrelations.
+  const double e = clamp(acf[2] / acf[1], 1e-6, 1.0 - 1e-6);
+  // Rate-process variance from r(1) = var_R * e / v, capped by the
+  // overdispersion the Poisson layer leaves for the modulation.
+  double var_rate = acf[1] * v / e;
+  var_rate = std::fmin(var_rate, 0.99 * (v - m));
+
+  // High-state occupancy from the skewness of the rate process (the
+  // two-point distribution's standardized third moment is
+  // (pi_l - pi_h) / sqrt(pi_l pi_h)).
+  const double skew = clamp(moments.skewness(), 0.05, 6.0);
+  const double a = 4.0 + skew * skew;
+  const double disc = std::sqrt(a * a - 4.0 * a);
+  double pi_h = (a - disc) / (2.0 * a);  // the < 1/2 root: high state is rarer
+  pi_h = clamp(pi_h, 0.02, 0.5);
+  const double pi_l = 1.0 - pi_h;
+
+  const double spread = std::sqrt(var_rate / (pi_l * pi_h));
+  double rate_low = m - pi_h * spread;
+  double rate_high = rate_low + spread;
+  if (rate_low < 0.0) {
+    // Shift the spread so the low rate stays physical.
+    rate_low = 0.0;
+    rate_high = m / pi_h;
+  }
+
+  // Transition probabilities from the eigenvalue and the occupancies:
+  // p + q = 1 - e, p / (p + q) = pi_h.
+  const double p = clamp((1.0 - e) * pi_h, 1e-6, 1.0);
+  const double q = clamp((1.0 - e) * pi_l, 1e-6, 1.0);
+  return MmppProcess({1.0 - p, p, q, 1.0 - q}, {rate_low, rate_high});
+}
+
+std::vector<double> MmppProcess::stationary_distribution() const {
+  const std::size_t m = rates_.size();
+  std::vector<double> pi(m, 1.0 / static_cast<double>(m));
+  std::vector<double> next(m);
+  for (int it = 0; it < 10000; ++it) {
+    for (std::size_t j = 0; j < m; ++j) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < m; ++i) s += pi[i] * transition_[i * m + j];
+      next[j] = s;
+    }
+    double diff = 0.0;
+    for (std::size_t j = 0; j < m; ++j) diff += std::fabs(next[j] - pi[j]);
+    pi.swap(next);
+    if (diff < 1e-14) break;
+  }
+  return pi;
+}
+
+double MmppProcess::mean_rate() const {
+  const std::vector<double> pi = stationary_distribution();
+  double mean = 0.0;
+  for (std::size_t i = 0; i < rates_.size(); ++i) mean += pi[i] * rates_[i];
+  return mean;
+}
+
+double MmppProcess::autocorrelation(std::size_t k) const {
+  if (k == 0) return 1.0;
+  const std::size_t m = rates_.size();
+  const std::vector<double> pi = stationary_distribution();
+  double mean = 0.0;
+  double second = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    mean += pi[i] * rates_[i];
+    second += pi[i] * rates_[i] * rates_[i];
+  }
+  const double var_rate = second - mean * mean;
+  // cov(N_0, N_k) = cov(R_0, R_k): propagate u = P^k rates.
+  std::vector<double> u(rates_);
+  std::vector<double> next(m);
+  for (std::size_t step = 0; step < k; ++step) {
+    for (std::size_t i = 0; i < m; ++i) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < m; ++j) s += transition_[i * m + j] * u[j];
+      next[i] = s;
+    }
+    u.swap(next);
+  }
+  double cross = 0.0;
+  for (std::size_t i = 0; i < m; ++i) cross += pi[i] * rates_[i] * u[i];
+  const double cov = cross - mean * mean;
+  // var(N) = E[R] + var(R) (Poisson mixture).
+  const double var_n = mean + var_rate;
+  return var_n > 0.0 ? cov / var_n : 0.0;
+}
+
+double MmppProcess::poisson(double mean, RandomEngine& rng) const {
+  if (mean <= 0.0) return 0.0;
+  if (mean > 50.0) {
+    // Normal approximation with continuity correction; adequate for the
+    // multi-cell-per-slot regimes the baselines run in.
+    const double v = std::round(rng.normal(mean, std::sqrt(mean)));
+    return v < 0.0 ? 0.0 : v;
+  }
+  // Knuth multiplication method.
+  const double limit = std::exp(-mean);
+  double product = rng.uniform_open();
+  double count = 0.0;
+  while (product > limit) {
+    product *= rng.uniform_open();
+    count += 1.0;
+  }
+  return count;
+}
+
+std::vector<double> MmppProcess::sample(std::size_t n, RandomEngine& rng) const {
+  SSVBR_REQUIRE(n >= 1, "cannot sample an empty path");
+  const std::size_t m = rates_.size();
+  // Start from the stationary distribution.
+  const std::vector<double> pi = stationary_distribution();
+  double u = rng.uniform();
+  std::size_t state = m - 1;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    acc += pi[i];
+    if (u < acc) {
+      state = i;
+      break;
+    }
+  }
+  std::vector<double> out(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    out[t] = poisson(rates_[state], rng);
+    // Advance the modulating chain.
+    u = rng.uniform();
+    acc = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      acc += transition_[state * m + j];
+      if (u < acc) {
+        state = j;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ssvbr::baselines

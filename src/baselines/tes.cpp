@@ -1,0 +1,74 @@
+#include "baselines/tes.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace ssvbr::baselines {
+
+TesProcess::TesProcess(double innovation_width, double stitching_xi,
+                       DistributionPtr marginal, bool plus)
+    : alpha_(innovation_width),
+      xi_(stitching_xi),
+      marginal_(std::move(marginal)),
+      plus_(plus) {
+  SSVBR_REQUIRE(alpha_ > 0.0 && alpha_ <= 1.0, "innovation width must lie in (0, 1]");
+  SSVBR_REQUIRE(xi_ >= 0.0 && xi_ <= 1.0, "stitching parameter must lie in [0, 1]");
+  SSVBR_REQUIRE(marginal_ != nullptr, "marginal distribution must not be null");
+}
+
+double TesProcess::stitch(double u) const noexcept {
+  if (xi_ <= 0.0) return 1.0 - u;  // degenerate: pure reflection
+  if (xi_ >= 1.0) return u;        // degenerate: identity
+  return u < xi_ ? u / xi_ : (1.0 - u) / (1.0 - xi_);
+}
+
+std::vector<double> TesProcess::sample_background(std::size_t n,
+                                                  RandomEngine& rng) const {
+  SSVBR_REQUIRE(n >= 1, "cannot sample an empty path");
+  std::vector<double> u(n);
+  double state = rng.uniform();  // stationary: exactly Uniform(0, 1)
+  u[0] = state;
+  for (std::size_t k = 1; k < n; ++k) {
+    state += rng.uniform(-0.5 * alpha_, 0.5 * alpha_);
+    state -= std::floor(state);  // modulo 1
+    u[k] = state;
+  }
+  if (!plus_) {
+    // TES-: reflect every odd sample.
+    for (std::size_t k = 1; k < n; k += 2) u[k] = 1.0 - u[k];
+  }
+  return u;
+}
+
+std::vector<double> TesProcess::sample(std::size_t n, RandomEngine& rng) const {
+  std::vector<double> u = sample_background(n, rng);
+  for (double& v : u) {
+    const double p = clamp(stitch(v), 1e-12, 1.0 - 1e-12);
+    v = marginal_->quantile(p);
+  }
+  return u;
+}
+
+double TesProcess::background_autocorrelation(std::size_t lag, int terms) const {
+  SSVBR_REQUIRE(plus_, "closed-form stitched ACF is available for TES+ only");
+  if (lag == 0) return 1.0;
+  SSVBR_REQUIRE(terms >= 1, "need at least one series term");
+  // Tent-map Fourier expansion: T(u) = 1/2 - (4/pi^2) sum_{j odd}
+  // cos(2 pi j u) / j^2; the modulo-1 walk contributes
+  // E[cos(2 pi j U_0) cos(2 pi j U_k)] = phi_V(2 pi j)^k / 2, so
+  //   rho(k) = (96 / pi^4) sum_{j odd} phi_V(2 pi j)^k / j^4
+  // with phi_V(2 pi j) = sinc(pi j alpha) for V ~ U[-alpha/2, alpha/2].
+  const double pi4 = kPi * kPi * kPi * kPi;
+  double sum = 0.0;
+  for (int j = 1; j < 2 * terms; j += 2) {
+    const double w = kPi * static_cast<double>(j) * alpha_;
+    const double phi = w == 0.0 ? 1.0 : std::sin(w) / w;
+    const double j2 = static_cast<double>(j) * static_cast<double>(j);
+    sum += std::pow(phi, static_cast<double>(lag)) / (j2 * j2);
+  }
+  return 96.0 / pi4 * sum;
+}
+
+}  // namespace ssvbr::baselines

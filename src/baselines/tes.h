@@ -1,0 +1,72 @@
+// ssvbr/baselines/tes.h
+//
+// TES (Transform-Expand-Sample) process — the modeling technique of
+// Melamed et al. that the paper discusses as the prior state of the art
+// for matching both a marginal and an autocorrelation (Section 1,
+// refs. [22], [21], [15]).
+//
+// Background: a modulo-1 random walk U_n = <U_{n-1} + V_n> with iid
+// innovations V_n uniform on [-alpha/2, alpha/2]; the fractional-part
+// operation keeps U_n exactly Uniform(0,1), while alpha controls the
+// dependence (alpha -> 0 gives near-perfect correlation, alpha = 1
+// white noise). A "stitching" transform S_xi makes sample paths
+// continuous, and the foreground applies an inverse marginal transform
+// Y_n = F^{-1}(S_xi(U_n)) — structurally the same inversion the paper
+// uses, but with a *short-range* background: TES autocorrelations decay
+// geometrically, which is exactly the limitation the paper's
+// self-similar background removes.
+//
+// TES+ keeps all lags positively correlated; TES- alternates the sign
+// by reflecting every other sample.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/distribution.h"
+#include "dist/random.h"
+
+namespace ssvbr::baselines {
+
+/// TES background + marginal inversion.
+class TesProcess {
+ public:
+  /// `innovation_width` is alpha in (0, 1]; `stitching_xi` in [0, 1]
+  /// (0.5 is the symmetric choice; 0 or 1 disable stitching);
+  /// `plus` selects TES+ (true) or TES- (false).
+  TesProcess(double innovation_width, double stitching_xi, DistributionPtr marginal,
+             bool plus = true);
+
+  /// Stitching transform S_xi(u).
+  double stitch(double u) const noexcept;
+
+  /// Generate a foreground path of length n.
+  std::vector<double> sample(std::size_t n, RandomEngine& rng) const;
+
+  /// Generate the background modulo-1 walk only (uniform marginal).
+  std::vector<double> sample_background(std::size_t n, RandomEngine& rng) const;
+
+  /// Theoretical lag-k autocorrelation of the *stitched background* of
+  /// a TES+ process with the symmetric stitching xi = 1/2. The tent map
+  /// T(u) has the Fourier expansion 1/2 - (4/pi^2) sum_{j odd}
+  /// cos(2 pi j u)/j^2, and the modulo-1 walk decorrelates each
+  /// harmonic by phi_V(2 pi j)^k, giving
+  ///   rho(k) = (96 / pi^4) sum_{j odd} [sinc(pi j alpha)]^k / j^4.
+  /// Truncated at `terms` odd harmonics. Only available for TES+ —
+  /// symmetric stitching makes the foreground of TES- identical in law
+  /// to TES+ (T(1 - u) = T(u)); use an asymmetric xi (e.g. 1) to obtain
+  /// the alternating-sign behaviour.
+  double background_autocorrelation(std::size_t lag, int terms = 64) const;
+
+  double innovation_width() const noexcept { return alpha_; }
+  double stitching_xi() const noexcept { return xi_; }
+  bool is_plus() const noexcept { return plus_; }
+
+ private:
+  double alpha_;
+  double xi_;
+  DistributionPtr marginal_;
+  bool plus_;
+};
+
+}  // namespace ssvbr::baselines

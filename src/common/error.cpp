@@ -1,0 +1,27 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace ssvbr::detail {
+
+namespace {
+std::string format(const char* kind, const char* expr, const char* file, int line,
+                   const std::string& message) {
+  std::ostringstream os;
+  os << kind << ": " << message << " [failed: `" << expr << "` at " << file << ':' << line
+     << ']';
+  return os.str();
+}
+}  // namespace
+
+void throw_invalid_argument(const char* expr, const char* file, int line,
+                            const std::string& message) {
+  throw InvalidArgument(format("invalid argument", expr, file, line, message));
+}
+
+void throw_internal_error(const char* expr, const char* file, int line,
+                          const std::string& message) {
+  throw InternalError(format("internal error", expr, file, line, message));
+}
+
+}  // namespace ssvbr::detail

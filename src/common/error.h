@@ -1,0 +1,59 @@
+// ssvbr/common/error.h
+//
+// Error-handling primitives for the ssvbr library.
+//
+// Library entry points validate their preconditions with SSVBR_REQUIRE,
+// which throws ssvbr::InvalidArgument (for caller mistakes) so that
+// misuse is detected deterministically in all build types. Internal
+// invariants that indicate a library bug use SSVBR_ENSURE, which throws
+// ssvbr::InternalError.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ssvbr {
+
+/// Thrown when a caller violates a documented precondition.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Thrown when an internal invariant of the library is violated (a bug).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a numerical routine fails to converge or encounters an
+/// ill-conditioned problem (e.g. a non-positive-definite autocorrelation).
+class NumericalError : public std::runtime_error {
+ public:
+  explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid_argument(const char* expr, const char* file, int line,
+                                         const std::string& message);
+[[noreturn]] void throw_internal_error(const char* expr, const char* file, int line,
+                                       const std::string& message);
+}  // namespace detail
+
+}  // namespace ssvbr
+
+/// Validate a caller-visible precondition; throws ssvbr::InvalidArgument.
+#define SSVBR_REQUIRE(cond, message)                                                     \
+  do {                                                                                   \
+    if (!(cond)) {                                                                       \
+      ::ssvbr::detail::throw_invalid_argument(#cond, __FILE__, __LINE__, (message));     \
+    }                                                                                    \
+  } while (false)
+
+/// Validate an internal invariant; throws ssvbr::InternalError.
+#define SSVBR_ENSURE(cond, message)                                                      \
+  do {                                                                                   \
+    if (!(cond)) {                                                                       \
+      ::ssvbr::detail::throw_internal_error(#cond, __FILE__, __LINE__, (message));       \
+    }                                                                                    \
+  } while (false)

@@ -1,0 +1,64 @@
+// ssvbr/common/math_util.h
+//
+// Small numerical helpers shared across the library: log-domain
+// accumulation (used by the importance-sampling likelihood ratios),
+// stable summation, and simple scalar utilities.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+
+namespace ssvbr {
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+inline constexpr double kSqrt2 = 1.41421356237309504880;
+
+/// log(exp(a) + exp(b)) without overflow.
+inline double log_sum_exp(double a, double b) noexcept {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  const double m = a > b ? a : b;
+  return m + std::log(std::exp(a - m) + std::exp(b - m));
+}
+
+/// Kahan-compensated sum of a range. Deterministic and accurate for the
+/// long accumulations that appear in Durbin-Levinson recursions.
+inline double kahan_sum(std::span<const double> xs) noexcept {
+  double sum = 0.0;
+  double c = 0.0;
+  for (const double x : xs) {
+    const double y = x - c;
+    const double t = sum + y;
+    c = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+/// Clamp x into [lo, hi].
+inline double clamp(double x, double lo, double hi) noexcept {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// True when |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+inline bool almost_equal(double a, double b, double rel_tol = 1e-9,
+                         double abs_tol = 1e-12) noexcept {
+  const double diff = std::fabs(a - b);
+  const double scale = std::fmax(std::fabs(a), std::fabs(b));
+  return diff <= abs_tol + rel_tol * scale;
+}
+
+/// Integer power of two test.
+inline bool is_power_of_two(std::size_t n) noexcept { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Smallest power of two >= n (n must be <= 2^62).
+inline std::size_t next_power_of_two(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace ssvbr

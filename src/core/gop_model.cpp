@@ -1,0 +1,93 @@
+#include "core/gop_model.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/error.h"
+#include "fractal/davies_harte.h"
+#include "fractal/hosking.h"
+#include "stats/empirical_distribution.h"
+
+namespace ssvbr::core {
+
+GopVbrModel::GopVbrModel(fractal::AutocorrelationPtr frame_level_correlation,
+                         MarginalTransform transform_i, MarginalTransform transform_p,
+                         MarginalTransform transform_b, trace::GopStructure gop)
+    : correlation_(std::move(frame_level_correlation)),
+      transform_i_(std::move(transform_i)),
+      transform_p_(std::move(transform_p)),
+      transform_b_(std::move(transform_b)),
+      gop_(std::move(gop)) {
+  SSVBR_REQUIRE(correlation_ != nullptr, "background correlation must not be null");
+}
+
+const MarginalTransform& GopVbrModel::transform(trace::FrameType type) const {
+  switch (type) {
+    case trace::FrameType::I: return transform_i_;
+    case trace::FrameType::P: return transform_p_;
+    case trace::FrameType::B: return transform_b_;
+  }
+  throw InternalError("unknown frame type");
+}
+
+trace::VideoTrace GopVbrModel::generate(std::size_t n_frames, RandomEngine& rng,
+                                        BackgroundGenerator generator) const {
+  SSVBR_REQUIRE(n_frames >= 1, "cannot generate an empty trace");
+  // One background process for the whole composite stream (the paper's
+  // construction): per-frame correlation at the frame level, then the
+  // per-type transform picks the histogram of the slot's frame type.
+  std::vector<double> x;
+  switch (generator) {
+    case BackgroundGenerator::kDaviesHarte: {
+      const fractal::DaviesHarteModel dh(*correlation_, n_frames, /*tolerance=*/0.05);
+      x = dh.sample(rng);
+      break;
+    }
+    case BackgroundGenerator::kHosking:
+      x = fractal::hosking_sample_streaming(*correlation_, n_frames, rng);
+      break;
+  }
+  std::vector<double> sizes(n_frames);
+  for (std::size_t i = 0; i < n_frames; ++i) {
+    sizes[i] = transform(gop_.type_at(i))(x[i]);
+  }
+  trace::TraceMetadata meta;
+  meta.title = "ssvbr GopVbrModel synthetic trace";
+  meta.coder = "ssvbr unified model";
+  return trace::VideoTrace(std::move(sizes), gop_, std::move(meta));
+}
+
+double GopVbrModel::mean_frame_size() const {
+  const double n = static_cast<double>(gop_.size());
+  return (static_cast<double>(gop_.count(trace::FrameType::I)) * transform_i_.output_mean() +
+          static_cast<double>(gop_.count(trace::FrameType::P)) * transform_p_.output_mean() +
+          static_cast<double>(gop_.count(trace::FrameType::B)) * transform_b_.output_mean()) /
+         n;
+}
+
+FittedGopModel fit_gop_model(const trace::VideoTrace& trace,
+                             const ModelBuilderOptions& options) {
+  // Step 1: model the I-frame process with the Section 3.2 pipeline.
+  const std::vector<double> i_series = trace.i_frame_series();
+  FittedModel i_model = fit_unified_model(i_series, options);
+
+  // Step 2: rescale the compensated I-frame correlation to frame level.
+  auto frame_corr = std::make_shared<fractal::RescaledAutocorrelation>(
+      i_model.model.background_correlation_ptr(),
+      static_cast<double>(trace.gop().i_period()));
+
+  // Step 3: per-type marginal transforms from per-type histograms.
+  const std::vector<double> p_series = trace.sizes_of(trace::FrameType::P);
+  const std::vector<double> b_series = trace.sizes_of(trace::FrameType::B);
+  SSVBR_REQUIRE(!p_series.empty() && !b_series.empty(),
+                "GOP model needs P and B frames in the trace");
+  MarginalTransform h_i(std::make_shared<stats::EmpiricalDistribution>(i_series));
+  MarginalTransform h_p(std::make_shared<stats::EmpiricalDistribution>(p_series));
+  MarginalTransform h_b(std::make_shared<stats::EmpiricalDistribution>(b_series));
+
+  GopVbrModel model(std::move(frame_corr), std::move(h_i), std::move(h_p), std::move(h_b),
+                    trace.gop());
+  return FittedGopModel{std::move(model), std::move(i_model.report)};
+}
+
+}  // namespace ssvbr::core

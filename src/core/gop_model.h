@@ -1,0 +1,62 @@
+// ssvbr/core/gop_model.h
+//
+// The interframe (I/B/P) extension of the unified model (Section 3.3):
+// one stationary background Gaussian process X carrying both SRD and
+// LRD, and three marginal transforms h_I, h_B, h_P — one per frame type,
+// built from the per-type histograms — applied according to the GOP
+// pattern. The background correlation is the I-frame-level correlation
+// rescaled by the I-frame period: r(k) = r_I(k / K_I) (eq. (15)).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/model_builder.h"
+#include "core/unified_model.h"
+#include "trace/video_trace.h"
+
+namespace ssvbr::core {
+
+/// Composite I-B-P VBR video model.
+class GopVbrModel {
+ public:
+  GopVbrModel(fractal::AutocorrelationPtr frame_level_correlation,
+              MarginalTransform transform_i, MarginalTransform transform_p,
+              MarginalTransform transform_b, trace::GopStructure gop);
+
+  /// Synthesize a composite frame-size trace of `n_frames` frames.
+  trace::VideoTrace generate(std::size_t n_frames, RandomEngine& rng,
+                             BackgroundGenerator generator =
+                                 BackgroundGenerator::kDaviesHarte) const;
+
+  const fractal::AutocorrelationModel& background_correlation() const {
+    return *correlation_;
+  }
+  const MarginalTransform& transform(trace::FrameType type) const;
+  const trace::GopStructure& gop() const { return gop_; }
+
+  /// Mean bytes/frame of the composite stream (weighted over the GOP).
+  double mean_frame_size() const;
+
+ private:
+  fractal::AutocorrelationPtr correlation_;
+  MarginalTransform transform_i_;
+  MarginalTransform transform_p_;
+  MarginalTransform transform_b_;
+  trace::GopStructure gop_;
+};
+
+/// Fitted GOP model plus the I-frame pipeline diagnostics.
+struct FittedGopModel {
+  GopVbrModel model;
+  FitReport i_frame_report;  ///< the Section 3.2 pipeline on I frames
+};
+
+/// Section 3.3 procedure:
+///   1. isolate I frames and run the Section 3.2 pipeline on them;
+///   2. rescale the compensated I-frame correlation by K_I (eq. (15));
+///   3. build h_I, h_P, h_B from the per-type empirical histograms.
+FittedGopModel fit_gop_model(const trace::VideoTrace& trace,
+                             const ModelBuilderOptions& options = {});
+
+}  // namespace ssvbr::core

@@ -1,0 +1,163 @@
+#include "core/iterative_calibration.h"
+
+#include <cmath>
+#include <memory>
+#include <optional>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "stats/descriptive.h"
+
+namespace ssvbr::core {
+
+namespace {
+
+// Measure the average foreground ACF of `model` over a few paths.
+std::vector<double> measure_foreground_acf(const UnifiedVbrModel& model,
+                                           std::size_t path_length, std::size_t max_lag,
+                                           std::size_t replications, RandomEngine& rng) {
+  std::vector<double> acf(max_lag + 1, 0.0);
+  for (std::size_t rep = 0; rep < replications; ++rep) {
+    const std::vector<double> y = model.generate(path_length, rng);
+    const std::vector<double> a = stats::autocorrelation_fft(y, max_lag);
+    for (std::size_t k = 0; k <= max_lag; ++k) {
+      acf[k] += a[k] / static_cast<double>(replications);
+    }
+  }
+  return acf;
+}
+
+double acf_mae(std::span<const double> measured, std::span<const double> target,
+               std::size_t max_lag) {
+  double mae = 0.0;
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    mae += std::fabs(measured[k] - target[k]);
+  }
+  return mae / static_cast<double>(max_lag);
+}
+
+// Geometric-mean ratio target/measured over a lag window, using only
+// lags where both values are solidly positive.
+double log_ratio(std::span<const double> target, std::span<const double> measured,
+                 std::size_t lo, std::size_t hi) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t k = lo; k <= hi; ++k) {
+    if (target[k] > 0.02 && measured[k] > 0.02) {
+      sum += std::log(target[k] / measured[k]);
+      ++count;
+    }
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+// Build a knee-continuous composite from (L, beta, knee), with lambda
+// slaved to continuity (eq. (14)); nullopt when the knee value is not a
+// usable correlation level.
+std::optional<fractal::CompositeSrdLrdAutocorrelation> make_continuous_composite(
+    double lrd_scale, double beta, double knee) {
+  if (knee < 2.0) return std::nullopt;
+  const double value_at_knee = lrd_scale * std::pow(knee, -beta);
+  if (!(value_at_knee > 0.005 && value_at_knee < 0.995)) return std::nullopt;
+  return fractal::CompositeSrdLrdAutocorrelation::with_continuity(lrd_scale, beta, knee);
+}
+
+}  // namespace
+
+CalibrationResult calibrate_foreground_acf(const UnifiedVbrModel& initial,
+                                           std::span<const double> target_acf,
+                                           const IterativeCalibrationOptions& options,
+                                           RandomEngine& rng) {
+  SSVBR_REQUIRE(options.acf_max_lag >= 8, "need at least 8 lags to calibrate");
+  SSVBR_REQUIRE(target_acf.size() > options.acf_max_lag,
+                "target ACF shorter than the calibration lag range");
+  SSVBR_REQUIRE(options.path_length > 2 * options.acf_max_lag,
+                "path_length too short for the calibration lag range");
+  SSVBR_REQUIRE(options.replications >= 1, "need at least one replication");
+  SSVBR_REQUIRE(options.damping > 0.0 && options.damping <= 1.0,
+                "damping must lie in (0, 1]");
+
+  const auto* composite = dynamic_cast<const fractal::CompositeSrdLrdAutocorrelation*>(
+      &initial.background_correlation());
+  SSVBR_REQUIRE(composite != nullptr,
+                "calibration requires a CompositeSrdLrd background correlation");
+
+  // The loop works in the paper's natural parametrization: the LRD
+  // branch (L, beta) plus the knee Kt, with the SRD rate lambda always
+  // re-solved from continuity (eq. (14)). The LRD mismatch drives L;
+  // the SRD mismatch drives the knee (a later knee lowers lambda and
+  // lifts the whole SRD range).
+  double lambda = composite->lambda();
+  double lrd_scale = composite->lrd_scale();
+  const double beta = composite->beta();
+  double knee = composite->knee();
+
+  // Anchor windows: the SRD anchor sits inside the initial knee, the
+  // LRD anchor deep in the tail.
+  const auto srd_lo = static_cast<std::size_t>(std::fmax(2.0, 0.25 * knee));
+  const auto srd_hi = static_cast<std::size_t>(
+      std::fmin(static_cast<double>(options.acf_max_lag) - 1.0, 0.9 * knee));
+  const std::size_t lrd_lo = std::min<std::size_t>(
+      options.acf_max_lag - 1, static_cast<std::size_t>(std::fmax(knee * 1.5, knee + 2.0)));
+  const std::size_t lrd_hi = options.acf_max_lag;
+
+  CalibrationResult result{initial, {}, 0.0, 0.0};
+  double best_error = -1.0;
+
+  UnifiedVbrModel current = initial;
+  for (std::size_t it = 0; it < options.iterations; ++it) {
+    const std::vector<double> measured = measure_foreground_acf(
+        current, options.path_length, options.acf_max_lag, options.replications, rng);
+    const double error = acf_mae(measured, target_acf, options.acf_max_lag);
+    if (it == 0) result.initial_error = error;
+    result.history.push_back({lambda, lrd_scale, error});
+    if (best_error < 0.0 || error < best_error) {
+      best_error = error;
+      result.model = current;
+    }
+
+    if (it + 1 == options.iterations) break;
+
+    // Parameter updates from the two anchor mismatches.
+    const double srd_gap = srd_hi > srd_lo
+                               ? log_ratio(target_acf, measured, srd_lo, srd_hi)
+                               : 0.0;
+    const double lrd_gap = log_ratio(target_acf, measured, lrd_lo, lrd_hi);
+    // Tail too low (gap > 0): raise L. SRD range too low: push the knee
+    // out, which lowers the continuity-implied lambda and lifts the
+    // whole exponential branch.
+    double new_lrd = lrd_scale * std::exp(options.damping * lrd_gap);
+    double new_knee = knee * std::exp(2.0 * options.damping * srd_gap);
+    new_knee = clamp(new_knee, 4.0, 3000.0);
+
+    // Accept the strongest feasible version of the step: the candidate
+    // must be a usable correlation level at the knee and positive
+    // definite; halve the step (in log domain) on failure.
+    for (int attempt = 0; attempt < 6; ++attempt) {
+      // The power branch must be below 1 at the knee; pull the knee out
+      // past L^(1/beta) when the raised amplitude demands it.
+      const double min_knee = std::pow(new_lrd, 1.0 / beta) * 1.05;
+      const double knee_try = std::fmax(new_knee, min_knee);
+      const auto candidate = make_continuous_composite(new_lrd, beta, knee_try);
+      if (candidate &&
+          fractal::is_valid_correlation(*candidate, options.pd_check_horizon)) {
+        current = UnifiedVbrModel(
+            std::make_shared<fractal::CompositeSrdLrdAutocorrelation>(*candidate),
+            current.transform());
+        lambda = candidate->lambda();
+        lrd_scale = candidate->lrd_scale();
+        knee = candidate->knee();
+        break;
+      }
+      new_lrd = std::sqrt(new_lrd * lrd_scale);
+      new_knee = std::sqrt(new_knee * knee);
+    }
+    // If no step was accepted the loop simply re-measures with fresh
+    // randomness; the damped anchors will propose a different step.
+  }
+
+  result.final_error = best_error;
+  return result;
+}
+
+}  // namespace ssvbr::core

@@ -1,0 +1,74 @@
+// ssvbr/core/iterative_calibration.h
+//
+// Iterative refinement of the background autocorrelation so that the
+// *foreground* process matches a target autocorrelation.
+//
+// The paper's Step 4 compensates the attenuation with the asymptotic
+// factor a and then "systematically iterates until the SRD part of the
+// foreground process matches that of the empirical stream"; an
+// "automatic search for the best background autocorrelation structure"
+// is flagged as work in progress. This module implements that search:
+//
+//   repeat:
+//     1. simulate foreground paths and estimate their ACF;
+//     2. compare against the target ACF at an SRD anchor lag (inside the
+//        knee) and an LRD anchor lag (deep in the tail);
+//     3. nudge the background composite parameters — the exponential
+//        rate lambda from the SRD mismatch, the power-law amplitude L
+//        from the LRD mismatch — with damping;
+//     4. reject any step that would leave the family of valid
+//        (positive-definite) correlations.
+//
+// The result is the best-seen model under the mean-absolute ACF error.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/unified_model.h"
+#include "dist/random.h"
+
+namespace ssvbr::core {
+
+/// Knobs of the calibration loop.
+struct IterativeCalibrationOptions {
+  std::size_t iterations = 5;
+  /// Length of each simulated foreground path used for measurement.
+  std::size_t path_length = 16384;
+  /// Paths averaged per ACF measurement (LRD estimates are noisy).
+  std::size_t replications = 4;
+  /// Lags 1..acf_max_lag enter the error metric (must be shorter than
+  /// the target ACF and path_length).
+  std::size_t acf_max_lag = 300;
+  /// Fraction of each measured log-mismatch applied per iteration.
+  double damping = 0.7;
+  /// Horizon of the positive-definiteness check guarding each step.
+  std::size_t pd_check_horizon = 2048;
+};
+
+/// One iteration's state, for diagnostics and the ablation bench.
+struct CalibrationIteration {
+  double lambda = 0.0;
+  double lrd_scale = 0.0;
+  double acf_error = 0.0;  ///< MAE(foreground ACF, target ACF) over 1..max_lag
+};
+
+/// Calibration outcome: the best-seen model plus the trajectory.
+struct CalibrationResult {
+  UnifiedVbrModel model;
+  std::vector<CalibrationIteration> history;
+  double initial_error = 0.0;
+  double final_error = 0.0;
+};
+
+/// Refine `initial` (whose background must be a
+/// CompositeSrdLrdAutocorrelation, as produced by fit_unified_model)
+/// so its foreground ACF matches `target_acf` (target_acf[k] = r(k),
+/// target_acf[0] == 1).
+CalibrationResult calibrate_foreground_acf(const UnifiedVbrModel& initial,
+                                           std::span<const double> target_acf,
+                                           const IterativeCalibrationOptions& options,
+                                           RandomEngine& rng);
+
+}  // namespace ssvbr::core

@@ -1,0 +1,121 @@
+#include "core/model_builder.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "stats/descriptive.h"
+#include "stats/empirical_distribution.h"
+
+namespace ssvbr::core {
+
+namespace {
+
+// Build the Step 4 composite for one candidate effective attenuation,
+// pushing the knee outward if the lifted value would reach 1.
+fractal::CompositeSrdLrdAutocorrelation make_compensated(const stats::CompositeAcfFit& fit,
+                                                         double attenuation) {
+  double knee = static_cast<double>(fit.knee);
+  const double lrd_scale = fit.lrd_scale / attenuation;
+  double value_at_knee = lrd_scale * std::pow(knee, -fit.beta);
+  while (value_at_knee >= 0.999 && knee < 1e6) {
+    knee *= 1.25;
+    value_at_knee = lrd_scale * std::pow(knee, -fit.beta);
+  }
+  SSVBR_REQUIRE(value_at_knee < 1.0, "compensated ACF cannot be made a correlation");
+  return fractal::CompositeSrdLrdAutocorrelation::with_continuity(lrd_scale, fit.beta,
+                                                                  knee);
+}
+
+}  // namespace
+
+fractal::AutocorrelationPtr compensated_background_correlation(
+    const stats::CompositeAcfFit& fit, double attenuation,
+    std::size_t pd_check_horizon) {
+  SSVBR_REQUIRE(attenuation > 0.0 && attenuation <= 1.0,
+                "attenuation must lie in (0, 1]");
+  // Step 4: r(k) = r_hat(k) / a for k >= Kt. Dividing the LRD branch by
+  // a multiplies L; the knee value r_hat(Kt)/a then re-solves lambda
+  // via eq. (14).
+  {
+    const auto full = make_compensated(fit, attenuation);
+    if (fractal::is_valid_correlation(full, pd_check_horizon)) {
+      return std::make_shared<fractal::CompositeSrdLrdAutocorrelation>(full);
+    }
+  }
+  // Full compensation lifts the ACF beyond what any stationary Gaussian
+  // process can realize (e.g. r near 1 over the whole SRD range but a
+  // power-law drop afterwards violates positive definiteness). Bisect
+  // the effective attenuation in (attenuation, 1]: larger values
+  // compensate less and are more feasible.
+  double lo = attenuation;  // infeasible
+  double hi = 1.0;          // assumed feasible (the fitted ACF itself)
+  if (!fractal::is_valid_correlation(make_compensated(fit, hi), pd_check_horizon)) {
+    throw NumericalError(
+        "fitted composite ACF is not positive definite even without compensation");
+  }
+  for (int it = 0; it < 40; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (fractal::is_valid_correlation(make_compensated(fit, mid), pd_check_horizon)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  // Back off slightly from the feasibility boundary for numerical
+  // headroom in downstream Durbin-Levinson runs.
+  const double a_eff = std::min(1.0, hi + 0.02 * (1.0 - attenuation));
+  return std::make_shared<fractal::CompositeSrdLrdAutocorrelation>(
+      make_compensated(fit, a_eff));
+}
+
+FittedModel fit_unified_model(std::span<const double> series,
+                              const ModelBuilderOptions& options) {
+  SSVBR_REQUIRE(series.size() > options.acf_max_lag * 2,
+                "series too short for the requested ACF lag range");
+
+  FitReport report;
+
+  // Step 1: Hurst estimation.
+  report.variance_time = fractal::variance_time_analysis(series, options.variance_time);
+  report.rs = fractal::rs_analysis(series, options.rs);
+  report.hurst_combined = 0.5 * (report.variance_time.hurst + report.rs.hurst);
+
+  // Step 2: autocorrelation estimation and composite fit.
+  report.empirical_acf = stats::autocorrelation_fft(series, options.acf_max_lag);
+  stats::CompositeAcfFit fit = stats::fit_composite_acf(report.empirical_acf,
+                                                        options.acf_fit);
+  if (!options.beta_from_acf_fit) {
+    // Re-anchor the LRD branch on the Step 1 Hurst estimate, keeping the
+    // fitted amplitude at the knee unchanged.
+    const double beta = clamp(2.0 - 2.0 * report.hurst_combined, 0.02, 0.98);
+    const double knee = static_cast<double>(fit.knee);
+    const double value_at_knee = fit.lrd_scale * std::pow(knee, -fit.beta);
+    fit.lrd_scale = value_at_knee * std::pow(knee, beta);
+    fit.beta = beta;
+  }
+  report.acf_fit = fit;
+
+  // The marginal transform: invert the empirical distribution directly.
+  auto marginal = std::make_shared<stats::EmpiricalDistribution>(series);
+  MarginalTransform transform(marginal);
+
+  // Step 3: attenuation factor.
+  report.attenuation = options.compensate_attenuation ? transform.attenuation() : 1.0;
+
+  // Step 4: compensated background correlation.
+  fractal::AutocorrelationPtr background =
+      compensated_background_correlation(fit, report.attenuation, options.pd_check_horizon);
+  const auto* composite =
+      static_cast<const fractal::CompositeSrdLrdAutocorrelation*>(background.get());
+  report.background_lambda = composite->lambda();
+  report.background_lrd_scale = composite->lrd_scale();
+  report.background_beta = composite->beta();
+  report.knee = composite->knee();
+
+  return FittedModel{UnifiedVbrModel(std::move(background), std::move(transform)),
+                     std::move(report)};
+}
+
+}  // namespace ssvbr::core

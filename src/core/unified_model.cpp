@@ -1,0 +1,50 @@
+#include "core/unified_model.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "fractal/davies_harte.h"
+#include "fractal/hosking.h"
+
+namespace ssvbr::core {
+
+UnifiedVbrModel::UnifiedVbrModel(fractal::AutocorrelationPtr background_correlation,
+                                 MarginalTransform transform)
+    : correlation_(std::move(background_correlation)), transform_(std::move(transform)) {
+  SSVBR_REQUIRE(correlation_ != nullptr, "background correlation must not be null");
+}
+
+std::vector<double> UnifiedVbrModel::generate_background(
+    std::size_t n, RandomEngine& rng, BackgroundGenerator generator) const {
+  SSVBR_REQUIRE(n >= 1, "cannot generate an empty path");
+  switch (generator) {
+    case BackgroundGenerator::kDaviesHarte:
+      try {
+        const fractal::DaviesHarteModel dh(*correlation_, n, /*tolerance=*/0.05);
+        return dh.sample(rng);
+      } catch (const NumericalError&) {
+        // Some composite correlations (notably knee-discontinuous ones
+        // produced by iterative calibration steps) are positive definite
+        // but not circulant-embeddable within tolerance; Hosking's
+        // method applies to any valid correlation.
+        return fractal::hosking_sample_streaming(*correlation_, n, rng);
+      }
+    case BackgroundGenerator::kHosking:
+      return fractal::hosking_sample_streaming(*correlation_, n, rng);
+  }
+  throw InternalError("unknown background generator");
+}
+
+std::vector<double> UnifiedVbrModel::generate(std::size_t n, RandomEngine& rng,
+                                              BackgroundGenerator generator) const {
+  std::vector<double> x = generate_background(n, rng, generator);
+  transform_.apply(x, x);
+  return x;
+}
+
+double UnifiedVbrModel::predicted_foreground_acf(double lag) const {
+  if (lag == 0.0) return 1.0;
+  return transform_.attenuation() * (*correlation_)(lag);
+}
+
+}  // namespace ssvbr::core

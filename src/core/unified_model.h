@@ -1,0 +1,58 @@
+// ssvbr/core/unified_model.h
+//
+// The paper's unified VBR video model: a background self-similar
+// Gaussian process with an explicitly specified SRD+LRD autocorrelation,
+// pushed through the histogram-inversion transform to acquire the
+// empirical marginal (Sections 3.1-3.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/marginal_transform.h"
+#include "dist/random.h"
+#include "fractal/autocorrelation.h"
+
+namespace ssvbr::core {
+
+/// Which exact Gaussian generator synthesizes the background process.
+enum class BackgroundGenerator {
+  kDaviesHarte,  ///< O(n log n); best for long traces
+  kHosking,      ///< O(n^2) streaming; always applicable
+};
+
+/// Background correlation + marginal transform = synthetic VBR source.
+class UnifiedVbrModel {
+ public:
+  UnifiedVbrModel(fractal::AutocorrelationPtr background_correlation,
+                  MarginalTransform transform);
+
+  /// Synthesize a foreground trace Y_0..Y_{n-1} (bytes per frame).
+  std::vector<double> generate(std::size_t n, RandomEngine& rng,
+                               BackgroundGenerator generator =
+                                   BackgroundGenerator::kDaviesHarte) const;
+
+  /// Synthesize the background Gaussian path only (diagnostics, Fig. 7).
+  std::vector<double> generate_background(std::size_t n, RandomEngine& rng,
+                                          BackgroundGenerator generator =
+                                              BackgroundGenerator::kDaviesHarte) const;
+
+  const fractal::AutocorrelationModel& background_correlation() const {
+    return *correlation_;
+  }
+  fractal::AutocorrelationPtr background_correlation_ptr() const { return correlation_; }
+  const MarginalTransform& transform() const { return transform_; }
+
+  /// Mean/variance of the foreground marginal (from the transform).
+  double mean() const { return transform_.output_mean(); }
+  double variance() const { return transform_.output_variance(); }
+
+  /// Predicted asymptotic foreground ACF: a * r(k) (Appendix A).
+  double predicted_foreground_acf(double lag) const;
+
+ private:
+  fractal::AutocorrelationPtr correlation_;
+  MarginalTransform transform_;
+};
+
+}  // namespace ssvbr::core

@@ -1,0 +1,53 @@
+// ssvbr/dist/distribution.h
+//
+// Abstract interface for one-dimensional continuous distributions.
+//
+// The unified model (Section 3.1 of the paper) needs three operations
+// from a marginal distribution F_Y:
+//   * cdf(y)       — for diagnostics and goodness-of-fit,
+//   * quantile(p)  — the inverse F_Y^{-1} used in the transform
+//                    Y = F_Y^{-1}(Phi(X)) (eq. (7)),
+//   * sample(rng)  — for workload generators and baselines.
+//
+// Implementations must make quantile() the exact (or numerically
+// refined) inverse of cdf() so that inverse-transform sampling and the
+// histogram-inversion transform agree.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dist/random.h"
+
+namespace ssvbr {
+
+/// One-dimensional continuous probability distribution.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Cumulative distribution function F(y) in [0, 1].
+  virtual double cdf(double y) const = 0;
+
+  /// Probability density function f(y) (0 outside the support).
+  virtual double pdf(double y) const = 0;
+
+  /// Quantile function F^{-1}(p); requires p in (0, 1).
+  virtual double quantile(double p) const = 0;
+
+  /// Distribution mean (may be +inf for heavy tails with alpha <= 1).
+  virtual double mean() const = 0;
+
+  /// Distribution variance (may be +inf).
+  virtual double variance() const = 0;
+
+  /// Draw one variate.
+  virtual double sample(RandomEngine& rng) const;
+
+  /// Human-readable description, e.g. "Gamma(shape=2.1, scale=300)".
+  virtual std::string describe() const = 0;
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+}  // namespace ssvbr

@@ -1,0 +1,264 @@
+#include "dist/distributions.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "dist/special_functions.h"
+
+namespace ssvbr {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+double Distribution::sample(RandomEngine& rng) const {
+  return quantile(rng.uniform_open());
+}
+
+// ---------------------------------------------------------------- Normal
+
+NormalDistribution::NormalDistribution(double mean, double stddev)
+    : mean_(mean), stddev_(stddev) {
+  SSVBR_REQUIRE(stddev > 0.0, "normal stddev must be positive");
+}
+
+double NormalDistribution::cdf(double y) const { return normal_cdf((y - mean_) / stddev_); }
+
+double NormalDistribution::pdf(double y) const {
+  return normal_pdf((y - mean_) / stddev_) / stddev_;
+}
+
+double NormalDistribution::quantile(double p) const {
+  return mean_ + stddev_ * normal_quantile(p);
+}
+
+double NormalDistribution::sample(RandomEngine& rng) const {
+  return rng.normal(mean_, stddev_);
+}
+
+std::string NormalDistribution::describe() const {
+  std::ostringstream os;
+  os << "Normal(mean=" << mean_ << ", stddev=" << stddev_ << ")";
+  return os.str();
+}
+
+// ----------------------------------------------------------------- Gamma
+
+GammaDistribution::GammaDistribution(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  SSVBR_REQUIRE(shape > 0.0, "gamma shape must be positive");
+  SSVBR_REQUIRE(scale > 0.0, "gamma scale must be positive");
+}
+
+double GammaDistribution::cdf(double y) const {
+  if (y <= 0.0) return 0.0;
+  return regularized_gamma_p(shape_, y / scale_);
+}
+
+double GammaDistribution::pdf(double y) const {
+  if (y <= 0.0) return 0.0;
+  const double x = y / scale_;
+  return std::exp((shape_ - 1.0) * std::log(x) - x - std::lgamma(shape_)) / scale_;
+}
+
+double GammaDistribution::quantile(double p) const {
+  SSVBR_REQUIRE(p > 0.0 && p < 1.0, "quantile requires p in (0, 1)");
+  return scale_ * inverse_regularized_gamma_p(shape_, p);
+}
+
+double GammaDistribution::sample(RandomEngine& rng) const {
+  // Marsaglia-Tsang squeeze method; for shape < 1 use the boosting
+  // identity G(k) = G(k+1) * U^{1/k}.
+  double shape = shape_;
+  double boost = 1.0;
+  if (shape < 1.0) {
+    boost = std::pow(rng.uniform_open(), 1.0 / shape);
+    shape += 1.0;
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = rng.normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.uniform_open();
+    const double x2 = x * x;
+    if (u < 1.0 - 0.0331 * x2 * x2) return boost * d * v * scale_;
+    if (std::log(u) < 0.5 * x2 + d * (1.0 - v + std::log(v))) return boost * d * v * scale_;
+  }
+}
+
+std::string GammaDistribution::describe() const {
+  std::ostringstream os;
+  os << "Gamma(shape=" << shape_ << ", scale=" << scale_ << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------- Pareto
+
+ParetoDistribution::ParetoDistribution(double alpha, double xm) : alpha_(alpha), xm_(xm) {
+  SSVBR_REQUIRE(alpha > 0.0, "pareto alpha must be positive");
+  SSVBR_REQUIRE(xm > 0.0, "pareto scale xm must be positive");
+}
+
+double ParetoDistribution::cdf(double y) const {
+  if (y <= xm_) return 0.0;
+  return 1.0 - std::pow(xm_ / y, alpha_);
+}
+
+double ParetoDistribution::pdf(double y) const {
+  if (y < xm_) return 0.0;
+  return alpha_ * std::pow(xm_, alpha_) / std::pow(y, alpha_ + 1.0);
+}
+
+double ParetoDistribution::quantile(double p) const {
+  SSVBR_REQUIRE(p >= 0.0 && p < 1.0, "quantile requires p in [0, 1)");
+  return xm_ * std::pow(1.0 - p, -1.0 / alpha_);
+}
+
+double ParetoDistribution::mean() const {
+  if (alpha_ <= 1.0) return kInf;
+  return alpha_ * xm_ / (alpha_ - 1.0);
+}
+
+double ParetoDistribution::variance() const {
+  if (alpha_ <= 2.0) return kInf;
+  return xm_ * xm_ * alpha_ / ((alpha_ - 1.0) * (alpha_ - 1.0) * (alpha_ - 2.0));
+}
+
+std::string ParetoDistribution::describe() const {
+  std::ostringstream os;
+  os << "Pareto(alpha=" << alpha_ << ", xm=" << xm_ << ")";
+  return os.str();
+}
+
+// ------------------------------------------------------------- Lognormal
+
+LognormalDistribution::LognormalDistribution(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+  SSVBR_REQUIRE(sigma > 0.0, "lognormal sigma must be positive");
+}
+
+double LognormalDistribution::cdf(double y) const {
+  if (y <= 0.0) return 0.0;
+  return normal_cdf((std::log(y) - mu_) / sigma_);
+}
+
+double LognormalDistribution::pdf(double y) const {
+  if (y <= 0.0) return 0.0;
+  const double z = (std::log(y) - mu_) / sigma_;
+  return normal_pdf(z) / (y * sigma_);
+}
+
+double LognormalDistribution::quantile(double p) const {
+  return std::exp(mu_ + sigma_ * normal_quantile(p));
+}
+
+double LognormalDistribution::mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+double LognormalDistribution::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+std::string LognormalDistribution::describe() const {
+  std::ostringstream os;
+  os << "Lognormal(mu=" << mu_ << ", sigma=" << sigma_ << ")";
+  return os.str();
+}
+
+// ----------------------------------------------------------- GammaPareto
+
+GammaParetoDistribution::GammaParetoDistribution(double shape, double scale, double split,
+                                                 double alpha, double tail_mass)
+    : body_(shape, scale),
+      tail_(alpha, split),
+      split_(split),
+      tail_mass_(tail_mass),
+      body_cdf_at_split_(body_.cdf(split)) {
+  SSVBR_REQUIRE(split > 0.0, "splice point must be positive");
+  SSVBR_REQUIRE(tail_mass > 0.0 && tail_mass < 1.0, "tail mass must lie in (0, 1)");
+  SSVBR_REQUIRE(body_cdf_at_split_ > 0.0,
+                "gamma body must carry positive mass below the splice point");
+}
+
+GammaParetoDistribution GammaParetoDistribution::with_continuous_density(double shape,
+                                                                         double scale,
+                                                                         double split,
+                                                                         double alpha) {
+  // Density continuity at the splice:
+  //   (1 - m) * f_gamma(split) / F_gamma(split) = m * f_pareto(split)
+  // where f_pareto(split) = alpha / split for a tail anchored at split.
+  const GammaDistribution body(shape, scale);
+  const double fg = body.pdf(split) / body.cdf(split);
+  const double fp = alpha / split;
+  SSVBR_REQUIRE(fg > 0.0, "gamma density must be positive at the splice point");
+  const double m = fg / (fg + fp);
+  return GammaParetoDistribution(shape, scale, split, alpha, m);
+}
+
+double GammaParetoDistribution::cdf(double y) const {
+  if (y < split_) {
+    return (1.0 - tail_mass_) * body_.cdf(y) / body_cdf_at_split_;
+  }
+  return (1.0 - tail_mass_) + tail_mass_ * tail_.cdf(y);
+}
+
+double GammaParetoDistribution::pdf(double y) const {
+  if (y < split_) {
+    return (1.0 - tail_mass_) * body_.pdf(y) / body_cdf_at_split_;
+  }
+  return tail_mass_ * tail_.pdf(y);
+}
+
+double GammaParetoDistribution::quantile(double p) const {
+  SSVBR_REQUIRE(p > 0.0 && p < 1.0, "quantile requires p in (0, 1)");
+  const double body_mass = 1.0 - tail_mass_;
+  if (p < body_mass) {
+    return body_.quantile(p / body_mass * body_cdf_at_split_);
+  }
+  return tail_.quantile((p - body_mass) / tail_mass_);
+}
+
+double GammaParetoDistribution::mean() const {
+  if (tail_.alpha() <= 1.0) return kInf;
+  // Truncated gamma mean below the splice:
+  //   E[Y; Y < s] = shape * scale * P(shape + 1, s / scale)
+  const double s = split_;
+  const double truncated =
+      body_.shape() * body_.scale() * regularized_gamma_p(body_.shape() + 1.0, s / body_.scale());
+  const double body_part = (1.0 - tail_mass_) * truncated / body_cdf_at_split_;
+  return body_part + tail_mass_ * tail_.mean();
+}
+
+double GammaParetoDistribution::variance() const {
+  if (tail_.alpha() <= 2.0) return kInf;
+  // Second moment of the truncated gamma body:
+  //   E[Y^2; Y < s] = shape (shape + 1) scale^2 P(shape + 2, s / scale)
+  const double k = body_.shape();
+  const double th = body_.scale();
+  const double s = split_;
+  const double m2_body = k * (k + 1.0) * th * th * regularized_gamma_p(k + 2.0, s / th) /
+                         body_cdf_at_split_;
+  const double a = tail_.alpha();
+  const double m2_tail = a * s * s / (a - 2.0);
+  const double m2 = (1.0 - tail_mass_) * m2_body + tail_mass_ * m2_tail;
+  const double m1 = mean();
+  return m2 - m1 * m1;
+}
+
+std::string GammaParetoDistribution::describe() const {
+  std::ostringstream os;
+  os << "GammaPareto(body=" << body_.describe() << ", split=" << split_
+     << ", tail=" << tail_.describe() << ", tail_mass=" << tail_mass_ << ")";
+  return os.str();
+}
+
+}  // namespace ssvbr

@@ -1,0 +1,132 @@
+// ssvbr/dist/distributions.h
+//
+// Concrete parametric distributions used throughout the reproduction:
+//
+//   * Normal      — background Gaussian marginals.
+//   * Gamma       — body of VBR frame-size marginals (Garrett &
+//                   Willinger, SIGCOMM '94, model the Star Wars trace
+//                   body as Gamma).
+//   * Pareto      — heavy upper tail of frame sizes; the source of the
+//                   "long tail far from Gaussian" noted in Section 3.
+//   * Lognormal   — alternative body model, used in tests/baselines.
+//   * GammaPareto — spliced Gamma body + Pareto tail with continuous
+//                   density at the splice point, the combined marginal
+//                   of Garrett & Willinger referenced by the paper.
+#pragma once
+
+#include <string>
+
+#include "dist/distribution.h"
+
+namespace ssvbr {
+
+/// Normal(mean, stddev).
+class NormalDistribution final : public Distribution {
+ public:
+  NormalDistribution(double mean, double stddev);
+  double cdf(double y) const override;
+  double pdf(double y) const override;
+  double quantile(double p) const override;
+  double mean() const override { return mean_; }
+  double variance() const override { return stddev_ * stddev_; }
+  double sample(RandomEngine& rng) const override;
+  std::string describe() const override;
+
+ private:
+  double mean_;
+  double stddev_;
+};
+
+/// Gamma(shape k, scale theta): density x^{k-1} e^{-x/theta} / (Gamma(k) theta^k).
+class GammaDistribution final : public Distribution {
+ public:
+  GammaDistribution(double shape, double scale);
+  double cdf(double y) const override;
+  double pdf(double y) const override;
+  double quantile(double p) const override;
+  double mean() const override { return shape_ * scale_; }
+  double variance() const override { return shape_ * scale_ * scale_; }
+  double sample(RandomEngine& rng) const override;  // Marsaglia-Tsang
+  std::string describe() const override;
+
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Pareto(alpha, xm): F(y) = 1 - (xm / y)^alpha for y >= xm.
+class ParetoDistribution final : public Distribution {
+ public:
+  ParetoDistribution(double alpha, double xm);
+  double cdf(double y) const override;
+  double pdf(double y) const override;
+  double quantile(double p) const override;
+  double mean() const override;      // +inf when alpha <= 1
+  double variance() const override;  // +inf when alpha <= 2
+  std::string describe() const override;
+
+  double alpha() const { return alpha_; }
+  double xm() const { return xm_; }
+
+ private:
+  double alpha_;
+  double xm_;
+};
+
+/// Lognormal(mu, sigma) of the underlying normal.
+class LognormalDistribution final : public Distribution {
+ public:
+  LognormalDistribution(double mu, double sigma);
+  double cdf(double y) const override;
+  double pdf(double y) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  double variance() const override;
+  std::string describe() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Spliced Gamma body + Pareto tail.
+///
+/// For y < split the distribution follows Gamma(shape, scale) rescaled
+/// to mass (1 - tail_mass); for y >= split it follows a Pareto(alpha,
+/// split) tail carrying `tail_mass`. This is the combined Gamma/Pareto
+/// marginal Garrett & Willinger fitted to the Star Wars trace and that
+/// the paper cites as the state of the art it builds upon.
+class GammaParetoDistribution final : public Distribution {
+ public:
+  /// `tail_mass` is P(Y >= split); must lie in (0, 1).
+  GammaParetoDistribution(double shape, double scale, double split, double alpha,
+                          double tail_mass);
+
+  /// Convenience factory: choose `tail_mass` so the density is
+  /// continuous at the splice point (matches the construction in
+  /// Garrett & Willinger).
+  static GammaParetoDistribution with_continuous_density(double shape, double scale,
+                                                         double split, double alpha);
+
+  double cdf(double y) const override;
+  double pdf(double y) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  double variance() const override;
+  std::string describe() const override;
+
+  double split() const { return split_; }
+  double tail_mass() const { return tail_mass_; }
+
+ private:
+  GammaDistribution body_;
+  ParetoDistribution tail_;
+  double split_;
+  double tail_mass_;
+  double body_cdf_at_split_;  // Gamma CDF at the splice, for rescaling
+};
+
+}  // namespace ssvbr

@@ -1,0 +1,98 @@
+#include "dist/random.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ssvbr {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+RandomEngine::RandomEngine(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+  // xoshiro's all-zero state is invalid; splitmix64 cannot produce four
+  // zero outputs in a row, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+RandomEngine::result_type RandomEngine::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double RandomEngine::uniform() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double RandomEngine::uniform_open() noexcept {
+  // (u + 0.5) * 2^-53 lies strictly inside (0, 1).
+  return (static_cast<double>((*this)() >> 11) + 0.5) * 0x1.0p-53;
+}
+
+double RandomEngine::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t RandomEngine::uniform_index(std::uint64_t n) noexcept {
+  if (n == 0) return 0;
+  // Rejection sampling on the top bits keeps the draw exactly uniform
+  // without 128-bit arithmetic.
+  const std::uint64_t limit = max() - max() % n;
+  for (;;) {
+    const std::uint64_t v = (*this)();
+    if (v < limit) return v % n;
+  }
+}
+
+double RandomEngine::normal() noexcept {
+  if (cached_normal_) {
+    const double v = *cached_normal_;
+    cached_normal_.reset();
+    return v;
+  }
+  const double u1 = uniform_open();
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = kTwoPi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  return radius * std::cos(angle);
+}
+
+double RandomEngine::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double RandomEngine::exponential() noexcept { return -std::log(uniform_open()); }
+
+RandomEngine RandomEngine::split() noexcept {
+  RandomEngine child(0);
+  for (auto& s : child.state_) s = (*this)();
+  if ((child.state_[0] | child.state_[1] | child.state_[2] | child.state_[3]) == 0) {
+    child.state_[0] = 1;
+  }
+  return child;
+}
+
+}  // namespace ssvbr

@@ -1,0 +1,176 @@
+#include "dist/special_functions.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace ssvbr {
+
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 1e-15;
+constexpr double kFpMin = std::numeric_limits<double>::min() / kEpsilon;
+
+// Series representation of P(a, x); converges quickly for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * kEpsilon) {
+      return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+    }
+  }
+  throw NumericalError("incomplete gamma series failed to converge");
+}
+
+// Continued-fraction representation of Q(a, x); converges for x >= a + 1.
+double gamma_q_continued_fraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = b + an / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) {
+      return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+    }
+  }
+  throw NumericalError("incomplete gamma continued fraction failed to converge");
+}
+
+}  // namespace
+
+double regularized_gamma_p(double a, double x) {
+  SSVBR_REQUIRE(a > 0.0, "gamma shape must be positive");
+  SSVBR_REQUIRE(x >= 0.0, "incomplete gamma argument must be non-negative");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_continued_fraction(a, x);
+}
+
+double regularized_gamma_q(double a, double x) {
+  SSVBR_REQUIRE(a > 0.0, "gamma shape must be positive");
+  SSVBR_REQUIRE(x >= 0.0, "incomplete gamma argument must be non-negative");
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_continued_fraction(a, x);
+}
+
+double inverse_regularized_gamma_p(double a, double p) {
+  SSVBR_REQUIRE(a > 0.0, "gamma shape must be positive");
+  SSVBR_REQUIRE(p >= 0.0 && p < 1.0, "probability must lie in [0, 1)");
+  if (p == 0.0) return 0.0;
+
+  // Initial guess (Numerical Recipes / Abramowitz-Stegun 26.4.17).
+  const double gln = std::lgamma(a);
+  double x;
+  if (a > 1.0) {
+    const double pp = p < 0.5 ? p : 1.0 - p;
+    const double t = std::sqrt(-2.0 * std::log(pp));
+    double z = (2.30753 + t * 0.27061) / (1.0 + t * (0.99229 + t * 0.04481)) - t;
+    if (p < 0.5) z = -z;
+    const double a1 = 1.0 / (9.0 * a);
+    x = a * std::pow(1.0 - a1 + z * std::sqrt(a1), 3.0);
+    if (x <= 0.0) x = 1e-8;
+  } else {
+    const double t = 1.0 - a * (0.253 + a * 0.12);
+    if (p < t) {
+      x = std::pow(p / t, 1.0 / a);
+    } else {
+      x = 1.0 - std::log(1.0 - (p - t) / (1.0 - t));
+    }
+  }
+
+  // Halley refinement of P(a, x) = p.
+  const double a1 = a - 1.0;
+  const double lna1 = a > 1.0 ? std::log(a1) : 0.0;
+  const double afac = a > 1.0 ? std::exp(a1 * (lna1 - 1.0) - gln) : 0.0;
+  for (int it = 0; it < 32; ++it) {
+    if (x <= 0.0) {
+      x = 1e-300;
+    }
+    const double err = regularized_gamma_p(a, x) - p;
+    double t;
+    if (a > 1.0) {
+      t = afac * std::exp(-(x - a1) + a1 * (std::log(x) - lna1));
+    } else {
+      t = std::exp(-x + a1 * std::log(x) - gln);
+    }
+    if (t == 0.0) break;
+    const double u = err / t;
+    // Halley step.
+    double dx = u / (1.0 - 0.5 * std::fmin(1.0, u * ((a - 1.0) / x - 1.0)));
+    x -= dx;
+    if (x <= 0.0) x = 0.5 * (x + dx);  // bisect back into the domain
+    if (std::fabs(dx) < 1e-12 * x) break;
+  }
+  return x;
+}
+
+double normal_pdf(double x) {
+  return std::exp(-0.5 * x * x) / std::sqrt(kTwoPi);
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / kSqrt2); }
+
+double normal_sf(double x) { return 0.5 * std::erfc(x / kSqrt2); }
+
+double normal_quantile(double p) {
+  SSVBR_REQUIRE(p > 0.0 && p < 1.0, "normal quantile requires p in (0, 1)");
+  // Wichura (1988), algorithm AS241, PPND16.
+  const double q = p - 0.5;
+  if (std::fabs(q) <= 0.425) {
+    const double r = 0.180625 - q * q;
+    return q *
+           (((((((2.5090809287301226727e3 * r + 3.3430575583588128105e4) * r +
+                 6.7265770927008700853e4) * r + 4.5921953931549871457e4) * r +
+               1.3731693765509461125e4) * r + 1.9715909503065514427e3) * r +
+             1.3314166789178437745e2) * r + 3.3871328727963666080e0) /
+           (((((((5.2264952788528545610e3 * r + 2.8729085735721942674e4) * r +
+                 3.9307895800092710610e4) * r + 2.1213794301586595867e4) * r +
+               5.3941960214247511077e3) * r + 6.8718700749205790830e2) * r +
+             4.2313330701600911252e1) * r + 1.0);
+  }
+  double r = q < 0.0 ? p : 1.0 - p;
+  r = std::sqrt(-std::log(r));
+  double value;
+  if (r <= 5.0) {
+    r -= 1.6;
+    value = (((((((7.74545014278341407640e-4 * r + 2.27238449892691845833e-2) * r +
+                  2.41780725177450611770e-1) * r + 1.27045825245236838258e0) * r +
+                3.64784832476320460504e0) * r + 5.76949722146069140550e0) * r +
+              4.63033784615654529590e0) * r + 1.42343711074968357734e0) /
+            (((((((1.05075007164441684324e-9 * r + 5.47593808499534494600e-4) * r +
+                  1.51986665636164571966e-2) * r + 1.48103976427480074590e-1) * r +
+                6.89767334985100004550e-1) * r + 1.67638483018380384940e0) * r +
+              2.05319162663775882187e0) * r + 1.0);
+  } else {
+    r -= 5.0;
+    value = (((((((2.01033439929228813265e-7 * r + 2.71155556874348757815e-5) * r +
+                  1.24266094738807843860e-3) * r + 2.65321895265761230930e-2) * r +
+                2.96560571828504891230e-1) * r + 1.78482653991729133580e0) * r +
+              5.46378491116411436990e0) * r + 6.65790464350110377720e0) /
+            (((((((2.04426310338993978564e-15 * r + 1.42151175831644588870e-7) * r +
+                  1.84631831751005468180e-5) * r + 7.86869131145613259100e-4) * r +
+                1.48753612908506148525e-2) * r + 1.36929880922735805310e-1) * r +
+              5.99832206555887937690e-1) * r + 1.0);
+  }
+  return q < 0.0 ? -value : value;
+}
+
+}  // namespace ssvbr

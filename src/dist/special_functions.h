@@ -1,0 +1,41 @@
+// ssvbr/dist/special_functions.h
+//
+// Special functions required by the distribution substrate:
+//   * regularized lower/upper incomplete gamma P(a,x) / Q(a,x)
+//     (series + continued fraction, Numerical-Recipes style),
+//   * inverse of the regularized incomplete gamma (Newton on P),
+//   * standard normal CDF and its inverse (Wichura's AS241 algorithm,
+//     accurate to ~1e-15 over the full double range).
+//
+// These are the building blocks for Gamma CDFs/quantiles and the
+// histogram-inversion transform h(x) = F_Y^{-1}(Phi(x)) at the heart of
+// the paper's unified model (eq. (7)).
+#pragma once
+
+namespace ssvbr {
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a,x) / Gamma(a).
+/// Requires a > 0, x >= 0.
+double regularized_gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double regularized_gamma_q(double a, double x);
+
+/// Inverse of P(a, .): returns x such that P(a, x) = p. Requires
+/// a > 0 and p in [0, 1); returns 0 for p == 0.
+double inverse_regularized_gamma_p(double a, double p);
+
+/// Standard normal cumulative distribution function Phi(x).
+double normal_cdf(double x);
+
+/// Standard normal survival function 1 - Phi(x), accurate in the tail.
+double normal_sf(double x);
+
+/// Inverse standard normal CDF (quantile function), AS241. Requires
+/// p in (0, 1).
+double normal_quantile(double p);
+
+/// Standard normal density phi(x).
+double normal_pdf(double x);
+
+}  // namespace ssvbr

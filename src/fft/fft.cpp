@@ -1,0 +1,124 @@
+#include "fft/fft.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace ssvbr::fft {
+
+namespace {
+
+// Bit-reversal permutation for the iterative radix-2 kernel.
+void bit_reverse_permute(std::span<Complex> data) {
+  const std::size_t n = data.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+}
+
+// Radix-2 Cooley-Tukey; `sign` is -1 for the forward transform and +1
+// for the inverse (mathematics convention e^{sign * 2*pi*i*k/n}).
+void fft_pow2(std::span<Complex> data, int sign) {
+  const std::size_t n = data.size();
+  SSVBR_REQUIRE(is_power_of_two(n), "FFT length must be a power of two");
+  bit_reverse_permute(data);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = static_cast<double>(sign) * kTwoPi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void forward_pow2(std::span<Complex> data) { fft_pow2(data, -1); }
+
+void inverse_pow2(std::span<Complex> data) { fft_pow2(data, +1); }
+
+std::vector<Complex> forward(std::span<const Complex> data) {
+  const std::size_t n = data.size();
+  SSVBR_REQUIRE(n > 0, "FFT input must be non-empty");
+  if (is_power_of_two(n)) {
+    std::vector<Complex> out(data.begin(), data.end());
+    forward_pow2(out);
+    return out;
+  }
+  // Bluestein: x_k * chirp_k convolved with the conjugate chirp.
+  // chirp_k = e^{-i*pi*k^2/n}; indices are reduced mod 2n to keep the
+  // chirp argument bounded (k^2 overflows double precision of the angle
+  // for large k otherwise).
+  const std::size_t m = next_power_of_two(2 * n + 1);
+  std::vector<Complex> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t k2 = (k * k) % (2 * n);
+    const double angle = -kPi * static_cast<double>(k2) / static_cast<double>(n);
+    chirp[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+  std::vector<Complex> a(m, Complex(0.0, 0.0));
+  std::vector<Complex> b(m, Complex(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) a[k] = data[k] * chirp[k];
+  b[0] = std::conj(chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    b[k] = std::conj(chirp[k]);
+    b[m - k] = std::conj(chirp[k]);
+  }
+  forward_pow2(a);
+  forward_pow2(b);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  inverse_pow2(a);
+  std::vector<Complex> out(n);
+  const double scale = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * scale * chirp[k];
+  return out;
+}
+
+std::vector<Complex> inverse(std::span<const Complex> data) {
+  const std::size_t n = data.size();
+  SSVBR_REQUIRE(n > 0, "FFT input must be non-empty");
+  // inverse(x) = conj(forward(conj(x))) / n
+  std::vector<Complex> tmp(n);
+  for (std::size_t k = 0; k < n; ++k) tmp[k] = std::conj(data[k]);
+  std::vector<Complex> fwd = forward(tmp);
+  const double scale = 1.0 / static_cast<double>(n);
+  for (std::size_t k = 0; k < n; ++k) fwd[k] = std::conj(fwd[k]) * scale;
+  return fwd;
+}
+
+std::vector<Complex> forward_real(std::span<const double> data) {
+  std::vector<Complex> tmp(data.size());
+  for (std::size_t k = 0; k < data.size(); ++k) tmp[k] = Complex(data[k], 0.0);
+  return forward(tmp);
+}
+
+std::vector<Complex> circular_convolution(std::span<const Complex> a,
+                                          std::span<const Complex> b) {
+  SSVBR_REQUIRE(a.size() == b.size(), "circular convolution needs equal lengths");
+  std::vector<Complex> fa = forward(a);
+  const std::vector<Complex> fb = forward(b);
+  for (std::size_t k = 0; k < fa.size(); ++k) fa[k] *= fb[k];
+  return inverse(fa);
+}
+
+std::vector<double> periodogram(std::span<const double> data) {
+  const std::vector<Complex> f = forward_real(data);
+  std::vector<double> out(f.size());
+  const double scale = 1.0 / static_cast<double>(data.size());
+  for (std::size_t k = 0; k < f.size(); ++k) out[k] = std::norm(f[k]) * scale;
+  return out;
+}
+
+}  // namespace ssvbr::fft

@@ -1,0 +1,56 @@
+// ssvbr/fft/fft.h
+//
+// Minimal self-contained FFT substrate.
+//
+// Provides:
+//   * an iterative radix-2 decimation-in-time complex FFT,
+//   * a Bluestein (chirp-z) transform for arbitrary lengths,
+//   * convenience helpers for real input and circular convolution.
+//
+// This substrate backs two users in the library:
+//   * the Davies-Harte exact fractional-Gaussian-noise generator
+//     (circulant embedding of the target covariance), and
+//   * O(n log n) estimation of long autocorrelation functions from
+//     multi-hundred-thousand-frame traces.
+//
+// The implementation is deliberately dependency-free; for the problem
+// sizes in this repository (n <= ~2^22) the plain radix-2 kernel is more
+// than fast enough.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ssvbr::fft {
+
+using Complex = std::complex<double>;
+
+/// In-place forward FFT of `data`; size must be a power of two.
+/// Unnormalized: inverse(forward(x)) == n * x.
+void forward_pow2(std::span<Complex> data);
+
+/// In-place inverse FFT (unnormalized) of `data`; size must be a power of two.
+void inverse_pow2(std::span<Complex> data);
+
+/// Forward DFT of arbitrary length via Bluestein's algorithm.
+/// Returns the transform; input is unmodified. Unnormalized.
+std::vector<Complex> forward(std::span<const Complex> data);
+
+/// Inverse DFT of arbitrary length (normalized by 1/n so that
+/// inverse(forward(x)) == x).
+std::vector<Complex> inverse(std::span<const Complex> data);
+
+/// Forward DFT of real input of arbitrary length. Returns all n complex bins.
+std::vector<Complex> forward_real(std::span<const double> data);
+
+/// Circular convolution of two equal-length complex sequences via FFT.
+std::vector<Complex> circular_convolution(std::span<const Complex> a,
+                                          std::span<const Complex> b);
+
+/// Power spectrum |F{x}|^2 / n of a real sequence, used by the
+/// Wiener-Khinchin autocorrelation estimator.
+std::vector<double> periodogram(std::span<const double> data);
+
+}  // namespace ssvbr::fft

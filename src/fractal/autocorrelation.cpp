@@ -1,0 +1,180 @@
+#include "fractal/autocorrelation.h"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+
+namespace ssvbr::fractal {
+
+std::vector<double> AutocorrelationModel::tabulate(std::size_t max_lag) const {
+  std::vector<double> r(max_lag + 1);
+  for (std::size_t k = 0; k <= max_lag; ++k) r[k] = (*this)(static_cast<double>(k));
+  return r;
+}
+
+// -------------------------------------------------------------------- FGN
+
+FgnAutocorrelation::FgnAutocorrelation(double hurst) : hurst_(hurst) {
+  SSVBR_REQUIRE(hurst > 0.0 && hurst < 1.0, "Hurst parameter must lie in (0, 1)");
+}
+
+double FgnAutocorrelation::operator()(double tau) const {
+  if (tau == 0.0) return 1.0;
+  const double h2 = 2.0 * hurst_;
+  const double k = std::fabs(tau);
+  return 0.5 * (std::pow(k + 1.0, h2) - 2.0 * std::pow(k, h2) +
+                std::pow(std::fabs(k - 1.0), h2));
+}
+
+std::string FgnAutocorrelation::describe() const {
+  std::ostringstream os;
+  os << "FGN(H=" << hurst_ << ")";
+  return os.str();
+}
+
+// ----------------------------------------------------------------- FARIMA
+
+FarimaAutocorrelation::FarimaAutocorrelation(double d) : d_(d) {
+  SSVBR_REQUIRE(d > 0.0 && d < 0.5, "F-ARIMA(0,d,0) requires d in (0, 0.5)");
+}
+
+double FarimaAutocorrelation::operator()(double tau) const {
+  if (tau == 0.0) return 1.0;
+  const double k = std::fabs(tau);
+  // r(k) = Gamma(1-d) Gamma(k+d) / ( Gamma(d) Gamma(k+1-d) ), evaluated
+  // through lgamma for numerical range.
+  const double logr = std::lgamma(1.0 - d_) + std::lgamma(k + d_) - std::lgamma(d_) -
+                      std::lgamma(k + 1.0 - d_);
+  return std::exp(logr);
+}
+
+std::string FarimaAutocorrelation::describe() const {
+  std::ostringstream os;
+  os << "FARIMA(0, d=" << d_ << ", 0)";
+  return os.str();
+}
+
+// ------------------------------------------------------------ Exponential
+
+ExponentialAutocorrelation::ExponentialAutocorrelation(double lambda) : lambda_(lambda) {
+  SSVBR_REQUIRE(lambda > 0.0, "exponential decay rate must be positive");
+}
+
+double ExponentialAutocorrelation::operator()(double tau) const {
+  return std::exp(-lambda_ * std::fabs(tau));
+}
+
+std::string ExponentialAutocorrelation::describe() const {
+  std::ostringstream os;
+  os << "Exponential(lambda=" << lambda_ << ")";
+  return os.str();
+}
+
+// -------------------------------------------------------------- Composite
+
+CompositeSrdLrdAutocorrelation::CompositeSrdLrdAutocorrelation(double lambda,
+                                                               double lrd_scale,
+                                                               double beta, double knee)
+    : lambda_(lambda), lrd_scale_(lrd_scale), beta_(beta), knee_(knee) {
+  SSVBR_REQUIRE(lambda > 0.0, "SRD rate lambda must be positive");
+  SSVBR_REQUIRE(lrd_scale > 0.0, "LRD scale L must be positive");
+  SSVBR_REQUIRE(beta > 0.0 && beta < 1.0,
+                "LRD exponent beta must lie in (0, 1) for long-range dependence");
+  SSVBR_REQUIRE(knee >= 1.0, "knee lag must be at least 1");
+  SSVBR_REQUIRE(lrd_scale * std::pow(knee, -beta) <= 1.0 + 1e-12,
+                "LRD branch exceeds 1 at the knee; not a correlation");
+}
+
+CompositeSrdLrdAutocorrelation CompositeSrdLrdAutocorrelation::with_continuity(
+    double lrd_scale, double beta, double knee) {
+  SSVBR_REQUIRE(knee >= 1.0, "knee lag must be at least 1");
+  const double value_at_knee = lrd_scale * std::pow(knee, -beta);
+  SSVBR_REQUIRE(value_at_knee > 0.0 && value_at_knee < 1.0,
+                "LRD branch value at the knee must lie in (0, 1) to solve eq. (14)");
+  const double lambda = -std::log(value_at_knee) / knee;  // eq. (14)
+  return CompositeSrdLrdAutocorrelation(lambda, lrd_scale, beta, knee);
+}
+
+double CompositeSrdLrdAutocorrelation::operator()(double tau) const {
+  if (tau == 0.0) return 1.0;
+  const double k = std::fabs(tau);
+  if (k < knee_) return std::exp(-lambda_ * k);
+  return lrd_scale_ * std::pow(k, -beta_);
+}
+
+std::string CompositeSrdLrdAutocorrelation::describe() const {
+  std::ostringstream os;
+  os << "CompositeSrdLrd(lambda=" << lambda_ << ", L=" << lrd_scale_ << ", beta=" << beta_
+     << ", knee=" << knee_ << ")";
+  return os.str();
+}
+
+// --------------------------------------------------------------- Rescaled
+
+RescaledAutocorrelation::RescaledAutocorrelation(AutocorrelationPtr inner, double period)
+    : inner_(std::move(inner)), period_(period) {
+  SSVBR_REQUIRE(inner_ != nullptr, "inner correlation must not be null");
+  SSVBR_REQUIRE(period > 0.0, "rescaling period must be positive");
+}
+
+double RescaledAutocorrelation::operator()(double tau) const {
+  return (*inner_)(std::fabs(tau) / period_);
+}
+
+std::string RescaledAutocorrelation::describe() const {
+  std::ostringstream os;
+  os << "Rescaled(" << inner_->describe() << ", period=" << period_ << ")";
+  return os.str();
+}
+
+// ----------------------------------------------------------------- Scaled
+
+ScaledAutocorrelation::ScaledAutocorrelation(AutocorrelationPtr inner, double attenuation)
+    : inner_(std::move(inner)), attenuation_(attenuation) {
+  SSVBR_REQUIRE(inner_ != nullptr, "inner correlation must not be null");
+  SSVBR_REQUIRE(attenuation > 0.0 && attenuation <= 1.0,
+                "attenuation factor must lie in (0, 1]");
+}
+
+double ScaledAutocorrelation::operator()(double tau) const {
+  if (tau == 0.0) return 1.0;
+  const double v = (*inner_)(tau) / attenuation_;
+  return v > 1.0 ? 1.0 : v;
+}
+
+std::string ScaledAutocorrelation::describe() const {
+  std::ostringstream os;
+  os << "Scaled(" << inner_->describe() << ", a=" << attenuation_ << ")";
+  return os.str();
+}
+
+// --------------------------------------------------------------- Validity
+
+bool is_valid_correlation(const AutocorrelationModel& model, std::size_t horizon) {
+  // Durbin-Levinson with only the previous row retained: the covariance
+  // r(0..horizon) is positive definite iff every partial correlation
+  // phi_kk lies strictly inside (-1, 1).
+  if (horizon < 1) return true;
+  const std::vector<double> r = model.tabulate(horizon);
+  std::vector<double> phi_prev(horizon + 1, 0.0);
+  std::vector<double> phi(horizon + 1, 0.0);
+  double v = 1.0;
+  for (std::size_t k = 1; k <= horizon; ++k) {
+    double num = r[k];
+    for (std::size_t j = 1; j < k; ++j) num -= phi_prev[j] * r[k - j];
+    const double phi_kk = num / v;
+    if (!(phi_kk > -1.0 && phi_kk < 1.0) || !std::isfinite(phi_kk)) return false;
+    for (std::size_t j = 1; j < k; ++j) {
+      phi[j] = phi_prev[j] - phi_kk * phi_prev[k - j];
+    }
+    phi[k] = phi_kk;
+    v *= 1.0 - phi_kk * phi_kk;
+    if (!(v > 0.0)) return false;
+    std::swap(phi, phi_prev);
+  }
+  return true;
+}
+
+}  // namespace ssvbr::fractal

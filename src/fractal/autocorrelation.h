@@ -1,0 +1,159 @@
+// ssvbr/fractal/autocorrelation.h
+//
+// Autocorrelation models for stationary Gaussian background processes.
+//
+// Hosking's generation method (Section 2 of the paper) works for *any*
+// causal Gaussian process once its autocorrelation function r(k) is
+// known. The paper exploits this by plugging in a composite SRD+LRD
+// correlation (eq. (10)-(13)) instead of the usual FGN/F-ARIMA forms.
+// This header provides all correlation families used in the paper:
+//
+//   * FgnAutocorrelation          — exactly self-similar fractional
+//                                   Gaussian noise, the Fig. 17
+//                                   "LRD-only" baseline;
+//   * FarimaAutocorrelation       — F-ARIMA(0, d, 0), the Garrett &
+//                                   Willinger background (d = H - 1/2);
+//   * ExponentialAutocorrelation  — AR(1)-like SRD-only baseline;
+//   * CompositeSrdLrdAutocorrelation — the paper's unified model;
+//   * RescaledAutocorrelation     — r(k) = inner(k / K), the I-frame
+//                                   period rescaling of eq. (15);
+//   * ScaledAutocorrelation       — r(k) / a for k >= 1, the
+//                                   attenuation compensation of Step 4.
+//
+// All models evaluate at continuous lag tau >= 0 with r(0) = 1 so that
+// the GOP rescaling (which produces fractional lags) is well defined.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ssvbr::fractal {
+
+/// Stationary autocorrelation function r(tau), tau >= 0, r(0) = 1.
+class AutocorrelationModel {
+ public:
+  virtual ~AutocorrelationModel() = default;
+
+  /// Correlation at continuous lag tau >= 0.
+  virtual double operator()(double tau) const = 0;
+
+  /// Human-readable description.
+  virtual std::string describe() const = 0;
+
+  /// Tabulate r(0..max_lag) at integer lags.
+  std::vector<double> tabulate(std::size_t max_lag) const;
+};
+
+using AutocorrelationPtr = std::shared_ptr<const AutocorrelationModel>;
+
+/// Exact fractional-Gaussian-noise correlation:
+///   r(k) = ( |k+1|^{2H} - 2|k|^{2H} + |k-1|^{2H} ) / 2.
+class FgnAutocorrelation final : public AutocorrelationModel {
+ public:
+  explicit FgnAutocorrelation(double hurst);
+  double operator()(double tau) const override;
+  std::string describe() const override;
+  double hurst() const { return hurst_; }
+
+ private:
+  double hurst_;
+};
+
+/// F-ARIMA(0, d, 0) correlation (Hosking 1981):
+///   r(k) = Gamma(1-d) Gamma(k+d) / ( Gamma(d) Gamma(k+1-d) ),
+/// asymptotically self-similar with H = d + 1/2.
+class FarimaAutocorrelation final : public AutocorrelationModel {
+ public:
+  explicit FarimaAutocorrelation(double d);
+  double operator()(double tau) const override;
+  std::string describe() const override;
+  double d() const { return d_; }
+  double hurst() const { return d_ + 0.5; }
+
+ private:
+  double d_;
+};
+
+/// Pure exponential decay r(k) = exp(-lambda k): the SRD-only model of
+/// Fig. 17 (equivalently the correlation of a Gaussian AR(1) with
+/// coefficient exp(-lambda)).
+class ExponentialAutocorrelation final : public AutocorrelationModel {
+ public:
+  explicit ExponentialAutocorrelation(double lambda);
+  double operator()(double tau) const override;
+  std::string describe() const override;
+  double lambda() const { return lambda_; }
+
+ private:
+  double lambda_;
+};
+
+/// The paper's composite model (one SRD exponential, eq. (13)):
+///   r(k) = exp(-lambda k)   for k <  knee
+///   r(k) = L k^{-beta}      for k >= knee
+/// The constructor does not force continuity at the knee; use
+/// `with_continuity` to re-solve lambda from eq. (14).
+class CompositeSrdLrdAutocorrelation final : public AutocorrelationModel {
+ public:
+  CompositeSrdLrdAutocorrelation(double lambda, double lrd_scale, double beta,
+                                 double knee);
+
+  /// Paper Step 4 / eq. (14): given the LRD branch and the knee, choose
+  /// lambda so that exp(-lambda * knee) equals the LRD branch value at
+  /// the knee — making the composite continuous.
+  static CompositeSrdLrdAutocorrelation with_continuity(double lrd_scale, double beta,
+                                                        double knee);
+
+  double operator()(double tau) const override;
+  std::string describe() const override;
+
+  double lambda() const { return lambda_; }
+  double lrd_scale() const { return lrd_scale_; }
+  double beta() const { return beta_; }
+  double knee() const { return knee_; }
+  double hurst() const { return 1.0 - beta_ / 2.0; }
+
+ private:
+  double lambda_;
+  double lrd_scale_;
+  double beta_;
+  double knee_;
+};
+
+/// GOP rescaling of eq. (15): r(tau) = inner(tau / period). Models the
+/// frame-level correlation implied by an I-frame-level correlation when
+/// I frames recur every `period` frames.
+class RescaledAutocorrelation final : public AutocorrelationModel {
+ public:
+  RescaledAutocorrelation(AutocorrelationPtr inner, double period);
+  double operator()(double tau) const override;
+  std::string describe() const override;
+
+ private:
+  AutocorrelationPtr inner_;
+  double period_;
+};
+
+/// Attenuation compensation of Step 4: r(tau) = min(1, inner(tau) / a)
+/// for tau > 0. The clamp keeps the function a correlation when the
+/// measured attenuation would push early lags above 1.
+class ScaledAutocorrelation final : public AutocorrelationModel {
+ public:
+  ScaledAutocorrelation(AutocorrelationPtr inner, double attenuation);
+  double operator()(double tau) const override;
+  std::string describe() const override;
+
+ private:
+  AutocorrelationPtr inner_;
+  double attenuation_;
+};
+
+/// Check that r(0..horizon) defines a positive-definite covariance by
+/// running the Durbin-Levinson recursion and verifying every partial
+/// correlation lies in (-1, 1). Returns false (rather than throwing) on
+/// failure so callers can probe candidate fits.
+bool is_valid_correlation(const AutocorrelationModel& model, std::size_t horizon);
+
+}  // namespace ssvbr::fractal

@@ -1,0 +1,74 @@
+#include "fractal/davies_harte.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "fft/fft.h"
+
+namespace ssvbr::fractal {
+
+DaviesHarteModel::DaviesHarteModel(const AutocorrelationModel& model, std::size_t n,
+                                   double tolerance)
+    : n_(n) {
+  SSVBR_REQUIRE(n >= 2, "path length must be at least 2");
+  // Embed r(0..half) into a circulant of power-of-two size m = 2*half so
+  // the radix-2 kernel applies directly: c_j = r(j) for j <= half,
+  // c_j = r(m - j) for j > half. half >= n guarantees the first n
+  // samples carry the exact target covariance.
+  m_ = next_power_of_two(2 * n);
+  const std::size_t half = m_ / 2;
+  const std::vector<double> r = model.tabulate(half);
+  std::vector<fft::Complex> c(m_);
+  for (std::size_t j = 0; j <= half; ++j) c[j] = fft::Complex(r[j], 0.0);
+  for (std::size_t j = half + 1; j < m_; ++j) c[j] = fft::Complex(r[m_ - j], 0.0);
+  fft::forward_pow2(c);
+
+  sqrt_eigenvalues_.resize(m_);
+  double neg_mass = 0.0;
+  double total_mass = 0.0;
+  for (std::size_t k = 0; k < m_; ++k) {
+    const double lambda = c[k].real();
+    total_mass += std::fabs(lambda);
+    if (lambda < 0.0) {
+      neg_mass += -lambda;
+      sqrt_eigenvalues_[k] = 0.0;
+    } else {
+      sqrt_eigenvalues_[k] = std::sqrt(lambda);
+    }
+  }
+  clipped_mass_ = total_mass > 0.0 ? neg_mass / total_mass : 0.0;
+  if (clipped_mass_ > tolerance) {
+    throw NumericalError("circulant embedding of '" + model.describe() +
+                         "' has negative eigenvalue mass " +
+                         std::to_string(clipped_mass_) + " beyond tolerance");
+  }
+}
+
+void DaviesHarteModel::sample_path(RandomEngine& rng, std::span<double> out) const {
+  SSVBR_REQUIRE(out.size() >= n_, "output span shorter than path length");
+  // Hermitian-symmetric spectral synthesis: Z_0 and Z_{m/2} are real;
+  // interior bins get independent complex Gaussians with half variance.
+  std::vector<fft::Complex> z(m_);
+  const std::size_t half = m_ / 2;
+  z[0] = fft::Complex(sqrt_eigenvalues_[0] * rng.normal(), 0.0);
+  z[half] = fft::Complex(sqrt_eigenvalues_[half] * rng.normal(), 0.0);
+  const double inv_sqrt2 = 1.0 / kSqrt2;
+  for (std::size_t k = 1; k < half; ++k) {
+    const double a = rng.normal() * inv_sqrt2;
+    const double b = rng.normal() * inv_sqrt2;
+    z[k] = sqrt_eigenvalues_[k] * fft::Complex(a, b);
+    z[m_ - k] = std::conj(z[k]);
+  }
+  fft::forward_pow2(z);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(m_));
+  for (std::size_t j = 0; j < n_; ++j) out[j] = z[j].real() * scale;
+}
+
+std::vector<double> DaviesHarteModel::sample(RandomEngine& rng) const {
+  std::vector<double> out(n_);
+  sample_path(rng, out);
+  return out;
+}
+
+}  // namespace ssvbr::fractal

@@ -1,0 +1,155 @@
+#include "fractal/hosking.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ssvbr::fractal {
+
+namespace {
+// Offset of packed triangular row k (k >= 1): rows 1..k-1 occupy
+// 1 + 2 + ... + (k-1) = k(k-1)/2 slots.
+constexpr std::size_t row_offset(std::size_t k) noexcept { return k * (k - 1) / 2; }
+}  // namespace
+
+HoskingModel::HoskingModel(const AutocorrelationModel& model, std::size_t horizon)
+    : horizon_(horizon) {
+  SSVBR_REQUIRE(horizon >= 1, "horizon must be at least 1");
+  r_ = model.tabulate(horizon);  // r(0..horizon); one extra lag is harmless
+  v_.resize(horizon);
+  row_sum_.resize(horizon);
+  phi_.resize(row_offset(horizon));
+
+  v_[0] = 1.0;
+  row_sum_[0] = 0.0;
+  std::vector<double> prev;  // phi_{k-1, 1..k-1}
+  std::vector<double> cur;
+  prev.reserve(horizon);
+  cur.reserve(horizon);
+  for (std::size_t k = 1; k < horizon; ++k) {
+    double num = r_[k];
+    for (std::size_t j = 1; j < k; ++j) num -= prev[j - 1] * r_[k - j];
+    const double phi_kk = num / v_[k - 1];
+    if (!(phi_kk > -1.0 && phi_kk < 1.0) || !std::isfinite(phi_kk)) {
+      throw NumericalError("correlation '" + model.describe() +
+                           "' is not positive definite at lag " + std::to_string(k));
+    }
+    cur.resize(k);
+    for (std::size_t j = 1; j < k; ++j) {
+      cur[j - 1] = prev[j - 1] - phi_kk * prev[k - j - 1];
+    }
+    cur[k - 1] = phi_kk;
+
+    v_[k] = v_[k - 1] * (1.0 - phi_kk * phi_kk);
+    if (!(v_[k] > 0.0)) {
+      throw NumericalError("innovation variance vanished at lag " + std::to_string(k) +
+                           " for correlation '" + model.describe() + "'");
+    }
+    double s = 0.0;
+    for (const double c : cur) s += c;
+    row_sum_[k] = s;
+
+    double* dst = phi_.data() + row_offset(k);
+    for (std::size_t j = 0; j < k; ++j) dst[j] = cur[j];
+    std::swap(prev, cur);
+  }
+}
+
+double HoskingModel::innovation_variance(std::size_t k) const {
+  SSVBR_REQUIRE(k < horizon_, "step index out of horizon");
+  return v_[k];
+}
+
+std::span<const double> HoskingModel::phi_row(std::size_t k) const {
+  SSVBR_REQUIRE(k >= 1 && k < horizon_, "phi rows exist for 1 <= k < horizon");
+  return {phi_.data() + row_offset(k), k};
+}
+
+double HoskingModel::phi_row_sum(std::size_t k) const {
+  SSVBR_REQUIRE(k < horizon_, "step index out of horizon");
+  return row_sum_[k];
+}
+
+double HoskingModel::conditional_mean(std::size_t k,
+                                      std::span<const double> history) const {
+  if (k == 0) return 0.0;
+  SSVBR_REQUIRE(history.size() >= k, "history shorter than step index");
+  const std::span<const double> row = phi_row(k);
+  double m = 0.0;
+  for (std::size_t j = 1; j <= k; ++j) m += row[j - 1] * history[k - j];
+  return m;
+}
+
+void HoskingModel::sample_path(RandomEngine& rng, std::span<double> out) const {
+  const std::size_t n = out.size() < horizon_ ? out.size() : horizon_;
+  if (n == 0) return;
+  out[0] = rng.normal(0.0, 1.0);
+  for (std::size_t k = 1; k < n; ++k) {
+    const std::span<const double> row = phi_row(k);
+    double m = 0.0;
+    for (std::size_t j = 1; j <= k; ++j) m += row[j - 1] * out[k - j];
+    out[k] = rng.normal(m, std::sqrt(v_[k]));
+  }
+}
+
+HoskingSampler::HoskingSampler(const HoskingModel& model, double mean_shift)
+    : model_(&model), mean_shift_(mean_shift) {
+  history_.reserve(model.horizon());
+}
+
+HoskingStep HoskingSampler::next(RandomEngine& rng) {
+  const std::size_t k = history_.size();
+  SSVBR_REQUIRE(k < model_->horizon(), "sampler exhausted its horizon");
+  HoskingStep step;
+  step.variance = model_->innovation_variance(k);
+  if (k == 0) {
+    step.conditional_mean = mean_shift_;
+  } else {
+    // Conditional mean of the shifted process X' = X + m* given its own
+    // past x'_0..x'_{k-1}: m* + sum_j phi_{k,j} (x'_{k-j} - m*)
+    //                    = m*(1 - S_k) + sum_j phi_{k,j} x'_{k-j}.
+    const double m = model_->conditional_mean(k, history_);
+    step.conditional_mean = mean_shift_ * (1.0 - model_->phi_row_sum(k)) + m;
+  }
+  step.value = rng.normal(step.conditional_mean, std::sqrt(step.variance));
+  history_.push_back(step.value);
+  return step;
+}
+
+std::vector<double> hosking_sample_streaming(const AutocorrelationModel& model,
+                                             std::size_t n, RandomEngine& rng) {
+  SSVBR_REQUIRE(n >= 1, "path length must be at least 1");
+  const std::vector<double> r = model.tabulate(n);
+  std::vector<double> x(n);
+  x[0] = rng.normal(0.0, 1.0);
+  std::vector<double> prev;
+  std::vector<double> cur;
+  prev.reserve(n);
+  cur.reserve(n);
+  double v = 1.0;
+  for (std::size_t k = 1; k < n; ++k) {
+    double num = r[k];
+    for (std::size_t j = 1; j < k; ++j) num -= prev[j - 1] * r[k - j];
+    const double phi_kk = num / v;
+    if (!(phi_kk > -1.0 && phi_kk < 1.0) || !std::isfinite(phi_kk)) {
+      throw NumericalError("correlation '" + model.describe() +
+                           "' is not positive definite at lag " + std::to_string(k));
+    }
+    cur.resize(k);
+    for (std::size_t j = 1; j < k; ++j) {
+      cur[j - 1] = prev[j - 1] - phi_kk * prev[k - j - 1];
+    }
+    cur[k - 1] = phi_kk;
+    v *= 1.0 - phi_kk * phi_kk;
+    if (!(v > 0.0)) {
+      throw NumericalError("innovation variance vanished at lag " + std::to_string(k));
+    }
+    double m = 0.0;
+    for (std::size_t j = 1; j <= k; ++j) m += cur[j - 1] * x[k - j];
+    x[k] = rng.normal(m, std::sqrt(v));
+    std::swap(prev, cur);
+  }
+  return x;
+}
+
+}  // namespace ssvbr::fractal

@@ -1,0 +1,111 @@
+#include "fractal/hurst.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "stats/descriptive.h"
+
+namespace ssvbr::fractal {
+
+namespace {
+
+// Log-spaced distinct integer levels in [lo, hi].
+std::vector<std::size_t> log_spaced_levels(std::size_t lo, std::size_t hi,
+                                           std::size_t count) {
+  SSVBR_REQUIRE(lo >= 1 && hi >= lo, "invalid level range");
+  std::set<std::size_t> levels;
+  const double llo = std::log(static_cast<double>(lo));
+  const double lhi = std::log(static_cast<double>(hi));
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = count > 1 ? static_cast<double>(i) / static_cast<double>(count - 1)
+                               : 0.0;
+    levels.insert(static_cast<std::size_t>(std::lround(std::exp(llo + t * (lhi - llo)))));
+  }
+  return {levels.begin(), levels.end()};
+}
+
+}  // namespace
+
+VarianceTimeResult variance_time_analysis(std::span<const double> xs,
+                                          const VarianceTimeOptions& options) {
+  SSVBR_REQUIRE(xs.size() >= 100, "variance-time analysis needs at least 100 samples");
+  const std::size_t max_m = options.max_m == 0 ? xs.size() / 10 : options.max_m;
+  SSVBR_REQUIRE(max_m > options.min_m, "empty aggregation range");
+
+  VarianceTimeResult result;
+  std::vector<double> fit_x;
+  std::vector<double> fit_y;
+  for (const std::size_t m : log_spaced_levels(options.min_m, max_m, options.n_levels)) {
+    const std::vector<double> agg = stats::aggregate_series(xs, m);
+    if (agg.size() < 2) continue;
+    const double var = stats::variance(agg);
+    if (var <= 0.0) continue;
+    const double lx = std::log10(static_cast<double>(m));
+    const double ly = std::log10(var);
+    result.points.push_back({lx, ly});
+    if (m >= options.fit_min_m) {
+      fit_x.push_back(lx);
+      fit_y.push_back(ly);
+    }
+  }
+  SSVBR_REQUIRE(fit_x.size() >= 2,
+                "too few aggregation levels above fit_min_m for a variance-time fit");
+  result.fit = stats::fit_line(fit_x, fit_y);
+  result.beta = -result.fit.slope;
+  result.hurst = 1.0 - result.beta / 2.0;
+  return result;
+}
+
+double rescaled_adjusted_range(std::span<const double> xs) {
+  SSVBR_REQUIRE(xs.size() >= 2, "R/S needs at least two samples");
+  const std::size_t n = xs.size();
+  const double m = stats::mean(xs);
+  const double s = std::sqrt(stats::population_variance(xs));
+  SSVBR_REQUIRE(s > 0.0, "R/S of a constant block is undefined");
+  double w = 0.0;
+  double w_max = 0.0;  // max(0, W_1..W_n)
+  double w_min = 0.0;  // min(0, W_1..W_n)
+  for (std::size_t k = 0; k < n; ++k) {
+    w += xs[k] - m;
+    w_max = std::max(w_max, w);
+    w_min = std::min(w_min, w);
+  }
+  return (w_max - w_min) / s;
+}
+
+RsResult rs_analysis(std::span<const double> xs, const RsOptions& options) {
+  SSVBR_REQUIRE(xs.size() >= 64, "R/S analysis needs at least 64 samples");
+  const std::size_t max_n = options.max_n == 0 ? xs.size() / 4 : options.max_n;
+  SSVBR_REQUIRE(max_n > options.min_n, "empty block-size range");
+  SSVBR_REQUIRE(options.n_blocks >= 1, "need at least one block per size");
+
+  RsResult result;
+  std::vector<double> fit_x;
+  std::vector<double> fit_y;
+  for (const std::size_t n : log_spaced_levels(options.min_n, max_n, options.n_sizes)) {
+    // K non-overlapping starting points t_i = i * N / K, keeping only
+    // those with a full block (t_i + n <= N), as in the paper.
+    const std::size_t stride = xs.size() / options.n_blocks;
+    for (std::size_t b = 0; b < options.n_blocks; ++b) {
+      const std::size_t start = b * stride;
+      if (start + n > xs.size()) break;
+      const std::span<const double> block = xs.subspan(start, n);
+      if (stats::population_variance(block) <= 0.0) continue;
+      const double rs = rescaled_adjusted_range(block);
+      if (rs <= 0.0) continue;
+      const double lx = std::log10(static_cast<double>(n));
+      const double ly = std::log10(rs);
+      result.points.push_back({lx, ly});
+      fit_x.push_back(lx);
+      fit_y.push_back(ly);
+    }
+  }
+  SSVBR_REQUIRE(fit_x.size() >= 2, "too few R/S points for a pox-diagram fit");
+  result.fit = stats::fit_line(fit_x, fit_y);
+  result.hurst = result.fit.slope;
+  return result;
+}
+
+}  // namespace ssvbr::fractal

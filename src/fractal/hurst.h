@@ -1,0 +1,77 @@
+// ssvbr/fractal/hurst.h
+//
+// Hurst-parameter estimation: the two graphical estimators the paper
+// uses in Step 1 of its modeling procedure (Section 3.2):
+//
+//   * variance-time plots — the variance of the m-aggregated series
+//     X^(m) decays like m^(-beta) for a self-similar process; the
+//     least-squares slope of log10 var(X^(m)) vs log10 m gives
+//     beta_hat and H_hat = 1 - beta_hat / 2 (Fig. 3);
+//
+//   * R/S analysis — E[R(n)/S(n)] ~ c n^H (Hurst effect, eq. (8)-(9));
+//     the pox diagram plots log10 R/S of K non-overlapping blocks
+//     against log10 n and fits a line (Fig. 4).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/linear_fit.h"
+
+namespace ssvbr::fractal {
+
+/// One (x, y) point of a log-log diagnostic plot (base-10 logs, as in
+/// the paper's figures).
+struct LogLogPoint {
+  double log_x;
+  double log_y;
+};
+
+/// Result of the variance-time analysis.
+struct VarianceTimeResult {
+  std::vector<LogLogPoint> points;  ///< (log10 m, log10 var(X^(m)))
+  stats::LineFit fit;               ///< fitted over points with m >= fit_min_m
+  double beta = 0.0;                ///< -slope of the fit
+  double hurst = 0.5;               ///< 1 - beta / 2
+};
+
+struct VarianceTimeOptions {
+  /// Aggregation levels are log-spaced between min_m and max_m
+  /// (max_m = 0 means n / 10).
+  std::size_t min_m = 1;
+  std::size_t max_m = 0;
+  std::size_t n_levels = 30;
+  /// Only levels with m >= fit_min_m enter the line fit ("ignoring the
+  /// small values for m", as the paper puts it). The paper's Fig. 3
+  /// fits over log10 m in roughly [2, 4], i.e. m >= 100.
+  std::size_t fit_min_m = 100;
+};
+
+VarianceTimeResult variance_time_analysis(std::span<const double> xs,
+                                          const VarianceTimeOptions& options = {});
+
+/// Result of the R/S (rescaled adjusted range) analysis.
+struct RsResult {
+  std::vector<LogLogPoint> points;  ///< pox diagram: (log10 n, log10 R/S)
+  stats::LineFit fit;
+  double hurst = 0.5;  ///< slope of the fit
+};
+
+struct RsOptions {
+  /// Number of non-overlapping starting points per block size.
+  std::size_t n_blocks = 10;
+  /// Block sizes are log-spaced between min_n and max_n
+  /// (max_n = 0 means series length / 4).
+  std::size_t min_n = 16;
+  std::size_t max_n = 0;
+  std::size_t n_sizes = 25;
+};
+
+RsResult rs_analysis(std::span<const double> xs, const RsOptions& options = {});
+
+/// R/S statistic of a single block (eq. (8)): the rescaled adjusted
+/// range of xs. Requires at least two samples and non-zero variance.
+double rescaled_adjusted_range(std::span<const double> xs);
+
+}  // namespace ssvbr::fractal

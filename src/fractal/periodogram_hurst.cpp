@@ -1,0 +1,54 @@
+#include "fractal/periodogram_hurst.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "fft/fft.h"
+#include "stats/descriptive.h"
+
+namespace ssvbr::fractal {
+
+PeriodogramHurstResult periodogram_hurst(std::span<const double> xs,
+                                         const PeriodogramHurstOptions& options) {
+  const std::size_t n = xs.size();
+  SSVBR_REQUIRE(n >= 128, "GPH estimation needs at least 128 samples");
+
+  std::size_t m = options.n_frequencies;
+  if (m == 0) {
+    m = static_cast<std::size_t>(
+        std::floor(std::pow(static_cast<double>(n), options.power)));
+  }
+  SSVBR_REQUIRE(m >= 4, "need at least four frequencies");
+  SSVBR_REQUIRE(m < n / 2, "bandwidth exceeds the Nyquist range");
+
+  // Demean and compute the periodogram I(lambda_j) = |X(j)|^2 / (2 pi n).
+  const double mean = stats::mean(xs);
+  std::vector<double> centered(xs.begin(), xs.end());
+  for (double& v : centered) v -= mean;
+  const std::vector<double> pg = fft::periodogram(centered);
+
+  PeriodogramHurstResult result;
+  std::vector<double> reg_x;
+  std::vector<double> reg_y;
+  reg_x.reserve(m);
+  reg_y.reserve(m);
+  for (std::size_t j = 1; j <= m; ++j) {
+    const double lambda = kTwoPi * static_cast<double>(j) / static_cast<double>(n);
+    const double intensity = pg[j] / kTwoPi;
+    if (intensity <= 0.0) continue;
+    const double s = std::sin(0.5 * lambda);
+    const double x = std::log(4.0 * s * s);
+    const double y = std::log(intensity);
+    result.points.push_back({x, y});
+    reg_x.push_back(x);
+    reg_y.push_back(y);
+  }
+  SSVBR_REQUIRE(reg_x.size() >= 4, "too few positive periodogram ordinates");
+  result.fit = stats::fit_line(reg_x, reg_y);
+  result.d = -result.fit.slope;
+  result.hurst = clamp(result.d + 0.5, 0.0, 1.5);
+  return result;
+}
+
+}  // namespace ssvbr::fractal

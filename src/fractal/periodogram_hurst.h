@@ -1,0 +1,46 @@
+// ssvbr/fractal/periodogram_hurst.h
+//
+// Frequency-domain Hurst estimation: the log-periodogram (GPH,
+// Geweke & Porter-Hudak) regression estimator.
+//
+// For a long-range-dependent process the spectral density behaves like
+// f(lambda) ~ c |lambda|^{-2d} with d = H - 1/2 as lambda -> 0, so a
+// least-squares regression of log I(lambda_j) on log(4 sin^2(lambda_j/2))
+// over the lowest m frequencies estimates -d in its slope. This is the
+// third classical estimator (besides variance-time and R/S) recommended
+// in the self-similarity literature the paper builds on, and gives the
+// library an independent cross-check for Step 1.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fractal/hurst.h"
+#include "stats/linear_fit.h"
+
+namespace ssvbr::fractal {
+
+/// Result of the GPH log-periodogram regression.
+struct PeriodogramHurstResult {
+  /// (log(4 sin^2(lambda_j / 2)), log I(lambda_j)) regression points.
+  std::vector<LogLogPoint> points;
+  stats::LineFit fit;
+  double d = 0.0;      ///< fractional differencing estimate, -slope
+  double hurst = 0.5;  ///< d + 1/2
+};
+
+struct PeriodogramHurstOptions {
+  /// Number of low frequencies used; 0 means floor(n^power).
+  std::size_t n_frequencies = 0;
+  /// Bandwidth exponent when n_frequencies == 0 (the classical choice
+  /// is m = n^0.5).
+  double power = 0.5;
+};
+
+/// GPH estimator over the series xs (demeaned internally). Requires at
+/// least 128 samples.
+PeriodogramHurstResult periodogram_hurst(std::span<const double> xs,
+                                         const PeriodogramHurstOptions& options = {});
+
+}  // namespace ssvbr::fractal

@@ -1,0 +1,138 @@
+#include "fractal/spectral.h"
+
+#include <cmath>
+#include <complex>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "fft/fft.h"
+
+namespace ssvbr::fractal {
+
+SpectralAutocorrelation::SpectralAutocorrelation(std::function<double(double)> density,
+                                                 std::size_t max_lag,
+                                                 std::string description,
+                                                 std::size_t grid_size)
+    : description_(std::move(description)) {
+  SSVBR_REQUIRE(density != nullptr, "spectral density must not be null");
+  SSVBR_REQUIRE(max_lag >= 1, "need at least one lag");
+  SSVBR_REQUIRE(grid_size >= 4 * max_lag,
+                "grid must be much finer than the requested lag range");
+  const std::size_t m = next_power_of_two(grid_size);
+  const double delta = kPi / static_cast<double>(m);
+
+  // Midpoint samples f(lambda_j), lambda_j = (j + 1/2) pi / m, for
+  // cells j >= 1; cell 0 (which contains the LRD pole at lambda = 0,
+  // where a single midpoint badly underestimates the integrable
+  // singularity's mass) is handled by geometric refinement below.
+  std::vector<double> f(m);
+  f[0] = 0.0;
+  for (std::size_t j = 1; j < m; ++j) {
+    const double lambda = (static_cast<double>(j) + 0.5) * delta;
+    const double v = density(lambda);
+    SSVBR_REQUIRE(std::isfinite(v) && v >= 0.0,
+                  "spectral density must be finite and non-negative on the grid");
+    f[j] = v;
+  }
+
+  // r(k) proportional to sum_j f_j cos(k lambda_j) * delta
+  //      = delta * Re[ e^{i k pi / (2m)} sum_j f_j e^{i pi k j / m} ],
+  // and the inner sum is bin k of a length-2m FFT of (f, 0-padding).
+  std::vector<fft::Complex> buf(2 * m, fft::Complex(0.0, 0.0));
+  for (std::size_t j = 0; j < m; ++j) buf[j] = fft::Complex(f[j], 0.0);
+  fft::inverse_pow2(buf);  // unnormalized sum_j x_j e^{+2 pi i k j / (2m)}
+
+  // Geometric refinement of cell 0: subcells (delta 2^{-(g+1)},
+  // delta 2^{-g}] resolve any integrable power-law pole.
+  struct Subcell {
+    double mid;
+    double width;
+    double value;
+  };
+  std::vector<Subcell> pole_cells;
+  double width = 0.5 * delta;
+  double right = delta;
+  for (int g = 0; g < 60 && width > 1e-18; ++g) {
+    const double mid = right - 0.5 * width;
+    const double v = density(mid);
+    SSVBR_REQUIRE(std::isfinite(v) && v >= 0.0,
+                  "spectral density must be finite and non-negative near zero");
+    pole_cells.push_back({mid, width, v});
+    right -= width;
+    width *= 0.5;
+  }
+
+  table_.resize(max_lag + 1);
+  for (std::size_t k = 0; k <= max_lag; ++k) {
+    const double phase = static_cast<double>(k) * kPi / (2.0 * static_cast<double>(m));
+    const fft::Complex rot(std::cos(phase), std::sin(phase));
+    double value = delta * (rot * buf[k]).real();
+    for (const Subcell& cell : pole_cells) {
+      value += cell.value * std::cos(static_cast<double>(k) * cell.mid) * cell.width;
+    }
+    table_[k] = value;
+  }
+  SSVBR_REQUIRE(table_[0] > 0.0, "spectral density integrates to zero");
+  const double r0 = table_[0];
+  for (double& v : table_) v /= r0;
+}
+
+double SpectralAutocorrelation::operator()(double tau) const {
+  const double k = std::fabs(tau);
+  const double max_k = static_cast<double>(table_.size() - 1);
+  if (k >= max_k) return table_.back();
+  const auto lo = static_cast<std::size_t>(k);
+  const double frac = k - static_cast<double>(lo);
+  return table_[lo] + frac * (table_[lo + 1] - table_[lo]);
+}
+
+std::string SpectralAutocorrelation::describe() const { return description_; }
+
+namespace {
+
+std::string describe_farima(double d, const std::vector<double>& ar,
+                            const std::vector<double>& ma) {
+  std::ostringstream os;
+  os << "FARIMA(p=" << ar.size() << ", d=" << d << ", q=" << ma.size() << ")";
+  return os.str();
+}
+
+// |poly(e^{-i lambda})|^2 for poly(z) = 1 + c_1 z + c_2 z^2 + ...
+double polynomial_power(const std::vector<double>& coeffs, double lambda) {
+  std::complex<double> value(1.0, 0.0);
+  for (std::size_t j = 0; j < coeffs.size(); ++j) {
+    const double angle = -lambda * static_cast<double>(j + 1);
+    value += coeffs[j] * std::complex<double>(std::cos(angle), std::sin(angle));
+  }
+  return std::norm(value);
+}
+
+std::function<double(double)> farima_density(double d, std::vector<double> ar,
+                                             std::vector<double> ma) {
+  SSVBR_REQUIRE(d >= 0.0 && d < 0.5, "FARIMA requires d in [0, 0.5)");
+  // AR polynomial is 1 - phi_1 z - ...: negate for polynomial_power's
+  // 1 + c z convention.
+  for (double& c : ar) c = -c;
+  return [d, ar = std::move(ar), ma = std::move(ma)](double lambda) {
+    const double s = 2.0 * std::sin(0.5 * lambda);
+    const double lrd = d > 0.0 ? std::pow(s, -2.0 * d) : 1.0;
+    const double ar_power = polynomial_power(ar, lambda);
+    SSVBR_REQUIRE(ar_power > 1e-12, "AR polynomial has a root on the unit circle");
+    return lrd * polynomial_power(ma, lambda) / ar_power;
+  };
+}
+
+}  // namespace
+
+FarimaPdqAutocorrelation::FarimaPdqAutocorrelation(double d, std::vector<double> ar,
+                                                   std::vector<double> ma,
+                                                   std::size_t max_lag)
+    : SpectralAutocorrelation(farima_density(d, ar, ma), max_lag,
+                              describe_farima(d, ar, ma)),
+      d_(d),
+      ar_(std::move(ar)),
+      ma_(std::move(ma)) {}
+
+}  // namespace ssvbr::fractal

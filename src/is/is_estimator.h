@@ -1,0 +1,75 @@
+// ssvbr/is/is_estimator.h
+//
+// Importance-sampling estimation of buffer overflow probabilities for a
+// slotted queue fed by the transformed self-similar background process
+// — the simulation procedure of Section 4, steps 1-8.
+//
+// Each replication:
+//   1. generates the twisted background path x'_i = Hosking step + m*,
+//   2. transforms it to the twisted foreground y'_i = h(x'_i),
+//   3. advances the workload / queue,
+//   4. on overflow, scores the indicator weighted by the likelihood
+//      ratio of the background processes (only the background ratio is
+//      needed: h is a deterministic bijection, eq. (7) commentary in
+//      Appendix B.2).
+//
+// The estimate P_hat = (1/N) sum I_n L_n is unbiased for any twist m*;
+// the twist only controls the variance (Fig. 14's "valley").
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/unified_model.h"
+#include "dist/random.h"
+#include "fractal/hosking.h"
+#include "queueing/overflow_mc.h"
+
+namespace ssvbr::is {
+
+/// Importance-sampling estimate with precision diagnostics.
+struct IsOverflowEstimate {
+  double probability = 0.0;
+  double estimator_variance = 0.0;   ///< var of the mean estimator
+  double normalized_variance = 0.0;  ///< estimator variance / probability^2
+  double ci95_halfwidth = 0.0;
+  std::size_t replications = 0;
+  std::size_t hits = 0;              ///< replications that overflowed
+  /// Variance-reduction factor against crude Monte Carlo with the same
+  /// replication count: [p(1-p)/N] / estimator_variance.
+  double variance_reduction_vs_mc = 1.0;
+};
+
+/// Parameters of one IS experiment.
+struct IsOverflowSettings {
+  double twisted_mean = 0.0;   ///< m*, background mean shift
+  double service_rate = 1.0;   ///< mu per slot
+  double buffer = 0.0;         ///< overflow level b
+  std::size_t stop_time = 1;   ///< k
+  std::size_t replications = 1000;
+  queueing::OverflowEvent event = queueing::OverflowEvent::kFirstPassage;
+  double initial_occupancy = 0.0;  ///< Q_0 (Fig. 15 uses 0 and b)
+};
+
+/// Run the IS simulation. `background` must have horizon >= stop_time
+/// and be built from the same correlation as `model`; callers build it
+/// once and reuse it across sweeps (the coefficient table is the
+/// expensive part).
+IsOverflowEstimate estimate_overflow_is(const core::UnifiedVbrModel& model,
+                                        const fractal::HoskingModel& background,
+                                        const IsOverflowSettings& settings,
+                                        RandomEngine& rng);
+
+/// Multi-source variant: the queue is fed by `n_sources` independent
+/// copies of the model (the ATM multiplexer scenario the paper
+/// motivates). Every source's background is twisted by the same m*, and
+/// since the sources are independent the total likelihood ratio is the
+/// product of the per-source ratios. `settings.service_rate` and
+/// `settings.buffer` refer to the aggregate stream.
+IsOverflowEstimate estimate_overflow_is_superposed(const core::UnifiedVbrModel& model,
+                                                   const fractal::HoskingModel& background,
+                                                   std::size_t n_sources,
+                                                   const IsOverflowSettings& settings,
+                                                   RandomEngine& rng);
+
+}  // namespace ssvbr::is

@@ -1,0 +1,52 @@
+// ssvbr/is/likelihood.h
+//
+// Sequential likelihood-ratio accumulation for mean-twisted Gaussian
+// background processes (Appendix B.2 of the paper, eqs. (42)-(48)).
+//
+// The twisted process is X'_k = X_k + m*. Conditionally on the same
+// realized history (x'_0 ... x'_{k-1}), both the original and the
+// twisted model prescribe a Gaussian next-step law with identical
+// variance v_k and means that differ by exactly
+//
+//     delta_k = m* (1 - S_k),       S_k = sum_j phi_{k,j}
+//
+// (eqs. (35)-(40)). The per-step log likelihood ratio of the original
+// over the twisted density at the realized point x is therefore
+//
+//     log L_k = [ (x - m_twisted)^2 - (x - m_original)^2 ] / (2 v_k),
+//
+// with m_original = m_twisted - delta_k. Accumulation happens in log
+// space: over thousands of steps the ratio spans hundreds of orders of
+// magnitude and would overflow/underflow a plain product.
+#pragma once
+
+#include <cmath>
+
+namespace ssvbr::is {
+
+/// Running log-likelihood ratio of the original measure against the
+/// twisted sampling measure.
+class LikelihoodRatioAccumulator {
+ public:
+  /// Account for one generated step.
+  /// `x`            — the realized value x'_k,
+  /// `twisted_mean` — the conditional mean it was sampled from,
+  /// `mean_delta`   — twisted_mean - original_mean = m* (1 - S_k),
+  /// `variance`     — the (shared) conditional variance v_k.
+  void add_step(double x, double twisted_mean, double mean_delta,
+                double variance) noexcept {
+    const double d_twist = x - twisted_mean;
+    const double d_orig = d_twist + mean_delta;  // x - (twisted_mean - delta)
+    log_l_ += (d_twist * d_twist - d_orig * d_orig) / (2.0 * variance);
+  }
+
+  double log_likelihood() const noexcept { return log_l_; }
+  double likelihood() const noexcept { return std::exp(log_l_); }
+
+  void reset() noexcept { log_l_ = 0.0; }
+
+ private:
+  double log_l_ = 0.0;
+};
+
+}  // namespace ssvbr::is

@@ -1,0 +1,45 @@
+#include "is/twist_search.h"
+
+#include <limits>
+
+#include "common/error.h"
+
+namespace ssvbr::is {
+
+std::vector<TwistSweepPoint> sweep_twist(const core::UnifiedVbrModel& model,
+                                         const fractal::HoskingModel& background,
+                                         IsOverflowSettings settings,
+                                         const std::vector<double>& twists,
+                                         RandomEngine& rng) {
+  SSVBR_REQUIRE(!twists.empty(), "twist grid must be non-empty");
+  std::vector<TwistSweepPoint> out;
+  out.reserve(twists.size());
+  for (const double m_star : twists) {
+    settings.twisted_mean = m_star;
+    RandomEngine sub = rng.split();
+    TwistSweepPoint point;
+    point.twisted_mean = m_star;
+    point.estimate = estimate_overflow_is(model, background, settings, sub);
+    out.push_back(point);
+  }
+  return out;
+}
+
+const TwistSweepPoint& find_best_twist(const std::vector<TwistSweepPoint>& sweep) {
+  const TwistSweepPoint* best = nullptr;
+  double best_nv = std::numeric_limits<double>::infinity();
+  for (const TwistSweepPoint& p : sweep) {
+    if (p.estimate.hits == 0) continue;
+    if (p.estimate.normalized_variance <= 0.0) continue;
+    if (p.estimate.normalized_variance < best_nv) {
+      best_nv = p.estimate.normalized_variance;
+      best = &p;
+    }
+  }
+  if (best == nullptr) {
+    throw NumericalError("no twist in the sweep produced a usable estimate");
+  }
+  return *best;
+}
+
+}  // namespace ssvbr::is

@@ -1,0 +1,41 @@
+// ssvbr/is/twist_search.h
+//
+// Heuristic search for the near-optimal twisting parameter m*.
+//
+// After the marginal transform, a closed-form optimization of the twist
+// is intractable (Section 4), so the paper scans m* and reads off the
+// "valley" of the estimator's normalized variance (Fig. 14); the valley
+// bottom (m* ~= 3.2 in the paper's setting) is the near-optimal twist
+// giving ~1000x variance reduction. `sweep_twist` reproduces that scan
+// and `find_best_twist` returns the valley bottom.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "is/is_estimator.h"
+
+namespace ssvbr::is {
+
+/// One point of the Fig. 14 scan.
+struct TwistSweepPoint {
+  double twisted_mean = 0.0;
+  IsOverflowEstimate estimate;
+};
+
+/// Evaluate the IS estimator on a grid of twists. `settings.twisted_mean`
+/// is ignored; every other field applies to each grid point. Each grid
+/// point uses an independent sub-stream split from `rng`.
+std::vector<TwistSweepPoint> sweep_twist(const core::UnifiedVbrModel& model,
+                                         const fractal::HoskingModel& background,
+                                         IsOverflowSettings settings,
+                                         const std::vector<double>& twists,
+                                         RandomEngine& rng);
+
+/// The sweep point with the smallest *positive* normalized variance
+/// among points that registered at least one hit (a twist too small to
+/// produce any overflow is useless even though its sample variance is
+/// zero). Throws NumericalError if no point qualifies.
+const TwistSweepPoint& find_best_twist(const std::vector<TwistSweepPoint>& sweep);
+
+}  // namespace ssvbr::is

@@ -1,0 +1,100 @@
+#include "queueing/arrival.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "stats/descriptive.h"
+
+namespace ssvbr::queueing {
+
+// ----------------------------------------------------------------- Model
+
+ModelArrivalProcess::ModelArrivalProcess(
+    std::shared_ptr<const core::UnifiedVbrModel> model,
+    core::BackgroundGenerator generator)
+    : model_(std::move(model)), generator_(generator) {
+  SSVBR_REQUIRE(model_ != nullptr, "arrival model must not be null");
+}
+
+void ModelArrivalProcess::begin_replication(RandomEngine& rng, std::size_t horizon) {
+  SSVBR_REQUIRE(horizon >= 1, "replication horizon must be positive");
+  path_ = model_->generate(horizon, rng, generator_);
+  pos_ = 0;
+}
+
+double ModelArrivalProcess::next() {
+  SSVBR_REQUIRE(pos_ < path_.size(), "arrival process exhausted its horizon");
+  return path_[pos_++];
+}
+
+double ModelArrivalProcess::mean_rate() const { return model_->mean(); }
+
+// ----------------------------------------------------------------- Trace
+
+TraceArrivalProcess::TraceArrivalProcess(std::span<const double> series,
+                                         bool random_offset)
+    : series_(series.begin(), series.end()),
+      mean_(stats::mean(series)),
+      random_offset_(random_offset) {
+  SSVBR_REQUIRE(!series_.empty(), "trace playback needs a non-empty series");
+}
+
+void TraceArrivalProcess::begin_replication(RandomEngine& rng, std::size_t /*horizon*/) {
+  pos_ = random_offset_ ? static_cast<std::size_t>(rng.uniform_index(series_.size())) : 0;
+}
+
+double TraceArrivalProcess::next() {
+  const double v = series_[pos_];
+  pos_ = (pos_ + 1) % series_.size();
+  return v;
+}
+
+double TraceArrivalProcess::mean_rate() const { return mean_; }
+
+// ------------------------------------------------------------------- IID
+
+IidArrivalProcess::IidArrivalProcess(DistributionPtr marginal)
+    : marginal_(std::move(marginal)) {
+  SSVBR_REQUIRE(marginal_ != nullptr, "iid arrival marginal must not be null");
+}
+
+void IidArrivalProcess::begin_replication(RandomEngine& rng, std::size_t /*horizon*/) {
+  rng_ = &rng;
+}
+
+double IidArrivalProcess::next() {
+  SSVBR_REQUIRE(rng_ != nullptr, "begin_replication must be called before next");
+  return marginal_->sample(*rng_);
+}
+
+double IidArrivalProcess::mean_rate() const { return marginal_->mean(); }
+
+// ----------------------------------------------------------- Superposed
+
+SuperposedArrivalProcess::SuperposedArrivalProcess(
+    std::vector<std::unique_ptr<ArrivalProcess>> components)
+    : components_(std::move(components)) {
+  SSVBR_REQUIRE(!components_.empty(), "superposition needs at least one component");
+  for (const auto& c : components_) {
+    SSVBR_REQUIRE(c != nullptr, "superposition components must not be null");
+  }
+}
+
+void SuperposedArrivalProcess::begin_replication(RandomEngine& rng,
+                                                 std::size_t horizon) {
+  for (auto& c : components_) c->begin_replication(rng, horizon);
+}
+
+double SuperposedArrivalProcess::next() {
+  double sum = 0.0;
+  for (auto& c : components_) sum += c->next();
+  return sum;
+}
+
+double SuperposedArrivalProcess::mean_rate() const {
+  double sum = 0.0;
+  for (const auto& c : components_) sum += c->mean_rate();
+  return sum;
+}
+
+}  // namespace ssvbr::queueing

@@ -1,0 +1,119 @@
+// ssvbr/queueing/arrival.h
+//
+// Slotted arrival processes feeding the single-server queue of
+// Section 4. One slot corresponds to one video frame time; the arrival
+// in a slot is the frame's workload (bytes, or cells after
+// normalization). Arrivals may be any non-negative real value, exactly
+// as the paper assumes.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/unified_model.h"
+#include "dist/random.h"
+#include "trace/video_trace.h"
+
+namespace ssvbr::queueing {
+
+/// A replication-oriented slotted arrival process. A simulation study
+/// calls begin_replication once per independent run, then next() once
+/// per slot.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Start an independent replication; `horizon` is the maximum number
+  /// of next() calls that will follow.
+  virtual void begin_replication(RandomEngine& rng, std::size_t horizon) = 0;
+
+  /// Workload arriving in the current slot; advances the slot.
+  virtual double next() = 0;
+
+  /// Long-run mean arrival rate per slot (for utilization bookkeeping).
+  virtual double mean_rate() const = 0;
+};
+
+/// Arrivals synthesized from a fitted unified VBR model: each
+/// replication draws an independent background path and transforms it.
+class ModelArrivalProcess final : public ArrivalProcess {
+ public:
+  /// `generator` selects the background synthesis algorithm; Hosking
+  /// matches the paper's queueing experiments, Davies-Harte is the fast
+  /// default for long horizons.
+  ModelArrivalProcess(std::shared_ptr<const core::UnifiedVbrModel> model,
+                      core::BackgroundGenerator generator =
+                          core::BackgroundGenerator::kHosking);
+
+  void begin_replication(RandomEngine& rng, std::size_t horizon) override;
+  double next() override;
+  double mean_rate() const override;
+
+ private:
+  std::shared_ptr<const core::UnifiedVbrModel> model_;
+  core::BackgroundGenerator generator_;
+  std::vector<double> path_;
+  std::size_t pos_ = 0;
+};
+
+/// Arrivals replayed from a recorded trace. Each replication starts at
+/// a configurable (or random) offset; the playback wraps around.
+class TraceArrivalProcess final : public ArrivalProcess {
+ public:
+  /// `series` is copied. When `random_offset` is true each replication
+  /// begins at a uniformly random position (the closest one can get to
+  /// independent replications given a single empirical trace — the
+  /// paper instead runs one long replication; both modes are available).
+  explicit TraceArrivalProcess(std::span<const double> series, bool random_offset = false);
+
+  void begin_replication(RandomEngine& rng, std::size_t horizon) override;
+  double next() override;
+  double mean_rate() const override;
+
+  std::size_t length() const noexcept { return series_.size(); }
+
+ private:
+  std::vector<double> series_;
+  double mean_;
+  bool random_offset_;
+  std::size_t pos_ = 0;
+};
+
+/// Independent, identically distributed arrivals (sanity baseline for
+/// tests: an M/D/1-like slotted queue with no correlation at all).
+class IidArrivalProcess final : public ArrivalProcess {
+ public:
+  explicit IidArrivalProcess(DistributionPtr marginal);
+
+  void begin_replication(RandomEngine& rng, std::size_t horizon) override;
+  double next() override;
+  double mean_rate() const override;
+
+ private:
+  DistributionPtr marginal_;
+  RandomEngine* rng_ = nullptr;
+};
+
+/// Superposition of several independent arrival processes: per slot the
+/// arrivals of all components are summed. Models the paper's target
+/// scenario of a multiplexer fed by multiple statistically multiplexed
+/// VBR video connections. LRD is preserved under superposition, so the
+/// aggregate remains self-similar.
+class SuperposedArrivalProcess final : public ArrivalProcess {
+ public:
+  explicit SuperposedArrivalProcess(
+      std::vector<std::unique_ptr<ArrivalProcess>> components);
+
+  void begin_replication(RandomEngine& rng, std::size_t horizon) override;
+  double next() override;
+  double mean_rate() const override;
+
+  std::size_t n_components() const noexcept { return components_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<ArrivalProcess>> components_;
+};
+
+}  // namespace ssvbr::queueing

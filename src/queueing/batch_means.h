@@ -1,0 +1,47 @@
+// ssvbr/queueing/batch_means.h
+//
+// Batch-means confidence intervals for steady-state estimates from a
+// single long run.
+//
+// The paper runs its empirical-trace queueing experiments as "one
+// (long) replication" and cautions that batches of a self-similar
+// stream stay correlated. Batch means make that caution quantitative:
+// the point estimate is unchanged, but the between-batch variance
+// yields an (approximate) confidence interval whose width reveals how
+// little information a single LRD trace actually carries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ssvbr::queueing {
+
+/// A batch-means estimate of a time-average.
+struct BatchMeansEstimate {
+  double mean = 0.0;
+  double batch_variance = 0.0;   ///< sample variance of the batch means
+  double ci95_halfwidth = 0.0;   ///< ~t-based half width on the mean
+  std::size_t n_batches = 0;
+  std::size_t batch_size = 0;
+  /// Lag-1 correlation of the batch means: near 0 for SRD data once
+  /// batches are large, but stays high for LRD data at any feasible
+  /// batch size — the warning sign the paper describes.
+  double batch_mean_lag1_correlation = 0.0;
+};
+
+/// Split `observations` into `n_batches` equal batches (trailing
+/// remainder dropped) and compute the batch-means statistics.
+/// Requires n_batches >= 2 and at least one observation per batch.
+BatchMeansEstimate batch_means(std::span<const double> observations,
+                               std::size_t n_batches);
+
+/// Convenience: steady-state P(Q > b) with a batch-means CI from one
+/// long arrival sequence (infinite-buffer Lindley queue, per-slot
+/// exceedance indicators are the observations).
+BatchMeansEstimate steady_state_overflow_batch_means(std::span<const double> arrivals,
+                                                     double service_rate, double buffer,
+                                                     std::size_t n_batches,
+                                                     std::size_t warmup = 0);
+
+}  // namespace ssvbr::queueing

@@ -1,0 +1,67 @@
+#include "queueing/lindley.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ssvbr::queueing {
+
+LindleyQueue::LindleyQueue(double service_rate, double initial_occupancy)
+    : mu_(service_rate), q_(initial_occupancy), peak_(initial_occupancy) {
+  SSVBR_REQUIRE(service_rate > 0.0, "service rate must be positive");
+  SSVBR_REQUIRE(initial_occupancy >= 0.0, "initial occupancy must be non-negative");
+}
+
+double LindleyQueue::step(double y) {
+  SSVBR_REQUIRE(y >= 0.0, "arrivals must be non-negative");
+  q_ = std::max(q_ + y - mu_, 0.0);
+  peak_ = std::max(peak_, q_);
+  ++slots_;
+  return q_;
+}
+
+void LindleyQueue::reset(double initial_occupancy) {
+  SSVBR_REQUIRE(initial_occupancy >= 0.0, "initial occupancy must be non-negative");
+  q_ = initial_occupancy;
+  peak_ = initial_occupancy;
+  slots_ = 0;
+}
+
+FiniteBufferQueue::FiniteBufferQueue(double service_rate, double buffer_size,
+                                     double initial_occupancy)
+    : mu_(service_rate), b_(buffer_size), q_(std::min(initial_occupancy, buffer_size)) {
+  SSVBR_REQUIRE(service_rate > 0.0, "service rate must be positive");
+  SSVBR_REQUIRE(buffer_size > 0.0, "buffer size must be positive");
+  SSVBR_REQUIRE(initial_occupancy >= 0.0, "initial occupancy must be non-negative");
+}
+
+double FiniteBufferQueue::step(double y) {
+  SSVBR_REQUIRE(y >= 0.0, "arrivals must be non-negative");
+  arrived_ += y;
+  // Serve first, then admit up to the buffer limit (departures-first
+  // slot convention; consistent with the Lindley recursion).
+  double q = std::max(q_ - mu_, 0.0) + y;
+  double drop = 0.0;
+  if (q > b_) {
+    drop = q - b_;
+    q = b_;
+  }
+  q_ = q;
+  dropped_ += drop;
+  ++slots_;
+  return drop;
+}
+
+double FiniteBufferQueue::loss_ratio() const noexcept {
+  return arrived_ > 0.0 ? dropped_ / arrived_ : 0.0;
+}
+
+void FiniteBufferQueue::reset(double initial_occupancy) {
+  SSVBR_REQUIRE(initial_occupancy >= 0.0, "initial occupancy must be non-negative");
+  q_ = std::min(initial_occupancy, b_);
+  arrived_ = 0.0;
+  dropped_ = 0.0;
+  slots_ = 0;
+}
+
+}  // namespace ssvbr::queueing

@@ -1,0 +1,76 @@
+// ssvbr/queueing/lindley.h
+//
+// The slotted-time single-server queue of Section 4: deterministic
+// service rate mu per slot, arrivals Y_k, queue evolution by the
+// Lindley recursion (eq. (16))
+//
+//     Q_k = max(Q_{k-1} + Y_k - mu, 0).
+//
+// Both an infinite-buffer queue (overflow = level crossing, the
+// quantity P(Q_k > b) the paper estimates) and a finite-buffer variant
+// (cells beyond the buffer are dropped and counted, the ATM multiplexer
+// behaviour) are provided.
+#pragma once
+
+#include <cstddef>
+
+namespace ssvbr::queueing {
+
+/// Infinite-buffer slotted queue.
+class LindleyQueue {
+ public:
+  /// `service_rate` is the deterministic per-slot service mu > 0;
+  /// `initial_occupancy` sets Q_0 (the paper's Fig. 15 contrasts empty
+  /// and full initial buffers).
+  explicit LindleyQueue(double service_rate, double initial_occupancy = 0.0);
+
+  /// Advance one slot with arrival `y >= 0`; returns the new queue size.
+  double step(double y);
+
+  double size() const noexcept { return q_; }
+  double service_rate() const noexcept { return mu_; }
+  std::size_t slots() const noexcept { return slots_; }
+
+  /// Largest queue size observed since construction/reset.
+  double peak() const noexcept { return peak_; }
+
+  /// Reset to a fresh replication with occupancy q0.
+  void reset(double initial_occupancy = 0.0);
+
+ private:
+  double mu_;
+  double q_;
+  double peak_;
+  std::size_t slots_ = 0;
+};
+
+/// Finite-buffer slotted queue: work beyond `buffer_size` is dropped.
+class FiniteBufferQueue {
+ public:
+  FiniteBufferQueue(double service_rate, double buffer_size,
+                    double initial_occupancy = 0.0);
+
+  /// Advance one slot; returns the amount of work dropped this slot.
+  double step(double y);
+
+  double size() const noexcept { return q_; }
+  double buffer_size() const noexcept { return b_; }
+  double total_arrived() const noexcept { return arrived_; }
+  double total_dropped() const noexcept { return dropped_; }
+  std::size_t slots() const noexcept { return slots_; }
+
+  /// Work loss ratio so far (dropped / arrived); 0 before any arrival.
+  double loss_ratio() const noexcept;
+
+  void reset(double initial_occupancy = 0.0);
+
+ private:
+  double mu_;
+  double b_;
+  double q_;
+  double arrived_ = 0.0;
+  double dropped_ = 0.0;
+  std::size_t slots_ = 0;
+};
+
+}  // namespace ssvbr::queueing

@@ -1,0 +1,42 @@
+#include "queueing/norros.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ssvbr::queueing {
+
+namespace {
+void validate(const NorrosParameters& params, double buffer) {
+  SSVBR_REQUIRE(params.hurst > 0.0 && params.hurst < 1.0, "Hurst must lie in (0, 1)");
+  SSVBR_REQUIRE(params.stddev > 0.0, "stddev must be positive");
+  SSVBR_REQUIRE(params.service_rate > params.mean_rate,
+                "service rate must exceed the mean arrival rate");
+  SSVBR_REQUIRE(buffer >= 0.0, "buffer must be non-negative");
+}
+}  // namespace
+
+double norros_critical_time_scale(const NorrosParameters& params, double buffer) {
+  validate(params, buffer);
+  const double drift = params.service_rate - params.mean_rate;
+  return buffer * params.hurst / (drift * (1.0 - params.hurst));
+}
+
+double norros_log_overflow_approximation(const NorrosParameters& params, double buffer) {
+  validate(params, buffer);
+  if (buffer == 0.0) return 0.0;
+  const double h = params.hurst;
+  const double drift = params.service_rate - params.mean_rate;
+  const double numerator =
+      std::pow(drift, 2.0 * h) * std::pow(buffer, 2.0 - 2.0 * h);
+  const double denominator = 2.0 * std::pow(h, 2.0 * h) *
+                             std::pow(1.0 - h, 2.0 - 2.0 * h) * params.stddev *
+                             params.stddev;
+  return -numerator / denominator;
+}
+
+double norros_overflow_approximation(const NorrosParameters& params, double buffer) {
+  return std::exp(norros_log_overflow_approximation(params, buffer));
+}
+
+}  // namespace ssvbr::queueing

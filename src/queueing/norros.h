@@ -1,0 +1,42 @@
+// ssvbr/queueing/norros.h
+//
+// Norros' fractional-Brownian storage model (reference [23] of the
+// paper): closed-form asymptotics for the overflow probability of a
+// queue fed by fractional Gaussian noise.
+//
+// For slotted arrivals with mean m, per-slot standard deviation sigma,
+// Hurst parameter H, and service rate C > m, the stationary queue
+// satisfies the Weibull-type approximation
+//
+//   P(Q > b) ~= exp( - (C - m)^{2H} b^{2-2H}
+//                     / ( 2 H^{2H} (1 - H)^{2-2H} sigma^2 ) ),
+//
+// obtained from the most-likely overflow time scale
+// t*(b) = b H / ((C - m)(1 - H)). For H = 1/2 this reduces to the
+// classical exponential large-buffer decay; for H > 1/2 the decay is
+// sub-exponential — the paper's (and Fig. 17's) central point about the
+// danger of SRD-only models.
+#pragma once
+
+namespace ssvbr::queueing {
+
+/// Parameters of the fBm storage approximation.
+struct NorrosParameters {
+  double mean_rate = 0.0;   ///< m, work per slot
+  double stddev = 1.0;      ///< sigma, per-slot standard deviation
+  double hurst = 0.5;       ///< H in (0, 1)
+  double service_rate = 1.0;  ///< C > m
+};
+
+/// The most likely time scale over which an overflow of level b builds
+/// up: t*(b) = b H / ((C - m)(1 - H)).
+double norros_critical_time_scale(const NorrosParameters& params, double buffer);
+
+/// The overflow probability approximation P(Q > b) above. Requires
+/// C > m, b >= 0, H in (0, 1), sigma > 0.
+double norros_overflow_approximation(const NorrosParameters& params, double buffer);
+
+/// log of the approximation (numerically safe for very small values).
+double norros_log_overflow_approximation(const NorrosParameters& params, double buffer);
+
+}  // namespace ssvbr::queueing

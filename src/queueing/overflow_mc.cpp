@@ -1,0 +1,95 @@
+#include "queueing/overflow_mc.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "queueing/lindley.h"
+
+namespace ssvbr::queueing {
+
+OverflowEstimate estimate_overflow_mc(ArrivalProcess& arrivals, double service_rate,
+                                      double buffer, std::size_t k,
+                                      std::size_t replications, RandomEngine& rng,
+                                      OverflowEvent event, double initial_occupancy) {
+  SSVBR_REQUIRE(replications >= 1, "need at least one replication");
+  SSVBR_REQUIRE(k >= 1, "stopping time must be at least one slot");
+  SSVBR_REQUIRE(buffer >= 0.0, "buffer must be non-negative");
+
+  std::size_t hits = 0;
+  LindleyQueue queue(service_rate, initial_occupancy);
+  for (std::size_t rep = 0; rep < replications; ++rep) {
+    arrivals.begin_replication(rng, k);
+    bool hit = false;
+    if (event == OverflowEvent::kFirstPassage) {
+      // Track the total workload W_i = sum (Y_j - mu) and stop at the
+      // first crossing of b (eq. (17) duality with {Q_k > b}, Q_0 = 0).
+      double w = 0.0;
+      for (std::size_t i = 0; i < k; ++i) {
+        w += arrivals.next() - service_rate;
+        if (w > buffer) {
+          hit = true;
+          break;
+        }
+      }
+    } else {
+      queue.reset(initial_occupancy);
+      for (std::size_t i = 0; i < k; ++i) queue.step(arrivals.next());
+      hit = queue.size() > buffer;
+    }
+    if (hit) ++hits;
+  }
+
+  OverflowEstimate est;
+  est.replications = replications;
+  est.hits = hits;
+  const double n = static_cast<double>(replications);
+  est.probability = static_cast<double>(hits) / n;
+  // Bernoulli estimator variance p(1-p)/n.
+  est.estimator_variance = est.probability * (1.0 - est.probability) / n;
+  est.normalized_variance = est.probability > 0.0
+                                ? est.estimator_variance / (est.probability * est.probability)
+                                : 0.0;
+  est.ci95_halfwidth = 1.96 * std::sqrt(est.estimator_variance);
+  return est;
+}
+
+SteadyStateEstimate steady_state_overflow(ArrivalProcess& arrivals, double service_rate,
+                                          double buffer, std::size_t slots,
+                                          std::size_t warmup, RandomEngine& rng) {
+  SSVBR_REQUIRE(slots > warmup, "need slots beyond the warmup period");
+  arrivals.begin_replication(rng, slots);
+  LindleyQueue queue(service_rate);
+  std::size_t exceed = 0;
+  for (std::size_t i = 0; i < slots; ++i) {
+    const double q = queue.step(arrivals.next());
+    if (i >= warmup && q > buffer) ++exceed;
+  }
+  SteadyStateEstimate est;
+  est.slots = slots - warmup;
+  est.probability = static_cast<double>(exceed) / static_cast<double>(est.slots);
+  return est;
+}
+
+std::vector<double> steady_state_overflow_multi(std::span<const double> arrivals,
+                                                double service_rate,
+                                                std::span<const double> buffers,
+                                                std::size_t warmup) {
+  SSVBR_REQUIRE(arrivals.size() > warmup, "need arrivals beyond the warmup period");
+  LindleyQueue queue(service_rate);
+  std::vector<std::size_t> exceed(buffers.size(), 0);
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const double q = queue.step(arrivals[i]);
+    if (i < warmup) continue;
+    for (std::size_t j = 0; j < buffers.size(); ++j) {
+      if (q > buffers[j]) ++exceed[j];
+    }
+  }
+  const double n = static_cast<double>(arrivals.size() - warmup);
+  std::vector<double> out(buffers.size());
+  for (std::size_t j = 0; j < buffers.size(); ++j) {
+    out[j] = static_cast<double>(exceed[j]) / n;
+  }
+  return out;
+}
+
+}  // namespace ssvbr::queueing

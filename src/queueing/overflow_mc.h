@@ -1,0 +1,71 @@
+// ssvbr/queueing/overflow_mc.h
+//
+// Plain (non-importance-sampled) Monte-Carlo estimation of buffer
+// overflow probabilities — the reference estimator against which the
+// importance-sampling engine of src/is is validated, and the estimator
+// used for the trace-driven curves of Figs. 16-17 (where the paper runs
+// a single long replication of the empirical trace).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dist/random.h"
+#include "queueing/arrival.h"
+
+namespace ssvbr::queueing {
+
+/// Which overflow event a transient estimate targets.
+enum class OverflowEvent {
+  /// {Q_k > b}: the queue (Lindley recursion from `initial_occupancy`)
+  /// exceeds b at the stopping time exactly — the Fig. 15 quantity.
+  kTerminal,
+  /// {sup_{0<=i<=k} W_i > b} with W the total workload process
+  /// W_i = sum_{j<=i} (Y_j - mu). By the duality of eq. (17) this equals
+  /// P(Q_k > b) for a queue started empty, and it is the event the
+  /// paper's IS procedure (steps 1-8 of Section 4) counts by stopping at
+  /// the first crossing. `initial_occupancy` is ignored in this mode
+  /// (the duality assumes Q_0 = 0).
+  kFirstPassage,
+};
+
+/// A Monte-Carlo probability estimate with its precision.
+struct OverflowEstimate {
+  double probability = 0.0;
+  double estimator_variance = 0.0;   ///< var of the mean estimator
+  double normalized_variance = 0.0;  ///< estimator variance / probability^2
+  double ci95_halfwidth = 0.0;
+  std::size_t replications = 0;
+  std::size_t hits = 0;
+};
+
+/// Estimate P(overflow by/at slot k) over independent replications.
+OverflowEstimate estimate_overflow_mc(ArrivalProcess& arrivals, double service_rate,
+                                      double buffer, std::size_t k,
+                                      std::size_t replications, RandomEngine& rng,
+                                      OverflowEvent event = OverflowEvent::kFirstPassage,
+                                      double initial_occupancy = 0.0);
+
+/// Steady-state P(Q > b) from one long run: the fraction of post-warmup
+/// slots in which the infinite-buffer queue exceeds b.
+struct SteadyStateEstimate {
+  double probability = 0.0;
+  std::size_t slots = 0;
+};
+
+SteadyStateEstimate steady_state_overflow(ArrivalProcess& arrivals, double service_rate,
+                                          double buffer, std::size_t slots,
+                                          std::size_t warmup, RandomEngine& rng);
+
+/// Single-pass steady-state P(Q > b) for many buffer levels at once:
+/// runs the infinite-buffer queue over `arrivals` once and counts level
+/// exceedances for every entry of `buffers`. This is how the
+/// trace-driven series of Fig. 16 is produced (the same trace serves
+/// all buffer sizes, as the paper notes).
+std::vector<double> steady_state_overflow_multi(std::span<const double> arrivals,
+                                                double service_rate,
+                                                std::span<const double> buffers,
+                                                std::size_t warmup = 0);
+
+}  // namespace ssvbr::queueing

@@ -1,0 +1,168 @@
+#include "stats/acf_fit.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ssvbr::stats {
+
+double CompositeAcfFit::evaluate(double k) const {
+  if (k <= 0.0) return 1.0;
+  if (k < static_cast<double>(knee)) {
+    return srd_scale * std::exp(-lambda * k);
+  }
+  return lrd_scale * std::pow(k, -beta);
+}
+
+namespace {
+
+struct BranchFits {
+  LineFit exp_fit;
+  LineFit pow_fit;
+  bool valid = false;
+};
+
+// Fit exp branch on lags [1, knee) and power branch on [knee, n).
+BranchFits fit_branches(std::span<const double> acf, std::size_t knee,
+                        double min_beta, double max_beta) {
+  const std::size_t n = acf.size();
+  if (knee < 3 || knee + 3 > n) return {};
+  std::vector<double> x_lo;
+  std::vector<double> y_lo;
+  std::vector<double> x_hi;
+  std::vector<double> y_hi;
+  for (std::size_t k = 1; k < knee; ++k) {
+    if (acf[k] > 0.0) {
+      x_lo.push_back(static_cast<double>(k));
+      y_lo.push_back(acf[k]);
+    }
+  }
+  for (std::size_t k = knee; k < n; ++k) {
+    if (acf[k] > 0.0) {
+      x_hi.push_back(static_cast<double>(k));
+      y_hi.push_back(acf[k]);
+    }
+  }
+  if (x_lo.size() < 2 || x_hi.size() < 2) return {};
+  BranchFits out;
+  out.exp_fit = fit_exponential(x_lo, y_lo);
+  out.pow_fit = fit_power_law(x_hi, y_hi);
+  const double beta = -out.pow_fit.slope;
+  out.valid = out.exp_fit.slope < 0.0 && beta >= min_beta && beta <= max_beta;
+  return out;
+}
+
+CompositeAcfFit assemble(std::span<const double> acf, std::size_t knee,
+                         const BranchFits& branches) {
+  CompositeAcfFit fit;
+  fit.knee = knee;
+  fit.lambda = -branches.exp_fit.slope;
+  fit.srd_scale = std::exp(branches.exp_fit.intercept);
+  fit.beta = -branches.pow_fit.slope;
+  fit.lrd_scale = std::exp(branches.pow_fit.intercept);
+  fit.exp_fit = branches.exp_fit;
+  fit.pow_fit = branches.pow_fit;
+  double sse = 0.0;
+  for (std::size_t k = 1; k < acf.size(); ++k) {
+    const double e = acf[k] - fit.evaluate(static_cast<double>(k));
+    sse += e * e;
+  }
+  fit.sse = sse;
+  return fit;
+}
+
+// Lag at which the fitted exponential crosses the fitted power law from
+// above — the knee the paper reads off ("the intersection point of the
+// two fitting curves"). g(k) = log(exp branch) - log(power branch) is
+// typically negative at k = 1 (a power law with L > 1 starts above the
+// exponential), turns positive, and goes negative again once the
+// exponential dies; the descending zero is the knee. We scan integer
+// lags for the *last* positive-to-negative sign change.
+std::size_t intersection_knee(const CompositeAcfFit& fit, std::size_t n,
+                              std::size_t fallback) {
+  auto g = [&](double k) {
+    return std::log(fit.srd_scale) - fit.lambda * k -
+           (std::log(fit.lrd_scale) - fit.beta * std::log(k));
+  };
+  std::size_t knee = 0;
+  for (std::size_t k = 1; k + 1 < n; ++k) {
+    if (g(static_cast<double>(k)) > 0.0 && g(static_cast<double>(k + 1)) <= 0.0) {
+      knee = k + 1;
+    }
+  }
+  return knee == 0 ? fallback : knee;
+}
+
+}  // namespace
+
+CompositeAcfFit fit_composite_acf(std::span<const double> acf,
+                                  const CompositeAcfFitOptions& options) {
+  const std::size_t n = acf.size();
+  SSVBR_REQUIRE(n >= 16, "need at least 16 ACF lags to fit the composite model");
+  SSVBR_REQUIRE(std::fabs(acf[0] - 1.0) < 1e-6, "acf[0] must equal 1");
+
+  if (!options.exhaustive_knee_search) {
+    // Paper procedure: fit once around the visual knee, then relocate
+    // the knee to the intersection of the two fitted curves (the paper
+    // picks Kt = 60 as "the intersection point of the two fitting
+    // curves") and keep the branch parameters.
+    const std::size_t hint = std::min(options.hint_knee, n - 4);
+    const BranchFits branches = fit_branches(acf, hint, options.min_beta, options.max_beta);
+    SSVBR_REQUIRE(branches.valid,
+                  "composite ACF fit failed: branches not both decaying at hint knee");
+    CompositeAcfFit fit = assemble(acf, hint, branches);
+    fit.knee = intersection_knee(fit, n, hint);
+    // Recompute the SSE with the relocated knee.
+    double sse = 0.0;
+    for (std::size_t k = 1; k < n; ++k) {
+      const double e = acf[k] - fit.evaluate(static_cast<double>(k));
+      sse += e * e;
+    }
+    fit.sse = sse;
+    return fit;
+  }
+
+  const std::size_t max_knee =
+      options.max_knee == 0 ? n / 2 : std::min(options.max_knee, n - 4);
+  SSVBR_REQUIRE(options.min_knee >= 3, "min_knee must be at least 3");
+  SSVBR_REQUIRE(options.min_knee <= max_knee, "empty knee search range");
+
+  CompositeAcfFit best;
+  double best_sse = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (std::size_t knee = options.min_knee; knee <= max_knee; ++knee) {
+    const BranchFits branches = fit_branches(acf, knee, options.min_beta, options.max_beta);
+    if (!branches.valid) continue;
+    const CompositeAcfFit fit = assemble(acf, knee, branches);
+    if (fit.sse < best_sse) {
+      best_sse = fit.sse;
+      best = fit;
+      found = true;
+    }
+  }
+  if (!found) {
+    throw NumericalError(
+        "composite ACF fit failed: no knee candidate yields two decaying branches");
+  }
+  return best;
+}
+
+double fit_srd_rate(std::span<const double> acf, std::size_t max_lag) {
+  SSVBR_REQUIRE(max_lag >= 2 && max_lag < acf.size(), "invalid SRD fit range");
+  std::vector<double> x;
+  std::vector<double> y;
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    if (acf[k] > 0.0) {
+      x.push_back(static_cast<double>(k));
+      y.push_back(acf[k]);
+    }
+  }
+  SSVBR_REQUIRE(x.size() >= 2, "too few positive ACF values for an SRD fit");
+  const LineFit fit = fit_exponential(x, y);
+  SSVBR_REQUIRE(fit.slope < 0.0, "SRD fit did not produce a decaying exponential");
+  return -fit.slope;
+}
+
+}  // namespace ssvbr::stats

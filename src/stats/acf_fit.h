@@ -1,0 +1,78 @@
+// ssvbr/stats/acf_fit.h
+//
+// Fitting the paper's composite SRD+LRD autocorrelation model
+// (Section 3.2, Step 2, eqs. (10)-(13)) to an estimated autocorrelation
+// function:
+//
+//     R(k) = exp(-lambda * k)   for k <  Kt   (short-range part)
+//     R(k) = L * k^(-beta)      for k >= Kt   (long-range part)
+//
+// The paper observes a "knee" in the empirical ACF around lag 60-80,
+// fits a decaying exponential below it and a power law above it by
+// least squares, and sets Kt to the intersection of the two fitted
+// curves. `fit_composite_acf` automates exactly that procedure and also
+// supports an exhaustive knee search that minimizes total squared error.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/linear_fit.h"
+
+namespace ssvbr::stats {
+
+/// Fitted parameters of the composite autocorrelation (one-exponential
+/// SRD as in the paper's final model, eq. (13)).
+struct CompositeAcfFit {
+  double lambda = 0.0;    ///< SRD exponential rate (> 0)
+  double srd_scale = 1.0; ///< SRD amplitude A in A*exp(-lambda k) (paper uses A ~= 1)
+  double lrd_scale = 0.0; ///< LRD amplitude L
+  double beta = 0.0;      ///< LRD exponent in (0, 1); Hurst H = 1 - beta/2
+  std::size_t knee = 0;   ///< Kt, first lag governed by the LRD branch
+  double sse = 0.0;       ///< total squared error of the fit over all lags
+  LineFit exp_fit;        ///< underlying log-linear SRD fit diagnostics
+  LineFit pow_fit;        ///< underlying log-log LRD fit diagnostics
+
+  /// Evaluate the fitted model at integer lag k >= 0 (R(0) = 1).
+  double evaluate(double k) const;
+
+  /// Hurst parameter implied by the LRD exponent, H = 1 - beta / 2.
+  double hurst() const { return 1.0 - beta / 2.0; }
+};
+
+/// Options controlling the composite fit.
+struct CompositeAcfFitOptions {
+  /// Knee candidates searched are [min_knee, max_knee]. max_knee = 0
+  /// means "half the available lags".
+  std::size_t min_knee = 10;
+  std::size_t max_knee = 0;
+  /// When true, pick the knee minimizing total SSE over all candidates;
+  /// when false, fit the two branches once using `hint_knee` as the
+  /// split and then move the knee to the intersection of the two fitted
+  /// curves — the procedure described in the paper.
+  bool exhaustive_knee_search = true;
+  /// Split point for the single-pass (paper-style) fit.
+  std::size_t hint_knee = 60;
+  /// Accepted range of the LRD exponent. Knee candidates whose tail fit
+  /// falls outside [min_beta, max_beta] are rejected: eq. (10) requires
+  /// 0 < beta <= 1 for a long-range-dependent tail, and an unconstrained
+  /// fit on a noisy, nearly-vanishing tail can run away.
+  double min_beta = 0.01;
+  double max_beta = 1.0;
+};
+
+/// Fit the composite model to acf[k], k = 0..N-1 (acf[0] must be 1).
+/// Lag 0 is excluded from both branch fits. Throws NumericalError when
+/// the ACF has non-positive values in the fitted region (take max_lag
+/// small enough that the ACF is still clearly positive, as the paper
+/// does by fitting over lags 1..500).
+CompositeAcfFit fit_composite_acf(std::span<const double> acf,
+                                  const CompositeAcfFitOptions& options = {});
+
+/// Convenience: fit only the exponential branch over lags [1, max_lag]
+/// and return the rate lambda (used by the SRD-only baseline model of
+/// Fig. 17).
+double fit_srd_rate(std::span<const double> acf, std::size_t max_lag);
+
+}  // namespace ssvbr::stats

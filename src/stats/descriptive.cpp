@@ -1,0 +1,187 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "fft/fft.h"
+
+namespace ssvbr::stats {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double n1 = static_cast<double>(n_);
+  ++n_;
+  const double n = static_cast<double>(n_);
+  const double delta = x - mean_;
+  const double delta_n = delta / n;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * n1;
+  mean_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+         4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  const double delta = other.mean_ - mean_;
+  const double delta2 = delta * delta;
+  const double delta3 = delta2 * delta;
+  const double delta4 = delta2 * delta2;
+
+  const double m2 = m2_ + other.m2_ + delta2 * na * nb / n;
+  const double m3 = m3_ + other.m3_ + delta3 * na * nb * (na - nb) / (n * n) +
+                    3.0 * delta * (na * other.m2_ - nb * m2_) / n;
+  const double m4 = m4_ + other.m4_ +
+                    delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n) +
+                    6.0 * delta2 * (na * na * other.m2_ + nb * nb * m2_) / (n * n) +
+                    4.0 * delta * (na * other.m3_ - nb * m3_) / n;
+
+  mean_ = (na * mean_ + nb * other.mean_) / n;
+  m2_ = m2;
+  m3_ = m3;
+  m4_ = m4;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::population_variance() const noexcept {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::skewness() const noexcept {
+  if (n_ < 3 || m2_ <= 0.0) return 0.0;
+  const double n = static_cast<double>(n_);
+  return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+}
+
+double RunningStats::excess_kurtosis() const noexcept {
+  if (n_ < 4 || m2_ <= 0.0) return 0.0;
+  const double n = static_cast<double>(n_);
+  return n * m4_ / (m2_ * m2_) - 3.0;
+}
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double sum = 0.0;
+  for (const double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size() - 1);
+}
+
+double population_variance(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  const double m = mean(xs);
+  double sum = 0.0;
+  for (const double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept { return std::sqrt(variance(xs)); }
+
+std::vector<double> autocovariance(std::span<const double> xs, std::size_t max_lag) {
+  SSVBR_REQUIRE(!xs.empty(), "autocovariance of empty series");
+  SSVBR_REQUIRE(max_lag < xs.size(), "max_lag must be smaller than the series length");
+  const std::size_t n = xs.size();
+  const double m = mean(xs);
+  std::vector<double> c(max_lag + 1, 0.0);
+  for (std::size_t k = 0; k <= max_lag; ++k) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i + k < n; ++i) {
+      sum += (xs[i] - m) * (xs[i + k] - m);
+    }
+    c[k] = sum / static_cast<double>(n);
+  }
+  return c;
+}
+
+std::vector<double> autocorrelation(std::span<const double> xs, std::size_t max_lag) {
+  std::vector<double> c = autocovariance(xs, max_lag);
+  SSVBR_REQUIRE(c[0] > 0.0, "autocorrelation of a constant series is undefined");
+  const double c0 = c[0];
+  for (double& v : c) v /= c0;
+  return c;
+}
+
+std::vector<double> autocorrelation_fft(std::span<const double> xs, std::size_t max_lag) {
+  SSVBR_REQUIRE(!xs.empty(), "autocorrelation of empty series");
+  SSVBR_REQUIRE(max_lag < xs.size(), "max_lag must be smaller than the series length");
+  const std::size_t n = xs.size();
+  const double m = mean(xs);
+  // Zero-pad to >= 2n to turn the circular convolution into a linear one.
+  const std::size_t padded = next_power_of_two(2 * n);
+  std::vector<fft::Complex> buf(padded, fft::Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < n; ++i) buf[i] = fft::Complex(xs[i] - m, 0.0);
+  fft::forward_pow2(buf);
+  for (auto& z : buf) z = fft::Complex(std::norm(z), 0.0);
+  fft::inverse_pow2(buf);
+  std::vector<double> r(max_lag + 1);
+  // inverse_pow2 is unnormalized (factor `padded`); the biased estimator
+  // divides by n. Normalize by c(0) at the end so both factors cancel.
+  const double c0 = buf[0].real();
+  SSVBR_REQUIRE(c0 > 0.0, "autocorrelation of a constant series is undefined");
+  for (std::size_t k = 0; k <= max_lag; ++k) r[k] = buf[k].real() / c0;
+  return r;
+}
+
+std::vector<double> aggregate_series(std::span<const double> xs, std::size_t m) {
+  SSVBR_REQUIRE(m > 0, "aggregation level must be positive");
+  const std::size_t blocks = xs.size() / m;
+  std::vector<double> out;
+  out.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < m; ++j) sum += xs[b * m + j];
+    out.push_back(sum / static_cast<double>(m));
+  }
+  return out;
+}
+
+double quantile_sorted(std::span<const double> sorted, double p) {
+  SSVBR_REQUIRE(!sorted.empty(), "quantile of empty sample");
+  SSVBR_REQUIRE(p >= 0.0 && p <= 1.0, "quantile probability must lie in [0, 1]");
+  const std::size_t n = sorted.size();
+  if (n == 1) return sorted[0];
+  const double h = p * static_cast<double>(n - 1);
+  const std::size_t lo = static_cast<std::size_t>(h);
+  if (lo + 1 >= n) return sorted[n - 1];
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double quantile(std::span<const double> xs, double p) {
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, p);
+}
+
+}  // namespace ssvbr::stats

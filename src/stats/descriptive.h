@@ -1,0 +1,80 @@
+// ssvbr/stats/descriptive.h
+//
+// Descriptive statistics over frame-size series: moments, sample
+// autocorrelation (direct and FFT-accelerated), and the aggregated
+// series X^(m) used by the variance-time Hurst estimator.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ssvbr::stats {
+
+/// Numerically stable streaming moments (Welford). Suitable for the
+/// hundreds-of-thousands-of-frames traces in this repository.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (n - 1 denominator); 0 for n < 2.
+  double variance() const noexcept;
+  /// Population variance (n denominator); 0 for n < 1.
+  double population_variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  /// Sample skewness (g1); 0 for n < 3 or zero variance.
+  double skewness() const noexcept;
+  /// Sample excess kurtosis (g2); 0 for n < 4 or zero variance.
+  double excess_kurtosis() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample mean of `xs`; 0 for empty input.
+double mean(std::span<const double> xs) noexcept;
+
+/// Unbiased sample variance of `xs`; 0 for fewer than two samples.
+double variance(std::span<const double> xs) noexcept;
+
+/// Population (n-denominator) variance of `xs`.
+double population_variance(std::span<const double> xs) noexcept;
+
+double stddev(std::span<const double> xs) noexcept;
+
+/// Sample autocorrelation r(k) for k = 0..max_lag using the biased
+/// (1/n) autocovariance estimator standard in time-series analysis.
+/// Direct O(n * max_lag) evaluation; prefer autocorrelation_fft for
+/// max_lag in the hundreds on long traces.
+std::vector<double> autocorrelation(std::span<const double> xs, std::size_t max_lag);
+
+/// Same estimator computed in O(n log n) via the Wiener-Khinchin
+/// theorem (periodogram of the zero-padded, demeaned series).
+std::vector<double> autocorrelation_fft(std::span<const double> xs, std::size_t max_lag);
+
+/// Sample autocovariance c(k), biased (1/n) estimator, k = 0..max_lag.
+std::vector<double> autocovariance(std::span<const double> xs, std::size_t max_lag);
+
+/// The m-aggregated series X^(m)_k = mean(X_{km-m+1} .. X_{km}) of the
+/// paper's variance-time analysis. Trailing partial blocks are dropped.
+std::vector<double> aggregate_series(std::span<const double> xs, std::size_t m);
+
+/// p-quantile (type-7 / linear interpolation, the R default) of a
+/// *sorted* sample. Requires non-empty input and p in [0, 1].
+double quantile_sorted(std::span<const double> sorted, double p);
+
+/// Convenience: sorts a copy and delegates to quantile_sorted.
+double quantile(std::span<const double> xs, double p);
+
+}  // namespace ssvbr::stats

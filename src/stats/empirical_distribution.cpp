@@ -1,0 +1,85 @@
+#include "stats/empirical_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "stats/descriptive.h"
+
+namespace ssvbr::stats {
+
+EmpiricalDistribution::EmpiricalDistribution(std::span<const double> sample)
+    : sorted_(sample.begin(), sample.end()) {
+  SSVBR_REQUIRE(!sorted_.empty(), "empirical distribution needs a non-empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+  mean_ = stats::mean(sorted_);
+  variance_ = stats::variance(sorted_);
+}
+
+double EmpiricalDistribution::cdf(double y) const {
+  const std::size_t n = sorted_.size();
+  if (y <= sorted_.front()) return y < sorted_.front() ? 0.0 : 0.5 / static_cast<double>(n);
+  if (y >= sorted_.back()) {
+    return y > sorted_.back() ? 1.0
+                              : (static_cast<double>(n) - 0.5) / static_cast<double>(n);
+  }
+  // Find the bracketing order statistics and interpolate the Hazen
+  // plotting positions p_i = (i + 0.5) / n (0-based i).
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), y);
+  const std::size_t j = static_cast<std::size_t>(it - sorted_.begin());  // sorted_[j-1] <= y < sorted_[j]
+  const double x0 = sorted_[j - 1];
+  const double x1 = sorted_[j];
+  const double p0 = (static_cast<double>(j - 1) + 0.5) / static_cast<double>(n);
+  const double p1 = (static_cast<double>(j) + 0.5) / static_cast<double>(n);
+  if (x1 == x0) return p1;
+  return p0 + (p1 - p0) * (y - x0) / (x1 - x0);
+}
+
+double EmpiricalDistribution::pdf(double y) const {
+  const double h = (sorted_.back() - sorted_.front()) /
+                   std::max<std::size_t>(std::size_t{1}, sorted_.size() / 10);
+  if (h <= 0.0) return 0.0;
+  return (cdf(y + 0.5 * h) - cdf(y - 0.5 * h)) / h;
+}
+
+double EmpiricalDistribution::quantile(double p) const {
+  SSVBR_REQUIRE(p > 0.0 && p < 1.0, "quantile requires p in (0, 1)");
+  const std::size_t n = sorted_.size();
+  // Invert the Hazen-interpolated ECDF: h = p * n - 0.5 indexes between
+  // order statistics.
+  const double h = p * static_cast<double>(n) - 0.5;
+  if (h <= 0.0) return sorted_.front();
+  if (h >= static_cast<double>(n - 1)) return sorted_.back();
+  const std::size_t lo = static_cast<std::size_t>(h);
+  const double frac = h - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[lo + 1] - sorted_[lo]);
+}
+
+std::string EmpiricalDistribution::describe() const {
+  std::ostringstream os;
+  os << "Empirical(n=" << sorted_.size() << ", mean=" << mean_ << ", range=["
+     << sorted_.front() << ", " << sorted_.back() << "])";
+  return os.str();
+}
+
+std::vector<QqPoint> qq_points(const Distribution& x, const Distribution& y,
+                               std::size_t n_points) {
+  SSVBR_REQUIRE(n_points > 0, "need at least one Q-Q point");
+  std::vector<QqPoint> out;
+  out.reserve(n_points);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    const double p = (static_cast<double>(i) + 0.5) / static_cast<double>(n_points);
+    out.push_back({p, x.quantile(p), y.quantile(p)});
+  }
+  return out;
+}
+
+std::vector<QqPoint> qq_points(std::span<const double> x_sample,
+                               std::span<const double> y_sample, std::size_t n_points) {
+  const EmpiricalDistribution fx(x_sample);
+  const EmpiricalDistribution fy(y_sample);
+  return qq_points(fx, fy, n_points);
+}
+
+}  // namespace ssvbr::stats

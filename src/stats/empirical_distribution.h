@@ -1,0 +1,71 @@
+// ssvbr/stats/empirical_distribution.h
+//
+// Empirical distribution function and quantile function built from a
+// sample. This is the "inverting the empirical distribution directly"
+// option the paper chooses for F_Y in the transform
+// Y = F_Y^{-1}(Phi(X)) (Section 3.1), as opposed to a parametric fit.
+//
+// The quantile function interpolates linearly between order statistics,
+// which makes the resulting transform h continuous and strictly
+// monotone wherever the sample has distinct values — the regularity the
+// Appendix A invariance theorem needs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace ssvbr::stats {
+
+/// Empirical distribution of a one-dimensional sample.
+class EmpiricalDistribution final : public Distribution {
+ public:
+  /// Builds from a sample (copied and sorted). Requires non-empty input.
+  explicit EmpiricalDistribution(std::span<const double> sample);
+
+  /// ECDF with the Hazen plotting position ((i - 0.5) / n), linearly
+  /// interpolated between order statistics.
+  double cdf(double y) const override;
+
+  /// Kernel-free density estimate: finite difference of the interpolated
+  /// ECDF. Adequate for diagnostics; not used by the transform.
+  double pdf(double y) const override;
+
+  /// Interpolated quantile function; the exact inverse of cdf() in the
+  /// interior of the sample range. Requires p in (0, 1).
+  double quantile(double p) const override;
+
+  double mean() const override { return mean_; }
+  double variance() const override { return variance_; }
+  std::string describe() const override;
+
+  std::size_t size() const noexcept { return sorted_.size(); }
+  double min() const noexcept { return sorted_.front(); }
+  double max() const noexcept { return sorted_.back(); }
+  std::span<const double> sorted_sample() const noexcept { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_;
+  double variance_;
+};
+
+/// Pairs (empirical quantile, model quantile) evaluated at the Hazen
+/// plotting positions of `n_points` probabilities — the data behind the
+/// paper's Q-Q plot (Fig. 13).
+struct QqPoint {
+  double probability;
+  double x_quantile;
+  double y_quantile;
+};
+
+std::vector<QqPoint> qq_points(const Distribution& x, const Distribution& y,
+                               std::size_t n_points);
+
+/// Q-Q points directly from two samples (sorted internally).
+std::vector<QqPoint> qq_points(std::span<const double> x_sample,
+                               std::span<const double> y_sample, std::size_t n_points);
+
+}  // namespace ssvbr::stats

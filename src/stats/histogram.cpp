@@ -1,0 +1,78 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ssvbr::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  SSVBR_REQUIRE(bins > 0, "histogram needs at least one bin");
+  SSVBR_REQUIRE(hi > lo, "histogram range must be non-degenerate");
+}
+
+Histogram Histogram::from_samples(std::span<const double> xs, std::size_t bins) {
+  SSVBR_REQUIRE(!xs.empty(), "cannot infer histogram range from empty sample");
+  const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  double lo = *mn;
+  double hi = *mx;
+  if (hi <= lo) hi = lo + 1.0;  // degenerate (constant) sample
+  Histogram h(lo, hi, bins);
+  h.add_all(xs);
+  return h;
+}
+
+std::size_t Histogram::bin_index(double x) const noexcept {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return counts_.size() - 1;
+  const auto i = static_cast<std::size_t>((x - lo_) / width_);
+  return std::min(i, counts_.size() - 1);
+}
+
+void Histogram::add(double x) noexcept {
+  ++counts_[bin_index(x)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) noexcept {
+  for (const double x : xs) add(x);
+}
+
+double Histogram::bin_left(std::size_t i) const {
+  SSVBR_REQUIRE(i < counts_.size(), "bin index out of range");
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::bin_center(std::size_t i) const { return bin_left(i) + 0.5 * width_; }
+
+std::size_t Histogram::count(std::size_t i) const {
+  SSVBR_REQUIRE(i < counts_.size(), "bin index out of range");
+  return counts_[i];
+}
+
+double Histogram::frequency(std::size_t i) const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(count(i)) / static_cast<double>(total_);
+}
+
+double Histogram::density(std::size_t i) const { return frequency(i) / width_; }
+
+std::vector<double> Histogram::frequencies() const {
+  std::vector<double> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) out[i] = frequency(i);
+  return out;
+}
+
+double Histogram::total_variation_distance(const Histogram& a, const Histogram& b) {
+  SSVBR_REQUIRE(a.bin_count() == b.bin_count() && a.lo() == b.lo() && a.hi() == b.hi(),
+                "histograms must share identical binning");
+  double tv = 0.0;
+  for (std::size_t i = 0; i < a.bin_count(); ++i) {
+    tv += std::fabs(a.frequency(i) - b.frequency(i));
+  }
+  return 0.5 * tv;
+}
+
+}  // namespace ssvbr::stats

@@ -1,0 +1,62 @@
+// ssvbr/stats/histogram.h
+//
+// Fixed-width histogram over a closed range, the representation behind
+// Figs. 1 and 12 of the paper and an input to the histogram-inversion
+// marginal transform.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ssvbr::stats {
+
+/// Equal-width binning histogram. Samples outside [lo, hi] are clamped
+/// into the first/last bin so that total mass is conserved (frame-size
+/// traces occasionally contain extreme outliers that would otherwise be
+/// silently dropped).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Build a histogram spanning [min(xs), max(xs)] with `bins` bins.
+  static Histogram from_samples(std::span<const double> xs, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> xs) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  double bin_width() const noexcept { return width_; }
+
+  /// Left edge of bin i.
+  double bin_left(std::size_t i) const;
+  /// Center of bin i.
+  double bin_center(std::size_t i) const;
+  /// Raw count of bin i.
+  std::size_t count(std::size_t i) const;
+  /// Relative frequency of bin i (count / total); 0 when empty.
+  double frequency(std::size_t i) const;
+  /// Density estimate of bin i (frequency / bin width).
+  double density(std::size_t i) const;
+
+  /// All relative frequencies, in bin order.
+  std::vector<double> frequencies() const;
+
+  /// Total-variation distance between the frequency vectors of two
+  /// histograms with identical binning. In [0, 1]; 0 means identical.
+  static double total_variation_distance(const Histogram& a, const Histogram& b);
+
+ private:
+  std::size_t bin_index(double x) const noexcept;
+
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ssvbr::stats

@@ -1,0 +1,78 @@
+#include "stats/linear_fit.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ssvbr::stats {
+
+LineFit fit_line(std::span<const double> x, std::span<const double> y) {
+  SSVBR_REQUIRE(x.size() == y.size(), "x and y must have equal length");
+  SSVBR_REQUIRE(x.size() >= 2, "need at least two points to fit a line");
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  SSVBR_REQUIRE(sxx > 0.0, "x values must not be constant");
+  LineFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double resid = y[i] - (fit.slope * x[i] + fit.intercept);
+    ss_res += resid * resid;
+  }
+  fit.r_squared = syy > 0.0 ? 1.0 - ss_res / syy : 1.0;
+  fit.residual_stddev =
+      x.size() > 2 ? std::sqrt(ss_res / static_cast<double>(x.size() - 2)) : 0.0;
+  return fit;
+}
+
+namespace {
+
+LineFit fit_log_transformed(std::span<const double> x, std::span<const double> y,
+                            bool log_x) {
+  SSVBR_REQUIRE(x.size() == y.size(), "x and y must have equal length");
+  std::vector<double> tx;
+  std::vector<double> ty;
+  tx.reserve(x.size());
+  ty.reserve(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (y[i] <= 0.0) continue;
+    if (log_x && x[i] <= 0.0) continue;
+    tx.push_back(log_x ? std::log(x[i]) : x[i]);
+    ty.push_back(std::log(y[i]));
+  }
+  SSVBR_REQUIRE(tx.size() >= 2, "need at least two positive points for a log-domain fit");
+  return fit_line(tx, ty);
+}
+
+}  // namespace
+
+LineFit fit_exponential(std::span<const double> x, std::span<const double> y) {
+  // Returned slope is the exponential rate; intercept is log(A).
+  return fit_log_transformed(x, y, /*log_x=*/false);
+}
+
+LineFit fit_power_law(std::span<const double> x, std::span<const double> y) {
+  // Returned slope is the power-law exponent; intercept is log(A).
+  return fit_log_transformed(x, y, /*log_x=*/true);
+}
+
+}  // namespace ssvbr::stats

@@ -1,0 +1,33 @@
+// ssvbr/stats/linear_fit.h
+//
+// Ordinary least-squares line fit, the workhorse behind the paper's
+// variance-time plot slope, R/S pox-diagram slope, and the log-domain
+// fits of the SRD (exponential) and LRD (power-law) autocorrelation
+// components.
+#pragma once
+
+#include <span>
+
+namespace ssvbr::stats {
+
+/// Result of fitting y = slope * x + intercept by least squares.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< coefficient of determination
+  double residual_stddev = 0.0;
+};
+
+/// Least-squares fit of y over x. Requires at least two points and
+/// non-constant x.
+LineFit fit_line(std::span<const double> x, std::span<const double> y);
+
+/// Fit y = A * exp(slope * x): log-linear least squares on log(y).
+/// Points with y <= 0 are skipped; at least two valid points required.
+LineFit fit_exponential(std::span<const double> x, std::span<const double> y);
+
+/// Fit y = A * x^slope: log-log least squares. Points with x <= 0 or
+/// y <= 0 are skipped; at least two valid points required.
+LineFit fit_power_law(std::span<const double> x, std::span<const double> y);
+
+}  // namespace ssvbr::stats

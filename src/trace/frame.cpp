@@ -1,0 +1,47 @@
+#include "trace/frame.h"
+
+#include "common/error.h"
+
+namespace ssvbr::trace {
+
+char to_char(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::I: return 'I';
+    case FrameType::P: return 'P';
+    case FrameType::B: return 'B';
+  }
+  return '?';
+}
+
+FrameType frame_type_from_char(char c) {
+  switch (c) {
+    case 'I': case 'i': return FrameType::I;
+    case 'P': case 'p': return FrameType::P;
+    case 'B': case 'b': return FrameType::B;
+    default:
+      throw InvalidArgument(std::string("unknown frame type '") + c + "'");
+  }
+}
+
+GopStructure::GopStructure(std::string pattern) : text_(std::move(pattern)) {
+  SSVBR_REQUIRE(!text_.empty(), "GOP pattern must be non-empty");
+  SSVBR_REQUIRE(text_.front() == 'I', "GOP pattern must start with an I frame");
+  pattern_.reserve(text_.size());
+  for (const char c : text_) pattern_.push_back(frame_type_from_char(c));
+}
+
+GopStructure GopStructure::mpeg1_default() { return GopStructure("IBBPBBPBBPBB"); }
+
+FrameType GopStructure::type_at(std::size_t frame_index) const noexcept {
+  return pattern_[frame_index % pattern_.size()];
+}
+
+std::size_t GopStructure::count(FrameType type) const noexcept {
+  std::size_t n = 0;
+  for (const FrameType t : pattern_) {
+    if (t == type) ++n;
+  }
+  return n;
+}
+
+}  // namespace ssvbr::trace

@@ -1,0 +1,58 @@
+// ssvbr/trace/frame.h
+//
+// MPEG-1 frame taxonomy and group-of-pictures (GOP) structure.
+//
+// The paper's interframe model (Section 3.3) hinges on the periodic
+// I/B/P pattern the PVRG-MPEG 1.1 codec emits: I frames every
+// K_I = 12 frames, pattern I B B P B B P B B P B B.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ssvbr::trace {
+
+/// MPEG frame type.
+enum class FrameType : unsigned char {
+  I,  ///< intraframe-coded (no temporal prediction)
+  P,  ///< forward predicted
+  B,  ///< bidirectionally predicted
+};
+
+/// Single-character mnemonic ('I', 'P', 'B').
+char to_char(FrameType type) noexcept;
+
+/// Parse a mnemonic; throws InvalidArgument for anything else.
+FrameType frame_type_from_char(char c);
+
+/// A repeating GOP pattern, e.g. "IBBPBBPBBPBB".
+class GopStructure {
+ public:
+  /// Builds from a pattern string; must be non-empty, start with 'I',
+  /// and contain only I/P/B.
+  explicit GopStructure(std::string pattern);
+
+  /// The canonical MPEG-1 pattern used by the paper's codec
+  /// (I period 12): "IBBPBBPBBPBB".
+  static GopStructure mpeg1_default();
+
+  std::size_t size() const noexcept { return pattern_.size(); }
+
+  /// Frame type at global frame index i (pattern repeats).
+  FrameType type_at(std::size_t frame_index) const noexcept;
+
+  /// I-frame period K_I (equal to size() for single-I patterns).
+  std::size_t i_period() const noexcept { return pattern_.size(); }
+
+  /// Counts of each type within one period.
+  std::size_t count(FrameType type) const noexcept;
+
+  const std::string& pattern() const noexcept { return text_; }
+
+ private:
+  std::string text_;
+  std::vector<FrameType> pattern_;
+};
+
+}  // namespace ssvbr::trace

@@ -1,0 +1,103 @@
+#include "trace/scene_mpeg_source.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "dist/distributions.h"
+
+namespace ssvbr::trace {
+
+SceneMpegSource::SceneMpegSource(SceneMpegSourceParams params, GopStructure gop)
+    : params_(std::move(params)), gop_(std::move(gop)) {
+  SSVBR_REQUIRE(params_.scene_alpha > 1.0 && params_.scene_alpha < 2.0,
+                "scene_alpha must lie in (1, 2) for finite-mean, LRD-inducing scenes");
+  SSVBR_REQUIRE(params_.scene_min_gops >= 1.0, "scenes must last at least one GOP");
+  SSVBR_REQUIRE(params_.scene_level_rho >= 0.0 && params_.scene_level_rho < 1.0,
+                "scene_level_rho must lie in [0, 1)");
+  SSVBR_REQUIRE(params_.within_rho >= 0.0 && params_.within_rho < 1.0,
+                "within_rho must lie in [0, 1)");
+  SSVBR_REQUIRE(params_.i_scale_bytes > 0.0, "i_scale_bytes must be positive");
+  SSVBR_REQUIRE(params_.p_ratio > 0.0 && params_.b_ratio > 0.0,
+                "P/B ratios must be positive");
+}
+
+VideoTrace SceneMpegSource::generate(std::size_t n_frames, RandomEngine& rng) const {
+  SSVBR_REQUIRE(n_frames >= 1, "cannot generate an empty trace");
+  const ParetoDistribution scene_length(params_.scene_alpha, params_.scene_min_gops);
+
+  std::vector<double> sizes;
+  sizes.reserve(n_frames);
+
+  // Stationary-ish initialization of the two AR(1) levels.
+  const double scene_stat_sigma =
+      params_.scene_level_sigma /
+      std::sqrt(1.0 - params_.scene_level_rho * params_.scene_level_rho);
+  const double within_stat_sigma =
+      params_.within_sigma / std::sqrt(1.0 - params_.within_rho * params_.within_rho);
+
+  double scene_level = rng.normal(0.0, scene_stat_sigma);   // log activity of scene
+  double within_level = rng.normal(0.0, within_stat_sigma); // log fluctuation in scene
+  double motion = rng.normal(0.0, params_.motion_sigma);    // log motion factor
+  std::size_t gops_left = static_cast<std::size_t>(std::ceil(scene_length.sample(rng)));
+
+  const double log_i_scale = std::log(params_.i_scale_bytes);
+  double gop_i_log = log_i_scale + scene_level + within_level;  // current GOP's I level
+
+  const std::size_t gop_len = gop_.size();
+  for (std::size_t i = 0; i < n_frames; ++i) {
+    const std::size_t pos = i % gop_len;
+    if (pos == 0) {
+      // New GOP: advance the within-scene fluctuation; maybe start a
+      // new scene.
+      if (gops_left == 0) {
+        scene_level = params_.scene_level_rho * scene_level +
+                      rng.normal(0.0, params_.scene_level_sigma);
+        motion = rng.normal(0.0, params_.motion_sigma);
+        gops_left = static_cast<std::size_t>(std::ceil(scene_length.sample(rng)));
+        // Scene cuts reset part of the short-term memory: keep the
+        // within-scene level but shrink it toward zero.
+        within_level *= 0.5;
+      }
+      --gops_left;
+      within_level = params_.within_rho * within_level +
+                     rng.normal(0.0, params_.within_sigma);
+      gop_i_log = log_i_scale + scene_level + within_level;
+    }
+
+    double bytes = 0.0;
+    switch (gop_.type_at(i)) {
+      case FrameType::I:
+        bytes = std::exp(gop_i_log + rng.normal(0.0, params_.noise_sigma));
+        break;
+      case FrameType::P:
+        bytes = params_.p_ratio *
+                std::exp(gop_i_log + motion + rng.normal(0.0, params_.p_sigma));
+        break;
+      case FrameType::B:
+        bytes = params_.b_ratio *
+                std::exp(gop_i_log + motion + rng.normal(0.0, params_.b_sigma));
+        break;
+    }
+    sizes.push_back(bytes < params_.min_frame_bytes ? params_.min_frame_bytes : bytes);
+  }
+
+  TraceMetadata meta;
+  meta.title = "synthetic scene-based MPEG-1 sequence (Last Action Hero stand-in)";
+  meta.coder = "ssvbr SceneMpegSource";
+  return VideoTrace(std::move(sizes), gop_, std::move(meta));
+}
+
+VideoTrace SceneMpegSource::generate_table1_equivalent(RandomEngine& rng) const {
+  // Table 1: 238,626 frames, 2h12m36s at 30 fps, 320x240, 8 bpp, 15
+  // slices/frame.
+  return generate(238626, rng);
+}
+
+VideoTrace make_empirical_standin_trace(std::size_t n_frames) {
+  RandomEngine rng(kCanonicalEmpiricalSeed);
+  const SceneMpegSource source;
+  return source.generate(n_frames == 0 ? 238626 : n_frames, rng);
+}
+
+}  // namespace ssvbr::trace

@@ -1,0 +1,136 @@
+#include "trace/video_trace.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "stats/descriptive.h"
+
+namespace ssvbr::trace {
+
+VideoTrace::VideoTrace(std::vector<double> frame_sizes, GopStructure gop,
+                       TraceMetadata metadata)
+    : sizes_(std::move(frame_sizes)), gop_(std::move(gop)), metadata_(std::move(metadata)) {
+  SSVBR_REQUIRE(!sizes_.empty(), "a trace must contain at least one frame");
+  for (const double s : sizes_) {
+    SSVBR_REQUIRE(s >= 0.0, "frame sizes must be non-negative");
+  }
+}
+
+std::vector<double> VideoTrace::sizes_of(FrameType type) const {
+  std::vector<double> out;
+  out.reserve(sizes_.size() / gop_.size() * gop_.count(type) + gop_.size());
+  for (std::size_t i = 0; i < sizes_.size(); ++i) {
+    if (gop_.type_at(i) == type) out.push_back(sizes_[i]);
+  }
+  return out;
+}
+
+double VideoTrace::mean_frame_size() const { return stats::mean(sizes_); }
+
+double VideoTrace::mean_bit_rate() const {
+  return mean_frame_size() * 8.0 * metadata_.frames_per_second;
+}
+
+std::vector<double> VideoTrace::slice_series(RandomEngine* rng, double unevenness) const {
+  const int slices = metadata_.slices_per_frame;
+  SSVBR_REQUIRE(slices >= 1, "metadata must specify at least one slice per frame");
+  SSVBR_REQUIRE(unevenness >= 0.0, "unevenness must be non-negative");
+  std::vector<double> out;
+  out.reserve(sizes_.size() * static_cast<std::size_t>(slices));
+  std::vector<double> weights(static_cast<std::size_t>(slices));
+  for (const double frame_bytes : sizes_) {
+    if (rng == nullptr || unevenness == 0.0) {
+      const double each = frame_bytes / static_cast<double>(slices);
+      for (int s = 0; s < slices; ++s) out.push_back(each);
+      continue;
+    }
+    // Normalized positive weights (exponential of scaled Gaussians is a
+    // cheap symmetric Dirichlet-like split) conserve the frame total.
+    double total = 0.0;
+    for (auto& w : weights) {
+      w = std::exp(unevenness * rng->normal());
+      total += w;
+    }
+    for (const double w : weights) out.push_back(frame_bytes * w / total);
+  }
+  return out;
+}
+
+void VideoTrace::save(std::ostream& os) const {
+  os << "# ssvbr-trace-v1\n";
+  os << "# title: " << metadata_.title << '\n';
+  os << "# coder: " << metadata_.coder << '\n';
+  os << "# format: " << metadata_.format << '\n';
+  os << "# width: " << metadata_.width << '\n';
+  os << "# height: " << metadata_.height << '\n';
+  os << "# bits_per_pixel: " << metadata_.bits_per_pixel << '\n';
+  os << "# frames_per_second: " << metadata_.frames_per_second << '\n';
+  os << "# slices_per_frame: " << metadata_.slices_per_frame << '\n';
+  os << "# gop: " << gop_.pattern() << '\n';
+  os << "# frames: " << sizes_.size() << '\n';
+  for (std::size_t i = 0; i < sizes_.size(); ++i) {
+    os << to_char(gop_.type_at(i)) << ' ' << sizes_[i] << '\n';
+  }
+}
+
+void VideoTrace::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  SSVBR_REQUIRE(os.good(), "cannot open '" + path + "' for writing");
+  save(os);
+  SSVBR_REQUIRE(os.good(), "write to '" + path + "' failed");
+}
+
+VideoTrace VideoTrace::load(std::istream& is) {
+  TraceMetadata meta;
+  std::string gop_pattern = "IBBPBBPBBPBB";
+  std::vector<double> sizes;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const auto colon = line.find(':');
+      if (colon == std::string::npos) continue;  // banner line
+      std::string key = line.substr(1, colon - 1);
+      std::string value = line.substr(colon + 1);
+      // Trim surrounding whitespace.
+      const auto trim = [](std::string& s) {
+        const auto b = s.find_first_not_of(" \t");
+        const auto e = s.find_last_not_of(" \t");
+        s = b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
+      };
+      trim(key);
+      trim(value);
+      if (key == "title") meta.title = value;
+      else if (key == "coder") meta.coder = value;
+      else if (key == "format") meta.format = value;
+      else if (key == "width") meta.width = std::stoi(value);
+      else if (key == "height") meta.height = std::stoi(value);
+      else if (key == "bits_per_pixel") meta.bits_per_pixel = std::stoi(value);
+      else if (key == "frames_per_second") meta.frames_per_second = std::stod(value);
+      else if (key == "slices_per_frame") meta.slices_per_frame = std::stoi(value);
+      else if (key == "gop") gop_pattern = value;
+      continue;
+    }
+    std::istringstream ls(line);
+    char type_char = 0;
+    double bytes = 0.0;
+    if (!(ls >> type_char >> bytes)) {
+      throw InvalidArgument("malformed trace line: '" + line + "'");
+    }
+    frame_type_from_char(type_char);  // validates
+    SSVBR_REQUIRE(bytes >= 0.0, "frame sizes must be non-negative");
+    sizes.push_back(bytes);
+  }
+  SSVBR_REQUIRE(!sizes.empty(), "trace stream contained no frames");
+  return VideoTrace(std::move(sizes), GopStructure(gop_pattern), std::move(meta));
+}
+
+VideoTrace VideoTrace::load_file(const std::string& path) {
+  std::ifstream is(path);
+  SSVBR_REQUIRE(is.good(), "cannot open '" + path + "' for reading");
+  return load(is);
+}
+
+}  // namespace ssvbr::trace

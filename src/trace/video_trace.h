@@ -1,0 +1,96 @@
+// ssvbr/trace/video_trace.h
+//
+// Container for a VBR video frame-size trace plus the sequence metadata
+// the paper reports in Table 1. Provides the per-frame-type slicing the
+// interframe model needs (separate histograms for I, P, B frames and
+// the I-frame subseries whose ACF drives the background process).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dist/random.h"
+#include "trace/frame.h"
+
+namespace ssvbr::trace {
+
+/// Sequence metadata, mirroring the paper's Table 1.
+struct TraceMetadata {
+  std::string coder = "synthetic";
+  std::string format = "YUV colorspace, CCIR 601-2";
+  int width = 320;
+  int height = 240;
+  int bits_per_pixel = 8;
+  double frames_per_second = 30.0;
+  int slices_per_frame = 15;
+  std::string title;
+
+  /// Duration in seconds implied by the frame count.
+  double duration_seconds(std::size_t n_frames) const {
+    return static_cast<double>(n_frames) / frames_per_second;
+  }
+};
+
+/// A frame-size trace: sizes in bytes/frame, one entry per frame, with
+/// the GOP pattern that assigns each frame its type.
+class VideoTrace {
+ public:
+  VideoTrace(std::vector<double> frame_sizes, GopStructure gop,
+             TraceMetadata metadata = {});
+
+  std::size_t size() const noexcept { return sizes_.size(); }
+  bool empty() const noexcept { return sizes_.empty(); }
+
+  /// Bytes of frame i.
+  double operator[](std::size_t i) const { return sizes_[i]; }
+
+  FrameType type_of(std::size_t i) const noexcept { return gop_.type_at(i); }
+
+  std::span<const double> frame_sizes() const noexcept { return sizes_; }
+  const GopStructure& gop() const noexcept { return gop_; }
+  const TraceMetadata& metadata() const noexcept { return metadata_; }
+
+  /// Sizes of all frames of the given type, in temporal order.
+  std::vector<double> sizes_of(FrameType type) const;
+
+  /// The I-frame subseries (one value per GOP) that Section 3.3 models
+  /// first; identical to sizes_of(FrameType::I).
+  std::vector<double> i_frame_series() const { return sizes_of(FrameType::I); }
+
+  /// Mean bytes/frame across the whole trace.
+  double mean_frame_size() const;
+
+  /// Aggregate bit rate in bits/second implied by the metadata.
+  double mean_bit_rate() const;
+
+  /// Expand the trace to slice granularity: every frame's bytes are
+  /// split across metadata().slices_per_frame slices. The paper models
+  /// "the number of bits per video frame or slice"; slice granularity
+  /// is what an ATM adaptation layer actually sees within the frame
+  /// interval. With `rng == nullptr` the split is even; with an engine,
+  /// a Dirichlet-like symmetric perturbation (`unevenness` > 0 scales
+  /// its strength) models the uneven spatial complexity of real slices
+  /// while conserving every frame's total exactly.
+  std::vector<double> slice_series(RandomEngine* rng = nullptr,
+                                   double unevenness = 0.5) const;
+
+  /// Serialize as a self-describing text format:
+  ///   header lines "# key: value", then one "<type> <bytes>" per frame.
+  void save(std::ostream& os) const;
+  void save_file(const std::string& path) const;
+
+  /// Parse the text format written by save(). Throws InvalidArgument on
+  /// malformed input.
+  static VideoTrace load(std::istream& is);
+  static VideoTrace load_file(const std::string& path);
+
+ private:
+  std::vector<double> sizes_;
+  GopStructure gop_;
+  TraceMetadata metadata_;
+};
+
+}  // namespace ssvbr::trace

@@ -1,0 +1,165 @@
+#include "queueing/arrival.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "dist/distributions.h"
+#include "fractal/autocorrelation.h"
+#include "stats/descriptive.h"
+
+namespace ssvbr::queueing {
+namespace {
+
+std::shared_ptr<const core::UnifiedVbrModel> make_model() {
+  auto corr = std::make_shared<fractal::ExponentialAutocorrelation>(0.05);
+  core::MarginalTransform h(std::make_shared<GammaDistribution>(2.0, 100.0));
+  return std::make_shared<core::UnifiedVbrModel>(std::move(corr), std::move(h));
+}
+
+TEST(ModelArrivalProcess, ProducesHorizonManyArrivals) {
+  ModelArrivalProcess arr(make_model());
+  RandomEngine rng(1);
+  arr.begin_replication(rng, 100);
+  for (int i = 0; i < 100; ++i) EXPECT_GT(arr.next(), 0.0);
+  EXPECT_THROW(arr.next(), InvalidArgument);  // horizon exhausted
+}
+
+TEST(ModelArrivalProcess, MeanRateIsModelMean) {
+  ModelArrivalProcess arr(make_model());
+  EXPECT_NEAR(arr.mean_rate(), 200.0, 2.0);  // Gamma(2, 100)
+}
+
+TEST(ModelArrivalProcess, ReplicationsAreIndependent) {
+  ModelArrivalProcess arr(make_model());
+  RandomEngine rng(2);
+  arr.begin_replication(rng, 10);
+  const double first_a = arr.next();
+  arr.begin_replication(rng, 10);
+  const double first_b = arr.next();
+  EXPECT_NE(first_a, first_b);
+}
+
+TEST(ModelArrivalProcess, LongRunMeanConverges) {
+  ModelArrivalProcess arr(make_model());
+  RandomEngine rng(3);
+  stats::RunningStats moments;
+  for (int rep = 0; rep < 40; ++rep) {
+    arr.begin_replication(rng, 500);
+    for (int i = 0; i < 500; ++i) moments.add(arr.next());
+  }
+  EXPECT_NEAR(moments.mean(), arr.mean_rate(), 0.05 * arr.mean_rate());
+}
+
+TEST(ModelArrivalProcess, Validation) {
+  EXPECT_THROW(ModelArrivalProcess(nullptr), InvalidArgument);
+  ModelArrivalProcess arr(make_model());
+  RandomEngine rng(4);
+  EXPECT_THROW(arr.begin_replication(rng, 0), InvalidArgument);
+}
+
+TEST(TraceArrivalProcess, SequentialPlaybackWrapsAround) {
+  const std::vector<double> series{1.0, 2.0, 3.0};
+  TraceArrivalProcess arr(series);
+  RandomEngine rng(5);
+  arr.begin_replication(rng, 7);
+  EXPECT_DOUBLE_EQ(arr.next(), 1.0);
+  EXPECT_DOUBLE_EQ(arr.next(), 2.0);
+  EXPECT_DOUBLE_EQ(arr.next(), 3.0);
+  EXPECT_DOUBLE_EQ(arr.next(), 1.0);  // wrap
+  EXPECT_EQ(arr.length(), 3u);
+  EXPECT_NEAR(arr.mean_rate(), 2.0, 1e-12);
+}
+
+TEST(TraceArrivalProcess, SequentialModeRestartsAtZero) {
+  const std::vector<double> series{1.0, 2.0, 3.0};
+  TraceArrivalProcess arr(series);
+  RandomEngine rng(6);
+  arr.begin_replication(rng, 2);
+  arr.next();
+  arr.begin_replication(rng, 2);
+  EXPECT_DOUBLE_EQ(arr.next(), 1.0);
+}
+
+TEST(TraceArrivalProcess, RandomOffsetsCoverTheTrace) {
+  std::vector<double> series(100);
+  for (std::size_t i = 0; i < series.size(); ++i) series[i] = static_cast<double>(i);
+  TraceArrivalProcess arr(series, /*random_offset=*/true);
+  RandomEngine rng(7);
+  std::set<double> first_values;
+  for (int rep = 0; rep < 200; ++rep) {
+    arr.begin_replication(rng, 1);
+    first_values.insert(arr.next());
+  }
+  EXPECT_GT(first_values.size(), 50u);  // many distinct starting points
+}
+
+TEST(TraceArrivalProcess, RejectsEmptySeries) {
+  const std::vector<double> empty;
+  EXPECT_THROW(TraceArrivalProcess arr(empty), InvalidArgument);
+}
+
+TEST(IidArrivalProcess, SamplesFromMarginal) {
+  IidArrivalProcess arr(std::make_shared<GammaDistribution>(3.0, 10.0));
+  RandomEngine rng(8);
+  arr.begin_replication(rng, 1000);
+  stats::RunningStats moments;
+  for (int i = 0; i < 50000; ++i) moments.add(arr.next());
+  EXPECT_NEAR(moments.mean(), 30.0, 0.5);
+  EXPECT_NEAR(arr.mean_rate(), 30.0, 1e-12);
+}
+
+TEST(IidArrivalProcess, RequiresBeginBeforeNext) {
+  IidArrivalProcess arr(std::make_shared<GammaDistribution>(1.0, 1.0));
+  EXPECT_THROW(arr.next(), InvalidArgument);
+  EXPECT_THROW(IidArrivalProcess(nullptr), InvalidArgument);
+}
+
+TEST(SuperposedArrivalProcess, SumsComponentsPerSlot) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{10.0, 20.0};
+  std::vector<std::unique_ptr<ArrivalProcess>> parts;
+  parts.push_back(std::make_unique<TraceArrivalProcess>(a));
+  parts.push_back(std::make_unique<TraceArrivalProcess>(b));
+  SuperposedArrivalProcess sup(std::move(parts));
+  EXPECT_EQ(sup.n_components(), 2u);
+  EXPECT_NEAR(sup.mean_rate(), 16.5, 1e-12);
+  RandomEngine rng(20);
+  sup.begin_replication(rng, 4);
+  EXPECT_DOUBLE_EQ(sup.next(), 11.0);
+  EXPECT_DOUBLE_EQ(sup.next(), 22.0);
+  EXPECT_DOUBLE_EQ(sup.next(), 11.0);  // both wrap
+}
+
+TEST(SuperposedArrivalProcess, IndependentModelComponents) {
+  std::vector<std::unique_ptr<ArrivalProcess>> parts;
+  for (int i = 0; i < 3; ++i) {
+    parts.push_back(std::make_unique<ModelArrivalProcess>(make_model()));
+  }
+  SuperposedArrivalProcess sup(std::move(parts));
+  EXPECT_NEAR(sup.mean_rate(), 3.0 * 200.0, 6.0);
+  RandomEngine rng(21);
+  sup.begin_replication(rng, 50);
+  stats::RunningStats moments;
+  for (int rep = 0; rep < 40; ++rep) {
+    sup.begin_replication(rng, 200);
+    for (int i = 0; i < 200; ++i) moments.add(sup.next());
+  }
+  EXPECT_NEAR(moments.mean(), sup.mean_rate(), 0.08 * sup.mean_rate());
+  // Superposition of independent sources has smaller relative spread
+  // than one source: var scales with N, mean with N.
+  EXPECT_LT(moments.stddev() / moments.mean(), 1.0);
+}
+
+TEST(SuperposedArrivalProcess, Validation) {
+  std::vector<std::unique_ptr<ArrivalProcess>> empty;
+  EXPECT_THROW(SuperposedArrivalProcess sup(std::move(empty)), InvalidArgument);
+  std::vector<std::unique_ptr<ArrivalProcess>> with_null;
+  with_null.push_back(nullptr);
+  EXPECT_THROW(SuperposedArrivalProcess sup2(std::move(with_null)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ssvbr::queueing

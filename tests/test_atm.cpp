@@ -1,0 +1,161 @@
+#include "atm/cell.h"
+#include "atm/multiplexer.h"
+#include "atm/segmentation.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ssvbr::atm {
+namespace {
+
+TEST(Aal5, CellCountsForKnownPduSizes) {
+  // payload 48, trailer 8: 40 user bytes fit in one cell.
+  EXPECT_EQ(aal5_cells_for(0), 1u);
+  EXPECT_EQ(aal5_cells_for(40), 1u);
+  EXPECT_EQ(aal5_cells_for(41), 2u);
+  EXPECT_EQ(aal5_cells_for(88), 2u);
+  EXPECT_EQ(aal5_cells_for(89), 3u);
+  EXPECT_EQ(aal5_cells_for(1000), (1000u + 8u + 47u) / 48u);
+}
+
+TEST(Aal5, Constants) {
+  EXPECT_EQ(kCellBytes, 53u);
+  EXPECT_EQ(kCellPayloadBytes, 48u);
+  EXPECT_EQ(kAal5TrailerBytes, 8u);
+}
+
+TEST(Segmentation, ConservesCellCount) {
+  const std::vector<double> frames{1000.0, 2500.0, 88.0, 40.0};
+  for (const auto mode : {PacingMode::kBurst, PacingMode::kSmooth}) {
+    const std::vector<std::size_t> slots = segment_frames(frames, 15, mode);
+    ASSERT_EQ(slots.size(), frames.size() * 15);
+    const std::size_t total = std::accumulate(slots.begin(), slots.end(), std::size_t{0});
+    EXPECT_EQ(total, total_cells(frames));
+  }
+}
+
+TEST(Segmentation, BurstModePutsAllCellsInFirstSlot) {
+  const std::vector<double> frames{1000.0};
+  const std::vector<std::size_t> slots = segment_frames(frames, 4, PacingMode::kBurst);
+  EXPECT_EQ(slots[0], aal5_cells_for(1000));
+  EXPECT_EQ(slots[1], 0u);
+  EXPECT_EQ(slots[2], 0u);
+  EXPECT_EQ(slots[3], 0u);
+}
+
+TEST(Segmentation, SmoothModeSpreadsEvenly) {
+  // 22 cells over 5 slots: every slot gets 4 or 5.
+  const double bytes = 22.0 * 48.0 - 8.0;  // exactly 22 cells
+  const std::vector<std::size_t> slots =
+      segment_frames(std::vector<double>{bytes}, 5, PacingMode::kSmooth);
+  std::size_t total = 0;
+  for (const std::size_t c : slots) {
+    EXPECT_GE(c, 4u);
+    EXPECT_LE(c, 5u);
+    total += c;
+  }
+  EXPECT_EQ(total, 22u);
+}
+
+TEST(Segmentation, Validation) {
+  const std::vector<double> frames{100.0};
+  EXPECT_THROW(segment_frames(frames, 0), InvalidArgument);
+  const std::vector<double> bad{-1.0};
+  EXPECT_THROW(segment_frames(bad, 4), InvalidArgument);
+}
+
+TEST(Multiplexer, NoLossUnderCapacity) {
+  Multiplexer mux(100, 10.0);
+  for (int t = 0; t < 1000; ++t) mux.step(std::size_t{8});
+  EXPECT_EQ(mux.stats().cells_dropped, 0u);
+  EXPECT_EQ(mux.stats().cells_arrived, 8000u);
+  EXPECT_EQ(mux.stats().slots, 1000u);
+}
+
+TEST(Multiplexer, ConservationInvariant) {
+  // arrived = served + dropped + still queued, in every scenario.
+  Multiplexer mux(20, 3.0);
+  std::size_t arrived = 0;
+  for (int t = 0; t < 500; ++t) {
+    const std::size_t cells = static_cast<std::size_t>((t * 7) % 11);
+    arrived += cells;
+    mux.step(cells);
+  }
+  const MuxStats& s = mux.stats();
+  EXPECT_EQ(s.cells_arrived, arrived);
+  EXPECT_EQ(s.cells_served + s.cells_dropped + mux.queue_cells(), arrived);
+}
+
+TEST(Multiplexer, DropsWhenBufferFull) {
+  Multiplexer mux(5, 1.0);
+  mux.step(std::size_t{10});  // serve 0 (queue empty), admit 5, drop 5
+  EXPECT_EQ(mux.queue_cells(), 5u);
+  EXPECT_EQ(mux.stats().cells_dropped, 5u);
+  EXPECT_NEAR(mux.stats().cell_loss_ratio(), 0.5, 1e-12);
+}
+
+TEST(Multiplexer, FractionalServiceRateAccumulates) {
+  // 0.5 cells/slot: one cell leaves every two slots.
+  Multiplexer mux(10, 0.5);
+  mux.step(std::size_t{4});
+  EXPECT_EQ(mux.queue_cells(), 4u);
+  mux.step(std::size_t{0});  // credit reaches 1 -> serve 1
+  EXPECT_EQ(mux.queue_cells(), 3u);
+  mux.step(std::size_t{0});
+  EXPECT_EQ(mux.queue_cells(), 3u);  // credit 0.5 only
+  mux.step(std::size_t{0});
+  EXPECT_EQ(mux.queue_cells(), 2u);
+}
+
+TEST(Multiplexer, PerInputStepSums) {
+  Multiplexer mux(100, 5.0);
+  const std::vector<std::size_t> inputs{2, 3, 4};
+  mux.step(inputs);
+  EXPECT_EQ(mux.stats().cells_arrived, 9u);
+}
+
+TEST(Multiplexer, ResetClearsEverything) {
+  Multiplexer mux(5, 1.0);
+  mux.step(std::size_t{10});
+  mux.reset();
+  EXPECT_EQ(mux.queue_cells(), 0u);
+  EXPECT_EQ(mux.stats().cells_arrived, 0u);
+  EXPECT_EQ(mux.stats().slots, 0u);
+}
+
+TEST(Multiplexer, LossDecreasesWithBuffer) {
+  // Deterministic on/off load at 1.5x capacity: bigger buffers lose
+  // fewer cells.
+  double prev_clr = 1.0;
+  for (const std::size_t buffer : {4u, 16u, 64u}) {
+    Multiplexer mux(buffer, 2.0);
+    for (int t = 0; t < 10000; ++t) mux.step(std::size_t{t % 2 == 0 ? 6u : 0u});
+    const double clr = mux.stats().cell_loss_ratio();
+    EXPECT_LE(clr, prev_clr + 1e-12);
+    prev_clr = clr;
+  }
+}
+
+TEST(MultiplexFreeFunction, CombinesSources) {
+  const std::vector<std::vector<std::size_t>> sources{{1, 2, 3}, {3, 2, 1}};
+  const MuxStats stats = multiplex(sources, 100, 10.0);
+  EXPECT_EQ(stats.cells_arrived, 12u);
+  EXPECT_EQ(stats.slots, 3u);
+  EXPECT_EQ(stats.cells_dropped, 0u);
+}
+
+TEST(MultiplexFreeFunction, Validation) {
+  const std::vector<std::vector<std::size_t>> empty;
+  EXPECT_THROW(multiplex(empty, 10, 1.0), InvalidArgument);
+  const std::vector<std::vector<std::size_t>> ragged{{1, 2}, {1}};
+  EXPECT_THROW(multiplex(ragged, 10, 1.0), InvalidArgument);
+  EXPECT_THROW(Multiplexer(0, 1.0), InvalidArgument);
+  EXPECT_THROW(Multiplexer(10, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ssvbr::atm

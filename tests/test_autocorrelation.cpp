@@ -1,0 +1,162 @@
+#include "fractal/autocorrelation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.h"
+
+namespace ssvbr::fractal {
+namespace {
+
+TEST(FgnAutocorrelation, UnitAtLagZeroAndKnownFirstLag) {
+  const FgnAutocorrelation r(0.9);
+  EXPECT_DOUBLE_EQ(r(0.0), 1.0);
+  // r(1) = 2^{2H-1} - 1.
+  EXPECT_NEAR(r(1.0), std::pow(2.0, 0.8) - 1.0, 1e-12);
+}
+
+TEST(FgnAutocorrelation, HalfIsWhiteNoise) {
+  const FgnAutocorrelation r(0.5);
+  for (int k = 1; k <= 10; ++k) EXPECT_NEAR(r(k), 0.0, 1e-12);
+}
+
+TEST(FgnAutocorrelation, AsymptoticPowerLaw) {
+  // r(k) ~ H(2H-1) k^{2H-2} as k -> inf.
+  const double h = 0.85;
+  const FgnAutocorrelation r(h);
+  const double k = 10000.0;
+  const double asym = h * (2.0 * h - 1.0) * std::pow(k, 2.0 * h - 2.0);
+  EXPECT_NEAR(r(k) / asym, 1.0, 1e-3);
+}
+
+TEST(FgnAutocorrelation, NegativeCorrelationForAntipersistent) {
+  const FgnAutocorrelation r(0.3);
+  EXPECT_LT(r(1.0), 0.0);
+}
+
+TEST(FgnAutocorrelation, RejectsInvalidHurst) {
+  EXPECT_THROW(FgnAutocorrelation(0.0), InvalidArgument);
+  EXPECT_THROW(FgnAutocorrelation(1.0), InvalidArgument);
+  EXPECT_THROW(FgnAutocorrelation(-0.2), InvalidArgument);
+}
+
+TEST(FarimaAutocorrelation, MatchesHoskingRecursion) {
+  // Hosking (1981): r(k) = r(k-1) (k - 1 + d) / (k - d).
+  const double d = 0.4;
+  const FarimaAutocorrelation r(d);
+  double expected = d / (1.0 - d);  // r(1)
+  EXPECT_NEAR(r(1.0), expected, 1e-12);
+  for (int k = 2; k <= 50; ++k) {
+    expected *= (static_cast<double>(k) - 1.0 + d) / (static_cast<double>(k) - d);
+    EXPECT_NEAR(r(static_cast<double>(k)), expected, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(FarimaAutocorrelation, HurstRelation) {
+  const FarimaAutocorrelation r(0.4);
+  EXPECT_DOUBLE_EQ(r.hurst(), 0.9);
+  EXPECT_THROW(FarimaAutocorrelation(0.5), InvalidArgument);
+  EXPECT_THROW(FarimaAutocorrelation(0.0), InvalidArgument);
+}
+
+TEST(ExponentialAutocorrelation, GeometricDecay) {
+  const ExponentialAutocorrelation r(0.1);
+  EXPECT_DOUBLE_EQ(r(0.0), 1.0);
+  EXPECT_NEAR(r(10.0), std::exp(-1.0), 1e-12);
+  EXPECT_THROW(ExponentialAutocorrelation(0.0), InvalidArgument);
+}
+
+TEST(CompositeSrdLrd, BranchValuesAndContinuitySolve) {
+  // Paper Step 4 / eq. (14): lambda chosen so the branches meet at Kt.
+  const auto r = CompositeSrdLrdAutocorrelation::with_continuity(1.59, 0.2, 60.0);
+  const double at_knee = 1.59 * std::pow(60.0, -0.2);
+  EXPECT_NEAR(r(60.0), at_knee, 1e-12);
+  EXPECT_NEAR(r(59.999), at_knee, 1e-4);  // continuous across the knee
+  EXPECT_NEAR(r.lambda(), -std::log(at_knee) / 60.0, 1e-12);
+  EXPECT_NEAR(r(10.0), std::exp(-r.lambda() * 10.0), 1e-12);
+  EXPECT_NEAR(r(100.0), 1.59 * std::pow(100.0, -0.2), 1e-12);
+  EXPECT_NEAR(r.hurst(), 0.9, 1e-12);
+}
+
+TEST(CompositeSrdLrd, Validation) {
+  EXPECT_THROW(CompositeSrdLrdAutocorrelation(0.0, 1.0, 0.2, 60.0), InvalidArgument);
+  EXPECT_THROW(CompositeSrdLrdAutocorrelation(0.01, 1.0, 1.5, 60.0), InvalidArgument);
+  EXPECT_THROW(CompositeSrdLrdAutocorrelation(0.01, 1.0, 0.2, 0.5), InvalidArgument);
+  // LRD branch above 1 at the knee is not a correlation.
+  EXPECT_THROW(CompositeSrdLrdAutocorrelation(0.01, 5.0, 0.2, 2.0), InvalidArgument);
+  // with_continuity needs the knee value inside (0, 1).
+  EXPECT_THROW(CompositeSrdLrdAutocorrelation::with_continuity(5.0, 0.2, 2.0),
+               InvalidArgument);
+}
+
+TEST(RescaledAutocorrelation, ImplementsEq15) {
+  auto inner = std::make_shared<ExponentialAutocorrelation>(0.12);
+  const RescaledAutocorrelation r(inner, 12.0);  // K_I = 12
+  // r(k) = inner(k / 12).
+  EXPECT_NEAR(r(12.0), (*inner)(1.0), 1e-12);
+  EXPECT_NEAR(r(6.0), (*inner)(0.5), 1e-12);
+  EXPECT_DOUBLE_EQ(r(0.0), 1.0);
+}
+
+TEST(RescaledAutocorrelation, Validation) {
+  auto inner = std::make_shared<ExponentialAutocorrelation>(0.1);
+  EXPECT_THROW(RescaledAutocorrelation(nullptr, 12.0), InvalidArgument);
+  EXPECT_THROW(RescaledAutocorrelation(inner, 0.0), InvalidArgument);
+}
+
+TEST(ScaledAutocorrelation, DividesByAttenuationWithClamp) {
+  auto inner = std::make_shared<ExponentialAutocorrelation>(0.5);
+  const ScaledAutocorrelation r(inner, 0.5);
+  EXPECT_DOUBLE_EQ(r(0.0), 1.0);
+  // inner(1)/0.5 = 2*exp(-0.5) = 1.21 -> clamped to 1.
+  EXPECT_DOUBLE_EQ(r(1.0), 1.0);
+  EXPECT_NEAR(r(4.0), std::exp(-2.0) / 0.5, 1e-12);
+  EXPECT_THROW(ScaledAutocorrelation(inner, 0.0), InvalidArgument);
+  EXPECT_THROW(ScaledAutocorrelation(inner, 1.5), InvalidArgument);
+}
+
+TEST(Tabulate, IntegerLagTable) {
+  const ExponentialAutocorrelation r(0.1);
+  const auto table = r.tabulate(5);
+  ASSERT_EQ(table.size(), 6u);
+  for (int k = 0; k <= 5; ++k) EXPECT_DOUBLE_EQ(table[k], r(static_cast<double>(k)));
+}
+
+TEST(IsValidCorrelation, AcceptsClassicalFamilies) {
+  EXPECT_TRUE(is_valid_correlation(FgnAutocorrelation(0.9), 512));
+  EXPECT_TRUE(is_valid_correlation(FgnAutocorrelation(0.3), 512));
+  EXPECT_TRUE(is_valid_correlation(FarimaAutocorrelation(0.45), 512));
+  EXPECT_TRUE(is_valid_correlation(ExponentialAutocorrelation(0.01), 512));
+  EXPECT_TRUE(is_valid_correlation(
+      CompositeSrdLrdAutocorrelation::with_continuity(1.59, 0.2, 60.0), 512));
+}
+
+namespace {
+// A deliberately invalid "correlation": constant 0.95 at all positive
+// lags but dropping to 0.5 at one lag — violates positive definiteness.
+class BrokenCorrelation final : public AutocorrelationModel {
+ public:
+  double operator()(double tau) const override {
+    if (tau == 0.0) return 1.0;
+    return tau == 64.0 ? -0.9 : 0.95;
+  }
+  std::string describe() const override { return "broken"; }
+};
+}  // namespace
+
+TEST(IsValidCorrelation, RejectsInfeasibleFunction) {
+  EXPECT_FALSE(is_valid_correlation(BrokenCorrelation(), 128));
+}
+
+TEST(IsValidCorrelation, DetectsOvercompensatedComposite) {
+  // The case discovered during model building: a nearly-flat SRD range
+  // at ~0.96 followed by a power-law drop cannot be a correlation
+  // (r(2k) >= 2 r(k)^2 - 1 fails).
+  const CompositeSrdLrdAutocorrelation r(0.000653, 2.664, 0.244, 66.0);
+  EXPECT_FALSE(is_valid_correlation(r, 256));
+}
+
+}  // namespace
+}  // namespace ssvbr::fractal

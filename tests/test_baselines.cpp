@@ -1,0 +1,204 @@
+#include "baselines/ar1.h"
+#include "baselines/garrett_willinger.h"
+#include "baselines/mmpp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "fractal/autocorrelation.h"
+#include "fractal/hurst.h"
+#include "stats/descriptive.h"
+#include "trace/scene_mpeg_source.h"
+
+namespace ssvbr::baselines {
+namespace {
+
+// ---------------------------------------------------------------- AR(1)
+
+TEST(Ar1, StationaryMomentsAndAcf) {
+  const Ar1Process ar(0.8);
+  RandomEngine rng(1);
+  const std::vector<double> x = ar.sample(200000, rng);
+  EXPECT_NEAR(stats::mean(x), 0.0, 0.05);
+  EXPECT_NEAR(stats::variance(x), 1.0, 0.05);
+  const std::vector<double> acf = stats::autocorrelation(x, 5);
+  for (int k = 1; k <= 5; ++k) {
+    EXPECT_NEAR(acf[k], std::pow(0.8, k), 0.02) << "lag " << k;
+  }
+}
+
+TEST(Ar1, FromDecayRateMatchesExponentialCorrelation) {
+  const double lambda = 0.15;
+  const Ar1Process ar = Ar1Process::from_decay_rate(lambda);
+  EXPECT_NEAR(ar.rho(), std::exp(-lambda), 1e-12);
+  EXPECT_NEAR(ar.decay_rate(), lambda, 1e-12);
+  // Its ACF equals the library's ExponentialAutocorrelation.
+  const fractal::ExponentialAutocorrelation corr(lambda);
+  EXPECT_NEAR(std::pow(ar.rho(), 7), corr(7.0), 1e-12);
+}
+
+TEST(Ar1, Validation) {
+  EXPECT_THROW(Ar1Process(1.0), InvalidArgument);
+  EXPECT_THROW(Ar1Process(-1.0), InvalidArgument);
+  EXPECT_THROW(Ar1Process::from_decay_rate(0.0), InvalidArgument);
+  EXPECT_THROW(Ar1Process(-0.5).decay_rate(), InvalidArgument);
+  RandomEngine rng(2);
+  EXPECT_THROW(Ar1Process(0.5).sample(0, rng), InvalidArgument);
+}
+
+// ----------------------------------------------------------------- MMPP
+
+TEST(Mmpp, TwoStateStationaryDistribution) {
+  // p = 1/10 (low->high), q = 1/5 (high->low): pi = (q, p)/(p+q) = (2/3, 1/3).
+  const MmppProcess mmpp = MmppProcess::two_state(10.0, 100.0, 10.0, 5.0);
+  const std::vector<double> pi = mmpp.stationary_distribution();
+  ASSERT_EQ(pi.size(), 2u);
+  EXPECT_NEAR(pi[0], 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(pi[1], 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(mmpp.mean_rate(), (2.0 * 10.0 + 1.0 * 100.0) / 3.0, 1e-6);
+}
+
+TEST(Mmpp, AutocorrelationDecaysGeometrically) {
+  // For a 2-state chain the ACF decays like (1 - p - q)^k.
+  const MmppProcess mmpp = MmppProcess::two_state(10.0, 100.0, 10.0, 5.0);
+  const double eig = 1.0 - 0.1 - 0.2;
+  const double r1 = mmpp.autocorrelation(1);
+  const double r3 = mmpp.autocorrelation(3);
+  EXPECT_GT(r1, 0.0);
+  EXPECT_NEAR(r3 / r1, eig * eig, 1e-6);
+  EXPECT_DOUBLE_EQ(mmpp.autocorrelation(0), 1.0);
+}
+
+TEST(Mmpp, SampleMomentsMatchTheory) {
+  const MmppProcess mmpp = MmppProcess::two_state(5.0, 50.0, 20.0, 10.0);
+  RandomEngine rng(3);
+  const std::vector<double> x = mmpp.sample(300000, rng);
+  EXPECT_NEAR(stats::mean(x), mmpp.mean_rate(), 0.05 * mmpp.mean_rate());
+  // Empirical lag-1 ACF vs closed form.
+  const std::vector<double> acf = stats::autocorrelation(x, 1);
+  EXPECT_NEAR(acf[1], mmpp.autocorrelation(1), 0.03);
+}
+
+TEST(Mmpp, SamplesAreNonNegativeCounts) {
+  const MmppProcess mmpp = MmppProcess::two_state(2.0, 80.0, 8.0, 4.0);
+  RandomEngine rng(4);
+  for (const double v : mmpp.sample(5000, rng)) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_DOUBLE_EQ(v, std::floor(v));  // integer counts
+  }
+}
+
+TEST(Mmpp, GeneralChainConstruction) {
+  // 3-state ring.
+  const MmppProcess mmpp({0.9, 0.1, 0.0,   //
+                          0.0, 0.9, 0.1,   //
+                          0.1, 0.0, 0.9},
+                         {1.0, 5.0, 10.0});
+  const std::vector<double> pi = mmpp.stationary_distribution();
+  EXPECT_NEAR(pi[0] + pi[1] + pi[2], 1.0, 1e-9);
+  EXPECT_NEAR(pi[0], 1.0 / 3.0, 1e-6);  // symmetric ring
+  EXPECT_GT(mmpp.autocorrelation(1), 0.0);
+}
+
+TEST(Mmpp, Validation) {
+  EXPECT_THROW(MmppProcess({1.0}, {}), InvalidArgument);           // no states
+  EXPECT_THROW(MmppProcess({0.5, 0.4, 0.5, 0.5}, {1.0, 2.0}),      // row sum != 1
+               InvalidArgument);
+  EXPECT_THROW(MmppProcess({1.0}, {-1.0}), InvalidArgument);       // negative rate
+  EXPECT_THROW(MmppProcess::two_state(1.0, 2.0, 0.5, 5.0), InvalidArgument);
+}
+
+TEST(MmppFit, RecoversAKnownTwoStateProcess) {
+  const MmppProcess truth = MmppProcess::two_state(5.0, 60.0, 50.0, 12.0);
+  RandomEngine rng(42);
+  const std::vector<double> series = truth.sample(400000, rng);
+  const MmppProcess fitted = MmppProcess::fit_two_state(series);
+  EXPECT_NEAR(fitted.mean_rate(), truth.mean_rate(), 0.1 * truth.mean_rate());
+  // The fitted ACF matches at the lags used for matching...
+  EXPECT_NEAR(fitted.autocorrelation(1), truth.autocorrelation(1), 0.08);
+  EXPECT_NEAR(fitted.autocorrelation(2), truth.autocorrelation(2), 0.08);
+}
+
+TEST(MmppFit, MatchedSeriesReproducesMeanAndLag1) {
+  const MmppProcess truth = MmppProcess::two_state(10.0, 90.0, 30.0, 10.0);
+  RandomEngine rng(43);
+  const std::vector<double> series = truth.sample(300000, rng);
+  const MmppProcess fitted = MmppProcess::fit_two_state(series);
+  RandomEngine rng2(44);
+  const std::vector<double> refit = fitted.sample(300000, rng2);
+  EXPECT_NEAR(stats::mean(refit), stats::mean(series), 0.05 * stats::mean(series));
+  const double r1_orig = stats::autocorrelation_fft(series, 1)[1];
+  const double r1_refit = stats::autocorrelation_fft(refit, 1)[1];
+  EXPECT_NEAR(r1_refit, r1_orig, 0.1);
+}
+
+TEST(MmppFit, CannotHoldLongLagsOfSelfSimilarInput) {
+  // Fit an MMPP to an LRD video trace: lags 1-2 match by construction
+  // (and, the series being smooth, the fitted eigenvalue is close to 1,
+  // so moderate lags still look fine), but the geometric decay must
+  // collapse far below the power-law empirical ACF at large lags — the
+  // paper's core argument against Markovian models.
+  const trace::VideoTrace tr = trace::make_empirical_standin_trace();
+  const std::vector<double> series = tr.i_frame_series();
+  const MmppProcess fitted = MmppProcess::fit_two_state(series);
+  const std::vector<double> emp = stats::autocorrelation_fft(series, 1000);
+  EXPECT_GT(emp[1000], 0.15);  // the trace itself still remembers
+  EXPECT_LT(fitted.autocorrelation(1000), 0.25 * emp[1000] + 0.02);
+}
+
+TEST(MmppFit, Validation) {
+  std::vector<double> flat(2000, 5.0);
+  EXPECT_THROW(MmppProcess::fit_two_state(flat), InvalidArgument);
+  std::vector<double> tiny(10, 5.0);
+  EXPECT_THROW(MmppProcess::fit_two_state(tiny), InvalidArgument);
+}
+
+// ------------------------------------------------------ Garrett-Willinger
+
+TEST(GarrettWillinger, ModelGeneratesHeavyTailedLrdTraffic) {
+  GarrettWillingerParams params;
+  params.hurst = 0.85;
+  const core::UnifiedVbrModel model = make_garrett_willinger_model(params);
+  RandomEngine rng(5);
+  const std::vector<double> y = model.generate(1 << 14, rng);
+  for (const double v : y) EXPECT_GT(v, 0.0);
+  // LRD shows up in the variance-time slope of the foreground.
+  const double h = fractal::variance_time_analysis(y).hurst;
+  EXPECT_GT(h, 0.65);
+}
+
+TEST(GarrettWillinger, BackgroundIsFarima) {
+  GarrettWillingerParams params;
+  params.hurst = 0.9;
+  const core::UnifiedVbrModel model = make_garrett_willinger_model(params);
+  const auto* farima = dynamic_cast<const fractal::FarimaAutocorrelation*>(
+      &model.background_correlation());
+  ASSERT_NE(farima, nullptr);
+  EXPECT_NEAR(farima->d(), 0.4, 1e-12);
+}
+
+TEST(GarrettWillinger, MarginalHasParetoTail) {
+  GarrettWillingerParams params;
+  const core::UnifiedVbrModel model = make_garrett_willinger_model(params);
+  const Distribution& marginal = model.transform().target();
+  // Far quantiles grow polynomially, not exponentially: the 0.9999
+  // quantile is far beyond a Gaussian multiple of the 0.99 one.
+  const double q99 = marginal.quantile(0.99);
+  const double q9999 = marginal.quantile(0.9999);
+  EXPECT_GT(q9999 / q99, 3.0);
+}
+
+TEST(GarrettWillinger, Validation) {
+  GarrettWillingerParams params;
+  params.hurst = 0.5;
+  EXPECT_THROW(make_garrett_willinger_model(params), InvalidArgument);
+  params = {};
+  params.split_quantile = 1.0;
+  EXPECT_THROW(make_garrett_willinger_model(params), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ssvbr::baselines

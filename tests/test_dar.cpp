@@ -1,0 +1,74 @@
+#include "baselines/dar.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.h"
+#include "dist/distributions.h"
+#include "stats/descriptive.h"
+#include "test_util.h"
+
+namespace ssvbr::baselines {
+namespace {
+
+TEST(Dar1, MarginalIsExactlyTheTarget) {
+  const auto marginal = std::make_shared<GammaDistribution>(2.0, 50.0);
+  const Dar1Process dar(0.8, marginal);
+  RandomEngine rng(1);
+  const std::vector<double> y = dar.sample(80000, rng);
+  const double ks = ssvbr::testing::ks_statistic(
+      y, [&](double v) { return marginal->cdf(v); });
+  // Repeats reduce the effective sample size by ~1/(1-rho).
+  EXPECT_LT(ks, 0.03);
+}
+
+TEST(Dar1, AutocorrelationIsExactlyGeometric) {
+  const auto marginal = std::make_shared<GammaDistribution>(2.0, 1.0);
+  const Dar1Process dar(0.7, marginal);
+  for (int k = 0; k <= 10; ++k) {
+    EXPECT_NEAR(dar.autocorrelation(k), std::pow(0.7, k), 1e-12);
+  }
+  RandomEngine rng(2);
+  const std::vector<double> y = dar.sample(400000, rng);
+  const std::vector<double> acf = stats::autocorrelation_fft(y, 5);
+  for (int k = 1; k <= 5; ++k) {
+    EXPECT_NEAR(acf[k], std::pow(0.7, k), 0.02) << "lag " << k;
+  }
+}
+
+TEST(Dar1, ZeroRhoIsIid) {
+  const auto marginal = std::make_shared<NormalDistribution>(0.0, 1.0);
+  const Dar1Process dar(0.0, marginal);
+  RandomEngine rng(3);
+  const std::vector<double> y = dar.sample(200000, rng);
+  EXPECT_NEAR(stats::autocorrelation_fft(y, 1)[1], 0.0, 0.01);
+}
+
+TEST(Dar1, SamplePathsRepeatValues) {
+  const auto marginal = std::make_shared<GammaDistribution>(2.0, 1.0);
+  const Dar1Process dar(0.9, marginal);
+  RandomEngine rng(4);
+  const std::vector<double> y = dar.sample(1000, rng);
+  std::size_t repeats = 0;
+  for (std::size_t k = 1; k < y.size(); ++k) {
+    if (y[k] == y[k - 1]) ++repeats;
+  }
+  // Repetition probability 0.9 (continuous marginal: fresh draws never
+  // collide exactly).
+  EXPECT_NEAR(static_cast<double>(repeats) / 999.0, 0.9, 0.04);
+}
+
+TEST(Dar1, Validation) {
+  const auto marginal = std::make_shared<NormalDistribution>(0.0, 1.0);
+  EXPECT_THROW(Dar1Process(1.0, marginal), InvalidArgument);
+  EXPECT_THROW(Dar1Process(-0.1, marginal), InvalidArgument);
+  EXPECT_THROW(Dar1Process(0.5, nullptr), InvalidArgument);
+  const Dar1Process dar(0.5, marginal);
+  RandomEngine rng(5);
+  EXPECT_THROW(dar.sample(0, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ssvbr::baselines

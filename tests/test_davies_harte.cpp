@@ -1,0 +1,119 @@
+#include "fractal/davies_harte.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "fractal/autocorrelation.h"
+#include "fractal/hosking.h"
+
+namespace ssvbr::fractal {
+namespace {
+
+double ensemble_product(const DaviesHarteModel& model, std::size_t i, std::size_t j,
+                        std::size_t reps, std::uint64_t seed) {
+  RandomEngine rng(seed);
+  std::vector<double> path(model.path_length());
+  double sum = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    model.sample_path(rng, path);
+    sum += path[i] * path[j];
+  }
+  return sum / static_cast<double>(reps);
+}
+
+TEST(DaviesHarte, FgnEmbeddingIsExact) {
+  const FgnAutocorrelation corr(0.9);
+  const DaviesHarteModel model(corr, 256);
+  EXPECT_DOUBLE_EQ(model.clipped_mass(), 0.0);
+  EXPECT_EQ(model.path_length(), 256u);
+}
+
+TEST(DaviesHarte, EnsembleCovarianceMatchesTarget) {
+  const FgnAutocorrelation corr(0.8);
+  const DaviesHarteModel model(corr, 64);
+  const std::size_t reps = 40000;
+  EXPECT_NEAR(ensemble_product(model, 7, 7, reps, 1), 1.0, 0.03);
+  EXPECT_NEAR(ensemble_product(model, 3, 4, reps, 2), corr(1.0), 0.03);
+  EXPECT_NEAR(ensemble_product(model, 0, 32, reps, 3), corr(32.0), 0.03);
+  EXPECT_NEAR(ensemble_product(model, 20, 60, reps, 4), corr(40.0), 0.03);
+}
+
+TEST(DaviesHarte, AgreesWithHoskingInDistribution) {
+  // Both generators are exact, so ensemble second moments must agree.
+  const auto corr = CompositeSrdLrdAutocorrelation::with_continuity(1.2, 0.3, 20.0);
+  const DaviesHarteModel dh(corr, 48);
+  const HoskingModel hosking(corr, 48);
+  const std::size_t reps = 30000;
+
+  RandomEngine rng(5);
+  std::vector<double> path(48);
+  double dh_cov = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    dh.sample_path(rng, path);
+    dh_cov += path[4] * path[34];
+  }
+  dh_cov /= static_cast<double>(reps);
+
+  RandomEngine rng2(6);
+  double h_cov = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    hosking.sample_path(rng2, path);
+    h_cov += path[4] * path[34];
+  }
+  h_cov /= static_cast<double>(reps);
+
+  EXPECT_NEAR(dh_cov, corr(30.0), 0.04);
+  EXPECT_NEAR(h_cov, corr(30.0), 0.04);
+  EXPECT_NEAR(dh_cov, h_cov, 0.05);
+}
+
+TEST(DaviesHarte, WhiteNoiseEmbedding) {
+  const FgnAutocorrelation corr(0.5);  // white noise
+  const DaviesHarteModel model(corr, 128);
+  RandomEngine rng(7);
+  const std::vector<double> x = model.sample(rng);
+  ASSERT_EQ(x.size(), 128u);
+  double sum_sq = 0.0;
+  for (const double v : x) sum_sq += v * v;
+  EXPECT_NEAR(sum_sq / 128.0, 1.0, 0.35);
+}
+
+TEST(DaviesHarte, DeterministicGivenSeed) {
+  const FgnAutocorrelation corr(0.85);
+  const DaviesHarteModel model(corr, 64);
+  RandomEngine rng1(8);
+  RandomEngine rng2(8);
+  EXPECT_EQ(model.sample(rng1), model.sample(rng2));
+}
+
+TEST(DaviesHarte, ToleranceGovernsClippingAcceptance) {
+  // A composite correlation can produce slightly negative embedding
+  // eigenvalues; with a zero tolerance it must be rejected, with a
+  // permissive one accepted and the clipped mass reported.
+  const auto corr = CompositeSrdLrdAutocorrelation::with_continuity(1.59, 0.2, 60.0);
+  try {
+    const DaviesHarteModel strict(corr, 512, 0.0);
+    EXPECT_DOUBLE_EQ(strict.clipped_mass(), 0.0);  // embeddable: fine
+  } catch (const NumericalError&) {
+    // Not embeddable at zero tolerance: the permissive model must
+    // succeed and report a small clipped mass.
+    const DaviesHarteModel lax(corr, 512, 0.05);
+    EXPECT_GT(lax.clipped_mass(), 0.0);
+    EXPECT_LT(lax.clipped_mass(), 0.05);
+  }
+}
+
+TEST(DaviesHarte, Validation) {
+  const FgnAutocorrelation corr(0.8);
+  EXPECT_THROW(DaviesHarteModel(corr, 1), InvalidArgument);
+  const DaviesHarteModel model(corr, 32);
+  std::vector<double> too_short(16);
+  RandomEngine rng(9);
+  EXPECT_THROW(model.sample_path(rng, too_short), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ssvbr::fractal

@@ -1,0 +1,157 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "dist/random.h"
+
+namespace ssvbr::stats {
+namespace {
+
+std::vector<double> random_series(std::size_t n, std::uint64_t seed) {
+  RandomEngine rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.normal(2.0, 3.0);
+  return xs;
+}
+
+TEST(RunningStats, MatchesBatchFormulas) {
+  const std::vector<double> xs = random_series(5000, 1);
+  RunningStats rs;
+  for (const double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-10);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-8);
+  EXPECT_NEAR(rs.population_variance(), population_variance(xs), 1e-8);
+}
+
+TEST(RunningStats, SkewnessAndKurtosisOnKnownShape) {
+  // Exponential(1): skewness 2, excess kurtosis 6.
+  RandomEngine rng(2);
+  RunningStats rs;
+  for (int i = 0; i < 500000; ++i) rs.add(rng.exponential());
+  EXPECT_NEAR(rs.skewness(), 2.0, 0.1);
+  EXPECT_NEAR(rs.excess_kurtosis(), 6.0, 0.6);
+}
+
+TEST(RunningStats, MergeEqualsSinglePass) {
+  const std::vector<double> xs = random_series(3000, 3);
+  RunningStats whole;
+  for (const double x : xs) whole.add(x);
+  RunningStats a;
+  RunningStats b;
+  for (std::size_t i = 0; i < xs.size(); ++i) (i < 1000 ? a : b).add(xs[i]);
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+  EXPECT_NEAR(a.skewness(), whole.skewness(), 1e-8);
+  EXPECT_NEAR(a.excess_kurtosis(), whole.excess_kurtosis(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats empty;
+  RunningStats filled;
+  filled.add(1.0);
+  filled.add(3.0);
+  RunningStats lhs = filled;
+  lhs.merge(empty);
+  EXPECT_EQ(lhs.count(), 2u);
+  RunningStats rhs = empty;
+  rhs.merge(filled);
+  EXPECT_EQ(rhs.count(), 2u);
+  EXPECT_NEAR(rhs.mean(), 2.0, 1e-12);
+}
+
+TEST(Descriptive, EmptyAndSingleInputs) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(variance(empty), 0.0);
+  const std::vector<double> one{5.0};
+  EXPECT_DOUBLE_EQ(mean(one), 5.0);
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+  EXPECT_DOUBLE_EQ(population_variance(one), 0.0);
+}
+
+TEST(Autocorrelation, WhiteNoiseDecorrelates) {
+  const std::vector<double> xs = random_series(200000, 4);
+  const std::vector<double> r = autocorrelation(xs, 5);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  for (int k = 1; k <= 5; ++k) EXPECT_NEAR(r[k], 0.0, 0.01);
+}
+
+TEST(Autocorrelation, Ar1MatchesRhoPowers) {
+  RandomEngine rng(5);
+  const double rho = 0.8;
+  std::vector<double> xs(300000);
+  xs[0] = rng.normal();
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    xs[i] = rho * xs[i - 1] + std::sqrt(1 - rho * rho) * rng.normal();
+  }
+  const std::vector<double> r = autocorrelation(xs, 6);
+  for (int k = 1; k <= 6; ++k) {
+    EXPECT_NEAR(r[k], std::pow(rho, k), 0.015) << "lag " << k;
+  }
+}
+
+TEST(Autocorrelation, FftEstimatorIdenticalToDirect) {
+  const std::vector<double> xs = random_series(4096 + 17, 6);  // non-power-of-two
+  const std::vector<double> direct = autocorrelation(xs, 64);
+  const std::vector<double> fft = autocorrelation_fft(xs, 64);
+  ASSERT_EQ(direct.size(), fft.size());
+  for (std::size_t k = 0; k < direct.size(); ++k) {
+    EXPECT_NEAR(direct[k], fft[k], 1e-9) << "lag " << k;
+  }
+}
+
+TEST(Autocorrelation, RejectsDegenerateInputs) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_THROW(autocorrelation(xs, 3), InvalidArgument);  // lag >= n
+  const std::vector<double> flat(100, 2.0);
+  EXPECT_THROW(autocorrelation(flat, 5), InvalidArgument);  // zero variance
+  const std::vector<double> empty;
+  EXPECT_THROW(autocovariance(empty, 0), InvalidArgument);
+}
+
+TEST(AggregateSeries, BlockMeansAndTruncation) {
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7};
+  const std::vector<double> agg = aggregate_series(xs, 3);
+  ASSERT_EQ(agg.size(), 2u);  // trailing partial block dropped
+  EXPECT_DOUBLE_EQ(agg[0], 2.0);
+  EXPECT_DOUBLE_EQ(agg[1], 5.0);
+  EXPECT_THROW(aggregate_series(xs, 0), InvalidArgument);
+}
+
+TEST(AggregateSeries, LevelOneIsIdentity) {
+  const std::vector<double> xs{3.0, 1.0, 4.0};
+  EXPECT_EQ(aggregate_series(xs, 1), xs);
+}
+
+TEST(Quantile, Type7Interpolation) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 20.0);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  const std::vector<double> xs{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+}
+
+TEST(Quantile, Validation) {
+  const std::vector<double> empty;
+  EXPECT_THROW(quantile(empty, 0.5), InvalidArgument);
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(quantile(one, 1.5), InvalidArgument);
+  EXPECT_DOUBLE_EQ(quantile(one, 0.5), 1.0);
+}
+
+}  // namespace
+}  // namespace ssvbr::stats

@@ -1,0 +1,135 @@
+#include "stats/empirical_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "dist/distributions.h"
+#include "dist/random.h"
+
+namespace ssvbr::stats {
+namespace {
+
+std::vector<double> gamma_sample(std::size_t n, std::uint64_t seed) {
+  const GammaDistribution g(2.0, 3.0);
+  RandomEngine rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = g.sample(rng);
+  return xs;
+}
+
+TEST(EmpiricalDistribution, BasicProperties) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  const EmpiricalDistribution d(xs);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 3.0);
+  EXPECT_NEAR(d.mean(), 2.0, 1e-12);
+}
+
+TEST(EmpiricalDistribution, QuantileInvertsCdfInInterior) {
+  const std::vector<double> xs = gamma_sample(500, 1);
+  const EmpiricalDistribution d(xs);
+  for (const double p : {0.05, 0.2, 0.5, 0.8, 0.95}) {
+    EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(EmpiricalDistribution, CdfInvertsQuantileInInterior) {
+  const std::vector<double> xs = gamma_sample(500, 2);
+  const EmpiricalDistribution d(xs);
+  for (const double y : {d.quantile(0.1), d.quantile(0.5), d.quantile(0.9)}) {
+    EXPECT_NEAR(d.quantile(d.cdf(y)), y, 1e-9 * (1.0 + std::fabs(y)));
+  }
+}
+
+TEST(EmpiricalDistribution, QuantileIsMonotone) {
+  const std::vector<double> xs = gamma_sample(200, 3);
+  const EmpiricalDistribution d(xs);
+  double prev = -1e300;
+  for (double p = 0.01; p < 1.0; p += 0.01) {
+    const double q = d.quantile(p);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(EmpiricalDistribution, ExtremeQuantilesClampToSampleRange) {
+  const std::vector<double> xs = gamma_sample(100, 4);
+  const EmpiricalDistribution d(xs);
+  EXPECT_DOUBLE_EQ(d.quantile(1e-9), d.min());
+  EXPECT_DOUBLE_EQ(d.quantile(1.0 - 1e-9), d.max());
+}
+
+TEST(EmpiricalDistribution, CdfBoundaryBehaviour) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const EmpiricalDistribution d(xs);
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(4.5), 1.0);
+  EXPECT_GT(d.cdf(2.5), d.cdf(1.5));
+}
+
+TEST(EmpiricalDistribution, ConvergesToTrueDistribution) {
+  const GammaDistribution g(2.0, 3.0);
+  const std::vector<double> xs = gamma_sample(100000, 5);
+  const EmpiricalDistribution d(xs);
+  for (const double p : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(d.quantile(p), g.quantile(p), 0.05 * g.quantile(p)) << "p=" << p;
+  }
+}
+
+TEST(EmpiricalDistribution, SamplingReproducesSampleMean) {
+  const std::vector<double> xs = gamma_sample(5000, 6);
+  const EmpiricalDistribution d(xs);
+  RandomEngine rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / n, d.mean(), 0.02 * d.mean());
+}
+
+TEST(EmpiricalDistribution, RejectsEmptySample) {
+  const std::vector<double> empty;
+  EXPECT_THROW(EmpiricalDistribution d(empty), InvalidArgument);
+}
+
+TEST(EmpiricalDistribution, SingleValueSample) {
+  const std::vector<double> xs{42.0};
+  const EmpiricalDistribution d(xs);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(d.cdf(41.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(43.0), 1.0);
+}
+
+TEST(QqPoints, IdenticalDistributionsLieOnDiagonal) {
+  const std::vector<double> xs = gamma_sample(2000, 8);
+  const auto points = qq_points(xs, xs, 50);
+  ASSERT_EQ(points.size(), 50u);
+  for (const auto& pt : points) {
+    EXPECT_DOUBLE_EQ(pt.x_quantile, pt.y_quantile);
+    EXPECT_GT(pt.probability, 0.0);
+    EXPECT_LT(pt.probability, 1.0);
+  }
+}
+
+TEST(QqPoints, ScaledSampleHasProportionalQuantiles) {
+  const std::vector<double> xs = gamma_sample(20000, 9);
+  std::vector<double> ys(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) ys[i] = 2.0 * xs[i];
+  for (const auto& pt : qq_points(xs, ys, 20)) {
+    EXPECT_NEAR(pt.y_quantile, 2.0 * pt.x_quantile, 1e-9);
+  }
+}
+
+TEST(QqPoints, ParametricOverload) {
+  const NormalDistribution a(0.0, 1.0);
+  const NormalDistribution b(1.0, 1.0);
+  for (const auto& pt : qq_points(a, b, 11)) {
+    EXPECT_NEAR(pt.y_quantile - pt.x_quantile, 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ssvbr::stats

@@ -1,0 +1,39 @@
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+namespace ssvbr {
+namespace {
+
+TEST(Error, RequireThrowsInvalidArgumentWithContext) {
+  try {
+    SSVBR_REQUIRE(1 == 2, "numbers disagree");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("numbers disagree"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesSilently) {
+  EXPECT_NO_THROW(SSVBR_REQUIRE(true, "never shown"));
+}
+
+TEST(Error, EnsureThrowsInternalError) {
+  EXPECT_THROW(SSVBR_ENSURE(false, "invariant broken"), InternalError);
+  EXPECT_NO_THROW(SSVBR_ENSURE(true, "fine"));
+}
+
+TEST(Error, ExceptionHierarchy) {
+  // InvalidArgument must be catchable as std::invalid_argument, and
+  // NumericalError as std::runtime_error, so callers can use standard
+  // handlers.
+  EXPECT_THROW(throw InvalidArgument("x"), std::invalid_argument);
+  EXPECT_THROW(throw InternalError("x"), std::logic_error);
+  EXPECT_THROW(throw NumericalError("x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ssvbr

@@ -1,0 +1,160 @@
+#include "fft/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "dist/random.h"
+
+namespace ssvbr::fft {
+namespace {
+
+// O(n^2) reference DFT.
+std::vector<Complex> reference_dft(std::span<const Complex> x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex sum(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -kTwoPi * static_cast<double>(k * j) / static_cast<double>(n);
+      sum += x[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  RandomEngine rng(seed);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.normal(), rng.normal());
+  return x;
+}
+
+double max_error(std::span<const Complex> a, std::span<const Complex> b) {
+  double e = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) e = std::max(e, std::abs(a[i] - b[i]));
+  return e;
+}
+
+TEST(Fft, ForwardPow2MatchesReference) {
+  for (const std::size_t n : {2u, 8u, 64u, 256u}) {
+    std::vector<Complex> x = random_signal(n, n);
+    std::vector<Complex> fast = x;
+    forward_pow2(fast);
+    const std::vector<Complex> ref = reference_dft(x);
+    EXPECT_LT(max_error(fast, ref), 1e-9 * static_cast<double>(n)) << "n=" << n;
+  }
+}
+
+TEST(Fft, Pow2RoundTripRecoversInput) {
+  std::vector<Complex> x = random_signal(1024, 3);
+  std::vector<Complex> y = x;
+  forward_pow2(y);
+  inverse_pow2(y);
+  for (auto& v : y) v /= 1024.0;
+  EXPECT_LT(max_error(x, y), 1e-10);
+}
+
+TEST(Fft, ForwardRejectsNonPowerOfTwo) {
+  std::vector<Complex> x(3);
+  EXPECT_THROW(forward_pow2(x), InvalidArgument);
+}
+
+class BluesteinSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BluesteinSizes, MatchesReferenceDft) {
+  const std::size_t n = GetParam();
+  const std::vector<Complex> x = random_signal(n, 100 + n);
+  const std::vector<Complex> fast = forward(x);
+  const std::vector<Complex> ref = reference_dft(x);
+  EXPECT_LT(max_error(fast, ref), 1e-8 * static_cast<double>(n));
+}
+
+TEST_P(BluesteinSizes, InverseRoundTrip) {
+  const std::size_t n = GetParam();
+  const std::vector<Complex> x = random_signal(n, 200 + n);
+  const std::vector<Complex> back = inverse(forward(x));
+  EXPECT_LT(max_error(x, back), 1e-9 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(ArbitraryLengths, BluesteinSizes,
+                         ::testing::Values(1, 2, 3, 5, 7, 12, 17, 31, 60, 100, 127, 240));
+
+TEST(Fft, ForwardRealMatchesComplexPath) {
+  RandomEngine rng(5);
+  std::vector<double> xr(37);
+  for (auto& v : xr) v = rng.normal();
+  std::vector<Complex> xc(xr.size());
+  for (std::size_t i = 0; i < xr.size(); ++i) xc[i] = Complex(xr[i], 0.0);
+  EXPECT_LT(max_error(forward_real(xr), forward(xc)), 1e-10);
+}
+
+TEST(Fft, RealTransformHasHermitianSymmetry) {
+  RandomEngine rng(6);
+  std::vector<double> xr(24);
+  for (auto& v : xr) v = rng.normal();
+  const std::vector<Complex> f = forward_real(xr);
+  for (std::size_t k = 1; k < xr.size(); ++k) {
+    EXPECT_NEAR(f[k].real(), f[xr.size() - k].real(), 1e-10);
+    EXPECT_NEAR(f[k].imag(), -f[xr.size() - k].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, CircularConvolutionMatchesDirect) {
+  const std::size_t n = 9;
+  const std::vector<Complex> a = random_signal(n, 7);
+  const std::vector<Complex> b = random_signal(n, 8);
+  const std::vector<Complex> fast = circular_convolution(a, b);
+  std::vector<Complex> ref(n, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) ref[(i + j) % n] += a[i] * b[j];
+  }
+  EXPECT_LT(max_error(fast, ref), 1e-9);
+}
+
+TEST(Fft, CircularConvolutionRequiresEqualLengths) {
+  const std::vector<Complex> a(4);
+  const std::vector<Complex> b(5);
+  EXPECT_THROW(circular_convolution(a, b), InvalidArgument);
+}
+
+TEST(Fft, PeriodogramOfSinusoidConcentratesAtItsFrequency) {
+  const std::size_t n = 128;
+  std::vector<double> x(n);
+  const std::size_t bin = 10;
+  for (std::size_t j = 0; j < n; ++j) {
+    x[j] = std::cos(kTwoPi * static_cast<double>(bin * j) / static_cast<double>(n));
+  }
+  const std::vector<double> p = periodogram(x);
+  ASSERT_EQ(p.size(), n);
+  // All energy sits in bins `bin` and `n - bin`.
+  double total = 0.0;
+  for (const double v : p) total += v;
+  EXPECT_NEAR((p[bin] + p[n - bin]) / total, 1.0, 1e-9);
+}
+
+TEST(Fft, EmptyInputRejected) {
+  const std::vector<Complex> empty;
+  EXPECT_THROW(forward(empty), InvalidArgument);
+  EXPECT_THROW(inverse(empty), InvalidArgument);
+}
+
+TEST(Fft, ParsevalIdentityHolds) {
+  const std::size_t n = 60;  // exercises the Bluestein path
+  const std::vector<Complex> x = random_signal(n, 11);
+  const std::vector<Complex> f = forward(x);
+  double time_energy = 0.0;
+  double freq_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  for (const auto& v : f) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(n),
+              1e-8 * time_energy * static_cast<double>(n));
+}
+
+}  // namespace
+}  // namespace ssvbr::fft

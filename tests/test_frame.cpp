@@ -1,0 +1,57 @@
+#include "trace/frame.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ssvbr::trace {
+namespace {
+
+TEST(FrameType, CharRoundTrip) {
+  EXPECT_EQ(to_char(FrameType::I), 'I');
+  EXPECT_EQ(to_char(FrameType::P), 'P');
+  EXPECT_EQ(to_char(FrameType::B), 'B');
+  EXPECT_EQ(frame_type_from_char('I'), FrameType::I);
+  EXPECT_EQ(frame_type_from_char('p'), FrameType::P);
+  EXPECT_EQ(frame_type_from_char('b'), FrameType::B);
+}
+
+TEST(FrameType, RejectsUnknownMnemonics) {
+  EXPECT_THROW(frame_type_from_char('X'), InvalidArgument);
+  EXPECT_THROW(frame_type_from_char(' '), InvalidArgument);
+}
+
+TEST(GopStructure, Mpeg1DefaultMatchesPaperCodec) {
+  const GopStructure gop = GopStructure::mpeg1_default();
+  EXPECT_EQ(gop.pattern(), "IBBPBBPBBPBB");
+  EXPECT_EQ(gop.size(), 12u);
+  EXPECT_EQ(gop.i_period(), 12u);
+  EXPECT_EQ(gop.count(FrameType::I), 1u);
+  EXPECT_EQ(gop.count(FrameType::P), 3u);
+  EXPECT_EQ(gop.count(FrameType::B), 8u);
+}
+
+TEST(GopStructure, TypeAtFollowsRepeatingPattern) {
+  const GopStructure gop = GopStructure::mpeg1_default();
+  EXPECT_EQ(gop.type_at(0), FrameType::I);
+  EXPECT_EQ(gop.type_at(1), FrameType::B);
+  EXPECT_EQ(gop.type_at(3), FrameType::P);
+  EXPECT_EQ(gop.type_at(12), FrameType::I);  // next GOP
+  EXPECT_EQ(gop.type_at(12 * 1000 + 3), FrameType::P);
+}
+
+TEST(GopStructure, CustomPatterns) {
+  const GopStructure gop("IPPP");
+  EXPECT_EQ(gop.count(FrameType::P), 3u);
+  EXPECT_EQ(gop.count(FrameType::B), 0u);
+  EXPECT_EQ(gop.type_at(5), FrameType::P);
+}
+
+TEST(GopStructure, Validation) {
+  EXPECT_THROW(GopStructure(""), InvalidArgument);
+  EXPECT_THROW(GopStructure("BBP"), InvalidArgument);  // must start with I
+  EXPECT_THROW(GopStructure("IBX"), InvalidArgument);  // unknown type
+}
+
+}  // namespace
+}  // namespace ssvbr::trace

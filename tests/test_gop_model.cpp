@@ -1,0 +1,122 @@
+#include "core/gop_model.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "dist/distributions.h"
+#include "stats/descriptive.h"
+#include "trace/scene_mpeg_source.h"
+
+namespace ssvbr::core {
+namespace {
+
+const trace::VideoTrace& test_trace() {
+  static const trace::VideoTrace tr = trace::make_empirical_standin_trace(6000 * 12);
+  return tr;
+}
+
+ModelBuilderOptions fast_options() {
+  ModelBuilderOptions options;
+  options.acf_max_lag = 300;
+  options.variance_time.fit_min_m = 30;
+  options.pd_check_horizon = 1024;
+  return options;
+}
+
+const FittedGopModel& fitted() {
+  static const FittedGopModel model = fit_gop_model(test_trace(), fast_options());
+  return model;
+}
+
+TEST(GopVbrModel, GeneratedTraceFollowsGopPattern) {
+  RandomEngine rng(1);
+  const trace::VideoTrace syn = fitted().model.generate(120, rng);
+  ASSERT_EQ(syn.size(), 120u);
+  for (std::size_t i = 0; i < syn.size(); ++i) {
+    EXPECT_EQ(syn.type_of(i), test_trace().gop().type_at(i));
+    EXPECT_GT(syn[i], 0.0);
+  }
+}
+
+TEST(GopVbrModel, FrameTypeOrderingIsPreserved) {
+  // I frames are larger than P frames, P larger than B — both in the
+  // source trace and in the synthetic one.
+  RandomEngine rng(2);
+  const trace::VideoTrace syn = fitted().model.generate(24000, rng);
+  const double i_mean = stats::mean(syn.sizes_of(trace::FrameType::I));
+  const double p_mean = stats::mean(syn.sizes_of(trace::FrameType::P));
+  const double b_mean = stats::mean(syn.sizes_of(trace::FrameType::B));
+  EXPECT_GT(i_mean, p_mean);
+  EXPECT_GT(p_mean, b_mean);
+}
+
+TEST(GopVbrModel, PerTypeMarginalsStayInsideEmpiricalRange) {
+  RandomEngine rng(3);
+  const trace::VideoTrace syn = fitted().model.generate(12000, rng);
+  for (const auto type :
+       {trace::FrameType::I, trace::FrameType::P, trace::FrameType::B}) {
+    const std::vector<double> emp = test_trace().sizes_of(type);
+    const auto [mn, mx] = std::minmax_element(emp.begin(), emp.end());
+    for (const double v : syn.sizes_of(type)) {
+      EXPECT_GE(v, *mn);
+      EXPECT_LE(v, *mx);
+    }
+  }
+}
+
+TEST(GopVbrModel, FrameLevelAcfShowsGopPeriodicity) {
+  // The composite stream's ACF must peak at multiples of the GOP period
+  // (12) relative to neighbouring lags — the structure Figs. 9-11 show.
+  RandomEngine rng(4);
+  const trace::VideoTrace syn = fitted().model.generate(60000, rng);
+  const std::vector<double> acf = stats::autocorrelation_fft(syn.frame_sizes(), 40);
+  EXPECT_GT(acf[12], acf[6]);
+  EXPECT_GT(acf[12], acf[18]);
+  EXPECT_GT(acf[24], acf[18]);
+  EXPECT_GT(acf[12], 0.5);  // strong periodic correlation
+}
+
+TEST(GopVbrModel, BackgroundCorrelationIsRescaledByIPeriod) {
+  const auto& corr = fitted().model.background_correlation();
+  // r(k) should decay on the GOP scale: the frame-level value at lag 12
+  // equals the I-frame-level value at lag 1, which is high (~0.9+).
+  EXPECT_GT(corr(12.0), 0.85);
+  EXPECT_GT(corr(1.0), corr(12.0));  // fractional-lag evaluation works
+}
+
+TEST(GopVbrModel, MeanFrameSizeIsGopWeightedAverage) {
+  const GopVbrModel& model = fitted().model;
+  const double i = model.transform(trace::FrameType::I).output_mean();
+  const double p = model.transform(trace::FrameType::P).output_mean();
+  const double b = model.transform(trace::FrameType::B).output_mean();
+  EXPECT_NEAR(model.mean_frame_size(), (i + 3.0 * p + 8.0 * b) / 12.0, 1e-9);
+}
+
+TEST(GopVbrModel, ReportComesFromIFramePipeline) {
+  const FitReport& r = fitted().i_frame_report;
+  EXPECT_GT(r.acf_fit.lambda, 0.0);
+  EXPECT_GT(r.attenuation, 0.0);
+  EXPECT_LE(r.attenuation, 1.0);
+}
+
+TEST(GopVbrModel, ConstructionValidation) {
+  MarginalTransform h(std::make_shared<NormalDistribution>(0.0, 1.0));
+  EXPECT_THROW(GopVbrModel(nullptr, MarginalTransform(h), MarginalTransform(h),
+                           MarginalTransform(h), trace::GopStructure::mpeg1_default()),
+               InvalidArgument);
+}
+
+TEST(FitGopModel, RequiresPAndBFrames) {
+  // An all-I trace cannot drive the composite model.
+  std::vector<double> sizes(2048, 1000.0);
+  const trace::VideoTrace all_i(std::move(sizes), trace::GopStructure("I"));
+  ModelBuilderOptions options = fast_options();
+  options.acf_max_lag = 100;
+  EXPECT_THROW(fit_gop_model(all_i, options), std::exception);
+}
+
+}  // namespace
+}  // namespace ssvbr::core

@@ -1,0 +1,107 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "dist/random.h"
+
+namespace ssvbr::stats {
+namespace {
+
+TEST(Histogram, BasicCounting) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(0.7);
+  h.add(9.5);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_DOUBLE_EQ(h.frequency(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_left(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(3), 3.5);
+}
+
+TEST(Histogram, OutOfRangeSamplesAreClamped) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(1e9);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(Histogram, UpperEdgeGoesToLastBin) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(10.0);
+  EXPECT_EQ(h.count(9), 1u);
+}
+
+TEST(Histogram, FrequenciesSumToOne) {
+  RandomEngine rng(1);
+  Histogram h(-4.0, 4.0, 32);
+  for (int i = 0; i < 10000; ++i) h.add(rng.normal());
+  double sum = 0.0;
+  for (const double f : h.frequencies()) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, DensityIntegratesToOne) {
+  RandomEngine rng(2);
+  Histogram h(-5.0, 5.0, 50);
+  for (int i = 0; i < 20000; ++i) h.add(rng.normal());
+  double integral = 0.0;
+  for (std::size_t i = 0; i < h.bin_count(); ++i) integral += h.density(i) * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, FromSamplesSpansRange) {
+  const std::vector<double> xs{1.0, 2.0, 7.0, 4.0};
+  const Histogram h = Histogram::from_samples(xs, 6);
+  EXPECT_DOUBLE_EQ(h.lo(), 1.0);
+  EXPECT_DOUBLE_EQ(h.hi(), 7.0);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, FromConstantSampleDoesNotDegenerate) {
+  const std::vector<double> xs{3.0, 3.0, 3.0};
+  const Histogram h = Histogram::from_samples(xs, 4);
+  EXPECT_GT(h.hi(), h.lo());
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, TotalVariationDistance) {
+  Histogram a(0.0, 1.0, 2);
+  Histogram b(0.0, 1.0, 2);
+  a.add(0.25);  // all mass left
+  b.add(0.75);  // all mass right
+  EXPECT_DOUBLE_EQ(Histogram::total_variation_distance(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::total_variation_distance(a, a), 0.0);
+}
+
+TEST(Histogram, TvDistanceOfSimilarSamplesIsSmall) {
+  RandomEngine rng(3);
+  Histogram a(-4.0, 4.0, 20);
+  Histogram b(-4.0, 4.0, 20);
+  for (int i = 0; i < 50000; ++i) {
+    a.add(rng.normal());
+    b.add(rng.normal());
+  }
+  EXPECT_LT(Histogram::total_variation_distance(a, b), 0.03);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), InvalidArgument);
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW(h.count(4), InvalidArgument);
+  Histogram other(0.0, 2.0, 4);
+  EXPECT_THROW(Histogram::total_variation_distance(h, other), InvalidArgument);
+  const std::vector<double> empty;
+  EXPECT_THROW(Histogram::from_samples(empty, 4), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ssvbr::stats

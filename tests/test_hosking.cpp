@@ -1,0 +1,200 @@
+#include "fractal/hosking.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "fractal/autocorrelation.h"
+
+namespace ssvbr::fractal {
+namespace {
+
+// Ensemble covariance estimate E[x_i x_j] using the known zero mean
+// (no sample-mean subtraction, so no LRD estimator bias).
+double ensemble_product(const HoskingModel& model, std::size_t i, std::size_t j,
+                        std::size_t reps, std::uint64_t seed) {
+  RandomEngine rng(seed);
+  std::vector<double> path(model.horizon());
+  double sum = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    model.sample_path(rng, path);
+    sum += path[i] * path[j];
+  }
+  return sum / static_cast<double>(reps);
+}
+
+TEST(HoskingModel, Ar1CoefficientsAreExact) {
+  // For an exponential correlation (AR(1) with rho = e^-lambda) the
+  // partial regression collapses to phi_{k,1} = rho, phi_{k,j>1} = 0,
+  // and v_k = 1 - rho^2 for k >= 1.
+  const double lambda = 0.2;
+  const double rho = std::exp(-lambda);
+  const ExponentialAutocorrelation corr(lambda);
+  const HoskingModel model(corr, 32);
+  EXPECT_DOUBLE_EQ(model.innovation_variance(0), 1.0);
+  for (std::size_t k = 1; k < 32; ++k) {
+    const auto row = model.phi_row(k);
+    EXPECT_NEAR(row[0], rho, 1e-12) << "k=" << k;
+    for (std::size_t j = 1; j < k; ++j) EXPECT_NEAR(row[j], 0.0, 1e-12);
+    EXPECT_NEAR(model.innovation_variance(k), 1.0 - rho * rho, 1e-12);
+    EXPECT_NEAR(model.phi_row_sum(k), rho, 1e-12);
+  }
+}
+
+TEST(HoskingModel, FarimaPartialCorrelationsMatchHoskingClosedForm) {
+  // Hosking (1981): for FARIMA(0, d, 0) the partial correlations are
+  // exactly phi_kk = d / (k - d) — a sharp end-to-end check of the
+  // Durbin-Levinson implementation against theory.
+  const double d = 0.3;
+  const FarimaAutocorrelation corr(d);
+  const HoskingModel model(corr, 64);
+  for (std::size_t k = 1; k < 64; ++k) {
+    const double phi_kk = model.phi_row(k)[k - 1];
+    EXPECT_NEAR(phi_kk, d / (static_cast<double>(k) - d), 1e-10) << "k=" << k;
+  }
+}
+
+TEST(HoskingModel, FirstPartialCorrelationIsRho1) {
+  const FgnAutocorrelation corr(0.8);
+  const HoskingModel model(corr, 8);
+  EXPECT_NEAR(model.phi_row(1)[0], corr(1.0), 1e-12);
+}
+
+TEST(HoskingModel, InnovationVariancesDecreaseMonotonically) {
+  const FgnAutocorrelation corr(0.9);
+  const HoskingModel model(corr, 128);
+  for (std::size_t k = 1; k < 128; ++k) {
+    EXPECT_LE(model.innovation_variance(k), model.innovation_variance(k - 1) + 1e-15);
+    EXPECT_GT(model.innovation_variance(k), 0.0);
+  }
+}
+
+TEST(HoskingModel, EnsembleCovarianceMatchesTargetFgn) {
+  const FgnAutocorrelation corr(0.85);
+  const HoskingModel model(corr, 64);
+  const std::size_t reps = 40000;
+  // Variance at two positions.
+  EXPECT_NEAR(ensemble_product(model, 5, 5, reps, 1), 1.0, 0.03);
+  EXPECT_NEAR(ensemble_product(model, 50, 50, reps, 2), 1.0, 0.03);
+  // Covariances at several lags, from several anchors.
+  EXPECT_NEAR(ensemble_product(model, 10, 11, reps, 3), corr(1.0), 0.03);
+  EXPECT_NEAR(ensemble_product(model, 10, 20, reps, 4), corr(10.0), 0.03);
+  EXPECT_NEAR(ensemble_product(model, 0, 40, reps, 5), corr(40.0), 0.03);
+}
+
+TEST(HoskingModel, EnsembleCovarianceMatchesComposite) {
+  const auto corr = CompositeSrdLrdAutocorrelation::with_continuity(1.2, 0.3, 20.0);
+  const HoskingModel model(corr, 64);
+  const std::size_t reps = 40000;
+  EXPECT_NEAR(ensemble_product(model, 2, 7, reps, 6), corr(5.0), 0.03);
+  EXPECT_NEAR(ensemble_product(model, 0, 40, reps, 7), corr(40.0), 0.03);
+}
+
+TEST(HoskingModel, RejectsInvalidCorrelation) {
+  const CompositeSrdLrdAutocorrelation bad(0.000653, 2.664, 0.244, 66.0);
+  EXPECT_THROW(HoskingModel(bad, 256), NumericalError);
+}
+
+TEST(HoskingModel, AccessorValidation) {
+  const ExponentialAutocorrelation corr(0.1);
+  const HoskingModel model(corr, 16);
+  EXPECT_THROW(model.innovation_variance(16), InvalidArgument);
+  EXPECT_THROW(model.phi_row(0), InvalidArgument);
+  EXPECT_THROW(model.phi_row(16), InvalidArgument);
+  EXPECT_THROW(HoskingModel(corr, 0), InvalidArgument);
+}
+
+TEST(HoskingModel, ConditionalMeanMatchesManualDotProduct) {
+  const FgnAutocorrelation corr(0.75);
+  const HoskingModel model(corr, 8);
+  const std::vector<double> history{0.3, -1.2, 0.7, 2.0};
+  const auto row = model.phi_row(4);
+  double expected = 0.0;
+  for (std::size_t j = 1; j <= 4; ++j) expected += row[j - 1] * history[4 - j];
+  EXPECT_NEAR(model.conditional_mean(4, history), expected, 1e-14);
+  EXPECT_DOUBLE_EQ(model.conditional_mean(0, history), 0.0);
+  EXPECT_THROW(model.conditional_mean(5, history), InvalidArgument);
+}
+
+TEST(HoskingSampler, MatchesSamplePathDistribution) {
+  // The incremental sampler and sample_path implement the same law;
+  // with the same engine state they must produce identical paths.
+  const FgnAutocorrelation corr(0.8);
+  const HoskingModel model(corr, 32);
+  RandomEngine rng1(9);
+  RandomEngine rng2(9);
+  std::vector<double> path(32);
+  model.sample_path(rng1, path);
+  HoskingSampler sampler(model);
+  for (std::size_t k = 0; k < 32; ++k) {
+    EXPECT_DOUBLE_EQ(sampler.next(rng2).value, path[k]) << "k=" << k;
+  }
+}
+
+TEST(HoskingSampler, MeanShiftTranslatesPathExactly) {
+  // X' = X + m*: with identical innovations, the shifted sampler's path
+  // must equal the unshifted path plus m* at every step.
+  const FgnAutocorrelation corr(0.85);
+  const HoskingModel model(corr, 48);
+  const double m_star = 2.5;
+  RandomEngine rng1(10);
+  RandomEngine rng2(10);
+  HoskingSampler base(model, 0.0);
+  HoskingSampler shifted(model, m_star);
+  for (std::size_t k = 0; k < 48; ++k) {
+    const double x = base.next(rng1).value;
+    const double x_shift = shifted.next(rng2).value;
+    EXPECT_NEAR(x_shift, x + m_star, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(HoskingSampler, ReportsConditionalLawOfEachStep) {
+  const ExponentialAutocorrelation corr(0.5);
+  const double rho = std::exp(-0.5);
+  const HoskingModel model(corr, 8);
+  RandomEngine rng(11);
+  HoskingSampler sampler(model);
+  const HoskingStep s0 = sampler.next(rng);
+  EXPECT_DOUBLE_EQ(s0.conditional_mean, 0.0);
+  EXPECT_DOUBLE_EQ(s0.variance, 1.0);
+  const HoskingStep s1 = sampler.next(rng);
+  EXPECT_NEAR(s1.conditional_mean, rho * s0.value, 1e-12);
+  EXPECT_NEAR(s1.variance, 1.0 - rho * rho, 1e-12);
+}
+
+TEST(HoskingSampler, ExhaustionAndReset) {
+  const ExponentialAutocorrelation corr(0.1);
+  const HoskingModel model(corr, 4);
+  RandomEngine rng(12);
+  HoskingSampler sampler(model);
+  for (int i = 0; i < 4; ++i) sampler.next(rng);
+  EXPECT_THROW(sampler.next(rng), InvalidArgument);
+  sampler.reset();
+  EXPECT_EQ(sampler.position(), 0u);
+  EXPECT_NO_THROW(sampler.next(rng));
+}
+
+TEST(HoskingStreaming, MatchesTableBasedGeneratorPathwise) {
+  const FgnAutocorrelation corr(0.9);
+  const HoskingModel model(corr, 64);
+  RandomEngine rng1(13);
+  RandomEngine rng2(13);
+  std::vector<double> table_path(64);
+  model.sample_path(rng1, table_path);
+  const std::vector<double> streaming = hosking_sample_streaming(corr, 64, rng2);
+  ASSERT_EQ(streaming.size(), 64u);
+  for (std::size_t k = 0; k < 64; ++k) {
+    EXPECT_NEAR(streaming[k], table_path[k], 1e-10) << "k=" << k;
+  }
+}
+
+TEST(HoskingStreaming, RejectsInvalidCorrelation) {
+  RandomEngine rng(14);
+  const CompositeSrdLrdAutocorrelation bad(0.000653, 2.664, 0.244, 66.0);
+  EXPECT_THROW(hosking_sample_streaming(bad, 256, rng), NumericalError);
+}
+
+}  // namespace
+}  // namespace ssvbr::fractal

@@ -1,0 +1,121 @@
+#include "fractal/hurst.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "fractal/autocorrelation.h"
+#include "fractal/davies_harte.h"
+#include "dist/random.h"
+
+namespace ssvbr::fractal {
+namespace {
+
+std::vector<double> fgn_path(double h, std::size_t n, std::uint64_t seed) {
+  const FgnAutocorrelation corr(h);
+  const DaviesHarteModel model(corr, n);
+  RandomEngine rng(seed);
+  return model.sample(rng);
+}
+
+// Average an estimator over a few independent paths to tame the large
+// path-to-path variability of LRD statistics.
+template <typename Estimate>
+double average_estimate(double h, std::size_t n, int paths, Estimate&& est) {
+  double sum = 0.0;
+  for (int p = 0; p < paths; ++p) sum += est(fgn_path(h, n, 100 + p));
+  return sum / paths;
+}
+
+class HurstRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(HurstRecovery, VarianceTimeEstimatesTrueH) {
+  const double h = GetParam();
+  const double estimate = average_estimate(h, 1 << 15, 4, [](const auto& path) {
+    return variance_time_analysis(path).hurst;
+  });
+  // Variance-time is known to be biased low on finite LRD samples; allow
+  // a generous one-sided band.
+  EXPECT_NEAR(estimate, h, 0.12) << "H=" << h;
+}
+
+TEST_P(HurstRecovery, RsAnalysisEstimatesTrueH) {
+  const double h = GetParam();
+  const double estimate = average_estimate(h, 1 << 15, 4, [](const auto& path) {
+    return rs_analysis(path).hurst;
+  });
+  EXPECT_NEAR(estimate, h, 0.12) << "H=" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(HurstGrid, HurstRecovery, ::testing::Values(0.6, 0.7, 0.8, 0.9));
+
+TEST(VarianceTime, WhiteNoiseGivesHalf) {
+  RandomEngine rng(1);
+  std::vector<double> xs(1 << 15);
+  for (auto& x : xs) x = rng.normal();
+  const VarianceTimeResult r = variance_time_analysis(xs);
+  EXPECT_NEAR(r.hurst, 0.5, 0.05);
+  EXPECT_NEAR(r.beta, 1.0, 0.1);  // var(X^(m)) ~ 1/m
+}
+
+TEST(VarianceTime, PointsAreLogLogAndFitCoversLargeM) {
+  const std::vector<double> path = fgn_path(0.8, 8192, 1);
+  VarianceTimeOptions opts;
+  opts.fit_min_m = 50;
+  const VarianceTimeResult r = variance_time_analysis(path, opts);
+  EXPECT_GT(r.points.size(), 10u);
+  for (std::size_t i = 1; i < r.points.size(); ++i) {
+    EXPECT_GT(r.points[i].log_x, r.points[i - 1].log_x);  // increasing m
+  }
+  EXPECT_LT(r.fit.slope, 0.0);  // variance decays with aggregation
+}
+
+TEST(VarianceTime, Validation) {
+  std::vector<double> tiny(10, 1.0);
+  EXPECT_THROW(variance_time_analysis(tiny), InvalidArgument);
+}
+
+TEST(RescaledAdjustedRange, HandComputedExample) {
+  // xs = {1, 2, 3}: mean 2, population sd sqrt(2/3),
+  // W = {-1, -1, 0}; max(0, W) = 0, min(0, W) = -1, R = 1.
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_NEAR(rescaled_adjusted_range(xs), 1.0 / std::sqrt(2.0 / 3.0), 1e-12);
+}
+
+TEST(RescaledAdjustedRange, InvariantToShiftAndScale) {
+  const std::vector<double> xs{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  std::vector<double> ys(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) ys[i] = 10.0 + 3.0 * xs[i];
+  EXPECT_NEAR(rescaled_adjusted_range(xs), rescaled_adjusted_range(ys), 1e-12);
+}
+
+TEST(RescaledAdjustedRange, Validation) {
+  EXPECT_THROW(rescaled_adjusted_range(std::vector<double>{1.0}), InvalidArgument);
+  EXPECT_THROW(rescaled_adjusted_range(std::vector<double>(8, 2.0)), InvalidArgument);
+}
+
+TEST(RsAnalysis, ProducesPoxPointsAndPositiveSlope) {
+  const std::vector<double> path = fgn_path(0.85, 8192, 2);
+  const RsResult r = rs_analysis(path);
+  EXPECT_GT(r.points.size(), 20u);
+  EXPECT_GT(r.hurst, 0.5);
+  EXPECT_LT(r.hurst, 1.1);
+  EXPECT_GT(r.fit.r_squared, 0.7);
+}
+
+TEST(RsAnalysis, Validation) {
+  std::vector<double> tiny(10, 1.0);
+  EXPECT_THROW(rs_analysis(tiny), InvalidArgument);
+  std::vector<double> ok(1000);
+  RandomEngine rng(3);
+  for (auto& x : ok) x = rng.normal();
+  RsOptions opts;
+  opts.min_n = 100;
+  opts.max_n = 50;  // empty range
+  EXPECT_THROW(rs_analysis(ok, opts), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ssvbr::fractal

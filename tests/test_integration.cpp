@@ -1,0 +1,175 @@
+// End-to-end integration tests: the full paper pipeline on the synthetic
+// "empirical" trace, from fitting through generation to queueing and
+// importance sampling — the miniature version of Sections 3-4.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/gop_model.h"
+#include "core/model_builder.h"
+#include "is/is_estimator.h"
+#include "is/twist_search.h"
+#include "queueing/overflow_mc.h"
+#include "stats/descriptive.h"
+#include "stats/empirical_distribution.h"
+#include "stats/histogram.h"
+#include "trace/scene_mpeg_source.h"
+
+namespace ssvbr {
+namespace {
+
+// One mid-sized trace and fitted model shared across tests (expensive).
+struct Fixture {
+  trace::VideoTrace tr = trace::make_empirical_standin_trace(8000 * 12);
+  core::FittedModel fitted = core::fit_unified_model(tr.i_frame_series(), options());
+
+  static core::ModelBuilderOptions options() {
+    core::ModelBuilderOptions o;
+    o.acf_max_lag = 300;
+    o.variance_time.fit_min_m = 30;
+    o.pd_check_horizon = 1024;
+    return o;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+TEST(Integration, PipelineRecoversSelfSimilarity) {
+  const auto& rep = fixture().fitted.report;
+  EXPECT_GT(rep.hurst_combined, 0.7);
+  EXPECT_LT(rep.hurst_combined, 1.05);
+  EXPECT_GT(rep.acf_fit.knee, 5u);
+  EXPECT_LT(rep.acf_fit.knee, 250u);
+}
+
+TEST(Integration, SyntheticAcfTracksEmpiricalAcf) {
+  // Fig. 8 in miniature: generate a synthetic foreground of the same
+  // length and compare ACFs at a few lags. LRD estimates fluctuate, so
+  // average a few replications and use generous bands.
+  const auto& f = fixture();
+  const std::vector<double> i_series = f.tr.i_frame_series();
+  const std::vector<double> emp_acf = stats::autocorrelation_fft(i_series, 200);
+  RandomEngine rng(1);
+  std::vector<double> sim_acf(201, 0.0);
+  const int reps = 5;
+  for (int rep = 0; rep < reps; ++rep) {
+    const std::vector<double> y = f.fitted.model.generate(i_series.size(), rng);
+    const std::vector<double> a = stats::autocorrelation_fft(y, 200);
+    for (std::size_t k = 0; k <= 200; ++k) sim_acf[k] += a[k] / reps;
+  }
+  for (const std::size_t lag : {std::size_t{10}, std::size_t{60}, std::size_t{150}}) {
+    EXPECT_NEAR(sim_acf[lag], emp_acf[lag], 0.28) << "lag " << lag;
+    EXPECT_GT(sim_acf[lag], 0.0) << "lag " << lag;
+  }
+}
+
+TEST(Integration, SyntheticMarginalMatchesEmpiricalHistogram) {
+  // Fig. 12 in miniature: histogram total-variation distance between
+  // empirical and ensemble-synthetic I-frame sizes is small.
+  const auto& f = fixture();
+  const std::vector<double> i_series = f.tr.i_frame_series();
+  stats::Histogram emp(0.0, 60000.0, 40);
+  emp.add_all(i_series);
+  stats::Histogram sim(0.0, 60000.0, 40);
+  RandomEngine rng(2);
+  for (int rep = 0; rep < 10; ++rep) {
+    const std::vector<double> y = f.fitted.model.generate(4096, rng);
+    sim.add_all(y);
+  }
+  EXPECT_LT(stats::Histogram::total_variation_distance(emp, sim), 0.1);
+}
+
+TEST(Integration, QqAgreementBetweenModelAndTrace) {
+  // Fig. 13 in miniature: central quantiles of the synthetic ensemble
+  // lie close to the empirical ones.
+  const auto& f = fixture();
+  const std::vector<double> i_series = f.tr.i_frame_series();
+  RandomEngine rng(3);
+  std::vector<double> synthetic;
+  // Many replications: within one LRD path the samples are so strongly
+  // correlated that the pooled quantiles converge only across paths.
+  for (int rep = 0; rep < 40; ++rep) {
+    const auto y = f.fitted.model.generate(4096, rng);
+    synthetic.insert(synthetic.end(), y.begin(), y.end());
+  }
+  const auto points = stats::qq_points(i_series, synthetic, 21);
+  for (const auto& pt : points) {
+    if (pt.probability < 0.1 || pt.probability > 0.9) continue;  // tails are noisy
+    EXPECT_NEAR(pt.y_quantile, pt.x_quantile, 0.3 * pt.x_quantile + 200.0)
+        << "p=" << pt.probability;
+  }
+}
+
+TEST(Integration, GopModelReproducesCompositeStream) {
+  const auto& f = fixture();
+  const core::FittedGopModel gop = core::fit_gop_model(f.tr, Fixture::options());
+  RandomEngine rng(4);
+  const trace::VideoTrace syn = gop.model.generate(36000, rng);
+  // Frame-type means within a factor band of the empirical ones.
+  for (const auto type :
+       {trace::FrameType::I, trace::FrameType::P, trace::FrameType::B}) {
+    const double emp_mean = stats::mean(f.tr.sizes_of(type));
+    const double syn_mean = stats::mean(syn.sizes_of(type));
+    EXPECT_GT(syn_mean, 0.3 * emp_mean);
+    EXPECT_LT(syn_mean, 3.0 * emp_mean);
+  }
+}
+
+TEST(Integration, IsAgreesWithTraceDrivenSteadyState) {
+  // Fig. 16's cross-validation in miniature: at high utilization and a
+  // small buffer, the IS estimate from the fitted model should be
+  // within an order of magnitude of the trace-driven measurement.
+  const auto& f = fixture();
+  const std::vector<double> i_series = f.tr.i_frame_series();
+  const double mean_rate = stats::mean(i_series);
+  const double util = 0.8;
+  const double service = mean_rate / util;
+  const double buffer = 10.0 * mean_rate;
+
+  const std::vector<double> trace_probs = queueing::steady_state_overflow_multi(
+      i_series, service, std::vector<double>{buffer});
+
+  const fractal::HoskingModel background(f.fitted.model.background_correlation(), 100);
+  is::IsOverflowSettings settings;
+  settings.twisted_mean = 0.6;
+  settings.service_rate = service;
+  settings.buffer = buffer;
+  settings.stop_time = 100;
+  settings.replications = 2000;
+  RandomEngine rng(5);
+  const is::IsOverflowEstimate est =
+      is::estimate_overflow_is(f.fitted.model, background, settings, rng);
+
+  ASSERT_GT(est.probability, 0.0);
+  ASSERT_GT(trace_probs[0], 0.0);
+  const double log_gap = std::fabs(std::log10(est.probability / trace_probs[0]));
+  EXPECT_LT(log_gap, 1.2);
+}
+
+TEST(Integration, VarianceValleyAndReductionOnFittedModel) {
+  // Fig. 14 in miniature on the *fitted* model: sweep a small twist grid
+  // and require substantial variance reduction at the valley.
+  const auto& f = fixture();
+  const double mean_rate = f.fitted.model.mean();
+  const fractal::HoskingModel background(f.fitted.model.background_correlation(), 150);
+  is::IsOverflowSettings settings;
+  // The empirical marginal is bounded above, so pick an event the
+  // twisted process can actually reach within the horizon.
+  settings.service_rate = mean_rate / 0.5;
+  settings.buffer = 10.0 * mean_rate;
+  settings.stop_time = 150;
+  settings.replications = 800;
+  RandomEngine rng(6);
+  const auto sweep = is::sweep_twist(f.fitted.model, background, settings,
+                                     {0.5, 1.0, 2.0, 3.0}, rng);
+  const auto& best = is::find_best_twist(sweep);
+  EXPECT_GE(best.twisted_mean, 1.0);
+  EXPECT_GT(best.estimate.variance_reduction_vs_mc, 5.0);
+}
+
+}  // namespace
+}  // namespace ssvbr

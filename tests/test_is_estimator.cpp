@@ -1,0 +1,249 @@
+#include "is/is_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.h"
+#include "dist/distributions.h"
+#include "fractal/autocorrelation.h"
+#include "queueing/arrival.h"
+
+namespace ssvbr::is {
+namespace {
+
+// A small model with an exponential background and Gamma marginal keeps
+// the Hosking table cheap while exercising the full IS machinery.
+core::UnifiedVbrModel make_model() {
+  auto corr = std::make_shared<fractal::ExponentialAutocorrelation>(0.1);
+  core::MarginalTransform h(std::make_shared<GammaDistribution>(2.0, 1.0));
+  return core::UnifiedVbrModel(std::move(corr), std::move(h));
+}
+
+TEST(IsEstimator, ZeroTwistMatchesPlainMonteCarlo) {
+  // With m* = 0 the likelihood is identically 1 and the estimator is
+  // crude Monte Carlo; at a non-rare event both must agree closely.
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 100);
+
+  IsOverflowSettings settings;
+  settings.twisted_mean = 0.0;
+  settings.service_rate = model.mean() / 0.7;
+  settings.buffer = 5.0 * model.mean();
+  settings.stop_time = 100;
+  settings.replications = 8000;
+
+  RandomEngine rng1(1);
+  const IsOverflowEstimate is_est = estimate_overflow_is(model, background, settings, rng1);
+
+  auto model_ptr = std::make_shared<core::UnifiedVbrModel>(model);
+  queueing::ModelArrivalProcess arr(model_ptr, core::BackgroundGenerator::kHosking);
+  RandomEngine rng2(2);
+  const queueing::OverflowEstimate mc_est = queueing::estimate_overflow_mc(
+      arr, settings.service_rate, settings.buffer, settings.stop_time, 8000, rng2);
+
+  const double se = std::sqrt(is_est.estimator_variance + mc_est.estimator_variance);
+  EXPECT_NEAR(is_est.probability, mc_est.probability, 4.0 * se + 1e-4);
+  // Unit likelihoods: every hit scores exactly 1.
+  EXPECT_NEAR(is_est.probability,
+              static_cast<double>(is_est.hits) / settings.replications, 1e-12);
+}
+
+TEST(IsEstimator, TwistedEstimateIsUnbiasedAtModerateProbability) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 80);
+
+  IsOverflowSettings settings;
+  settings.service_rate = model.mean() / 0.6;
+  settings.buffer = 8.0 * model.mean();
+  settings.stop_time = 80;
+  settings.replications = 8000;
+
+  settings.twisted_mean = 0.0;
+  RandomEngine rng1(3);
+  const IsOverflowEstimate plain = estimate_overflow_is(model, background, settings, rng1);
+
+  settings.twisted_mean = 1.0;
+  RandomEngine rng2(4);
+  const IsOverflowEstimate twisted =
+      estimate_overflow_is(model, background, settings, rng2);
+
+  ASSERT_GT(plain.hits, 10u);  // event must be non-rare for this check
+  const double se = std::sqrt(plain.estimator_variance + twisted.estimator_variance);
+  EXPECT_NEAR(twisted.probability, plain.probability, 5.0 * se + 1e-4);
+}
+
+TEST(IsEstimator, TwistingReducesVarianceForRareEvent) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 120);
+
+  IsOverflowSettings settings;
+  settings.service_rate = model.mean() / 0.3;   // low utilization
+  settings.buffer = 25.0 * model.mean();        // rare crossing
+  settings.stop_time = 120;
+  settings.replications = 3000;
+  settings.twisted_mean = 2.0;
+
+  RandomEngine rng(5);
+  const IsOverflowEstimate est = estimate_overflow_is(model, background, settings, rng);
+  EXPECT_GT(est.hits, 10u);                    // twist makes the event visible
+  EXPECT_GT(est.variance_reduction_vs_mc, 5.0);  // and the estimator efficient
+  EXPECT_GT(est.probability, 0.0);
+  EXPECT_LT(est.probability, 1e-2);
+}
+
+TEST(IsEstimator, TerminalModeHonoursInitialOccupancy) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 30);
+
+  IsOverflowSettings settings;
+  settings.service_rate = model.mean() / 0.6;
+  settings.buffer = 10.0 * model.mean();
+  settings.stop_time = 30;
+  settings.replications = 6000;
+  settings.twisted_mean = 0.5;
+  settings.event = queueing::OverflowEvent::kTerminal;
+
+  settings.initial_occupancy = 0.0;
+  RandomEngine rng1(6);
+  const IsOverflowEstimate empty_start =
+      estimate_overflow_is(model, background, settings, rng1);
+
+  settings.initial_occupancy = settings.buffer;
+  RandomEngine rng2(7);
+  const IsOverflowEstimate full_start =
+      estimate_overflow_is(model, background, settings, rng2);
+
+  EXPECT_GT(full_start.probability, empty_start.probability);
+}
+
+TEST(IsEstimator, StatisticsAreInternallyConsistent) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 50);
+  IsOverflowSettings settings;
+  settings.twisted_mean = 1.0;
+  settings.service_rate = model.mean() / 0.5;
+  settings.buffer = 6.0 * model.mean();
+  settings.stop_time = 50;
+  settings.replications = 2000;
+  RandomEngine rng(8);
+  const IsOverflowEstimate est = estimate_overflow_is(model, background, settings, rng);
+  EXPECT_EQ(est.replications, 2000u);
+  EXPECT_GE(est.probability, 0.0);
+  EXPECT_GE(est.estimator_variance, 0.0);
+  EXPECT_NEAR(est.ci95_halfwidth, 1.96 * std::sqrt(est.estimator_variance), 1e-12);
+  if (est.probability > 0.0) {
+    EXPECT_NEAR(est.normalized_variance,
+                est.estimator_variance / (est.probability * est.probability), 1e-12);
+  }
+}
+
+TEST(IsSuperposed, SingleSourceMatchesPlainEstimator) {
+  // n_sources = 1 must be the same algorithm as estimate_overflow_is.
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 60);
+  IsOverflowSettings settings;
+  settings.twisted_mean = 1.0;
+  settings.service_rate = model.mean() / 0.6;
+  settings.buffer = 8.0 * model.mean();
+  settings.stop_time = 60;
+  settings.replications = 4000;
+  RandomEngine rng1(20);
+  RandomEngine rng2(20);
+  const IsOverflowEstimate single =
+      estimate_overflow_is(model, background, settings, rng1);
+  const IsOverflowEstimate super =
+      estimate_overflow_is_superposed(model, background, 1, settings, rng2);
+  EXPECT_DOUBLE_EQ(super.probability, single.probability);
+  EXPECT_EQ(super.hits, single.hits);
+}
+
+TEST(IsSuperposed, AgreesWithCrudeMonteCarloAggregate) {
+  // Three sources at a moderate event: superposed IS must match a crude
+  // MC run of a SuperposedArrivalProcess within sampling error.
+  const core::UnifiedVbrModel model = make_model();
+  const std::size_t n_sources = 3;
+  const fractal::HoskingModel background(model.background_correlation(), 60);
+  IsOverflowSettings settings;
+  settings.twisted_mean = 0.6;
+  settings.service_rate = n_sources * model.mean() / 0.7;
+  settings.buffer = 6.0 * n_sources * model.mean();
+  settings.stop_time = 60;
+  settings.replications = 5000;
+  RandomEngine rng1(21);
+  const IsOverflowEstimate is_est =
+      estimate_overflow_is_superposed(model, background, n_sources, settings, rng1);
+
+  std::vector<std::unique_ptr<queueing::ArrivalProcess>> parts;
+  for (std::size_t s = 0; s < n_sources; ++s) {
+    parts.push_back(std::make_unique<queueing::ModelArrivalProcess>(
+        std::make_shared<core::UnifiedVbrModel>(model),
+        core::BackgroundGenerator::kHosking));
+  }
+  queueing::SuperposedArrivalProcess arrivals(std::move(parts));
+  RandomEngine rng2(22);
+  const queueing::OverflowEstimate mc = queueing::estimate_overflow_mc(
+      arrivals, settings.service_rate, settings.buffer, settings.stop_time, 5000, rng2);
+
+  ASSERT_GT(mc.hits, 20u);
+  const double se = std::sqrt(is_est.estimator_variance + mc.estimator_variance);
+  EXPECT_NEAR(is_est.probability, mc.probability, 5.0 * se + 1e-4);
+}
+
+TEST(IsSuperposed, AggregationReducesOverflowAtFixedPerSourceLoad) {
+  // Multiplexing gain: at equal per-source utilization and per-source
+  // buffer, the aggregate of 4 sources overflows less than one source.
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 80);
+  IsOverflowSettings settings;
+  settings.stop_time = 80;
+  settings.replications = 4000;
+  settings.twisted_mean = 1.2;
+
+  settings.service_rate = model.mean() / 0.5;
+  settings.buffer = 8.0 * model.mean();
+  RandomEngine rng1(23);
+  const IsOverflowEstimate one =
+      estimate_overflow_is_superposed(model, background, 1, settings, rng1);
+
+  settings.twisted_mean = 0.6;
+  settings.service_rate = 4.0 * model.mean() / 0.5;
+  settings.buffer = 4.0 * 8.0 * model.mean();
+  RandomEngine rng2(24);
+  const IsOverflowEstimate four =
+      estimate_overflow_is_superposed(model, background, 4, settings, rng2);
+
+  ASSERT_GT(one.hits, 0u);
+  EXPECT_LT(four.probability, one.probability);
+}
+
+TEST(IsSuperposed, Validation) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 20);
+  IsOverflowSettings settings;
+  settings.stop_time = 10;
+  settings.replications = 10;
+  RandomEngine rng(25);
+  EXPECT_THROW(estimate_overflow_is_superposed(model, background, 0, settings, rng),
+               InvalidArgument);
+}
+
+TEST(IsEstimator, Validation) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 20);
+  IsOverflowSettings settings;
+  settings.stop_time = 50;  // exceeds the background horizon
+  settings.replications = 10;
+  RandomEngine rng(9);
+  EXPECT_THROW(estimate_overflow_is(model, background, settings, rng), InvalidArgument);
+  settings.stop_time = 10;
+  settings.replications = 0;
+  EXPECT_THROW(estimate_overflow_is(model, background, settings, rng), InvalidArgument);
+  settings.replications = 10;
+  settings.buffer = -1.0;
+  EXPECT_THROW(estimate_overflow_is(model, background, settings, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ssvbr::is

@@ -1,0 +1,110 @@
+#include "is/likelihood.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/random.h"
+#include "dist/special_functions.h"
+#include "fractal/autocorrelation.h"
+#include "fractal/hosking.h"
+
+namespace ssvbr::is {
+namespace {
+
+TEST(LikelihoodRatio, HandComputedSingleStep) {
+  // x sampled from N(m*, 1), original model N(0, 1):
+  // log L = ((x - m*)^2 - x^2) / 2.
+  LikelihoodRatioAccumulator lr;
+  const double x = 1.7;
+  const double m_star = 2.0;
+  lr.add_step(x, /*twisted_mean=*/m_star, /*mean_delta=*/m_star, /*variance=*/1.0);
+  const double expected = ((x - m_star) * (x - m_star) - x * x) / 2.0;
+  EXPECT_NEAR(lr.log_likelihood(), expected, 1e-12);
+  EXPECT_NEAR(lr.likelihood(), std::exp(expected), 1e-12);
+}
+
+TEST(LikelihoodRatio, AccumulatesAcrossSteps) {
+  LikelihoodRatioAccumulator lr;
+  lr.add_step(1.0, 0.5, 0.5, 1.0);
+  const double after_one = lr.log_likelihood();
+  lr.add_step(-0.3, 0.2, 0.4, 0.8);
+  EXPECT_GT(std::fabs(lr.log_likelihood() - after_one), 0.0);
+  lr.reset();
+  EXPECT_DOUBLE_EQ(lr.log_likelihood(), 0.0);
+  EXPECT_DOUBLE_EQ(lr.likelihood(), 1.0);
+}
+
+TEST(LikelihoodRatio, ZeroTwistGivesUnitLikelihood) {
+  LikelihoodRatioAccumulator lr;
+  for (int i = 0; i < 10; ++i) {
+    lr.add_step(0.3 * i, 0.1 * i, /*mean_delta=*/0.0, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(lr.likelihood(), 1.0);
+}
+
+TEST(LikelihoodRatio, ExpectationUnderTwistedMeasureIsOne) {
+  // Fundamental IS identity: E'[L] = 1. Simulate twisted Hosking paths
+  // of an FGN background and average the likelihood ratios.
+  const fractal::FgnAutocorrelation corr(0.8);
+  const fractal::HoskingModel model(corr, 24);
+  const double m_star = 1.0;
+  RandomEngine rng(1);
+  const int reps = 60000;
+  double sum = 0.0;
+  fractal::HoskingSampler sampler(model, m_star);
+  LikelihoodRatioAccumulator lr;
+  for (int rep = 0; rep < reps; ++rep) {
+    sampler.reset();
+    lr.reset();
+    for (std::size_t i = 0; i < 24; ++i) {
+      const fractal::HoskingStep step = sampler.next(rng);
+      const double delta = m_star * (1.0 - (i == 0 ? 0.0 : model.phi_row_sum(i)));
+      lr.add_step(step.value, step.conditional_mean, delta, step.variance);
+    }
+    sum += lr.likelihood();
+  }
+  EXPECT_NEAR(sum / reps, 1.0, 0.05);
+}
+
+TEST(LikelihoodRatio, ReweightingRecoversOriginalMean) {
+  // E'[X_0 L] must equal E[X_0] = 0 even under a large twist.
+  const fractal::FgnAutocorrelation corr(0.9);
+  const fractal::HoskingModel model(corr, 8);
+  const double m_star = 1.0;  // larger twists make x0*L too heavy-tailed to average
+  RandomEngine rng(2);
+  const int reps = 60000;
+  double weighted_sum = 0.0;
+  fractal::HoskingSampler sampler(model, m_star);
+  LikelihoodRatioAccumulator lr;
+  for (int rep = 0; rep < reps; ++rep) {
+    sampler.reset();
+    lr.reset();
+    double x0 = 0.0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      const fractal::HoskingStep step = sampler.next(rng);
+      if (i == 0) x0 = step.value;
+      const double delta = m_star * (1.0 - (i == 0 ? 0.0 : model.phi_row_sum(i)));
+      lr.add_step(step.value, step.conditional_mean, delta, step.variance);
+    }
+    weighted_sum += x0 * lr.likelihood();
+  }
+  EXPECT_NEAR(weighted_sum / reps, 0.0, 0.08);
+}
+
+TEST(LikelihoodRatio, SingleStepGaussianDensityRatioExact) {
+  // The accumulated ratio must equal the analytic density ratio
+  // N(x; 0, v) / N(x; m*, v) pointwise.
+  const double v = 0.7;
+  const double m_star = 1.3;
+  for (const double x : {-2.0, -0.5, 0.0, 0.9, 3.1}) {
+    LikelihoodRatioAccumulator lr;
+    lr.add_step(x, m_star, m_star, v);
+    const double orig = std::exp(-x * x / (2.0 * v));
+    const double twist = std::exp(-(x - m_star) * (x - m_star) / (2.0 * v));
+    EXPECT_NEAR(lr.likelihood(), orig / twist, 1e-10 * (orig / twist)) << "x=" << x;
+  }
+}
+
+}  // namespace
+}  // namespace ssvbr::is

@@ -1,0 +1,152 @@
+#include "queueing/lindley.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "dist/random.h"
+
+namespace ssvbr::queueing {
+namespace {
+
+TEST(LindleyQueue, HandComputedEvolution) {
+  // mu = 2: arrivals {5, 0, 0, 3, 0} -> queue {3, 1, 0, 1, 0}.
+  LindleyQueue q(2.0);
+  EXPECT_DOUBLE_EQ(q.step(5.0), 3.0);
+  EXPECT_DOUBLE_EQ(q.step(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.step(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(q.step(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.step(0.0), 0.0);
+  EXPECT_EQ(q.slots(), 5u);
+  EXPECT_DOUBLE_EQ(q.peak(), 3.0);
+}
+
+TEST(LindleyQueue, InitialOccupancy) {
+  LindleyQueue q(1.0, 10.0);
+  EXPECT_DOUBLE_EQ(q.size(), 10.0);
+  EXPECT_DOUBLE_EQ(q.step(0.0), 9.0);
+}
+
+TEST(LindleyQueue, ResetRestoresState) {
+  LindleyQueue q(1.0);
+  q.step(5.0);
+  q.reset(2.0);
+  EXPECT_DOUBLE_EQ(q.size(), 2.0);
+  EXPECT_DOUBLE_EQ(q.peak(), 2.0);
+  EXPECT_EQ(q.slots(), 0u);
+}
+
+TEST(LindleyQueue, MonotoneInServiceRate) {
+  // Same arrivals: the slower server never has the smaller queue.
+  RandomEngine rng(1);
+  std::vector<double> arrivals(500);
+  for (auto& a : arrivals) a = rng.uniform(0.0, 2.0);
+  LindleyQueue fast(1.2);
+  LindleyQueue slow(0.9);
+  for (const double a : arrivals) {
+    const double qf = fast.step(a);
+    const double qs = slow.step(a);
+    EXPECT_GE(qs, qf - 1e-12);
+  }
+}
+
+TEST(LindleyQueue, MonotoneInInitialOccupancy) {
+  RandomEngine rng(2);
+  std::vector<double> arrivals(300);
+  for (auto& a : arrivals) a = rng.uniform(0.0, 2.0);
+  LindleyQueue empty_start(1.0, 0.0);
+  LindleyQueue full_start(1.0, 50.0);
+  for (const double a : arrivals) {
+    EXPECT_GE(full_start.step(a), empty_start.step(a) - 1e-12);
+  }
+}
+
+TEST(LindleyQueue, MatchesWorkloadSupDuality) {
+  // For Q_0 = 0: Q_k = W_k - min_{0<=i<=k} W_i where W is the total
+  // workload process (eq. (16)-(17) machinery).
+  RandomEngine rng(3);
+  const double mu = 1.0;
+  LindleyQueue q(mu);
+  double w = 0.0;
+  double w_min = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double a = rng.uniform(0.0, 2.0);
+    const double queue = q.step(a);
+    w += a - mu;
+    w_min = std::min(w_min, w);
+    EXPECT_NEAR(queue, w - w_min, 1e-9);
+  }
+}
+
+TEST(LindleyQueue, Validation) {
+  EXPECT_THROW(LindleyQueue(0.0), InvalidArgument);
+  EXPECT_THROW(LindleyQueue(1.0, -1.0), InvalidArgument);
+  LindleyQueue q(1.0);
+  EXPECT_THROW(q.step(-0.1), InvalidArgument);
+  EXPECT_THROW(q.reset(-2.0), InvalidArgument);
+}
+
+TEST(FiniteBufferQueue, DropsExactOverflowAmount) {
+  FiniteBufferQueue q(1.0, 5.0);
+  EXPECT_DOUBLE_EQ(q.step(4.0), 0.0);  // queue 4
+  EXPECT_DOUBLE_EQ(q.size(), 4.0);
+  // serve 1 -> 3, arrive 4 -> 7, cap at 5: drop 2.
+  EXPECT_DOUBLE_EQ(q.step(4.0), 2.0);
+  EXPECT_DOUBLE_EQ(q.size(), 5.0);
+  EXPECT_DOUBLE_EQ(q.total_dropped(), 2.0);
+  EXPECT_DOUBLE_EQ(q.total_arrived(), 8.0);
+  EXPECT_DOUBLE_EQ(q.loss_ratio(), 0.25);
+}
+
+TEST(FiniteBufferQueue, ConservationOfWork) {
+  RandomEngine rng(4);
+  FiniteBufferQueue q(1.0, 10.0);
+  double arrived = 0.0;
+  double dropped = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double a = rng.uniform(0.0, 2.5);
+    arrived += a;
+    dropped += q.step(a);
+  }
+  EXPECT_NEAR(q.total_arrived(), arrived, 1e-9);
+  EXPECT_NEAR(q.total_dropped(), dropped, 1e-9);
+  EXPECT_LE(q.size(), q.buffer_size() + 1e-12);
+  EXPECT_GE(q.loss_ratio(), 0.0);
+  EXPECT_LE(q.loss_ratio(), 1.0);
+}
+
+TEST(FiniteBufferQueue, LossDecreasesWithBuffer) {
+  RandomEngine rng(5);
+  std::vector<double> arrivals(20000);
+  for (auto& a : arrivals) a = rng.uniform(0.0, 2.2);
+  double prev_loss = 1.0;
+  for (const double buffer : {2.0, 8.0, 32.0}) {
+    FiniteBufferQueue q(1.0, buffer);
+    for (const double a : arrivals) q.step(a);
+    EXPECT_LE(q.loss_ratio(), prev_loss + 1e-12);
+    prev_loss = q.loss_ratio();
+  }
+}
+
+TEST(FiniteBufferQueue, InitialOccupancyClampedToBuffer) {
+  FiniteBufferQueue q(1.0, 5.0, 100.0);
+  EXPECT_DOUBLE_EQ(q.size(), 5.0);
+  q.reset(100.0);
+  EXPECT_DOUBLE_EQ(q.size(), 5.0);
+}
+
+TEST(FiniteBufferQueue, Validation) {
+  EXPECT_THROW(FiniteBufferQueue(0.0, 5.0), InvalidArgument);
+  EXPECT_THROW(FiniteBufferQueue(1.0, 0.0), InvalidArgument);
+  FiniteBufferQueue q(1.0, 5.0);
+  EXPECT_THROW(q.step(-1.0), InvalidArgument);
+}
+
+TEST(FiniteBufferQueue, LossRatioZeroBeforeArrivals) {
+  const FiniteBufferQueue q(1.0, 5.0);
+  EXPECT_DOUBLE_EQ(q.loss_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace ssvbr::queueing

@@ -1,0 +1,107 @@
+#include "stats/linear_fit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "dist/random.h"
+
+namespace ssvbr::stats {
+namespace {
+
+TEST(LinearFit, RecoversExactLine) {
+  const std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = 2.5 * x[i] - 1.0;
+  const LineFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.residual_stddev, 0.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineWithinTolerance) {
+  RandomEngine rng(1);
+  std::vector<double> x(500);
+  std::vector<double> y(500);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i) / 50.0;
+    y[i] = 3.0 * x[i] + 1.0 + rng.normal(0.0, 0.2);
+  }
+  const LineFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.02);
+  EXPECT_NEAR(fit.intercept, 1.0, 0.1);
+  EXPECT_GT(fit.r_squared, 0.99);
+  EXPECT_NEAR(fit.residual_stddev, 0.2, 0.03);
+}
+
+TEST(LinearFit, RSquaredZeroForUncorrelatedNoise) {
+  RandomEngine rng(2);
+  std::vector<double> x(2000);
+  std::vector<double> y(2000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i);
+    y[i] = rng.normal();
+  }
+  EXPECT_LT(fit_line(x, y).r_squared, 0.01);
+}
+
+TEST(LinearFit, Validation) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(fit_line(one, one), InvalidArgument);
+  const std::vector<double> x{1.0, 1.0, 1.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_THROW(fit_line(x, y), InvalidArgument);  // constant x
+  const std::vector<double> mismatched{1.0, 2.0};
+  EXPECT_THROW(fit_line(x, mismatched), InvalidArgument);
+}
+
+TEST(ExponentialFit, RecoversRateAndAmplitude) {
+  std::vector<double> x(100);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i);
+    y[i] = 2.0 * std::exp(-0.05 * x[i]);
+  }
+  const LineFit fit = fit_exponential(x, y);
+  EXPECT_NEAR(fit.slope, -0.05, 1e-10);
+  EXPECT_NEAR(std::exp(fit.intercept), 2.0, 1e-9);
+}
+
+TEST(ExponentialFit, SkipsNonPositivePoints) {
+  const std::vector<double> x{0.0, 1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{1.0, std::exp(-0.5), -1.0, 0.0, std::exp(-2.0)};
+  const LineFit fit = fit_exponential(x, y);
+  EXPECT_NEAR(fit.slope, -0.5, 1e-10);
+}
+
+TEST(PowerLawFit, RecoversExponent) {
+  std::vector<double> x(200);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i + 1);
+    y[i] = 1.59 * std::pow(x[i], -0.2);  // the paper's fitted LRD branch
+  }
+  const LineFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.slope, -0.2, 1e-10);
+  EXPECT_NEAR(std::exp(fit.intercept), 1.59, 1e-8);
+}
+
+TEST(PowerLawFit, SkipsNonPositiveXAndY) {
+  const std::vector<double> x{-1.0, 0.0, 1.0, 2.0, 4.0};
+  const std::vector<double> y{5.0, 5.0, 1.0, 0.5, 0.25};
+  const LineFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.slope, -1.0, 1e-10);
+}
+
+TEST(LogDomainFits, RequireTwoValidPoints) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{-1.0, -2.0, 0.5};  // only one positive
+  EXPECT_THROW(fit_exponential(x, y), InvalidArgument);
+  EXPECT_THROW(fit_power_law(x, y), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ssvbr::stats

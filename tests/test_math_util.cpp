@@ -1,0 +1,63 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace ssvbr {
+namespace {
+
+TEST(MathUtil, LogSumExpMatchesDirectForModerateValues) {
+  EXPECT_NEAR(log_sum_exp(0.0, 0.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(log_sum_exp(1.0, 2.0), std::log(std::exp(1.0) + std::exp(2.0)), 1e-12);
+}
+
+TEST(MathUtil, LogSumExpHandlesExtremeMagnitudes) {
+  // exp(1000) overflows; the result must still be finite and ~max.
+  EXPECT_NEAR(log_sum_exp(1000.0, 0.0), 1000.0, 1e-9);
+  EXPECT_NEAR(log_sum_exp(-1000.0, -1001.0), -1000.0 + std::log1p(std::exp(-1.0)), 1e-9);
+}
+
+TEST(MathUtil, LogSumExpWithNegativeInfinity) {
+  const double ninf = -std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(log_sum_exp(ninf, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(log_sum_exp(3.0, ninf), 3.0);
+}
+
+TEST(MathUtil, KahanSumBeatsNaiveOnIllConditionedInput) {
+  // 1 + 1e-16 repeated: naive summation loses the small terms entirely.
+  std::vector<double> xs;
+  xs.push_back(1.0);
+  for (int i = 0; i < 10000; ++i) xs.push_back(1e-16);
+  const double kahan = kahan_sum(xs);
+  EXPECT_NEAR(kahan, 1.0 + 1e-12, 1e-15);
+}
+
+TEST(MathUtil, ClampBounds) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(MathUtil, AlmostEqual) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(almost_equal(1.0, 1.001));
+  EXPECT_TRUE(almost_equal(0.0, 0.0));
+  EXPECT_TRUE(almost_equal(1e300, 1e300 * (1.0 + 1e-10)));
+}
+
+TEST(MathUtil, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(2), 2u);
+  EXPECT_EQ(next_power_of_two(3), 4u);
+  EXPECT_EQ(next_power_of_two(1025), 2048u);
+}
+
+}  // namespace
+}  // namespace ssvbr

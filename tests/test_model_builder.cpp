@@ -1,0 +1,150 @@
+#include "core/model_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "dist/random.h"
+#include "stats/descriptive.h"
+#include "trace/scene_mpeg_source.h"
+
+namespace ssvbr::core {
+namespace {
+
+// A moderate-length I-frame-like series shared by the tests. 6000 GOPs
+// keep the pipeline fast while exposing both SRD and LRD structure.
+const std::vector<double>& test_series() {
+  static const std::vector<double> series = [] {
+    const trace::VideoTrace tr = trace::make_empirical_standin_trace(6000 * 12);
+    return tr.i_frame_series();
+  }();
+  return series;
+}
+
+ModelBuilderOptions fast_options() {
+  ModelBuilderOptions options;
+  options.acf_max_lag = 300;
+  options.variance_time.fit_min_m = 30;
+  options.pd_check_horizon = 1024;
+  return options;
+}
+
+TEST(ModelBuilder, FourStepPipelineProducesConsistentReport) {
+  const FittedModel fitted = fit_unified_model(test_series(), fast_options());
+  const FitReport& r = fitted.report;
+  // Step 1: both estimators in the self-similar range.
+  EXPECT_GT(r.variance_time.hurst, 0.5);
+  EXPECT_LT(r.variance_time.hurst, 1.05);
+  EXPECT_GT(r.rs.hurst, 0.5);
+  EXPECT_NEAR(r.hurst_combined, 0.5 * (r.variance_time.hurst + r.rs.hurst), 1e-12);
+  // Step 2: a decaying exponential and an LRD power law.
+  EXPECT_GT(r.acf_fit.lambda, 0.0);
+  EXPECT_GT(r.acf_fit.beta, 0.0);
+  EXPECT_LE(r.acf_fit.beta, 1.0);
+  EXPECT_EQ(r.empirical_acf.size(), 301u);
+  // Step 3: a valid attenuation factor.
+  EXPECT_GT(r.attenuation, 0.0);
+  EXPECT_LE(r.attenuation, 1.0);
+  // Step 4: the background parameters reflect (possibly partial)
+  // compensation — L is lifted, never lowered.
+  EXPECT_GE(r.background_lrd_scale, r.acf_fit.lrd_scale - 1e-9);
+  EXPECT_GT(r.background_lambda, 0.0);
+}
+
+TEST(ModelBuilder, BackgroundCorrelationIsPositiveDefinite) {
+  const FittedModel fitted = fit_unified_model(test_series(), fast_options());
+  EXPECT_TRUE(fractal::is_valid_correlation(fitted.model.background_correlation(), 1024));
+}
+
+TEST(ModelBuilder, GeneratedProcessMatchesEmpiricalMarginalQuantiles) {
+  const FittedModel fitted = fit_unified_model(test_series(), fast_options());
+  RandomEngine rng(1);
+  // The transform maps through the empirical quantile function, so every
+  // generated value must lie inside the sample range.
+  const std::vector<double> y = fitted.model.generate(4096, rng);
+  const auto [mn, mx] =
+      std::minmax_element(test_series().begin(), test_series().end());
+  for (const double v : y) {
+    EXPECT_GE(v, *mn);
+    EXPECT_LE(v, *mx);
+  }
+}
+
+TEST(ModelBuilder, CompensationAblationLowersBackgroundAcf) {
+  ModelBuilderOptions with = fast_options();
+  ModelBuilderOptions without = fast_options();
+  without.compensate_attenuation = false;
+  const FittedModel m_with = fit_unified_model(test_series(), with);
+  const FittedModel m_without = fit_unified_model(test_series(), without);
+  EXPECT_DOUBLE_EQ(m_without.report.attenuation, 1.0);
+  EXPECT_LT(m_with.report.attenuation, 1.0);
+  // The compensated background ACF dominates the uncompensated one in
+  // the LRD range.
+  const auto& rc = m_with.model.background_correlation();
+  const auto& ru = m_without.model.background_correlation();
+  EXPECT_GE(rc(200.0), ru(200.0) - 1e-12);
+}
+
+TEST(ModelBuilder, BetaFromHurstOption) {
+  ModelBuilderOptions options = fast_options();
+  options.beta_from_acf_fit = false;
+  const FittedModel fitted = fit_unified_model(test_series(), options);
+  const double expected_beta =
+      std::clamp(2.0 - 2.0 * fitted.report.hurst_combined, 0.02, 0.98);
+  EXPECT_NEAR(fitted.report.acf_fit.beta, expected_beta, 1e-9);
+}
+
+TEST(CompensatedBackground, FullCompensationWhenFeasible) {
+  stats::CompositeAcfFit fit;
+  fit.lambda = 0.02;
+  fit.srd_scale = 1.0;
+  fit.lrd_scale = 1.0;
+  fit.beta = 0.4;
+  fit.knee = 40;
+  const auto bg = compensated_background_correlation(fit, 0.9, 512);
+  const auto* composite =
+      dynamic_cast<const fractal::CompositeSrdLrdAutocorrelation*>(bg.get());
+  ASSERT_NE(composite, nullptr);
+  EXPECT_NEAR(composite->lrd_scale(), 1.0 / 0.9, 1e-9);
+  EXPECT_TRUE(fractal::is_valid_correlation(*composite, 512));
+}
+
+TEST(CompensatedBackground, PartialCompensationWhenFullIsInfeasible) {
+  // The discovered infeasible case: knee value lifted to ~0.95 breaks
+  // positive definiteness; the bisection must return a valid correlation
+  // that still compensates as much as possible.
+  stats::CompositeAcfFit fit;
+  fit.lambda = 0.0028;
+  fit.srd_scale = 1.0;
+  fit.lrd_scale = 2.28;
+  fit.beta = 0.244;
+  fit.knee = 66;
+  const auto bg = compensated_background_correlation(fit, 0.855, 1024);
+  const auto* composite =
+      dynamic_cast<const fractal::CompositeSrdLrdAutocorrelation*>(bg.get());
+  ASSERT_NE(composite, nullptr);
+  EXPECT_TRUE(fractal::is_valid_correlation(*composite, 1024));
+  // Compensation happened (L lifted) but less than the full 1/0.855.
+  EXPECT_GT(composite->lrd_scale(), fit.lrd_scale);
+  EXPECT_LT(composite->lrd_scale(), fit.lrd_scale / 0.855 + 1e-9);
+}
+
+TEST(CompensatedBackground, Validation) {
+  stats::CompositeAcfFit fit;
+  fit.lambda = 0.02;
+  fit.lrd_scale = 1.0;
+  fit.beta = 0.4;
+  fit.knee = 40;
+  EXPECT_THROW(compensated_background_correlation(fit, 0.0), InvalidArgument);
+  EXPECT_THROW(compensated_background_correlation(fit, 1.5), InvalidArgument);
+}
+
+TEST(ModelBuilder, RejectsTooShortSeries) {
+  const std::vector<double> tiny(100, 1.0);
+  EXPECT_THROW(fit_unified_model(tiny), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ssvbr::core

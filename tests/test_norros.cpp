@@ -1,0 +1,121 @@
+#include "queueing/norros.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.h"
+#include "dist/distributions.h"
+#include "fractal/autocorrelation.h"
+#include "is/is_estimator.h"
+
+namespace ssvbr::queueing {
+namespace {
+
+TEST(Norros, ShortRangeCaseReducesToExponentialDecay) {
+  // H = 1/2: log P(Q > b) = -(C - m) b / sigma^2 * ... specifically
+  // -( (C-m) b ) * 2 ... evaluate: 2H=1, 2-2H=1, H^1 (1-H)^1 = 1/4:
+  // log P = -drift * b / (2 * 1/4 * sigma^2) = -2 drift b / sigma^2.
+  NorrosParameters p;
+  p.mean_rate = 1.0;
+  p.service_rate = 1.5;
+  p.stddev = 2.0;
+  p.hurst = 0.5;
+  const double expected = -2.0 * 0.5 * 10.0 / 4.0;
+  EXPECT_NEAR(norros_log_overflow_approximation(p, 10.0), expected, 1e-12);
+}
+
+TEST(Norros, SubExponentialDecayForLrd) {
+  // For H > 1/2 the log-probability decays like b^{2-2H}: doubling the
+  // buffer multiplies |log P| by 2^{2-2H} < 2.
+  NorrosParameters p;
+  p.mean_rate = 1.0;
+  p.service_rate = 1.4;
+  p.stddev = 1.0;
+  p.hurst = 0.9;
+  const double l1 = norros_log_overflow_approximation(p, 50.0);
+  const double l2 = norros_log_overflow_approximation(p, 100.0);
+  EXPECT_NEAR(l2 / l1, std::pow(2.0, 0.2), 1e-9);
+  EXPECT_LT(l2 / l1, 2.0);
+}
+
+TEST(Norros, MonotoneInBufferAndDrift) {
+  NorrosParameters p;
+  p.mean_rate = 1.0;
+  p.service_rate = 1.3;
+  p.stddev = 1.5;
+  p.hurst = 0.8;
+  EXPECT_GT(norros_overflow_approximation(p, 10.0),
+            norros_overflow_approximation(p, 20.0));
+  NorrosParameters faster = p;
+  faster.service_rate = 1.6;
+  EXPECT_GT(norros_overflow_approximation(p, 10.0),
+            norros_overflow_approximation(faster, 10.0));
+  EXPECT_DOUBLE_EQ(norros_overflow_approximation(p, 0.0), 1.0);
+}
+
+TEST(Norros, CriticalTimeScaleFormula) {
+  NorrosParameters p;
+  p.mean_rate = 2.0;
+  p.service_rate = 3.0;
+  p.stddev = 1.0;
+  p.hurst = 0.75;
+  // t* = b H / ((C - m)(1 - H)) = 10 * 0.75 / (1 * 0.25) = 30.
+  EXPECT_NEAR(norros_critical_time_scale(p, 10.0), 30.0, 1e-12);
+}
+
+TEST(Norros, Validation) {
+  NorrosParameters p;
+  p.mean_rate = 1.0;
+  p.service_rate = 0.9;  // unstable
+  EXPECT_THROW(norros_overflow_approximation(p, 1.0), InvalidArgument);
+  p.service_rate = 1.5;
+  p.hurst = 1.0;
+  EXPECT_THROW(norros_overflow_approximation(p, 1.0), InvalidArgument);
+  p.hurst = 0.8;
+  p.stddev = 0.0;
+  EXPECT_THROW(norros_overflow_approximation(p, 1.0), InvalidArgument);
+  p.stddev = 1.0;
+  EXPECT_THROW(norros_overflow_approximation(p, -1.0), InvalidArgument);
+}
+
+TEST(Norros, AgreesWithIsSimulationOnGaussianFgnInput) {
+  // Feed the queue (nearly) Gaussian fGn traffic and compare the IS
+  // estimate with the Norros approximation within an order of
+  // magnitude (it is an asymptotic approximation, not exact).
+  const double hurst = 0.8;
+  const double mean = 20.0;
+  const double sigma = 2.0;
+  auto corr = std::make_shared<fractal::FgnAutocorrelation>(hurst);
+  core::MarginalTransform h(std::make_shared<NormalDistribution>(mean, sigma));
+  const core::UnifiedVbrModel model(corr, std::move(h));
+
+  const double service = mean + 1.0;
+  const double buffer = 40.0;
+  const std::size_t k = 600;
+  const fractal::HoskingModel background(model.background_correlation(), k);
+  is::IsOverflowSettings settings;
+  settings.twisted_mean = 1.2;
+  settings.service_rate = service;
+  settings.buffer = buffer;
+  settings.stop_time = k;
+  settings.replications = 4000;
+  RandomEngine rng(7);
+  const is::IsOverflowEstimate est =
+      is::estimate_overflow_is(model, background, settings, rng);
+
+  NorrosParameters p;
+  p.mean_rate = mean;
+  p.service_rate = service;
+  p.stddev = sigma;
+  p.hurst = hurst;
+  const double analytic = norros_overflow_approximation(p, buffer);
+
+  ASSERT_GT(est.probability, 0.0);
+  const double gap = std::fabs(std::log10(est.probability / analytic));
+  EXPECT_LT(gap, 1.0) << "IS " << est.probability << " vs Norros " << analytic;
+}
+
+}  // namespace
+}  // namespace ssvbr::queueing

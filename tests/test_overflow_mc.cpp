@@ -1,0 +1,167 @@
+#include "queueing/overflow_mc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "dist/distributions.h"
+#include "dist/special_functions.h"
+
+namespace ssvbr::queueing {
+namespace {
+
+TEST(OverflowMc, CertainOverflowGivesProbabilityOne) {
+  // Deterministic arrivals 2/slot, service 1/slot: W grows by 1 each
+  // slot and must cross b = 5 by k = 10 with certainty.
+  std::vector<double> series{2.0};
+  TraceArrivalProcess arr(series);
+  RandomEngine rng(1);
+  const OverflowEstimate est =
+      estimate_overflow_mc(arr, 1.0, 5.0, 10, 50, rng, OverflowEvent::kFirstPassage);
+  EXPECT_DOUBLE_EQ(est.probability, 1.0);
+  EXPECT_EQ(est.hits, 50u);
+}
+
+TEST(OverflowMc, ImpossibleOverflowGivesZero) {
+  std::vector<double> series{0.5};
+  TraceArrivalProcess arr(series);
+  RandomEngine rng(2);
+  const OverflowEstimate est =
+      estimate_overflow_mc(arr, 1.0, 5.0, 100, 50, rng, OverflowEvent::kFirstPassage);
+  EXPECT_DOUBLE_EQ(est.probability, 0.0);
+  EXPECT_EQ(est.hits, 0u);
+}
+
+TEST(OverflowMc, SingleStepGaussianMatchesClosedForm) {
+  // One slot, iid N(mu_a, sigma): P(W_1 > b) = Phi((mu_a - mu - b)/sigma)
+  // ... precisely 1 - Phi((b + mu - mu_a)/sigma).
+  auto normal = std::make_shared<NormalDistribution>(10.0, 2.0);
+  // Truncation at 0 is immaterial for these parameters (10/2 = 5 sigma).
+  class NonNegativeNormal final : public ArrivalProcess {
+   public:
+    explicit NonNegativeNormal(std::shared_ptr<const Distribution> d) : d_(std::move(d)) {}
+    void begin_replication(RandomEngine& rng, std::size_t) override { rng_ = &rng; }
+    double next() override { return std::max(0.0, d_->sample(*rng_)); }
+    double mean_rate() const override { return d_->mean(); }
+   private:
+    std::shared_ptr<const Distribution> d_;
+    RandomEngine* rng_ = nullptr;
+  } arr(normal);
+
+  RandomEngine rng(3);
+  const double service = 11.0;
+  const double buffer = 1.0;
+  const OverflowEstimate est = estimate_overflow_mc(arr, service, buffer, 1, 200000, rng,
+                                                    OverflowEvent::kFirstPassage);
+  const double truth = normal_sf((buffer + service - 10.0) / 2.0);
+  EXPECT_NEAR(est.probability, truth, 5.0 * est.ci95_halfwidth / 1.96 + 1e-4);
+}
+
+TEST(OverflowMc, FirstPassageDominatesTerminal) {
+  // {sup W_i > b} contains {Q_k > b} for an empty start.
+  auto gamma = std::make_shared<GammaDistribution>(2.0, 1.0);
+  IidArrivalProcess arr(gamma);
+  RandomEngine rng1(4);
+  RandomEngine rng2(4);
+  const double service = 2.5;  // utilization 0.8
+  const OverflowEstimate fp = estimate_overflow_mc(arr, service, 4.0, 100, 4000, rng1,
+                                                   OverflowEvent::kFirstPassage);
+  const OverflowEstimate term = estimate_overflow_mc(arr, service, 4.0, 100, 4000, rng2,
+                                                     OverflowEvent::kTerminal);
+  EXPECT_GE(fp.probability, term.probability - 0.02);
+  EXPECT_GT(fp.probability, 0.0);
+}
+
+TEST(OverflowMc, TerminalModeRespectsInitialOccupancy) {
+  // With a full initial buffer the terminal exceedance probability at a
+  // short horizon is larger than from an empty start (Fig. 15's two
+  // curves bracket steady state).
+  auto gamma = std::make_shared<GammaDistribution>(2.0, 1.0);
+  IidArrivalProcess arr(gamma);
+  const double service = 2.5;
+  const double buffer = 6.0;
+  RandomEngine rng1(5);
+  RandomEngine rng2(5);
+  const OverflowEstimate empty_start = estimate_overflow_mc(
+      arr, service, buffer, 20, 4000, rng1, OverflowEvent::kTerminal, 0.0);
+  const OverflowEstimate full_start = estimate_overflow_mc(
+      arr, service, buffer, 20, 4000, rng2, OverflowEvent::kTerminal, buffer);
+  EXPECT_GT(full_start.probability, empty_start.probability);
+}
+
+TEST(OverflowMc, EstimatorStatisticsAreBernoulliConsistent) {
+  auto gamma = std::make_shared<GammaDistribution>(2.0, 1.0);
+  IidArrivalProcess arr(gamma);
+  RandomEngine rng(6);
+  const OverflowEstimate est = estimate_overflow_mc(arr, 2.5, 3.0, 50, 2000, rng);
+  EXPECT_EQ(est.replications, 2000u);
+  EXPECT_NEAR(est.probability, static_cast<double>(est.hits) / 2000.0, 1e-12);
+  const double p = est.probability;
+  EXPECT_NEAR(est.estimator_variance, p * (1.0 - p) / 2000.0, 1e-12);
+  EXPECT_NEAR(est.ci95_halfwidth, 1.96 * std::sqrt(est.estimator_variance), 1e-12);
+  if (p > 0.0) {
+    EXPECT_NEAR(est.normalized_variance, est.estimator_variance / (p * p), 1e-12);
+  }
+}
+
+TEST(OverflowMc, Validation) {
+  auto gamma = std::make_shared<GammaDistribution>(2.0, 1.0);
+  IidArrivalProcess arr(gamma);
+  RandomEngine rng(7);
+  EXPECT_THROW(estimate_overflow_mc(arr, 1.0, 1.0, 0, 10, rng), InvalidArgument);
+  EXPECT_THROW(estimate_overflow_mc(arr, 1.0, 1.0, 10, 0, rng), InvalidArgument);
+  EXPECT_THROW(estimate_overflow_mc(arr, 1.0, -1.0, 10, 10, rng), InvalidArgument);
+}
+
+TEST(SteadyState, FractionOfTimeAboveLevel) {
+  // Deterministic saw-tooth: arrivals {3, 0, 0} with service 1 yield the
+  // queue cycle {2, 1, 0}; fraction of slots with Q > 0.5 is 2/3.
+  std::vector<double> series{3.0, 0.0, 0.0};
+  TraceArrivalProcess arr(series);
+  RandomEngine rng(8);
+  const SteadyStateEstimate est = steady_state_overflow(arr, 1.0, 0.5, 3000, 0, rng);
+  EXPECT_NEAR(est.probability, 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(est.slots, 3000u);
+}
+
+TEST(SteadyState, WarmupIsExcluded) {
+  std::vector<double> series{3.0, 0.0, 0.0};
+  TraceArrivalProcess arr(series);
+  RandomEngine rng(9);
+  const SteadyStateEstimate est = steady_state_overflow(arr, 1.0, 0.5, 3000, 300, rng);
+  EXPECT_EQ(est.slots, 2700u);
+  EXPECT_THROW(steady_state_overflow(arr, 1.0, 0.5, 100, 100, rng), InvalidArgument);
+}
+
+TEST(SteadyStateMulti, MatchesSingleBufferRuns) {
+  RandomEngine rng(10);
+  std::vector<double> arrivals(20000);
+  const GammaDistribution gamma(2.0, 1.0);
+  for (auto& a : arrivals) a = gamma.sample(rng);
+  const std::vector<double> buffers{1.0, 4.0, 16.0};
+  const std::vector<double> multi =
+      steady_state_overflow_multi(arrivals, 2.5, buffers);
+  ASSERT_EQ(multi.size(), 3u);
+  // Monotone decreasing in buffer size.
+  EXPECT_GE(multi[0], multi[1]);
+  EXPECT_GE(multi[1], multi[2]);
+  // Cross-check buffer 4.0 against the single-buffer API on the same
+  // arrival sequence.
+  TraceArrivalProcess arr(arrivals);
+  RandomEngine rng2(11);
+  const SteadyStateEstimate single =
+      steady_state_overflow(arr, 2.5, 4.0, arrivals.size(), 0, rng2);
+  EXPECT_NEAR(multi[1], single.probability, 1e-9);
+}
+
+TEST(SteadyStateMulti, Validation) {
+  const std::vector<double> arrivals(10, 1.0);
+  const std::vector<double> buffers{1.0};
+  EXPECT_THROW(steady_state_overflow_multi(arrivals, 1.0, buffers, 10), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ssvbr::queueing

@@ -1,0 +1,77 @@
+#include "fractal/periodogram_hurst.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "fractal/autocorrelation.h"
+#include "fractal/davies_harte.h"
+#include "dist/random.h"
+
+namespace ssvbr::fractal {
+namespace {
+
+std::vector<double> fgn_path(double h, std::size_t n, std::uint64_t seed) {
+  const FgnAutocorrelation corr(h);
+  const DaviesHarteModel model(corr, n);
+  RandomEngine rng(seed);
+  return model.sample(rng);
+}
+
+class GphRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(GphRecovery, EstimatesTrueHurstOnFgn) {
+  const double h = GetParam();
+  double sum = 0.0;
+  const int paths = 4;
+  for (int p = 0; p < paths; ++p) {
+    sum += periodogram_hurst(fgn_path(h, 1 << 15, 300 + p)).hurst;
+  }
+  EXPECT_NEAR(sum / paths, h, 0.1) << "H=" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(HurstGrid, GphRecovery, ::testing::Values(0.6, 0.75, 0.9));
+
+TEST(PeriodogramHurst, WhiteNoiseGivesHalf) {
+  RandomEngine rng(1);
+  std::vector<double> xs(1 << 15);
+  for (auto& x : xs) x = rng.normal();
+  const PeriodogramHurstResult r = periodogram_hurst(xs);
+  EXPECT_NEAR(r.hurst, 0.5, 0.08);
+  EXPECT_NEAR(r.d, 0.0, 0.08);
+}
+
+TEST(PeriodogramHurst, ShiftAndScaleInvariant) {
+  const std::vector<double> xs = fgn_path(0.8, 8192, 1);
+  std::vector<double> ys(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) ys[i] = 100.0 + 42.0 * xs[i];
+  const double hx = periodogram_hurst(xs).hurst;
+  const double hy = periodogram_hurst(ys).hurst;
+  EXPECT_NEAR(hx, hy, 1e-9);
+}
+
+TEST(PeriodogramHurst, BandwidthOptionControlsPointCount) {
+  const std::vector<double> xs = fgn_path(0.8, 4096, 2);
+  PeriodogramHurstOptions options;
+  options.n_frequencies = 32;
+  const PeriodogramHurstResult r = periodogram_hurst(xs, options);
+  EXPECT_LE(r.points.size(), 32u);
+  EXPECT_GE(r.points.size(), 28u);  // a few ordinates may be non-positive
+}
+
+TEST(PeriodogramHurst, Validation) {
+  std::vector<double> tiny(64, 1.0);
+  EXPECT_THROW(periodogram_hurst(tiny), InvalidArgument);
+  std::vector<double> ok(256);
+  RandomEngine rng(3);
+  for (auto& x : ok) x = rng.normal();
+  PeriodogramHurstOptions options;
+  options.n_frequencies = 2;  // too few
+  EXPECT_THROW(periodogram_hurst(ok, options), InvalidArgument);
+  options.n_frequencies = 200;  // beyond Nyquist range
+  EXPECT_THROW(periodogram_hurst(ok, options), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ssvbr::fractal

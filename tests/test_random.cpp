@@ -1,0 +1,154 @@
+#include "dist/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace ssvbr {
+namespace {
+
+TEST(RandomEngine, DeterministicGivenSeed) {
+  RandomEngine a(12345);
+  RandomEngine b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RandomEngine, DifferentSeedsDiverge) {
+  RandomEngine a(1);
+  RandomEngine b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RandomEngine, ZeroSeedIsValid) {
+  RandomEngine rng(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 32; ++i) values.insert(rng());
+  EXPECT_GT(values.size(), 30u);  // must not be stuck
+}
+
+TEST(RandomEngine, UniformInUnitInterval) {
+  RandomEngine rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RandomEngine, UniformOpenNeverZero) {
+  RandomEngine rng(8);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform_open();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RandomEngine, UniformMomentsMatchTheory) {
+  RandomEngine rng(9);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.002);
+}
+
+TEST(RandomEngine, NormalMomentsMatchTheory) {
+  RandomEngine rng(10);
+  const int n = 200000;
+  double m1 = 0.0;
+  double m2 = 0.0;
+  double m3 = 0.0;
+  double m4 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    m1 += z;
+    m2 += z * z;
+    m3 += z * z * z;
+    m4 += z * z * z * z;
+  }
+  EXPECT_NEAR(m1 / n, 0.0, 0.02);
+  EXPECT_NEAR(m2 / n, 1.0, 0.03);
+  EXPECT_NEAR(m3 / n, 0.0, 0.08);
+  EXPECT_NEAR(m4 / n, 3.0, 0.15);
+}
+
+TEST(RandomEngine, NormalWithParameters) {
+  RandomEngine rng(11);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(sum_sq / n - mean * mean, 4.0, 0.1);
+}
+
+TEST(RandomEngine, ExponentialMeanIsOne) {
+  RandomEngine rng(12);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential();
+  EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+TEST(RandomEngine, UniformIndexStaysInRange) {
+  RandomEngine rng(13);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) {
+    const std::uint64_t k = rng.uniform_index(7);
+    ASSERT_LT(k, 7u);
+    ++counts[k];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(RandomEngine, UniformIndexZeroIsZero) {
+  RandomEngine rng(14);
+  EXPECT_EQ(rng.uniform_index(0), 0u);
+  EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(RandomEngine, SplitProducesIndependentStream) {
+  RandomEngine parent(15);
+  RandomEngine child = parent.split();
+  // Child continues to differ from parent.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RandomEngine, SplitIsDeterministic) {
+  RandomEngine p1(16);
+  RandomEngine p2(16);
+  RandomEngine c1 = p1.split();
+  RandomEngine c2 = p2.split();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(c1(), c2());
+}
+
+TEST(RandomEngine, SatisfiesUniformRandomBitGeneratorShape) {
+  EXPECT_EQ(RandomEngine::min(), 0u);
+  EXPECT_EQ(RandomEngine::max(), ~std::uint64_t{0});
+}
+
+}  // namespace
+}  // namespace ssvbr

@@ -1,0 +1,128 @@
+#include "trace/scene_mpeg_source.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "fractal/hurst.h"
+#include "stats/descriptive.h"
+
+namespace ssvbr::trace {
+namespace {
+
+TEST(SceneMpegSource, DeterministicGivenSeed) {
+  const SceneMpegSource source;
+  RandomEngine rng1(42);
+  RandomEngine rng2(42);
+  const VideoTrace a = source.generate(600, rng1);
+  const VideoTrace b = source.generate(600, rng2);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(SceneMpegSource, FrameTypeSizeOrdering) {
+  const SceneMpegSource source;
+  RandomEngine rng(1);
+  const VideoTrace tr = source.generate(60000, rng);
+  const double i_mean = stats::mean(tr.sizes_of(FrameType::I));
+  const double p_mean = stats::mean(tr.sizes_of(FrameType::P));
+  const double b_mean = stats::mean(tr.sizes_of(FrameType::B));
+  EXPECT_GT(i_mean, 2.0 * p_mean * 0.8);  // roughly 1 / p_ratio apart
+  EXPECT_GT(p_mean, b_mean);
+}
+
+TEST(SceneMpegSource, SizesRespectFloor) {
+  SceneMpegSourceParams params;
+  params.min_frame_bytes = 200.0;
+  const SceneMpegSource source(params);
+  RandomEngine rng(2);
+  const VideoTrace tr = source.generate(12000, rng);
+  const double min_size =
+      *std::min_element(tr.frame_sizes().begin(), tr.frame_sizes().end());
+  EXPECT_GE(min_size, 200.0);
+}
+
+TEST(SceneMpegSource, MarginalHasLongTail) {
+  // "far from Gaussian": the I-frame marginal is strongly right-skewed.
+  const SceneMpegSource source;
+  RandomEngine rng(3);
+  const VideoTrace tr = source.generate(120000, rng);
+  const std::vector<double> is = tr.i_frame_series();
+  stats::RunningStats moments;
+  for (const double v : is) moments.add(v);
+  EXPECT_GT(moments.skewness(), 1.0);
+  EXPECT_GT(moments.max() / moments.mean(), 4.0);
+}
+
+TEST(SceneMpegSource, IFrameSeriesExhibitsLongRangeDependence) {
+  // Averaged over a few seeds, the I-series ACF must remain clearly
+  // positive far beyond the short-range knee, and the variance-time
+  // slope must indicate H > 0.7.
+  const SceneMpegSource source;
+  double acf200 = 0.0;
+  double hurst = 0.0;
+  const int seeds = 3;
+  for (int s = 0; s < seeds; ++s) {
+    RandomEngine rng(100 + s);
+    const VideoTrace tr = source.generate(120000, rng);
+    const std::vector<double> is = tr.i_frame_series();
+    acf200 += stats::autocorrelation_fft(is, 200)[200];
+    hurst += fractal::variance_time_analysis(is).hurst;
+  }
+  EXPECT_GT(acf200 / seeds, 0.2);
+  EXPECT_GT(hurst / seeds, 0.7);
+}
+
+TEST(SceneMpegSource, CanonicalStandinHasPaperLikeStatistics) {
+  // The fixed-seed stand-in trace reproduces the headline Table 1 /
+  // Fig. 3-6 statistics: ~19.9k I frames, variance-time H near 0.9.
+  const VideoTrace tr = make_empirical_standin_trace();
+  EXPECT_EQ(tr.size(), 238626u);
+  const std::vector<double> is = tr.i_frame_series();
+  EXPECT_EQ(is.size(), 19886u);
+  const double h = fractal::variance_time_analysis(is).hurst;
+  EXPECT_GT(h, 0.85);
+  EXPECT_LT(h, 1.0);
+}
+
+TEST(SceneMpegSource, ShortStandinSharesSeedAndParams) {
+  const VideoTrace short_tr = make_empirical_standin_trace(1200);
+  EXPECT_EQ(short_tr.size(), 1200u);
+  const VideoTrace again = make_empirical_standin_trace(1200);
+  for (std::size_t i = 0; i < short_tr.size(); ++i) {
+    EXPECT_DOUBLE_EQ(short_tr[i], again[i]);
+  }
+}
+
+TEST(SceneMpegSource, ParameterValidation) {
+  SceneMpegSourceParams params;
+  params.scene_alpha = 2.5;  // no LRD
+  EXPECT_THROW(SceneMpegSource{params}, InvalidArgument);
+  params = {};
+  params.scene_alpha = 1.0;  // infinite mean
+  EXPECT_THROW(SceneMpegSource{params}, InvalidArgument);
+  params = {};
+  params.within_rho = 1.0;
+  EXPECT_THROW(SceneMpegSource{params}, InvalidArgument);
+  params = {};
+  params.i_scale_bytes = 0.0;
+  EXPECT_THROW(SceneMpegSource{params}, InvalidArgument);
+}
+
+TEST(SceneMpegSource, RejectsEmptyGeneration) {
+  const SceneMpegSource source;
+  RandomEngine rng(4);
+  EXPECT_THROW(source.generate(0, rng), InvalidArgument);
+}
+
+TEST(SceneMpegSource, Table1EquivalentLength) {
+  const SceneMpegSource source;
+  RandomEngine rng(5);
+  // Use the documented Table 1 count without generating twice.
+  const VideoTrace tr = source.generate_table1_equivalent(rng);
+  EXPECT_EQ(tr.size(), 238626u);
+}
+
+}  // namespace
+}  // namespace ssvbr::trace

@@ -1,0 +1,116 @@
+#include "dist/special_functions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ssvbr {
+namespace {
+
+TEST(IncompleteGamma, KnownValues) {
+  // P(1, x) = 1 - exp(-x).
+  for (const double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12) << "x=" << x;
+  }
+  // P(0.5, x) = erf(sqrt(x)).
+  for (const double x : {0.2, 1.0, 4.0}) {
+    EXPECT_NEAR(regularized_gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(IncompleteGamma, ComplementarityAndBoundaries) {
+  for (const double a : {0.3, 1.0, 2.7, 10.0}) {
+    EXPECT_DOUBLE_EQ(regularized_gamma_p(a, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(regularized_gamma_q(a, 0.0), 1.0);
+    for (const double x : {0.01, 0.5, a, 3.0 * a + 5.0}) {
+      EXPECT_NEAR(regularized_gamma_p(a, x) + regularized_gamma_q(a, x), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(IncompleteGamma, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x < 20.0; x += 0.25) {
+    const double p = regularized_gamma_p(3.0, x);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(IncompleteGamma, RejectsBadArguments) {
+  EXPECT_THROW(regularized_gamma_p(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(regularized_gamma_p(-1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(regularized_gamma_p(1.0, -0.1), InvalidArgument);
+}
+
+class InverseGammaRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(InverseGammaRoundTrip, InverseThenForwardIsIdentity) {
+  const auto [a, p] = GetParam();
+  const double x = inverse_regularized_gamma_p(a, p);
+  EXPECT_NEAR(regularized_gamma_p(a, x), p, 1e-9) << "a=" << a << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeAndProbabilityGrid, InverseGammaRoundTrip,
+    ::testing::Combine(::testing::Values(0.2, 0.5, 1.0, 2.0, 5.0, 20.0, 100.0),
+                       ::testing::Values(1e-6, 0.01, 0.1, 0.5, 0.9, 0.99, 1.0 - 1e-6)));
+
+TEST(InverseGamma, EdgeCases) {
+  EXPECT_DOUBLE_EQ(inverse_regularized_gamma_p(2.0, 0.0), 0.0);
+  EXPECT_THROW(inverse_regularized_gamma_p(2.0, 1.0), InvalidArgument);
+  EXPECT_THROW(inverse_regularized_gamma_p(2.0, -0.1), InvalidArgument);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.0), 1.0 - 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-12);
+}
+
+TEST(NormalCdf, SurvivalAccurateInFarTail) {
+  // 1 - Phi(8) ~ 6.22e-16; the straightforward 1 - cdf would lose it.
+  EXPECT_NEAR(normal_sf(8.0) / 6.220960574271786e-16, 1.0, 1e-9);
+  EXPECT_NEAR(normal_sf(-8.0), 1.0, 1e-15);
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-15);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959963984540054, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.8413447460685429), 1.0, 1e-10);
+}
+
+class NormalRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(NormalRoundTrip, QuantileInvertsCdf) {
+  const double p = GetParam();
+  EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-12) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(ProbabilityGrid, NormalRoundTrip,
+                         ::testing::Values(1e-12, 1e-8, 1e-4, 0.01, 0.25, 0.5, 0.75,
+                                           0.99, 1.0 - 1e-4, 1.0 - 1e-8));
+
+TEST(NormalQuantile, RejectsBoundaryProbabilities) {
+  EXPECT_THROW(normal_quantile(0.0), InvalidArgument);
+  EXPECT_THROW(normal_quantile(1.0), InvalidArgument);
+}
+
+TEST(NormalPdf, IntegratesToCdfDifference) {
+  // Trapezoid integral of the pdf on [-1, 2] vs Phi(2) - Phi(-1).
+  const int n = 20000;
+  const double lo = -1.0;
+  const double hi = 2.0;
+  const double dx = (hi - lo) / n;
+  double sum = 0.5 * (normal_pdf(lo) + normal_pdf(hi));
+  for (int i = 1; i < n; ++i) sum += normal_pdf(lo + i * dx);
+  EXPECT_NEAR(sum * dx, normal_cdf(hi) - normal_cdf(lo), 1e-9);
+}
+
+}  // namespace
+}  // namespace ssvbr

@@ -1,0 +1,107 @@
+#include "fractal/spectral.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "fractal/autocorrelation.h"
+#include "fractal/hosking.h"
+
+namespace ssvbr::fractal {
+namespace {
+
+TEST(SpectralAutocorrelation, FlatSpectrumIsWhiteNoise) {
+  const SpectralAutocorrelation r([](double) { return 1.0; }, 64, "white");
+  EXPECT_DOUBLE_EQ(r(0.0), 1.0);
+  for (int k = 1; k <= 64; ++k) EXPECT_NEAR(r(k), 0.0, 1e-9) << "lag " << k;
+}
+
+TEST(SpectralAutocorrelation, Ar1SpectrumMatchesExponentialAcf) {
+  // AR(1) with coefficient rho has f(lambda) = 1 / |1 - rho e^{-i l}|^2
+  // and r(k) = rho^k.
+  const double rho = 0.7;
+  const SpectralAutocorrelation r(
+      [rho](double lambda) {
+        const double re = 1.0 - rho * std::cos(lambda);
+        const double im = rho * std::sin(lambda);
+        return 1.0 / (re * re + im * im);
+      },
+      128, "ar1-spectral");
+  for (int k = 1; k <= 20; ++k) {
+    EXPECT_NEAR(r(k), std::pow(rho, k), 1e-6) << "lag " << k;
+  }
+}
+
+TEST(SpectralAutocorrelation, FractionalLagInterpolationAndClamp) {
+  const SpectralAutocorrelation r([](double lambda) { return 1.0 / lambda; }, 32,
+                                  "one-over-lambda");
+  EXPECT_GT(r(0.5), r(1.0));
+  EXPECT_LT(r(0.5), r(0.0));
+  EXPECT_DOUBLE_EQ(r(100.0), r(32.0));  // clamped beyond the table
+  EXPECT_DOUBLE_EQ(r(-3.0), r(3.0));    // even function
+}
+
+TEST(SpectralAutocorrelation, Validation) {
+  EXPECT_THROW(SpectralAutocorrelation(nullptr, 16, "null"), InvalidArgument);
+  EXPECT_THROW(SpectralAutocorrelation([](double) { return 1.0; }, 0, "no-lags"),
+               InvalidArgument);
+  EXPECT_THROW(SpectralAutocorrelation([](double) { return -1.0; }, 16, "negative"),
+               InvalidArgument);
+  EXPECT_THROW(SpectralAutocorrelation([](double) { return 1.0; }, 1000, "coarse", 128),
+               InvalidArgument);
+}
+
+TEST(FarimaPdq, PureFractionalMatchesClosedForm) {
+  // FARIMA(0, d, 0) has the Hosking closed-form ACF.
+  const double d = 0.35;
+  const FarimaPdqAutocorrelation numeric(d, {}, {});
+  const FarimaAutocorrelation exact(d);
+  for (const double k : {1.0, 2.0, 5.0, 10.0, 50.0, 200.0, 1000.0}) {
+    EXPECT_NEAR(numeric(k), exact(k), 0.01 * exact(k) + 2e-3) << "lag " << k;
+  }
+}
+
+TEST(FarimaPdq, ZeroDWithAr1IsExponential) {
+  const double phi = 0.6;
+  const FarimaPdqAutocorrelation numeric(0.0, {phi}, {});
+  for (int k = 1; k <= 12; ++k) {
+    EXPECT_NEAR(numeric(k), std::pow(phi, k), 1e-4) << "lag " << k;
+  }
+}
+
+TEST(FarimaPdq, ShortMemoryRaisesEarlyLagsAbovePureFractional) {
+  // FARIMA(1, d, 0) with a positive AR coefficient has a higher ACF at
+  // small lags than FARIMA(0, d, 0) but the same power-law tail rate —
+  // exactly the SRD+LRD coexistence the paper models directly.
+  const double d = 0.3;
+  const FarimaPdqAutocorrelation with_ar(d, {0.5}, {});
+  const FarimaPdqAutocorrelation without(d, {}, {});
+  EXPECT_GT(with_ar(1.0), without(1.0));
+  EXPECT_GT(with_ar(5.0), without(5.0));
+  // Tail ratio approaches a constant: both decay like k^{2d-1}.
+  const double ratio_far = with_ar(2000.0) / without(2000.0);
+  const double ratio_farther = with_ar(4000.0) / without(4000.0);
+  EXPECT_NEAR(ratio_far, ratio_farther, 0.05 * ratio_far);
+}
+
+TEST(FarimaPdq, UsableByHoskingGenerator) {
+  // The numeric ACF must be positive definite and drive Hosking.
+  const FarimaPdqAutocorrelation corr(0.25, {0.4}, {0.2});
+  EXPECT_TRUE(is_valid_correlation(corr, 256));
+  const HoskingModel model(corr, 64);
+  RandomEngine rng(1);
+  std::vector<double> path(64);
+  EXPECT_NO_THROW(model.sample_path(rng, path));
+}
+
+TEST(FarimaPdq, Validation) {
+  EXPECT_THROW(FarimaPdqAutocorrelation(0.5, {}, {}), InvalidArgument);
+  EXPECT_THROW(FarimaPdqAutocorrelation(-0.1, {}, {}), InvalidArgument);
+  // AR root on the unit circle: 1 - z has a root at z = 1.
+  EXPECT_THROW(FarimaPdqAutocorrelation(0.2, {1.0}, {}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ssvbr::fractal

@@ -1,0 +1,122 @@
+#include "baselines/tes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.h"
+#include "dist/distributions.h"
+#include "stats/descriptive.h"
+#include "test_util.h"
+
+namespace ssvbr::baselines {
+namespace {
+
+DistributionPtr uniform_marginal() {
+  // Uniform(0, 1) via Normal quantile is awkward; use a Gamma for the
+  // foreground tests and check the background separately.
+  return std::make_shared<GammaDistribution>(2.0, 1.0);
+}
+
+TEST(Tes, BackgroundIsExactlyUniform) {
+  const TesProcess tes(0.3, 0.5, uniform_marginal());
+  RandomEngine rng(1);
+  const std::vector<double> u = tes.sample_background(100000, rng);
+  const double ks = ssvbr::testing::ks_statistic(
+      u, [](double x) { return x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x); });
+  EXPECT_LT(ks, 0.01);
+}
+
+TEST(Tes, StitchingTransformShape) {
+  const TesProcess tes(0.3, 0.5, uniform_marginal());
+  EXPECT_DOUBLE_EQ(tes.stitch(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(tes.stitch(0.5), 1.0);   // peak at xi
+  EXPECT_DOUBLE_EQ(tes.stitch(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(tes.stitch(0.25), 0.5);
+  EXPECT_DOUBLE_EQ(tes.stitch(0.75), 0.5);
+}
+
+TEST(Tes, StitchedBackgroundStaysUniform) {
+  // S_xi preserves the Uniform(0,1) marginal — the property that makes
+  // the inverse-marginal transform valid.
+  const TesProcess tes(0.4, 0.5, uniform_marginal());
+  RandomEngine rng(2);
+  std::vector<double> u = tes.sample_background(100000, rng);
+  for (double& v : u) v = tes.stitch(v);
+  const double ks = ssvbr::testing::ks_statistic(
+      u, [](double x) { return x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x); });
+  EXPECT_LT(ks, 0.01);
+}
+
+TEST(Tes, ForegroundMarginalMatchesTarget) {
+  const auto marginal = std::make_shared<GammaDistribution>(2.0, 100.0);
+  const TesProcess tes(0.5, 0.5, marginal);
+  RandomEngine rng(3);
+  const std::vector<double> y = tes.sample(60000, rng);
+  const double ks = ssvbr::testing::ks_statistic(
+      y, [&](double v) { return marginal->cdf(v); });
+  EXPECT_LT(ks, 0.015);
+}
+
+TEST(Tes, SmallerInnovationGivesStrongerCorrelation) {
+  RandomEngine rng(4);
+  const TesProcess strong(0.1, 0.5, uniform_marginal());
+  const TesProcess weak(0.9, 0.5, uniform_marginal());
+  RandomEngine rng1(4);
+  RandomEngine rng2(5);
+  const auto ys = strong.sample(100000, rng1);
+  const auto yw = weak.sample(100000, rng2);
+  const double r_strong = stats::autocorrelation_fft(ys, 1)[1];
+  const double r_weak = stats::autocorrelation_fft(yw, 1)[1];
+  EXPECT_GT(r_strong, r_weak + 0.2);
+}
+
+TEST(Tes, BackgroundAcfMatchesSeriesFormula) {
+  // Empirical ACF of the stitched background vs the Jagerman-Melamed
+  // series at a few lags.
+  const double alpha = 0.3;
+  const TesProcess tes(alpha, 0.5, uniform_marginal());
+  RandomEngine rng(6);
+  std::vector<double> u = tes.sample_background(400000, rng);
+  for (double& v : u) v = tes.stitch(v);
+  const std::vector<double> acf = stats::autocorrelation_fft(u, 8);
+  for (const std::size_t k : {std::size_t{1}, std::size_t{3}, std::size_t{6}}) {
+    EXPECT_NEAR(acf[k], tes.background_autocorrelation(k), 0.02) << "lag " << k;
+  }
+}
+
+TEST(Tes, MinusVariantAlternatesSign) {
+  // With identity "stitching" (xi = 1) the reflection of every odd
+  // sample survives into the foreground and produces negative lag-1
+  // correlation; symmetric stitching (xi = 1/2) would neutralize it
+  // because the tent map satisfies T(1 - u) = T(u).
+  const TesProcess minus(0.2, 1.0, uniform_marginal(), /*plus=*/false);
+  RandomEngine rng(7);
+  const auto y = minus.sample(100000, rng);
+  EXPECT_LT(stats::autocorrelation_fft(y, 1)[1], -0.1);
+  EXPECT_GT(stats::autocorrelation_fft(y, 2)[2], 0.1);
+  // The closed-form ACF is TES+-only.
+  EXPECT_THROW(minus.background_autocorrelation(1), InvalidArgument);
+}
+
+TEST(Tes, AcfDecaysGeometricallyUnlikeTheUnifiedModel) {
+  // The structural limitation the paper fixes: TES correlation at large
+  // lags is negligible even for small alpha.
+  const TesProcess tes(0.3, 0.5, uniform_marginal());
+  EXPECT_GT(tes.background_autocorrelation(1), 0.5);
+  EXPECT_LT(tes.background_autocorrelation(200), 0.01);
+}
+
+TEST(Tes, Validation) {
+  EXPECT_THROW(TesProcess(0.0, 0.5, uniform_marginal()), InvalidArgument);
+  EXPECT_THROW(TesProcess(1.5, 0.5, uniform_marginal()), InvalidArgument);
+  EXPECT_THROW(TesProcess(0.5, -0.1, uniform_marginal()), InvalidArgument);
+  EXPECT_THROW(TesProcess(0.5, 0.5, nullptr), InvalidArgument);
+  const TesProcess tes(0.5, 0.5, uniform_marginal());
+  RandomEngine rng(8);
+  EXPECT_THROW(tes.sample(0, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ssvbr::baselines

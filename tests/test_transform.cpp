@@ -1,0 +1,183 @@
+#include "core/marginal_transform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "dist/distributions.h"
+#include "fractal/autocorrelation.h"
+#include "fractal/davies_harte.h"
+#include "fractal/hurst.h"
+#include "stats/descriptive.h"
+#include "test_util.h"
+
+namespace ssvbr::core {
+namespace {
+
+TEST(MarginalTransform, IdentityForStandardNormalTarget) {
+  const MarginalTransform h(std::make_shared<NormalDistribution>(0.0, 1.0));
+  for (const double x : {-3.0, -1.0, 0.0, 0.5, 2.5}) {
+    EXPECT_NEAR(h(x), x, 1e-9) << "x=" << x;
+  }
+  EXPECT_NEAR(h.attenuation(), 1.0, 1e-6);
+  EXPECT_NEAR(h.hermite_c1(), 1.0, 1e-6);
+  EXPECT_NEAR(h.output_mean(), 0.0, 1e-9);
+  EXPECT_NEAR(h.output_variance(), 1.0, 1e-6);
+}
+
+TEST(MarginalTransform, AffineForGeneralNormalTarget) {
+  const MarginalTransform h(std::make_shared<NormalDistribution>(10.0, 3.0));
+  for (const double x : {-2.0, 0.0, 1.5}) {
+    EXPECT_NEAR(h(x), 10.0 + 3.0 * x, 1e-8);
+  }
+  // Affine maps do not attenuate correlation at all.
+  EXPECT_NEAR(h.attenuation(), 1.0, 1e-6);
+}
+
+TEST(MarginalTransform, MonotoneAndMatchesTargetQuantiles) {
+  const auto target = std::make_shared<GammaDistribution>(2.0, 500.0);
+  const MarginalTransform h(target);
+  double prev = -1.0;
+  for (double x = -4.0; x <= 4.0; x += 0.25) {
+    const double y = h(x);
+    EXPECT_GT(y, prev);
+    prev = y;
+  }
+  // h(Phi^-1(p)) = F^-1(p): check the median maps exactly.
+  EXPECT_NEAR(h(0.0), target->quantile(0.5), 1e-9);
+}
+
+TEST(MarginalTransform, OutputMarginalIsTargetDistribution) {
+  // Push iid normals through h; the output must follow the target
+  // (inverse-transform sampling in disguise). KS test.
+  const auto target = std::make_shared<GammaDistribution>(2.5, 100.0);
+  const MarginalTransform h(target);
+  RandomEngine rng(1);
+  std::vector<double> ys(20000);
+  for (auto& y : ys) y = h(rng.normal());
+  const double ks = ssvbr::testing::ks_statistic(
+      ys, [&](double y) { return target->cdf(y); });
+  EXPECT_LT(ks, 0.015);
+}
+
+TEST(MarginalTransform, MomentsMatchTargetForHeavyMarginal) {
+  const auto target = std::make_shared<LognormalDistribution>(2.0, 0.6);
+  const MarginalTransform h(target);
+  EXPECT_NEAR(h.output_mean(), target->mean(), 0.01 * target->mean());
+  EXPECT_NEAR(h.output_variance(), target->variance(), 0.03 * target->variance());
+}
+
+TEST(MarginalTransform, AttenuationWithinSchwarzBound) {
+  // a = (E[h X])^2 / Var(h) <= 1 (eq. (31)) for every target.
+  for (const DistributionPtr target :
+       {DistributionPtr(std::make_shared<GammaDistribution>(0.8, 1.0)),
+        DistributionPtr(std::make_shared<LognormalDistribution>(0.0, 1.0)),
+        DistributionPtr(std::make_shared<ParetoDistribution>(2.5, 1.0))}) {
+    const MarginalTransform h(target);
+    const double a = h.attenuation();
+    EXPECT_GT(a, 0.0) << target->describe();
+    EXPECT_LE(a, 1.0) << target->describe();
+  }
+}
+
+TEST(MarginalTransform, LognormalAttenuationHasClosedForm) {
+  // For Y = exp(sigma X): c1 = sigma exp(sigma^2/2) ... the exact
+  // attenuation is sigma^2 / (exp(sigma^2) - 1).
+  const double sigma = 0.8;
+  const MarginalTransform h(std::make_shared<LognormalDistribution>(0.0, sigma));
+  const double expected = sigma * sigma / (std::exp(sigma * sigma) - 1.0);
+  EXPECT_NEAR(h.attenuation(), expected, 1e-4);
+}
+
+TEST(MarginalTransform, ApplySpansAndVector) {
+  const MarginalTransform h(std::make_shared<NormalDistribution>(0.0, 2.0));
+  const std::vector<double> xs{-1.0, 0.0, 1.0};
+  const std::vector<double> ys = h.apply(xs);
+  ASSERT_EQ(ys.size(), 3u);
+  for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_NEAR(ys[i], 2.0 * xs[i], 1e-8);
+  std::vector<double> out(2);
+  EXPECT_THROW(h.apply(xs, out), InvalidArgument);
+}
+
+TEST(MarginalTransform, ExtremeInputsStayFinite) {
+  const MarginalTransform h(std::make_shared<GammaDistribution>(2.0, 1.0));
+  EXPECT_TRUE(std::isfinite(h(-40.0)));
+  EXPECT_TRUE(std::isfinite(h(40.0)));
+  EXPECT_GT(h(40.0), h(0.0));
+}
+
+TEST(MarginalTransform, NullTargetRejected) {
+  EXPECT_THROW(MarginalTransform(nullptr), InvalidArgument);
+}
+
+// --- Appendix A: Hurst invariance under the transform -----------------
+
+TEST(HurstInvariance, TransformPreservesHurstEstimate) {
+  // Theorem (Appendix A): Y = h(X) is asymptotically self-similar with
+  // the same H. Empirical check: variance-time estimates on X and h(X)
+  // must agree within sampling error.
+  const double h_true = 0.9;
+  const fractal::FgnAutocorrelation corr(h_true);
+  const fractal::DaviesHarteModel gen(corr, 1 << 15);
+  const MarginalTransform h(std::make_shared<GammaDistribution>(2.0, 1000.0));
+
+  double hx_sum = 0.0;
+  double hy_sum = 0.0;
+  const int paths = 4;
+  for (int p = 0; p < paths; ++p) {
+    RandomEngine rng(500 + p);
+    const std::vector<double> x = gen.sample(rng);
+    const std::vector<double> y = h.apply(x);
+    hx_sum += fractal::variance_time_analysis(x).hurst;
+    hy_sum += fractal::variance_time_analysis(y).hurst;
+  }
+  EXPECT_NEAR(hy_sum / paths, hx_sum / paths, 0.06);
+}
+
+TEST(EmpiricalAttenuation, MatchesExactLognormalRatioAtMeasuredLags) {
+  // For Y = exp(sigma X) the exact foreground correlation is
+  //   r_h(r) = (e^{sigma^2 r} - 1) / (e^{sigma^2} - 1),
+  // so the measurable ratio r_h / r at finite lags is known in closed
+  // form (it converges to the asymptotic attenuation only as r -> 0).
+  const double sigma = 0.7;
+  const MarginalTransform h(std::make_shared<LognormalDistribution>(0.0, sigma));
+  const fractal::FgnAutocorrelation corr(0.9);
+  RandomEngine rng(7);
+  const EmpiricalAttenuation emp =
+      measure_attenuation_empirical(corr, h, 1 << 14, 50, 200, rng, 6);
+  const double s2 = sigma * sigma;
+  double expected = 0.0;
+  int count = 0;
+  for (std::size_t k = 50; k <= 200; ++k) {
+    const double r = corr(static_cast<double>(k));
+    expected += (std::exp(s2 * r) - 1.0) / ((std::exp(s2) - 1.0) * r);
+    ++count;
+  }
+  expected /= count;
+  EXPECT_NEAR(emp.attenuation, expected, 0.08);
+  // The asymptotic analytic attenuation must lower-bound the finite-lag
+  // ratio (the transform attenuates less at higher correlation).
+  EXPECT_GT(emp.attenuation, h.attenuation() - 0.05);
+  EXPECT_EQ(emp.background_acf.size(), 201u);
+  EXPECT_EQ(emp.foreground_acf.size(), 201u);
+  // Foreground ACF must sit below background at matched lags
+  // (attenuation < 1 for a non-affine transform).
+  EXPECT_LT(emp.foreground_acf[100], emp.background_acf[100] + 0.02);
+}
+
+TEST(EmpiricalAttenuation, Validation) {
+  const MarginalTransform h(std::make_shared<NormalDistribution>(0.0, 1.0));
+  const fractal::FgnAutocorrelation corr(0.8);
+  RandomEngine rng(8);
+  EXPECT_THROW(measure_attenuation_empirical(corr, h, 128, 0, 10, rng), InvalidArgument);
+  EXPECT_THROW(measure_attenuation_empirical(corr, h, 128, 10, 200, rng),
+               InvalidArgument);
+  EXPECT_THROW(measure_attenuation_empirical(corr, h, 128, 10, 50, rng, 0),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ssvbr::core

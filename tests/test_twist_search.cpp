@@ -1,0 +1,98 @@
+#include "is/twist_search.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.h"
+#include "dist/distributions.h"
+#include "fractal/autocorrelation.h"
+
+namespace ssvbr::is {
+namespace {
+
+core::UnifiedVbrModel make_model() {
+  auto corr = std::make_shared<fractal::ExponentialAutocorrelation>(0.1);
+  core::MarginalTransform h(std::make_shared<GammaDistribution>(2.0, 1.0));
+  return core::UnifiedVbrModel(std::move(corr), std::move(h));
+}
+
+IsOverflowSettings rare_event_settings(const core::UnifiedVbrModel& model) {
+  IsOverflowSettings settings;
+  settings.service_rate = model.mean() / 0.3;
+  settings.buffer = 20.0 * model.mean();
+  settings.stop_time = 100;
+  settings.replications = 1500;
+  return settings;
+}
+
+TEST(TwistSearch, SweepEvaluatesEveryGridPoint) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 100);
+  const std::vector<double> grid{0.5, 1.0, 2.0, 3.0};
+  RandomEngine rng(1);
+  const auto sweep =
+      sweep_twist(model, background, rare_event_settings(model), grid, rng);
+  ASSERT_EQ(sweep.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sweep[i].twisted_mean, grid[i]);
+  }
+}
+
+TEST(TwistSearch, VarianceValleyExistsAndBestTwistIsInterior) {
+  // The normalized variance must be worst at the smallest twist (too few
+  // hits) and show a valley at moderate twists — the Fig. 14 shape.
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 100);
+  const std::vector<double> grid{0.5, 1.0, 1.5, 2.0, 2.5, 3.0};
+  RandomEngine rng(2);
+  const auto sweep =
+      sweep_twist(model, background, rare_event_settings(model), grid, rng);
+  const TwistSweepPoint& best = find_best_twist(sweep);
+  EXPECT_GE(best.twisted_mean, 1.0);  // not the starved low end
+  // The best point's normalized variance beats the low-twist end when
+  // the latter registered hits at all.
+  for (const auto& p : sweep) {
+    if (p.twisted_mean <= 0.5 && p.estimate.hits > 0) {
+      EXPECT_LE(best.estimate.normalized_variance,
+                p.estimate.normalized_variance + 1e-12);
+    }
+  }
+}
+
+TEST(TwistSearch, EstimatesAgreeAcrossTwists) {
+  // All twists estimate the same probability; pairwise agreement within
+  // joint sampling error is the unbiasedness signature.
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 100);
+  IsOverflowSettings settings = rare_event_settings(model);
+  settings.replications = 4000;
+  const std::vector<double> grid{1.5, 2.0, 2.5};
+  RandomEngine rng(3);
+  const auto sweep = sweep_twist(model, background, settings, grid, rng);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    const double se = std::sqrt(sweep[i].estimate.estimator_variance +
+                                sweep[0].estimate.estimator_variance);
+    EXPECT_NEAR(sweep[i].estimate.probability, sweep[0].estimate.probability,
+                5.0 * se + 1e-9);
+  }
+}
+
+TEST(TwistSearch, FindBestRejectsAllZeroHitSweeps) {
+  std::vector<TwistSweepPoint> sweep(3);
+  for (auto& p : sweep) p.estimate.hits = 0;
+  EXPECT_THROW(find_best_twist(sweep), NumericalError);
+}
+
+TEST(TwistSearch, EmptyGridRejected) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 10);
+  RandomEngine rng(4);
+  IsOverflowSettings settings;
+  settings.stop_time = 10;
+  EXPECT_THROW(sweep_twist(model, background, settings, {}, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ssvbr::is

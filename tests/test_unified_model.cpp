@@ -1,0 +1,105 @@
+#include "core/unified_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.h"
+#include "dist/distributions.h"
+#include "fractal/autocorrelation.h"
+#include "stats/descriptive.h"
+#include "test_util.h"
+
+namespace ssvbr::core {
+namespace {
+
+UnifiedVbrModel make_model() {
+  auto corr = std::make_shared<fractal::CompositeSrdLrdAutocorrelation>(
+      fractal::CompositeSrdLrdAutocorrelation::with_continuity(1.2, 0.3, 30.0));
+  MarginalTransform h(std::make_shared<GammaDistribution>(2.0, 1000.0));
+  return UnifiedVbrModel(std::move(corr), std::move(h));
+}
+
+TEST(UnifiedVbrModel, GeneratesPositiveFrameSizes) {
+  const UnifiedVbrModel model = make_model();
+  RandomEngine rng(1);
+  const std::vector<double> y = model.generate(2048, rng);
+  ASSERT_EQ(y.size(), 2048u);
+  for (const double v : y) EXPECT_GT(v, 0.0);
+}
+
+TEST(UnifiedVbrModel, MeanAndVarianceComeFromTransform) {
+  const UnifiedVbrModel model = make_model();
+  EXPECT_NEAR(model.mean(), 2000.0, 20.0);  // Gamma(2, 1000)
+  EXPECT_NEAR(model.variance(), 2.0e6, 0.05e6);
+}
+
+TEST(UnifiedVbrModel, MarginalMatchesTargetAcrossGenerators) {
+  const UnifiedVbrModel model = make_model();
+  const GammaDistribution target(2.0, 1000.0);
+  for (const auto generator :
+       {BackgroundGenerator::kDaviesHarte, BackgroundGenerator::kHosking}) {
+    RandomEngine rng(2);
+    // Average over replications: a single LRD path's empirical marginal
+    // deviates wildly from the ensemble law.
+    std::vector<double> all;
+    for (int rep = 0; rep < 24; ++rep) {
+      const std::vector<double> y = model.generate(1024, rng, generator);
+      all.insert(all.end(), y.begin(), y.end());
+    }
+    const double ks =
+        ssvbr::testing::ks_statistic(all, [&](double v) { return target.cdf(v); });
+    EXPECT_LT(ks, 0.06) << "generator " << static_cast<int>(generator);
+  }
+}
+
+TEST(UnifiedVbrModel, ForegroundAcfTracksPrediction) {
+  const UnifiedVbrModel model = make_model();
+  // Ensemble covariance of the foreground at one lag vs the Appendix A
+  // prediction a * r(k).
+  RandomEngine rng(3);
+  const std::size_t lag = 40;
+  const double mean = model.mean();
+  double cov = 0.0;
+  double var = 0.0;
+  const int reps = 4000;
+  for (int rep = 0; rep < reps; ++rep) {
+    const std::vector<double> y = model.generate(lag + 1, rng);
+    cov += (y[0] - mean) * (y[lag] - mean);
+    var += (y[0] - mean) * (y[0] - mean);
+  }
+  const double r_measured = cov / var;
+  const double r_predicted = model.predicted_foreground_acf(static_cast<double>(lag));
+  EXPECT_NEAR(r_measured, r_predicted, 0.08);
+}
+
+TEST(UnifiedVbrModel, PredictedAcfIsOneAtLagZero) {
+  const UnifiedVbrModel model = make_model();
+  EXPECT_DOUBLE_EQ(model.predicted_foreground_acf(0.0), 1.0);
+  EXPECT_LT(model.predicted_foreground_acf(10.0), 1.0);
+}
+
+TEST(UnifiedVbrModel, BackgroundPathIsStandardizedGaussian) {
+  const UnifiedVbrModel model = make_model();
+  RandomEngine rng(4);
+  stats::RunningStats moments;
+  for (int rep = 0; rep < 64; ++rep) {
+    for (const double x : model.generate_background(256, rng)) moments.add(x);
+  }
+  // LRD paths have strongly correlated samples: even 64 x 256 points
+  // carry an effective sample size of only a few hundred.
+  EXPECT_NEAR(moments.mean(), 0.0, 0.15);
+  EXPECT_NEAR(moments.variance(), 1.0, 0.2);
+}
+
+TEST(UnifiedVbrModel, Validation) {
+  MarginalTransform h(std::make_shared<NormalDistribution>(0.0, 1.0));
+  EXPECT_THROW(UnifiedVbrModel(nullptr, std::move(h)), InvalidArgument);
+  const UnifiedVbrModel model = make_model();
+  RandomEngine rng(5);
+  EXPECT_THROW(model.generate(0, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ssvbr::core

@@ -1,0 +1,42 @@
+// Shared helpers for the ssvbr test suite.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "dist/random.h"
+
+namespace ssvbr::testing {
+
+/// Empirical mean of f(engine) over n draws.
+template <typename F>
+double monte_carlo_mean(F&& f, std::size_t n, std::uint64_t seed = 1) {
+  RandomEngine rng(seed);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += f(rng);
+  return sum / static_cast<double>(n);
+}
+
+/// Two-sided z-style check: |estimate - truth| <= z * stderr + slack.
+inline bool within_sampling_error(double estimate, double truth, double stderr_,
+                                  double z = 4.0, double slack = 1e-12) {
+  return std::fabs(estimate - truth) <= z * stderr_ + slack;
+}
+
+/// Kolmogorov-Smirnov statistic between a sample and a CDF callable.
+template <typename Cdf>
+double ks_statistic(std::vector<double> sample, Cdf&& cdf) {
+  std::sort(sample.begin(), sample.end());
+  const double n = static_cast<double>(sample.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    const double f = cdf(sample[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::fabs(f - lo), std::fabs(f - hi)));
+  }
+  return d;
+}
+
+}  // namespace ssvbr::testing

@@ -1,0 +1,154 @@
+#include "trace/video_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ssvbr::trace {
+namespace {
+
+VideoTrace make_trace() {
+  std::vector<double> sizes;
+  for (int i = 0; i < 36; ++i) sizes.push_back(100.0 * (i + 1));
+  TraceMetadata meta;
+  meta.title = "unit test";
+  meta.coder = "test-coder";
+  return VideoTrace(std::move(sizes), GopStructure::mpeg1_default(), std::move(meta));
+}
+
+TEST(VideoTrace, BasicAccessors) {
+  const VideoTrace tr = make_trace();
+  EXPECT_EQ(tr.size(), 36u);
+  EXPECT_FALSE(tr.empty());
+  EXPECT_DOUBLE_EQ(tr[0], 100.0);
+  EXPECT_EQ(tr.type_of(0), FrameType::I);
+  EXPECT_EQ(tr.type_of(3), FrameType::P);
+  EXPECT_DOUBLE_EQ(tr.mean_frame_size(), 100.0 * 37.0 / 2.0);
+}
+
+TEST(VideoTrace, SizesOfSlicesByType) {
+  const VideoTrace tr = make_trace();
+  const std::vector<double> i_sizes = tr.sizes_of(FrameType::I);
+  ASSERT_EQ(i_sizes.size(), 3u);  // frames 0, 12, 24
+  EXPECT_DOUBLE_EQ(i_sizes[0], 100.0);
+  EXPECT_DOUBLE_EQ(i_sizes[1], 1300.0);
+  EXPECT_DOUBLE_EQ(i_sizes[2], 2500.0);
+  EXPECT_EQ(tr.sizes_of(FrameType::P).size(), 9u);
+  EXPECT_EQ(tr.sizes_of(FrameType::B).size(), 24u);
+  EXPECT_EQ(tr.i_frame_series(), i_sizes);
+}
+
+TEST(VideoTrace, MeanBitRateUsesMetadata) {
+  const VideoTrace tr = make_trace();
+  EXPECT_NEAR(tr.mean_bit_rate(), tr.mean_frame_size() * 8.0 * 30.0, 1e-9);
+}
+
+TEST(VideoTrace, MetadataDuration) {
+  TraceMetadata meta;
+  // Table 1: 238,626 frames at 30 fps = 2h 12m 36s (7954.2 s).
+  EXPECT_NEAR(meta.duration_seconds(238626), 7954.2, 0.01);
+}
+
+TEST(VideoTrace, SaveLoadRoundTrip) {
+  const VideoTrace tr = make_trace();
+  std::stringstream ss;
+  tr.save(ss);
+  const VideoTrace back = VideoTrace::load(ss);
+  ASSERT_EQ(back.size(), tr.size());
+  for (std::size_t i = 0; i < tr.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back[i], tr[i]);
+    EXPECT_EQ(back.type_of(i), tr.type_of(i));
+  }
+  EXPECT_EQ(back.metadata().title, "unit test");
+  EXPECT_EQ(back.metadata().coder, "test-coder");
+  EXPECT_EQ(back.gop().pattern(), tr.gop().pattern());
+}
+
+TEST(VideoTrace, FileRoundTrip) {
+  const VideoTrace tr = make_trace();
+  const std::string path = ::testing::TempDir() + "/ssvbr_trace_test.txt";
+  tr.save_file(path);
+  const VideoTrace back = VideoTrace::load_file(path);
+  EXPECT_EQ(back.size(), tr.size());
+  EXPECT_DOUBLE_EQ(back.mean_frame_size(), tr.mean_frame_size());
+}
+
+TEST(VideoTrace, LoadToleratesCommentsAndBlankLines) {
+  std::stringstream ss;
+  ss << "# ssvbr-trace-v1\n\n# gop: IPP\nI 100\n\nP 50\nP 25\n";
+  const VideoTrace tr = VideoTrace::load(ss);
+  EXPECT_EQ(tr.size(), 3u);
+  EXPECT_EQ(tr.gop().pattern(), "IPP");
+}
+
+TEST(VideoTrace, LoadRejectsMalformedInput) {
+  {
+    std::stringstream ss("I abc\n");
+    EXPECT_THROW(VideoTrace::load(ss), InvalidArgument);
+  }
+  {
+    std::stringstream ss("Z 100\n");
+    EXPECT_THROW(VideoTrace::load(ss), InvalidArgument);
+  }
+  {
+    std::stringstream ss("I -5\n");
+    EXPECT_THROW(VideoTrace::load(ss), InvalidArgument);
+  }
+  {
+    std::stringstream empty;
+    EXPECT_THROW(VideoTrace::load(empty), InvalidArgument);
+  }
+}
+
+TEST(VideoTrace, ConstructionValidation) {
+  EXPECT_THROW(VideoTrace({}, GopStructure::mpeg1_default()), InvalidArgument);
+  EXPECT_THROW(VideoTrace({1.0, -2.0}, GopStructure::mpeg1_default()), InvalidArgument);
+}
+
+TEST(VideoTrace, SliceSeriesEvenSplitConservesTotals) {
+  const VideoTrace tr = make_trace();
+  const std::vector<double> slices = tr.slice_series();
+  ASSERT_EQ(slices.size(), tr.size() * 15u);
+  for (std::size_t f = 0; f < tr.size(); ++f) {
+    double sum = 0.0;
+    for (int s = 0; s < 15; ++s) sum += slices[f * 15 + s];
+    EXPECT_NEAR(sum, tr[f], 1e-9);
+    EXPECT_NEAR(slices[f * 15], tr[f] / 15.0, 1e-9);
+  }
+}
+
+TEST(VideoTrace, SliceSeriesRandomSplitConservesTotals) {
+  const VideoTrace tr = make_trace();
+  RandomEngine rng(5);
+  const std::vector<double> slices = tr.slice_series(&rng, 0.7);
+  ASSERT_EQ(slices.size(), tr.size() * 15u);
+  bool any_uneven = false;
+  for (std::size_t f = 0; f < tr.size(); ++f) {
+    double sum = 0.0;
+    for (int s = 0; s < 15; ++s) {
+      const double v = slices[f * 15 + s];
+      EXPECT_GT(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, tr[f], 1e-9 * (1.0 + tr[f]));
+    if (std::fabs(slices[f * 15] - tr[f] / 15.0) > 1e-6) any_uneven = true;
+  }
+  EXPECT_TRUE(any_uneven);
+}
+
+TEST(VideoTrace, SliceSeriesValidation) {
+  const VideoTrace tr = make_trace();
+  RandomEngine rng(6);
+  EXPECT_THROW(tr.slice_series(&rng, -0.1), InvalidArgument);
+}
+
+TEST(VideoTrace, MissingFileErrors) {
+  EXPECT_THROW(VideoTrace::load_file("/nonexistent/path/file.txt"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ssvbr::trace
