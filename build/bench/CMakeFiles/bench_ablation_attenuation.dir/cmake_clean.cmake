@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_attenuation.dir/bench_ablation_attenuation.cpp.o"
+  "CMakeFiles/bench_ablation_attenuation.dir/bench_ablation_attenuation.cpp.o.d"
+  "bench_ablation_attenuation"
+  "bench_ablation_attenuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_attenuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

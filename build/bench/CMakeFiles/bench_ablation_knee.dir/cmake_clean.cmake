@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_knee.dir/bench_ablation_knee.cpp.o"
+  "CMakeFiles/bench_ablation_knee.dir/bench_ablation_knee.cpp.o.d"
+  "bench_ablation_knee"
+  "bench_ablation_knee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_knee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_single_trace_ci.dir/bench_ablation_single_trace_ci.cpp.o"
+  "CMakeFiles/bench_ablation_single_trace_ci.dir/bench_ablation_single_trace_ci.cpp.o.d"
+  "bench_ablation_single_trace_ci"
+  "bench_ablation_single_trace_ci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_single_trace_ci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_single_trace_ci.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tes.dir/bench_ablation_tes.cpp.o"
+  "CMakeFiles/bench_ablation_tes.dir/bench_ablation_tes.cpp.o.d"
+  "bench_ablation_tes"
+  "bench_ablation_tes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_superposition.dir/bench_ext_superposition.cpp.o"
+  "CMakeFiles/bench_ext_superposition.dir/bench_ext_superposition.cpp.o.d"
+  "bench_ext_superposition"
+  "bench_ext_superposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_superposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

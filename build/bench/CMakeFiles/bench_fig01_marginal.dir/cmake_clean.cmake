@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_marginal.dir/bench_fig01_marginal.cpp.o"
+  "CMakeFiles/bench_fig01_marginal.dir/bench_fig01_marginal.cpp.o.d"
+  "bench_fig01_marginal"
+  "bench_fig01_marginal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_marginal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_acf_fit.dir/bench_fig06_acf_fit.cpp.o"
+  "CMakeFiles/bench_fig06_acf_fit.dir/bench_fig06_acf_fit.cpp.o.d"
+  "bench_fig06_acf_fit"
+  "bench_fig06_acf_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_acf_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_attenuation.dir/bench_fig07_attenuation.cpp.o"
+  "CMakeFiles/bench_fig07_attenuation.dir/bench_fig07_attenuation.cpp.o.d"
+  "bench_fig07_attenuation"
+  "bench_fig07_attenuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_attenuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_qq.dir/bench_fig13_qq.cpp.o"
+  "CMakeFiles/bench_fig13_qq.dir/bench_fig13_qq.cpp.o.d"
+  "bench_fig13_qq"
+  "bench_fig13_qq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_qq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

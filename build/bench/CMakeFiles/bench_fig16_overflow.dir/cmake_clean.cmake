@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_overflow.dir/bench_fig16_overflow.cpp.o"
+  "CMakeFiles/bench_fig16_overflow.dir/bench_fig16_overflow.cpp.o.d"
+  "bench_fig16_overflow"
+  "bench_fig16_overflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_norros_asymptotics.dir/bench_norros_asymptotics.cpp.o"
+  "CMakeFiles/bench_norros_asymptotics.dir/bench_norros_asymptotics.cpp.o.d"
+  "bench_norros_asymptotics"
+  "bench_norros_asymptotics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_norros_asymptotics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_generators.dir/bench_perf_generators.cpp.o"
+  "CMakeFiles/bench_perf_generators.dir/bench_perf_generators.cpp.o.d"
+  "bench_perf_generators"
+  "bench_perf_generators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

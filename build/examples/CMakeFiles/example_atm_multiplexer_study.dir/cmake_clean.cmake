@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_atm_multiplexer_study.dir/atm_multiplexer_study.cpp.o"
+  "CMakeFiles/example_atm_multiplexer_study.dir/atm_multiplexer_study.cpp.o.d"
+  "example_atm_multiplexer_study"
+  "example_atm_multiplexer_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_atm_multiplexer_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_model_fitting_pipeline.dir/model_fitting_pipeline.cpp.o"
+  "CMakeFiles/example_model_fitting_pipeline.dir/model_fitting_pipeline.cpp.o.d"
+  "example_model_fitting_pipeline"
+  "example_model_fitting_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_model_fitting_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

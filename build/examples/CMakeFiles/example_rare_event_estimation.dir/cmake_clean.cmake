@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_rare_event_estimation.dir/rare_event_estimation.cpp.o"
+  "CMakeFiles/example_rare_event_estimation.dir/rare_event_estimation.cpp.o.d"
+  "example_rare_event_estimation"
+  "example_rare_event_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_rare_event_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_rare_event_estimation.
+# This may be replaced when dependencies are built.

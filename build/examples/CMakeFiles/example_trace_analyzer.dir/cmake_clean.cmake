@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trace_analyzer.dir/trace_analyzer.cpp.o"
+  "CMakeFiles/example_trace_analyzer.dir/trace_analyzer.cpp.o.d"
+  "example_trace_analyzer"
+  "example_trace_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

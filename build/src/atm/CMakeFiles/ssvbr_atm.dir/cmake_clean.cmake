@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvbr_atm.dir/multiplexer.cpp.o"
+  "CMakeFiles/ssvbr_atm.dir/multiplexer.cpp.o.d"
+  "CMakeFiles/ssvbr_atm.dir/segmentation.cpp.o"
+  "CMakeFiles/ssvbr_atm.dir/segmentation.cpp.o.d"
+  "libssvbr_atm.a"
+  "libssvbr_atm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvbr_atm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

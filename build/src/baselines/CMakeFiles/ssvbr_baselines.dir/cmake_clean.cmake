@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvbr_baselines.dir/ar1.cpp.o"
+  "CMakeFiles/ssvbr_baselines.dir/ar1.cpp.o.d"
+  "CMakeFiles/ssvbr_baselines.dir/dar.cpp.o"
+  "CMakeFiles/ssvbr_baselines.dir/dar.cpp.o.d"
+  "CMakeFiles/ssvbr_baselines.dir/garrett_willinger.cpp.o"
+  "CMakeFiles/ssvbr_baselines.dir/garrett_willinger.cpp.o.d"
+  "CMakeFiles/ssvbr_baselines.dir/mmpp.cpp.o"
+  "CMakeFiles/ssvbr_baselines.dir/mmpp.cpp.o.d"
+  "CMakeFiles/ssvbr_baselines.dir/tes.cpp.o"
+  "CMakeFiles/ssvbr_baselines.dir/tes.cpp.o.d"
+  "libssvbr_baselines.a"
+  "libssvbr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvbr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

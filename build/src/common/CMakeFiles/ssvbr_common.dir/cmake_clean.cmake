@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvbr_common.dir/error.cpp.o"
+  "CMakeFiles/ssvbr_common.dir/error.cpp.o.d"
+  "libssvbr_common.a"
+  "libssvbr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvbr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/gop_model.cpp" "src/core/CMakeFiles/ssvbr_core.dir/gop_model.cpp.o" "gcc" "src/core/CMakeFiles/ssvbr_core.dir/gop_model.cpp.o.d"
+  "/root/repo/src/core/iterative_calibration.cpp" "src/core/CMakeFiles/ssvbr_core.dir/iterative_calibration.cpp.o" "gcc" "src/core/CMakeFiles/ssvbr_core.dir/iterative_calibration.cpp.o.d"
+  "/root/repo/src/core/marginal_transform.cpp" "src/core/CMakeFiles/ssvbr_core.dir/marginal_transform.cpp.o" "gcc" "src/core/CMakeFiles/ssvbr_core.dir/marginal_transform.cpp.o.d"
+  "/root/repo/src/core/model_builder.cpp" "src/core/CMakeFiles/ssvbr_core.dir/model_builder.cpp.o" "gcc" "src/core/CMakeFiles/ssvbr_core.dir/model_builder.cpp.o.d"
+  "/root/repo/src/core/unified_model.cpp" "src/core/CMakeFiles/ssvbr_core.dir/unified_model.cpp.o" "gcc" "src/core/CMakeFiles/ssvbr_core.dir/unified_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ssvbr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ssvbr_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ssvbr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/fractal/CMakeFiles/ssvbr_fractal.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ssvbr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/ssvbr_fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

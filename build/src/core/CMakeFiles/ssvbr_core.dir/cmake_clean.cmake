@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvbr_core.dir/gop_model.cpp.o"
+  "CMakeFiles/ssvbr_core.dir/gop_model.cpp.o.d"
+  "CMakeFiles/ssvbr_core.dir/iterative_calibration.cpp.o"
+  "CMakeFiles/ssvbr_core.dir/iterative_calibration.cpp.o.d"
+  "CMakeFiles/ssvbr_core.dir/marginal_transform.cpp.o"
+  "CMakeFiles/ssvbr_core.dir/marginal_transform.cpp.o.d"
+  "CMakeFiles/ssvbr_core.dir/model_builder.cpp.o"
+  "CMakeFiles/ssvbr_core.dir/model_builder.cpp.o.d"
+  "CMakeFiles/ssvbr_core.dir/unified_model.cpp.o"
+  "CMakeFiles/ssvbr_core.dir/unified_model.cpp.o.d"
+  "libssvbr_core.a"
+  "libssvbr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvbr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

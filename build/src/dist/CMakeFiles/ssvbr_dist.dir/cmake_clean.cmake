@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvbr_dist.dir/distributions.cpp.o"
+  "CMakeFiles/ssvbr_dist.dir/distributions.cpp.o.d"
+  "CMakeFiles/ssvbr_dist.dir/random.cpp.o"
+  "CMakeFiles/ssvbr_dist.dir/random.cpp.o.d"
+  "CMakeFiles/ssvbr_dist.dir/special_functions.cpp.o"
+  "CMakeFiles/ssvbr_dist.dir/special_functions.cpp.o.d"
+  "libssvbr_dist.a"
+  "libssvbr_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvbr_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

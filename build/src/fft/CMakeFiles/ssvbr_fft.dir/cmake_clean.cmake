@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvbr_fft.dir/fft.cpp.o"
+  "CMakeFiles/ssvbr_fft.dir/fft.cpp.o.d"
+  "libssvbr_fft.a"
+  "libssvbr_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvbr_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fractal/autocorrelation.cpp" "src/fractal/CMakeFiles/ssvbr_fractal.dir/autocorrelation.cpp.o" "gcc" "src/fractal/CMakeFiles/ssvbr_fractal.dir/autocorrelation.cpp.o.d"
+  "/root/repo/src/fractal/davies_harte.cpp" "src/fractal/CMakeFiles/ssvbr_fractal.dir/davies_harte.cpp.o" "gcc" "src/fractal/CMakeFiles/ssvbr_fractal.dir/davies_harte.cpp.o.d"
+  "/root/repo/src/fractal/hosking.cpp" "src/fractal/CMakeFiles/ssvbr_fractal.dir/hosking.cpp.o" "gcc" "src/fractal/CMakeFiles/ssvbr_fractal.dir/hosking.cpp.o.d"
+  "/root/repo/src/fractal/hurst.cpp" "src/fractal/CMakeFiles/ssvbr_fractal.dir/hurst.cpp.o" "gcc" "src/fractal/CMakeFiles/ssvbr_fractal.dir/hurst.cpp.o.d"
+  "/root/repo/src/fractal/periodogram_hurst.cpp" "src/fractal/CMakeFiles/ssvbr_fractal.dir/periodogram_hurst.cpp.o" "gcc" "src/fractal/CMakeFiles/ssvbr_fractal.dir/periodogram_hurst.cpp.o.d"
+  "/root/repo/src/fractal/spectral.cpp" "src/fractal/CMakeFiles/ssvbr_fractal.dir/spectral.cpp.o" "gcc" "src/fractal/CMakeFiles/ssvbr_fractal.dir/spectral.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ssvbr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/ssvbr_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ssvbr_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ssvbr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvbr_fractal.dir/autocorrelation.cpp.o"
+  "CMakeFiles/ssvbr_fractal.dir/autocorrelation.cpp.o.d"
+  "CMakeFiles/ssvbr_fractal.dir/davies_harte.cpp.o"
+  "CMakeFiles/ssvbr_fractal.dir/davies_harte.cpp.o.d"
+  "CMakeFiles/ssvbr_fractal.dir/hosking.cpp.o"
+  "CMakeFiles/ssvbr_fractal.dir/hosking.cpp.o.d"
+  "CMakeFiles/ssvbr_fractal.dir/hurst.cpp.o"
+  "CMakeFiles/ssvbr_fractal.dir/hurst.cpp.o.d"
+  "CMakeFiles/ssvbr_fractal.dir/periodogram_hurst.cpp.o"
+  "CMakeFiles/ssvbr_fractal.dir/periodogram_hurst.cpp.o.d"
+  "CMakeFiles/ssvbr_fractal.dir/spectral.cpp.o"
+  "CMakeFiles/ssvbr_fractal.dir/spectral.cpp.o.d"
+  "libssvbr_fractal.a"
+  "libssvbr_fractal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvbr_fractal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

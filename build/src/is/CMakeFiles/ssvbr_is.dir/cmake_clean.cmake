@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvbr_is.dir/is_estimator.cpp.o"
+  "CMakeFiles/ssvbr_is.dir/is_estimator.cpp.o.d"
+  "CMakeFiles/ssvbr_is.dir/twist_search.cpp.o"
+  "CMakeFiles/ssvbr_is.dir/twist_search.cpp.o.d"
+  "libssvbr_is.a"
+  "libssvbr_is.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvbr_is.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/arrival.cpp" "src/queueing/CMakeFiles/ssvbr_queueing.dir/arrival.cpp.o" "gcc" "src/queueing/CMakeFiles/ssvbr_queueing.dir/arrival.cpp.o.d"
+  "/root/repo/src/queueing/batch_means.cpp" "src/queueing/CMakeFiles/ssvbr_queueing.dir/batch_means.cpp.o" "gcc" "src/queueing/CMakeFiles/ssvbr_queueing.dir/batch_means.cpp.o.d"
+  "/root/repo/src/queueing/lindley.cpp" "src/queueing/CMakeFiles/ssvbr_queueing.dir/lindley.cpp.o" "gcc" "src/queueing/CMakeFiles/ssvbr_queueing.dir/lindley.cpp.o.d"
+  "/root/repo/src/queueing/norros.cpp" "src/queueing/CMakeFiles/ssvbr_queueing.dir/norros.cpp.o" "gcc" "src/queueing/CMakeFiles/ssvbr_queueing.dir/norros.cpp.o.d"
+  "/root/repo/src/queueing/overflow_mc.cpp" "src/queueing/CMakeFiles/ssvbr_queueing.dir/overflow_mc.cpp.o" "gcc" "src/queueing/CMakeFiles/ssvbr_queueing.dir/overflow_mc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ssvbr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ssvbr_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ssvbr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ssvbr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/fractal/CMakeFiles/ssvbr_fractal.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ssvbr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/ssvbr_fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

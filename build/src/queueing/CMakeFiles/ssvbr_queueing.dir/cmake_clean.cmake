@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvbr_queueing.dir/arrival.cpp.o"
+  "CMakeFiles/ssvbr_queueing.dir/arrival.cpp.o.d"
+  "CMakeFiles/ssvbr_queueing.dir/batch_means.cpp.o"
+  "CMakeFiles/ssvbr_queueing.dir/batch_means.cpp.o.d"
+  "CMakeFiles/ssvbr_queueing.dir/lindley.cpp.o"
+  "CMakeFiles/ssvbr_queueing.dir/lindley.cpp.o.d"
+  "CMakeFiles/ssvbr_queueing.dir/norros.cpp.o"
+  "CMakeFiles/ssvbr_queueing.dir/norros.cpp.o.d"
+  "CMakeFiles/ssvbr_queueing.dir/overflow_mc.cpp.o"
+  "CMakeFiles/ssvbr_queueing.dir/overflow_mc.cpp.o.d"
+  "libssvbr_queueing.a"
+  "libssvbr_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvbr_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/acf_fit.cpp" "src/stats/CMakeFiles/ssvbr_stats.dir/acf_fit.cpp.o" "gcc" "src/stats/CMakeFiles/ssvbr_stats.dir/acf_fit.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/ssvbr_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/ssvbr_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/empirical_distribution.cpp" "src/stats/CMakeFiles/ssvbr_stats.dir/empirical_distribution.cpp.o" "gcc" "src/stats/CMakeFiles/ssvbr_stats.dir/empirical_distribution.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/ssvbr_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/ssvbr_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/linear_fit.cpp" "src/stats/CMakeFiles/ssvbr_stats.dir/linear_fit.cpp.o" "gcc" "src/stats/CMakeFiles/ssvbr_stats.dir/linear_fit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ssvbr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/ssvbr_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ssvbr_dist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

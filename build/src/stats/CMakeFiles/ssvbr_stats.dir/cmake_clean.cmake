@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvbr_stats.dir/acf_fit.cpp.o"
+  "CMakeFiles/ssvbr_stats.dir/acf_fit.cpp.o.d"
+  "CMakeFiles/ssvbr_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/ssvbr_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/ssvbr_stats.dir/empirical_distribution.cpp.o"
+  "CMakeFiles/ssvbr_stats.dir/empirical_distribution.cpp.o.d"
+  "CMakeFiles/ssvbr_stats.dir/histogram.cpp.o"
+  "CMakeFiles/ssvbr_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/ssvbr_stats.dir/linear_fit.cpp.o"
+  "CMakeFiles/ssvbr_stats.dir/linear_fit.cpp.o.d"
+  "libssvbr_stats.a"
+  "libssvbr_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvbr_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

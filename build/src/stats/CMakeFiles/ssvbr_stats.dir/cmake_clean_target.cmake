@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libssvbr_stats.a"
+)

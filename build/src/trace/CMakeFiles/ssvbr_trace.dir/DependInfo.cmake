@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/frame.cpp" "src/trace/CMakeFiles/ssvbr_trace.dir/frame.cpp.o" "gcc" "src/trace/CMakeFiles/ssvbr_trace.dir/frame.cpp.o.d"
+  "/root/repo/src/trace/scene_mpeg_source.cpp" "src/trace/CMakeFiles/ssvbr_trace.dir/scene_mpeg_source.cpp.o" "gcc" "src/trace/CMakeFiles/ssvbr_trace.dir/scene_mpeg_source.cpp.o.d"
+  "/root/repo/src/trace/video_trace.cpp" "src/trace/CMakeFiles/ssvbr_trace.dir/video_trace.cpp.o" "gcc" "src/trace/CMakeFiles/ssvbr_trace.dir/video_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ssvbr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ssvbr_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ssvbr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/ssvbr_fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvbr_trace.dir/frame.cpp.o"
+  "CMakeFiles/ssvbr_trace.dir/frame.cpp.o.d"
+  "CMakeFiles/ssvbr_trace.dir/scene_mpeg_source.cpp.o"
+  "CMakeFiles/ssvbr_trace.dir/scene_mpeg_source.cpp.o.d"
+  "CMakeFiles/ssvbr_trace.dir/video_trace.cpp.o"
+  "CMakeFiles/ssvbr_trace.dir/video_trace.cpp.o.d"
+  "libssvbr_trace.a"
+  "libssvbr_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvbr_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acf_fit.dir/test_acf_fit.cpp.o"
+  "CMakeFiles/test_acf_fit.dir/test_acf_fit.cpp.o.d"
+  "test_acf_fit"
+  "test_acf_fit.pdb"
+  "test_acf_fit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acf_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_davies_harte.dir/test_davies_harte.cpp.o"
+  "CMakeFiles/test_davies_harte.dir/test_davies_harte.cpp.o.d"
+  "test_davies_harte"
+  "test_davies_harte.pdb"
+  "test_davies_harte[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_davies_harte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

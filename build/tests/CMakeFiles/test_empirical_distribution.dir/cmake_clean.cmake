@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_empirical_distribution.dir/test_empirical_distribution.cpp.o"
+  "CMakeFiles/test_empirical_distribution.dir/test_empirical_distribution.cpp.o.d"
+  "test_empirical_distribution"
+  "test_empirical_distribution.pdb"
+  "test_empirical_distribution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_empirical_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

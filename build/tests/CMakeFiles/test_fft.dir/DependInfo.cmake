@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fft.cpp" "tests/CMakeFiles/test_fft.dir/test_fft.cpp.o" "gcc" "tests/CMakeFiles/test_fft.dir/test_fft.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ssvbr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/ssvbr_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ssvbr_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ssvbr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/fractal/CMakeFiles/ssvbr_fractal.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ssvbr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ssvbr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/ssvbr_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/is/CMakeFiles/ssvbr_is.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/ssvbr_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ssvbr_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gop_model.dir/test_gop_model.cpp.o"
+  "CMakeFiles/test_gop_model.dir/test_gop_model.cpp.o.d"
+  "test_gop_model"
+  "test_gop_model.pdb"
+  "test_gop_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gop_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hosking.dir/test_hosking.cpp.o"
+  "CMakeFiles/test_hosking.dir/test_hosking.cpp.o.d"
+  "test_hosking"
+  "test_hosking.pdb"
+  "test_hosking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hosking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hurst.dir/test_hurst.cpp.o"
+  "CMakeFiles/test_hurst.dir/test_hurst.cpp.o.d"
+  "test_hurst"
+  "test_hurst.pdb"
+  "test_hurst[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hurst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

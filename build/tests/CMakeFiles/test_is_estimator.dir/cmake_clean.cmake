@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_is_estimator.dir/test_is_estimator.cpp.o"
+  "CMakeFiles/test_is_estimator.dir/test_is_estimator.cpp.o.d"
+  "test_is_estimator"
+  "test_is_estimator.pdb"
+  "test_is_estimator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_is_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lindley.dir/test_lindley.cpp.o"
+  "CMakeFiles/test_lindley.dir/test_lindley.cpp.o.d"
+  "test_lindley"
+  "test_lindley.pdb"
+  "test_lindley[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lindley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_builder.dir/test_model_builder.cpp.o"
+  "CMakeFiles/test_model_builder.dir/test_model_builder.cpp.o.d"
+  "test_model_builder"
+  "test_model_builder.pdb"
+  "test_model_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

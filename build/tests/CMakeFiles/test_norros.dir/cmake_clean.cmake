@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_norros.dir/test_norros.cpp.o"
+  "CMakeFiles/test_norros.dir/test_norros.cpp.o.d"
+  "test_norros"
+  "test_norros.pdb"
+  "test_norros[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_norros.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_periodogram_hurst.dir/test_periodogram_hurst.cpp.o"
+  "CMakeFiles/test_periodogram_hurst.dir/test_periodogram_hurst.cpp.o.d"
+  "test_periodogram_hurst"
+  "test_periodogram_hurst.pdb"
+  "test_periodogram_hurst[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_periodogram_hurst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

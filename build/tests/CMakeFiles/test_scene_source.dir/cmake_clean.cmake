@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scene_source.dir/test_scene_source.cpp.o"
+  "CMakeFiles/test_scene_source.dir/test_scene_source.cpp.o.d"
+  "test_scene_source"
+  "test_scene_source.pdb"
+  "test_scene_source[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scene_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

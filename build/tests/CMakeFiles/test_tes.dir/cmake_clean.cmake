@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tes.dir/test_tes.cpp.o"
+  "CMakeFiles/test_tes.dir/test_tes.cpp.o.d"
+  "test_tes"
+  "test_tes.pdb"
+  "test_tes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_twist_search.dir/test_twist_search.cpp.o"
+  "CMakeFiles/test_twist_search.dir/test_twist_search.cpp.o.d"
+  "test_twist_search"
+  "test_twist_search.pdb"
+  "test_twist_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_twist_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

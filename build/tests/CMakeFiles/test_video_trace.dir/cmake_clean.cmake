@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_video_trace.dir/test_video_trace.cpp.o"
+  "CMakeFiles/test_video_trace.dir/test_video_trace.cpp.o.d"
+  "test_video_trace"
+  "test_video_trace.pdb"
+  "test_video_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_video_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
