@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "bench_util.h"
+#include "engine/parallel_estimators.h"
 #include "is/is_estimator.h"
 #include "queueing/overflow_mc.h"
 
@@ -16,6 +17,8 @@ int main() {
   using namespace ssvbr;
   bench::banner("Ablation: importance sampling vs crude Monte Carlo",
                 "IS variance reduction grows with event rarity (x10..x1000+)");
+  engine::ReplicationEngine engine;
+  std::printf("# engine_threads: %u\n", engine.threads());
 
   const core::FittedModel& fitted = bench::fitted_i_frame_model();
   const double mean_rate = fitted.model.mean();
@@ -26,7 +29,10 @@ int main() {
 
   const fractal::HoskingModel background(fitted.model.background_correlation(), k);
   auto model_ptr = std::make_shared<core::UnifiedVbrModel>(fitted.model);
-  queueing::ModelArrivalProcess arrivals(model_ptr, core::BackgroundGenerator::kHosking);
+  const auto make_arrivals = [&model_ptr] {
+    return std::make_unique<queueing::ModelArrivalProcess>(
+        model_ptr, core::BackgroundGenerator::kHosking);
+  };
 
   std::printf(
       "normalized_buffer,is_P,is_norm_var,is_var_reduction,mc_P,mc_hits,"
@@ -40,11 +46,11 @@ int main() {
     settings.replications = reps;
     RandomEngine rng1(31);
     const is::IsOverflowEstimate is_est =
-        is::estimate_overflow_is(fitted.model, background, settings, rng1);
+        engine::estimate_overflow_is_par(fitted.model, background, settings, rng1, engine);
 
     RandomEngine rng2(32);
-    const queueing::OverflowEstimate mc_est = queueing::estimate_overflow_mc(
-        arrivals, service, settings.buffer, k, reps, rng2);
+    const queueing::OverflowEstimate mc_est = engine::estimate_overflow_mc_par(
+        make_arrivals, service, settings.buffer, k, reps, rng2, engine);
 
     // Replications needed for a 10% relative 95% CI: N = (1.96/0.1)^2 * nv.
     const double target = (1.96 / 0.1) * (1.96 / 0.1);

@@ -9,6 +9,7 @@
 
 #include "bench_util.h"
 #include "common/error.h"
+#include "engine/parallel_estimators.h"
 #include "is/twist_search.h"
 
 int main() {
@@ -34,8 +35,11 @@ int main() {
   std::vector<double> twists;
   for (double m = 0.5; m <= 5.0 + 1e-9; m += 0.25) twists.push_back(m);
 
+  engine::ReplicationEngine engine;
+  std::printf("# engine_threads: %u\n", engine.threads());
   RandomEngine rng(14);
-  const auto sweep = is::sweep_twist(fitted.model, background, settings, twists, rng);
+  const auto sweep =
+      engine::sweep_twist_par(fitted.model, background, settings, twists, rng, engine);
 
   std::printf("twisted_mean,normalized_variance,probability,hits,variance_reduction\n");
   for (const auto& p : sweep) {

@@ -11,6 +11,7 @@
 #include <cmath>
 
 #include "bench_util.h"
+#include "engine/parallel_estimators.h"
 #include "is/is_estimator.h"
 #include "queueing/overflow_mc.h"
 #include "stats/descriptive.h"
@@ -33,6 +34,8 @@ int main() {
 
   const std::size_t max_k = static_cast<std::size_t>(10.0 * buffers.back());
   const fractal::HoskingModel background(fitted.model.background_correlation(), max_k);
+  engine::ReplicationEngine engine;
+  std::printf("# engine_threads: %u\n", engine.threads());
 
   std::printf(
       "utilization,normalized_buffer,k,log10_P_model,log10_P_trace,model_P,hits\n");
@@ -56,8 +59,8 @@ int main() {
       settings.stop_time = static_cast<std::size_t>(10.0 * b);
       settings.replications = reps;
       RandomEngine rng(1600 + 10 * u + j);
-      const is::IsOverflowEstimate est =
-          is::estimate_overflow_is(fitted.model, background, settings, rng);
+      const is::IsOverflowEstimate est = engine::estimate_overflow_is_par(
+          fitted.model, background, settings, rng, engine);
       const double log_model = est.probability > 0.0 ? std::log10(est.probability) : -99.0;
       const double log_trace =
           trace_probs[j] > 0.0 ? std::log10(trace_probs[j]) : -99.0;

@@ -1,0 +1,128 @@
+// Replication-engine scaling benchmark.
+//
+// Runs the same fixed-seed overflow studies — crude Monte-Carlo
+// (eq. 16-17) and importance sampling (Section 4) — through the
+// ReplicationEngine at increasing thread counts, verifies that every
+// thread count reproduces the T=1 result bit-for-bit, and prints ONE
+// machine-readable JSON line per estimator so future PRs can track
+// threads-vs-throughput:
+//
+//   {"bench":"engine_scaling","estimator":"mc", ...,
+//    "results":[{"threads":1,"seconds":...,"replications_per_s":...,
+//                "speedup":...,"deterministic":true}, ...]}
+//
+// REPRO_BENCH_SCALE scales the replication counts. The default
+// workload is the acceptance target: 10^4 replications.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "bench_util.h"
+#include "dist/distributions.h"
+#include "engine/parallel_estimators.h"
+#include "fractal/autocorrelation.h"
+#include "queueing/arrival.h"
+
+namespace {
+
+using namespace ssvbr;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Run `study(engine)` at each thread count; returns per-thread-count
+/// wall-clock seconds and whether the estimate matched T=1 exactly.
+template <class Study>
+void report(const char* estimator, std::size_t replications,
+            const std::vector<unsigned>& thread_counts, Study&& study) {
+  struct Row {
+    unsigned threads;
+    double seconds;
+    bool deterministic;
+  };
+  std::vector<Row> rows;
+  double p_ref = 0.0, var_ref = 0.0;
+  std::size_t hits_ref = 0;
+  for (const unsigned t : thread_counts) {
+    engine::ReplicationEngine eng(t);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto [p, var, hits] = study(eng);
+    const double secs = seconds_since(t0);
+    bool deterministic = true;
+    if (t == thread_counts.front()) {
+      p_ref = p;
+      var_ref = var;
+      hits_ref = hits;
+    } else {
+      deterministic = p == p_ref && var == var_ref && hits == hits_ref;
+    }
+    rows.push_back(Row{t, secs, deterministic});
+  }
+  std::printf("{\"bench\":\"engine_scaling\",\"estimator\":\"%s\","
+              "\"replications\":%zu,\"probability\":%.17g,\"results\":[",
+              estimator, replications, p_ref);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double rps = rows[i].seconds > 0.0
+                           ? static_cast<double>(replications) / rows[i].seconds
+                           : 0.0;
+    std::printf("%s{\"threads\":%u,\"seconds\":%.4f,\"replications_per_s\":%.1f,"
+                "\"speedup\":%.2f,\"deterministic\":%s}",
+                i == 0 ? "" : ",", rows[i].threads, rows[i].seconds, rps,
+                rows[i].seconds > 0.0 ? rows[0].seconds / rows[i].seconds : 0.0,
+                rows[i].deterministic ? "true" : "false");
+  }
+  std::printf("]}\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace ssvbr;
+  bench::banner("Perf: replication-engine scaling (threads vs throughput)",
+                "bit-identical estimates at every thread count; speedup bounded by cores");
+  const std::vector<unsigned> thread_counts{1, 2, 4, 8};
+
+  // Crude MC on IID gamma arrivals: cheap replications, stresses the
+  // engine's sharding/jump overhead.
+  {
+    const std::size_t reps = bench::scaled(10000, 500);
+    const std::size_t k = 200;
+    auto gamma = std::make_shared<GammaDistribution>(2.0, 1.0);
+    const auto make_arrivals = [&gamma] {
+      return std::make_unique<queueing::IidArrivalProcess>(gamma);
+    };
+    report("mc", reps, thread_counts, [&](engine::ReplicationEngine& eng) {
+      RandomEngine rng(1001);
+      const queueing::OverflowEstimate est = engine::estimate_overflow_mc_par(
+          make_arrivals, 2.5, 12.0, k, reps, rng, eng);
+      return std::make_tuple(est.probability, est.estimator_variance, est.hits);
+    });
+  }
+
+  // Importance sampling on an exponential-ACF background: Hosking
+  // conditional sampling per step, the paper's Section 4 workload.
+  {
+    const std::size_t reps = bench::scaled(10000, 500);
+    auto corr = std::make_shared<fractal::ExponentialAutocorrelation>(0.1);
+    core::MarginalTransform h(std::make_shared<GammaDistribution>(2.0, 1.0));
+    const core::UnifiedVbrModel model(std::move(corr), std::move(h));
+    const fractal::HoskingModel background(model.background_correlation(), 100);
+    is::IsOverflowSettings settings;
+    settings.twisted_mean = 2.0;
+    settings.service_rate = model.mean() / 0.3;
+    settings.buffer = 20.0 * model.mean();
+    settings.stop_time = 100;
+    settings.replications = reps;
+    report("is", reps, thread_counts, [&](engine::ReplicationEngine& eng) {
+      RandomEngine rng(1002);
+      const is::IsOverflowEstimate est =
+          engine::estimate_overflow_is_par(model, background, settings, rng, eng);
+      return std::make_tuple(est.probability, est.estimator_variance, est.hits);
+    });
+  }
+  return 0;
+}

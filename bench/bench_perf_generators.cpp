@@ -14,9 +14,11 @@
 #include "baselines/ar1.h"
 #include "core/marginal_transform.h"
 #include "dist/distributions.h"
+#include "engine/parallel_estimators.h"
 #include "fractal/autocorrelation.h"
 #include "fractal/davies_harte.h"
 #include "fractal/hosking.h"
+#include "queueing/arrival.h"
 #include "stats/descriptive.h"
 
 namespace {
@@ -110,6 +112,35 @@ void BM_AutocorrelationFft(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AutocorrelationFft)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_RandomEngineJump(benchmark::State& state) {
+  // Cost of positioning one replication stream (256 raw xoshiro steps);
+  // bounds the engine's stream-setup overhead of <= threads * N jumps.
+  RandomEngine rng(8);
+  for (auto _ : state) {
+    rng.jump();
+    benchmark::DoNotOptimize(rng);
+  }
+}
+BENCHMARK(BM_RandomEngineJump);
+
+void BM_EngineMcOverflow(benchmark::State& state) {
+  // Crude-MC overflow study through the replication engine at a given
+  // thread count; IID gamma arrivals keep the per-replication work
+  // representative but table-free.
+  const auto threads = static_cast<unsigned>(state.range(0));
+  engine::ReplicationEngine eng(threads);
+  auto gamma = std::make_shared<GammaDistribution>(2.0, 1.0);
+  const auto make_arrivals = [&gamma] {
+    return std::make_unique<queueing::IidArrivalProcess>(gamma);
+  };
+  for (auto _ : state) {
+    RandomEngine rng(99);
+    benchmark::DoNotOptimize(engine::estimate_overflow_mc_par(
+        make_arrivals, 2.5, 12.0, 200, 2000, rng, eng));
+  }
+}
+BENCHMARK(BM_EngineMcOverflow)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_AutocorrelationDirect(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

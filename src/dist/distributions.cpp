@@ -61,7 +61,7 @@ double GammaDistribution::cdf(double y) const {
 double GammaDistribution::pdf(double y) const {
   if (y <= 0.0) return 0.0;
   const double x = y / scale_;
-  return std::exp((shape_ - 1.0) * std::log(x) - x - std::lgamma(shape_)) / scale_;
+  return std::exp((shape_ - 1.0) * std::log(x) - x - log_gamma(shape_)) / scale_;
 }
 
 double GammaDistribution::quantile(double p) const {

@@ -86,6 +86,50 @@ double RandomEngine::normal(double mean, double stddev) noexcept {
 
 double RandomEngine::exponential() noexcept { return -std::log(uniform_open()); }
 
+namespace {
+
+// xoshiro256++ jump polynomials (Blackman & Vigna). XOR-accumulating the
+// states visited at the set bits of the polynomial advances the stream
+// by 2^128 (jump) or 2^192 (long jump) steps.
+constexpr std::uint64_t kJump[4] = {0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL,
+                                    0xA9582618E03FC9AAULL, 0x39ABDC4529B1661CULL};
+constexpr std::uint64_t kLongJump[4] = {0x76E15D3EFEFDCBBFULL, 0xC5004E441C522FB3ULL,
+                                        0x77710069854EE241ULL, 0x39109BB02ACBE635ULL};
+
+}  // namespace
+
+void RandomEngine::apply_jump_polynomial(const std::uint64_t (&poly)[4]) noexcept {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  for (const std::uint64_t word : poly) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (std::uint64_t{1} << b)) {
+        s[0] ^= state_[0];
+        s[1] ^= state_[1];
+        s[2] ^= state_[2];
+        s[3] ^= state_[3];
+      }
+      (void)(*this)();
+    }
+  }
+  state_[0] = s[0];
+  state_[1] = s[1];
+  state_[2] = s[2];
+  state_[3] = s[3];
+  // A jumped stream must not replay the parent's half-used Box-Muller
+  // pair: its output is defined by the new counter position alone.
+  cached_normal_.reset();
+}
+
+void RandomEngine::jump() noexcept { apply_jump_polynomial(kJump); }
+
+void RandomEngine::jump_long() noexcept { apply_jump_polynomial(kLongJump); }
+
+RandomEngine RandomEngine::jumped(std::uint64_t n) const noexcept {
+  RandomEngine out = *this;
+  for (std::uint64_t i = 0; i < n; ++i) out.jump();
+  return out;
+}
+
 RandomEngine RandomEngine::split() noexcept {
   RandomEngine child(0);
   for (auto& s : child.state_) s = (*this)();

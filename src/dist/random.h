@@ -54,11 +54,43 @@ class RandomEngine {
   /// Standard exponential variate (rate 1).
   double exponential() noexcept;
 
-  /// Spawn an independent engine; used to give replications in a
-  /// simulation study their own streams.
+  /// Advance this engine by exactly 2^128 steps of operator()() in O(1)
+  /// state-space arithmetic (the xoshiro256++ jump polynomial). Engines
+  /// related by jump() draw from provably non-overlapping subsequences
+  /// as long as each consumes fewer than 2^128 values — the guarantee
+  /// the replication engine relies on: replication i of a study always
+  /// uses the base engine jumped i times, independent of thread count.
+  /// Any cached Box-Muller normal is discarded so a jumped stream's
+  /// output is a pure function of its (jumped) counter position.
+  void jump() noexcept;
+
+  /// Advance by 2^192 steps (the xoshiro256++ long-jump polynomial).
+  /// Coarser spacing for nested stream hierarchies: spacing streams
+  /// 2^192 apart leaves room for 2^64 jump()-spaced replication streams
+  /// inside each — e.g. one long-jump per twist-sweep grid point, one
+  /// jump per replication within the point.
+  void jump_long() noexcept;
+
+  /// Copy of this engine advanced by `n` jump() calls; *this is
+  /// unchanged. Convenience for positioning at replication stream n.
+  RandomEngine jumped(std::uint64_t n) const noexcept;
+
+  /// Spawn an engine seeded from this engine's next four outputs.
+  ///
+  /// Guarantees vs. jump(): split() children are statistically
+  /// independent in practice (the child state is four fresh xoshiro
+  /// outputs) but carry NO non-overlap proof — a child's subsequence
+  /// could in principle land anywhere in the parent's period. jump()
+  /// gives provably disjoint subsequences and is reproducible across
+  /// serial and parallel execution orders; prefer it for per-replication
+  /// streams. split() remains useful for one-off derived streams where
+  /// the caller wants the parent visibly advanced (it consumes four
+  /// outputs) and no indexing structure is needed.
   RandomEngine split() noexcept;
 
  private:
+  void apply_jump_polynomial(const std::uint64_t (&poly)[4]) noexcept;
+
   std::uint64_t state_[4];
   std::optional<double> cached_normal_;
 };

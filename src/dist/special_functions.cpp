@@ -6,7 +6,22 @@
 #include "common/error.h"
 #include "common/math_util.h"
 
+#if defined(__GLIBC__)
+// Declared here because -std=c++20 (strict ANSI) hides the POSIX
+// declaration in <math.h>.
+extern "C" double lgamma_r(double, int*);
+#endif
+
 namespace ssvbr {
+
+double log_gamma(double x) {
+#if defined(__GLIBC__)
+  int sign = 0;
+  return lgamma_r(x, &sign);  // identical values to lgamma, no global write
+#else
+  return std::lgamma(x);
+#endif
+}
 
 namespace {
 
@@ -24,7 +39,7 @@ double gamma_p_series(double a, double x) {
     del *= x / ap;
     sum += del;
     if (std::fabs(del) < std::fabs(sum) * kEpsilon) {
-      return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+      return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
     }
   }
   throw NumericalError("incomplete gamma series failed to converge");
@@ -47,7 +62,7 @@ double gamma_q_continued_fraction(double a, double x) {
     const double del = d * c;
     h *= del;
     if (std::fabs(del - 1.0) < kEpsilon) {
-      return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+      return h * std::exp(-x + a * std::log(x) - log_gamma(a));
     }
   }
   throw NumericalError("incomplete gamma continued fraction failed to converge");
@@ -77,7 +92,7 @@ double inverse_regularized_gamma_p(double a, double p) {
   if (p == 0.0) return 0.0;
 
   // Initial guess (Numerical Recipes / Abramowitz-Stegun 26.4.17).
-  const double gln = std::lgamma(a);
+  const double gln = log_gamma(a);
   double x;
   if (a > 1.0) {
     const double pp = p < 0.5 ? p : 1.0 - p;

@@ -14,6 +14,11 @@
 
 namespace ssvbr {
 
+/// log |Gamma(x)|, thread-safe. std::lgamma writes the global `signgam`
+/// on POSIX systems and so races when replications run concurrently;
+/// all library code must use this wrapper instead.
+double log_gamma(double x);
+
 /// Regularized lower incomplete gamma P(a, x) = gamma(a,x) / Gamma(a).
 /// Requires a > 0, x >= 0.
 double regularized_gamma_p(double a, double x);

@@ -1,0 +1,87 @@
+// ssvbr/engine/accumulator.h
+//
+// Mergeable per-shard statistics for the replication engine.
+//
+// The engine runs replications in fixed-size shards and combines the
+// per-shard partial statistics with an exact merge, so a study's result
+// is a pure function of (seed, replications, shard size) — never of the
+// thread count. Counters merge by integer addition (exact); moments
+// merge with the Chan et al. parallel update (deterministic for a fixed
+// shard structure), reusing the Welford machinery of
+// stats::RunningStats.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+
+#include "stats/descriptive.h"
+
+namespace ssvbr::engine {
+
+/// What the replication engine requires of a per-shard statistic: a
+/// neutral default state and an associative combine with another
+/// shard's partial result.
+template <class A>
+concept MergeableAccumulator =
+    std::default_initializable<A> && std::movable<A> &&
+    requires(A a, const A& b) {
+      { a.merge(b) };
+    };
+
+/// Bernoulli outcome counter (crude Monte-Carlo overflow): merging is
+/// integer addition, so the merged result is bit-exact regardless of
+/// how replications were grouped into shards.
+class HitAccumulator {
+ public:
+  void add(bool hit) noexcept {
+    ++count_;
+    if (hit) ++hits_;
+  }
+
+  void merge(const HitAccumulator& other) noexcept {
+    count_ += other.count_;
+    hits_ += other.hits_;
+  }
+
+  std::size_t count() const noexcept { return count_; }
+  std::size_t hits() const noexcept { return hits_; }
+
+ private:
+  std::size_t count_ = 0;
+  std::size_t hits_ = 0;
+};
+
+/// Weighted-score statistic for the importance-sampling estimator: the
+/// per-replication likelihood-ratio scores go through Welford
+/// accumulation within a shard and a Chan merge across shards, plus an
+/// exact hit count. For a fixed shard structure the merged mean and
+/// variance are bit-identical whatever thread count executed the
+/// shards.
+class ScoreAccumulator {
+ public:
+  void add(double score, bool hit) noexcept {
+    scores_.add(score);
+    if (hit) ++hits_;
+  }
+
+  void merge(const ScoreAccumulator& other) noexcept {
+    scores_.merge(other.scores_);
+    hits_ += other.hits_;
+  }
+
+  std::size_t count() const noexcept { return scores_.count(); }
+  std::size_t hits() const noexcept { return hits_; }
+  double mean() const noexcept { return scores_.mean(); }
+  /// Unbiased sample variance of the scores; 0 for n < 2.
+  double sample_variance() const noexcept { return scores_.variance(); }
+
+ private:
+  stats::RunningStats scores_;
+  std::size_t hits_ = 0;
+};
+
+static_assert(MergeableAccumulator<HitAccumulator>);
+static_assert(MergeableAccumulator<ScoreAccumulator>);
+static_assert(MergeableAccumulator<stats::RunningStats>);
+
+}  // namespace ssvbr::engine

@@ -1,0 +1,119 @@
+#include "engine/parallel_estimators.h"
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "common/error.h"
+#include "queueing/lindley.h"
+
+namespace ssvbr::engine {
+
+queueing::OverflowEstimate estimate_overflow_mc_par(
+    const ArrivalFactory& make_arrivals, double service_rate, double buffer,
+    std::size_t k, std::size_t replications, RandomEngine& rng,
+    ReplicationEngine& engine, queueing::OverflowEvent event,
+    double initial_occupancy) {
+  SSVBR_REQUIRE(static_cast<bool>(make_arrivals), "need an arrival-process factory");
+  SSVBR_REQUIRE(replications >= 1, "need at least one replication");
+  SSVBR_REQUIRE(k >= 1, "stopping time must be at least one slot");
+  SSVBR_REQUIRE(buffer >= 0.0, "buffer must be non-negative");
+
+  const HitAccumulator total = engine.run<HitAccumulator>(
+      replications, rng, [&] {
+        return [arrivals = make_arrivals(),
+                queue = queueing::LindleyQueue(service_rate, initial_occupancy),
+                service_rate, buffer, k, event, initial_occupancy](
+                   std::size_t, RandomEngine& stream, HitAccumulator& acc) mutable {
+          acc.add(queueing::run_overflow_replication(*arrivals, queue, service_rate,
+                                                     buffer, k, stream, event,
+                                                     initial_occupancy));
+        };
+      });
+  return queueing::make_overflow_estimate(total.hits(), total.count());
+}
+
+is::IsOverflowEstimate estimate_overflow_is_superposed_par(
+    const core::UnifiedVbrModel& model, const fractal::HoskingModel& background,
+    std::size_t n_sources, const is::IsOverflowSettings& settings, RandomEngine& rng,
+    ReplicationEngine& engine) {
+  SSVBR_REQUIRE(n_sources >= 1, "need at least one source");
+  SSVBR_REQUIRE(settings.replications >= 1, "need at least one replication");
+  SSVBR_REQUIRE(settings.stop_time >= 1, "stop time must be at least one slot");
+  SSVBR_REQUIRE(settings.stop_time <= background.horizon(),
+                "background coefficient table shorter than the stop time");
+  SSVBR_REQUIRE(settings.buffer >= 0.0, "buffer must be non-negative");
+
+  const ScoreAccumulator total = engine.run<ScoreAccumulator>(
+      settings.replications, rng, [&] {
+        return [kernel = is::IsReplicationKernel(model, background, n_sources, settings)](
+                   std::size_t, RandomEngine& stream, ScoreAccumulator& acc) mutable {
+          const is::IsReplicationKernel::Outcome out = kernel.run_one(stream);
+          acc.add(out.score, out.hit);
+        };
+      });
+  return is::make_is_overflow_estimate(total.mean(), total.sample_variance(),
+                                       total.hits(), total.count());
+}
+
+is::IsOverflowEstimate estimate_overflow_is_par(const core::UnifiedVbrModel& model,
+                                                const fractal::HoskingModel& background,
+                                                const is::IsOverflowSettings& settings,
+                                                RandomEngine& rng,
+                                                ReplicationEngine& engine) {
+  return estimate_overflow_is_superposed_par(model, background, 1, settings, rng, engine);
+}
+
+std::vector<is::TwistSweepPoint> sweep_twist_par(const core::UnifiedVbrModel& model,
+                                                 const fractal::HoskingModel& background,
+                                                 is::IsOverflowSettings settings,
+                                                 const std::vector<double>& twists,
+                                                 RandomEngine& rng,
+                                                 ReplicationEngine& engine) {
+  SSVBR_REQUIRE(!twists.empty(), "twist grid must be non-empty");
+  SSVBR_REQUIRE(settings.replications >= 1, "need at least one replication");
+  SSVBR_REQUIRE(settings.stop_time >= 1, "stop time must be at least one slot");
+  SSVBR_REQUIRE(settings.stop_time <= background.horizon(),
+                "background coefficient table shorter than the stop time");
+  SSVBR_REQUIRE(settings.buffer >= 0.0, "buffer must be non-negative");
+
+  const std::vector<ScoreAccumulator> per_point = engine.run_many<ScoreAccumulator>(
+      twists.size(), settings.replications, rng, [&] {
+        // Each worker keeps one kernel and rebuilds it when it crosses
+        // into a new grid point (the kernel bakes in the twist).
+        struct Worker {
+          const core::UnifiedVbrModel* model;
+          const fractal::HoskingModel* background;
+          is::IsOverflowSettings settings;
+          const std::vector<double>* twists;
+          std::optional<is::IsReplicationKernel> kernel;
+          std::size_t kernel_task = SIZE_MAX;
+
+          void operator()(std::size_t task, std::size_t, RandomEngine& stream,
+                          ScoreAccumulator& acc) {
+            if (task != kernel_task) {
+              settings.twisted_mean = (*twists)[task];
+              kernel.emplace(*model, *background, 1, settings);
+              kernel_task = task;
+            }
+            const is::IsReplicationKernel::Outcome out = kernel->run_one(stream);
+            acc.add(out.score, out.hit);
+          }
+        };
+        return Worker{&model, &background, settings, &twists, std::nullopt, SIZE_MAX};
+      });
+
+  std::vector<is::TwistSweepPoint> out;
+  out.reserve(twists.size());
+  for (std::size_t j = 0; j < twists.size(); ++j) {
+    is::TwistSweepPoint point;
+    point.twisted_mean = twists[j];
+    point.estimate = is::make_is_overflow_estimate(
+        per_point[j].mean(), per_point[j].sample_variance(), per_point[j].hits(),
+        per_point[j].count());
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace ssvbr::engine

@@ -1,0 +1,75 @@
+// ssvbr/engine/parallel_estimators.h
+//
+// Parallel front-ends for the repo's replication studies: crude
+// Monte-Carlo overflow (eq. 16-17), the Section 4 importance-sampling
+// estimator, and the Fig. 14 twist sweep — each executed by a
+// ReplicationEngine and bit-identical, for a fixed (engine shard size,
+// seed, replications), to its own output at any thread count.
+//
+// Stream parity with the serial estimators: replication i draws from
+// the caller's engine jumped i times (and sweep grid point j from the
+// engine long-jumped j times), exactly as the serial
+// queueing::estimate_overflow_mc / is::estimate_overflow_is /
+// is::sweep_twist do since their jump()-migration. Serial and parallel
+// runs therefore see identical variates per replication; MC results
+// (integer hit counts) match the serial path bit-for-bit, IS results
+// match up to the floating-point summation order (Chan-merged shards
+// vs. one serial Welford pass).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "engine/replication_engine.h"
+#include "is/is_estimator.h"
+#include "is/twist_search.h"
+#include "queueing/overflow_mc.h"
+
+namespace ssvbr::engine {
+
+/// Factory producing one independent ArrivalProcess per worker thread
+/// (arrival processes carry replication state and are not shareable
+/// across threads). Must be callable concurrently.
+using ArrivalFactory = std::function<std::unique_ptr<queueing::ArrivalProcess>()>;
+
+/// Parallel crude Monte-Carlo overflow estimate; the multi-threaded
+/// counterpart of queueing::estimate_overflow_mc with identical
+/// per-replication streams and bit-identical results at any thread
+/// count (hit counts merge by integer addition).
+queueing::OverflowEstimate estimate_overflow_mc_par(
+    const ArrivalFactory& make_arrivals, double service_rate, double buffer,
+    std::size_t k, std::size_t replications, RandomEngine& rng,
+    ReplicationEngine& engine,
+    queueing::OverflowEvent event = queueing::OverflowEvent::kFirstPassage,
+    double initial_occupancy = 0.0);
+
+/// Parallel importance-sampling overflow estimate; the multi-threaded
+/// counterpart of is::estimate_overflow_is. Bit-identical across
+/// thread counts for a fixed engine shard size.
+is::IsOverflowEstimate estimate_overflow_is_par(const core::UnifiedVbrModel& model,
+                                                const fractal::HoskingModel& background,
+                                                const is::IsOverflowSettings& settings,
+                                                RandomEngine& rng,
+                                                ReplicationEngine& engine);
+
+/// Parallel multi-source IS estimate (counterpart of
+/// is::estimate_overflow_is_superposed).
+is::IsOverflowEstimate estimate_overflow_is_superposed_par(
+    const core::UnifiedVbrModel& model, const fractal::HoskingModel& background,
+    std::size_t n_sources, const is::IsOverflowSettings& settings, RandomEngine& rng,
+    ReplicationEngine& engine);
+
+/// Parallel Fig. 14 twist sweep: one task per grid point, parallelism
+/// across both grid points and replications (a single flat shard pool),
+/// same stream layout as the serial is::sweep_twist. Bit-identical
+/// across thread counts for a fixed engine shard size.
+std::vector<is::TwistSweepPoint> sweep_twist_par(const core::UnifiedVbrModel& model,
+                                                 const fractal::HoskingModel& background,
+                                                 is::IsOverflowSettings settings,
+                                                 const std::vector<double>& twists,
+                                                 RandomEngine& rng,
+                                                 ReplicationEngine& engine);
+
+}  // namespace ssvbr::engine

@@ -1,0 +1,10 @@
+#include "engine/replication_engine.h"
+
+namespace ssvbr::engine {
+
+ReplicationEngine::ReplicationEngine(EngineConfig config)
+    : shard_size_(config.shard_size), pool_(config.threads) {
+  SSVBR_REQUIRE(config.shard_size >= 1, "shard size must be at least 1");
+}
+
+}  // namespace ssvbr::engine

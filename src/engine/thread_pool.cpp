@@ -1,0 +1,68 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace ssvbr::engine {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned n = threads;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (unsigned id = 0; id < n; ++id) {
+    workers_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(unsigned id) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return stopping_ || generation_ != seen_generation; });
+      if (stopping_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    std::exception_ptr error;
+    try {
+      (*job)(id);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error && !first_error_) first_error_ = error;
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel(const std::function<void(unsigned)>& fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  job_ = &fn;
+  remaining_ = size();
+  first_error_ = nullptr;
+  ++generation_;
+  cv_start_.notify_all();
+  cv_done_.wait(lock, [&] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace ssvbr::engine

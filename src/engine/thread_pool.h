@@ -1,0 +1,58 @@
+// ssvbr/engine/thread_pool.h
+//
+// A minimal fixed-size thread pool for the replication engine. The pool
+// deliberately has no task queue and no work stealing: its one
+// operation, parallel(), runs the same callable once per worker and
+// blocks until every worker has returned. All scheduling policy
+// (sharding, load balance) lives in the caller — the engine hands out
+// fixed-size shards through an atomic counter, which keeps the
+// floating-point reduction order a function of the workload alone, not
+// of the thread count or of scheduling races.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ssvbr::engine {
+
+/// Fixed pool of worker threads, created once and reused across runs.
+/// Not itself thread-safe: parallel() must be called from one thread at
+/// a time (the engine serializes all access).
+class ThreadPool {
+ public:
+  /// `threads` = 0 selects std::thread::hardware_concurrency() (at
+  /// least 1). The workers start idle.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Run fn(0), fn(1), ..., fn(size()-1) concurrently, one call per
+  /// worker, and block until all calls return. If any call throws, the
+  /// first exception (in completion order) is rethrown here after every
+  /// worker has finished.
+  void parallel(const std::function<void(unsigned)>& fn);
+
+ private:
+  void worker_loop(unsigned id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned remaining_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace ssvbr::engine

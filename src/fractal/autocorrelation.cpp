@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "dist/special_functions.h"
 
 namespace ssvbr::fractal {
 
@@ -44,9 +45,10 @@ double FarimaAutocorrelation::operator()(double tau) const {
   if (tau == 0.0) return 1.0;
   const double k = std::fabs(tau);
   // r(k) = Gamma(1-d) Gamma(k+d) / ( Gamma(d) Gamma(k+1-d) ), evaluated
-  // through lgamma for numerical range.
-  const double logr = std::lgamma(1.0 - d_) + std::lgamma(k + d_) - std::lgamma(d_) -
-                      std::lgamma(k + 1.0 - d_);
+  // through log-gamma for numerical range (the thread-safe wrapper:
+  // autocorrelations are evaluated from engine worker threads).
+  const double logr = log_gamma(1.0 - d_) + log_gamma(k + d_) - log_gamma(d_) -
+                      log_gamma(k + 1.0 - d_);
   return std::exp(logr);
 }
 

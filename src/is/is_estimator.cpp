@@ -3,78 +3,36 @@
 #include <cmath>
 
 #include "common/error.h"
-#include "is/likelihood.h"
-#include "queueing/lindley.h"
+#include "stats/descriptive.h"
 
 namespace ssvbr::is {
 
-IsOverflowEstimate estimate_overflow_is_superposed(const core::UnifiedVbrModel& model,
-                                                   const fractal::HoskingModel& background,
-                                                   std::size_t n_sources,
-                                                   const IsOverflowSettings& settings,
-                                                   RandomEngine& rng) {
+namespace {
+
+void validate(const fractal::HoskingModel& background, const IsOverflowSettings& settings,
+              std::size_t n_sources) {
   SSVBR_REQUIRE(n_sources >= 1, "need at least one source");
   SSVBR_REQUIRE(settings.replications >= 1, "need at least one replication");
   SSVBR_REQUIRE(settings.stop_time >= 1, "stop time must be at least one slot");
   SSVBR_REQUIRE(settings.stop_time <= background.horizon(),
                 "background coefficient table shorter than the stop time");
   SSVBR_REQUIRE(settings.buffer >= 0.0, "buffer must be non-negative");
+}
 
-  const core::MarginalTransform& h = model.transform();
-  const double m_star = settings.twisted_mean;
+}  // namespace
 
-  double sum = 0.0;
-  double sum_sq = 0.0;
-  std::size_t hits = 0;
-
-  std::vector<fractal::HoskingSampler> samplers;
-  samplers.reserve(n_sources);
-  for (std::size_t s = 0; s < n_sources; ++s) samplers.emplace_back(background, m_star);
-  queueing::LindleyQueue queue(settings.service_rate, settings.initial_occupancy);
-  LikelihoodRatioAccumulator lr;  // product over sources = sum of logs
-
-  for (std::size_t rep = 0; rep < settings.replications; ++rep) {
-    for (auto& s : samplers) s.reset();
-    queue.reset(settings.initial_occupancy);
-    lr.reset();
-    bool hit = false;
-    double w = 0.0;
-    for (std::size_t i = 0; i < settings.stop_time; ++i) {
-      const double delta =
-          m_star * (1.0 - (i == 0 ? 0.0 : background.phi_row_sum(i)));
-      double y_total = 0.0;
-      for (auto& sampler : samplers) {
-        const fractal::HoskingStep step = sampler.next(rng);
-        lr.add_step(step.value, step.conditional_mean, delta, step.variance);
-        y_total += h(step.value);
-      }
-      if (settings.event == queueing::OverflowEvent::kFirstPassage) {
-        w += y_total - settings.service_rate;
-        if (w > settings.buffer) {
-          hit = true;
-          break;
-        }
-      } else {
-        queue.step(y_total);
-      }
-    }
-    if (settings.event == queueing::OverflowEvent::kTerminal) {
-      hit = queue.size() > settings.buffer;
-    }
-    const double score = hit ? lr.likelihood() : 0.0;
-    if (hit) ++hits;
-    sum += score;
-    sum_sq += score * score;
-  }
-
+IsOverflowEstimate make_is_overflow_estimate(double mean_score, double sample_variance,
+                                             std::size_t hits, std::size_t replications) {
   IsOverflowEstimate est;
-  est.replications = settings.replications;
+  est.replications = replications;
   est.hits = hits;
-  const double n = static_cast<double>(settings.replications);
-  est.probability = sum / n;
+  est.probability = mean_score;
+  const double n = static_cast<double>(replications);
+  // sample_variance is 0 for n < 2 and may be 0 (or a tiny negative
+  // from cancellation upstream) at zero hits; clamp so every derived
+  // field stays finite.
+  est.estimator_variance = sample_variance > 0.0 && n > 0.0 ? sample_variance / n : 0.0;
   const double mean_sq = est.probability * est.probability;
-  const double sample_var = n > 1.0 ? (sum_sq - n * mean_sq) / (n - 1.0) : 0.0;
-  est.estimator_variance = sample_var > 0.0 ? sample_var / n : 0.0;
   est.normalized_variance =
       est.probability > 0.0 ? est.estimator_variance / mean_sq : 0.0;
   est.ci95_halfwidth = 1.96 * std::sqrt(est.estimator_variance);
@@ -85,82 +43,82 @@ IsOverflowEstimate estimate_overflow_is_superposed(const core::UnifiedVbrModel& 
   return est;
 }
 
+IsReplicationKernel::IsReplicationKernel(const core::UnifiedVbrModel& model,
+                                         const fractal::HoskingModel& background,
+                                         std::size_t n_sources,
+                                         const IsOverflowSettings& settings)
+    : transform_(&model.transform()),
+      background_(&background),
+      settings_(settings),
+      queue_(settings.service_rate, settings.initial_occupancy) {
+  samplers_.reserve(n_sources);
+  for (std::size_t s = 0; s < n_sources; ++s) {
+    samplers_.emplace_back(background, settings.twisted_mean);
+  }
+}
+
+IsReplicationKernel::Outcome IsReplicationKernel::run_one(RandomEngine& rng) {
+  const double m_star = settings_.twisted_mean;
+  for (auto& s : samplers_) s.reset();
+  queue_.reset(settings_.initial_occupancy);
+  lr_.reset();
+  bool hit = false;
+  double w = 0.0;  // total workload W_i = sum (Y_j - mu)
+  for (std::size_t i = 0; i < settings_.stop_time; ++i) {
+    // twisted_mean - original_mean = m* (1 - S_i); S_0 = 0.
+    const double delta =
+        m_star * (1.0 - (i == 0 ? 0.0 : background_->phi_row_sum(i)));
+    double y_total = 0.0;
+    for (auto& sampler : samplers_) {
+      const fractal::HoskingStep step = sampler.next(rng);
+      lr_.add_step(step.value, step.conditional_mean, delta, step.variance);
+      y_total += (*transform_)(step.value);
+    }
+    if (settings_.event == queueing::OverflowEvent::kFirstPassage) {
+      // Paper steps 4-7: track the total workload and stop at the
+      // first crossing of b; the stopped likelihood ratio keeps the
+      // estimator unbiased (eq. (17): P(Q_k > b) = P(sup W_i > b)).
+      w += y_total - settings_.service_rate;
+      if (w > settings_.buffer) {
+        hit = true;
+        break;
+      }
+    } else {
+      queue_.step(y_total);
+    }
+  }
+  if (settings_.event == queueing::OverflowEvent::kTerminal) {
+    hit = queue_.size() > settings_.buffer;
+  }
+  return Outcome{hit ? lr_.likelihood() : 0.0, hit};
+}
+
+IsOverflowEstimate estimate_overflow_is_superposed(const core::UnifiedVbrModel& model,
+                                                   const fractal::HoskingModel& background,
+                                                   std::size_t n_sources,
+                                                   const IsOverflowSettings& settings,
+                                                   RandomEngine& rng) {
+  validate(background, settings, n_sources);
+
+  IsReplicationKernel kernel(model, background, n_sources, settings);
+  stats::RunningStats scores;
+  std::size_t hits = 0;
+  for (std::size_t rep = 0; rep < settings.replications; ++rep) {
+    RandomEngine replication_stream = rng;  // stream i = caller engine jumped i times
+    const IsReplicationKernel::Outcome out = kernel.run_one(replication_stream);
+    rng.jump();
+    scores.add(out.score);
+    if (out.hit) ++hits;
+  }
+  return make_is_overflow_estimate(scores.mean(), scores.variance(), hits,
+                                   settings.replications);
+}
+
 IsOverflowEstimate estimate_overflow_is(const core::UnifiedVbrModel& model,
                                         const fractal::HoskingModel& background,
                                         const IsOverflowSettings& settings,
                                         RandomEngine& rng) {
-  SSVBR_REQUIRE(settings.replications >= 1, "need at least one replication");
-  SSVBR_REQUIRE(settings.stop_time >= 1, "stop time must be at least one slot");
-  SSVBR_REQUIRE(settings.stop_time <= background.horizon(),
-                "background coefficient table shorter than the stop time");
-  SSVBR_REQUIRE(settings.buffer >= 0.0, "buffer must be non-negative");
-
-  const core::MarginalTransform& h = model.transform();
-  const double m_star = settings.twisted_mean;
-
-  double sum = 0.0;
-  double sum_sq = 0.0;
-  std::size_t hits = 0;
-
-  fractal::HoskingSampler sampler(background, m_star);
-  queueing::LindleyQueue queue(settings.service_rate, settings.initial_occupancy);
-  LikelihoodRatioAccumulator lr;
-
-  for (std::size_t rep = 0; rep < settings.replications; ++rep) {
-    sampler.reset();
-    queue.reset(settings.initial_occupancy);
-    lr.reset();
-    bool hit = false;
-    double w = 0.0;  // total workload W_i = sum (Y_j - mu)
-    for (std::size_t i = 0; i < settings.stop_time; ++i) {
-      const fractal::HoskingStep step = sampler.next(rng);
-      // twisted_mean - original_mean = m* (1 - S_i); S_0 = 0.
-      const double delta =
-          m_star * (1.0 - (i == 0 ? 0.0 : background.phi_row_sum(i)));
-      lr.add_step(step.value, step.conditional_mean, delta, step.variance);
-
-      const double y = h(step.value);
-      if (settings.event == queueing::OverflowEvent::kFirstPassage) {
-        // Paper steps 4-7: track the total workload and stop at the
-        // first crossing of b; the stopped likelihood ratio keeps the
-        // estimator unbiased (eq. (17): P(Q_k > b) = P(sup W_i > b)).
-        w += y - settings.service_rate;
-        if (w > settings.buffer) {
-          hit = true;
-          break;
-        }
-      } else {
-        queue.step(y);
-      }
-    }
-    if (settings.event == queueing::OverflowEvent::kTerminal) {
-      hit = queue.size() > settings.buffer;
-    }
-    const double score = hit ? lr.likelihood() : 0.0;
-    if (hit) ++hits;
-    sum += score;
-    sum_sq += score * score;
-  }
-
-  IsOverflowEstimate est;
-  est.replications = settings.replications;
-  est.hits = hits;
-  const double n = static_cast<double>(settings.replications);
-  est.probability = sum / n;
-  // Sample variance of the per-replication scores, then variance of
-  // their mean.
-  const double mean_sq = est.probability * est.probability;
-  const double sample_var =
-      n > 1.0 ? (sum_sq - n * mean_sq) / (n - 1.0) : 0.0;
-  est.estimator_variance = sample_var > 0.0 ? sample_var / n : 0.0;
-  est.normalized_variance =
-      est.probability > 0.0 ? est.estimator_variance / mean_sq : 0.0;
-  est.ci95_halfwidth = 1.96 * std::sqrt(est.estimator_variance);
-  if (est.estimator_variance > 0.0 && est.probability > 0.0 && est.probability < 1.0) {
-    const double mc_var = est.probability * (1.0 - est.probability) / n;
-    est.variance_reduction_vs_mc = mc_var / est.estimator_variance;
-  }
-  return est;
+  return estimate_overflow_is_superposed(model, background, 1, settings, rng);
 }
 
 }  // namespace ssvbr::is

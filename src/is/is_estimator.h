@@ -19,10 +19,13 @@
 
 #include <cstddef>
 #include <memory>
+#include <vector>
 
 #include "core/unified_model.h"
 #include "dist/random.h"
 #include "fractal/hosking.h"
+#include "is/likelihood.h"
+#include "queueing/lindley.h"
 #include "queueing/overflow_mc.h"
 
 namespace ssvbr::is {
@@ -51,10 +54,54 @@ struct IsOverflowSettings {
   double initial_occupancy = 0.0;  ///< Q_0 (Fig. 15 uses 0 and b)
 };
 
+/// Assemble the IS estimate statistics from the score moments (shared
+/// by the serial estimators and the engine's parallel front-ends, so
+/// both handle the zero-hit / single-replication edge cases the same
+/// way: every field stays finite, never NaN). `mean_score` is the mean
+/// of the per-replication likelihood-ratio scores, `sample_variance`
+/// their unbiased sample variance (0 for fewer than two replications).
+IsOverflowEstimate make_is_overflow_estimate(double mean_score, double sample_variance,
+                                             std::size_t hits, std::size_t replications);
+
+/// One replication of the Section 4 IS procedure, reusable across
+/// replications and shared by the serial and parallel front-ends. Holds
+/// the per-replication scratch state (samplers, queue, likelihood
+/// accumulator); `model` and `background` must outlive the kernel.
+/// `n_sources` independent twisted sources feed the queue (1 = the
+/// paper's single-source experiments).
+class IsReplicationKernel {
+ public:
+  IsReplicationKernel(const core::UnifiedVbrModel& model,
+                      const fractal::HoskingModel& background, std::size_t n_sources,
+                      const IsOverflowSettings& settings);
+
+  struct Outcome {
+    double score = 0.0;  ///< I * L: likelihood ratio if the event hit, else 0
+    bool hit = false;
+  };
+
+  /// Run one independent replication drawing from `rng`.
+  Outcome run_one(RandomEngine& rng);
+
+ private:
+  const core::MarginalTransform* transform_;
+  const fractal::HoskingModel* background_;
+  IsOverflowSettings settings_;
+  std::vector<fractal::HoskingSampler> samplers_;
+  queueing::LindleyQueue queue_;
+  LikelihoodRatioAccumulator lr_;
+};
+
 /// Run the IS simulation. `background` must have horizon >= stop_time
 /// and be built from the same correlation as `model`; callers build it
 /// once and reuse it across sweeps (the coefficient table is the
 /// expensive part).
+///
+/// Streams: replication i draws from `rng` advanced i times with
+/// RandomEngine::jump(); on return `rng` has been advanced
+/// `replications` jumps. The engine's parallel front-end uses the same
+/// layout, so serial and parallel runs draw identical variates per
+/// replication.
 IsOverflowEstimate estimate_overflow_is(const core::UnifiedVbrModel& model,
                                         const fractal::HoskingModel& background,
                                         const IsOverflowSettings& settings,

@@ -16,7 +16,12 @@ std::vector<TwistSweepPoint> sweep_twist(const core::UnifiedVbrModel& model,
   out.reserve(twists.size());
   for (const double m_star : twists) {
     settings.twisted_mean = m_star;
-    RandomEngine sub = rng.split();
+    // Grid point j's stream family starts at the caller's engine
+    // long-jumped j times (2^192 apart); the IS estimator spaces its
+    // replication streams 2^128 apart inside that band. The engine's
+    // parallel sweep uses the same layout.
+    RandomEngine sub = rng;
+    rng.jump_long();
     TwistSweepPoint point;
     point.twisted_mean = m_star;
     point.estimate = estimate_overflow_is(model, background, settings, sub);

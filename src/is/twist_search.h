@@ -24,8 +24,10 @@ struct TwistSweepPoint {
 };
 
 /// Evaluate the IS estimator on a grid of twists. `settings.twisted_mean`
-/// is ignored; every other field applies to each grid point. Each grid
-/// point uses an independent sub-stream split from `rng`.
+/// is ignored; every other field applies to each grid point. Grid point
+/// j draws from `rng` advanced j times with RandomEngine::jump_long()
+/// (the engine's parallel sweep uses the identical stream layout); on
+/// return `rng` has been advanced by one long jump per grid point.
 std::vector<TwistSweepPoint> sweep_twist(const core::UnifiedVbrModel& model,
                                          const fractal::HoskingModel& background,
                                          IsOverflowSettings settings,

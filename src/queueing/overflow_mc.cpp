@@ -7,6 +7,42 @@
 
 namespace ssvbr::queueing {
 
+OverflowEstimate make_overflow_estimate(std::size_t hits, std::size_t replications) {
+  OverflowEstimate est;
+  est.replications = replications;
+  est.hits = hits;
+  const double n = static_cast<double>(replications);
+  est.probability = n > 0.0 ? static_cast<double>(hits) / n : 0.0;
+  // Bernoulli estimator variance p(1-p)/n; 0 at p = 0 and p = 1, so
+  // zero-hit and single-replication runs yield all-finite statistics.
+  est.estimator_variance = n > 0.0 ? est.probability * (1.0 - est.probability) / n : 0.0;
+  est.normalized_variance = est.probability > 0.0
+                                ? est.estimator_variance / (est.probability * est.probability)
+                                : 0.0;
+  est.ci95_halfwidth = 1.96 * std::sqrt(est.estimator_variance);
+  return est;
+}
+
+bool run_overflow_replication(ArrivalProcess& arrivals, LindleyQueue& queue,
+                              double service_rate, double buffer, std::size_t k,
+                              RandomEngine& rng, OverflowEvent event,
+                              double initial_occupancy) {
+  arrivals.begin_replication(rng, k);
+  if (event == OverflowEvent::kFirstPassage) {
+    // Track the total workload W_i = sum (Y_j - mu) and stop at the
+    // first crossing of b (eq. (17) duality with {Q_k > b}, Q_0 = 0).
+    double w = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      w += arrivals.next() - service_rate;
+      if (w > buffer) return true;
+    }
+    return false;
+  }
+  queue.reset(initial_occupancy);
+  for (std::size_t i = 0; i < k; ++i) queue.step(arrivals.next());
+  return queue.size() > buffer;
+}
+
 OverflowEstimate estimate_overflow_mc(ArrivalProcess& arrivals, double service_rate,
                                       double buffer, std::size_t k,
                                       std::size_t replications, RandomEngine& rng,
@@ -18,39 +54,14 @@ OverflowEstimate estimate_overflow_mc(ArrivalProcess& arrivals, double service_r
   std::size_t hits = 0;
   LindleyQueue queue(service_rate, initial_occupancy);
   for (std::size_t rep = 0; rep < replications; ++rep) {
-    arrivals.begin_replication(rng, k);
-    bool hit = false;
-    if (event == OverflowEvent::kFirstPassage) {
-      // Track the total workload W_i = sum (Y_j - mu) and stop at the
-      // first crossing of b (eq. (17) duality with {Q_k > b}, Q_0 = 0).
-      double w = 0.0;
-      for (std::size_t i = 0; i < k; ++i) {
-        w += arrivals.next() - service_rate;
-        if (w > buffer) {
-          hit = true;
-          break;
-        }
-      }
-    } else {
-      queue.reset(initial_occupancy);
-      for (std::size_t i = 0; i < k; ++i) queue.step(arrivals.next());
-      hit = queue.size() > buffer;
+    RandomEngine replication_stream = rng;  // stream i = caller engine jumped i times
+    if (run_overflow_replication(arrivals, queue, service_rate, buffer, k,
+                                 replication_stream, event, initial_occupancy)) {
+      ++hits;
     }
-    if (hit) ++hits;
+    rng.jump();
   }
-
-  OverflowEstimate est;
-  est.replications = replications;
-  est.hits = hits;
-  const double n = static_cast<double>(replications);
-  est.probability = static_cast<double>(hits) / n;
-  // Bernoulli estimator variance p(1-p)/n.
-  est.estimator_variance = est.probability * (1.0 - est.probability) / n;
-  est.normalized_variance = est.probability > 0.0
-                                ? est.estimator_variance / (est.probability * est.probability)
-                                : 0.0;
-  est.ci95_halfwidth = 1.96 * std::sqrt(est.estimator_variance);
-  return est;
+  return make_overflow_estimate(hits, replications);
 }
 
 SteadyStateEstimate steady_state_overflow(ArrivalProcess& arrivals, double service_rate,

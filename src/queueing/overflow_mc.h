@@ -13,6 +13,7 @@
 
 #include "dist/random.h"
 #include "queueing/arrival.h"
+#include "queueing/lindley.h"
 
 namespace ssvbr::queueing {
 
@@ -40,7 +41,28 @@ struct OverflowEstimate {
   std::size_t hits = 0;
 };
 
+/// Assemble the Bernoulli estimate statistics from raw counts (shared
+/// by the serial estimator and the engine's parallel front-end; all
+/// fields stay finite at zero hits and at a single replication).
+/// Requires replications >= 1.
+OverflowEstimate make_overflow_estimate(std::size_t hits, std::size_t replications);
+
+/// One MC overflow replication drawing from `rng`: returns whether the
+/// targeted event occurred. `queue` is reusable scratch (reset
+/// internally in kTerminal mode). Shared by the serial estimator and
+/// the engine's parallel front-end.
+bool run_overflow_replication(ArrivalProcess& arrivals, LindleyQueue& queue,
+                              double service_rate, double buffer, std::size_t k,
+                              RandomEngine& rng, OverflowEvent event,
+                              double initial_occupancy);
+
 /// Estimate P(overflow by/at slot k) over independent replications.
+///
+/// Streams: replication i draws from `rng` advanced i times with
+/// RandomEngine::jump(); on return `rng` has been advanced
+/// `replications` jumps. The engine's parallel front-end uses the same
+/// layout, so serial and parallel runs draw identical variates (and
+/// hence count identical hits) per replication.
 OverflowEstimate estimate_overflow_mc(ArrivalProcess& arrivals, double service_rate,
                                       double buffer, std::size_t k,
                                       std::size_t replications, RandomEngine& rng,

@@ -1,0 +1,327 @@
+#include "engine/parallel_estimators.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.h"
+#include "dist/distributions.h"
+#include "engine/accumulator.h"
+#include "engine/replication_engine.h"
+#include "engine/thread_pool.h"
+#include "fractal/autocorrelation.h"
+#include "is/twist_search.h"
+#include "stats/descriptive.h"
+
+namespace ssvbr::engine {
+namespace {
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+core::UnifiedVbrModel make_model() {
+  auto corr = std::make_shared<fractal::ExponentialAutocorrelation>(0.1);
+  core::MarginalTransform h(std::make_shared<GammaDistribution>(2.0, 1.0));
+  return core::UnifiedVbrModel(std::move(corr), std::move(h));
+}
+
+ArrivalFactory gamma_arrivals() {
+  auto gamma = std::make_shared<GammaDistribution>(2.0, 1.0);
+  return [gamma] { return std::make_unique<queueing::IidArrivalProcess>(gamma); };
+}
+
+is::IsOverflowSettings rare_settings(const core::UnifiedVbrModel& model,
+                                     std::size_t replications) {
+  is::IsOverflowSettings settings;
+  settings.twisted_mean = 2.0;
+  settings.service_rate = model.mean() / 0.3;
+  settings.buffer = 15.0 * model.mean();
+  settings.stop_time = 60;
+  settings.replications = replications;
+  return settings;
+}
+
+TEST(ThreadPool, RunsEveryWorkerExactlyOnce) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> calls(4);
+  pool.parallel([&](unsigned id) { ++calls[id]; });
+  for (const auto& c : calls) EXPECT_EQ(c.load(), 1);
+  // The pool is reusable.
+  pool.parallel([&](unsigned id) { ++calls[id]; });
+  for (const auto& c : calls) EXPECT_EQ(c.load(), 2);
+}
+
+TEST(ThreadPool, ZeroSelectsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, RethrowsWorkerException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel([](unsigned id) {
+                 if (id == 1) throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+  // Still usable after an exception.
+  std::atomic<int> ran{0};
+  pool.parallel([&](unsigned) { ++ran; });
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(Accumulators, HitMergeIsExact) {
+  HitAccumulator a, b;
+  a.add(true);
+  a.add(false);
+  b.add(true);
+  b.add(true);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.hits(), 3u);
+}
+
+TEST(Accumulators, ChanMergeMatchesSinglePassWelford) {
+  // Chan et al. merged moments vs one Welford pass over the same data,
+  // for several partition layouts including empty and singleton parts.
+  RandomEngine rng(77);
+  std::vector<double> xs(1000);
+  for (auto& x : xs) x = std::exp(rng.normal(0.0, 2.0));  // skewed, wide range
+
+  stats::RunningStats reference;
+  for (const double x : xs) reference.add(x);
+
+  for (const std::size_t chunk : {1000u, 256u, 17u, 1u}) {
+    stats::RunningStats merged;
+    for (std::size_t lo = 0; lo < xs.size(); lo += chunk) {
+      stats::RunningStats part;
+      const std::size_t hi = std::min(lo + chunk, xs.size());
+      for (std::size_t i = lo; i < hi; ++i) part.add(xs[i]);
+      merged.merge(part);
+    }
+    stats::RunningStats empty;
+    merged.merge(empty);  // neutral element
+    EXPECT_EQ(merged.count(), reference.count());
+    EXPECT_NEAR(merged.mean(), reference.mean(), 1e-10 * std::abs(reference.mean()));
+    EXPECT_NEAR(merged.variance(), reference.variance(),
+                1e-9 * reference.variance());
+    EXPECT_EQ(merged.min(), reference.min());
+    EXPECT_EQ(merged.max(), reference.max());
+  }
+}
+
+TEST(Accumulators, ScoreMergeTracksHitsAndMoments) {
+  ScoreAccumulator a, b;
+  a.add(0.5, true);
+  a.add(0.0, false);
+  b.add(1.5, true);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.hits(), 2u);
+  EXPECT_NEAR(a.mean(), 2.0 / 3.0, 1e-15);
+}
+
+TEST(ReplicationEngine, McBitIdenticalAcrossThreadCounts) {
+  // The acceptance property: same seed, T = 1 / 2 / 8 => byte-identical
+  // probability, hits, and variance. Small shards force many merges.
+  const ArrivalFactory factory = gamma_arrivals();
+  const std::size_t reps = 600;
+  std::vector<queueing::OverflowEstimate> results;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ReplicationEngine engine(EngineConfig{threads, 32});
+    RandomEngine rng(404);
+    results.push_back(
+        estimate_overflow_mc_par(factory, 2.5, 8.0, 100, reps, rng, engine));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].hits, results[0].hits);
+    EXPECT_EQ(bits(results[i].probability), bits(results[0].probability));
+    EXPECT_EQ(bits(results[i].estimator_variance), bits(results[0].estimator_variance));
+    EXPECT_EQ(bits(results[i].ci95_halfwidth), bits(results[0].ci95_halfwidth));
+  }
+  EXPECT_GT(results[0].hits, 0u);  // the workload must exercise real hits
+}
+
+TEST(ReplicationEngine, IsBitIdenticalAcrossThreadCounts) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 60);
+  const is::IsOverflowSettings settings = rare_settings(model, 500);
+  std::vector<is::IsOverflowEstimate> results;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ReplicationEngine engine(EngineConfig{threads, 32});
+    RandomEngine rng(405);
+    results.push_back(estimate_overflow_is_par(model, background, settings, rng, engine));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].hits, results[0].hits);
+    EXPECT_EQ(bits(results[i].probability), bits(results[0].probability));
+    EXPECT_EQ(bits(results[i].estimator_variance), bits(results[0].estimator_variance));
+    EXPECT_EQ(bits(results[i].normalized_variance), bits(results[0].normalized_variance));
+  }
+  EXPECT_GT(results[0].hits, 0u);
+}
+
+TEST(ReplicationEngine, McMatchesSerialEstimatorExactly) {
+  // Identical per-replication streams: the serial estimator and the
+  // engine must count the same hits, and hit counts fully determine the
+  // MC estimate. The caller's engine must also end in the same state.
+  const ArrivalFactory factory = gamma_arrivals();
+  const std::size_t reps = 300;
+
+  RandomEngine rng_serial(42);
+  auto arrivals = factory();
+  const queueing::OverflowEstimate serial = queueing::estimate_overflow_mc(
+      *arrivals, 2.5, 8.0, 100, reps, rng_serial);
+
+  ReplicationEngine engine(EngineConfig{4, 32});
+  RandomEngine rng_par(42);
+  const queueing::OverflowEstimate par =
+      estimate_overflow_mc_par(factory, 2.5, 8.0, 100, reps, rng_par, engine);
+
+  EXPECT_EQ(par.hits, serial.hits);
+  EXPECT_EQ(bits(par.probability), bits(serial.probability));
+  EXPECT_EQ(rng_serial(), rng_par());  // same post-run stream position
+}
+
+TEST(ReplicationEngine, IsMatchesSerialEstimatorStreams) {
+  // Same streams => identical hit sets; the probability may differ only
+  // in the floating-point reduction order (serial Welford vs Chan-merged
+  // shards), i.e. by ulps.
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 60);
+  const is::IsOverflowSettings settings = rare_settings(model, 400);
+
+  RandomEngine rng_serial(43);
+  const is::IsOverflowEstimate serial =
+      is::estimate_overflow_is(model, background, settings, rng_serial);
+
+  ReplicationEngine engine(EngineConfig{4, 32});
+  RandomEngine rng_par(43);
+  const is::IsOverflowEstimate par =
+      estimate_overflow_is_par(model, background, settings, rng_par, engine);
+
+  EXPECT_EQ(par.hits, serial.hits);
+  ASSERT_GT(serial.hits, 0u);
+  EXPECT_NEAR(par.probability, serial.probability,
+              1e-12 * std::max(1.0, std::abs(serial.probability)));
+  EXPECT_EQ(rng_serial(), rng_par());
+}
+
+TEST(ReplicationEngine, SweepBitIdenticalAcrossThreadCountsAndMatchesSerial) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 60);
+  is::IsOverflowSettings settings = rare_settings(model, 200);
+  const std::vector<double> grid{1.0, 1.5, 2.0, 2.5};
+
+  RandomEngine rng_serial(44);
+  const auto serial = is::sweep_twist(model, background, settings, grid, rng_serial);
+
+  std::vector<std::vector<is::TwistSweepPoint>> sweeps;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ReplicationEngine engine(EngineConfig{threads, 32});
+    RandomEngine rng(44);
+    sweeps.push_back(sweep_twist_par(model, background, settings, grid, rng, engine));
+  }
+  for (std::size_t j = 0; j < grid.size(); ++j) {
+    for (std::size_t i = 1; i < sweeps.size(); ++i) {
+      EXPECT_EQ(sweeps[i][j].estimate.hits, sweeps[0][j].estimate.hits);
+      EXPECT_EQ(bits(sweeps[i][j].estimate.probability),
+                bits(sweeps[0][j].estimate.probability));
+      EXPECT_EQ(bits(sweeps[i][j].estimate.normalized_variance),
+                bits(sweeps[0][j].estimate.normalized_variance));
+    }
+    // Stream parity with the serial sweep: identical hit sets per point.
+    EXPECT_EQ(sweeps[0][j].estimate.hits, serial[j].estimate.hits);
+    EXPECT_NEAR(sweeps[0][j].estimate.probability, serial[j].estimate.probability,
+                1e-12 * std::max(1.0, serial[j].estimate.probability));
+  }
+  // And the caller's engine is left at the same stream position.
+  ReplicationEngine engine(EngineConfig{2, 32});
+  RandomEngine rng_par(44);
+  (void)sweep_twist_par(model, background, settings, grid, rng_par, engine);
+  EXPECT_EQ(rng_serial(), rng_par());
+}
+
+TEST(ReplicationEngine, SuperposedParMatchesSerial) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 40);
+  is::IsOverflowSettings settings;
+  settings.twisted_mean = 0.6;
+  settings.service_rate = 3.0 * model.mean() / 0.6;
+  settings.buffer = 6.0 * 3.0 * model.mean();
+  settings.stop_time = 40;
+  settings.replications = 300;
+
+  RandomEngine rng_serial(45);
+  const is::IsOverflowEstimate serial =
+      is::estimate_overflow_is_superposed(model, background, 3, settings, rng_serial);
+  ReplicationEngine engine(EngineConfig{4, 16});
+  RandomEngine rng_par(45);
+  const is::IsOverflowEstimate par = estimate_overflow_is_superposed_par(
+      model, background, 3, settings, rng_par, engine);
+  EXPECT_EQ(par.hits, serial.hits);
+  EXPECT_NEAR(par.probability, serial.probability,
+              1e-12 * std::max(1.0, serial.probability));
+}
+
+TEST(ReplicationEngine, ShardSizeOneAndOversizedShardsWork) {
+  const ArrivalFactory factory = gamma_arrivals();
+  RandomEngine rng_a(7);
+  ReplicationEngine tiny(EngineConfig{2, 1});
+  const queueing::OverflowEstimate a =
+      estimate_overflow_mc_par(factory, 2.5, 8.0, 50, 40, rng_a, tiny);
+  RandomEngine rng_b(7);
+  ReplicationEngine huge(EngineConfig{2, 4096});
+  const queueing::OverflowEstimate b =
+      estimate_overflow_mc_par(factory, 2.5, 8.0, 50, 40, rng_b, huge);
+  // Hit counts are exact integers, so they agree across shard sizes too.
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.replications, 40u);
+}
+
+TEST(ReplicationEngine, RunPropagatesWorkerExceptions) {
+  ReplicationEngine engine(EngineConfig{2, 8});
+  RandomEngine rng(1);
+  EXPECT_THROW(engine.run<HitAccumulator>(
+                   100, rng,
+                   [] {
+                     return [](std::size_t i, RandomEngine&, HitAccumulator& acc) {
+                       if (i == 37) throw std::runtime_error("replication failed");
+                       acc.add(false);
+                     };
+                   }),
+               std::runtime_error);
+}
+
+TEST(ReplicationEngine, ValidatesArguments) {
+  ReplicationEngine engine(EngineConfig{1, 16});
+  RandomEngine rng(1);
+  EXPECT_THROW(ReplicationEngine(EngineConfig{1, 0}), InvalidArgument);
+  EXPECT_THROW(estimate_overflow_mc_par(nullptr, 1.0, 1.0, 10, 10, rng, engine),
+               InvalidArgument);
+  const ArrivalFactory factory = gamma_arrivals();
+  EXPECT_THROW(estimate_overflow_mc_par(factory, 1.0, 1.0, 0, 10, rng, engine),
+               InvalidArgument);
+  EXPECT_THROW(estimate_overflow_mc_par(factory, 1.0, 1.0, 10, 0, rng, engine),
+               InvalidArgument);
+  EXPECT_THROW(estimate_overflow_mc_par(factory, 1.0, -1.0, 10, 10, rng, engine),
+               InvalidArgument);
+
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 20);
+  is::IsOverflowSettings settings;
+  settings.stop_time = 50;  // exceeds horizon
+  settings.replications = 10;
+  EXPECT_THROW(estimate_overflow_is_par(model, background, settings, rng, engine),
+               InvalidArgument);
+  settings.stop_time = 10;
+  EXPECT_THROW(sweep_twist_par(model, background, settings, {}, rng, engine),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ssvbr::engine

@@ -139,6 +139,60 @@ TEST(IsEstimator, StatisticsAreInternallyConsistent) {
   }
 }
 
+TEST(IsEstimator, ZeroHitEstimateStaysFinite) {
+  // An untwisted run at an extremely rare event sees no hits; every
+  // statistic must stay finite (0/0 guards in the CI and normalized
+  // variance, no NaN from a degenerate score sample).
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 40);
+  IsOverflowSettings settings;
+  settings.twisted_mean = 0.0;
+  settings.service_rate = model.mean() / 0.1;
+  settings.buffer = 200.0 * model.mean();
+  settings.stop_time = 40;
+  settings.replications = 50;
+  RandomEngine rng(30);
+  const IsOverflowEstimate est = estimate_overflow_is(model, background, settings, rng);
+  EXPECT_EQ(est.hits, 0u);
+  EXPECT_DOUBLE_EQ(est.probability, 0.0);
+  EXPECT_DOUBLE_EQ(est.estimator_variance, 0.0);
+  EXPECT_DOUBLE_EQ(est.normalized_variance, 0.0);
+  EXPECT_DOUBLE_EQ(est.ci95_halfwidth, 0.0);
+  EXPECT_TRUE(std::isfinite(est.variance_reduction_vs_mc));
+}
+
+TEST(IsEstimator, SingleReplicationStaysFinite) {
+  // n = 1: the unbiased sample variance is undefined; the estimate must
+  // report zero variance rather than NaN, whatever the outcome.
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 30);
+  IsOverflowSettings settings;
+  settings.twisted_mean = 1.0;
+  settings.service_rate = model.mean() / 0.6;
+  settings.buffer = 2.0 * model.mean();
+  settings.stop_time = 30;
+  settings.replications = 1;
+  RandomEngine rng(31);
+  const IsOverflowEstimate est = estimate_overflow_is(model, background, settings, rng);
+  EXPECT_EQ(est.replications, 1u);
+  EXPECT_TRUE(std::isfinite(est.probability));
+  EXPECT_DOUBLE_EQ(est.estimator_variance, 0.0);
+  EXPECT_DOUBLE_EQ(est.ci95_halfwidth, 0.0);
+  EXPECT_TRUE(std::isfinite(est.normalized_variance));
+  EXPECT_TRUE(std::isfinite(est.variance_reduction_vs_mc));
+}
+
+TEST(IsEstimator, MakeEstimateEdgeCases) {
+  const IsOverflowEstimate zero = make_is_overflow_estimate(0.0, 0.0, 0, 100);
+  EXPECT_DOUBLE_EQ(zero.probability, 0.0);
+  EXPECT_DOUBLE_EQ(zero.normalized_variance, 0.0);
+  EXPECT_TRUE(std::isfinite(zero.variance_reduction_vs_mc));
+  const IsOverflowEstimate one = make_is_overflow_estimate(0.5, 0.0, 1, 1);
+  EXPECT_DOUBLE_EQ(one.probability, 0.5);
+  EXPECT_DOUBLE_EQ(one.estimator_variance, 0.0);
+  EXPECT_TRUE(std::isfinite(one.normalized_variance));
+}
+
 TEST(IsSuperposed, SingleSourceMatchesPlainEstimator) {
   // n_sources = 1 must be the same algorithm as estimate_overflow_is.
   const core::UnifiedVbrModel model = make_model();

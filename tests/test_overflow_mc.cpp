@@ -107,6 +107,48 @@ TEST(OverflowMc, EstimatorStatisticsAreBernoulliConsistent) {
   }
 }
 
+TEST(OverflowMc, ZeroHitEstimateStaysFinite) {
+  // p_hat = 0 must not poison the derived statistics with NaN or inf
+  // (normalized variance divides by p^2).
+  std::vector<double> series{0.5};
+  TraceArrivalProcess arr(series);
+  RandomEngine rng(20);
+  const OverflowEstimate est = estimate_overflow_mc(arr, 1.0, 5.0, 50, 30, rng);
+  EXPECT_EQ(est.hits, 0u);
+  EXPECT_DOUBLE_EQ(est.probability, 0.0);
+  EXPECT_DOUBLE_EQ(est.estimator_variance, 0.0);
+  EXPECT_DOUBLE_EQ(est.normalized_variance, 0.0);
+  EXPECT_DOUBLE_EQ(est.ci95_halfwidth, 0.0);
+  EXPECT_TRUE(std::isfinite(est.probability));
+  EXPECT_TRUE(std::isfinite(est.normalized_variance));
+}
+
+TEST(OverflowMc, SingleReplicationStaysFinite) {
+  std::vector<double> certain{2.0};
+  TraceArrivalProcess arr(certain);
+  RandomEngine rng(21);
+  const OverflowEstimate est = estimate_overflow_mc(arr, 1.0, 5.0, 10, 1, rng);
+  EXPECT_EQ(est.replications, 1u);
+  EXPECT_EQ(est.hits, 1u);
+  EXPECT_DOUBLE_EQ(est.probability, 1.0);
+  // p = 1 with one replication: Bernoulli variance p(1-p)/n = 0.
+  EXPECT_DOUBLE_EQ(est.estimator_variance, 0.0);
+  EXPECT_TRUE(std::isfinite(est.normalized_variance));
+  EXPECT_TRUE(std::isfinite(est.ci95_halfwidth));
+}
+
+TEST(OverflowMc, MakeEstimateEdgeCases) {
+  const OverflowEstimate zero = make_overflow_estimate(0, 100);
+  EXPECT_DOUBLE_EQ(zero.probability, 0.0);
+  EXPECT_DOUBLE_EQ(zero.normalized_variance, 0.0);
+  const OverflowEstimate all = make_overflow_estimate(100, 100);
+  EXPECT_DOUBLE_EQ(all.probability, 1.0);
+  EXPECT_DOUBLE_EQ(all.estimator_variance, 0.0);
+  const OverflowEstimate one = make_overflow_estimate(1, 1);
+  EXPECT_DOUBLE_EQ(one.probability, 1.0);
+  EXPECT_TRUE(std::isfinite(one.ci95_halfwidth));
+}
+
 TEST(OverflowMc, Validation) {
   auto gamma = std::make_shared<GammaDistribution>(2.0, 1.0);
   IidArrivalProcess arr(gamma);
