@@ -17,7 +17,7 @@ int main() {
   using namespace ssvbr;
   bench::banner("Ablation: importance sampling vs crude Monte Carlo",
                 "IS variance reduction grows with event rarity (x10..x1000+)");
-  engine::ReplicationEngine engine;
+  engine::ReplicationEngine engine(bench::engine_config());
   std::printf("# engine_threads: %u\n", engine.threads());
 
   const core::FittedModel& fitted = bench::fitted_i_frame_model();
@@ -35,7 +35,7 @@ int main() {
   };
 
   std::printf(
-      "normalized_buffer,is_P,is_norm_var,is_var_reduction,mc_P,mc_hits,"
+      "normalized_buffer,is_P,is_norm_var,is_var_reduction,is_ess,mc_P,mc_hits,"
       "mc_reps_for_10pct_ci,is_reps_for_10pct_ci\n");
   for (const double b : {4.0, 8.0, 12.0, 16.0, 20.0}) {
     is::IsOverflowSettings settings;
@@ -61,9 +61,10 @@ int main() {
         is_est.normalized_variance > 0.0
             ? target * is_est.normalized_variance * static_cast<double>(reps)
             : 0.0;
-    std::printf("%.0f,%.4e,%.4f,%.1f,%.4e,%zu,%.0f,%.0f\n", b, is_est.probability,
+    std::printf("%.0f,%.4e,%.4f,%.1f,%.1f,%.4e,%zu,%.0f,%.0f\n", b, is_est.probability,
                 is_est.normalized_variance, is_est.variance_reduction_vs_mc,
-                mc_est.probability, mc_est.hits, mc_needed, is_needed);
+                is_est.effective_sample_size, mc_est.probability, mc_est.hits, mc_needed,
+                is_needed);
   }
   return 0;
 }

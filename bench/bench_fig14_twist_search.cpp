@@ -35,23 +35,25 @@ int main() {
   std::vector<double> twists;
   for (double m = 0.5; m <= 5.0 + 1e-9; m += 0.25) twists.push_back(m);
 
-  engine::ReplicationEngine engine;
+  engine::ReplicationEngine engine(bench::engine_config());
   std::printf("# engine_threads: %u\n", engine.threads());
   RandomEngine rng(14);
   const auto sweep =
       engine::sweep_twist_par(fitted.model, background, settings, twists, rng, engine);
 
-  std::printf("twisted_mean,normalized_variance,probability,hits,variance_reduction\n");
+  std::printf("twisted_mean,normalized_variance,probability,hits,variance_reduction,ess\n");
   for (const auto& p : sweep) {
-    std::printf("%.2f,%.6f,%.6e,%zu,%.1f\n", p.twisted_mean,
+    std::printf("%.2f,%.6f,%.6e,%zu,%.1f,%.1f\n", p.twisted_mean,
                 p.estimate.normalized_variance, p.estimate.probability, p.estimate.hits,
-                p.estimate.variance_reduction_vs_mc);
+                p.estimate.variance_reduction_vs_mc, p.estimate.effective_sample_size);
   }
   try {
     const auto& best = is::find_best_twist(sweep);
     std::printf("# best_twist,%.2f  (paper: 3.2)\n", best.twisted_mean);
     std::printf("# best_variance_reduction,%.1f  (paper: ~1000)\n",
                 best.estimate.variance_reduction_vs_mc);
+    std::printf("# best_ess,%.1f of %zu replications\n",
+                best.estimate.effective_sample_size, best.estimate.replications);
   } catch (const NumericalError&) {
     std::printf("# best_twist,none (no usable estimate at this scale)\n");
   }

@@ -11,8 +11,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
+#include "common/version.h"
 #include "core/model_builder.h"
+#include "engine/replication_engine.h"
+#include "obs/metrics.h"
 #include "trace/scene_mpeg_source.h"
 
 namespace ssvbr::bench {
@@ -50,11 +54,36 @@ inline const core::FittedModel& fitted_i_frame_model() {
   return fitted;
 }
 
-/// Print the standard exhibit banner.
+/// Print the standard exhibit banner and arm the observability exit
+/// dump (SSVBR_METRICS_JSON / SSVBR_TRACE_JSON / SSVBR_OBS_SUMMARY; all
+/// no-ops unless the library was built with -DSSVBR_OBS=ON).
 inline void banner(const char* exhibit, const char* paper_reference) {
+  obs::install_env_exit_dump();
+  const BuildInfo& build = build_info();
   std::printf("# %s\n", exhibit);
   std::printf("# paper: %s\n", paper_reference);
+  std::printf("# ssvbr_version: %s (%s, %s)\n", build.version, build.git_sha,
+              build.build_type);
   std::printf("# bench_scale: %.3g\n", bench_scale());
+  std::printf("# hardware_threads: %u\n", std::thread::hardware_concurrency());
+  std::printf("# default_shard_size: %zu\n", engine::EngineConfig{}.shard_size);
+}
+
+/// Engine configuration for bench binaries: default shards/threads,
+/// plus a stderr progress heartbeat when SSVBR_PROGRESS is set (stdout
+/// stays machine-readable CSV).
+inline engine::EngineConfig engine_config() {
+  engine::EngineConfig config;
+  if (std::getenv("SSVBR_PROGRESS") != nullptr) {
+    config.progress = [](const engine::EngineProgress& p) {
+      std::fprintf(stderr,
+                   "[ssvbr] %zu/%zu shards, %zu/%zu reps, %.0f reps/s, eta %.0fs%s\n",
+                   p.shards_done, p.shards_total, p.replications_done,
+                   p.replications_total, p.reps_per_second, p.eta_seconds,
+                   p.final_update ? " (done)" : "");
+    };
+  }
+  return config;
 }
 
 }  // namespace ssvbr::bench

@@ -10,17 +10,32 @@
 #include "engine/parallel_estimators.h"
 #include "is/is_estimator.h"
 #include "is/twist_search.h"
+#include "obs/metrics.h"
 #include "trace/scene_mpeg_source.h"
 
 int main() {
   using namespace ssvbr;
 
+  // SSVBR_METRICS_JSON / SSVBR_TRACE_JSON / SSVBR_OBS_SUMMARY dump
+  // instrumentation at exit when the library is built with
+  // -DSSVBR_OBS=ON; without it this call is a no-op.
+  obs::install_env_exit_dump();
+
   std::printf("=== Rare buffer-overflow estimation via importance sampling ===\n\n");
 
   // All replication studies below run on the deterministic parallel
   // engine: results are bit-identical to a single-threaded run, only
-  // faster when cores are available.
-  engine::ReplicationEngine engine;
+  // faster when cores are available. The progress callback heartbeats
+  // long studies to stderr without touching the estimates.
+  engine::EngineConfig engine_config;
+  engine_config.progress = [](const engine::EngineProgress& p) {
+    if (!p.final_update) {
+      std::fprintf(stderr, "  [engine] %zu/%zu replications, %.0f reps/s, eta %.0fs\n",
+                   p.replications_done, p.replications_total, p.reps_per_second,
+                   p.eta_seconds);
+    }
+  };
+  engine::ReplicationEngine engine(std::move(engine_config));
   std::printf("replication engine: %u worker thread(s), shard size %zu\n",
               engine.threads(), engine.shard_size());
 
@@ -46,13 +61,14 @@ int main() {
 
   // Stage 1: coarse scan for the variance valley (Fig. 14).
   std::printf("\nStage 1: twist scan (500 replications each)\n");
-  std::printf("  m*    P_hat        norm.var   hits\n");
+  std::printf("  m*    P_hat        norm.var   hits   ESS\n");
   RandomEngine rng(42);
   const auto sweep = engine::sweep_twist_par(fitted.model, background, settings,
                                              {1.0, 2.0, 3.0, 4.0, 5.0}, rng, engine);
   for (const auto& p : sweep) {
-    std::printf("  %.1f   %.3e   %8.4f   %zu\n", p.twisted_mean, p.estimate.probability,
-                p.estimate.normalized_variance, p.estimate.hits);
+    std::printf("  %.1f   %.3e   %8.4f   %4zu   %.1f\n", p.twisted_mean,
+                p.estimate.probability, p.estimate.normalized_variance, p.estimate.hits,
+                p.estimate.effective_sample_size);
   }
   const auto& best = is::find_best_twist(sweep);
   std::printf("  -> near-optimal twist m* = %.1f\n", best.twisted_mean);
@@ -67,6 +83,8 @@ int main() {
   std::printf("  P(overflow by k=%zu) = %.3e  (95%% CI +- %.1e)\n", stop_time,
               est.probability, est.ci95_halfwidth);
   std::printf("  variance reduction vs crude MC: %.0fx\n", est.variance_reduction_vs_mc);
+  std::printf("  effective sample size: %.1f of %zu weights\n",
+              est.effective_sample_size, est.replications);
   if (est.probability > 0.0) {
     const double mc_reps = 384.0 / est.probability;  // ~10% CI for Bernoulli
     std::printf("  crude MC would need ~%.2e replications for the same precision;\n"

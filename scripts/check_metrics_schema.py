@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Smoke-check the observability exit dumps of an instrumented binary.
+
+Runs the given binary (the ctest wiring passes the Fig. 14 twist-search
+sweep) with SSVBR_METRICS_JSON and SSVBR_TRACE_JSON pointing into a
+temp directory, then validates:
+
+  * the metrics snapshot parses as JSON and carries the expected schema:
+    schema/build keys, the engine and IS counters/gauges/histograms the
+    instrumentation layer promises, and the per-histogram bucket-sum
+    invariant count == zero + underflow + overflow + sum(buckets);
+  * the trace export parses as Chrome trace-event JSON: a traceEvents
+    list of complete ("ph" == "X") events with name/ts/dur/pid/tid.
+
+Exits non-zero with a diagnostic on the first violation. Requires a
+library built with -DSSVBR_OBS=ON (the default OFF build writes nothing,
+which this script reports as a failure).
+
+Usage: check_metrics_schema.py /path/to/bench_fig14_twist_search
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REQUIRED_COUNTERS = [
+    "engine.replications",
+    "engine.shards",
+    "is.replications",
+]
+REQUIRED_GAUGES = [
+    "engine.reps_per_sec",
+    "engine.threads",
+    "is.ess",
+]
+REQUIRED_HISTOGRAMS = [
+    "is.weight",
+    "is.sweep.ess",
+    "engine.shard.seconds",
+    "is.replication.seconds",
+]
+
+
+def fail(message):
+    print(f"check_metrics_schema: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_histogram(name, hist):
+    for key in ("count", "sum", "zero_count", "underflow", "overflow",
+                "nan_count", "buckets"):
+        if key not in hist:
+            fail(f"histogram {name!r} lacks key {key!r}")
+    bucket_total = sum(b[2] for b in hist["buckets"])
+    tally = (hist["zero_count"] + hist["underflow"] + hist["overflow"]
+             + bucket_total)
+    if hist["count"] != tally:
+        fail(f"histogram {name!r} violates the bucket-sum invariant: "
+             f"count={hist['count']} but tally={tally}")
+    for lo, hi, count in hist["buckets"]:
+        if not (lo < hi and count > 0):
+            fail(f"histogram {name!r} has a malformed bucket [{lo}, {hi}) "
+                 f"x{count}")
+
+
+def check_metrics(path):
+    with open(path, encoding="utf-8") as fh:
+        snap = json.load(fh)
+    if snap.get("schema") != 1:
+        fail(f"metrics schema key is {snap.get('schema')!r}, expected 1")
+    if snap.get("obs_enabled") is not True:
+        fail("metrics snapshot says obs_enabled is not true")
+    build = snap.get("build", {})
+    for key in ("version", "git_sha", "build_type"):
+        if not build.get(key):
+            fail(f"build info lacks {key!r}")
+    counters = snap.get("counters", {})
+    for name in REQUIRED_COUNTERS:
+        if counters.get(name, 0) <= 0:
+            fail(f"counter {name!r} missing or zero (got "
+                 f"{counters.get(name)!r})")
+    gauges = snap.get("gauges", {})
+    for name in REQUIRED_GAUGES:
+        if name not in gauges:
+            fail(f"gauge {name!r} missing")
+    histograms = snap.get("histograms", {})
+    for name in REQUIRED_HISTOGRAMS:
+        if name not in histograms:
+            fail(f"histogram {name!r} missing")
+    for name, hist in histograms.items():
+        check_histogram(name, hist)
+    if counters["engine.replications"] != counters["is.replications"]:
+        # The twist-search bench runs every replication through the
+        # engine; the two counters must agree.
+        fail("engine.replications != is.replications "
+             f"({counters['engine.replications']} vs "
+             f"{counters['is.replications']})")
+    print(f"metrics OK: {len(counters)} counters, {len(gauges)} gauges, "
+          f"{len(histograms)} histograms")
+
+
+def check_trace(path):
+    with open(path, encoding="utf-8") as fh:
+        trace = json.load(fh)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("trace export has no traceEvents")
+    for ev in events:
+        for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+            if key not in ev:
+                fail(f"trace event lacks key {key!r}: {ev}")
+        if ev["ph"] != "X":
+            fail(f"trace event phase is {ev['ph']!r}, expected 'X'")
+        if ev["dur"] < 0 or ev["ts"] < 0:
+            fail(f"trace event has negative timing: {ev}")
+    names = {ev["name"] for ev in events}
+    if "engine.run_many" not in names and "engine.run" not in names:
+        fail(f"no engine span in the trace (saw {sorted(names)})")
+    print(f"trace OK: {len(events)} events, {len(names)} distinct spans")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} /path/to/instrumented-binary")
+    binary = sys.argv[1]
+    if not os.access(binary, os.X_OK):
+        fail(f"{binary} is not executable")
+    with tempfile.TemporaryDirectory(prefix="ssvbr_obs_") as tmp:
+        metrics_path = os.path.join(tmp, "metrics.json")
+        trace_path = os.path.join(tmp, "trace.json")
+        env = dict(os.environ)
+        env["SSVBR_METRICS_JSON"] = metrics_path
+        env["SSVBR_TRACE_JSON"] = trace_path
+        # Deliberately run at the bench's default scale: shrunken traces
+        # can fail the ACF knee fit, and a sweep with zero overflow hits
+        # never records the is.weight histogram this script checks for.
+        result = subprocess.run([binary], env=env, stdout=subprocess.DEVNULL,
+                                timeout=540)
+        if result.returncode != 0:
+            fail(f"{binary} exited with {result.returncode}")
+        if not os.path.exists(metrics_path):
+            fail("no metrics snapshot was written — is the library built "
+                 "with -DSSVBR_OBS=ON?")
+        if not os.path.exists(trace_path):
+            fail("no trace export was written")
+        check_metrics(metrics_path)
+        check_trace(trace_path)
+    print("check_metrics_schema: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+#include "common/version.h"
+
+#include "common/build_info.h"  // generated into the build tree
+
+namespace ssvbr {
+
+const BuildInfo& build_info() noexcept {
+  static constexpr BuildInfo info{kVersionString, SSVBR_BUILD_GIT_SHA,
+                                  SSVBR_BUILD_TYPE};
+  return info;
+}
+
+}  // namespace ssvbr

@@ -1,6 +1,9 @@
 // ssvbr/common/version.h
 //
-// Library version constants.
+// Library version constants and build metadata. The git SHA and build
+// type are captured by CMake at configure time (see
+// src/common/build_info.h.in); a tree configured without git reports
+// "unknown".
 #pragma once
 
 namespace ssvbr {
@@ -9,5 +12,16 @@ inline constexpr int kVersionMajor = 1;
 inline constexpr int kVersionMinor = 0;
 inline constexpr int kVersionPatch = 0;
 inline constexpr const char* kVersionString = "1.0.0";
+
+/// Build provenance, embedded into metrics snapshots and bench banners
+/// so every CSV / JSON exhibit is traceable to the code that made it.
+struct BuildInfo {
+  const char* version;     ///< kVersionString
+  const char* git_sha;     ///< short SHA at configure time, or "unknown"
+  const char* build_type;  ///< CMAKE_BUILD_TYPE, e.g. "Release"
+};
+
+/// The build this library was compiled from.
+const BuildInfo& build_info() noexcept;
 
 }  // namespace ssvbr

@@ -8,6 +8,7 @@
 #include "dist/special_functions.h"
 #include "fractal/davies_harte.h"
 #include "fractal/hosking.h"
+#include "obs/instrument.h"
 #include "stats/descriptive.h"
 
 namespace ssvbr::core {
@@ -27,6 +28,8 @@ double MarginalTransform::operator()(double x) const {
 
 void MarginalTransform::apply(std::span<const double> xs, std::span<double> out) const {
   SSVBR_REQUIRE(out.size() >= xs.size(), "output span too short");
+  SSVBR_TIMER("core.transform.apply");
+  SSVBR_COUNTER_ADD("core.transform.points", xs.size());
   for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (*this)(xs[i]);
 }
 

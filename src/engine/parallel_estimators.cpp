@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "obs/instrument.h"
 #include "queueing/lindley.h"
 
 namespace ssvbr::engine {
@@ -111,6 +112,9 @@ std::vector<is::TwistSweepPoint> sweep_twist_par(const core::UnifiedVbrModel& mo
     point.estimate = is::make_is_overflow_estimate(
         per_point[j].mean(), per_point[j].sample_variance(), per_point[j].hits(),
         per_point[j].count());
+    // Same per-point diagnostics as the serial sweep_twist().
+    SSVBR_HIST_RECORD("is.sweep.ess", point.estimate.effective_sample_size);
+    SSVBR_COUNTER_ADD("is.sweep.points", 1);
     out.push_back(point);
   }
   return out;

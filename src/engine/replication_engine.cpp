@@ -3,8 +3,73 @@
 namespace ssvbr::engine {
 
 ReplicationEngine::ReplicationEngine(EngineConfig config)
-    : shard_size_(config.shard_size), pool_(config.threads) {
+    : shard_size_(config.shard_size),
+      progress_(std::move(config.progress)),
+      progress_interval_seconds_(config.progress_interval_seconds),
+      pool_(config.threads) {
   SSVBR_REQUIRE(config.shard_size >= 1, "shard size must be at least 1");
+  SSVBR_REQUIRE(config.progress_interval_seconds >= 0.0,
+                "progress interval must be non-negative");
+}
+
+ProgressReporter::ProgressReporter(const ProgressFn* fn, double interval_seconds,
+                                   std::size_t shards_total,
+                                   std::size_t replications_total) noexcept
+    : fn_(fn != nullptr && *fn ? fn : nullptr),
+      interval_seconds_(interval_seconds),
+      shards_total_(shards_total),
+      replications_total_(replications_total),
+      start_(std::chrono::steady_clock::now()) {}
+
+double ProgressReporter::elapsed_seconds() const noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+EngineProgress ProgressReporter::make_progress(std::size_t shards, std::size_t reps,
+                                               double elapsed) const noexcept {
+  EngineProgress p;
+  p.shards_done = shards;
+  p.shards_total = shards_total_;
+  p.replications_done = reps;
+  p.replications_total = replications_total_;
+  p.elapsed_seconds = elapsed;
+  if (elapsed > 0.0 && reps > 0) {
+    p.reps_per_second = static_cast<double>(reps) / elapsed;
+    p.eta_seconds =
+        static_cast<double>(replications_total_ - reps) / p.reps_per_second;
+  }
+  return p;
+}
+
+void ProgressReporter::shard_done(std::size_t replications) noexcept {
+  const std::size_t reps =
+      replications_done_.fetch_add(replications, std::memory_order_relaxed) +
+      replications;
+  const std::size_t shards = shards_done_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (fn_ == nullptr) return;
+  const double elapsed = elapsed_seconds();
+  const auto now_ns = static_cast<std::int64_t>(elapsed * 1e9);
+  std::int64_t last = last_beat_ns_.load(std::memory_order_relaxed);
+  if (static_cast<double>(now_ns - last) < interval_seconds_ * 1e9) return;
+  // One winner per interval; losers skip (another worker just reported).
+  if (!last_beat_ns_.compare_exchange_strong(last, now_ns, std::memory_order_relaxed)) {
+    return;
+  }
+  (*fn_)(make_progress(shards, reps, elapsed));
+}
+
+void ProgressReporter::finish() noexcept {
+  const double elapsed = elapsed_seconds();
+  const std::size_t reps = replications_done_.load(std::memory_order_relaxed);
+  if (elapsed > 0.0 && reps > 0) {
+    SSVBR_GAUGE_SET("engine.reps_per_sec", static_cast<double>(reps) / elapsed);
+  }
+  if (fn_ == nullptr) return;
+  EngineProgress p = make_progress(shards_done_.load(std::memory_order_relaxed), reps,
+                                   elapsed);
+  p.final_update = true;
+  (*fn_)(p);
 }
 
 }  // namespace ssvbr::engine

@@ -23,11 +23,20 @@
 // most T*N jumps in total (a jump is 256 raw xoshiro steps, ~100ns);
 // replication bodies in this repository cost 10^4-10^7 raw steps, so
 // the overhead is noise.
+//
+// Observability: when the library is built with -DSSVBR_OBS=ON the
+// engine records shard/replication counters, per-stage timers
+// ("engine.run" / "engine.shard" / "engine.merge"), and an
+// "engine.reps_per_sec" gauge; an optional EngineConfig::progress
+// callback delivers rate-limited heartbeats (shards done, reps/sec,
+// ETA) while a study runs. Neither affects the simulated numbers.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -35,8 +44,26 @@
 #include "dist/random.h"
 #include "engine/accumulator.h"
 #include "engine/thread_pool.h"
+#include "obs/instrument.h"
 
 namespace ssvbr::engine {
+
+/// One heartbeat of a running study.
+struct EngineProgress {
+  std::size_t shards_done = 0;
+  std::size_t shards_total = 0;
+  std::size_t replications_done = 0;
+  std::size_t replications_total = 0;
+  double elapsed_seconds = 0.0;
+  double reps_per_second = 0.0;  ///< 0 until measurable
+  double eta_seconds = 0.0;      ///< 0 when the rate is unknown
+  bool final_update = false;     ///< true for the completion call
+};
+
+/// Heartbeat callback. Interim updates arrive on worker threads
+/// (rate-limited; at most one at a time); the completion update arrives
+/// on the calling thread. Must be safe to invoke from another thread.
+using ProgressFn = std::function<void(const EngineProgress&)>;
 
 /// Tuning knobs for a ReplicationEngine.
 struct EngineConfig {
@@ -47,6 +74,42 @@ struct EngineConfig {
   /// load-balance granularity; the default suits studies of 10^3-10^6
   /// replications. Must be >= 1.
   std::size_t shard_size = 256;
+  /// Optional progress heartbeat; disabled when empty. Never changes
+  /// the study's results.
+  ProgressFn progress;
+  /// Minimum seconds between interim heartbeats. Must be >= 0; 0 means
+  /// report after every shard.
+  double progress_interval_seconds = 1.0;
+};
+
+/// Rate-limited heartbeat dispatcher shared by run() and run_many().
+/// One instance per study; shard_done() is called by workers,
+/// finish() once by the calling thread.
+class ProgressReporter {
+ public:
+  ProgressReporter(const ProgressFn* fn, double interval_seconds,
+                   std::size_t shards_total, std::size_t replications_total) noexcept;
+
+  /// Record one completed shard of `replications` replications and emit
+  /// a heartbeat if the interval elapsed.
+  void shard_done(std::size_t replications) noexcept;
+
+  /// Emit the final (100%) heartbeat and publish the throughput gauge.
+  void finish() noexcept;
+
+ private:
+  double elapsed_seconds() const noexcept;
+  EngineProgress make_progress(std::size_t shards, std::size_t reps,
+                               double elapsed) const noexcept;
+
+  const ProgressFn* fn_;  // nullptr or empty => heartbeats disabled
+  double interval_seconds_;
+  std::size_t shards_total_;
+  std::size_t replications_total_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::size_t> shards_done_{0};
+  std::atomic<std::size_t> replications_done_{0};
+  std::atomic<std::int64_t> last_beat_ns_{0};
 };
 
 /// Shard-based deterministic replication runner. One instance owns one
@@ -78,11 +141,16 @@ class ReplicationEngine {
   Acc run(std::size_t replications, RandomEngine& rng, MakeWorker&& make_worker) {
     Acc total{};
     if (replications == 0) return total;
+    SSVBR_SPAN("engine.run");
+    SSVBR_GAUGE_SET("engine.threads", static_cast<double>(pool_.size()));
+    SSVBR_GAUGE_SET("engine.shard_size", static_cast<double>(shard_size_));
     const std::size_t n_shards = (replications + shard_size_ - 1) / shard_size_;
     std::vector<Acc> shard_result(n_shards);
     const RandomEngine base = rng;
     RandomEngine end_state = rng;  // overwritten by the final shard's worker
     std::atomic<std::size_t> next_shard{0};
+    ProgressReporter reporter(&progress_, progress_interval_seconds_, n_shards,
+                              replications);
 
     pool_.parallel([&](unsigned) {
       auto worker = make_worker();
@@ -91,6 +159,7 @@ class ReplicationEngine {
       for (;;) {
         const std::size_t s = next_shard.fetch_add(1, std::memory_order_relaxed);
         if (s >= n_shards) break;
+        SSVBR_TIMER("engine.shard");
         const std::size_t lo = s * shard_size_;
         const std::size_t hi = std::min(lo + shard_size_, replications);
         while (position < lo) {
@@ -110,11 +179,18 @@ class ReplicationEngine {
         // engine must continue from. pool_.parallel() joining the
         // workers orders this write before the read below.
         if (hi == replications) end_state = stream;
+        SSVBR_COUNTER_ADD("engine.shards", 1);
+        SSVBR_COUNTER_ADD("engine.replications", hi - lo);
+        reporter.shard_done(hi - lo);
       }
     });
 
-    total = std::move(shard_result[0]);
-    for (std::size_t s = 1; s < n_shards; ++s) total.merge(shard_result[s]);
+    {
+      SSVBR_TIMER("engine.merge");
+      total = std::move(shard_result[0]);
+      for (std::size_t s = 1; s < n_shards; ++s) total.merge(shard_result[s]);
+    }
+    reporter.finish();
     rng = end_state;
     return total;
   }
@@ -143,11 +219,16 @@ class ReplicationEngine {
       for (std::size_t t = 0; t < tasks; ++t) rng.jump_long();
       return totals;
     }
+    SSVBR_SPAN("engine.run_many");
+    SSVBR_GAUGE_SET("engine.threads", static_cast<double>(pool_.size()));
+    SSVBR_GAUGE_SET("engine.shard_size", static_cast<double>(shard_size_));
     const std::size_t shards_per_task = (replications + shard_size_ - 1) / shard_size_;
     const std::size_t n_shards = tasks * shards_per_task;
     std::vector<Acc> shard_result(n_shards);
     const RandomEngine base = rng;
     std::atomic<std::size_t> next_shard{0};
+    ProgressReporter reporter(&progress_, progress_interval_seconds_, n_shards,
+                              tasks * replications);
 
     pool_.parallel([&](unsigned) {
       auto worker = make_worker();
@@ -159,6 +240,7 @@ class ReplicationEngine {
       for (;;) {
         const std::size_t g = next_shard.fetch_add(1, std::memory_order_relaxed);
         if (g >= n_shards) break;
+        SSVBR_TIMER("engine.shard");
         const std::size_t t = g / shards_per_task;
         const std::size_t s = g % shards_per_task;
         const std::size_t lo = s * shard_size_;
@@ -186,21 +268,30 @@ class ReplicationEngine {
           ++position;
         }
         shard_result[g] = std::move(acc);
+        SSVBR_COUNTER_ADD("engine.shards", 1);
+        SSVBR_COUNTER_ADD("engine.replications", hi - lo);
+        reporter.shard_done(hi - lo);
       }
     });
 
-    for (std::size_t t = 0; t < tasks; ++t) {
-      totals[t] = std::move(shard_result[t * shards_per_task]);
-      for (std::size_t s = 1; s < shards_per_task; ++s) {
-        totals[t].merge(shard_result[t * shards_per_task + s]);
+    {
+      SSVBR_TIMER("engine.merge");
+      for (std::size_t t = 0; t < tasks; ++t) {
+        totals[t] = std::move(shard_result[t * shards_per_task]);
+        for (std::size_t s = 1; s < shards_per_task; ++s) {
+          totals[t].merge(shard_result[t * shards_per_task + s]);
+        }
+        rng.jump_long();
       }
-      rng.jump_long();
     }
+    reporter.finish();
     return totals;
   }
 
  private:
   std::size_t shard_size_;
+  ProgressFn progress_;
+  double progress_interval_seconds_;
   ThreadPool pool_;
 };
 

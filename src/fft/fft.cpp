@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/math_util.h"
+#include "obs/instrument.h"
 
 namespace ssvbr::fft {
 
@@ -26,6 +27,8 @@ void bit_reverse_permute(std::span<Complex> data) {
 void fft_pow2(std::span<Complex> data, int sign) {
   const std::size_t n = data.size();
   SSVBR_REQUIRE(is_power_of_two(n), "FFT length must be a power of two");
+  SSVBR_COUNTER_ADD("fft.transforms", 1);
+  SSVBR_COUNTER_ADD("fft.points", n);
   bit_reverse_permute(data);
   for (std::size_t len = 2; len <= n; len <<= 1) {
     const double angle = static_cast<double>(sign) * kTwoPi / static_cast<double>(len);

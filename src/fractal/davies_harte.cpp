@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "common/math_util.h"
 #include "fft/fft.h"
+#include "obs/instrument.h"
 
 namespace ssvbr::fractal {
 
@@ -12,6 +13,7 @@ DaviesHarteModel::DaviesHarteModel(const AutocorrelationModel& model, std::size_
                                    double tolerance)
     : n_(n) {
   SSVBR_REQUIRE(n >= 2, "path length must be at least 2");
+  SSVBR_SPAN("fractal.davies_harte.setup");
   // Embed r(0..half) into a circulant of power-of-two size m = 2*half so
   // the radix-2 kernel applies directly: c_j = r(j) for j <= half,
   // c_j = r(m - j) for j > half. half >= n guarantees the first n
@@ -47,6 +49,9 @@ DaviesHarteModel::DaviesHarteModel(const AutocorrelationModel& model, std::size_
 
 void DaviesHarteModel::sample_path(RandomEngine& rng, std::span<double> out) const {
   SSVBR_REQUIRE(out.size() >= n_, "output span shorter than path length");
+  SSVBR_TIMER("fractal.davies_harte.sample_path");
+  SSVBR_COUNTER_ADD("fractal.davies_harte.paths", 1);
+  SSVBR_COUNTER_ADD("fractal.davies_harte.points", n_);
   // Hermitian-symmetric spectral synthesis: Z_0 and Z_{m/2} are real;
   // interior bins get independent complex Gaussians with half variance.
   std::vector<fft::Complex> z(m_);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "obs/instrument.h"
 
 namespace ssvbr::fractal {
 
@@ -15,6 +16,10 @@ constexpr std::size_t row_offset(std::size_t k) noexcept { return k * (k - 1) / 
 HoskingModel::HoskingModel(const AutocorrelationModel& model, std::size_t horizon)
     : horizon_(horizon) {
   SSVBR_REQUIRE(horizon >= 1, "horizon must be at least 1");
+  // The O(horizon^2) coefficient table is the expensive, build-once part
+  // of every Hosking study; surface it as a span so slow setup is
+  // distinguishable from slow sampling.
+  SSVBR_SPAN("fractal.hosking.durbin_levinson");
   r_ = model.tabulate(horizon);  // r(0..horizon); one extra lag is harmless
   v_.resize(horizon);
   row_sum_.resize(horizon);
@@ -83,6 +88,8 @@ double HoskingModel::conditional_mean(std::size_t k,
 void HoskingModel::sample_path(RandomEngine& rng, std::span<double> out) const {
   const std::size_t n = out.size() < horizon_ ? out.size() : horizon_;
   if (n == 0) return;
+  SSVBR_TIMER("fractal.hosking.sample_path");
+  SSVBR_COUNTER_ADD("fractal.hosking.steps", n);
   out[0] = rng.normal(0.0, 1.0);
   for (std::size_t k = 1; k < n; ++k) {
     const std::span<const double> row = phi_row(k);
@@ -100,6 +107,7 @@ HoskingSampler::HoskingSampler(const HoskingModel& model, double mean_shift)
 HoskingStep HoskingSampler::next(RandomEngine& rng) {
   const std::size_t k = history_.size();
   SSVBR_REQUIRE(k < model_->horizon(), "sampler exhausted its horizon");
+  SSVBR_COUNTER_ADD("fractal.hosking.steps", 1);
   HoskingStep step;
   step.variance = model_->innovation_variance(k);
   if (k == 0) {
@@ -119,6 +127,8 @@ HoskingStep HoskingSampler::next(RandomEngine& rng) {
 std::vector<double> hosking_sample_streaming(const AutocorrelationModel& model,
                                              std::size_t n, RandomEngine& rng) {
   SSVBR_REQUIRE(n >= 1, "path length must be at least 1");
+  SSVBR_TIMER("fractal.hosking.sample_streaming");
+  SSVBR_COUNTER_ADD("fractal.hosking.steps", n);
   const std::vector<double> r = model.tabulate(n);
   std::vector<double> x(n);
   x[0] = rng.normal(0.0, 1.0);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "obs/instrument.h"
 #include "stats/descriptive.h"
 
 namespace ssvbr::is {
@@ -40,6 +41,14 @@ IsOverflowEstimate make_is_overflow_estimate(double mean_score, double sample_va
     const double mc_var = est.probability * (1.0 - est.probability) / n;
     est.variance_reduction_vs_mc = mc_var / est.estimator_variance;
   }
+  // Kish ESS from the score moments: sum w = n * mean and
+  // sum w^2 = (n-1) * s^2 + n * mean^2 (exact for n = 1, where s^2 = 0).
+  const double sum_w = mean_score * n;
+  const double sum_w2 = sample_variance * (n - 1.0) + mean_score * mean_score * n;
+  est.effective_sample_size = sum_w2 > 0.0 ? sum_w * sum_w / sum_w2 : 0.0;
+  SSVBR_GAUGE_SET("is.ess", est.effective_sample_size);
+  SSVBR_GAUGE_SET("is.hit_fraction",
+                  n > 0.0 ? static_cast<double>(hits) / n : 0.0);
   return est;
 }
 
@@ -58,6 +67,7 @@ IsReplicationKernel::IsReplicationKernel(const core::UnifiedVbrModel& model,
 }
 
 IsReplicationKernel::Outcome IsReplicationKernel::run_one(RandomEngine& rng) {
+  SSVBR_TIMER("is.replication");
   const double m_star = settings_.twisted_mean;
   for (auto& s : samplers_) s.reset();
   queue_.reset(settings_.initial_occupancy);
@@ -90,7 +100,17 @@ IsReplicationKernel::Outcome IsReplicationKernel::run_one(RandomEngine& rng) {
   if (settings_.event == queueing::OverflowEvent::kTerminal) {
     hit = queue_.size() > settings_.buffer;
   }
-  return Outcome{hit ? lr_.likelihood() : 0.0, hit};
+  const double score = hit ? lr_.likelihood() : 0.0;
+  SSVBR_COUNTER_ADD("is.replications", 1);
+  if (hit) {
+    SSVBR_COUNTER_ADD("is.hits", 1);
+    SSVBR_HIST_RECORD("is.weight", score);
+  } else {
+    // Zero-score replications: the twisted path never produced the rare
+    // event, so the replication contributed nothing to the estimate.
+    SSVBR_COUNTER_ADD("is.zero_weight", 1);
+  }
+  return Outcome{score, hit};
 }
 
 IsOverflowEstimate estimate_overflow_is_superposed(const core::UnifiedVbrModel& model,

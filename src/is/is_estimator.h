@@ -41,6 +41,13 @@ struct IsOverflowEstimate {
   /// Variance-reduction factor against crude Monte Carlo with the same
   /// replication count: [p(1-p)/N] / estimator_variance.
   double variance_reduction_vs_mc = 1.0;
+  /// Kish effective sample size of the likelihood-ratio weights,
+  /// (sum w)^2 / sum w^2 over all N replications (non-hits score 0).
+  /// The standard IS health check: near N the twist is wasting no work;
+  /// near 1 a single weight dominates the estimate and the variance
+  /// numbers cannot be trusted (the Fig. 14 valley walls show exactly
+  /// this degeneracy). 0 when no replication scored.
+  double effective_sample_size = 0.0;
 };
 
 /// Parameters of one IS experiment.

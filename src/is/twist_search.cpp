@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/instrument.h"
 
 namespace ssvbr::is {
 
@@ -12,6 +13,7 @@ std::vector<TwistSweepPoint> sweep_twist(const core::UnifiedVbrModel& model,
                                          const std::vector<double>& twists,
                                          RandomEngine& rng) {
   SSVBR_REQUIRE(!twists.empty(), "twist grid must be non-empty");
+  SSVBR_SPAN("is.twist_sweep");
   std::vector<TwistSweepPoint> out;
   out.reserve(twists.size());
   for (const double m_star : twists) {
@@ -25,6 +27,10 @@ std::vector<TwistSweepPoint> sweep_twist(const core::UnifiedVbrModel& model,
     TwistSweepPoint point;
     point.twisted_mean = m_star;
     point.estimate = estimate_overflow_is(model, background, settings, sub);
+    // Per-point ESS distribution: the Fig. 14 valley bottom is exactly
+    // the twist whose weights stay non-degenerate.
+    SSVBR_HIST_RECORD("is.sweep.ess", point.estimate.effective_sample_size);
+    SSVBR_COUNTER_ADD("is.sweep.points", 1);
     out.push_back(point);
   }
   return out;

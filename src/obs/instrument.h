@@ -1,0 +1,72 @@
+// ssvbr/obs/instrument.h
+//
+// Hot-path instrumentation macros. Each macro caches its registry
+// handle in a function-local static (one registration per call site,
+// then a few ns per record); name arguments must be string literals.
+// When the library is configured without -DSSVBR_OBS=ON every macro
+// expands to nothing — arguments are NOT evaluated — so default builds
+// carry zero recording cost and bit-identical outputs.
+//
+//   SSVBR_COUNTER_ADD("engine.replications", n);   // monotonic counter
+//   SSVBR_GAUGE_SET("engine.reps_per_sec", v);     // last-write-wins
+//   SSVBR_HIST_RECORD("is.weight", w);             // log-bucket histogram
+//   SSVBR_SPAN("engine.run");                      // RAII: trace ring event
+//                                                  //  + "<name>.seconds" histogram
+//   SSVBR_TIMER("is.replication");                 // RAII: histogram only
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#if SSVBR_OBS_ENABLED
+
+#define SSVBR_OBS_CONCAT_INNER(a, b) a##b
+#define SSVBR_OBS_CONCAT(a, b) SSVBR_OBS_CONCAT_INNER(a, b)
+
+#define SSVBR_COUNTER_ADD(name, n)                                         \
+  do {                                                                     \
+    static const ::ssvbr::obs::Counter ssvbr_obs_counter_ =                \
+        ::ssvbr::obs::MetricsRegistry::instance().counter(name);           \
+    ssvbr_obs_counter_.add(n);                                             \
+  } while (false)
+
+#define SSVBR_GAUGE_SET(name, v)                                           \
+  do {                                                                     \
+    static const ::ssvbr::obs::Gauge ssvbr_obs_gauge_ =                    \
+        ::ssvbr::obs::MetricsRegistry::instance().gauge(name);             \
+    ssvbr_obs_gauge_.set(v);                                               \
+  } while (false)
+
+#define SSVBR_HIST_RECORD(name, v)                                         \
+  do {                                                                     \
+    static const ::ssvbr::obs::Histogram ssvbr_obs_hist_ =                 \
+        ::ssvbr::obs::MetricsRegistry::instance().histogram(name);         \
+    ssvbr_obs_hist_.record(v);                                             \
+  } while (false)
+
+// Declares a scoped RAII object: the span covers the rest of the
+// enclosing block. One span per block (the variable name is fixed per
+// line).
+#define SSVBR_SPAN(name)                                                   \
+  static const ::ssvbr::obs::Histogram SSVBR_OBS_CONCAT(                   \
+      ssvbr_obs_span_hist_, __LINE__) =                                    \
+      ::ssvbr::obs::MetricsRegistry::instance().histogram(name ".seconds"); \
+  const ::ssvbr::obs::ScopedSpan SSVBR_OBS_CONCAT(ssvbr_obs_span_, __LINE__)( \
+      name, SSVBR_OBS_CONCAT(ssvbr_obs_span_hist_, __LINE__))
+
+#define SSVBR_TIMER(name)                                                  \
+  static const ::ssvbr::obs::Histogram SSVBR_OBS_CONCAT(                   \
+      ssvbr_obs_timer_hist_, __LINE__) =                                   \
+      ::ssvbr::obs::MetricsRegistry::instance().histogram(name ".seconds"); \
+  const ::ssvbr::obs::ScopedTimer SSVBR_OBS_CONCAT(ssvbr_obs_timer_, __LINE__)( \
+      SSVBR_OBS_CONCAT(ssvbr_obs_timer_hist_, __LINE__))
+
+#else  // !SSVBR_OBS_ENABLED
+
+#define SSVBR_COUNTER_ADD(name, n) ((void)0)
+#define SSVBR_GAUGE_SET(name, v) ((void)0)
+#define SSVBR_HIST_RECORD(name, v) ((void)0)
+#define SSVBR_SPAN(name) ((void)0)
+#define SSVBR_TIMER(name) ((void)0)
+
+#endif  // SSVBR_OBS_ENABLED

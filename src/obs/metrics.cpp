@@ -1,0 +1,486 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/version.h"
+
+#if SSVBR_OBS_ENABLED
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/error.h"
+#include "obs/trace.h"
+#endif
+
+namespace ssvbr::obs {
+
+// ---------------------------------------------------------------------------
+// Snapshot value types and renderers (available in both build modes).
+// ---------------------------------------------------------------------------
+
+double SnapshotHistogram::mean() const noexcept {
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+double SnapshotHistogram::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  if (rank <= zero_count) return min < 0.0 ? min : 0.0;
+  rank -= zero_count;
+  if (rank <= underflow) return std::ldexp(1.0, kHistMinExp);
+  rank -= underflow;
+  for (const Bucket& b : buckets) {
+    if (rank <= b.count) return std::sqrt(b.lo * b.hi);  // geometric midpoint
+    rank -= b.count;
+  }
+  return std::isfinite(max) && max > 0.0 ? max : std::ldexp(1.0, kHistMaxExp);
+}
+
+const std::uint64_t* MetricsSnapshot::counter(std::string_view name) const noexcept {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+const double* MetricsSnapshot::gauge(std::string_view name) const noexcept {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+const SnapshotHistogram* MetricsSnapshot::histogram(std::string_view name) const noexcept {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// JSON has no inf/nan literals; non-finite values render as null.
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_number(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snap) {
+  const BuildInfo& build = build_info();
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"schema\": 1,\n  \"obs_enabled\": ";
+  out += SSVBR_OBS_ENABLED ? "true" : "false";
+  out += ",\n  \"build\": {\"version\": \"";
+  append_escaped(out, build.version);
+  out += "\", \"git_sha\": \"";
+  append_escaped(out, build.git_sha);
+  out += "\", \"build_type\": \"";
+  append_escaped(out, build.build_type);
+  out += "\"},\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    append_escaped(out, snap.counters[i].first);
+    out += "\": ";
+    append_number(out, snap.counters[i].second);
+  }
+  out += snap.counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    append_escaped(out, snap.gauges[i].first);
+    out += "\": ";
+    append_number(out, snap.gauges[i].second);
+  }
+  out += snap.gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const SnapshotHistogram& h = snap.histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    append_escaped(out, h.name);
+    out += "\": {\"count\": ";
+    append_number(out, h.count);
+    out += ", \"sum\": ";
+    append_number(out, h.sum);
+    out += ", \"min\": ";
+    append_number(out, h.min);
+    out += ", \"max\": ";
+    append_number(out, h.max);
+    out += ", \"mean\": ";
+    append_number(out, h.mean());
+    out += ", \"p50\": ";
+    append_number(out, h.quantile(0.50));
+    out += ", \"p90\": ";
+    append_number(out, h.quantile(0.90));
+    out += ", \"p99\": ";
+    append_number(out, h.quantile(0.99));
+    out += ", \"zero_count\": ";
+    append_number(out, h.zero_count);
+    out += ", \"underflow\": ";
+    append_number(out, h.underflow);
+    out += ", \"overflow\": ";
+    append_number(out, h.overflow);
+    out += ", \"nan_count\": ";
+    append_number(out, h.nan_count);
+    out += ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += "[";
+      append_number(out, h.buckets[b].lo);
+      out += ", ";
+      append_number(out, h.buckets[b].hi);
+      out += ", ";
+      append_number(out, h.buckets[b].count);
+      out += "]";
+    }
+    out += "]}";
+  }
+  out += snap.histograms.empty() ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::string to_text(const MetricsSnapshot& snap) {
+  std::string out;
+  char buf[256];
+  if (!snap.counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, v] : snap.counters) {
+      std::snprintf(buf, sizeof buf, "  %-44s %20llu\n", name.c_str(),
+                    static_cast<unsigned long long>(v));
+      out += buf;
+    }
+  }
+  if (!snap.gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& [name, v] : snap.gauges) {
+      std::snprintf(buf, sizeof buf, "  %-44s %20.6g\n", name.c_str(), v);
+      out += buf;
+    }
+  }
+  if (!snap.histograms.empty()) {
+    out += "histograms:                                         "
+           "count          sum         mean          p50          p99\n";
+    for (const auto& h : snap.histograms) {
+      std::snprintf(buf, sizeof buf, "  %-44s %10llu %12.5g %12.5g %12.5g %12.5g\n",
+                    h.name.c_str(), static_cast<unsigned long long>(h.count), h.sum,
+                    h.mean(), h.quantile(0.50), h.quantile(0.99));
+      out += buf;
+    }
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Registry implementation (instrumented builds only).
+// ---------------------------------------------------------------------------
+#if SSVBR_OBS_ENABLED
+
+struct MetricsRegistry::Shard {
+  struct Hist {
+    // No stored total: snapshot() derives count as zero + under + over +
+    // sum(buckets), so the bucket-sum invariant holds on any concurrent
+    // interleaving (a separate total could be observed one ahead of its
+    // bucket mid-record).
+    std::array<std::atomic<std::uint64_t>, kHistBuckets> buckets{};
+    std::atomic<std::uint64_t> zero{0};
+    std::atomic<std::uint64_t> under{0};
+    std::atomic<std::uint64_t> over{0};
+    std::atomic<std::uint64_t> nan{0};
+    // sum/min/max use owner-only load+store (each shard has exactly one
+    // writer thread, so the read-modify-write cannot lose updates).
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+  };
+
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  std::array<Hist, kMaxHistograms> hists{};
+};
+
+struct MetricsRegistry::Impl {
+  std::uint64_t gen = 0;  // process-unique; keys the thread-local cache
+  mutable std::mutex mu;
+  std::map<std::string, std::uint32_t, std::less<>> counter_ids;
+  std::map<std::string, std::uint32_t, std::less<>> gauge_ids;
+  std::map<std::string, std::uint32_t, std::less<>> hist_ids;
+  std::array<std::atomic<double>, kMaxGauges> gauges{};
+  // One shard per recording thread (a thread that alternates between
+  // registries re-registers and may own several; snapshot merges all).
+  mutable std::vector<std::unique_ptr<Shard>> shards;
+};
+
+namespace {
+
+struct TlsShardCache {
+  std::uint64_t gen = 0;
+  void* shard = nullptr;  // MetricsRegistry::Shard* (private nested type)
+};
+thread_local TlsShardCache tls_shard_cache;
+std::atomic<std::uint64_t> next_registry_gen{1};
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {
+  impl_->gen = next_registry_gen.fetch_add(1, kRelaxed);
+}
+
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Leaked on purpose: worker threads and atexit dumps must never
+  // observe a destroyed registry.
+  static MetricsRegistry* reg = new MetricsRegistry();
+  return *reg;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() const {
+  if (tls_shard_cache.gen == impl_->gen) {
+    return *static_cast<Shard*>(tls_shard_cache.shard);
+  }
+  std::lock_guard lock(impl_->mu);
+  impl_->shards.push_back(std::make_unique<Shard>());
+  Shard* shard = impl_->shards.back().get();
+  tls_shard_cache = {impl_->gen, shard};
+  return *shard;
+}
+
+namespace {
+
+std::uint32_t register_name(std::map<std::string, std::uint32_t, std::less<>>& ids,
+                            std::string_view name, std::size_t capacity,
+                            const char* kind) {
+  if (const auto it = ids.find(name); it != ids.end()) return it->second;
+  SSVBR_REQUIRE(ids.size() < capacity,
+                std::string("metrics registry is out of ") + kind + " slots");
+  const auto id = static_cast<std::uint32_t>(ids.size());
+  ids.emplace(std::string(name), id);
+  return id;
+}
+
+}  // namespace
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(impl_->mu);
+  return Counter(this, register_name(impl_->counter_ids, name, kMaxCounters, "counter"));
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(impl_->mu);
+  return Gauge(this, register_name(impl_->gauge_ids, name, kMaxGauges, "gauge"));
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard lock(impl_->mu);
+  return Histogram(this, register_name(impl_->hist_ids, name, kMaxHistograms, "histogram"));
+}
+
+void Counter::add(std::uint64_t n) const noexcept {
+  if (reg_ == nullptr) return;
+  reg_->local_shard().counters[id_].fetch_add(n, kRelaxed);
+}
+
+void Gauge::set(double v) const noexcept {
+  if (reg_ == nullptr) return;
+  reg_->impl_->gauges[id_].store(v, kRelaxed);
+}
+
+void Gauge::add(double delta) const noexcept {
+  if (reg_ == nullptr) return;
+  auto& g = reg_->impl_->gauges[id_];
+  g.store(g.load(kRelaxed) + delta, kRelaxed);
+}
+
+void Histogram::record(double v) const noexcept {
+  if (reg_ == nullptr) return;
+  auto& h = reg_->local_shard().hists[id_];
+  if (std::isnan(v)) {
+    h.nan.fetch_add(1, kRelaxed);
+    return;
+  }
+  if (v < h.min.load(kRelaxed)) h.min.store(v, kRelaxed);
+  if (v > h.max.load(kRelaxed)) h.max.store(v, kRelaxed);
+  if (std::isfinite(v)) h.sum.store(h.sum.load(kRelaxed) + v, kRelaxed);
+  if (v <= 0.0) {
+    h.zero.fetch_add(1, kRelaxed);
+    return;
+  }
+  if (std::isinf(v)) {
+    h.over.fetch_add(1, kRelaxed);
+    return;
+  }
+  const int e = std::ilogb(v);  // exact floor(log2 v), denormals included
+  if (e < kHistMinExp) {
+    h.under.fetch_add(1, kRelaxed);
+  } else if (e >= kHistMaxExp) {
+    h.over.fetch_add(1, kRelaxed);
+  } else {
+    h.buckets[static_cast<std::size_t>(e - kHistMinExp)].fetch_add(1, kRelaxed);
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(impl_->mu);
+
+  snap.counters.reserve(impl_->counter_ids.size());
+  for (const auto& [name, id] : impl_->counter_ids) {
+    std::uint64_t total = 0;
+    for (const auto& shard : impl_->shards) total += shard->counters[id].load(kRelaxed);
+    snap.counters.emplace_back(name, total);
+  }
+
+  snap.gauges.reserve(impl_->gauge_ids.size());
+  for (const auto& [name, id] : impl_->gauge_ids) {
+    snap.gauges.emplace_back(name, impl_->gauges[id].load(kRelaxed));
+  }
+
+  snap.histograms.reserve(impl_->hist_ids.size());
+  for (const auto& [name, id] : impl_->hist_ids) {
+    SnapshotHistogram out;
+    out.name = name;
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -std::numeric_limits<double>::infinity();
+    std::array<std::uint64_t, kHistBuckets> buckets{};
+    for (const auto& shard : impl_->shards) {
+      const Shard::Hist& h = shard->hists[id];
+      out.zero_count += h.zero.load(kRelaxed);
+      out.underflow += h.under.load(kRelaxed);
+      out.overflow += h.over.load(kRelaxed);
+      out.nan_count += h.nan.load(kRelaxed);
+      out.sum += h.sum.load(kRelaxed);
+      mn = std::min(mn, h.min.load(kRelaxed));
+      mx = std::max(mx, h.max.load(kRelaxed));
+      for (std::size_t b = 0; b < kHistBuckets; ++b) {
+        buckets[b] += h.buckets[b].load(kRelaxed);
+      }
+    }
+    std::uint64_t bucket_total = 0;
+    for (const std::uint64_t b : buckets) bucket_total += b;
+    out.count = out.zero_count + out.underflow + out.overflow + bucket_total;
+    out.min = out.count > 0 ? mn : 0.0;
+    out.max = out.count > 0 ? mx : 0.0;
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      if (buckets[b] == 0) continue;
+      const int e = kHistMinExp + static_cast<int>(b);
+      out.buckets.push_back({std::ldexp(1.0, e), std::ldexp(1.0, e + 1), buckets[b]});
+    }
+    snap.histograms.push_back(std::move(out));
+  }
+  return snap;  // std::map iteration already yields names in sorted order
+}
+
+void MetricsRegistry::reset() noexcept {
+  std::lock_guard lock(impl_->mu);
+  for (auto& g : impl_->gauges) g.store(0.0, kRelaxed);
+  for (const auto& shard : impl_->shards) {
+    for (auto& c : shard->counters) c.store(0, kRelaxed);
+    for (auto& h : shard->hists) {
+      for (auto& b : h.buckets) b.store(0, kRelaxed);
+      h.zero.store(0, kRelaxed);
+      h.under.store(0, kRelaxed);
+      h.over.store(0, kRelaxed);
+      h.nan.store(0, kRelaxed);
+      h.sum.store(0.0, kRelaxed);
+      h.min.store(std::numeric_limits<double>::infinity(), kRelaxed);
+      h.max.store(-std::numeric_limits<double>::infinity(), kRelaxed);
+    }
+  }
+}
+
+namespace {
+
+void write_text_file(const char* path, const std::string& content) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "ssvbr: cannot write '%s'\n", path);
+    return;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+}
+
+void env_exit_dump() {
+  if (const char* path = std::getenv("SSVBR_METRICS_JSON")) {
+    write_text_file(path, to_json(MetricsRegistry::instance().snapshot()));
+  }
+  if (const char* path = std::getenv("SSVBR_TRACE_JSON")) {
+    write_text_file(path, TraceBuffer::instance().chrome_trace_json());
+  }
+  if (std::getenv("SSVBR_OBS_SUMMARY") != nullptr) {
+    const std::string text = to_text(MetricsRegistry::instance().snapshot());
+    std::fputs(text.c_str(), stderr);
+    const std::string spans = TraceBuffer::instance().summary_text();
+    std::fputs(spans.c_str(), stderr);
+  }
+}
+
+}  // namespace
+
+void install_env_exit_dump() {
+  static const bool installed = [] {
+    if (std::getenv("SSVBR_METRICS_JSON") == nullptr &&
+        std::getenv("SSVBR_TRACE_JSON") == nullptr &&
+        std::getenv("SSVBR_OBS_SUMMARY") == nullptr) {
+      return false;
+    }
+    // Touch the leaked singletons before registering so the atexit hook
+    // can never run against uninitialized state.
+    MetricsRegistry::instance();
+    TraceBuffer::instance();
+    std::atexit(env_exit_dump);
+    return true;
+  }();
+  (void)installed;
+}
+
+#endif  // SSVBR_OBS_ENABLED
+
+}  // namespace ssvbr::obs

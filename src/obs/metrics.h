@@ -1,0 +1,244 @@
+// ssvbr/obs/metrics.h
+//
+// Thread-sharded metrics registry: counters, gauges, and log-bucketed
+// histograms for runtime diagnostics of the simulation pipeline.
+//
+// Design. Every recording thread owns a private shard (a fixed-size
+// block of relaxed atomics, created lazily on first record and cached
+// through a thread-local pointer), so the hot path — Counter::add,
+// Histogram::record — is one TLS read plus one or two relaxed atomic
+// read-modify-writes on cache lines no other thread writes: a few
+// nanoseconds, and race-free under TSan because snapshot() only ever
+// *loads* those atomics while structural changes (shard creation,
+// metric registration) are serialized by the registry mutex.
+// snapshot() merges all shards into plain value types that can be
+// rendered as JSON (SSVBR_METRICS_JSON) or a plain-text summary.
+//
+// Compile-time gating. When the library is configured without
+// -DSSVBR_OBS=ON the macro SSVBR_OBS_ENABLED is 0 and this header
+// provides empty mirror classes whose methods are constexpr no-ops:
+// instrumented code compiles unchanged and the recording calls vanish
+// entirely, so default builds pay nothing and produce bit-identical
+// simulation output.
+//
+// Histogram policy (log-bucketed, one bucket per power of two over
+// [2^kHistMinExp, 2^kHistMaxExp)):
+//   - NaN: counted in nan_count only; never touches count/sum/min/max.
+//   - v <= 0 (including -0 and -inf): counted in count and zero_count;
+//     updates min/max; added to sum only if finite.
+//   - +inf: counted in count and overflow; sets max; excluded from sum.
+//   - positive finite v: bucket floor(log2 v) clamped into underflow /
+//     overflow counts at the range ends (denormals land in underflow).
+// Invariant: count == zero_count + underflow + overflow + sum(buckets).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#if !defined(SSVBR_OBS_ENABLED)
+#define SSVBR_OBS_ENABLED 0
+#endif
+
+namespace ssvbr::obs {
+
+/// Log-bucket exponent range: bucket b covers [2^(kHistMinExp + b),
+/// 2^(kHistMinExp + b + 1)).
+inline constexpr int kHistMinExp = -64;
+inline constexpr int kHistMaxExp = 64;
+inline constexpr std::size_t kHistBuckets =
+    static_cast<std::size_t>(kHistMaxExp - kHistMinExp);
+
+/// Capacity limits of one registry (fixed so shard storage never
+/// reallocates while other threads read it).
+inline constexpr std::size_t kMaxCounters = 256;
+inline constexpr std::size_t kMaxGauges = 64;
+inline constexpr std::size_t kMaxHistograms = 64;
+
+/// Merged view of one histogram, as produced by snapshot().
+struct SnapshotHistogram {
+  struct Bucket {
+    double lo = 0.0;   ///< inclusive lower edge, 2^e
+    double hi = 0.0;   ///< exclusive upper edge, 2^(e+1)
+    std::uint64_t count = 0;
+  };
+
+  std::string name;
+  std::uint64_t count = 0;      ///< all non-NaN records
+  double sum = 0.0;             ///< sum of finite records
+  double min = 0.0;             ///< 0 when count == 0
+  double max = 0.0;             ///< 0 when count == 0
+  std::uint64_t zero_count = 0; ///< records <= 0
+  std::uint64_t underflow = 0;  ///< positive records below 2^kHistMinExp
+  std::uint64_t overflow = 0;   ///< records >= 2^kHistMaxExp (incl. +inf)
+  std::uint64_t nan_count = 0;  ///< NaN records (excluded from count)
+  std::vector<Bucket> buckets;  ///< non-empty buckets, ascending
+
+  /// Mean of the finite records; 0 when empty.
+  double mean() const noexcept;
+  /// Approximate quantile (q in [0, 1]) read off the bucket boundaries
+  /// (geometric bucket midpoint); exact only up to bucket resolution.
+  double quantile(double q) const noexcept;
+};
+
+/// Merged view of an entire registry at one instant.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  ///< sorted by name
+  std::vector<std::pair<std::string, double>> gauges;           ///< sorted by name
+  std::vector<SnapshotHistogram> histograms;                    ///< sorted by name
+
+  /// Lookup helpers; nullptr when the metric does not exist.
+  const std::uint64_t* counter(std::string_view name) const noexcept;
+  const double* gauge(std::string_view name) const noexcept;
+  const SnapshotHistogram* histogram(std::string_view name) const noexcept;
+
+  bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Render a snapshot as a JSON document (schema checked by
+/// scripts/check_metrics_schema.py); includes ssvbr::build_info().
+std::string to_json(const MetricsSnapshot& snap);
+
+/// Render a snapshot as a human-readable table (counters, gauges, and
+/// per-histogram count/total/mean/p50/p99).
+std::string to_text(const MetricsSnapshot& snap);
+
+#if SSVBR_OBS_ENABLED
+
+class MetricsRegistry;
+
+/// Cheap copyable handle to a registered counter. Valid while its
+/// registry is alive; safe to share across threads.
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t n = 1) const noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* reg, std::uint32_t id) : reg_(reg), id_(id) {}
+  MetricsRegistry* reg_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+/// Cheap copyable handle to a registered gauge (last write wins).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) const noexcept;
+  void add(double delta) const noexcept;  ///< not atomic across threads
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricsRegistry* reg, std::uint32_t id) : reg_(reg), id_(id) {}
+  MetricsRegistry* reg_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+/// Cheap copyable handle to a registered log-bucketed histogram.
+class Histogram {
+ public:
+  Histogram() = default;
+  void record(double v) const noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(MetricsRegistry* reg, std::uint32_t id) : reg_(reg), id_(id) {}
+  MetricsRegistry* reg_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+/// The registry. Usable as independent instances (tests) or through the
+/// process-wide instance() that the SSVBR_* instrumentation macros use.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry (never destroyed, so exit-time dumps and
+  /// worker threads can never observe a dead registry).
+  static MetricsRegistry& instance();
+
+  /// Register-or-look-up by name. Throws InvalidArgument when the
+  /// per-kind capacity (kMaxCounters/kMaxGauges/kMaxHistograms) is
+  /// exhausted. Idempotent: the same name always yields the same handle.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  Histogram histogram(std::string_view name);
+
+  /// Merge every thread's shard into one consistent-enough view (values
+  /// recorded concurrently with the snapshot may or may not be
+  /// included; all loads are race-free).
+  MetricsSnapshot snapshot() const;
+
+  /// Zero all recorded values, keeping registrations and shards.
+  void reset() noexcept;
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+  struct Shard;
+  struct Impl;
+
+  Shard& local_shard() const;
+
+  Impl* impl_;
+};
+
+/// Install (once) a std::atexit hook that honours the environment:
+///   SSVBR_METRICS_JSON=<path>  write to_json(instance().snapshot())
+///   SSVBR_TRACE_JSON=<path>    write the Chrome trace-event export
+///   SSVBR_OBS_SUMMARY=1        print to_text(...) to stderr
+/// No-op (and cheap) when none of the variables is set.
+void install_env_exit_dump();
+
+#else  // !SSVBR_OBS_ENABLED — constexpr no-op mirrors.
+
+class MetricsRegistry;
+
+class Counter {
+ public:
+  constexpr Counter() = default;
+  constexpr void add(std::uint64_t = 1) const noexcept {}
+};
+
+class Gauge {
+ public:
+  constexpr Gauge() = default;
+  constexpr void set(double) const noexcept {}
+  constexpr void add(double) const noexcept {}
+};
+
+class Histogram {
+ public:
+  constexpr Histogram() = default;
+  constexpr void record(double) const noexcept {}
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  static MetricsRegistry& instance() {
+    static MetricsRegistry reg;
+    return reg;
+  }
+  Counter counter(std::string_view) { return {}; }
+  Gauge gauge(std::string_view) { return {}; }
+  Histogram histogram(std::string_view) { return {}; }
+  MetricsSnapshot snapshot() const { return {}; }
+  void reset() noexcept {}
+};
+
+inline void install_env_exit_dump() {}
+
+#endif  // SSVBR_OBS_ENABLED
+
+}  // namespace ssvbr::obs

@@ -1,0 +1,182 @@
+#include "obs/trace.h"
+
+#if SSVBR_OBS_ENABLED
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace ssvbr::obs {
+
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+}
+
+std::uint64_t now_ns() noexcept {
+  static const auto base = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - base)
+                                        .count());
+}
+
+struct TraceBuffer::Ring {
+  struct Slot {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::uint64_t> start{0};
+    std::atomic<std::uint64_t> dur{0};
+  };
+
+  std::vector<Slot> slots{kRingCapacity};
+  std::atomic<std::uint64_t> head{0};  // total events ever recorded here
+  std::uint32_t tid = 0;
+};
+
+struct TraceBuffer::Impl {
+  std::uint64_t gen = 0;
+  mutable std::mutex mu;
+  mutable std::vector<std::unique_ptr<Ring>> rings;
+};
+
+namespace {
+
+struct TlsRingCache {
+  std::uint64_t gen = 0;
+  void* ring = nullptr;  // TraceBuffer::Ring* (private nested type)
+};
+thread_local TlsRingCache tls_ring_cache;
+std::atomic<std::uint64_t> next_buffer_gen{1};
+
+}  // namespace
+
+TraceBuffer::TraceBuffer() : impl_(new Impl) {
+  impl_->gen = next_buffer_gen.fetch_add(1, kRelaxed);
+}
+
+TraceBuffer::~TraceBuffer() { delete impl_; }
+
+TraceBuffer& TraceBuffer::instance() {
+  static TraceBuffer* buf = new TraceBuffer();  // leaked; see MetricsRegistry
+  return *buf;
+}
+
+TraceBuffer::Ring& TraceBuffer::local_ring() const {
+  if (tls_ring_cache.gen == impl_->gen) {
+    return *static_cast<Ring*>(tls_ring_cache.ring);
+  }
+  std::lock_guard lock(impl_->mu);
+  impl_->rings.push_back(std::make_unique<Ring>());
+  Ring* ring = impl_->rings.back().get();
+  ring->tid = static_cast<std::uint32_t>(impl_->rings.size());
+  tls_ring_cache = {impl_->gen, ring};
+  return *ring;
+}
+
+void TraceBuffer::record(const char* name, std::uint64_t start_ns,
+                         std::uint64_t end_ns) noexcept {
+  Ring& ring = local_ring();
+  const std::uint64_t h = ring.head.load(kRelaxed);
+  Ring::Slot& slot = ring.slots[h % kRingCapacity];
+  slot.name.store(name, kRelaxed);
+  slot.start.store(start_ns, kRelaxed);
+  slot.dur.store(end_ns >= start_ns ? end_ns - start_ns : 0, kRelaxed);
+  ring.head.store(h + 1, kRelaxed);
+}
+
+std::vector<TraceBuffer::Event> TraceBuffer::events() const {
+  std::vector<Event> out;
+  std::lock_guard lock(impl_->mu);
+  for (const auto& ring : impl_->rings) {
+    const std::uint64_t n = std::min<std::uint64_t>(ring->head.load(kRelaxed),
+                                                    kRingCapacity);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Ring::Slot& slot = ring->slots[i];
+      const char* name = slot.name.load(kRelaxed);
+      if (name == nullptr) continue;
+      out.push_back(Event{name, slot.start.load(kRelaxed), slot.dur.load(kRelaxed),
+                          ring->tid});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.start_ns < b.start_ns; });
+  return out;
+}
+
+std::uint64_t TraceBuffer::dropped() const noexcept {
+  std::uint64_t dropped = 0;
+  std::lock_guard lock(impl_->mu);
+  for (const auto& ring : impl_->rings) {
+    const std::uint64_t h = ring->head.load(kRelaxed);
+    if (h > kRingCapacity) dropped += h - kRingCapacity;
+  }
+  return dropped;
+}
+
+std::string TraceBuffer::chrome_trace_json() const {
+  const std::vector<Event> evs = events();
+  std::string out;
+  out.reserve(64 + evs.size() * 96);
+  out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  char buf[192];
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    // Complete ("X") events; ts/dur are microseconds per the trace-event
+    // format spec.
+    std::snprintf(buf, sizeof buf,
+                  "%s\n  {\"name\": \"%s\", \"cat\": \"ssvbr\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+                  i == 0 ? "" : ",", evs[i].name.c_str(),
+                  static_cast<double>(evs[i].start_ns) / 1000.0,
+                  static_cast<double>(evs[i].dur_ns) / 1000.0, evs[i].tid);
+    out += buf;
+  }
+  out += evs.empty() ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+std::string TraceBuffer::summary_text() const {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const Event& e : events()) {
+    Agg& a = by_name[e.name];
+    ++a.count;
+    a.total_ns += e.dur_ns;
+    a.max_ns = std::max(a.max_ns, e.dur_ns);
+  }
+  if (by_name.empty()) return "";
+  std::string out = "spans (retained):                                   "
+                    "count     total_ms      mean_ms       max_ms\n";
+  char buf[192];
+  for (const auto& [name, a] : by_name) {
+    std::snprintf(buf, sizeof buf, "  %-44s %10llu %12.3f %12.3f %12.3f\n",
+                  name.c_str(), static_cast<unsigned long long>(a.count),
+                  static_cast<double>(a.total_ns) / 1e6,
+                  static_cast<double>(a.total_ns) / 1e6 / static_cast<double>(a.count),
+                  static_cast<double>(a.max_ns) / 1e6);
+    out += buf;
+  }
+  if (const std::uint64_t d = dropped(); d > 0) {
+    std::snprintf(buf, sizeof buf, "  (%llu older events dropped by ring wrap)\n",
+                  static_cast<unsigned long long>(d));
+    out += buf;
+  }
+  return out;
+}
+
+void TraceBuffer::reset() noexcept {
+  std::lock_guard lock(impl_->mu);
+  for (const auto& ring : impl_->rings) {
+    for (auto& slot : ring->slots) slot.name.store(nullptr, kRelaxed);
+    ring->head.store(0, kRelaxed);
+  }
+}
+
+}  // namespace ssvbr::obs
+
+#endif  // SSVBR_OBS_ENABLED

@@ -1,0 +1,159 @@
+// ssvbr/obs/trace.h
+//
+// RAII span tracing with per-thread ring buffers, exportable as Chrome
+// trace-event JSON (open at ui.perfetto.dev or chrome://tracing) and as
+// a plain-text per-span summary.
+//
+// Each recording thread owns a fixed-capacity ring of relaxed-atomic
+// slots; record() is two clock reads plus three relaxed stores, and the
+// ring overwrites its oldest events when full (dropped() reports how
+// many). Readers never block writers: an export taken while spans are
+// still being recorded is race-free (all slot fields are atomics) but
+// may observe a slot mid-overwrite, mixing fields of two events — take
+// exports at quiescent points (the SSVBR_TRACE_JSON atexit dump does).
+//
+// Span names must have static storage duration (string literals): the
+// ring stores the pointer, not a copy.
+//
+// When the library is built without -DSSVBR_OBS=ON the classes collapse
+// to empty no-ops, matching obs/metrics.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ssvbr::obs {
+
+#if SSVBR_OBS_ENABLED
+
+/// Monotonic nanoseconds since the first call in this process.
+std::uint64_t now_ns() noexcept;
+
+/// Process-wide store of completed spans.
+class TraceBuffer {
+ public:
+  /// Events kept per recording thread before the ring wraps.
+  static constexpr std::size_t kRingCapacity = 8192;
+
+  struct Event {
+    std::string name;
+    std::uint64_t start_ns = 0;
+    std::uint64_t dur_ns = 0;
+    std::uint32_t tid = 0;  ///< small per-thread index, stable per ring
+  };
+
+  TraceBuffer();
+  ~TraceBuffer();
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// Process-wide buffer (never destroyed).
+  static TraceBuffer& instance();
+
+  /// Record one completed span. `name` must point to static storage.
+  void record(const char* name, std::uint64_t start_ns, std::uint64_t end_ns) noexcept;
+
+  /// All retained events across threads, ordered by start time.
+  std::vector<Event> events() const;
+
+  /// Events lost to ring wrap-around since construction/reset.
+  std::uint64_t dropped() const noexcept;
+
+  /// Chrome trace-event JSON ("traceEvents" array of complete events).
+  std::string chrome_trace_json() const;
+
+  /// Per-name aggregation (count, total/mean/max duration) of the
+  /// retained events.
+  std::string summary_text() const;
+
+  /// Discard all retained events (keeps thread rings allocated).
+  void reset() noexcept;
+
+ private:
+  struct Ring;
+  struct Impl;
+
+  Ring& local_ring() const;
+
+  Impl* impl_;
+};
+
+/// RAII span: on destruction records into TraceBuffer::instance() and,
+/// when a histogram handle is supplied, the duration in seconds into it.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, Histogram hist = {}) noexcept
+      : name_(name), hist_(hist), start_(now_ns()) {}
+  ~ScopedSpan() {
+    const std::uint64_t end = now_ns();
+    TraceBuffer::instance().record(name_, start_, end);
+    hist_.record(1e-9 * static_cast<double>(end - start_));
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  Histogram hist_;
+  std::uint64_t start_;
+};
+
+/// RAII timer: histogram-only (no ring event). Use for per-replication
+/// scopes that would otherwise flood the trace ring.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram hist) noexcept : hist_(hist), start_(now_ns()) {}
+  ~ScopedTimer() { hist_.record(1e-9 * static_cast<double>(now_ns() - start_)); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram hist_;
+  std::uint64_t start_;
+};
+
+#else  // !SSVBR_OBS_ENABLED — no-op mirrors.
+
+inline std::uint64_t now_ns() noexcept { return 0; }
+
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kRingCapacity = 0;
+  struct Event {
+    std::string name;
+    std::uint64_t start_ns = 0;
+    std::uint64_t dur_ns = 0;
+    std::uint32_t tid = 0;
+  };
+  static TraceBuffer& instance() {
+    static TraceBuffer buf;
+    return buf;
+  }
+  void record(const char*, std::uint64_t, std::uint64_t) noexcept {}
+  std::vector<Event> events() const { return {}; }
+  std::uint64_t dropped() const noexcept { return 0; }
+  std::string chrome_trace_json() const { return "{\"traceEvents\": []}\n"; }
+  std::string summary_text() const { return ""; }
+  void reset() noexcept {}
+};
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char*, Histogram = {}) noexcept {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram) noexcept {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+};
+
+#endif  // SSVBR_OBS_ENABLED
+
+}  // namespace ssvbr::obs

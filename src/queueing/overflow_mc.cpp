@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "obs/instrument.h"
 #include "queueing/lindley.h"
 
 namespace ssvbr::queueing {
@@ -27,6 +28,8 @@ bool run_overflow_replication(ArrivalProcess& arrivals, LindleyQueue& queue,
                               double service_rate, double buffer, std::size_t k,
                               RandomEngine& rng, OverflowEvent event,
                               double initial_occupancy) {
+  SSVBR_TIMER("mc.replication");
+  SSVBR_COUNTER_ADD("mc.replications", 1);
   arrivals.begin_replication(rng, k);
   if (event == OverflowEvent::kFirstPassage) {
     // Track the total workload W_i = sum (Y_j - mu) and stop at the
@@ -34,13 +37,21 @@ bool run_overflow_replication(ArrivalProcess& arrivals, LindleyQueue& queue,
     double w = 0.0;
     for (std::size_t i = 0; i < k; ++i) {
       w += arrivals.next() - service_rate;
-      if (w > buffer) return true;
+      if (w > buffer) {
+        SSVBR_COUNTER_ADD("mc.lindley_slots", i + 1);
+        SSVBR_COUNTER_ADD("mc.hits", 1);
+        return true;
+      }
     }
+    SSVBR_COUNTER_ADD("mc.lindley_slots", k);
     return false;
   }
   queue.reset(initial_occupancy);
   for (std::size_t i = 0; i < k; ++i) queue.step(arrivals.next());
-  return queue.size() > buffer;
+  SSVBR_COUNTER_ADD("mc.lindley_slots", k);
+  const bool hit = queue.size() > buffer;
+  if (hit) SSVBR_COUNTER_ADD("mc.hits", 1);
+  return hit;
 }
 
 OverflowEstimate estimate_overflow_mc(ArrivalProcess& arrivals, double service_rate,
