@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Smoke-run the perf-trajectory harness and validate BENCH_pipeline.json.
+
+Invokes scripts/run_benches.sh against the given build directory with a
+tiny REPRO_BENCH_SCALE, then checks the schema the perf trajectory
+promises to future revisions:
+
+  * top level: "pipeline" object and "engine" list;
+  * pipeline.meta: version / git_sha / build_type / bench_scale
+    (the ssvbr::build_info() provenance);
+  * pipeline.benches: every row has name / n / baseline_ns / current_ns
+    / speedup, with positive timings and speedup == baseline / current
+    to rounding;
+  * the bench set covers the tracked hot paths (davies_harte_path,
+    is_twist_sweep_fig14, ...);
+  * engine rows: estimator / replications / results with per-thread
+    seconds and deterministic flags.
+
+Deliberately NO speedup threshold: CI machines are noisy; thresholds
+live in the ISSUE acceptance run, not in the smoke test.
+
+Usage: check_bench_schema.py /path/to/build_dir
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+EXPECTED_BENCHES = [
+    "davies_harte_path",
+    "hosking_path_shared_table",
+    "marginal_transform_apply",
+    "autocorrelation_fft",
+    "is_twist_sweep_fig14",
+]
+
+
+def fail(message):
+    print(f"check_bench_schema: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} /path/to/build_dir")
+    build_dir = sys.argv[1]
+    script = os.path.join(os.path.dirname(os.path.abspath(__file__)), "run_benches.sh")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out_path = os.path.join(tmp, "BENCH_pipeline.json")
+        env = dict(os.environ, REPRO_BENCH_SCALE="0.02")
+        proc = subprocess.run(
+            ["sh", script, build_dir, out_path],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            timeout=1200,
+        )
+        if proc.returncode != 0:
+            fail(f"run_benches.sh exited {proc.returncode}:\n{proc.stderr}")
+        try:
+            with open(out_path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            fail(f"output is not valid JSON: {err}")
+
+    if not isinstance(doc.get("pipeline"), dict):
+        fail("missing 'pipeline' object")
+    if not isinstance(doc.get("engine"), list) or not doc["engine"]:
+        fail("missing or empty 'engine' list")
+
+    meta = doc["pipeline"].get("meta")
+    if not isinstance(meta, dict):
+        fail("pipeline.meta missing")
+    for key in ("version", "git_sha", "build_type", "bench_scale"):
+        if key not in meta:
+            fail(f"pipeline.meta missing '{key}'")
+
+    benches = doc["pipeline"].get("benches")
+    if not isinstance(benches, list) or not benches:
+        fail("pipeline.benches missing or empty")
+    seen = set()
+    for row in benches:
+        for key in ("name", "n", "baseline_ns", "current_ns", "speedup"):
+            if key not in row:
+                fail(f"bench row missing '{key}': {row}")
+        if row["baseline_ns"] <= 0 or row["current_ns"] <= 0:
+            fail(f"non-positive timing in {row['name']}")
+        ratio = row["baseline_ns"] / row["current_ns"]
+        if abs(ratio - row["speedup"]) > 0.05 * max(ratio, 1.0):
+            fail(f"speedup inconsistent with timings in {row['name']}")
+        seen.add(row["name"])
+    missing = [b for b in EXPECTED_BENCHES if b not in seen]
+    if missing:
+        fail(f"tracked hot-path benches missing: {missing}")
+
+    for row in doc["engine"]:
+        for key in ("estimator", "replications", "results"):
+            if key not in row:
+                fail(f"engine row missing '{key}'")
+        if not row["results"]:
+            fail(f"engine row for '{row['estimator']}' has no results")
+        for res in row["results"]:
+            for key in ("threads", "seconds", "replications_per_s", "deterministic"):
+                if key not in res:
+                    fail(f"engine result missing '{key}': {res}")
+
+    print(f"check_bench_schema: OK ({len(benches)} pipeline benches, "
+          f"{len(doc['engine'])} engine rows)")
+
+
+if __name__ == "__main__":
+    main()

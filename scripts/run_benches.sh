@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# Produce BENCH_pipeline.json: the machine-readable perf trajectory for
+# this revision (hot-path before/after from bench_perf_generators, plus
+# thread-scaling rows from bench_perf_engine).
+#
+# Usage: scripts/run_benches.sh [build_dir] [output_file]
+#   build_dir    defaults to build-bench, falling back to build
+#   output_file  defaults to BENCH_pipeline.json in the repo root
+#
+# Environment:
+#   REPRO_BENCH_SCALE  workload multiplier (smoke runs use e.g. 0.02)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+build_dir=${1:-}
+if [ -z "$build_dir" ]; then
+  if [ -d "$repo_root/build-bench/bench" ]; then
+    build_dir=$repo_root/build-bench
+  else
+    build_dir=$repo_root/build
+  fi
+fi
+out=${2:-$repo_root/BENCH_pipeline.json}
+
+gen_bin=$build_dir/bench/bench_perf_generators
+engine_bin=$build_dir/bench/bench_perf_engine
+for bin in "$gen_bin" "$engine_bin"; do
+  if [ ! -x "$bin" ]; then
+    echo "run_benches.sh: missing $bin (build the bench targets first)" >&2
+    exit 1
+  fi
+done
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "run_benches.sh: running bench_perf_generators..." >&2
+"$gen_bin" > "$tmp/generators.json"
+
+echo "run_benches.sh: running bench_perf_engine..." >&2
+# The engine bench prints '#' banner lines before its JSON rows.
+"$engine_bin" | grep '^{' > "$tmp/engine.jsonl"
+
+{
+  printf '{\n"pipeline": '
+  cat "$tmp/generators.json"
+  printf ',\n"engine": [\n'
+  # Join the engine JSON lines with commas.
+  awk 'NR > 1 { printf ",\n" } { printf "%s", $0 } END { printf "\n" }' \
+    "$tmp/engine.jsonl"
+  printf ']\n}\n'
+} > "$out"
+
+echo "run_benches.sh: wrote $out" >&2

@@ -38,6 +38,45 @@ inline double kahan_sum(std::span<const double> xs) noexcept {
   return sum;
 }
 
+/// Dot product sum_i a[i] * b[i] with four independent accumulators so
+/// the additions do not form one serial dependency chain. This is the
+/// kernel behind every Durbin-Levinson / Hosking conditional mean; the
+/// summation order differs from a naive left-to-right loop (and is
+/// usually slightly more accurate, pairwise-style).
+inline double blocked_dot(const double* a, const double* b, std::size_t n) noexcept {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  double s = (s0 + s1) + (s2 + s3);
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// Reversed-order dot product sum_i a[i] * b[n-1-i] — the shape of a
+/// regression on the most recent history: sum_j phi_{k,j} x_{k-j} with
+/// a = phi row and b = x_0..x_{k-1}. Same blocking as blocked_dot.
+inline double blocked_dot_reversed(const double* a, const double* b,
+                                   std::size_t n) noexcept {
+  const double* const br = b + (n - 1);
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const auto d = static_cast<std::ptrdiff_t>(i);
+    s0 += a[i] * br[-d];
+    s1 += a[i + 1] * br[-d - 1];
+    s2 += a[i + 2] * br[-d - 2];
+    s3 += a[i + 3] * br[-d - 3];
+  }
+  double s = (s0 + s1) + (s2 + s3);
+  for (; i < n; ++i) s += a[i] * br[-static_cast<std::ptrdiff_t>(i)];
+  return s;
+}
+
 /// Clamp x into [lo, hi].
 inline double clamp(double x, double lo, double hi) noexcept {
   return x < lo ? lo : (x > hi ? hi : x);

@@ -1,0 +1,52 @@
+#include "core/background_sampler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "fractal/davies_harte.h"
+#include "fractal/hosking.h"
+
+namespace ssvbr::core {
+
+BackgroundPathSampler::BackgroundPathSampler(const UnifiedVbrModel& model,
+                                             std::size_t horizon,
+                                             BackgroundGenerator generator)
+    : horizon_(horizon), correlation_(model.background_correlation_ptr()) {
+  SSVBR_REQUIRE(horizon >= 1, "sampler horizon must be positive");
+  if (generator == BackgroundGenerator::kDaviesHarte) {
+    try {
+      davies_harte_ = std::make_shared<const fractal::DaviesHarteModel>(
+          *correlation_, horizon, /*tolerance=*/0.05);
+      return;
+    } catch (const NumericalError&) {
+      // Not circulant-embeddable within tolerance; same fallback as
+      // UnifiedVbrModel::generate_background.
+    }
+  }
+  // Hosking: precompute the coefficient table when it fits; the packed
+  // triangular phi rows dominate at horizon^2 / 2 doubles.
+  const std::size_t table_bytes = horizon * (horizon - 1) / 2 * sizeof(double);
+  if (table_bytes <= kMaxHoskingTableBytes) {
+    hosking_ = std::make_shared<const fractal::HoskingModel>(*correlation_, horizon);
+  }
+}
+
+void BackgroundPathSampler::sample(RandomEngine& rng, std::span<double> out) const {
+  SSVBR_REQUIRE(out.size() >= horizon_, "output span shorter than the horizon");
+  if (davies_harte_) {
+    davies_harte_->sample_path(rng, out);
+    return;
+  }
+  if (hosking_) {
+    hosking_->sample_path(rng, out.first(horizon_));
+    return;
+  }
+  // Streaming fallback for horizons whose coefficient table would not
+  // fit: identical draw sequence, O(n) memory.
+  const std::vector<double> x =
+      fractal::hosking_sample_streaming(*correlation_, horizon_, rng);
+  std::copy(x.begin(), x.end(), out.begin());
+}
+
+}  // namespace ssvbr::core

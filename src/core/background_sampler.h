@@ -1,0 +1,66 @@
+// ssvbr/core/background_sampler.h
+//
+// Replication-ready background path generator, built once per
+// (model, horizon) pair and reused across replications.
+//
+// UnifiedVbrModel::generate_background resolves the generator choice —
+// including the Davies-Harte embeddability check and its Hosking
+// fallback — on every call, and the Hosking path rebuilds the
+// Durbin-Levinson recursion from scratch each time. That is the right
+// trade-off for one-shot synthesis but wrong for a replication study,
+// where thousands of paths share one (correlation, horizon): the setup
+// cost and the per-call allocations dominate.
+//
+// BackgroundPathSampler hoists all of that to construction time:
+//   * Davies-Harte: eigenvalue table + FFT plan built once; sampling
+//     reuses the model's per-thread workspace (allocation-free).
+//   * Hosking: the Durbin-Levinson coefficient table is built once when
+//     it fits in kMaxHoskingTableBytes, turning each replication from
+//     O(n^2) recursion + allocation into table-driven dot products; the
+//     streaming one-shot path remains as the large-horizon fallback.
+// Draw sequences are identical to generate_background for the same
+// engine state, so swapping one for the other never changes results.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "core/unified_model.h"
+#include "dist/random.h"
+
+namespace ssvbr::fractal {
+class DaviesHarteModel;
+class HoskingModel;
+}  // namespace ssvbr::fractal
+
+namespace ssvbr::core {
+
+/// Background generator with all per-horizon setup precomputed.
+/// Immutable after construction; safe to share across threads.
+class BackgroundPathSampler {
+ public:
+  /// Largest Hosking coefficient table the sampler will precompute
+  /// (~4 * horizon^2 bytes; 32 MB covers horizons up to ~2800). Beyond
+  /// this the kHosking path falls back to streaming generation.
+  static constexpr std::size_t kMaxHoskingTableBytes = 32u << 20;
+
+  BackgroundPathSampler(const UnifiedVbrModel& model, std::size_t horizon,
+                        BackgroundGenerator generator =
+                            BackgroundGenerator::kDaviesHarte);
+
+  std::size_t horizon() const noexcept { return horizon_; }
+
+  /// Draw one background path x_0..x_{horizon-1} into `out`
+  /// (out.size() >= horizon() required; extra entries untouched).
+  /// Steady-state allocation-free except in the streaming fallback.
+  void sample(RandomEngine& rng, std::span<double> out) const;
+
+ private:
+  std::size_t horizon_;
+  fractal::AutocorrelationPtr correlation_;
+  std::shared_ptr<const fractal::DaviesHarteModel> davies_harte_;
+  std::shared_ptr<const fractal::HoskingModel> hosking_;
+};
+
+}  // namespace ssvbr::core

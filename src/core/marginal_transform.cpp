@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/math_util.h"
+#include "core/tabulated_transform.h"
 #include "dist/special_functions.h"
 #include "fractal/davies_harte.h"
 #include "fractal/hosking.h"
@@ -18,19 +19,31 @@ MarginalTransform::MarginalTransform(DistributionPtr target) : target_(std::move
 }
 
 double MarginalTransform::operator()(double x) const {
-  // Phi(x) saturates to 0/1 in double precision around |x| ~ 8.3;
-  // clamp so the quantile call stays in its (0, 1) domain.
-  double p = normal_cdf(x);
-  constexpr double kTiny = 1e-16;
-  p = clamp(p, kTiny, 1.0 - kTiny);
-  return target_->quantile(p);
+  if (lut_) return (*lut_)(x);
+  return exact_value(x);
+}
+
+double MarginalTransform::exact_value(double x) const {
+  return target_->quantile(clamped_normal_cdf(x));
 }
 
 void MarginalTransform::apply(std::span<const double> xs, std::span<double> out) const {
   SSVBR_REQUIRE(out.size() >= xs.size(), "output span too short");
   SSVBR_TIMER("core.transform.apply");
   SSVBR_COUNTER_ADD("core.transform.points", xs.size());
-  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (*this)(xs[i]);
+  if (lut_) {
+    lut_->apply(xs, out);
+    return;
+  }
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = exact_value(xs[i]);
+}
+
+void MarginalTransform::enable_tabulated(std::size_t intervals, double max_rel_error) {
+  if (lut_ && lut_->intervals() == intervals) return;
+  // Build from a LUT-free view of this transform so the table samples
+  // the exact values even when re-tabulating.
+  MarginalTransform exact(target_);
+  lut_ = std::make_shared<const TabulatedTransform>(exact, intervals, max_rel_error);
 }
 
 std::vector<double> MarginalTransform::apply(std::span<const double> xs) const {
@@ -54,7 +67,9 @@ void MarginalTransform::ensure_moments() const {
     const double x = kLo + dx * i;
     const double w = (i == 0 || i == kPanels) ? 1.0 : (i % 2 == 1 ? 4.0 : 2.0);
     const double phi = normal_pdf(x);
-    const double h = (*this)(x);
+    // One exact h evaluation per node feeds all three integrands; the
+    // moment cache must not inherit tabulation error.
+    const double h = exact_value(x);
     s0 += w * h * phi;
     s1 += w * h * x * phi;
     s2 += w * h * h * phi;

@@ -20,14 +20,29 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "common/math_util.h"
 #include "dist/distribution.h"
 #include "dist/random.h"
+#include "dist/special_functions.h"
 #include "fractal/autocorrelation.h"
 
 namespace ssvbr::core {
+
+class TabulatedTransform;
+
+/// Phi(x) clamped away from {0, 1} so a quantile evaluation stays
+/// strictly inside its domain. Phi saturates in double precision around
+/// |x| ~ 8.3; this is the one place the clamping constants live — the
+/// exact transform, the moment integrals, and the tabulated fast path
+/// all saturate identically through it.
+inline double clamped_normal_cdf(double x) {
+  constexpr double kTiny = 1e-16;
+  return clamp(normal_cdf(x), kTiny, 1.0 - kTiny);
+}
 
 /// Monotone marginal transform h(x) = F_Y^{-1}(Phi(x)).
 class MarginalTransform {
@@ -37,12 +52,28 @@ class MarginalTransform {
   /// directly", as the paper does) or a parametric fit.
   explicit MarginalTransform(DistributionPtr target);
 
-  /// h(x) for a single point.
+  /// h(x) for a single point. Uses the tabulated fast path when one has
+  /// been enabled, the exact inverse-CDF evaluation otherwise.
   double operator()(double x) const;
+
+  /// h(x) evaluated exactly (quantile of the clamped normal CDF),
+  /// bypassing any enabled tabulation. This is the reference the
+  /// tabulated path is verified against.
+  double exact_value(double x) const;
 
   /// Apply h elementwise: out[i] = h(xs[i]).
   void apply(std::span<const double> xs, std::span<double> out) const;
   std::vector<double> apply(std::span<const double> xs) const;
+
+  /// Opt in to the tabulated fast path (see TabulatedTransform):
+  /// h is precomputed on a dense grid over [-8, 8] with monotone-cubic
+  /// interpolation and a construction-time max-relative-error check.
+  /// Default is off — the exact transform. Copies of this transform made
+  /// after the call share the table.
+  void enable_tabulated(std::size_t intervals = 4096, double max_rel_error = 1e-6);
+
+  /// True when the tabulated fast path is active.
+  bool tabulated() const noexcept { return lut_ != nullptr; }
 
   /// Analytic attenuation factor a = c1^2 / Var(h(X)) in (0, 1],
   /// integrated numerically against the standard normal density.
@@ -62,6 +93,7 @@ class MarginalTransform {
   void ensure_moments() const;
 
   DistributionPtr target_;
+  std::shared_ptr<const TabulatedTransform> lut_;  // null = exact path
   // Lazily computed moment cache (mutable: computing moments does not
   // change the observable transform).
   mutable bool moments_ready_ = false;

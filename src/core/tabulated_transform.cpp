@@ -1,0 +1,116 @@
+#include "core/tabulated_transform.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/error.h"
+
+namespace ssvbr::core {
+
+TabulatedTransform::TabulatedTransform(const MarginalTransform& exact,
+                                       std::size_t intervals, double max_rel_error) {
+  SSVBR_REQUIRE(intervals >= 8, "tabulated transform needs at least 8 intervals");
+  SSVBR_REQUIRE(max_rel_error > 0.0, "error bound must be positive");
+  target_ = exact.target_ptr();
+  const std::size_t n = intervals;
+  step_ = (kHi - kLo) / static_cast<double>(n);
+  inv_step_ = 1.0 / step_;
+  y_.resize(n + 1);
+  d_.resize(n + 1);
+  double y_scale = 0.0;
+  for (std::size_t i = 0; i <= n; ++i) {
+    y_[i] = exact.exact_value(kLo + step_ * static_cast<double>(i));
+    const double a = std::fabs(y_[i]);
+    if (a > y_scale) y_scale = a;
+  }
+
+  // Fritsch-Carlson limited slopes: start from the secant averages, then
+  // cap (alpha, beta) inside the circle of radius 3 so each cell's cubic
+  // is monotone wherever the data are. h is nondecreasing, so all
+  // secants are >= 0 and the result is a nondecreasing interpolant.
+  std::vector<double> secant(n);
+  for (std::size_t i = 0; i < n; ++i) secant[i] = (y_[i + 1] - y_[i]) * inv_step_;
+  d_[0] = secant[0];
+  d_[n] = secant[n - 1];
+  for (std::size_t i = 1; i < n; ++i) d_[i] = 0.5 * (secant[i - 1] + secant[i]);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (secant[i] == 0.0) {
+      d_[i] = 0.0;
+      d_[i + 1] = 0.0;
+      continue;
+    }
+    const double alpha = d_[i] / secant[i];
+    const double beta = d_[i + 1] / secant[i];
+    const double r2 = alpha * alpha + beta * beta;
+    if (r2 > 9.0) {
+      const double tau = 3.0 / std::sqrt(r2);
+      d_[i] = tau * alpha * secant[i];
+      d_[i + 1] = tau * beta * secant[i];
+    }
+  }
+
+  // Enforce the error bound at every cell midpoint (where the cubic's
+  // interpolation error peaks). The relative-error floor keeps a
+  // sign-crossing target (e.g. a normal marginal, where h passes
+  // through zero) from demanding infinite relative precision at the
+  // crossing; there the comparison degrades to an absolute bound of
+  // max_rel_error * max|h|.
+  const double abs_floor = max_rel_error * y_scale;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = kLo + step_ * (static_cast<double>(i) + 0.5);
+    const double truth = exact.exact_value(x);
+    // The exact path evaluates the quantile at the double nearest to
+    // Phi(x); near +8 that probability has only a few ulps of headroom
+    // below 1, so the reference is a staircase. Discount the quantile
+    // movement caused by one ulp of p at the midpoint plus one more for
+    // the bracketing nodes' own quantization — the interpolant cannot
+    // (and need not) resolve below the reference's granularity.
+    const double p = clamped_normal_cdf(x);
+    const double p_up = std::fmin(std::nextafter(p, 1.0), 1.0 - 1e-16);
+    const double p_dn = std::fmax(std::nextafter(p, 0.0), 1e-16);
+    const double noise = std::fmax(std::fabs(target_->quantile(p_up) - truth),
+                                   std::fabs(target_->quantile(p_dn) - truth));
+    const double err = std::fabs(interpolate(x) - truth);
+    const double excess = err > 2.0 * noise ? err - 2.0 * noise : 0.0;
+    const double rel = excess / std::fmax(std::fabs(truth), abs_floor);
+    if (rel > observed_error_) observed_error_ = rel;
+  }
+  if (observed_error_ > max_rel_error) {
+    throw NumericalError("tabulated transform of '" + target_->describe() +
+                         "' has relative error " + std::to_string(observed_error_) +
+                         " beyond the " + std::to_string(max_rel_error) + " bound at " +
+                         std::to_string(n) + " intervals");
+  }
+}
+
+double TabulatedTransform::interpolate(double x) const {
+  const double u = (x - kLo) * inv_step_;
+  std::size_t i = static_cast<std::size_t>(u);
+  const std::size_t last = y_.size() - 2;
+  if (i > last) i = last;  // x == kHi lands here
+  const double t = u - static_cast<double>(i);
+  // Cubic Hermite basis on the unit interval, with slopes pre-scaled by
+  // the uniform step.
+  const double t2 = t * t;
+  const double t3 = t2 * t;
+  const double h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+  const double h10 = t3 - 2.0 * t2 + t;
+  const double h01 = -2.0 * t3 + 3.0 * t2;
+  const double h11 = t3 - t2;
+  return h00 * y_[i] + h10 * step_ * d_[i] + h01 * y_[i + 1] + h11 * step_ * d_[i + 1];
+}
+
+double TabulatedTransform::operator()(double x) const {
+  if (x < kLo || x > kHi) {
+    // Saturated region: identical to the exact transform's clamping.
+    return target_->quantile(clamped_normal_cdf(x));
+  }
+  return interpolate(x);
+}
+
+void TabulatedTransform::apply(std::span<const double> xs, std::span<double> out) const {
+  SSVBR_REQUIRE(out.size() >= xs.size(), "output span too short");
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (*this)(xs[i]);
+}
+
+}  // namespace ssvbr::core

@@ -1,0 +1,78 @@
+// ssvbr/core/tabulated_transform.h
+//
+// Opt-in fast path for the marginal transform h(x) = F_Y^{-1}(Phi(x)).
+//
+// The exact transform costs one normal CDF plus one quantile per point;
+// for parametric targets the quantile is itself an iterative inversion
+// (regularized incomplete gamma, etc.), and the transform dominates the
+// foreground-synthesis profile once the Gaussian generator is fast.
+// Because h is a fixed monotone function of one variable, it tabulates
+// perfectly: this class precomputes h on a dense uniform grid over
+// [-8, 8] (beyond which Phi is saturated to the clamping constants in
+// marginal_transform.h) and interpolates with the Fritsch-Carlson
+// monotone cubic Hermite scheme, so the interpolant is monotone
+// whenever h is — order statistics of the output are preserved.
+//
+// Accuracy is enforced, not assumed: the constructor evaluates the
+// interpolant against the exact transform at every cell midpoint and
+// throws NumericalError if the relative error exceeds the bound
+// (default 1e-6). The default 4096-interval grid lands around 1e-10
+// for the paper's gamma / gamma-Pareto marginals.
+//
+// One caveat feeds the check: near x = +8 the probability p = Phi(x)
+// sits within a few ulps of 1.0, so the *exact* transform is itself a
+// staircase in x — one ulp of p moves a heavy-tailed quantile by a
+// relative 1e-3 there. The midpoint check therefore discounts the
+// reference's own resolution (the quantile moved by one ulp of p in
+// either direction) before applying the relative bound; demanding more
+// accuracy than the exact path itself carries would be meaningless.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/marginal_transform.h"
+
+namespace ssvbr::core {
+
+/// Grid-tabulated monotone interpolant of a MarginalTransform.
+/// Immutable after construction; safe to share across threads.
+class TabulatedTransform {
+ public:
+  /// Tabulates `exact` (via its exact_value()) on `intervals` uniform
+  /// cells over [-8, 8] and verifies the midpoint relative error is
+  /// <= `max_rel_error`, throwing NumericalError otherwise.
+  explicit TabulatedTransform(const MarginalTransform& exact,
+                              std::size_t intervals = 4096,
+                              double max_rel_error = 1e-6);
+
+  /// Interpolated h(x); exact evaluation outside [-8, 8] (where draws
+  /// are ~1e-15 rare under any twist the paper uses).
+  double operator()(double x) const;
+
+  /// Vectorised elementwise application: out[i] = h(xs[i]).
+  void apply(std::span<const double> xs, std::span<double> out) const;
+
+  /// Largest midpoint relative error observed during construction.
+  double max_rel_error_observed() const noexcept { return observed_error_; }
+
+  double grid_lo() const noexcept { return kLo; }
+  double grid_hi() const noexcept { return kHi; }
+  std::size_t intervals() const noexcept { return y_.size() - 1; }
+
+  static constexpr double kLo = -8.0;
+  static constexpr double kHi = 8.0;
+
+ private:
+  double interpolate(double x) const;
+
+  DistributionPtr target_;   // for the exact tail fallback
+  std::vector<double> y_;    // h at the grid nodes
+  std::vector<double> d_;    // limited Hermite slopes at the nodes
+  double inv_step_ = 0.0;
+  double step_ = 0.0;
+  double observed_error_ = 0.0;
+};
+
+}  // namespace ssvbr::core

@@ -43,6 +43,16 @@ class UnifiedVbrModel {
   fractal::AutocorrelationPtr background_correlation_ptr() const { return correlation_; }
   const MarginalTransform& transform() const { return transform_; }
 
+  /// Opt-in: switch generate() — and every kernel that reads
+  /// transform(), including the IS replication loop — to the tabulated
+  /// fast marginal transform (see TabulatedTransform). The default
+  /// stays the exact inverse-CDF evaluation; the table's relative
+  /// error bound is enforced at construction.
+  void enable_tabulated_transform(std::size_t intervals = 4096,
+                                  double max_rel_error = 1e-6) {
+    transform_.enable_tabulated(intervals, max_rel_error);
+  }
+
   /// Mean/variance of the foreground marginal (from the transform).
   double mean() const { return transform_.output_mean(); }
   double variance() const { return transform_.output_variance(); }

@@ -88,6 +88,67 @@ double RandomEngine::exponential() noexcept { return -std::log(uniform_open()); 
 
 namespace {
 
+// Ziggurat tables for the standard normal (Doornik's ZIGNOR layout):
+// 128 layers of equal area V with rightmost edge R. x[i] are the layer
+// edges (x[0] is the pseudo-width of the base layer, x[1] = R), f[i]
+// the density at each edge. Built once, on first use.
+constexpr double kZigR = 3.442619855899;
+
+struct ZigguratTables {
+  double x[129];
+  double f[129];
+  ZigguratTables() noexcept {
+    constexpr double kZigV = 9.91256303526217e-3;
+    x[0] = kZigV / std::exp(-0.5 * kZigR * kZigR);
+    x[1] = kZigR;
+    x[128] = 0.0;
+    for (int i = 2; i < 128; ++i) {
+      const double prev = x[i - 1];
+      x[i] = std::sqrt(-2.0 * std::log(kZigV / prev + std::exp(-0.5 * prev * prev)));
+    }
+    for (int i = 0; i <= 128; ++i) f[i] = std::exp(-0.5 * x[i] * x[i]);
+  }
+};
+
+const ZigguratTables& zig_tables() noexcept {
+  static const ZigguratTables tables;
+  return tables;
+}
+
+double zig_normal(RandomEngine& rng, const ZigguratTables& t) noexcept {
+  for (;;) {
+    // One raw draw feeds both the layer index (low 7 bits) and the
+    // signed uniform (top 53 bits) — they are disjoint bit ranges.
+    const std::uint64_t bits = rng();
+    const unsigned idx = static_cast<unsigned>(bits & 127u);
+    const double u = static_cast<double>(bits >> 11) * 0x1.0p-52 - 1.0;  // [-1, 1)
+    const double z = u * t.x[idx];
+    if (std::fabs(z) < t.x[idx + 1]) return z;  // inside the layer: ~98.8%
+    if (idx == 0) {
+      // Tail beyond R (Marsaglia's exact exponential-rejection scheme).
+      double xt, yt;
+      do {
+        xt = -std::log(rng.uniform_open()) / kZigR;
+        yt = -std::log(rng.uniform_open());
+      } while (yt + yt < xt * xt);
+      return z > 0.0 ? kZigR + xt : -(kZigR + xt);
+    }
+    // Wedge between the layer rectangles: accept against the density.
+    const double f0 = t.f[idx];
+    const double f1 = t.f[idx + 1];
+    if (f1 + rng.uniform() * (f0 - f1) < std::exp(-0.5 * z * z)) return z;
+  }
+}
+
+}  // namespace
+
+void RandomEngine::fill_normal(std::span<double> out) noexcept {
+  const ZigguratTables& t = zig_tables();
+  for (double& o : out) o = zig_normal(*this, t);
+}
+
+namespace {
+
 // xoshiro256++ jump polynomials (Blackman & Vigna). XOR-accumulating the
 // states visited at the set bits of the polynomial advances the stream
 // by 2^128 (jump) or 2^192 (long jump) steps.

@@ -95,13 +95,16 @@ double inverse_regularized_gamma_p(double a, double p) {
   const double gln = log_gamma(a);
   double x;
   if (a > 1.0) {
+    // Wilson-Hilferty via the AS 26.2.23 normal quantile of the
+    // minority tail: z is the upper-tail deviate for pp, positive, so
+    // the sign flips for the lower tail (p < 0.5).
     const double pp = p < 0.5 ? p : 1.0 - p;
     const double t = std::sqrt(-2.0 * std::log(pp));
-    double z = (2.30753 + t * 0.27061) / (1.0 + t * (0.99229 + t * 0.04481)) - t;
+    double z = t - (2.30753 + t * 0.27061) / (1.0 + t * (0.99229 + t * 0.04481));
     if (p < 0.5) z = -z;
     const double a1 = 1.0 / (9.0 * a);
     x = a * std::pow(1.0 - a1 + z * std::sqrt(a1), 3.0);
-    if (x <= 0.0) x = 1e-8;
+    if (x <= 1e-3) x = 1e-3;  // keep Halley clear of the x -> 0 crawl
   } else {
     const double t = 1.0 - a * (0.253 + a * 0.12);
     if (p < t) {

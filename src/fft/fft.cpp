@@ -1,6 +1,9 @@
 #include "fft/fft.h"
 
 #include <cmath>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
 
 #include "common/error.h"
 #include "common/math_util.h"
@@ -8,49 +11,146 @@
 
 namespace ssvbr::fft {
 
-namespace {
-
-// Bit-reversal permutation for the iterative radix-2 kernel.
-void bit_reverse_permute(std::span<Complex> data) {
-  const std::size_t n = data.size();
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  SSVBR_REQUIRE(is_power_of_two(n), "FFT length must be a power of two");
+  rev_.resize(n);
   std::size_t j = 0;
   for (std::size_t i = 1; i < n; ++i) {
     std::size_t bit = n >> 1;
     for (; j & bit; bit >>= 1) j ^= bit;
     j ^= bit;
-    if (i < j) std::swap(data[i], data[j]);
+    rev_[i] = static_cast<std::uint32_t>(j);
   }
+  // One table w_j = e^{-2*pi*i*j/n}, j < n/2, covers every stage: the
+  // butterfly at offset k of a length-`len` block uses w_{k * n/len}.
+  // Each entry is evaluated directly so the table carries no
+  // accumulated rounding error.
+  twiddle_.resize(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double angle = -kTwoPi * static_cast<double>(k) / static_cast<double>(n);
+    twiddle_[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+  if (n >= 2) half_ = get(n / 2);
 }
 
-// Radix-2 Cooley-Tukey; `sign` is -1 for the forward transform and +1
-// for the inverse (mathematics convention e^{sign * 2*pi*i*k/n}).
-void fft_pow2(std::span<Complex> data, int sign) {
-  const std::size_t n = data.size();
-  SSVBR_REQUIRE(is_power_of_two(n), "FFT length must be a power of two");
+std::shared_ptr<const FftPlan> FftPlan::get(std::size_t n) {
+  // Recursive mutex: building a plan builds its half-size plan through
+  // this same entry point.
+  static std::recursive_mutex mutex;
+  static std::unordered_map<std::size_t, std::shared_ptr<const FftPlan>> cache;
+  const std::lock_guard<std::recursive_mutex> lock(mutex);
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  auto plan = std::make_shared<const FftPlan>(n);
+  cache.emplace(n, plan);
+  return plan;
+}
+
+void FftPlan::transform(std::span<Complex> data, bool inverse) const {
+  SSVBR_REQUIRE(data.size() == n_, "FFT input does not match the plan size");
   SSVBR_COUNTER_ADD("fft.transforms", 1);
-  SSVBR_COUNTER_ADD("fft.points", n);
-  bit_reverse_permute(data);
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = static_cast<double>(sign) * kTwoPi / static_cast<double>(len);
-    const Complex wlen(std::cos(angle), std::sin(angle));
-    for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex u = data[i + k];
-        const Complex v = data[i + k + len / 2] * w;
-        data[i + k] = u + v;
-        data[i + k + len / 2] = u - v;
-        w *= wlen;
+  SSVBR_COUNTER_ADD("fft.points", n_);
+  Complex* const x = data.data();
+  for (std::size_t i = 1; i < n_; ++i) {
+    const std::size_t r = rev_[i];
+    if (i < r) std::swap(x[i], x[r]);
+  }
+  const Complex* const w = twiddle_.data();
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t stride = n_ / len;
+    for (std::size_t i = 0; i < n_; i += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const Complex wk = w[k * stride];
+        const Complex u = x[i + k];
+        const Complex t = x[i + k + half];
+        // v = t * wk (or t * conj(wk) for the inverse), expanded so the
+        // conjugation costs a sign instead of a temporary.
+        const double vr = inverse ? t.real() * wk.real() + t.imag() * wk.imag()
+                                  : t.real() * wk.real() - t.imag() * wk.imag();
+        const double vi = inverse ? t.imag() * wk.real() - t.real() * wk.imag()
+                                  : t.imag() * wk.real() + t.real() * wk.imag();
+        x[i + k] = Complex(u.real() + vr, u.imag() + vi);
+        x[i + k + half] = Complex(u.real() - vr, u.imag() - vi);
       }
     }
   }
 }
 
-}  // namespace
+void FftPlan::forward(std::span<Complex> data) const { transform(data, false); }
 
-void forward_pow2(std::span<Complex> data) { fft_pow2(data, -1); }
+void FftPlan::inverse(std::span<Complex> data) const { transform(data, true); }
 
-void inverse_pow2(std::span<Complex> data) { fft_pow2(data, +1); }
+void FftPlan::forward_real(std::span<const double> in, std::span<Complex> out,
+                           std::vector<Complex>& scratch) const {
+  SSVBR_REQUIRE(n_ >= 2, "real-input transform needs length >= 2");
+  SSVBR_REQUIRE(in.size() == n_ && out.size() == n_,
+                "real-input transform spans must match the plan size");
+  const std::size_t m = n_ / 2;
+  scratch.resize(m);
+  for (std::size_t k = 0; k < m; ++k) scratch[k] = Complex(in[2 * k], in[2 * k + 1]);
+  half_->forward(scratch);
+  // Unpack: with Z the half-size transform of evens + i*odds,
+  //   E_k = (Z_k + conj(Z_{m-k})) / 2   (spectrum of the even samples)
+  //   O_k = -i (Z_k - conj(Z_{m-k})) / 2 (spectrum of the odd samples)
+  //   X_k = E_k + w^k O_k, X_{k+m} = E_k - w^k O_k, w = e^{-2*pi*i/n}.
+  const double re0 = scratch[0].real();
+  const double im0 = scratch[0].imag();
+  out[0] = Complex(re0 + im0, 0.0);
+  out[m] = Complex(re0 - im0, 0.0);
+  for (std::size_t k = 1; k < m; ++k) {
+    const Complex zk = scratch[k];
+    const Complex zc = std::conj(scratch[m - k]);
+    const Complex e = 0.5 * (zk + zc);
+    const Complex o = Complex(0.0, -0.5) * (zk - zc);
+    const Complex wo = twiddle_[k] * o;
+    out[k] = e + wo;
+    out[k + m] = e - wo;
+  }
+}
+
+void FftPlan::synthesize_real(std::span<const Complex> spec, std::span<double> out,
+                              std::vector<Complex>& scratch) const {
+  SSVBR_REQUIRE(n_ >= 2, "real synthesis needs length >= 2");
+  SSVBR_REQUIRE(spec.size() >= n_ / 2 + 1 && out.size() == n_,
+                "real synthesis needs n/2+1 spectrum bins and n outputs");
+  // Target: out[j] = Re( sum_k spec_k e^{-2*pi*i*jk/n} ). With
+  // Y = conj(spec) this is the unnormalized inverse DFT of Y, i.e. the
+  // real sequence whose forward spectrum is n*Y. Inverting the
+  // forward_real unpacking (X_k = E_k + w^k O_k, X Hermitian) packs the
+  // half-size inverse input as
+  //   scratch_k = (Y_k + conj(Y_{m-k})) + i * w^{-k} (Y_k - conj(Y_{m-k}));
+  // the scale factors cancel so the unpack below needs none.
+  const std::size_t m = n_ / 2;
+  scratch.resize(m);
+  {
+    // k = 0 uses Y_0 and Y_m, both real for a Hermitian spectrum.
+    const Complex y0 = std::conj(spec[0]);
+    const Complex ym = std::conj(spec[m]);
+    scratch[0] = (y0 + ym) + Complex(0.0, 1.0) * (y0 - ym);
+  }
+  for (std::size_t k = 1; k < m; ++k) {
+    const Complex yk = std::conj(spec[k]);
+    const Complex yc = spec[m - k];  // conj(Y_{m-k})
+    const Complex winv = std::conj(twiddle_[k]);  // e^{+2*pi*i*k/n}
+    scratch[k] = (yk + yc) + Complex(0.0, 1.0) * (winv * (yk - yc));
+  }
+  half_->inverse(scratch);
+  for (std::size_t j = 0; j < m; ++j) {
+    out[2 * j] = scratch[j].real();
+    out[2 * j + 1] = scratch[j].imag();
+  }
+}
+
+void forward_pow2(std::span<Complex> data) {
+  SSVBR_REQUIRE(!data.empty(), "FFT input must be non-empty");
+  FftPlan::get(data.size())->forward(data);
+}
+
+void inverse_pow2(std::span<Complex> data) {
+  SSVBR_REQUIRE(!data.empty(), "FFT input must be non-empty");
+  FftPlan::get(data.size())->inverse(data);
+}
 
 std::vector<Complex> forward(std::span<const Complex> data) {
   const std::size_t n = data.size();
@@ -65,6 +165,7 @@ std::vector<Complex> forward(std::span<const Complex> data) {
   // chirp argument bounded (k^2 overflows double precision of the angle
   // for large k otherwise).
   const std::size_t m = next_power_of_two(2 * n + 1);
+  const std::shared_ptr<const FftPlan> plan = FftPlan::get(m);
   std::vector<Complex> chirp(n);
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t k2 = (k * k) % (2 * n);
@@ -79,10 +180,10 @@ std::vector<Complex> forward(std::span<const Complex> data) {
     b[k] = std::conj(chirp[k]);
     b[m - k] = std::conj(chirp[k]);
   }
-  forward_pow2(a);
-  forward_pow2(b);
+  plan->forward(a);
+  plan->forward(b);
   for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
-  inverse_pow2(a);
+  plan->inverse(a);
   std::vector<Complex> out(n);
   const double scale = 1.0 / static_cast<double>(m);
   for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * scale * chirp[k];
@@ -102,8 +203,16 @@ std::vector<Complex> inverse(std::span<const Complex> data) {
 }
 
 std::vector<Complex> forward_real(std::span<const double> data) {
-  std::vector<Complex> tmp(data.size());
-  for (std::size_t k = 0; k < data.size(); ++k) tmp[k] = Complex(data[k], 0.0);
+  const std::size_t n = data.size();
+  SSVBR_REQUIRE(n > 0, "FFT input must be non-empty");
+  if (n >= 2 && is_power_of_two(n)) {
+    std::vector<Complex> out(n);
+    std::vector<Complex> scratch;
+    FftPlan::get(n)->forward_real(data, out, scratch);
+    return out;
+  }
+  std::vector<Complex> tmp(n);
+  for (std::size_t k = 0; k < n; ++k) tmp[k] = Complex(data[k], 0.0);
   return forward(tmp);
 }
 

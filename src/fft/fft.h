@@ -3,7 +3,13 @@
 // Minimal self-contained FFT substrate.
 //
 // Provides:
-//   * an iterative radix-2 decimation-in-time complex FFT,
+//   * FftPlan — a per-size execution plan for the iterative radix-2
+//     decimation-in-time complex FFT, holding the twiddle-factor and
+//     bit-reversal tables so the butterfly loop performs no
+//     trigonometry and no recurrence accumulation,
+//   * a thread-safe process-wide plan cache keyed by length,
+//   * real-input forward and Hermitian-input synthesis transforms via
+//     the half-size complex-FFT trick,
 //   * a Bluestein (chirp-z) transform for arbitrary lengths,
 //   * convenience helpers for real input and circular convolution.
 //
@@ -13,13 +19,17 @@
 //   * O(n log n) estimation of long autocorrelation functions from
 //     multi-hundred-thousand-frame traces.
 //
-// The implementation is deliberately dependency-free; for the problem
-// sizes in this repository (n <= ~2^22) the plain radix-2 kernel is more
-// than fast enough.
+// Twiddle factors are tabulated once per size by direct cos/sin
+// evaluation of each angle. Besides removing a complex multiply per
+// butterfly, this eliminates the numerical drift of the former
+// per-butterfly `w *= wlen` recurrence, whose error grew with the
+// transform length.
 #pragma once
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -27,8 +37,59 @@ namespace ssvbr::fft {
 
 using Complex = std::complex<double>;
 
+/// Precomputed execution plan for power-of-two FFTs of one size.
+/// Immutable after construction; safe to share across threads. Obtain
+/// shared instances through FftPlan::get() — the cache makes repeated
+/// transforms of the same length (the common case in replication
+/// studies) pay the table setup exactly once per process.
+class FftPlan {
+ public:
+  /// Build the tables for transforms of length `n` (a power of two).
+  explicit FftPlan(std::size_t n);
+
+  /// Shared plan for length `n` from the process-wide cache
+  /// (thread-safe; the first caller per size builds the tables).
+  static std::shared_ptr<const FftPlan> get(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// In-place forward FFT (unnormalized, e^{-2*pi*i*jk/n} convention);
+  /// data.size() must equal size().
+  void forward(std::span<Complex> data) const;
+
+  /// In-place inverse FFT (unnormalized: inverse(forward(x)) == n*x).
+  void inverse(std::span<Complex> data) const;
+
+  /// Forward DFT of real input via one half-size complex FFT: packs
+  /// in[2j] + i*in[2j+1], transforms with the size-n/2 plan, and
+  /// unpacks to the full Hermitian spectrum. `in` and `out` must both
+  /// have size() elements and may not alias. Requires size() >= 2.
+  /// `scratch` provides the n/2 complex workspace (resized as needed).
+  void forward_real(std::span<const double> in, std::span<Complex> out,
+                    std::vector<Complex>& scratch) const;
+
+  /// Synthesis of a real sequence from a Hermitian spectrum with the
+  /// forward sign convention: out[j] = Re( sum_k spec[k] e^{-2*pi*i*jk/n} ),
+  /// exact when spec[n-k] == conj(spec[k]). Computed with one half-size
+  /// complex FFT — the transform Davies-Harte sampling needs. Only the
+  /// non-redundant bins spec[0..n/2] are read (spec.size() >= n/2 + 1);
+  /// `out` must have size() elements and may not alias `spec`.
+  /// Requires size() >= 2.
+  void synthesize_real(std::span<const Complex> spec, std::span<double> out,
+                       std::vector<Complex>& scratch) const;
+
+ private:
+  void transform(std::span<Complex> data, bool inverse) const;
+
+  std::size_t n_;
+  std::vector<std::uint32_t> rev_;   // bit-reversal permutation
+  std::vector<Complex> twiddle_;     // w_j = e^{-2*pi*i*j/n}, j < n/2
+  std::shared_ptr<const FftPlan> half_;  // size n/2 plan for the real tricks
+};
+
 /// In-place forward FFT of `data`; size must be a power of two.
-/// Unnormalized: inverse(forward(x)) == n * x.
+/// Unnormalized: inverse(forward(x)) == n * x. Uses the cached plan for
+/// data.size().
 void forward_pow2(std::span<Complex> data);
 
 /// In-place inverse FFT (unnormalized) of `data`; size must be a power of two.
@@ -42,7 +103,8 @@ std::vector<Complex> forward(std::span<const Complex> data);
 /// inverse(forward(x)) == x).
 std::vector<Complex> inverse(std::span<const Complex> data);
 
-/// Forward DFT of real input of arbitrary length. Returns all n complex bins.
+/// Forward DFT of real input of arbitrary length. Returns all n complex
+/// bins; power-of-two lengths >= 2 use the half-size real-input plan.
 std::vector<Complex> forward_real(std::span<const double> data);
 
 /// Circular convolution of two equal-length complex sequences via FFT.

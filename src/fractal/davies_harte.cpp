@@ -4,7 +4,6 @@
 
 #include "common/error.h"
 #include "common/math_util.h"
-#include "fft/fft.h"
 #include "obs/instrument.h"
 
 namespace ssvbr::fractal {
@@ -19,14 +18,18 @@ DaviesHarteModel::DaviesHarteModel(const AutocorrelationModel& model, std::size_
   // c_j = r(m - j) for j > half. half >= n guarantees the first n
   // samples carry the exact target covariance.
   m_ = next_power_of_two(2 * n);
+  plan_ = fft::FftPlan::get(m_);
   const std::size_t half = m_ / 2;
   const std::vector<double> r = model.tabulate(half);
   std::vector<fft::Complex> c(m_);
   for (std::size_t j = 0; j <= half; ++j) c[j] = fft::Complex(r[j], 0.0);
   for (std::size_t j = half + 1; j < m_; ++j) c[j] = fft::Complex(r[m_ - j], 0.0);
-  fft::forward_pow2(c);
+  plan_->forward(c);
 
-  sqrt_eigenvalues_.resize(m_);
+  // The synthesis scale 1/sqrt(m) is folded into the eigenvalue roots so
+  // the sampling loop multiplies once per bin instead of once per output.
+  scaled_sqrt_eigenvalues_.resize(m_);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(m_));
   double neg_mass = 0.0;
   double total_mass = 0.0;
   for (std::size_t k = 0; k < m_; ++k) {
@@ -34,9 +37,9 @@ DaviesHarteModel::DaviesHarteModel(const AutocorrelationModel& model, std::size_
     total_mass += std::fabs(lambda);
     if (lambda < 0.0) {
       neg_mass += -lambda;
-      sqrt_eigenvalues_[k] = 0.0;
+      scaled_sqrt_eigenvalues_[k] = 0.0;
     } else {
-      sqrt_eigenvalues_[k] = std::sqrt(lambda);
+      scaled_sqrt_eigenvalues_[k] = std::sqrt(lambda) * scale;
     }
   }
   clipped_mass_ = total_mass > 0.0 ? neg_mass / total_mass : 0.0;
@@ -48,26 +51,37 @@ DaviesHarteModel::DaviesHarteModel(const AutocorrelationModel& model, std::size_
 }
 
 void DaviesHarteModel::sample_path(RandomEngine& rng, std::span<double> out) const {
+  static thread_local Workspace workspace;
+  sample_path(rng, out, workspace);
+}
+
+void DaviesHarteModel::sample_path(RandomEngine& rng, std::span<double> out,
+                                   Workspace& ws) const {
   SSVBR_REQUIRE(out.size() >= n_, "output span shorter than path length");
   SSVBR_TIMER("fractal.davies_harte.sample_path");
   SSVBR_COUNTER_ADD("fractal.davies_harte.paths", 1);
   SSVBR_COUNTER_ADD("fractal.davies_harte.points", n_);
+  const std::size_t half = m_ / 2;
   // Hermitian-symmetric spectral synthesis: Z_0 and Z_{m/2} are real;
   // interior bins get independent complex Gaussians with half variance.
-  std::vector<fft::Complex> z(m_);
-  const std::size_t half = m_ / 2;
-  z[0] = fft::Complex(sqrt_eigenvalues_[0] * rng.normal(), 0.0);
-  z[half] = fft::Complex(sqrt_eigenvalues_[half] * rng.normal(), 0.0);
+  // Only the non-redundant bins 0..m/2 are materialised — the real
+  // synthesis reads nothing else — and the normals come from one
+  // ziggurat batch instead of m Box-Muller calls.
+  ws.normals.resize(m_);
+  ws.spec.resize(half + 1);
+  ws.path.resize(m_);
+  rng.fill_normal(ws.normals);
+  const double* nb = ws.normals.data();
+  const double* se = scaled_sqrt_eigenvalues_.data();
+  ws.spec[0] = fft::Complex(se[0] * nb[0], 0.0);
+  ws.spec[half] = fft::Complex(se[half] * nb[m_ - 1], 0.0);
   const double inv_sqrt2 = 1.0 / kSqrt2;
   for (std::size_t k = 1; k < half; ++k) {
-    const double a = rng.normal() * inv_sqrt2;
-    const double b = rng.normal() * inv_sqrt2;
-    z[k] = sqrt_eigenvalues_[k] * fft::Complex(a, b);
-    z[m_ - k] = std::conj(z[k]);
+    const double s = se[k] * inv_sqrt2;
+    ws.spec[k] = fft::Complex(s * nb[2 * k - 1], s * nb[2 * k]);
   }
-  fft::forward_pow2(z);
-  const double scale = 1.0 / std::sqrt(static_cast<double>(m_));
-  for (std::size_t j = 0; j < n_; ++j) out[j] = z[j].real() * scale;
+  plan_->synthesize_real(ws.spec, ws.path, ws.fft_scratch);
+  for (std::size_t j = 0; j < n_; ++j) out[j] = ws.path[j];
 }
 
 std::vector<double> DaviesHarteModel::sample(RandomEngine& rng) const {

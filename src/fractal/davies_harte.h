@@ -19,10 +19,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "dist/random.h"
+#include "fft/fft.h"
 #include "fractal/autocorrelation.h"
 
 namespace ssvbr::fractal {
@@ -30,6 +32,17 @@ namespace ssvbr::fractal {
 /// Exact (circulant-embedding) Gaussian process generator.
 class DaviesHarteModel {
  public:
+  /// Reusable per-thread scratch for sample_path: the normal draws, the
+  /// half-spectrum, the half-size FFT buffer, and the full embedding
+  /// path. One workspace per thread removes every steady-state heap
+  /// allocation from path generation.
+  struct Workspace {
+    std::vector<double> normals;
+    std::vector<fft::Complex> spec;
+    std::vector<fft::Complex> fft_scratch;
+    std::vector<double> path;
+  };
+
   /// Prepare eigenvalues for paths of length `n`. `tolerance` bounds the
   /// acceptable relative mass of clipped negative eigenvalues.
   DaviesHarteModel(const AutocorrelationModel& model, std::size_t n,
@@ -43,7 +56,12 @@ class DaviesHarteModel {
 
   /// Draw one path of length path_length() into `out`
   /// (out.size() >= path_length() required; extra entries untouched).
+  /// Uses a thread-local Workspace; bit-identical to the explicit
+  /// workspace overload for the same engine state.
   void sample_path(RandomEngine& rng, std::span<double> out) const;
+
+  /// Same draw with caller-owned scratch (resized as needed).
+  void sample_path(RandomEngine& rng, std::span<double> out, Workspace& ws) const;
 
   /// Convenience: allocate and return one path.
   std::vector<double> sample(RandomEngine& rng) const;
@@ -51,7 +69,8 @@ class DaviesHarteModel {
  private:
   std::size_t n_;       // requested path length
   std::size_t m_;       // embedding size (power of two >= 2n)
-  std::vector<double> sqrt_eigenvalues_;
+  std::vector<double> scaled_sqrt_eigenvalues_;  // sqrt(lambda_k) / sqrt(m)
+  std::shared_ptr<const fft::FftPlan> plan_;     // size-m synthesis plan
   double clipped_mass_ = 0.0;
 };
 

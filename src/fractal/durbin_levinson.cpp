@@ -1,0 +1,42 @@
+#include "fractal/durbin_levinson.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace ssvbr::fractal {
+
+DurbinLevinson::DurbinLevinson(std::span<const double> r, std::string label)
+    : r_(r), label_(std::move(label)) {
+  SSVBR_REQUIRE(!r_.empty(), "correlation table must be non-empty");
+  prev_.reserve(r_.size());
+  cur_.reserve(r_.size());
+}
+
+std::span<const double> DurbinLevinson::advance() {
+  const std::size_t k = ++k_;
+  SSVBR_REQUIRE(k < r_.size(), "Durbin-Levinson advanced past the correlation table");
+  const double num =
+      r_[k] - blocked_dot_reversed(prev_.data(), r_.data() + 1, k - 1);
+  const double phi_kk = num / v_;
+  if (!(phi_kk > -1.0 && phi_kk < 1.0) || !std::isfinite(phi_kk)) {
+    throw NumericalError("correlation '" + label_ +
+                         "' is not positive definite at lag " + std::to_string(k));
+  }
+  cur_.resize(k);
+  for (std::size_t j = 1; j < k; ++j) {
+    cur_[j - 1] = prev_[j - 1] - phi_kk * prev_[k - j - 1];
+  }
+  cur_[k - 1] = phi_kk;
+  v_ *= 1.0 - phi_kk * phi_kk;
+  if (!(v_ > 0.0)) {
+    throw NumericalError("innovation variance vanished at lag " + std::to_string(k) +
+                         " for correlation '" + label_ + "'");
+  }
+  std::swap(prev_, cur_);
+  return {prev_.data(), k};
+}
+
+}  // namespace ssvbr::fractal

@@ -1,0 +1,48 @@
+// ssvbr/fractal/durbin_levinson.h
+//
+// The Durbin-Levinson recursion shared by HoskingModel (which stores
+// every coefficient row) and hosking_sample_streaming (which keeps only
+// the latest row). Centralising the recursion keeps the
+// positive-definiteness and innovation-variance checks — and their
+// failure diagnostics — identical for both consumers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ssvbr::fractal {
+
+/// Incremental Durbin-Levinson recursion over a tabulated correlation
+/// r(0..n-1) with r(0) = 1. After construction the state describes step
+/// k = 0 (no regression, innovation variance 1); each advance() moves
+/// to the next step and returns the regression row phi_{k,1..k}.
+class DurbinLevinson {
+ public:
+  /// `r` must outlive the recursion. `label` names the correlation in
+  /// failure diagnostics (typically AutocorrelationModel::describe()).
+  DurbinLevinson(std::span<const double> r, std::string label);
+
+  /// Step the recursion advances to next (1 after construction).
+  std::size_t next_step() const noexcept { return k_ + 1; }
+
+  /// Innovation variance v_k of the current step.
+  double variance() const noexcept { return v_; }
+
+  /// Advance to step k+1 and return phi_{k+1,1..k+1} (phi[j-1] is the
+  /// weight of x_{k+1-j}). The span is valid until the next advance().
+  /// Throws NumericalError when the correlation fails positive
+  /// definiteness or the innovation variance vanishes.
+  std::span<const double> advance();
+
+ private:
+  std::span<const double> r_;
+  std::string label_;
+  std::vector<double> prev_;  // phi_{k,1..k} after advance()
+  std::vector<double> cur_;
+  double v_ = 1.0;
+  std::size_t k_ = 0;
+};
+
+}  // namespace ssvbr::fractal

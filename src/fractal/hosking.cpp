@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/math_util.h"
+#include "fractal/durbin_levinson.h"
 #include "obs/instrument.h"
 
 namespace ssvbr::fractal {
@@ -22,47 +24,34 @@ HoskingModel::HoskingModel(const AutocorrelationModel& model, std::size_t horizo
   SSVBR_SPAN("fractal.hosking.durbin_levinson");
   r_ = model.tabulate(horizon);  // r(0..horizon); one extra lag is harmless
   v_.resize(horizon);
+  sd_.resize(horizon);
   row_sum_.resize(horizon);
   phi_.resize(row_offset(horizon));
 
   v_[0] = 1.0;
+  sd_[0] = 1.0;
   row_sum_[0] = 0.0;
-  std::vector<double> prev;  // phi_{k-1, 1..k-1}
-  std::vector<double> cur;
-  prev.reserve(horizon);
-  cur.reserve(horizon);
+  DurbinLevinson dl(r_, model.describe());
   for (std::size_t k = 1; k < horizon; ++k) {
-    double num = r_[k];
-    for (std::size_t j = 1; j < k; ++j) num -= prev[j - 1] * r_[k - j];
-    const double phi_kk = num / v_[k - 1];
-    if (!(phi_kk > -1.0 && phi_kk < 1.0) || !std::isfinite(phi_kk)) {
-      throw NumericalError("correlation '" + model.describe() +
-                           "' is not positive definite at lag " + std::to_string(k));
-    }
-    cur.resize(k);
-    for (std::size_t j = 1; j < k; ++j) {
-      cur[j - 1] = prev[j - 1] - phi_kk * prev[k - j - 1];
-    }
-    cur[k - 1] = phi_kk;
-
-    v_[k] = v_[k - 1] * (1.0 - phi_kk * phi_kk);
-    if (!(v_[k] > 0.0)) {
-      throw NumericalError("innovation variance vanished at lag " + std::to_string(k) +
-                           " for correlation '" + model.describe() + "'");
-    }
+    const std::span<const double> row = dl.advance();
+    v_[k] = dl.variance();
+    sd_[k] = std::sqrt(v_[k]);
     double s = 0.0;
-    for (const double c : cur) s += c;
+    for (const double c : row) s += c;
     row_sum_[k] = s;
-
     double* dst = phi_.data() + row_offset(k);
-    for (std::size_t j = 0; j < k; ++j) dst[j] = cur[j];
-    std::swap(prev, cur);
+    for (std::size_t j = 0; j < k; ++j) dst[j] = row[j];
   }
 }
 
 double HoskingModel::innovation_variance(std::size_t k) const {
   SSVBR_REQUIRE(k < horizon_, "step index out of horizon");
   return v_[k];
+}
+
+double HoskingModel::innovation_sd(std::size_t k) const {
+  SSVBR_REQUIRE(k < horizon_, "step index out of horizon");
+  return sd_[k];
 }
 
 std::span<const double> HoskingModel::phi_row(std::size_t k) const {
@@ -80,9 +69,21 @@ double HoskingModel::conditional_mean(std::size_t k,
   if (k == 0) return 0.0;
   SSVBR_REQUIRE(history.size() >= k, "history shorter than step index");
   const std::span<const double> row = phi_row(k);
-  double m = 0.0;
-  for (std::size_t j = 1; j <= k; ++j) m += row[j - 1] * history[k - j];
-  return m;
+  return blocked_dot_reversed(row.data(), history.data(), k);
+}
+
+void HoskingModel::conditional_means_batch(std::size_t k, const double* history,
+                                           std::size_t stride, std::size_t count,
+                                           double* out) const {
+  for (std::size_t s = 0; s < count; ++s) out[s] = 0.0;
+  if (k == 0) return;
+  const std::span<const double> row = phi_row(k);
+  SSVBR_REQUIRE(stride >= count, "history stride narrower than the batch");
+  for (std::size_t j = 1; j <= k; ++j) {
+    const double c = row[j - 1];
+    const double* h = history + (k - j) * stride;
+    for (std::size_t s = 0; s < count; ++s) out[s] += c * h[s];
+  }
 }
 
 void HoskingModel::sample_path(RandomEngine& rng, std::span<double> out) const {
@@ -91,11 +92,10 @@ void HoskingModel::sample_path(RandomEngine& rng, std::span<double> out) const {
   SSVBR_TIMER("fractal.hosking.sample_path");
   SSVBR_COUNTER_ADD("fractal.hosking.steps", n);
   out[0] = rng.normal(0.0, 1.0);
+  const double* phi = phi_.data();
   for (std::size_t k = 1; k < n; ++k) {
-    const std::span<const double> row = phi_row(k);
-    double m = 0.0;
-    for (std::size_t j = 1; j <= k; ++j) m += row[j - 1] * out[k - j];
-    out[k] = rng.normal(m, std::sqrt(v_[k]));
+    const double m = blocked_dot_reversed(phi + row_offset(k), out.data(), k);
+    out[k] = rng.normal(m, sd_[k]);
   }
 }
 
@@ -119,7 +119,7 @@ HoskingStep HoskingSampler::next(RandomEngine& rng) {
     const double m = model_->conditional_mean(k, history_);
     step.conditional_mean = mean_shift_ * (1.0 - model_->phi_row_sum(k)) + m;
   }
-  step.value = rng.normal(step.conditional_mean, std::sqrt(step.variance));
+  step.value = rng.normal(step.conditional_mean, model_->innovation_sd(k));
   history_.push_back(step.value);
   return step;
 }
@@ -132,32 +132,11 @@ std::vector<double> hosking_sample_streaming(const AutocorrelationModel& model,
   const std::vector<double> r = model.tabulate(n);
   std::vector<double> x(n);
   x[0] = rng.normal(0.0, 1.0);
-  std::vector<double> prev;
-  std::vector<double> cur;
-  prev.reserve(n);
-  cur.reserve(n);
-  double v = 1.0;
+  DurbinLevinson dl(r, model.describe());
   for (std::size_t k = 1; k < n; ++k) {
-    double num = r[k];
-    for (std::size_t j = 1; j < k; ++j) num -= prev[j - 1] * r[k - j];
-    const double phi_kk = num / v;
-    if (!(phi_kk > -1.0 && phi_kk < 1.0) || !std::isfinite(phi_kk)) {
-      throw NumericalError("correlation '" + model.describe() +
-                           "' is not positive definite at lag " + std::to_string(k));
-    }
-    cur.resize(k);
-    for (std::size_t j = 1; j < k; ++j) {
-      cur[j - 1] = prev[j - 1] - phi_kk * prev[k - j - 1];
-    }
-    cur[k - 1] = phi_kk;
-    v *= 1.0 - phi_kk * phi_kk;
-    if (!(v > 0.0)) {
-      throw NumericalError("innovation variance vanished at lag " + std::to_string(k));
-    }
-    double m = 0.0;
-    for (std::size_t j = 1; j <= k; ++j) m += cur[j - 1] * x[k - j];
-    x[k] = rng.normal(m, std::sqrt(v));
-    std::swap(prev, cur);
+    const std::span<const double> row = dl.advance();
+    const double m = blocked_dot_reversed(row.data(), x.data(), k);
+    x[k] = rng.normal(m, std::sqrt(dl.variance()));
   }
   return x;
 }

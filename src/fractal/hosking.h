@@ -42,6 +42,10 @@ class HoskingModel {
   /// Innovation variance v_k of step k (v_0 = 1).
   double innovation_variance(std::size_t k) const;
 
+  /// sqrt(v_k), cached at construction so samplers do not recompute the
+  /// square root once per step per replication.
+  double innovation_sd(std::size_t k) const;
+
   /// Regression coefficients phi_{k,1..k} of step k >= 1 (phi_row(k)[j-1]
   /// is phi_{k,j}, the weight of x_{k-j}).
   std::span<const double> phi_row(std::size_t k) const;
@@ -55,6 +59,15 @@ class HoskingModel {
   /// i < k): sum_j phi_{k,j} * history[k-j].
   double conditional_mean(std::size_t k, std::span<const double> history) const;
 
+  /// Conditional means of step k for `count` paths stored time-major in
+  /// one interleaved buffer: history[t * stride + s] is x^(s)_t for
+  /// path s < count, t < k. Traverses the phi row once, applying each
+  /// coefficient to all paths — the superposed-source batch kernel of
+  /// the IS replication loop. `out` receives count means.
+  void conditional_means_batch(std::size_t k, const double* history,
+                               std::size_t stride, std::size_t count,
+                               double* out) const;
+
   /// Draw a complete path of length min(out.size(), horizon); the
   /// marginal of each X_k is N(0, 1).
   void sample_path(RandomEngine& rng, std::span<double> out) const;
@@ -66,6 +79,7 @@ class HoskingModel {
   std::size_t horizon_;
   std::vector<double> r_;        // r(0..horizon-1)
   std::vector<double> v_;        // innovation variances v_0..v_{horizon-1}
+  std::vector<double> sd_;       // sqrt(v_k), cached for samplers
   std::vector<double> row_sum_;  // S_0..S_{horizon-1}
   std::vector<double> phi_;      // packed triangular rows, row k at offset k(k-1)/2
 };

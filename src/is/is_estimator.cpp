@@ -59,30 +59,43 @@ IsReplicationKernel::IsReplicationKernel(const core::UnifiedVbrModel& model,
     : transform_(&model.transform()),
       background_(&background),
       settings_(settings),
-      queue_(settings.service_rate, settings.initial_occupancy) {
-  samplers_.reserve(n_sources);
-  for (std::size_t s = 0; s < n_sources; ++s) {
-    samplers_.emplace_back(background, settings.twisted_mean);
-  }
-}
+      n_sources_(n_sources),
+      queue_(settings.service_rate, settings.initial_occupancy),
+      history_(settings.stop_time * n_sources),
+      means_(n_sources) {}
 
 IsReplicationKernel::Outcome IsReplicationKernel::run_one(RandomEngine& rng) {
   SSVBR_TIMER("is.replication");
   const double m_star = settings_.twisted_mean;
-  for (auto& s : samplers_) s.reset();
+  const std::size_t n_sources = n_sources_;
   queue_.reset(settings_.initial_occupancy);
   lr_.reset();
   bool hit = false;
   double w = 0.0;  // total workload W_i = sum (Y_j - mu)
   for (std::size_t i = 0; i < settings_.stop_time; ++i) {
     // twisted_mean - original_mean = m* (1 - S_i); S_0 = 0.
-    const double delta =
-        m_star * (1.0 - (i == 0 ? 0.0 : background_->phi_row_sum(i)));
+    const double delta = m_star * (1.0 - background_->phi_row_sum(i));
+    // One phi-row traversal computes sum_j phi_{i,j} x'_{i-j} for every
+    // source; the twisted conditional mean is delta plus that (the
+    // shifted-process law of HoskingSampler::next). A single source has
+    // a contiguous history, where the blocked reversed dot beats the
+    // coefficient-major batch traversal.
+    if (n_sources == 1) {
+      means_[0] = background_->conditional_mean(i, {history_.data(), i});
+    } else {
+      background_->conditional_means_batch(i, history_.data(), n_sources, n_sources,
+                                           means_.data());
+    }
+    const double sd = background_->innovation_sd(i);
+    const double variance = background_->innovation_variance(i);
+    double* slot = history_.data() + i * n_sources;
     double y_total = 0.0;
-    for (auto& sampler : samplers_) {
-      const fractal::HoskingStep step = sampler.next(rng);
-      lr_.add_step(step.value, step.conditional_mean, delta, step.variance);
-      y_total += (*transform_)(step.value);
+    for (std::size_t s = 0; s < n_sources; ++s) {
+      const double twisted_mean = delta + means_[s];
+      const double x = rng.normal(twisted_mean, sd);
+      lr_.add_step(x, twisted_mean, delta, variance);
+      slot[s] = x;
+      y_total += (*transform_)(x);
     }
     if (settings_.event == queueing::OverflowEvent::kFirstPassage) {
       // Paper steps 4-7: track the total workload and stop at the

@@ -72,10 +72,14 @@ IsOverflowEstimate make_is_overflow_estimate(double mean_score, double sample_va
 
 /// One replication of the Section 4 IS procedure, reusable across
 /// replications and shared by the serial and parallel front-ends. Holds
-/// the per-replication scratch state (samplers, queue, likelihood
-/// accumulator); `model` and `background` must outlive the kernel.
-/// `n_sources` independent twisted sources feed the queue (1 = the
-/// paper's single-source experiments).
+/// the per-replication scratch state (path history, queue, likelihood
+/// accumulator), all preallocated at construction so the replication
+/// loop itself performs zero heap allocation; `model` and `background`
+/// must outlive the kernel. `n_sources` independent twisted sources
+/// feed the queue (1 = the paper's single-source experiments); their
+/// histories are stored time-major in one interleaved buffer so each
+/// step traverses the phi row once for all sources
+/// (HoskingModel::conditional_means_batch) instead of once per source.
 class IsReplicationKernel {
  public:
   IsReplicationKernel(const core::UnifiedVbrModel& model,
@@ -87,16 +91,20 @@ class IsReplicationKernel {
     bool hit = false;
   };
 
-  /// Run one independent replication drawing from `rng`.
+  /// Run one independent replication drawing from `rng`. Draws one
+  /// normal per (step, source) in source-major order within each step —
+  /// the same stream layout as a bank of per-source HoskingSamplers.
   Outcome run_one(RandomEngine& rng);
 
  private:
   const core::MarginalTransform* transform_;
   const fractal::HoskingModel* background_;
   IsOverflowSettings settings_;
-  std::vector<fractal::HoskingSampler> samplers_;
+  std::size_t n_sources_;
   queueing::LindleyQueue queue_;
   LikelihoodRatioAccumulator lr_;
+  std::vector<double> history_;  ///< stop_time x n_sources, time-major
+  std::vector<double> means_;    ///< per-source conditional means scratch
 };
 
 /// Run the IS simulation. `background` must have horizon >= stop_time

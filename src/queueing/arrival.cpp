@@ -16,9 +16,27 @@ ModelArrivalProcess::ModelArrivalProcess(
   SSVBR_REQUIRE(model_ != nullptr, "arrival model must not be null");
 }
 
+ModelArrivalProcess::ModelArrivalProcess(
+    std::shared_ptr<const core::UnifiedVbrModel> model,
+    std::shared_ptr<const core::BackgroundPathSampler> sampler)
+    : model_(std::move(model)),
+      generator_(core::BackgroundGenerator::kHosking),
+      sampler_(std::move(sampler)) {
+  SSVBR_REQUIRE(model_ != nullptr, "arrival model must not be null");
+  SSVBR_REQUIRE(sampler_ != nullptr, "background sampler must not be null");
+}
+
 void ModelArrivalProcess::begin_replication(RandomEngine& rng, std::size_t horizon) {
   SSVBR_REQUIRE(horizon >= 1, "replication horizon must be positive");
-  path_ = model_->generate(horizon, rng, generator_);
+  if (!sampler_ || sampler_->horizon() != horizon) {
+    // First replication (or a horizon change): build the per-horizon
+    // generator state once; every later replication is setup-free.
+    sampler_ = std::make_shared<const core::BackgroundPathSampler>(*model_, horizon,
+                                                                   generator_);
+  }
+  path_.resize(horizon);
+  sampler_->sample(rng, path_);
+  model_->transform().apply(path_, path_);
   pos_ = 0;
 }
 

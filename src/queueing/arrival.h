@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "core/background_sampler.h"
 #include "core/unified_model.h"
 #include "dist/random.h"
 #include "trace/video_trace.h"
@@ -38,6 +39,13 @@ class ArrivalProcess {
 
 /// Arrivals synthesized from a fitted unified VBR model: each
 /// replication draws an independent background path and transforms it.
+///
+/// The per-horizon generator setup (Davies-Harte eigenvalues or the
+/// Hosking coefficient table) is built once at the first
+/// begin_replication and reused — together with the path buffer — for
+/// every subsequent replication of the same horizon, so the steady
+/// state of a replication study does no setup work and no heap
+/// allocation. Draw sequences are unchanged.
 class ModelArrivalProcess final : public ArrivalProcess {
  public:
   /// `generator` selects the background synthesis algorithm; Hosking
@@ -47,6 +55,13 @@ class ModelArrivalProcess final : public ArrivalProcess {
                       core::BackgroundGenerator generator =
                           core::BackgroundGenerator::kHosking);
 
+  /// Same, with a prebuilt background sampler shared across workers
+  /// (the parallel engine's arrival factories otherwise build one
+  /// coefficient table per worker). A begin_replication horizon that
+  /// differs from the sampler's rebuilds a private Hosking sampler.
+  ModelArrivalProcess(std::shared_ptr<const core::UnifiedVbrModel> model,
+                      std::shared_ptr<const core::BackgroundPathSampler> sampler);
+
   void begin_replication(RandomEngine& rng, std::size_t horizon) override;
   double next() override;
   double mean_rate() const override;
@@ -54,6 +69,7 @@ class ModelArrivalProcess final : public ArrivalProcess {
  private:
   std::shared_ptr<const core::UnifiedVbrModel> model_;
   core::BackgroundGenerator generator_;
+  std::shared_ptr<const core::BackgroundPathSampler> sampler_;
   std::vector<double> path_;
   std::size_t pos_ = 0;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <span>
 
 #include "common/error.h"
 #include "common/math_util.h"
@@ -137,19 +139,34 @@ std::vector<double> autocorrelation_fft(std::span<const double> xs, std::size_t 
   SSVBR_REQUIRE(max_lag < xs.size(), "max_lag must be smaller than the series length");
   const std::size_t n = xs.size();
   const double m = mean(xs);
-  // Zero-pad to >= 2n to turn the circular convolution into a linear one.
+  // Zero-pad to >= 2n to turn the circular convolution into a linear
+  // one. Both transforms run through the real-input half-size plan; the
+  // buffers persist per thread so repeated estimation (e.g. per-scene
+  // trace analysis) does not reallocate.
   const std::size_t padded = next_power_of_two(2 * n);
-  std::vector<fft::Complex> buf(padded, fft::Complex(0.0, 0.0));
-  for (std::size_t i = 0; i < n; ++i) buf[i] = fft::Complex(xs[i] - m, 0.0);
-  fft::forward_pow2(buf);
-  for (auto& z : buf) z = fft::Complex(std::norm(z), 0.0);
-  fft::inverse_pow2(buf);
+  const std::shared_ptr<const fft::FftPlan> plan = fft::FftPlan::get(padded);
+  static thread_local std::vector<double> buf;
+  static thread_local std::vector<fft::Complex> spec;
+  static thread_local std::vector<fft::Complex> scratch;
+  buf.assign(padded, 0.0);
+  spec.resize(padded);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = xs[i] - m;
+  plan->forward_real(buf, spec, scratch);
+  // The power spectrum is real and even, so its (unnormalized) inverse
+  // transform is exactly the real synthesis sum_k |X_k|^2 e^{-2 pi ijk/m};
+  // only the non-redundant half is needed.
+  const std::size_t half = padded / 2;
+  for (std::size_t k = 0; k <= half; ++k) {
+    spec[k] = fft::Complex(std::norm(spec[k]), 0.0);
+  }
+  plan->synthesize_real(std::span<const fft::Complex>(spec).first(half + 1), buf,
+                        scratch);
   std::vector<double> r(max_lag + 1);
-  // inverse_pow2 is unnormalized (factor `padded`); the biased estimator
+  // The synthesis is unnormalized (factor `padded`); the biased estimator
   // divides by n. Normalize by c(0) at the end so both factors cancel.
-  const double c0 = buf[0].real();
+  const double c0 = buf[0];
   SSVBR_REQUIRE(c0 > 0.0, "autocorrelation of a constant series is undefined");
-  for (std::size_t k = 0; k <= max_lag; ++k) r[k] = buf[k].real() / c0;
+  for (std::size_t k = 0; k <= max_lag; ++k) r[k] = buf[k] / c0;
   return r;
 }
 

@@ -106,6 +106,54 @@ TEST(DaviesHarte, ToleranceGovernsClippingAcceptance) {
   }
 }
 
+TEST(DaviesHarte, WorkspaceOverloadBitIdenticalToThreadLocalPath) {
+  // The caller-owned-scratch overload and the default (thread-local
+  // workspace) overload must consume the engine identically and produce
+  // the same bits; the second iteration reuses warm scratch in both.
+  const FgnAutocorrelation corr(0.8);
+  const DaviesHarteModel model(corr, 1000);  // non-power-of-two length
+  RandomEngine rng_default(99);
+  RandomEngine rng_ws(99);
+  std::vector<double> a(model.path_length());
+  std::vector<double> b(model.path_length());
+  DaviesHarteModel::Workspace ws;
+  for (int path = 0; path < 2; ++path) {
+    model.sample_path(rng_default, a);
+    model.sample_path(rng_ws, b, ws);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << "path=" << path << " i=" << i;
+    }
+  }
+}
+
+TEST(DaviesHarte, WorkspaceReusedAcrossModelsResizesCorrectly) {
+  // One workspace serving models of different sizes (grow then shrink)
+  // must reproduce the draws of fresh per-model workspaces exactly.
+  const FgnAutocorrelation corr(0.75);
+  const DaviesHarteModel big(corr, 1 << 10);
+  const DaviesHarteModel small(corr, 300);
+  std::vector<double> reused(big.path_length());
+  std::vector<double> fresh(big.path_length());
+
+  DaviesHarteModel::Workspace shared_ws;
+  RandomEngine rng_reused(7);
+  RandomEngine rng_fresh(7);
+
+  big.sample_path(rng_reused, reused, shared_ws);
+  {
+    DaviesHarteModel::Workspace ws;
+    big.sample_path(rng_fresh, fresh, ws);
+  }
+  for (std::size_t i = 0; i < big.path_length(); ++i) ASSERT_EQ(reused[i], fresh[i]);
+
+  small.sample_path(rng_reused, {reused.data(), small.path_length()}, shared_ws);
+  {
+    DaviesHarteModel::Workspace ws;
+    small.sample_path(rng_fresh, {fresh.data(), small.path_length()}, ws);
+  }
+  for (std::size_t i = 0; i < small.path_length(); ++i) ASSERT_EQ(reused[i], fresh[i]);
+}
+
 TEST(DaviesHarte, Validation) {
   const FgnAutocorrelation corr(0.8);
   EXPECT_THROW(DaviesHarteModel(corr, 1), InvalidArgument);

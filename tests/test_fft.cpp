@@ -60,6 +60,56 @@ TEST(Fft, Pow2RoundTripRecoversInput) {
   EXPECT_LT(max_error(x, y), 1e-10);
 }
 
+TEST(FftPlan, MatchesReferenceDftAtTightTolerance) {
+  // The precomputed-twiddle plan must track the O(n^2) reference to
+  // near machine precision; tolerance scales with the DFT magnitude
+  // (values are O(sqrt(n)) for unit-variance input).
+  for (const std::size_t n : {2u, 4u, 16u, 128u, 512u}) {
+    const std::vector<Complex> x = random_signal(n, 300 + n);
+    std::vector<Complex> fast = x;
+    FftPlan::get(n)->forward(fast);
+    const std::vector<Complex> ref = reference_dft(x);
+    EXPECT_LT(max_error(fast, ref), 1e-12 * static_cast<double>(n * n)) << "n=" << n;
+  }
+}
+
+TEST(FftPlan, OddSizesViaBluesteinMatchReferenceAtTightTolerance) {
+  // forward() dispatches odd/composite lengths to Bluestein, which runs
+  // on the same plan machinery; hold it to the same precision scale.
+  for (const std::size_t n : {3u, 17u, 127u, 241u}) {
+    const std::vector<Complex> x = random_signal(n, 400 + n);
+    const std::vector<Complex> fast = forward(x);
+    const std::vector<Complex> ref = reference_dft(x);
+    EXPECT_LT(max_error(fast, ref), 1e-12 * static_cast<double>(n * n)) << "n=" << n;
+  }
+}
+
+TEST(FftPlan, CacheReturnsSharedPlanPerSize) {
+  const auto a = FftPlan::get(256);
+  const auto b = FftPlan::get(256);
+  EXPECT_EQ(a.get(), b.get());  // one table build per size, process-wide
+  EXPECT_EQ(a->size(), 256u);
+  EXPECT_NE(a.get(), FftPlan::get(128).get());
+}
+
+TEST(FftPlan, ForwardRealScratchReuseIsDeterministic) {
+  // forward_real with a reused (warm, possibly oversized) scratch must
+  // produce bit-identical spectra to a fresh scratch.
+  RandomEngine rng(17);
+  std::vector<double> x(64);
+  for (auto& v : x) v = rng.normal();
+  const auto plan = FftPlan::get(64);
+  std::vector<Complex> out_fresh(64);
+  std::vector<Complex> out_reused(64);
+  std::vector<Complex> fresh_scratch;
+  plan->forward_real(x, out_fresh, fresh_scratch);
+  std::vector<Complex> warm_scratch(1024);  // oversized from a prior use
+  plan->forward_real(x, out_reused, warm_scratch);
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    EXPECT_EQ(out_fresh[k], out_reused[k]) << "k=" << k;
+  }
+}
+
 TEST(Fft, ForwardRejectsNonPowerOfTwo) {
   std::vector<Complex> x(3);
   EXPECT_THROW(forward_pow2(x), InvalidArgument);

@@ -283,6 +283,108 @@ TEST(IsSuperposed, Validation) {
                InvalidArgument);
 }
 
+// --- Batched kernel vs per-sampler reference --------------------------
+
+// The pre-batching replication loop: one HoskingSampler per source,
+// stepped in source order within each slot, exact transform, same
+// stopped likelihood ratio. The kernel's interleaved history buffer
+// must reproduce this stream layout exactly and its scores up to
+// floating-point reassociation in the batched conditional means.
+IsReplicationKernel::Outcome reference_run_one(const core::UnifiedVbrModel& model,
+                                               const fractal::HoskingModel& background,
+                                               std::size_t n_sources,
+                                               const IsOverflowSettings& settings,
+                                               RandomEngine& rng) {
+  std::vector<fractal::HoskingSampler> samplers;
+  samplers.reserve(n_sources);
+  for (std::size_t s = 0; s < n_sources; ++s) {
+    samplers.emplace_back(background, settings.twisted_mean);
+  }
+  queueing::LindleyQueue queue(settings.service_rate, settings.initial_occupancy);
+  LikelihoodRatioAccumulator lr;
+  bool hit = false;
+  double w = 0.0;
+  for (std::size_t i = 0; i < settings.stop_time; ++i) {
+    const double delta = settings.twisted_mean * (1.0 - background.phi_row_sum(i));
+    double y_total = 0.0;
+    for (auto& sampler : samplers) {
+      const fractal::HoskingStep step = sampler.next(rng);
+      lr.add_step(step.value, step.conditional_mean, delta, step.variance);
+      y_total += model.transform().exact_value(step.value);
+    }
+    if (settings.event == queueing::OverflowEvent::kFirstPassage) {
+      w += y_total - settings.service_rate;
+      if (w > settings.buffer) {
+        hit = true;
+        break;
+      }
+    } else {
+      queue.step(y_total);
+    }
+  }
+  if (settings.event == queueing::OverflowEvent::kTerminal) {
+    hit = queue.size() > settings.buffer;
+  }
+  return {hit ? lr.likelihood() : 0.0, hit};
+}
+
+TEST(IsReplicationKernel, MatchesPerSamplerReference) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 60);
+  for (const std::size_t n_sources : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE(n_sources);
+    IsOverflowSettings settings;
+    settings.twisted_mean = 0.8;
+    settings.service_rate = static_cast<double>(n_sources) * model.mean() / 0.7;
+    settings.buffer = 6.0 * model.mean();
+    settings.stop_time = 60;
+    IsReplicationKernel kernel(model, background, n_sources, settings);
+    RandomEngine rng(11);
+    std::size_t hits = 0;
+    for (int rep = 0; rep < 25; ++rep) {
+      RandomEngine rng_kernel = rng;
+      RandomEngine rng_ref = rng;
+      rng.jump();
+      const IsReplicationKernel::Outcome got = kernel.run_one(rng_kernel);
+      const IsReplicationKernel::Outcome want =
+          reference_run_one(model, background, n_sources, settings, rng_ref);
+      ASSERT_EQ(got.hit, want.hit) << "rep=" << rep;
+      EXPECT_NEAR(got.score, want.score, 1e-9 * std::max(1.0, want.score))
+          << "rep=" << rep;
+      if (got.hit) ++hits;
+    }
+    EXPECT_GT(hits, 0u);  // the comparison must exercise real scores
+  }
+}
+
+TEST(IsReplicationKernel, MatchesPerSamplerReferenceTerminalEvent) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 40);
+  const std::size_t n_sources = 3;
+  IsOverflowSettings settings;
+  settings.twisted_mean = 0.6;
+  settings.service_rate = static_cast<double>(n_sources) * model.mean() / 0.7;
+  settings.buffer = 3.0 * model.mean();
+  settings.stop_time = 40;
+  settings.event = queueing::OverflowEvent::kTerminal;
+  settings.initial_occupancy = model.mean();
+  IsReplicationKernel kernel(model, background, n_sources, settings);
+  RandomEngine rng(12);
+  std::size_t hits = 0;
+  for (int rep = 0; rep < 25; ++rep) {
+    RandomEngine rng_kernel = rng;
+    RandomEngine rng_ref = rng;
+    rng.jump();
+    const IsReplicationKernel::Outcome got = kernel.run_one(rng_kernel);
+    const IsReplicationKernel::Outcome want =
+        reference_run_one(model, background, n_sources, settings, rng_ref);
+    ASSERT_EQ(got.hit, want.hit) << "rep=" << rep;
+    EXPECT_NEAR(got.score, want.score, 1e-9 * std::max(1.0, want.score)) << "rep=" << rep;
+    if (got.hit) ++hits;
+  }
+  EXPECT_GT(hits, 0u);
+}
+
 TEST(IsEstimator, Validation) {
   const core::UnifiedVbrModel model = make_model();
   const fractal::HoskingModel background(model.background_correlation(), 20);

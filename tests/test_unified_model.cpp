@@ -44,7 +44,7 @@ TEST(UnifiedVbrModel, MarginalMatchesTargetAcrossGenerators) {
     // Average over replications: a single LRD path's empirical marginal
     // deviates wildly from the ensemble law.
     std::vector<double> all;
-    for (int rep = 0; rep < 24; ++rep) {
+    for (int rep = 0; rep < 96; ++rep) {
       const std::vector<double> y = model.generate(1024, rng, generator);
       all.insert(all.end(), y.begin(), y.end());
     }
