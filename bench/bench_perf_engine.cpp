@@ -2,7 +2,7 @@
 //
 // Runs the same fixed-seed overflow studies — crude Monte-Carlo
 // (eq. 16-17) and importance sampling (Section 4) — through the
-// ReplicationEngine at increasing thread counts, verifies that every
+// unified RunRequest API (engine/run.h) at increasing thread counts, verifies that every
 // thread count reproduces the T=1 result bit-for-bit, and prints ONE
 // machine-readable JSON line per estimator so future PRs can track
 // threads-vs-throughput:
@@ -22,7 +22,7 @@
 
 #include "bench_util.h"
 #include "dist/distributions.h"
-#include "engine/parallel_estimators.h"
+#include "engine/run.h"
 #include "fractal/autocorrelation.h"
 #include "queueing/arrival.h"
 
@@ -95,10 +95,17 @@ int main() {
     const auto make_arrivals = [&gamma] {
       return std::make_unique<queueing::IidArrivalProcess>(gamma);
     };
+    engine::RunRequest request;
+    request.kind = engine::EstimatorKind::kOverflowMc;
+    request.mc.make_arrivals = make_arrivals;
+    request.mc.service_rate = 2.5;
+    request.mc.buffer = 12.0;
+    request.mc.stop_time = k;
+    request.mc.replications = reps;
     report("mc", reps, thread_counts, [&](engine::ReplicationEngine& eng) {
       RandomEngine rng(1001);
-      const queueing::OverflowEstimate est = engine::estimate_overflow_mc_par(
-          make_arrivals, 2.5, 12.0, k, reps, rng, eng);
+      const queueing::OverflowEstimate est =
+          engine::run_with(request, eng, rng).mc;
       return std::make_tuple(est.probability, est.estimator_variance, est.hits);
     });
   }
@@ -117,10 +124,15 @@ int main() {
     settings.buffer = 20.0 * model.mean();
     settings.stop_time = 100;
     settings.replications = reps;
+    engine::RunRequest request;
+    request.kind = engine::EstimatorKind::kOverflowIs;
+    request.is.model = &model;
+    request.is.background = &background;
+    request.is.settings = settings;
     report("is", reps, thread_counts, [&](engine::ReplicationEngine& eng) {
       RandomEngine rng(1002);
       const is::IsOverflowEstimate est =
-          engine::estimate_overflow_is_par(model, background, settings, rng, eng);
+          engine::run_with(request, eng, rng).is_estimate;
       return std::make_tuple(est.probability, est.estimator_variance, est.hits);
     });
   }

@@ -3,18 +3,119 @@
 // by self-similar VBR video overflows — an event far too rare for crude
 // Monte Carlo — by twisting the mean of the Gaussian background process
 // and reweighting with the sequential likelihood ratio.
+//
+// This example doubles as the demo of the unified run-control API
+// (engine/run.h): the production run goes through engine::RunRequest /
+// RunResult, and the flags below exercise durable checkpointing,
+// resume, and Ctrl-C cancellation:
+//
+//   --checkpoint PATH     write crash-safe shard snapshots to PATH
+//   --checkpoint-every N  snapshot cadence in shards (default 1)
+//   --resume              continue from PATH if it exists
+//   --replications N      production replications (default 4000)
+//   --twist M             skip the scan, use twist M directly
+//   --skip-sweep          alias for --twist 3.0
+//   --seed S              production-run seed (default 43)
+//   --threads T           worker threads (default: hardware)
+//   --shard-size N        replications per shard (default 256)
+//   --stop-time K         overflow horizon in slots (default 500)
+//   --max-replications N  per-invocation budget (campaign slices)
+//
+// Exit status: 0 when the estimate completed, 3 when the run drained
+// early (cancelled / deadline / budget; rerun with --resume to
+// continue), 2 for bad usage.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <bit>
+#include <cinttypes>
 #include <cmath>
+#include <string>
 
+#include "common/error.h"
 #include "core/model_builder.h"
-#include "engine/parallel_estimators.h"
+#include "engine/run.h"
 #include "is/is_estimator.h"
 #include "is/twist_search.h"
 #include "obs/metrics.h"
 #include "trace/scene_mpeg_source.h"
 
-int main() {
+namespace {
+
+struct Options {
+  std::string checkpoint;
+  std::size_t checkpoint_every = 1;
+  bool resume = false;
+  std::size_t replications = 4000;
+  double twist = 0.0;  // 0 => run the stage-1 scan
+  std::uint64_t seed = 43;
+  unsigned threads = 0;
+  std::size_t shard_size = 256;
+  std::size_t stop_time = 500;
+  std::size_t max_replications = 0;
+};
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--checkpoint") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.checkpoint = v;
+    } else if (arg == "--checkpoint-every") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.checkpoint_every = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--resume") {
+      opt.resume = true;
+    } else if (arg == "--replications") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.replications = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--twist") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.twist = std::strtod(v, nullptr);
+    } else if (arg == "--skip-sweep") {
+      opt.twist = 3.0;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--shard-size") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.shard_size = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--stop-time") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.stop_time = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--max-replications") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.max_replications = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace ssvbr;
+
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
 
   // SSVBR_METRICS_JSON / SSVBR_TRACE_JSON / SSVBR_OBS_SUMMARY dump
   // instrumentation at exit when the library is built with
@@ -24,10 +125,16 @@ int main() {
   std::printf("=== Rare buffer-overflow estimation via importance sampling ===\n\n");
 
   // All replication studies below run on the deterministic parallel
-  // engine: results are bit-identical to a single-threaded run, only
-  // faster when cores are available. The progress callback heartbeats
-  // long studies to stderr without touching the estimates.
+  // engine: results are bit-identical to a single-threaded run at any
+  // thread count, with or without an interruption in between. Ctrl-C
+  // drains workers at shard boundaries, writes a final checkpoint (when
+  // --checkpoint is set), and exits cleanly; rerun with --resume to
+  // pick the campaign back up without replaying a single replication.
+  engine::install_sigint_cancellation();
+
   engine::EngineConfig engine_config;
+  engine_config.threads = opt.threads;
+  engine_config.shard_size = opt.shard_size;
   engine_config.progress = [](const engine::EngineProgress& p) {
     if (!p.final_update) {
       std::fprintf(stderr, "  [engine] %zu/%zu replications, %.0f reps/s, eta %.0fs\n",
@@ -47,40 +154,85 @@ int main() {
   // Queue setting: low utilization, large buffer => very rare overflow.
   const double utilization = 0.2;
   const double buffer_normalized = 25.0;
-  const std::size_t stop_time = 500;
   std::printf("queue: utilization %.1f, normalized buffer %.0f, stop time k=%zu\n",
-              utilization, buffer_normalized, stop_time);
+              utilization, buffer_normalized, opt.stop_time);
 
   const fractal::HoskingModel background(fitted.model.background_correlation(),
-                                         stop_time);
+                                         opt.stop_time);
   is::IsOverflowSettings settings;
   settings.service_rate = mean_rate / utilization;
   settings.buffer = buffer_normalized * mean_rate;
-  settings.stop_time = stop_time;
+  settings.stop_time = opt.stop_time;
   settings.replications = 500;
 
-  // Stage 1: coarse scan for the variance valley (Fig. 14).
-  std::printf("\nStage 1: twist scan (500 replications each)\n");
-  std::printf("  m*    P_hat        norm.var   hits   ESS\n");
-  RandomEngine rng(42);
-  const auto sweep = engine::sweep_twist_par(fitted.model, background, settings,
-                                             {1.0, 2.0, 3.0, 4.0, 5.0}, rng, engine);
-  for (const auto& p : sweep) {
-    std::printf("  %.1f   %.3e   %8.4f   %4zu   %.1f\n", p.twisted_mean,
-                p.estimate.probability, p.estimate.normalized_variance, p.estimate.hits,
-                p.estimate.effective_sample_size);
+  double twist = opt.twist;
+  if (twist <= 0.0) {
+    // Stage 1: coarse scan for the variance valley (Fig. 14), through
+    // the same unified request API (sweeps support cancellation at grid
+    // -point granularity but not checkpointing).
+    std::printf("\nStage 1: twist scan (500 replications each)\n");
+    std::printf("  m*    P_hat        norm.var   hits   ESS\n");
+    engine::RunRequest scan;
+    scan.kind = engine::EstimatorKind::kTwistSweep;
+    scan.is.model = &fitted.model;
+    scan.is.background = &background;
+    scan.is.settings = settings;
+    scan.is.twists = {1.0, 2.0, 3.0, 4.0, 5.0};
+    scan.controls.cancel_on_sigint = true;
+    RandomEngine rng(42);
+    const engine::RunResult scan_result = engine::run_with(scan, engine, rng);
+    for (const auto& p : scan_result.sweep) {
+      std::printf("  %.1f   %.3e   %8.4f   %4zu   %.1f\n", p.twisted_mean,
+                  p.estimate.probability, p.estimate.normalized_variance,
+                  p.estimate.hits, p.estimate.effective_sample_size);
+    }
+    if (!scan_result.complete()) {
+      std::printf("  scan %s after %zu grid point(s)\n",
+                  engine::to_string(scan_result.status), scan_result.sweep.size());
+      return 3;
+    }
+    const auto& best = is::find_best_twist(scan_result.sweep);
+    twist = best.twisted_mean;
+    std::printf("  -> near-optimal twist m* = %.1f\n", twist);
+  } else {
+    std::printf("\nStage 1 skipped: twist m* = %.1f given on the command line\n", twist);
   }
-  const auto& best = is::find_best_twist(sweep);
-  std::printf("  -> near-optimal twist m* = %.1f\n", best.twisted_mean);
 
-  // Stage 2: production run at the chosen twist.
-  settings.twisted_mean = best.twisted_mean;
-  settings.replications = 4000;
-  RandomEngine rng2(43);
-  const is::IsOverflowEstimate est = engine::estimate_overflow_is_par(
-      fitted.model, background, settings, rng2, engine);
-  std::printf("\nStage 2: final estimate (%zu replications)\n", est.replications);
-  std::printf("  P(overflow by k=%zu) = %.3e  (95%% CI +- %.1e)\n", stop_time,
+  // Stage 2: production run at the chosen twist, as one durable
+  // RunRequest.
+  settings.twisted_mean = twist;
+  settings.replications = opt.replications;
+  engine::RunRequest request;
+  request.kind = engine::EstimatorKind::kOverflowIs;
+  request.is.model = &fitted.model;
+  request.is.background = &background;
+  request.is.settings = settings;
+  request.seed = opt.seed;
+  request.checkpoint.path = opt.checkpoint;
+  request.checkpoint.every_shards = opt.checkpoint_every;
+  request.checkpoint.resume = opt.resume;
+  request.controls.cancel_on_sigint = true;
+  request.controls.max_replications = opt.max_replications;
+
+  RandomEngine rng2(opt.seed);
+  engine::RunResult result;
+  try {
+    result = engine::run_with(request, engine, rng2);
+  } catch (const RunError& e) {
+    std::fprintf(stderr, "run rejected: %s\n", e.what());
+    return 2;
+  }
+
+  if (result.provenance.resumed) {
+    std::printf("\nresumed from shard %zu/%zu (replaying nothing)\n",
+                result.provenance.resumed_shards, result.provenance.shards_total);
+  }
+
+  const is::IsOverflowEstimate est = result.is_estimate;
+  std::printf("\nStage 2: %s after %zu/%zu replications (%zu checkpoint writes)\n",
+              engine::to_string(result.status), result.replications_done,
+              result.replications_total, result.provenance.checkpoints_written);
+  std::printf("  P(overflow by k=%zu) = %.3e  (95%% CI +- %.1e)\n", opt.stop_time,
               est.probability, est.ci95_halfwidth);
   std::printf("  variance reduction vs crude MC: %.0fx\n", est.variance_reduction_vs_mc);
   std::printf("  effective sample size: %.1f of %zu weights\n",
@@ -91,5 +243,15 @@ int main() {
                 "  importance sampling needed %zu.\n",
                 mc_reps, est.replications);
   }
+  if (!result.complete()) {
+    std::printf("\nrun drained early (%s); rerun with --resume to continue.\n",
+                engine::to_string(result.status));
+    return 3;
+  }
+  // Machine-checkable determinism probe: the exact bits of the final
+  // estimate, compared across interrupted-and-resumed invocations by
+  // scripts/check_checkpoint_schema.py.
+  std::printf("final_estimate_bits 0x%016" PRIx64 "\n",
+              std::bit_cast<std::uint64_t>(est.probability));
   return 0;
 }

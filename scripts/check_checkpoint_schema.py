@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of durable run-control, driving the rare-event example.
+
+Three invocations of example_rare_event_estimation:
+
+  1. uninterrupted reference run -> capture `final_estimate_bits` (the
+     exact IEEE-754 bits of the final probability estimate);
+  2. same campaign with --checkpoint and SSVBR_FAULT_AFTER_SHARDS=3 in
+     the environment -> the process must hard-kill itself with exit
+     code 42 after three shards, leaving a valid snapshot behind; the
+     snapshot JSON is validated against the version-1 schema
+     (engine/checkpoint.h): magic/version, fingerprint with hex-string
+     config hash and 4-word hex RNG state, progress whose "completed"
+     bitmap popcount equals shards_done equals len(shards), shard
+     records with strictly ascending unique indices and uniform word
+     counts;
+  3. --resume of that snapshot -> exit 0, stdout reports the resume,
+     and `final_estimate_bits` matches run 1 EXACTLY — the
+     interrupted-then-resumed campaign reproduced the uninterrupted
+     estimate bit for bit.
+
+Usage: check_checkpoint_schema.py /path/to/example_rare_event_estimation
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+FAULT_EXIT_CODE = 42  # engine::kFaultExitCode
+SHARD_SIZE = 16
+REPLICATIONS = 96  # -> 6 shards
+FAULT_AFTER_SHARDS = 3
+
+
+def fail(message):
+    print(f"check_checkpoint_schema: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_example(binary, extra_args, threads=2, env_extra=None):
+    env = dict(os.environ)
+    env.pop("SSVBR_FAULT_AFTER_SHARDS", None)
+    if env_extra:
+        env.update(env_extra)
+    args = [
+        binary,
+        "--skip-sweep",
+        "--replications", str(REPLICATIONS),
+        "--shard-size", str(SHARD_SIZE),
+        "--stop-time", "200",
+        "--seed", "43",
+        "--threads", str(threads),
+    ] + extra_args
+    return subprocess.run(
+        args, env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, timeout=480,
+    )
+
+
+def final_bits(stdout):
+    match = re.search(r"^final_estimate_bits (0x[0-9a-f]+)$", stdout, re.M)
+    if match is None:
+        fail(f"no final_estimate_bits line in output:\n{stdout}")
+    return match.group(1)
+
+
+def parse_hex_u64(value, what):
+    if not isinstance(value, str) or not re.fullmatch(r"0x[0-9a-f]+", value):
+        fail(f"{what} must be a lowercase 0x-hex string, got {value!r}")
+    parsed = int(value, 16)
+    if parsed >= 1 << 64:
+        fail(f"{what} does not fit in 64 bits: {value}")
+    return parsed
+
+
+def check_snapshot_schema(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"snapshot is not valid JSON: {err}")
+
+    if doc.get("magic") != "ssvbr-checkpoint":
+        fail(f"bad magic: {doc.get('magic')!r}")
+    if doc.get("version") != 1:
+        fail(f"unsupported version: {doc.get('version')!r}")
+
+    fp = doc.get("fingerprint")
+    if not isinstance(fp, dict):
+        fail("missing 'fingerprint' object")
+    if fp.get("estimator") != "overflow_is":
+        fail(f"unexpected estimator: {fp.get('estimator')!r}")
+    if fp.get("accumulator") != "score":
+        fail(f"unexpected accumulator: {fp.get('accumulator')!r}")
+    parse_hex_u64(fp.get("config_hash"), "fingerprint.config_hash")
+    if fp.get("replications") != REPLICATIONS:
+        fail(f"fingerprint.replications != {REPLICATIONS}: {fp.get('replications')!r}")
+    if fp.get("shard_size") != SHARD_SIZE:
+        fail(f"fingerprint.shard_size != {SHARD_SIZE}: {fp.get('shard_size')!r}")
+    rng = fp.get("rng")
+    if not isinstance(rng, list) or len(rng) != 4:
+        fail(f"fingerprint.rng must be 4 words: {rng!r}")
+    for i, word in enumerate(rng):
+        parse_hex_u64(word, f"fingerprint.rng[{i}]")
+    cached = fp.get("rng_cached_normal", "MISSING")
+    if cached == "MISSING":
+        fail("fingerprint.rng_cached_normal missing (null is fine, absent is not)")
+    if cached is not None:
+        parse_hex_u64(cached, "fingerprint.rng_cached_normal")
+
+    build = doc.get("build")
+    if not isinstance(build, dict):
+        fail("missing 'build' object")
+    for key in ("sha", "version", "type"):
+        if not isinstance(build.get(key), str):
+            fail(f"build.{key} missing or not a string")
+
+    progress = doc.get("progress")
+    if not isinstance(progress, dict):
+        fail("missing 'progress' object")
+    shards_total = progress.get("shards_total")
+    expected_shards = (REPLICATIONS + SHARD_SIZE - 1) // SHARD_SIZE
+    if shards_total != expected_shards:
+        fail(f"shards_total != {expected_shards}: {shards_total!r}")
+    shards_done = progress.get("shards_done")
+    bitmap = parse_hex_u64(progress.get("completed"), "progress.completed")
+    if bitmap >> shards_total:
+        fail(f"completed bitmap has bits beyond shard {shards_total - 1}")
+
+    shards = doc.get("shards")
+    if not isinstance(shards, list):
+        fail("missing 'shards' list")
+    if len(shards) != shards_done:
+        fail(f"len(shards)={len(shards)} but shards_done={shards_done}")
+    if bin(bitmap).count("1") != shards_done:
+        fail(f"completed bitmap popcount != shards_done={shards_done}")
+    # The kill fired after shard 3 of a single-threaded run with a
+    # 1-shard snapshot cadence, so the surviving snapshot covers exactly
+    # FAULT_AFTER_SHARDS shards.
+    if shards_done != FAULT_AFTER_SHARDS:
+        fail(f"snapshot covers {shards_done} shards, "
+             f"expected exactly {FAULT_AFTER_SHARDS} (single-threaded kill)")
+    if shards_done >= expected_shards:
+        fail("snapshot claims the campaign completed; the kill cannot have fired")
+    word_count = None
+    previous_index = -1
+    for rec in shards:
+        index = rec.get("i")
+        if not isinstance(index, int) or not 0 <= index < shards_total:
+            fail(f"shard index out of range: {index!r}")
+        if index <= previous_index:
+            fail(f"shard indices not strictly ascending at {index}")
+        previous_index = index
+        if not bitmap >> index & 1:
+            fail(f"shard {index} has a record but no completed bit")
+        words = rec.get("w")
+        if not isinstance(words, list) or not words:
+            fail(f"shard {index} has no words")
+        if word_count is None:
+            word_count = len(words)
+        elif len(words) != word_count:
+            fail(f"shard {index} word count {len(words)} != {word_count}")
+        for w, word in enumerate(words):
+            parse_hex_u64(word, f"shards[{index}].w[{w}]")
+    if word_count != 8:
+        fail(f"score accumulator must serialize to 8 words, got {word_count}")
+    return shards_done
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} /path/to/example_rare_event_estimation")
+    binary = sys.argv[1]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt = os.path.join(tmp, "campaign.ckpt")
+
+        reference = run_example(binary, [])
+        if reference.returncode != 0:
+            fail(f"reference run exited {reference.returncode}:\n{reference.stderr}")
+        reference_bits = final_bits(reference.stdout)
+
+        # Single-threaded kill: the interruption point is exact (the
+        # snapshot holds precisely FAULT_AFTER_SHARDS shards) and no
+        # concurrent snapshot write can be torn by the _Exit. The resume
+        # then runs on 2 threads, so bit-equality below also re-proves
+        # thread-count independence.
+        killed = run_example(
+            binary,
+            ["--checkpoint", ckpt, "--checkpoint-every", "1"],
+            threads=1,
+            env_extra={"SSVBR_FAULT_AFTER_SHARDS": str(FAULT_AFTER_SHARDS)},
+        )
+        if killed.returncode != FAULT_EXIT_CODE:
+            fail(f"fault-injected run exited {killed.returncode}, "
+                 f"expected {FAULT_EXIT_CODE}:\n{killed.stdout}\n{killed.stderr}")
+        if not os.path.isfile(ckpt):
+            fail("fault-injected run left no checkpoint behind")
+        if os.path.exists(ckpt + ".tmp"):
+            fail("crash left a stale .tmp alongside the checkpoint")
+        shards_in_snapshot = check_snapshot_schema(ckpt)
+
+        resumed = run_example(binary, ["--checkpoint", ckpt, "--resume"])
+        if resumed.returncode != 0:
+            fail(f"resume run exited {resumed.returncode}:\n{resumed.stderr}")
+        if "resumed from shard" not in resumed.stdout:
+            fail(f"resume run did not report resuming:\n{resumed.stdout}")
+        resumed_bits = final_bits(resumed.stdout)
+        if resumed_bits != reference_bits:
+            fail("resumed estimate differs from the uninterrupted run: "
+                 f"{resumed_bits} != {reference_bits}")
+
+    print(f"check_checkpoint_schema: OK (killed after {shards_in_snapshot} shards, "
+          f"resume reproduced {reference_bits})")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,6 +2,35 @@
 
 #include <sstream>
 
+namespace ssvbr {
+
+const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kEmptyTwistGrid: return "empty_twist_grid";
+    case ErrorCode::kUnwritableCheckpoint: return "unwritable_checkpoint";
+    case ErrorCode::kCheckpointCorrupt: return "checkpoint_corrupt";
+    case ErrorCode::kFingerprintMismatch: return "fingerprint_mismatch";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kIoError: return "io_error";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string out = ssvbr::to_string(code);
+  out += ": ";
+  out += what;
+  if (!context.empty()) {
+    out += " [";
+    out += context;
+    out += ']';
+  }
+  return out;
+}
+
+}  // namespace ssvbr
+
 namespace ssvbr::detail {
 
 namespace {

@@ -11,6 +11,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace ssvbr {
 
@@ -31,6 +32,52 @@ class InternalError : public std::logic_error {
 class NumericalError : public std::runtime_error {
  public:
   explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Machine-readable classification of run-control failures. Unlike the
+/// exception hierarchy above (which encodes *who* is at fault), these
+/// codes encode *what to do about it*: fix the request, fix the file
+/// system, or accept that the checkpoint belongs to a different
+/// campaign.
+enum class ErrorCode {
+  kInvalidArgument,       ///< the request itself is malformed
+  kEmptyTwistGrid,        ///< a sweep was asked to scan zero grid points
+  kUnwritableCheckpoint,  ///< checkpoint path cannot be created/written
+  kCheckpointCorrupt,     ///< snapshot exists but cannot be decoded
+  kFingerprintMismatch,   ///< snapshot belongs to a different campaign/config
+  kUnsupported,           ///< valid request, not implemented for this estimator
+  kIoError,               ///< read/write failed mid-operation
+};
+
+/// Stable identifier string for an ErrorCode (used in messages and by
+/// tooling that matches on error classes).
+const char* to_string(ErrorCode code) noexcept;
+
+/// Structured error value: a code for programs, a sentence for humans,
+/// and the offending context (a path, a field name, a mismatching
+/// value) so callers never need to parse the message.
+struct Error {
+  ErrorCode code = ErrorCode::kInvalidArgument;
+  std::string what;     ///< human-readable description
+  std::string context;  ///< offending input: path, field, value, ...
+
+  /// "code: what [context]" — the string RunError::what() carries.
+  std::string to_string() const;
+};
+
+/// Exception wrapper around Error for the run-control front door
+/// (engine::run and friends): catch RunError, switch on code().
+class RunError : public std::runtime_error {
+ public:
+  explicit RunError(Error error)
+      : std::runtime_error(error.to_string()), error_(std::move(error)) {}
+
+  const Error& error() const noexcept { return error_; }
+  ErrorCode code() const noexcept { return error_.code; }
+  const std::string& context() const noexcept { return error_.context; }
+
+ private:
+  Error error_;
 };
 
 namespace detail {

@@ -1,0 +1,97 @@
+// ssvbr/common/json.h
+//
+// Minimal JSON reading for the library's own file formats (engine
+// checkpoints, and any future snapshot the tooling wants to round-trip
+// through Python). This is deliberately not a general-purpose JSON
+// stack: it parses the subset the library itself writes — objects,
+// arrays, double-quoted strings with the standard escapes, numbers,
+// true/false/null — into an immutable value tree, and rejects anything
+// malformed with ssvbr::Error{kCheckpointCorrupt-ish} via JsonParseError.
+//
+// Exactness convention: fields whose bit patterns matter (RNG state
+// words, accumulator doubles) are stored as hex *strings* ("0x1a2b...")
+// rather than JSON numbers, because JSON numbers round-trip through
+// doubles and would silently lose u64 precision. parse_hex_u64 decodes
+// them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ssvbr::json {
+
+/// Thrown on malformed input. Carries a byte offset for context.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " (at byte " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// An immutable parsed JSON value.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+
+  /// Typed accessors; throw std::runtime_error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Value>& as_array() const;
+
+  /// Object lookup. get() throws on a missing key; find() returns
+  /// nullptr. Both throw if this value is not an object.
+  const Value& get(const std::string& key) const;
+  const Value* find(const std::string& key) const;
+  bool has(const std::string& key) const { return find(key) != nullptr; }
+
+  /// Number as a non-negative integer; throws if negative, fractional,
+  /// or above 2^53 (where doubles stop being exact).
+  std::uint64_t as_uint() const;
+
+  // Construction is the parser's business; default is null.
+  Value() = default;
+
+ private:
+  friend Value parse(std::string_view text);
+  friend class Parser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::map<std::string, Value> object_;
+};
+
+/// Parse one JSON document; trailing non-whitespace is an error.
+Value parse(std::string_view text);
+
+/// Decode a "0x..." (or bare) hex string into a u64; throws
+/// std::runtime_error on malformed input. Used for bit-exact fields.
+std::uint64_t parse_hex_u64(std::string_view s);
+
+/// Format a u64 as "0x<lowercase hex>" (the writer-side counterpart).
+std::string hex_u64(std::uint64_t v);
+
+/// Escape a string for embedding in a JSON document (adds quotes).
+std::string quote(std::string_view s);
+
+}  // namespace ssvbr::json

@@ -1,6 +1,8 @@
 #include "dist/random.h"
 
+#include <bit>
 #include <cmath>
+#include <cstddef>
 
 #include "common/math_util.h"
 
@@ -188,6 +190,30 @@ void RandomEngine::jump_long() noexcept { apply_jump_polynomial(kLongJump); }
 RandomEngine RandomEngine::jumped(std::uint64_t n) const noexcept {
   RandomEngine out = *this;
   for (std::uint64_t i = 0; i < n; ++i) out.jump();
+  return out;
+}
+
+RandomEngine::State RandomEngine::state() const noexcept {
+  State s;
+  s.words = {state_[0], state_[1], state_[2], state_[3]};
+  if (cached_normal_) {
+    s.has_cached_normal = true;
+    s.cached_normal_bits = std::bit_cast<std::uint64_t>(*cached_normal_);
+  }
+  return s;
+}
+
+RandomEngine RandomEngine::from_state(const State& state) noexcept {
+  RandomEngine out(0);
+  for (int i = 0; i < 4; ++i) out.state_[i] = state.words[static_cast<std::size_t>(i)];
+  if ((out.state_[0] | out.state_[1] | out.state_[2] | out.state_[3]) == 0) {
+    out.state_[0] = 1;
+  }
+  if (state.has_cached_normal) {
+    out.cached_normal_ = std::bit_cast<double>(state.cached_normal_bits);
+  } else {
+    out.cached_normal_.reset();
+  }
   return out;
 }
 

@@ -10,6 +10,7 @@
 // caching), and exponentials.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -84,6 +85,28 @@ class RandomEngine {
   /// Copy of this engine advanced by `n` jump() calls; *this is
   /// unchanged. Convenience for positioning at replication stream n.
   RandomEngine jumped(std::uint64_t n) const noexcept;
+
+  /// Complete serializable engine state: the four xoshiro words plus
+  /// the Box-Muller cache (a half-consumed normal() pair is part of the
+  /// observable stream, so a faithful snapshot must carry it). The bit
+  /// pattern of the cached normal is stored as a u64 so round-trips are
+  /// exact through any text format.
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+    bool has_cached_normal = false;
+    std::uint64_t cached_normal_bits = 0;
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+
+  /// Snapshot this engine. from_state(e.state()) is observationally
+  /// identical to e for every primitive, including normal().
+  State state() const noexcept;
+
+  /// Reconstruct an engine from a snapshot. An all-zero word vector
+  /// (invalid for xoshiro) is nudged to the canonical non-zero state,
+  /// matching the seeding guard.
+  static RandomEngine from_state(const State& state) noexcept;
 
   /// Spawn an engine seeded from this engine's next four outputs.
   ///

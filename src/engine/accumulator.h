@@ -11,8 +11,12 @@
 // stats::RunningStats.
 #pragma once
 
+#include <bit>
 #include <concepts>
 #include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
 
 #include "stats/descriptive.h"
 
@@ -46,6 +50,14 @@ class HitAccumulator {
   std::size_t count() const noexcept { return count_; }
   std::size_t hits() const noexcept { return hits_; }
 
+  /// Reconstruct from serialized counts (checkpoint restore).
+  static HitAccumulator from_parts(std::size_t count, std::size_t hits) noexcept {
+    HitAccumulator out;
+    out.count_ = count;
+    out.hits_ = hits;
+    return out;
+  }
+
  private:
   std::size_t count_ = 0;
   std::size_t hits_ = 0;
@@ -75,6 +87,18 @@ class ScoreAccumulator {
   /// Unbiased sample variance of the scores; 0 for n < 2.
   double sample_variance() const noexcept { return scores_.variance(); }
 
+  /// Full moment state of the scores (checkpoint serialization).
+  stats::RunningStats::State scores_state() const noexcept { return scores_.state(); }
+
+  /// Reconstruct from serialized state (checkpoint restore).
+  static ScoreAccumulator from_parts(stats::RunningStats scores,
+                                     std::size_t hits) noexcept {
+    ScoreAccumulator out;
+    out.scores_ = scores;
+    out.hits_ = hits;
+    return out;
+  }
+
  private:
   stats::RunningStats scores_;
   std::size_t hits_ = 0;
@@ -83,5 +107,59 @@ class ScoreAccumulator {
 static_assert(MergeableAccumulator<HitAccumulator>);
 static_assert(MergeableAccumulator<ScoreAccumulator>);
 static_assert(MergeableAccumulator<stats::RunningStats>);
+
+// ---------------------------------------------------------------------------
+// Bit-exact word serialization for checkpointing.
+//
+// The durable run-control layer persists each completed shard's
+// accumulator as a flat vector of u64 words (doubles as bit patterns,
+// counts verbatim). decode() is the exact inverse of encode(): a
+// restored shard merges identically to the shard that was computed,
+// which is what makes a resumed campaign bit-identical to an
+// uninterrupted one. A stable name + word count per type guards the
+// format (a checkpoint written for one accumulator kind cannot be
+// misread as another).
+// ---------------------------------------------------------------------------
+
+/// Short stable format name ("hit", "score") baked into the snapshot
+/// fingerprint.
+inline const char* accumulator_name(const HitAccumulator&) noexcept { return "hit"; }
+inline const char* accumulator_name(const ScoreAccumulator&) noexcept { return "score"; }
+
+inline std::vector<std::uint64_t> encode_words(const HitAccumulator& acc) {
+  return {static_cast<std::uint64_t>(acc.count()), static_cast<std::uint64_t>(acc.hits())};
+}
+
+inline void decode_words(const std::vector<std::uint64_t>& words, HitAccumulator& out) {
+  if (words.size() != 2) throw std::runtime_error("hit accumulator: bad word count");
+  out = HitAccumulator::from_parts(static_cast<std::size_t>(words[0]),
+                                   static_cast<std::size_t>(words[1]));
+}
+
+inline std::vector<std::uint64_t> encode_words(const ScoreAccumulator& acc) {
+  const stats::RunningStats::State s = acc.scores_state();
+  return {static_cast<std::uint64_t>(s.n),
+          std::bit_cast<std::uint64_t>(s.mean),
+          std::bit_cast<std::uint64_t>(s.m2),
+          std::bit_cast<std::uint64_t>(s.m3),
+          std::bit_cast<std::uint64_t>(s.m4),
+          std::bit_cast<std::uint64_t>(s.min),
+          std::bit_cast<std::uint64_t>(s.max),
+          static_cast<std::uint64_t>(acc.hits())};
+}
+
+inline void decode_words(const std::vector<std::uint64_t>& words, ScoreAccumulator& out) {
+  if (words.size() != 8) throw std::runtime_error("score accumulator: bad word count");
+  stats::RunningStats::State s;
+  s.n = static_cast<std::size_t>(words[0]);
+  s.mean = std::bit_cast<double>(words[1]);
+  s.m2 = std::bit_cast<double>(words[2]);
+  s.m3 = std::bit_cast<double>(words[3]);
+  s.m4 = std::bit_cast<double>(words[4]);
+  s.min = std::bit_cast<double>(words[5]);
+  s.max = std::bit_cast<double>(words[6]);
+  out = ScoreAccumulator::from_parts(stats::RunningStats::from_state(s),
+                                     static_cast<std::size_t>(words[7]));
+}
 
 }  // namespace ssvbr::engine

@@ -1,0 +1,322 @@
+#include "engine/checkpoint.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/json.h"
+#include "common/version.h"
+
+namespace ssvbr::engine::checkpoint {
+
+namespace {
+
+[[noreturn]] void fail(ErrorCode code, std::string what, std::string context) {
+  throw RunError(Error{code, std::move(what), std::move(context)});
+}
+
+std::string errno_string() { return std::strerror(errno); }
+
+/// Directory part of `path` ("." when the path has no separator).
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+std::string completed_bitmap_hex(const Snapshot& snap) {
+  // LSB = shard 0; emitted as one hex string.
+  std::vector<char> flags = snap.completed_flags();
+  const std::size_t nibbles = (snap.shards_total + 3) / 4;
+  std::string hex;
+  hex.reserve(nibbles + 2);
+  static const char* digits = "0123456789abcdef";
+  bool started = false;
+  for (std::size_t nib = nibbles; nib-- > 0;) {
+    unsigned v = 0;
+    for (std::size_t b = 0; b < 4; ++b) {
+      const std::size_t i = nib * 4 + b;
+      if (i < flags.size() && flags[i]) v |= 1u << b;
+    }
+    if (!started && v == 0 && nib != 0) continue;
+    started = true;
+    hex.push_back(digits[v]);
+  }
+  if (hex.empty()) hex = "0";
+  return "0x" + hex;
+}
+
+std::string serialize(const Snapshot& snap) {
+  std::string out;
+  out.reserve(256 + snap.shards.size() * 96);
+  out += "{\"magic\":";
+  out += json::quote(kMagic);
+  out += ",\"version\":" + std::to_string(kVersion);
+
+  const Fingerprint& fp = snap.fingerprint;
+  out += ",\"fingerprint\":{\"estimator\":";
+  out += json::quote(fp.estimator);
+  out += ",\"accumulator\":";
+  out += json::quote(fp.accumulator);
+  out += ",\"config_hash\":" + json::quote(json::hex_u64(fp.config_hash));
+  out += ",\"replications\":" + std::to_string(fp.replications);
+  out += ",\"shard_size\":" + std::to_string(fp.shard_size);
+  out += ",\"rng\":[";
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i) out += ',';
+    out += json::quote(json::hex_u64(fp.rng.words[i]));
+  }
+  out += "],\"rng_cached_normal\":";
+  out += fp.rng.has_cached_normal ? json::quote(json::hex_u64(fp.rng.cached_normal_bits))
+                                  : std::string("null");
+  out += '}';
+
+  const BuildInfo& build = build_info();
+  out += ",\"build\":{\"sha\":";
+  out += json::quote(build.git_sha);
+  out += ",\"version\":";
+  out += json::quote(build.version);
+  out += ",\"type\":";
+  out += json::quote(build.build_type);
+  out += '}';
+
+  out += ",\"progress\":{\"shards_total\":" + std::to_string(snap.shards_total);
+  out += ",\"shards_done\":" + std::to_string(snap.shards.size());
+  out += ",\"replications_done\":" + std::to_string(snap.replications_done);
+  out += ",\"completed\":" + json::quote(completed_bitmap_hex(snap));
+  out += '}';
+
+  out += ",\"shards\":[";
+  for (std::size_t s = 0; s < snap.shards.size(); ++s) {
+    if (s) out += ',';
+    out += "{\"i\":" + std::to_string(snap.shards[s].index) + ",\"w\":[";
+    for (std::size_t w = 0; w < snap.shards[s].words.size(); ++w) {
+      if (w) out += ',';
+      out += json::quote(json::hex_u64(snap.shards[s].words[w]));
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+Snapshot deserialize(const std::string& text, const std::string& path) {
+  json::Value doc;
+  try {
+    doc = json::parse(text);
+  } catch (const std::exception& e) {
+    fail(ErrorCode::kCheckpointCorrupt, std::string("snapshot is not valid JSON: ") + e.what(),
+         path);
+  }
+  try {
+    if (!doc.is_object() || doc.get("magic").as_string() != kMagic) {
+      fail(ErrorCode::kCheckpointCorrupt, "snapshot magic mismatch", path);
+    }
+    if (doc.get("version").as_uint() != static_cast<std::uint64_t>(kVersion)) {
+      fail(ErrorCode::kCheckpointCorrupt,
+           "unsupported snapshot version " + std::to_string(doc.get("version").as_uint()),
+           path);
+    }
+    Snapshot snap;
+    const json::Value& fp = doc.get("fingerprint");
+    snap.fingerprint.estimator = fp.get("estimator").as_string();
+    snap.fingerprint.accumulator = fp.get("accumulator").as_string();
+    snap.fingerprint.config_hash = json::parse_hex_u64(fp.get("config_hash").as_string());
+    snap.fingerprint.replications = fp.get("replications").as_uint();
+    snap.fingerprint.shard_size = fp.get("shard_size").as_uint();
+    const auto& rng_words = fp.get("rng").as_array();
+    if (rng_words.size() != 4) {
+      fail(ErrorCode::kCheckpointCorrupt, "rng state must have 4 words", path);
+    }
+    for (std::size_t i = 0; i < 4; ++i) {
+      snap.fingerprint.rng.words[i] = json::parse_hex_u64(rng_words[i].as_string());
+    }
+    const json::Value& cached = fp.get("rng_cached_normal");
+    if (!cached.is_null()) {
+      snap.fingerprint.rng.has_cached_normal = true;
+      snap.fingerprint.rng.cached_normal_bits = json::parse_hex_u64(cached.as_string());
+    }
+
+    const json::Value& progress = doc.get("progress");
+    snap.shards_total = progress.get("shards_total").as_uint();
+    snap.replications_done = progress.get("replications_done").as_uint();
+    const std::size_t declared_done = progress.get("shards_done").as_uint();
+
+    std::vector<char> seen(snap.shards_total, 0);
+    std::size_t expected_words = 0;
+    for (const json::Value& rec : doc.get("shards").as_array()) {
+      ShardRecord shard;
+      shard.index = rec.get("i").as_uint();
+      if (shard.index >= snap.shards_total) {
+        fail(ErrorCode::kCheckpointCorrupt,
+             "shard index " + std::to_string(shard.index) + " out of range", path);
+      }
+      if (seen[shard.index]) {
+        fail(ErrorCode::kCheckpointCorrupt,
+             "duplicate shard index " + std::to_string(shard.index), path);
+      }
+      seen[shard.index] = 1;
+      for (const json::Value& w : rec.get("w").as_array()) {
+        shard.words.push_back(json::parse_hex_u64(w.as_string()));
+      }
+      if (shard.words.empty()) {
+        fail(ErrorCode::kCheckpointCorrupt, "shard record with no words", path);
+      }
+      if (expected_words == 0) expected_words = shard.words.size();
+      if (shard.words.size() != expected_words) {
+        fail(ErrorCode::kCheckpointCorrupt, "inconsistent shard word counts", path);
+      }
+      snap.shards.push_back(std::move(shard));
+    }
+    if (snap.shards.size() != declared_done) {
+      fail(ErrorCode::kCheckpointCorrupt, "shards_done disagrees with shard records",
+           path);
+    }
+    // Records must already be ascending (the writer emits them that
+    // way); enforce so the restore path can rely on it.
+    for (std::size_t s = 1; s < snap.shards.size(); ++s) {
+      if (snap.shards[s].index <= snap.shards[s - 1].index) {
+        fail(ErrorCode::kCheckpointCorrupt, "shard records out of order", path);
+      }
+    }
+    return snap;
+  } catch (const RunError&) {
+    throw;
+  } catch (const std::exception& e) {
+    fail(ErrorCode::kCheckpointCorrupt, std::string("snapshot schema violation: ") + e.what(),
+         path);
+  }
+}
+
+}  // namespace
+
+std::vector<char> Snapshot::completed_flags() const {
+  std::vector<char> flags(shards_total, 0);
+  for (const ShardRecord& s : shards) {
+    if (s.index < flags.size()) flags[s.index] = 1;
+  }
+  return flags;
+}
+
+ConfigHasher& ConfigHasher::u64(std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h_ ^= (v >> (8 * i)) & 0xFF;
+    h_ *= 0x100000001B3ULL;
+  }
+  return *this;
+}
+
+ConfigHasher& ConfigHasher::f64(double v) noexcept {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return u64(bits);
+}
+
+ConfigHasher& ConfigHasher::str(const std::string& s) noexcept {
+  for (const char c : s) {
+    h_ ^= static_cast<unsigned char>(c);
+    h_ *= 0x100000001B3ULL;
+  }
+  return u64(s.size());
+}
+
+void save(const std::string& path, const Snapshot& snap) {
+  const std::string payload = serialize(snap);
+  const std::string tmp = path + ".tmp";
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    fail(ErrorCode::kUnwritableCheckpoint,
+         "cannot create checkpoint temp file: " + errno_string(), tmp);
+  }
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    const ssize_t n = ::write(fd, payload.data() + off, payload.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string why = errno_string();
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail(ErrorCode::kIoError, "checkpoint write failed: " + why, tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string why = errno_string();
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail(ErrorCode::kIoError, "checkpoint fsync failed: " + why, tmp);
+  }
+  ::close(fd);
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = errno_string();
+    ::unlink(tmp.c_str());
+    fail(ErrorCode::kIoError, "checkpoint rename failed: " + why, path);
+  }
+  // Persist the rename itself; without this a power cut can leave the
+  // directory entry pointing at the old inode. Best-effort: some
+  // filesystems refuse to fsync directories.
+  const int dirfd = ::open(parent_dir(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    (void)::fsync(dirfd);
+    ::close(dirfd);
+  }
+}
+
+Snapshot load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    fail(ErrorCode::kIoError, "cannot open checkpoint: " + errno_string(), path);
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    fail(ErrorCode::kIoError, "checkpoint read failed", path);
+  }
+  return deserialize(text, path);
+}
+
+bool exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+void require_writable(const std::string& path) {
+  if (path.empty()) {
+    fail(ErrorCode::kUnwritableCheckpoint, "checkpoint path is empty", path);
+  }
+  struct stat st{};
+  if (::stat(path.c_str(), &st) == 0) {
+    if (!S_ISREG(st.st_mode)) {
+      fail(ErrorCode::kUnwritableCheckpoint, "checkpoint path is not a regular file",
+           path);
+    }
+    if (::access(path.c_str(), W_OK) != 0) {
+      fail(ErrorCode::kUnwritableCheckpoint,
+           "checkpoint file is not writable: " + errno_string(), path);
+    }
+    return;
+  }
+  const std::string dir = parent_dir(path);
+  if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    fail(ErrorCode::kUnwritableCheckpoint,
+         "checkpoint directory does not exist: " + dir, path);
+  }
+  if (::access(dir.c_str(), W_OK) != 0) {
+    fail(ErrorCode::kUnwritableCheckpoint,
+         "checkpoint directory is not writable: " + errno_string(), path);
+  }
+}
+
+}  // namespace ssvbr::engine::checkpoint

@@ -1,0 +1,118 @@
+// ssvbr/engine/checkpoint.h
+//
+// Durable snapshot format for replication campaigns.
+//
+// A checkpoint is one JSON document:
+//
+//   {"magic": "ssvbr-checkpoint", "version": 1,
+//    "fingerprint": {"estimator": "overflow_is", "accumulator": "score",
+//                    "config_hash": "0x...", "replications": 4000,
+//                    "shard_size": 256,
+//                    "rng": ["0x..", "0x..", "0x..", "0x.."],
+//                    "rng_cached_normal": "0x.." | null},
+//    "build": {"sha": "...", "version": "...", "type": "..."},
+//    "progress": {"shards_total": 16, "shards_done": 7,
+//                 "replications_done": 1792, "completed": "0x7f"},
+//    "shards": [{"i": 0, "w": ["0x..", ...]}, ...]}
+//
+// Every field whose exact bits matter (RNG state words, accumulator
+// doubles) is a hex string, never a JSON number: JSON numbers round-trip
+// through doubles and cannot carry a u64 exactly. "completed" is a hex
+// bitmap, LSB = shard 0; "shards" holds one record per completed shard
+// in ascending index order. Because each shard's accumulator is a pure
+// function of (base RNG state, shard index, shard size) and the final
+// merge walks shards in index order, restoring these records and
+// computing only the missing shards reproduces the uninterrupted
+// result bit-for-bit.
+//
+// Writes are crash-safe: the snapshot is written to "<path>.tmp",
+// fsync'd, and atomically renamed over <path> (then the directory is
+// fsync'd); a reader therefore sees either the previous snapshot or the
+// new one, never a torn file.
+//
+// The fingerprint makes resume refuse foreign snapshots: config_hash
+// digests every parameter that shapes the campaign (estimator settings,
+// replications, shard size), and the RNG state words pin the stream
+// family. The build SHA is recorded for provenance but NOT enforced —
+// rebuilding the same source tree must not orphan a running campaign;
+// cross-*version* bit-identity is the test suite's job, not the
+// loader's.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "dist/random.h"
+
+namespace ssvbr::engine::checkpoint {
+
+inline constexpr const char* kMagic = "ssvbr-checkpoint";
+inline constexpr int kVersion = 1;
+
+/// Everything that must match for a snapshot to be resumable into a
+/// given request.
+struct Fingerprint {
+  std::string estimator;    ///< "overflow_mc" / "overflow_is" / ...
+  std::string accumulator;  ///< "hit" / "score"
+  std::uint64_t config_hash = 0;
+  std::size_t replications = 0;
+  std::size_t shard_size = 0;
+  RandomEngine::State rng;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+/// One completed shard's accumulator, as raw words (see accumulator.h).
+struct ShardRecord {
+  std::size_t index = 0;
+  std::vector<std::uint64_t> words;
+};
+
+/// A parsed (or to-be-written) snapshot.
+struct Snapshot {
+  Fingerprint fingerprint;
+  std::size_t shards_total = 0;
+  std::size_t replications_done = 0;
+  std::vector<ShardRecord> shards;  ///< ascending index order
+
+  /// Derived completed-shard flags (size shards_total).
+  std::vector<char> completed_flags() const;
+};
+
+/// Incremental FNV-1a hasher for building config fingerprints. Feed it
+/// every parameter that shapes the campaign's numbers; doubles are
+/// hashed by bit pattern.
+class ConfigHasher {
+ public:
+  ConfigHasher& u64(std::uint64_t v) noexcept;
+  ConfigHasher& f64(double v) noexcept;
+  ConfigHasher& str(const std::string& s) noexcept;
+  std::uint64_t digest() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xCBF29CE484222325ULL;
+};
+
+/// Serialize and write `snap` crash-safely (tmp + fsync + rename).
+/// Throws RunError{kIoError | kUnwritableCheckpoint} on failure.
+void save(const std::string& path, const Snapshot& snap);
+
+/// Read and parse a snapshot. Throws RunError{kIoError} if the file
+/// cannot be read and RunError{kCheckpointCorrupt} if it does not
+/// decode as a well-formed version-1 snapshot (bad magic, bitmap
+/// inconsistent with the shard records, out-of-range indices, ...).
+Snapshot load(const std::string& path);
+
+/// True if a regular file exists at `path`.
+bool exists(const std::string& path);
+
+/// Throws RunError{kUnwritableCheckpoint} unless `path` names a
+/// location where save() could create a file (existing parent
+/// directory, writable). Used by request validation so misconfiguration
+/// surfaces before hours of simulation, not after.
+void require_writable(const std::string& path);
+
+}  // namespace ssvbr::engine::checkpoint

@@ -1,14 +1,15 @@
 #include "engine/parallel_estimators.h"
 
-#include <cstdint>
-#include <optional>
 #include <utility>
 
 #include "common/error.h"
-#include "obs/instrument.h"
-#include "queueing/lindley.h"
 
 namespace ssvbr::engine {
+
+// Each wrapper keeps its historical SSVBR_REQUIRE preamble (so callers
+// still get InvalidArgument, not the façade's RunError, for the cases
+// they have always handled) and then delegates to run_with(), which is
+// the single execution path.
 
 queueing::OverflowEstimate estimate_overflow_mc_par(
     const ArrivalFactory& make_arrivals, double service_rate, double buffer,
@@ -20,18 +21,11 @@ queueing::OverflowEstimate estimate_overflow_mc_par(
   SSVBR_REQUIRE(k >= 1, "stopping time must be at least one slot");
   SSVBR_REQUIRE(buffer >= 0.0, "buffer must be non-negative");
 
-  const HitAccumulator total = engine.run<HitAccumulator>(
-      replications, rng, [&] {
-        return [arrivals = make_arrivals(),
-                queue = queueing::LindleyQueue(service_rate, initial_occupancy),
-                service_rate, buffer, k, event, initial_occupancy](
-                   std::size_t, RandomEngine& stream, HitAccumulator& acc) mutable {
-          acc.add(queueing::run_overflow_replication(*arrivals, queue, service_rate,
-                                                     buffer, k, stream, event,
-                                                     initial_occupancy));
-        };
-      });
-  return queueing::make_overflow_estimate(total.hits(), total.count());
+  RunRequest request;
+  request.kind = EstimatorKind::kOverflowMc;
+  request.mc = McStudy{make_arrivals, service_rate,      buffer, k,
+                       replications,  event, initial_occupancy};
+  return run_with(request, engine, rng).mc;
 }
 
 is::IsOverflowEstimate estimate_overflow_is_superposed_par(
@@ -45,16 +39,13 @@ is::IsOverflowEstimate estimate_overflow_is_superposed_par(
                 "background coefficient table shorter than the stop time");
   SSVBR_REQUIRE(settings.buffer >= 0.0, "buffer must be non-negative");
 
-  const ScoreAccumulator total = engine.run<ScoreAccumulator>(
-      settings.replications, rng, [&] {
-        return [kernel = is::IsReplicationKernel(model, background, n_sources, settings)](
-                   std::size_t, RandomEngine& stream, ScoreAccumulator& acc) mutable {
-          const is::IsReplicationKernel::Outcome out = kernel.run_one(stream);
-          acc.add(out.score, out.hit);
-        };
-      });
-  return is::make_is_overflow_estimate(total.mean(), total.sample_variance(),
-                                       total.hits(), total.count());
+  RunRequest request;
+  request.kind = EstimatorKind::kOverflowIsSuperposed;
+  request.is.model = &model;
+  request.is.background = &background;
+  request.is.n_sources = n_sources;
+  request.is.settings = settings;
+  return run_with(request, engine, rng).is_estimate;
 }
 
 is::IsOverflowEstimate estimate_overflow_is_par(const core::UnifiedVbrModel& model,
@@ -78,46 +69,13 @@ std::vector<is::TwistSweepPoint> sweep_twist_par(const core::UnifiedVbrModel& mo
                 "background coefficient table shorter than the stop time");
   SSVBR_REQUIRE(settings.buffer >= 0.0, "buffer must be non-negative");
 
-  const std::vector<ScoreAccumulator> per_point = engine.run_many<ScoreAccumulator>(
-      twists.size(), settings.replications, rng, [&] {
-        // Each worker keeps one kernel and rebuilds it when it crosses
-        // into a new grid point (the kernel bakes in the twist).
-        struct Worker {
-          const core::UnifiedVbrModel* model;
-          const fractal::HoskingModel* background;
-          is::IsOverflowSettings settings;
-          const std::vector<double>* twists;
-          std::optional<is::IsReplicationKernel> kernel;
-          std::size_t kernel_task = SIZE_MAX;
-
-          void operator()(std::size_t task, std::size_t, RandomEngine& stream,
-                          ScoreAccumulator& acc) {
-            if (task != kernel_task) {
-              settings.twisted_mean = (*twists)[task];
-              kernel.emplace(*model, *background, 1, settings);
-              kernel_task = task;
-            }
-            const is::IsReplicationKernel::Outcome out = kernel->run_one(stream);
-            acc.add(out.score, out.hit);
-          }
-        };
-        return Worker{&model, &background, settings, &twists, std::nullopt, SIZE_MAX};
-      });
-
-  std::vector<is::TwistSweepPoint> out;
-  out.reserve(twists.size());
-  for (std::size_t j = 0; j < twists.size(); ++j) {
-    is::TwistSweepPoint point;
-    point.twisted_mean = twists[j];
-    point.estimate = is::make_is_overflow_estimate(
-        per_point[j].mean(), per_point[j].sample_variance(), per_point[j].hits(),
-        per_point[j].count());
-    // Same per-point diagnostics as the serial sweep_twist().
-    SSVBR_HIST_RECORD("is.sweep.ess", point.estimate.effective_sample_size);
-    SSVBR_COUNTER_ADD("is.sweep.points", 1);
-    out.push_back(point);
-  }
-  return out;
+  RunRequest request;
+  request.kind = EstimatorKind::kTwistSweep;
+  request.is.model = &model;
+  request.is.background = &background;
+  request.is.settings = settings;
+  request.is.twists = twists;
+  return std::move(run_with(request, engine, rng).sweep);
 }
 
 }  // namespace ssvbr::engine

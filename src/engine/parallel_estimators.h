@@ -1,10 +1,12 @@
 // ssvbr/engine/parallel_estimators.h
 //
-// Parallel front-ends for the repo's replication studies: crude
-// Monte-Carlo overflow (eq. 16-17), the Section 4 importance-sampling
-// estimator, and the Fig. 14 twist sweep — each executed by a
-// ReplicationEngine and bit-identical, for a fixed (engine shard size,
-// seed, replications), to its own output at any thread count.
+// DEPRECATED compatibility front-ends, kept so pre-RunRequest callers
+// continue to compile. Each function forwards to the unified run-control
+// façade in engine/run.h — same engine, same stream layout, bit-identical
+// results — but without access to the features that live only on
+// RunRequest (checkpoint/resume, cancellation, deadlines, budgets,
+// structured errors). New code should build a RunRequest and call
+// engine::run() / engine::run_with() instead.
 //
 // Stream parity with the serial estimators: replication i draws from
 // the caller's engine jumped i times (and sweep grid point j from the
@@ -18,26 +20,17 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
-#include <memory>
 #include <vector>
 
-#include "engine/replication_engine.h"
-#include "is/is_estimator.h"
-#include "is/twist_search.h"
-#include "queueing/overflow_mc.h"
+#include "engine/run.h"
 
 namespace ssvbr::engine {
-
-/// Factory producing one independent ArrivalProcess per worker thread
-/// (arrival processes carry replication state and are not shareable
-/// across threads). Must be callable concurrently.
-using ArrivalFactory = std::function<std::unique_ptr<queueing::ArrivalProcess>()>;
 
 /// Parallel crude Monte-Carlo overflow estimate; the multi-threaded
 /// counterpart of queueing::estimate_overflow_mc with identical
 /// per-replication streams and bit-identical results at any thread
 /// count (hit counts merge by integer addition).
+/// Deprecated: use run_with() with EstimatorKind::kOverflowMc.
 queueing::OverflowEstimate estimate_overflow_mc_par(
     const ArrivalFactory& make_arrivals, double service_rate, double buffer,
     std::size_t k, std::size_t replications, RandomEngine& rng,
@@ -48,6 +41,7 @@ queueing::OverflowEstimate estimate_overflow_mc_par(
 /// Parallel importance-sampling overflow estimate; the multi-threaded
 /// counterpart of is::estimate_overflow_is. Bit-identical across
 /// thread counts for a fixed engine shard size.
+/// Deprecated: use run_with() with EstimatorKind::kOverflowIs.
 is::IsOverflowEstimate estimate_overflow_is_par(const core::UnifiedVbrModel& model,
                                                 const fractal::HoskingModel& background,
                                                 const is::IsOverflowSettings& settings,
@@ -56,6 +50,7 @@ is::IsOverflowEstimate estimate_overflow_is_par(const core::UnifiedVbrModel& mod
 
 /// Parallel multi-source IS estimate (counterpart of
 /// is::estimate_overflow_is_superposed).
+/// Deprecated: use run_with() with EstimatorKind::kOverflowIsSuperposed.
 is::IsOverflowEstimate estimate_overflow_is_superposed_par(
     const core::UnifiedVbrModel& model, const fractal::HoskingModel& background,
     std::size_t n_sources, const is::IsOverflowSettings& settings, RandomEngine& rng,
@@ -65,6 +60,7 @@ is::IsOverflowEstimate estimate_overflow_is_superposed_par(
 /// across both grid points and replications (a single flat shard pool),
 /// same stream layout as the serial is::sweep_twist. Bit-identical
 /// across thread counts for a fixed engine shard size.
+/// Deprecated: use run_with() with EstimatorKind::kTwistSweep.
 std::vector<is::TwistSweepPoint> sweep_twist_par(const core::UnifiedVbrModel& model,
                                                  const fractal::HoskingModel& background,
                                                  is::IsOverflowSettings settings,

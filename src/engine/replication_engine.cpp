@@ -12,14 +12,31 @@ ReplicationEngine::ReplicationEngine(EngineConfig config)
                 "progress interval must be non-negative");
 }
 
+const char* to_string(RunStatus status) noexcept {
+  switch (status) {
+    case RunStatus::kComplete: return "complete";
+    case RunStatus::kCancelled: return "cancelled";
+    case RunStatus::kDeadlineExpired: return "deadline_expired";
+    case RunStatus::kBudgetExhausted: return "budget_exhausted";
+  }
+  return "unknown";
+}
+
 ProgressReporter::ProgressReporter(const ProgressFn* fn, double interval_seconds,
                                    std::size_t shards_total,
-                                   std::size_t replications_total) noexcept
+                                   std::size_t replications_total,
+                                   std::size_t resumed_shards,
+                                   std::size_t resumed_replications) noexcept
     : fn_(fn != nullptr && *fn ? fn : nullptr),
       interval_seconds_(interval_seconds),
       shards_total_(shards_total),
       replications_total_(replications_total),
-      start_(std::chrono::steady_clock::now()) {}
+      resumed_shards_(resumed_shards),
+      resumed_replications_(resumed_replications),
+      start_(std::chrono::steady_clock::now()) {
+  shards_done_.store(resumed_shards, std::memory_order_relaxed);
+  replications_done_.store(resumed_replications, std::memory_order_relaxed);
+}
 
 double ProgressReporter::elapsed_seconds() const noexcept {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
@@ -33,9 +50,14 @@ EngineProgress ProgressReporter::make_progress(std::size_t shards, std::size_t r
   p.shards_total = shards_total_;
   p.replications_done = reps;
   p.replications_total = replications_total_;
+  p.resumed_shards = resumed_shards_;
   p.elapsed_seconds = elapsed;
-  if (elapsed > 0.0 && reps > 0) {
-    p.reps_per_second = static_cast<double>(reps) / elapsed;
+  // Throughput covers only this process's work: restored shards cost
+  // nothing, and counting them would produce absurd ETAs right after a
+  // resume.
+  const std::size_t fresh = reps - resumed_replications_;
+  if (elapsed > 0.0 && fresh > 0) {
+    p.reps_per_second = static_cast<double>(fresh) / elapsed;
     p.eta_seconds =
         static_cast<double>(replications_total_ - reps) / p.reps_per_second;
   }
@@ -62,8 +84,9 @@ void ProgressReporter::shard_done(std::size_t replications) noexcept {
 void ProgressReporter::finish() noexcept {
   const double elapsed = elapsed_seconds();
   const std::size_t reps = replications_done_.load(std::memory_order_relaxed);
-  if (elapsed > 0.0 && reps > 0) {
-    SSVBR_GAUGE_SET("engine.reps_per_sec", static_cast<double>(reps) / elapsed);
+  const std::size_t fresh = reps - resumed_replications_;
+  if (elapsed > 0.0 && fresh > 0) {
+    SSVBR_GAUGE_SET("engine.reps_per_sec", static_cast<double>(fresh) / elapsed);
   }
   if (fn_ == nullptr) return;
   EngineProgress p = make_progress(shards_done_.load(std::memory_order_relaxed), reps,

@@ -30,6 +30,16 @@
 // "engine.reps_per_sec" gauge; an optional EngineConfig::progress
 // callback delivers rate-limited heartbeats (shards done, reps/sec,
 // ETA) while a study runs. Neither affects the simulated numbers.
+// Durable run-control (run_durable): the same shard loop, extended
+// with cooperative cancellation (stop flags checked at shard
+// boundaries), wall-clock deadlines, per-call replication budgets, and
+// checkpoint hooks — restored shards are skipped, computed shards are
+// snapshotted through a caller-supplied save callback on a shard
+// cadence and at every drain (including the exception path). Because a
+// shard's accumulator is a pure function of (base RNG state, shard
+// index, shard size) and the merge walks shards in index order, a
+// campaign resumed from a snapshot is bit-identical to an uninterrupted
+// one.
 #pragma once
 
 #include <algorithm>
@@ -37,6 +47,7 @@
 #include <chrono>
 #include <cstddef>
 #include <functional>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -54,6 +65,7 @@ struct EngineProgress {
   std::size_t shards_total = 0;
   std::size_t replications_done = 0;
   std::size_t replications_total = 0;
+  std::size_t resumed_shards = 0;  ///< shards restored from a checkpoint
   double elapsed_seconds = 0.0;
   double reps_per_second = 0.0;  ///< 0 until measurable
   double eta_seconds = 0.0;      ///< 0 when the rate is unknown
@@ -87,8 +99,14 @@ struct EngineConfig {
 /// finish() once by the calling thread.
 class ProgressReporter {
  public:
+  /// `resumed_shards` / `resumed_replications` seed the done counters
+  /// when a study restarts from a checkpoint, so heartbeats report
+  /// whole-campaign progress while the throughput estimate covers only
+  /// the work actually performed by this process.
   ProgressReporter(const ProgressFn* fn, double interval_seconds,
-                   std::size_t shards_total, std::size_t replications_total) noexcept;
+                   std::size_t shards_total, std::size_t replications_total,
+                   std::size_t resumed_shards = 0,
+                   std::size_t resumed_replications = 0) noexcept;
 
   /// Record one completed shard of `replications` replications and emit
   /// a heartbeat if the interval elapsed.
@@ -106,10 +124,80 @@ class ProgressReporter {
   double interval_seconds_;
   std::size_t shards_total_;
   std::size_t replications_total_;
+  std::size_t resumed_shards_;
+  std::size_t resumed_replications_;
   std::chrono::steady_clock::time_point start_;
   std::atomic<std::size_t> shards_done_{0};
   std::atomic<std::size_t> replications_done_{0};
   std::atomic<std::int64_t> last_beat_ns_{0};
+};
+
+/// How a durable run ended.
+enum class RunStatus {
+  kComplete,         ///< every shard done; the estimate is final
+  kCancelled,        ///< a stop flag was raised; drained at a shard boundary
+  kDeadlineExpired,  ///< the wall-clock deadline elapsed
+  kBudgetExhausted,  ///< the per-call replication budget was consumed
+};
+
+/// Identifier string for a RunStatus ("complete", "cancelled", ...).
+const char* to_string(RunStatus status) noexcept;
+
+/// Cooperative controls for run_durable. All checks happen at shard
+/// boundaries: a worker finishes the shard it holds, so "cancel" means
+/// "drain, checkpoint, return" — never a torn shard.
+struct DurableControls {
+  /// Primary stop flag (e.g. owned by the caller's UI). May be null.
+  const std::atomic<bool>* stop = nullptr;
+  /// Secondary stop flag (e.g. the process-wide SIGINT latch), so both
+  /// can be armed at once without the caller multiplexing them.
+  const std::atomic<bool>* stop_secondary = nullptr;
+  /// Abort after this many wall-clock seconds; 0 disables.
+  double deadline_seconds = 0.0;
+  /// Run at most this many replications in THIS call (a resume budget:
+  /// campaigns advance in bounded slices); 0 disables.
+  std::size_t max_replications = 0;
+};
+
+/// Checkpoint/fault plumbing for run_durable. The engine stays
+/// format-agnostic: it only deals in per-shard accumulators and
+/// completed flags; serialization lives with the caller (see
+/// engine/run.h and engine/checkpoint.h).
+template <MergeableAccumulator Acc>
+struct DurableHooks {
+  /// Restored state: completed flags + per-shard accumulators from a
+  /// snapshot (both sized shards_total, or null for a fresh run).
+  /// Flagged shards are never recomputed.
+  const std::vector<char>* restored_done = nullptr;
+  const std::vector<Acc>* restored = nullptr;
+  /// Persist a snapshot: `done[s]` marks the entries of `shards` that
+  /// are valid. Called with an internal mutex held (never concurrently
+  /// with itself) from worker threads and at drain. Only flagged
+  /// entries may be read.
+  std::function<void(const std::vector<char>& done, const std::vector<Acc>& shards,
+                     std::size_t replications_done)>
+      save;
+  /// Invoke save() every this many shards completed by THIS call;
+  /// 0 saves only at drain (completion, cancellation, or exception).
+  std::size_t save_every_shards = 0;
+  /// Test/fault hook invoked after each shard this call completes
+  /// (argument: how many so far). May throw to simulate a mid-campaign
+  /// crash — the engine then writes a final snapshot and rethrows.
+  std::function<void(std::size_t shards_completed_this_call)> after_shard;
+};
+
+/// Outcome of a durable run.
+template <MergeableAccumulator Acc>
+struct DurableResult {
+  /// Merged accumulator. For kComplete this is the full study (and is
+  /// bit-identical to ReplicationEngine::run); otherwise it merges the
+  /// completed shards only, in shard-index order.
+  Acc total{};
+  RunStatus status = RunStatus::kComplete;
+  std::size_t shards_total = 0;
+  std::size_t shards_done = 0;        ///< including restored shards
+  std::size_t restored_shards = 0;    ///< restored from the snapshot
+  std::size_t replications_done = 0;  ///< including restored shards
 };
 
 /// Shard-based deterministic replication runner. One instance owns one
@@ -139,60 +227,228 @@ class ReplicationEngine {
   /// and parallel runs consume identical stream real estate.
   template <MergeableAccumulator Acc, class MakeWorker>
   Acc run(std::size_t replications, RandomEngine& rng, MakeWorker&& make_worker) {
-    Acc total{};
-    if (replications == 0) return total;
+    // The durable loop with no controls and no hooks is exactly the
+    // plain shard loop (same shard structure, same in-order merge), so
+    // run() is a thin alias and the two paths cannot drift apart.
+    return run_durable<Acc>(replications, rng, std::forward<MakeWorker>(make_worker))
+        .total;
+  }
+
+  /// Checkpoint/cancellation-aware variant of run(). Semantics:
+  ///
+  ///  * With default controls and hooks, identical to run() bit-for-bit
+  ///    (status is always kComplete).
+  ///  * `hooks.restored_done` marks shards whose accumulators are taken
+  ///    from `hooks.restored` instead of being recomputed; the merged
+  ///    result of a resumed-and-completed study is bit-identical to an
+  ///    uninterrupted one.
+  ///  * Stop flags / deadline / budget are checked before each shard
+  ///    claim; on trigger workers drain (finishing shards they hold),
+  ///    a final snapshot is saved, and the partial result is returned
+  ///    with the corresponding status. The caller's `rng` is advanced
+  ///    by `replications` jumps ONLY when the study completes —
+  ///    exactly run()'s contract — and left untouched otherwise.
+  ///  * If a worker (or `hooks.after_shard`) throws, a best-effort
+  ///    final snapshot is saved and the exception propagates; other
+  ///    workers stop claiming shards as soon as they observe the abort.
+  template <MergeableAccumulator Acc, class MakeWorker>
+  DurableResult<Acc> run_durable(std::size_t replications, RandomEngine& rng,
+                                 MakeWorker&& make_worker,
+                                 const DurableControls& controls = {},
+                                 const DurableHooks<Acc>& hooks = {}) {
+    DurableResult<Acc> out;
+    if (replications == 0) return out;
     SSVBR_SPAN("engine.run");
     SSVBR_GAUGE_SET("engine.threads", static_cast<double>(pool_.size()));
     SSVBR_GAUGE_SET("engine.shard_size", static_cast<double>(shard_size_));
     const std::size_t n_shards = (replications + shard_size_ - 1) / shard_size_;
+    out.shards_total = n_shards;
+    const auto shard_width = [&](std::size_t s) {
+      return std::min((s + 1) * shard_size_, replications) - s * shard_size_;
+    };
+
     std::vector<Acc> shard_result(n_shards);
-    const RandomEngine base = rng;
-    RandomEngine end_state = rng;  // overwritten by the final shard's worker
-    std::atomic<std::size_t> next_shard{0};
-    ProgressReporter reporter(&progress_, progress_interval_seconds_, n_shards,
-                              replications);
+    std::vector<std::atomic<unsigned char>> done(n_shards);
 
-    pool_.parallel([&](unsigned) {
-      auto worker = make_worker();
-      RandomEngine stream = base;
-      std::size_t position = 0;  // jumps applied to `stream` so far
-      for (;;) {
-        const std::size_t s = next_shard.fetch_add(1, std::memory_order_relaxed);
-        if (s >= n_shards) break;
-        SSVBR_TIMER("engine.shard");
-        const std::size_t lo = s * shard_size_;
-        const std::size_t hi = std::min(lo + shard_size_, replications);
-        while (position < lo) {
-          stream.jump();
-          ++position;
-        }
-        Acc acc{};
-        for (std::size_t i = lo; i < hi; ++i) {
-          RandomEngine replication_stream = stream;
-          worker(i, replication_stream, acc);
-          stream.jump();
-          ++position;
-        }
-        shard_result[s] = std::move(acc);
-        // Exactly one shard ends at `replications`; its stream then sits
-        // `replications` jumps past `base` — the state the caller's
-        // engine must continue from. pool_.parallel() joining the
-        // workers orders this write before the read below.
-        if (hi == replications) end_state = stream;
-        SSVBR_COUNTER_ADD("engine.shards", 1);
-        SSVBR_COUNTER_ADD("engine.replications", hi - lo);
-        reporter.shard_done(hi - lo);
+    // Restore checkpointed shards.
+    std::size_t restored = 0, restored_reps = 0;
+    if (hooks.restored_done != nullptr) {
+      SSVBR_ENSURE(hooks.restored != nullptr &&
+                       hooks.restored_done->size() == n_shards &&
+                       hooks.restored->size() == n_shards,
+                   "restored shard state must be sized shards_total");
+      for (std::size_t s = 0; s < n_shards; ++s) {
+        if (!(*hooks.restored_done)[s]) continue;
+        shard_result[s] = (*hooks.restored)[s];
+        done[s].store(1, std::memory_order_relaxed);
+        ++restored;
+        restored_reps += shard_width(s);
       }
-    });
+    }
+    out.restored_shards = restored;
 
+    const RandomEngine base = rng;
+    RandomEngine end_state = rng;  // written by the worker that finishes the study
+    std::atomic<bool> have_end{false};
+    std::atomic<std::size_t> next_shard{0};
+    std::atomic<std::size_t> completed_total{restored};
+    std::atomic<std::size_t> completed_this_call{0};
+    std::atomic<std::size_t> reps_this_call{0};
+    std::atomic<int> stop_reason{0};  // 1 cancel, 2 deadline, 3 budget
+    std::atomic<bool> aborted{false};
+    std::mutex save_mu;
+    const auto start = std::chrono::steady_clock::now();
+    ProgressReporter reporter(&progress_, progress_interval_seconds_, n_shards,
+                              replications, restored, restored_reps);
+
+    const auto snapshot = [&]() {
+      if (!hooks.save) return;
+      std::lock_guard<std::mutex> lock(save_mu);
+      std::vector<char> flags(n_shards, 0);
+      std::size_t reps_done = 0;
+      for (std::size_t s = 0; s < n_shards; ++s) {
+        // acquire pairs with the release store after shard_result[s] is
+        // written, so flagged entries are safe to serialize.
+        if (done[s].load(std::memory_order_acquire)) {
+          flags[s] = 1;
+          reps_done += shard_width(s);
+        }
+      }
+      hooks.save(flags, shard_result, reps_done);
+    };
+
+    const auto should_stop = [&]() -> bool {
+      if (controls.stop != nullptr && controls.stop->load(std::memory_order_relaxed)) {
+        stop_reason.store(1, std::memory_order_relaxed);
+        return true;
+      }
+      if (controls.stop_secondary != nullptr &&
+          controls.stop_secondary->load(std::memory_order_relaxed)) {
+        stop_reason.store(1, std::memory_order_relaxed);
+        return true;
+      }
+      if (controls.deadline_seconds > 0.0) {
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                .count();
+        if (elapsed >= controls.deadline_seconds) {
+          stop_reason.store(2, std::memory_order_relaxed);
+          return true;
+        }
+      }
+      if (controls.max_replications > 0 &&
+          reps_this_call.load(std::memory_order_relaxed) >= controls.max_replications) {
+        stop_reason.store(3, std::memory_order_relaxed);
+        return true;
+      }
+      return false;
+    };
+
+    try {
+      pool_.parallel([&](unsigned) {
+        auto worker = make_worker();
+        RandomEngine stream = base;
+        std::size_t position = 0;  // jumps applied to `stream` so far
+        try {
+          for (;;) {
+            if (aborted.load(std::memory_order_relaxed)) break;
+            if (should_stop()) break;
+            const std::size_t s = next_shard.fetch_add(1, std::memory_order_relaxed);
+            if (s >= n_shards) break;
+            if (done[s].load(std::memory_order_acquire)) continue;  // restored
+            SSVBR_TIMER("engine.shard");
+            const std::size_t lo = s * shard_size_;
+            const std::size_t hi = std::min(lo + shard_size_, replications);
+            while (position < lo) {
+              stream.jump();
+              ++position;
+            }
+            Acc acc{};
+            for (std::size_t i = lo; i < hi; ++i) {
+              RandomEngine replication_stream = stream;
+              worker(i, replication_stream, acc);
+              stream.jump();
+              ++position;
+            }
+            shard_result[s] = std::move(acc);
+            done[s].store(1, std::memory_order_release);
+            completed_total.fetch_add(1, std::memory_order_relaxed);
+            reps_this_call.fetch_add(hi - lo, std::memory_order_relaxed);
+            // Exactly one shard ends at `replications`; its stream then
+            // sits `replications` jumps past `base` — the state the
+            // caller's engine continues from. pool_.parallel() joining
+            // the workers orders this write before the read below.
+            if (hi == replications) {
+              end_state = stream;
+              have_end.store(true, std::memory_order_relaxed);
+            }
+            SSVBR_COUNTER_ADD("engine.shards", 1);
+            SSVBR_COUNTER_ADD("engine.replications", hi - lo);
+            reporter.shard_done(hi - lo);
+            const std::size_t k =
+                completed_this_call.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (hooks.save_every_shards != 0 && k % hooks.save_every_shards == 0) {
+              snapshot();
+            }
+            if (hooks.after_shard) hooks.after_shard(k);
+          }
+        } catch (...) {
+          aborted.store(true, std::memory_order_relaxed);
+          throw;
+        }
+      });
+    } catch (...) {
+      // The campaign just crashed mid-flight; persist what completed so
+      // a resume replays nothing. Never mask the original fault.
+      try {
+        snapshot();
+      } catch (...) {  // NOLINT(bugprone-empty-catch)
+      }
+      throw;
+    }
+
+    out.shards_done = completed_total.load(std::memory_order_relaxed);
     {
       SSVBR_TIMER("engine.merge");
-      total = std::move(shard_result[0]);
-      for (std::size_t s = 1; s < n_shards; ++s) total.merge(shard_result[s]);
+      bool first = true;
+      for (std::size_t s = 0; s < n_shards; ++s) {
+        if (!done[s].load(std::memory_order_acquire)) continue;
+        out.replications_done += shard_width(s);
+        if (first) {
+          out.total = std::move(shard_result[s]);
+          first = false;
+        } else {
+          out.total.merge(shard_result[s]);
+        }
+      }
     }
-    reporter.finish();
-    rng = end_state;
-    return total;
+
+    if (out.shards_done == n_shards) {
+      out.status = RunStatus::kComplete;
+      snapshot();  // final snapshot records the campaign as complete
+      reporter.finish();
+      if (!have_end.load(std::memory_order_relaxed)) {
+        // The study-closing shard was restored, so no worker recomputed
+        // its stream; derive the post-run state by jumping. jump() is
+        // the same O(1) polynomial either way, so the state matches the
+        // uninterrupted run exactly.
+        end_state = base;
+        for (std::size_t i = 0; i < replications; ++i) end_state.jump();
+      }
+      rng = end_state;
+    } else {
+      switch (stop_reason.load(std::memory_order_relaxed)) {
+        case 2: out.status = RunStatus::kDeadlineExpired; break;
+        case 3: out.status = RunStatus::kBudgetExhausted; break;
+        default: out.status = RunStatus::kCancelled; break;
+      }
+      SSVBR_COUNTER_ADD("engine.run.stopped_early", 1);
+      snapshot();
+      reporter.finish();
+      // rng deliberately untouched: an incomplete study consumed no
+      // caller-visible stream real estate.
+    }
+    return out;
   }
 
   /// Run a family of `tasks` independent studies of `replications`

@@ -1,0 +1,527 @@
+#include "engine/run.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "engine/checkpoint.h"
+#include "obs/instrument.h"
+#include "queueing/lindley.h"
+
+namespace ssvbr::engine {
+
+namespace {
+
+// Process-wide SIGINT latch. The handler only performs a lock-free
+// atomic store, which is async-signal-safe; workers poll the flag at
+// shard boundaries.
+std::atomic<bool> g_sigint{false};
+static_assert(std::atomic<bool>::is_always_lock_free);
+
+extern "C" void ssvbr_sigint_handler(int) {
+  g_sigint.store(true, std::memory_order_relaxed);
+}
+
+/// SSVBR_FAULT_AFTER_SHARDS=N arms a hard process kill after N shards
+/// complete in one engine call — the recovery tests' stand-in for a
+/// crash. Unset, empty, or unparsable values leave it disarmed.
+std::optional<std::size_t> fault_after_shards_from_env() {
+  const char* raw = std::getenv("SSVBR_FAULT_AFTER_SHARDS");
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return std::nullopt;
+  return static_cast<std::size_t>(n);
+}
+
+std::size_t is_total_replications(const RunRequest& request) {
+  return request.kind == EstimatorKind::kTwistSweep
+             ? request.is.twists.size() * request.is.settings.replications
+             : request.is.settings.replications;
+}
+
+std::optional<Error> validate_is_study(const IsStudy& is) {
+  if (is.model == nullptr) {
+    return Error{ErrorCode::kInvalidArgument, "need a VBR source model",
+                 "RunRequest.is.model"};
+  }
+  if (is.background == nullptr) {
+    return Error{ErrorCode::kInvalidArgument, "need a background Hosking model",
+                 "RunRequest.is.background"};
+  }
+  if (is.n_sources < 1) {
+    return Error{ErrorCode::kInvalidArgument, "need at least one source",
+                 "RunRequest.is.n_sources"};
+  }
+  if (is.settings.replications < 1) {
+    return Error{ErrorCode::kInvalidArgument, "need at least one replication",
+                 "RunRequest.is.settings.replications"};
+  }
+  if (is.settings.stop_time < 1) {
+    return Error{ErrorCode::kInvalidArgument, "stop time must be at least one slot",
+                 "RunRequest.is.settings.stop_time"};
+  }
+  if (is.settings.stop_time > is.background->horizon()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "background coefficient table shorter than the stop time",
+                 "RunRequest.is.settings.stop_time"};
+  }
+  if (!(is.settings.buffer >= 0.0)) {
+    return Error{ErrorCode::kInvalidArgument, "buffer must be non-negative",
+                 "RunRequest.is.settings.buffer"};
+  }
+  return std::nullopt;
+}
+
+/// Everything that shapes the campaign's numbers goes into the config
+/// hash; together with the base RNG state and the shard plan it pins
+/// the snapshot to exactly one campaign. The arrival-process factory
+/// (MC) and the model objects (IS) cannot be hashed structurally, so
+/// their cheaply observable parameters stand in for them — the hash is
+/// a mistake detector, not a cryptographic identity.
+std::uint64_t config_hash_of(const RunRequest& request) {
+  checkpoint::ConfigHasher h;
+  h.str(to_string(request.kind));
+  if (request.kind == EstimatorKind::kOverflowMc) {
+    const McStudy& mc = request.mc;
+    h.f64(mc.service_rate)
+        .f64(mc.buffer)
+        .u64(mc.stop_time)
+        .u64(mc.replications)
+        .u64(static_cast<std::uint64_t>(mc.event))
+        .f64(mc.initial_occupancy);
+  } else {
+    const IsStudy& is = request.is;
+    h.u64(is.n_sources)
+        .f64(is.settings.twisted_mean)
+        .f64(is.settings.service_rate)
+        .f64(is.settings.buffer)
+        .u64(is.settings.stop_time)
+        .u64(is.settings.replications)
+        .u64(static_cast<std::uint64_t>(is.settings.event))
+        .f64(is.settings.initial_occupancy)
+        .u64(is.background->horizon())
+        .f64(is.model->mean())
+        .f64(is.model->variance());
+  }
+  return h.digest();
+}
+
+/// Shared per-study plumbing: fingerprint construction, snapshot
+/// load/verify/decode on resume, save callback, cancellation controls,
+/// and the composed fault hook. One instance per engine call.
+template <MergeableAccumulator Acc>
+class StudyHarness {
+ public:
+  StudyHarness(const RunRequest& request, const ReplicationEngine& engine,
+               const RandomEngine& rng, std::size_t replications)
+      : path_(request.checkpoint.path) {
+    fingerprint_.estimator = to_string(request.kind);
+    fingerprint_.accumulator = accumulator_name(Acc{});
+    fingerprint_.config_hash = config_hash_of(request);
+    fingerprint_.replications = replications;
+    fingerprint_.shard_size = engine.shard_size();
+    fingerprint_.rng = rng.state();
+
+    controls_.stop = request.controls.stop;
+    if (request.controls.cancel_on_sigint) controls_.stop_secondary = &g_sigint;
+    controls_.deadline_seconds = request.controls.deadline_seconds;
+    controls_.max_replications = request.controls.max_replications;
+
+    if (!path_.empty()) {
+      hooks_.save_every_shards = request.checkpoint.every_shards;
+      hooks_.save = [this](const std::vector<char>& done, const std::vector<Acc>& shards,
+                           std::size_t replications_done) {
+        checkpoint::Snapshot snap;
+        snap.fingerprint = fingerprint_;
+        snap.shards_total = done.size();
+        snap.replications_done = replications_done;
+        for (std::size_t s = 0; s < done.size(); ++s) {
+          if (!done[s]) continue;
+          snap.shards.push_back({s, encode_words(shards[s])});
+        }
+        checkpoint::save(path_, snap);
+        ++saves_;
+        SSVBR_COUNTER_ADD("engine.checkpoint.saves", 1);
+      };
+      if (request.checkpoint.resume && checkpoint::exists(path_)) {
+        restore(engine, replications);
+      }
+    }
+
+    // Compose the in-process fault hook with the environment-armed hard
+    // kill. The cadence snapshot runs before after_shard, so at the
+    // moment of the kill the latest snapshot already covers the shard
+    // count the test asked for.
+    const std::optional<std::size_t> kill_after = fault_after_shards_from_env();
+    if (request.controls.fault_hook || kill_after.has_value()) {
+      hooks_.after_shard = [user = request.controls.fault_hook,
+                            kill_after](std::size_t k) {
+        if (user) user(k);
+        if (kill_after.has_value() && k >= *kill_after) {
+          // _Exit: a crash does not unwind. Durability must come from
+          // the snapshots already renamed into place, nothing else.
+          std::_Exit(kFaultExitCode);
+        }
+      };
+    }
+  }
+
+  const DurableControls& controls() const noexcept { return controls_; }
+  const DurableHooks<Acc>& hooks() const noexcept { return hooks_; }
+
+  void fill_provenance(RunProvenance& prov, const DurableResult<Acc>& res) const {
+    prov.resumed = resumed_;
+    prov.resumed_shards = res.restored_shards;
+    prov.shards_total = res.shards_total;
+    prov.checkpoints_written = saves_;
+    prov.checkpoint_path = path_;
+  }
+
+ private:
+  void restore(const ReplicationEngine& engine, std::size_t replications) {
+    checkpoint::Snapshot snap = checkpoint::load(path_);
+    if (!(snap.fingerprint == fingerprint_)) {
+      throw RunError(Error{ErrorCode::kFingerprintMismatch,
+                           "checkpoint belongs to a different campaign "
+                           "(estimator config, RNG seed, replication count, or "
+                           "shard size changed)",
+                           path_});
+    }
+    const std::size_t n_shards =
+        (replications + engine.shard_size() - 1) / engine.shard_size();
+    if (snap.shards_total != n_shards) {
+      throw RunError(Error{ErrorCode::kCheckpointCorrupt,
+                           "snapshot shard count disagrees with the shard plan",
+                           path_});
+    }
+    restored_done_ = snap.completed_flags();
+    restored_.assign(n_shards, Acc{});
+    try {
+      for (const checkpoint::ShardRecord& rec : snap.shards) {
+        decode_words(rec.words, restored_[rec.index]);
+      }
+    } catch (const std::exception& e) {
+      throw RunError(Error{ErrorCode::kCheckpointCorrupt, e.what(), path_});
+    }
+    hooks_.restored_done = &restored_done_;
+    hooks_.restored = &restored_;
+    resumed_ = true;
+    SSVBR_COUNTER_ADD("engine.checkpoint.resumed_shards",
+                      static_cast<std::int64_t>(snap.shards.size()));
+  }
+
+  std::string path_;
+  checkpoint::Fingerprint fingerprint_;
+  DurableControls controls_;
+  DurableHooks<Acc> hooks_;
+  std::vector<char> restored_done_;
+  std::vector<Acc> restored_;
+  bool resumed_ = false;
+  std::size_t saves_ = 0;
+};
+
+RunResult run_mc(const RunRequest& request, ReplicationEngine& engine,
+                 RandomEngine& rng) {
+  const McStudy& mc = request.mc;
+  StudyHarness<HitAccumulator> harness(request, engine, rng, mc.replications);
+  const DurableResult<HitAccumulator> res = engine.run_durable<HitAccumulator>(
+      mc.replications, rng,
+      [&] {
+        return [arrivals = mc.make_arrivals(),
+                queue = queueing::LindleyQueue(mc.service_rate, mc.initial_occupancy),
+                &mc](std::size_t, RandomEngine& stream, HitAccumulator& acc) mutable {
+          acc.add(queueing::run_overflow_replication(*arrivals, queue, mc.service_rate,
+                                                     mc.buffer, mc.stop_time, stream,
+                                                     mc.event, mc.initial_occupancy));
+        };
+      },
+      harness.controls(), harness.hooks());
+
+  RunResult out;
+  out.status = res.status;
+  out.replications_done = res.replications_done;
+  out.replications_total = mc.replications;
+  harness.fill_provenance(out.provenance, res);
+  if (res.replications_done > 0) {
+    // For a drained (partial) run this estimates from the completed
+    // shards only; replications_done says how many that is.
+    out.mc = queueing::make_overflow_estimate(res.total.hits(), res.replications_done);
+  }
+  return out;
+}
+
+RunResult run_is(const RunRequest& request, ReplicationEngine& engine,
+                 RandomEngine& rng) {
+  const IsStudy& is = request.is;
+  StudyHarness<ScoreAccumulator> harness(request, engine, rng,
+                                         is.settings.replications);
+  const DurableResult<ScoreAccumulator> res = engine.run_durable<ScoreAccumulator>(
+      is.settings.replications, rng,
+      [&] {
+        return [kernel = is::IsReplicationKernel(*is.model, *is.background,
+                                                 is.n_sources, is.settings)](
+                   std::size_t, RandomEngine& stream, ScoreAccumulator& acc) mutable {
+          const is::IsReplicationKernel::Outcome out = kernel.run_one(stream);
+          acc.add(out.score, out.hit);
+        };
+      },
+      harness.controls(), harness.hooks());
+
+  RunResult out;
+  out.status = res.status;
+  out.replications_done = res.replications_done;
+  out.replications_total = is.settings.replications;
+  harness.fill_provenance(out.provenance, res);
+  if (res.replications_done > 0) {
+    out.is_estimate =
+        is::make_is_overflow_estimate(res.total.mean(), res.total.sample_variance(),
+                                      res.total.hits(), res.replications_done);
+  }
+  return out;
+}
+
+bool sweep_needs_durable_path(const RunRequest& request) {
+  const RunControls& c = request.controls;
+  return c.stop != nullptr || c.cancel_on_sigint || c.deadline_seconds > 0.0 ||
+         c.max_replications > 0 || static_cast<bool>(c.fault_hook) ||
+         fault_after_shards_from_env().has_value();
+}
+
+/// Twist sweep. Two execution paths with bit-identical per-point
+/// numbers:
+///
+///  * no run controls: one run_many() call — a single flat shard pool
+///    parallelises across grid points AND replications (best for wide
+///    grids on many cores);
+///  * any control armed: one run_durable() per grid point, in grid
+///    order, so cancellation/deadline/budget resolve at point
+///    granularity and the result holds exactly the completed points.
+///
+/// Both paths give point j the caller's engine long-jumped j times as
+/// its base and merge its shards in index order, so a point's estimate
+/// does not depend on which path (or thread count) produced it.
+RunResult run_sweep(const RunRequest& request, ReplicationEngine& engine,
+                    RandomEngine& rng) {
+  const IsStudy& is = request.is;
+  RunResult out;
+  out.replications_total = is.twists.size() * is.settings.replications;
+
+  if (!sweep_needs_durable_path(request)) {
+    is::IsOverflowSettings settings = is.settings;
+    const std::vector<ScoreAccumulator> per_point =
+        engine.run_many<ScoreAccumulator>(
+            is.twists.size(), settings.replications, rng, [&] {
+              struct Worker {
+                const core::UnifiedVbrModel* model;
+                const fractal::HoskingModel* background;
+                std::size_t n_sources;
+                is::IsOverflowSettings settings;
+                const std::vector<double>* twists;
+                std::optional<is::IsReplicationKernel> kernel;
+                std::size_t kernel_task = SIZE_MAX;
+
+                void operator()(std::size_t task, std::size_t, RandomEngine& stream,
+                                ScoreAccumulator& acc) {
+                  if (task != kernel_task) {
+                    settings.twisted_mean = (*twists)[task];
+                    kernel.emplace(*model, *background, n_sources, settings);
+                    kernel_task = task;
+                  }
+                  const is::IsReplicationKernel::Outcome out = kernel->run_one(stream);
+                  acc.add(out.score, out.hit);
+                }
+              };
+              return Worker{is.model, is.background, is.n_sources,
+                            settings,  &is.twists,   std::nullopt,
+                            SIZE_MAX};
+            });
+    out.sweep.reserve(is.twists.size());
+    for (std::size_t j = 0; j < is.twists.size(); ++j) {
+      is::TwistSweepPoint point;
+      point.twisted_mean = is.twists[j];
+      point.estimate = is::make_is_overflow_estimate(
+          per_point[j].mean(), per_point[j].sample_variance(), per_point[j].hits(),
+          per_point[j].count());
+      SSVBR_HIST_RECORD("is.sweep.ess", point.estimate.effective_sample_size);
+      SSVBR_COUNTER_ADD("is.sweep.points", 1);
+      out.sweep.push_back(point);
+      out.replications_done += per_point[j].count();
+    }
+    out.status = RunStatus::kComplete;
+    return out;
+  }
+
+  // Controlled path: grid points in order, each on its own 2^192-spaced
+  // stream, with the remaining deadline/budget threaded through.
+  const auto start = std::chrono::steady_clock::now();
+  RandomEngine cursor = rng;
+  out.status = RunStatus::kComplete;
+  for (std::size_t j = 0; j < is.twists.size(); ++j) {
+    RunRequest point = request;
+    point.kind = EstimatorKind::kOverflowIs;
+    point.is.settings.twisted_mean = is.twists[j];
+    point.is.twists.clear();
+    if (point.controls.deadline_seconds > 0.0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      const double left = request.controls.deadline_seconds - elapsed;
+      if (left <= 0.0) {
+        out.status = RunStatus::kDeadlineExpired;
+        break;
+      }
+      point.controls.deadline_seconds = left;
+    }
+    if (point.controls.max_replications > 0) {
+      const std::size_t left = request.controls.max_replications - out.replications_done;
+      if (left == 0) {
+        out.status = RunStatus::kBudgetExhausted;
+        break;
+      }
+      point.controls.max_replications = left;
+    }
+    RandomEngine point_rng = cursor;
+    const RunResult point_result = run_is(point, engine, point_rng);
+    if (!point_result.complete()) {
+      // A drained point's estimate covers a subset of its replications;
+      // the sweep reports whole points only, so it is dropped.
+      out.status = point_result.status;
+      break;
+    }
+    is::TwistSweepPoint sweep_point;
+    sweep_point.twisted_mean = is.twists[j];
+    sweep_point.estimate = point_result.is_estimate;
+    SSVBR_HIST_RECORD("is.sweep.ess", sweep_point.estimate.effective_sample_size);
+    SSVBR_COUNTER_ADD("is.sweep.points", 1);
+    out.sweep.push_back(sweep_point);
+    out.replications_done += point_result.replications_done;
+    cursor.jump_long();
+  }
+  if (out.complete()) rng = cursor;  // advanced by twists.size() long jumps
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(EstimatorKind kind) noexcept {
+  switch (kind) {
+    case EstimatorKind::kOverflowMc: return "overflow_mc";
+    case EstimatorKind::kOverflowIs: return "overflow_is";
+    case EstimatorKind::kOverflowIsSuperposed: return "overflow_is_superposed";
+    case EstimatorKind::kTwistSweep: return "twist_sweep";
+  }
+  return "unknown";
+}
+
+std::optional<Error> validate(const RunRequest& request) {
+  if (request.engine.shard_size < 1) {
+    return Error{ErrorCode::kInvalidArgument, "shard size must be at least 1",
+                 "RunRequest.engine.shard_size"};
+  }
+  if (!(request.engine.progress_interval_seconds >= 0.0)) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "progress interval must be non-negative",
+                 "RunRequest.engine.progress_interval_seconds"};
+  }
+  if (!(request.controls.deadline_seconds >= 0.0)) {
+    return Error{ErrorCode::kInvalidArgument, "deadline must be non-negative",
+                 "RunRequest.controls.deadline_seconds"};
+  }
+
+  switch (request.kind) {
+    case EstimatorKind::kOverflowMc: {
+      const McStudy& mc = request.mc;
+      if (!mc.make_arrivals) {
+        return Error{ErrorCode::kInvalidArgument, "need an arrival-process factory",
+                     "RunRequest.mc.make_arrivals"};
+      }
+      if (mc.replications < 1) {
+        return Error{ErrorCode::kInvalidArgument, "need at least one replication",
+                     "RunRequest.mc.replications"};
+      }
+      if (mc.stop_time < 1) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "stopping time must be at least one slot",
+                     "RunRequest.mc.stop_time"};
+      }
+      if (!(mc.buffer >= 0.0)) {
+        return Error{ErrorCode::kInvalidArgument, "buffer must be non-negative",
+                     "RunRequest.mc.buffer"};
+      }
+      break;
+    }
+    case EstimatorKind::kOverflowIs:
+    case EstimatorKind::kOverflowIsSuperposed: {
+      if (auto err = validate_is_study(request.is)) return err;
+      break;
+    }
+    case EstimatorKind::kTwistSweep: {
+      if (request.is.twists.empty()) {
+        return Error{ErrorCode::kEmptyTwistGrid, "twist grid must be non-empty",
+                     "RunRequest.is.twists"};
+      }
+      if (auto err = validate_is_study(request.is)) return err;
+      if (!request.checkpoint.path.empty()) {
+        // A sweep's unit of durability would be the grid point, not the
+        // shard; that format does not exist yet, so reject loudly
+        // instead of silently not checkpointing.
+        return Error{ErrorCode::kUnsupported,
+                     "checkpointing is not supported for twist sweeps "
+                     "(run grid points as separate kOverflowIs campaigns)",
+                     "RunRequest.checkpoint.path"};
+      }
+      break;
+    }
+  }
+
+  if (!request.checkpoint.path.empty()) {
+    try {
+      checkpoint::require_writable(request.checkpoint.path);
+    } catch (const RunError& e) {
+      return e.error();
+    }
+  }
+  return std::nullopt;
+}
+
+RunResult run_with(const RunRequest& request, ReplicationEngine& engine,
+                   RandomEngine& rng) {
+  if (auto err = validate(request)) throw RunError(std::move(*err));
+  SSVBR_SPAN("engine.run_request");
+  const auto start = std::chrono::steady_clock::now();
+  RunResult out;
+  switch (request.kind) {
+    case EstimatorKind::kOverflowMc:
+      out = run_mc(request, engine, rng);
+      break;
+    case EstimatorKind::kOverflowIs:
+    case EstimatorKind::kOverflowIsSuperposed:
+      out = run_is(request, engine, rng);
+      break;
+    case EstimatorKind::kTwistSweep:
+      out = run_sweep(request, engine, rng);
+      break;
+  }
+  out.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return out;
+}
+
+RunResult run(const RunRequest& request) {
+  if (auto err = validate(request)) throw RunError(std::move(*err));
+  ReplicationEngine engine(request.engine);
+  RandomEngine rng(request.seed);
+  return run_with(request, engine, rng);
+}
+
+void install_sigint_cancellation() { std::signal(SIGINT, ssvbr_sigint_handler); }
+
+const std::atomic<bool>& sigint_flag() noexcept { return g_sigint; }
+
+void reset_sigint_flag() noexcept { g_sigint.store(false, std::memory_order_relaxed); }
+
+}  // namespace ssvbr::engine

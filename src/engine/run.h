@@ -1,0 +1,215 @@
+// ssvbr/engine/run.h
+//
+// The unified run-control front door for every replication study in the
+// library: crude Monte-Carlo overflow (eq. 16-17), the Section 4
+// importance-sampling estimator (single- and multi-source), and the
+// Fig. 14 twist sweep, all behind one RunRequest / RunResult pair.
+//
+//   engine::RunRequest req;
+//   req.kind = engine::EstimatorKind::kOverflowIs;
+//   req.is.model = &model;
+//   req.is.background = &background;
+//   req.is.settings = settings;
+//   req.seed = 42;
+//   req.checkpoint.path = "campaign.ckpt";
+//   req.checkpoint.resume = true;
+//   engine::RunResult res = engine::run(req);
+//
+// What the façade adds over the per-estimator entry points it replaces
+// (engine/parallel_estimators.h, now thin deprecated wrappers):
+//
+//  * Durable checkpointing — shard-level snapshots (see
+//    engine/checkpoint.h) written crash-safely on a configurable shard
+//    cadence and at every drain. A campaign interrupted by SIGINT, a
+//    crash, or a budget and later resumed produces estimates
+//    bit-identical to an uninterrupted run: restored shards are merged,
+//    never recomputed, and the merge order is a function of the shard
+//    plan alone.
+//  * Cooperative cancellation — caller stop flags and an optional
+//    process-wide SIGINT latch, honoured at shard boundaries; plus
+//    wall-clock deadlines and per-call replication budgets.
+//  * Structured validation — ssvbr::Error{code, what, context} for
+//    every rejectable input (zero replications, unwritable checkpoint
+//    path, fingerprint mismatch on resume, empty twist grid, ...),
+//    thrown as ssvbr::RunError from run(); validate() returns the first
+//    problem without throwing.
+//  * Fault injection for recovery testing — SSVBR_FAULT_AFTER_SHARDS=N
+//    hard-kills the process (exit code kFaultExitCode) after N shards,
+//    and RunControls::fault_hook lets tests throw in-process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "core/unified_model.h"
+#include "engine/replication_engine.h"
+#include "fractal/hosking.h"
+#include "is/is_estimator.h"
+#include "is/twist_search.h"
+#include "queueing/arrival.h"
+#include "queueing/overflow_mc.h"
+
+namespace ssvbr::engine {
+
+/// Factory producing one independent ArrivalProcess per worker thread
+/// (arrival processes carry replication state and are not shareable
+/// across threads). Must be callable concurrently.
+using ArrivalFactory = std::function<std::unique_ptr<queueing::ArrivalProcess>()>;
+
+/// Which replication study a RunRequest describes.
+enum class EstimatorKind {
+  kOverflowMc,            ///< crude Monte-Carlo overflow (queueing::)
+  kOverflowIs,            ///< single-source importance sampling (is::)
+  kOverflowIsSuperposed,  ///< multi-source importance sampling
+  kTwistSweep,            ///< Fig. 14 scan over a twist grid
+};
+
+/// Identifier string for an EstimatorKind ("overflow_mc", ...). Also
+/// the "estimator" field of checkpoint fingerprints.
+const char* to_string(EstimatorKind kind) noexcept;
+
+/// Inputs of a crude Monte-Carlo overflow study.
+struct McStudy {
+  ArrivalFactory make_arrivals;  ///< one arrival process per worker
+  double service_rate = 1.0;
+  double buffer = 0.0;
+  std::size_t stop_time = 1;  ///< k
+  std::size_t replications = 0;
+  queueing::OverflowEvent event = queueing::OverflowEvent::kFirstPassage;
+  double initial_occupancy = 0.0;
+};
+
+/// Inputs of an importance-sampling study or twist sweep. `settings`
+/// carries the twist, queue, and replication parameters; `twists` is
+/// only read for kTwistSweep (where settings.twisted_mean is ignored).
+struct IsStudy {
+  const core::UnifiedVbrModel* model = nullptr;
+  const fractal::HoskingModel* background = nullptr;
+  std::size_t n_sources = 1;
+  is::IsOverflowSettings settings;
+  std::vector<double> twists;
+};
+
+/// Durability policy: where and how often to snapshot, and whether to
+/// pick up an existing snapshot.
+struct CheckpointPolicy {
+  /// Snapshot file; empty disables checkpointing entirely.
+  std::string path;
+  /// Snapshot every N completed shards (in addition to the final
+  /// snapshot at every drain). 0 = drain-only.
+  std::size_t every_shards = 64;
+  /// Load `path` if it exists and continue from it. The snapshot's
+  /// fingerprint (estimator, config hash, RNG state, shard plan) must
+  /// match the request or run() throws RunError{kFingerprintMismatch}.
+  /// A missing file is not an error — the campaign simply starts fresh.
+  bool resume = false;
+};
+
+/// Cooperative run controls (all optional).
+struct RunControls {
+  /// Caller-owned stop flag, polled at shard boundaries.
+  const std::atomic<bool>* stop = nullptr;
+  /// Honour the process-wide SIGINT latch (install_sigint_cancellation)
+  /// as a second stop flag: Ctrl-C drains workers at shard boundaries,
+  /// writes a final checkpoint, and returns RunStatus::kCancelled.
+  bool cancel_on_sigint = false;
+  /// Abort after this many wall-clock seconds; 0 disables.
+  double deadline_seconds = 0.0;
+  /// Run at most this many replications in this call; 0 disables.
+  /// Combined with checkpoint.resume this advances a campaign in
+  /// bounded slices across process lifetimes.
+  std::size_t max_replications = 0;
+  /// In-process fault injector for recovery tests: called after each
+  /// shard this call completes; may throw.
+  std::function<void(std::size_t shards_completed_this_call)> fault_hook;
+};
+
+/// A unified replication-study request.
+struct RunRequest {
+  EstimatorKind kind = EstimatorKind::kOverflowIs;
+  McStudy mc;  ///< read when kind == kOverflowMc
+  IsStudy is;  ///< read for the IS kinds and the sweep
+  /// Seed of the campaign's base RandomEngine. Identical (seed, shard
+  /// plan, estimator config) => bit-identical results at any thread
+  /// count, with or without interruption.
+  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+  /// Engine tuning. threads == 0 selects hardware concurrency; the
+  /// shard size is part of the checkpoint fingerprint (it shapes the
+  /// merge structure).
+  EngineConfig engine;
+  CheckpointPolicy checkpoint;
+  RunControls controls;
+};
+
+/// Resume provenance of a finished (or drained) run.
+struct RunProvenance {
+  bool resumed = false;             ///< a snapshot was loaded
+  std::size_t resumed_shards = 0;   ///< shards restored, not recomputed
+  std::size_t shards_total = 0;
+  std::size_t checkpoints_written = 0;
+  std::string checkpoint_path;      ///< empty when checkpointing is off
+};
+
+/// Outcome of run(). Exactly one estimate field is meaningful,
+/// selected by the request's kind; the rest stay default-constructed.
+struct RunResult {
+  RunStatus status = RunStatus::kComplete;
+  queueing::OverflowEstimate mc;            ///< kOverflowMc
+  is::IsOverflowEstimate is_estimate;       ///< kOverflowIs / kOverflowIsSuperposed
+  std::vector<is::TwistSweepPoint> sweep;   ///< kTwistSweep (completed points)
+  double elapsed_seconds = 0.0;
+  std::size_t replications_done = 0;   ///< completed, incl. restored shards
+  std::size_t replications_total = 0;  ///< the campaign's full size
+  RunProvenance provenance;
+
+  bool complete() const noexcept { return status == RunStatus::kComplete; }
+};
+
+/// Check `request` without running it; returns the first problem found
+/// (std::nullopt when the request is runnable). run() performs the same
+/// checks and throws RunError. Checkpoint-path writability is probed
+/// here so a misconfigured path fails in milliseconds, not after hours
+/// of simulation; fingerprint mismatches can only surface inside run()
+/// (they require reading the snapshot).
+std::optional<Error> validate(const RunRequest& request);
+
+/// Execute the study described by `request` on an internally
+/// constructed engine. Throws ssvbr::RunError for invalid requests and
+/// checkpoint failures; propagates worker exceptions (after saving a
+/// final snapshot when checkpointing is on).
+RunResult run(const RunRequest& request);
+
+/// As run(), but on a caller-owned engine (reused across studies; its
+/// thread pool is expensive to spin up) and drawing from `rng` instead
+/// of request.seed: the campaign's base state is rng's current state,
+/// and on a kComplete MC/IS study rng advances by `replications` jumps
+/// (one long jump per grid point for sweeps) — the same stream contract
+/// as the serial estimators. request.engine is ignored except for
+/// validation. An incomplete (cancelled/deadline/budget) study leaves
+/// `rng` untouched.
+RunResult run_with(const RunRequest& request, ReplicationEngine& engine,
+                   RandomEngine& rng);
+
+/// Exit code used by the SSVBR_FAULT_AFTER_SHARDS hard-kill injector,
+/// chosen so test harnesses can tell an injected crash from a real one.
+inline constexpr int kFaultExitCode = 42;
+
+/// Install (idempotently) a SIGINT handler that latches the process-wide
+/// stop flag read by RunControls::cancel_on_sigint. The previous
+/// handler is replaced; the latch stays set until reset_sigint_flag().
+void install_sigint_cancellation();
+
+/// The process-wide SIGINT latch (set by the handler above). Exposed so
+/// callers can poll it between runs or combine it with their own flags.
+const std::atomic<bool>& sigint_flag() noexcept;
+
+/// Clear the SIGINT latch (e.g. before starting the next campaign).
+void reset_sigint_flag() noexcept;
+
+}  // namespace ssvbr::engine

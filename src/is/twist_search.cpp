@@ -37,6 +37,10 @@ std::vector<TwistSweepPoint> sweep_twist(const core::UnifiedVbrModel& model,
 }
 
 const TwistSweepPoint& find_best_twist(const std::vector<TwistSweepPoint>& sweep) {
+  // An empty sweep is a caller bug (an unrun or discarded scan), not a
+  // numerical degeneracy — distinguish it from the "every twist missed"
+  // case below so the fix is obvious from the message.
+  SSVBR_REQUIRE(!sweep.empty(), "cannot pick a twist from an empty sweep");
   const TwistSweepPoint* best = nullptr;
   double best_nv = std::numeric_limits<double>::infinity();
   for (const TwistSweepPoint& p : sweep) {

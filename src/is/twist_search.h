@@ -37,7 +37,8 @@ std::vector<TwistSweepPoint> sweep_twist(const core::UnifiedVbrModel& model,
 /// The sweep point with the smallest *positive* normalized variance
 /// among points that registered at least one hit (a twist too small to
 /// produce any overflow is useless even though its sample variance is
-/// zero). Throws NumericalError if no point qualifies.
+/// zero). Throws InvalidArgument for an empty sweep and NumericalError
+/// if no point qualifies.
 const TwistSweepPoint& find_best_twist(const std::vector<TwistSweepPoint>& sweep);
 
 }  // namespace ssvbr::is

@@ -32,6 +32,29 @@ class RunningStats {
   /// Sample excess kurtosis (g2); 0 for n < 4 or zero variance.
   double excess_kurtosis() const noexcept;
 
+  /// The complete internal state, exposed for exact serialization (the
+  /// replication engine checkpoints per-shard moments and must restore
+  /// them bit-identically; rounding through decimal text would break
+  /// the resume-equals-uninterrupted guarantee).
+  struct State {
+    std::size_t n = 0;
+    double mean = 0.0, m2 = 0.0, m3 = 0.0, m4 = 0.0, min = 0.0, max = 0.0;
+  };
+
+  State state() const noexcept { return {n_, mean_, m2_, m3_, m4_, min_, max_}; }
+
+  static RunningStats from_state(const State& s) noexcept {
+    RunningStats out;
+    out.n_ = s.n;
+    out.mean_ = s.mean;
+    out.m2_ = s.m2;
+    out.m3_ = s.m3;
+    out.m4_ = s.m4;
+    out.min_ = s.min;
+    out.max_ = s.max;
+    return out;
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

@@ -205,6 +205,56 @@ TEST(RandomEngine, JumpDiscardsCachedNormal) {
   for (int i = 0; i < 8; ++i) EXPECT_EQ(a.normal(), b.normal());
 }
 
+TEST(RandomEngine, StateRoundTripIsObservationallyIdentical) {
+  // Checkpoint serialization: from_state(e.state()) must replay the
+  // exact stream, raw u64s and doubles alike.
+  RandomEngine a(22);
+  for (int i = 0; i < 17; ++i) (void)a();  // arbitrary position
+  RandomEngine b = RandomEngine::from_state(a.state());
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a(), b());
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.normal(), b.normal());
+}
+
+TEST(RandomEngine, StateCarriesTheCachedBoxMullerNormal) {
+  // After one normal() the engine holds a cached half-pair; a faithful
+  // snapshot must reproduce it, or the restored stream would skew by
+  // one variate.
+  RandomEngine a(23);
+  (void)a.normal();
+  const RandomEngine::State s = a.state();
+  EXPECT_TRUE(s.has_cached_normal);
+  RandomEngine b = RandomEngine::from_state(s);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.normal(), b.normal());
+}
+
+TEST(RandomEngine, StateRoundTripPreservesJumpStructure) {
+  RandomEngine a(24);
+  RandomEngine b = RandomEngine::from_state(a.state());
+  a.jump();
+  b.jump();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a(), b());
+  a.jump_long();
+  b.jump_long();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RandomEngine, StateEqualityDetectsPositionDifference) {
+  RandomEngine a(25);
+  RandomEngine b(25);
+  EXPECT_EQ(a.state(), b.state());
+  (void)b();
+  EXPECT_FALSE(a.state() == b.state());
+}
+
+TEST(RandomEngine, AllZeroStateIsNudgedToAValidSeed) {
+  RandomEngine::State zero;  // all words zero: xoshiro's one fixed point
+  RandomEngine rng = RandomEngine::from_state(zero);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 32; ++i) values.insert(rng());
+  EXPECT_GT(values.size(), 30u);  // must not be stuck at zero
+}
+
 TEST(RandomEngine, SatisfiesUniformRandomBitGeneratorShape) {
   EXPECT_EQ(RandomEngine::min(), 0u);
   EXPECT_EQ(RandomEngine::max(), ~std::uint64_t{0});

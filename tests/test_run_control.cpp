@@ -1,0 +1,560 @@
+// Durable run-control tests: the RunRequest/RunResult façade, shard
+// checkpointing, crash-and-resume bit-identity, cancellation, budgets,
+// and the structured-error surface (engine/run.h, engine/checkpoint.h).
+#include "engine/run.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "dist/distributions.h"
+#include "engine/checkpoint.h"
+#include "engine/parallel_estimators.h"
+#include "fractal/autocorrelation.h"
+
+namespace ssvbr::engine {
+namespace {
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+core::UnifiedVbrModel make_model() {
+  auto corr = std::make_shared<fractal::ExponentialAutocorrelation>(0.1);
+  core::MarginalTransform h(std::make_shared<GammaDistribution>(2.0, 1.0));
+  return core::UnifiedVbrModel(std::move(corr), std::move(h));
+}
+
+ArrivalFactory gamma_arrivals() {
+  auto gamma = std::make_shared<GammaDistribution>(2.0, 1.0);
+  return [gamma] { return std::make_unique<queueing::IidArrivalProcess>(gamma); };
+}
+
+is::IsOverflowSettings rare_settings(const core::UnifiedVbrModel& model,
+                                     std::size_t replications) {
+  is::IsOverflowSettings settings;
+  settings.twisted_mean = 2.0;
+  settings.service_rate = model.mean() / 0.3;
+  settings.buffer = 15.0 * model.mean();
+  settings.stop_time = 60;
+  settings.replications = replications;
+  return settings;
+}
+
+/// Per-test checkpoint path under gtest's temp dir; removed up front so
+/// a crashed previous run cannot leak state into this one.
+std::string fresh_checkpoint_path(const char* name) {
+  const std::string path = ::testing::TempDir() + "ssvbr_ckpt_" + name + ".json";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  return path;
+}
+
+RunRequest is_request(const core::UnifiedVbrModel& model,
+                      const fractal::HoskingModel& background,
+                      std::size_t replications) {
+  RunRequest request;
+  request.kind = EstimatorKind::kOverflowIs;
+  request.is.model = &model;
+  request.is.background = &background;
+  request.is.settings = rare_settings(model, replications);
+  request.seed = 7771;
+  request.engine.threads = 1;
+  request.engine.shard_size = 16;
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// Validation: structured errors instead of scattered asserts.
+// ---------------------------------------------------------------------------
+
+TEST(RunControlValidation, RejectsZeroReplications) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 60);
+  RunRequest request = is_request(model, background, 0);
+  const auto err = validate(request);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ErrorCode::kInvalidArgument);
+  EXPECT_THROW(run(request), RunError);
+}
+
+TEST(RunControlValidation, RejectsMissingModel) {
+  RunRequest request;
+  request.kind = EstimatorKind::kOverflowIs;
+  const auto err = validate(request);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(err->context, "RunRequest.is.model");
+}
+
+TEST(RunControlValidation, RejectsMissingArrivalFactory) {
+  RunRequest request;
+  request.kind = EstimatorKind::kOverflowMc;
+  request.mc.replications = 10;
+  const auto err = validate(request);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(err->context, "RunRequest.mc.make_arrivals");
+}
+
+TEST(RunControlValidation, RejectsUnwritableCheckpointPath) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 60);
+  RunRequest request = is_request(model, background, 16);
+  request.checkpoint.path = "/nonexistent-ssvbr-dir/campaign.ckpt";
+  const auto err = validate(request);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ErrorCode::kUnwritableCheckpoint);
+  try {
+    run(request);
+    FAIL() << "run() must reject an unwritable checkpoint path";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnwritableCheckpoint);
+    EXPECT_EQ(e.context(), "/nonexistent-ssvbr-dir/campaign.ckpt");
+  }
+}
+
+TEST(RunControlValidation, RejectsEmptyTwistGrid) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 60);
+  RunRequest request = is_request(model, background, 16);
+  request.kind = EstimatorKind::kTwistSweep;
+  const auto err = validate(request);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ErrorCode::kEmptyTwistGrid);
+}
+
+TEST(RunControlValidation, RejectsSweepCheckpointing) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 60);
+  RunRequest request = is_request(model, background, 16);
+  request.kind = EstimatorKind::kTwistSweep;
+  request.is.twists = {1.0, 2.0};
+  request.checkpoint.path = fresh_checkpoint_path("sweep_unsupported");
+  const auto err = validate(request);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ErrorCode::kUnsupported);
+}
+
+// ---------------------------------------------------------------------------
+// Façade vs. deprecated wrappers: one execution path, identical numbers.
+// ---------------------------------------------------------------------------
+
+TEST(RunControlFacade, MatchesDeprecatedIsWrapperBitwise) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 60);
+  const is::IsOverflowSettings settings = rare_settings(model, 96);
+
+  ReplicationEngine engine(EngineConfig{2, 16});
+  RandomEngine rng_old(4242);
+  const is::IsOverflowEstimate via_wrapper =
+      estimate_overflow_is_par(model, background, settings, rng_old, engine);
+
+  RunRequest request;
+  request.kind = EstimatorKind::kOverflowIs;
+  request.is.model = &model;
+  request.is.background = &background;
+  request.is.settings = settings;
+  RandomEngine rng_new(4242);
+  const RunResult via_facade = run_with(request, engine, rng_new);
+
+  EXPECT_TRUE(via_facade.complete());
+  EXPECT_EQ(bits(via_facade.is_estimate.probability), bits(via_wrapper.probability));
+  EXPECT_EQ(bits(via_facade.is_estimate.estimator_variance),
+            bits(via_wrapper.estimator_variance));
+  EXPECT_EQ(via_facade.is_estimate.hits, via_wrapper.hits);
+  EXPECT_TRUE(rng_new.state() == rng_old.state());  // same stream contract
+}
+
+TEST(RunControlFacade, MatchesDeprecatedMcWrapperBitwise) {
+  ReplicationEngine engine(EngineConfig{2, 32});
+  RandomEngine rng_old(99);
+  const queueing::OverflowEstimate via_wrapper = estimate_overflow_mc_par(
+      gamma_arrivals(), 2.5, 10.0, 50, 300, rng_old, engine);
+
+  RunRequest request;
+  request.kind = EstimatorKind::kOverflowMc;
+  request.mc.make_arrivals = gamma_arrivals();
+  request.mc.service_rate = 2.5;
+  request.mc.buffer = 10.0;
+  request.mc.stop_time = 50;
+  request.mc.replications = 300;
+  RandomEngine rng_new(99);
+  const RunResult via_facade = run_with(request, engine, rng_new);
+
+  EXPECT_EQ(bits(via_facade.mc.probability), bits(via_wrapper.probability));
+  EXPECT_EQ(via_facade.mc.hits, via_wrapper.hits);
+  EXPECT_TRUE(rng_new.state() == rng_old.state());
+}
+
+TEST(RunControlFacade, MatchesDeprecatedSweepWrapperBitwise) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 60);
+  const is::IsOverflowSettings settings = rare_settings(model, 48);
+  const std::vector<double> twists{1.5, 2.0, 2.5};
+
+  ReplicationEngine engine(EngineConfig{2, 16});
+  RandomEngine rng_old(555);
+  const auto via_wrapper =
+      sweep_twist_par(model, background, settings, twists, rng_old, engine);
+
+  RunRequest request;
+  request.kind = EstimatorKind::kTwistSweep;
+  request.is.model = &model;
+  request.is.background = &background;
+  request.is.settings = settings;
+  request.is.twists = twists;
+  RandomEngine rng_new(555);
+  const RunResult via_facade = run_with(request, engine, rng_new);
+
+  ASSERT_EQ(via_facade.sweep.size(), via_wrapper.size());
+  for (std::size_t j = 0; j < twists.size(); ++j) {
+    EXPECT_EQ(bits(via_facade.sweep[j].estimate.probability),
+              bits(via_wrapper[j].estimate.probability));
+  }
+  EXPECT_TRUE(rng_new.state() == rng_old.state());
+}
+
+// ---------------------------------------------------------------------------
+// The tentpole: kill mid-campaign, resume, reproduce bit-identically.
+// ---------------------------------------------------------------------------
+
+TEST(RunControlDurability, InterruptedIsCampaignResumesBitIdentically) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 60);
+  const std::size_t reps = 160;  // 10 shards of 16
+
+  // Reference: one uninterrupted run.
+  RunRequest reference = is_request(model, background, reps);
+  RandomEngine ref_rng(reference.seed);
+  ReplicationEngine ref_engine(EngineConfig{1, 16});
+  const RunResult ref = run_with(reference, ref_engine, ref_rng);
+  ASSERT_TRUE(ref.complete());
+  ASSERT_EQ(ref.replications_done, reps);
+
+  // Interrupted: the in-process fault injector throws after 3 shards;
+  // one thread makes the interruption point exact. The engine must
+  // write a final snapshot before propagating the fault.
+  const std::string path = fresh_checkpoint_path("is_roundtrip");
+  RunRequest interrupted = is_request(model, background, reps);
+  interrupted.checkpoint.path = path;
+  interrupted.checkpoint.every_shards = 1;
+  interrupted.controls.fault_hook = [](std::size_t k) {
+    if (k >= 3) throw std::runtime_error("injected fault after 3 shards");
+  };
+  EXPECT_THROW(run(interrupted), std::runtime_error);
+  ASSERT_TRUE(checkpoint::exists(path));
+  {
+    const checkpoint::Snapshot snap = checkpoint::load(path);
+    EXPECT_EQ(snap.shards.size(), 3u);
+    EXPECT_EQ(snap.shards_total, 10u);
+    EXPECT_EQ(snap.replications_done, 48u);
+  }
+
+  // Resume on FOUR threads: restored shards are merged, not replayed,
+  // and the estimate matches the uninterrupted single-thread run bit
+  // for bit.
+  RunRequest resumed = is_request(model, background, reps);
+  resumed.checkpoint.path = path;
+  resumed.checkpoint.resume = true;
+  ReplicationEngine resume_engine(EngineConfig{4, 16});
+  RandomEngine resume_rng(resumed.seed);
+  const RunResult res = run_with(resumed, resume_engine, resume_rng);
+
+  EXPECT_TRUE(res.complete());
+  EXPECT_TRUE(res.provenance.resumed);
+  EXPECT_EQ(res.provenance.resumed_shards, 3u);
+  EXPECT_EQ(res.provenance.shards_total, 10u);
+  EXPECT_EQ(res.replications_done, reps);
+  EXPECT_EQ(bits(res.is_estimate.probability), bits(ref.is_estimate.probability));
+  EXPECT_EQ(bits(res.is_estimate.estimator_variance),
+            bits(ref.is_estimate.estimator_variance));
+  EXPECT_EQ(bits(res.is_estimate.normalized_variance),
+            bits(ref.is_estimate.normalized_variance));
+  EXPECT_EQ(res.is_estimate.hits, ref.is_estimate.hits);
+  // The caller-visible stream state also matches: resuming consumed the
+  // same stream real estate as running straight through.
+  EXPECT_TRUE(resume_rng.state() == ref_rng.state());
+}
+
+TEST(RunControlDurability, InterruptedMcCampaignResumesBitIdentically) {
+  const std::size_t reps = 320;  // 10 shards of 32
+
+  RunRequest base;
+  base.kind = EstimatorKind::kOverflowMc;
+  base.mc.make_arrivals = gamma_arrivals();
+  base.mc.service_rate = 2.5;
+  base.mc.buffer = 10.0;
+  base.mc.stop_time = 50;
+  base.mc.replications = reps;
+  base.seed = 1234;
+  base.engine.threads = 1;
+  base.engine.shard_size = 32;
+
+  RunRequest reference = base;
+  const RunResult ref = run(reference);
+  ASSERT_TRUE(ref.complete());
+
+  const std::string path = fresh_checkpoint_path("mc_roundtrip");
+  RunRequest interrupted = base;
+  interrupted.checkpoint.path = path;
+  interrupted.checkpoint.every_shards = 1;
+  interrupted.controls.fault_hook = [](std::size_t k) {
+    if (k >= 4) throw std::runtime_error("injected fault after 4 shards");
+  };
+  EXPECT_THROW(run(interrupted), std::runtime_error);
+  ASSERT_TRUE(checkpoint::exists(path));
+
+  RunRequest resumed = base;
+  resumed.engine.threads = 4;
+  resumed.checkpoint.path = path;
+  resumed.checkpoint.resume = true;
+  const RunResult res = run(resumed);
+
+  EXPECT_TRUE(res.complete());
+  EXPECT_TRUE(res.provenance.resumed);
+  EXPECT_EQ(res.provenance.resumed_shards, 4u);
+  EXPECT_EQ(bits(res.mc.probability), bits(ref.mc.probability));
+  EXPECT_EQ(res.mc.hits, ref.mc.hits);
+}
+
+TEST(RunControlDurability, BudgetSlicesAdvanceTheCampaignToTheSameBits) {
+  // Run the campaign in max_replications-bounded slices across
+  // "process lifetimes" (fresh engine + rng each time, state carried
+  // only by the checkpoint file) until it completes; the final estimate
+  // must equal the uninterrupted one bit for bit.
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 60);
+  const std::size_t reps = 128;  // 8 shards of 16
+
+  RunRequest reference = is_request(model, background, reps);
+  const RunResult ref = run(reference);
+  ASSERT_TRUE(ref.complete());
+
+  const std::string path = fresh_checkpoint_path("budget_slices");
+  RunResult last;
+  int slices = 0;
+  for (; slices < 32; ++slices) {
+    RunRequest slice = is_request(model, background, reps);
+    slice.checkpoint.path = path;
+    slice.checkpoint.every_shards = 1;
+    slice.checkpoint.resume = true;
+    slice.controls.max_replications = 48;  // 3 shards per slice
+    last = run(slice);
+    if (last.complete()) break;
+    EXPECT_EQ(last.status, RunStatus::kBudgetExhausted);
+  }
+  ASSERT_TRUE(last.complete());
+  EXPECT_GE(slices, 2);  // the budget actually sliced the campaign
+  EXPECT_EQ(bits(last.is_estimate.probability), bits(ref.is_estimate.probability));
+  EXPECT_EQ(bits(last.is_estimate.estimator_variance),
+            bits(ref.is_estimate.estimator_variance));
+  EXPECT_EQ(last.is_estimate.hits, ref.is_estimate.hits);
+}
+
+TEST(RunControlDurability, PreRaisedStopFlagCancelsBeforeAnyShard) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 60);
+  const std::string path = fresh_checkpoint_path("cancel_resume");
+
+  std::atomic<bool> stop{true};
+  RunRequest cancelled = is_request(model, background, 96);
+  cancelled.checkpoint.path = path;
+  cancelled.controls.stop = &stop;
+  ReplicationEngine engine(EngineConfig{2, 16});
+  RandomEngine rng(cancelled.seed);
+  const RandomEngine::State before = rng.state();
+  const RunResult res = run_with(cancelled, engine, rng);
+  EXPECT_EQ(res.status, RunStatus::kCancelled);
+  EXPECT_EQ(res.replications_done, 0u);
+  // An incomplete study consumes no caller-visible stream real estate.
+  EXPECT_TRUE(rng.state() == before);
+  // The drain still wrote a (0-shard) snapshot; resuming from it and
+  // finishing matches a straight run.
+  ASSERT_TRUE(checkpoint::exists(path));
+
+  RunRequest reference = is_request(model, background, 96);
+  const RunResult ref = run(reference);
+  RunRequest resumed = is_request(model, background, 96);
+  resumed.checkpoint.path = path;
+  resumed.checkpoint.resume = true;
+  const RunResult fin = run(resumed);
+  ASSERT_TRUE(fin.complete());
+  EXPECT_EQ(bits(fin.is_estimate.probability), bits(ref.is_estimate.probability));
+}
+
+TEST(RunControlDurability, TinyDeadlineExpires) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 60);
+  RunRequest request = is_request(model, background, 4096);
+  request.controls.deadline_seconds = 1e-9;
+  const RunResult res = run(request);
+  EXPECT_EQ(res.status, RunStatus::kDeadlineExpired);
+  EXPECT_LT(res.replications_done, 4096u);
+}
+
+TEST(RunControlDurability, FingerprintMismatchIsRejected) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 60);
+  const std::string path = fresh_checkpoint_path("fingerprint");
+
+  RunRequest first = is_request(model, background, 96);
+  first.checkpoint.path = path;
+  first.checkpoint.every_shards = 1;
+  first.controls.fault_hook = [](std::size_t k) {
+    if (k >= 2) throw std::runtime_error("injected fault");
+  };
+  EXPECT_THROW(run(first), std::runtime_error);
+  ASSERT_TRUE(checkpoint::exists(path));
+
+  // A different buffer is a different campaign (config hash changes).
+  RunRequest changed_config = is_request(model, background, 96);
+  changed_config.is.settings.buffer *= 2.0;
+  changed_config.checkpoint.path = path;
+  changed_config.checkpoint.resume = true;
+  try {
+    run(changed_config);
+    FAIL() << "resume must reject a snapshot with a different config";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kFingerprintMismatch);
+  }
+
+  // A different seed is a different stream family.
+  RunRequest changed_seed = is_request(model, background, 96);
+  changed_seed.seed = 9999;
+  changed_seed.checkpoint.path = path;
+  changed_seed.checkpoint.resume = true;
+  try {
+    run(changed_seed);
+    FAIL() << "resume must reject a snapshot with a different seed";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kFingerprintMismatch);
+  }
+
+  // A different shard size changes the merge structure.
+  RunRequest changed_shards = is_request(model, background, 96);
+  changed_shards.engine.shard_size = 32;
+  changed_shards.checkpoint.path = path;
+  changed_shards.checkpoint.resume = true;
+  try {
+    run(changed_shards);
+    FAIL() << "resume must reject a snapshot with a different shard size";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kFingerprintMismatch);
+  }
+}
+
+TEST(RunControlDurability, CorruptCheckpointIsRejected) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 60);
+  const std::string path = fresh_checkpoint_path("corrupt");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"magic\": \"not-a-checkpoint\"", f);
+    std::fclose(f);
+  }
+  RunRequest request = is_request(model, background, 96);
+  request.checkpoint.path = path;
+  request.checkpoint.resume = true;
+  try {
+    run(request);
+    FAIL() << "resume must reject a torn/garbage snapshot";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCheckpointCorrupt);
+  }
+}
+
+TEST(RunControlDurability, ResumeWithoutSnapshotStartsFresh) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 60);
+  RunRequest request = is_request(model, background, 64);
+  request.checkpoint.path = fresh_checkpoint_path("fresh_start");
+  request.checkpoint.resume = true;  // nothing to resume: not an error
+  const RunResult res = run(request);
+  EXPECT_TRUE(res.complete());
+  EXPECT_FALSE(res.provenance.resumed);
+  EXPECT_EQ(res.provenance.resumed_shards, 0u);
+  EXPECT_GE(res.provenance.checkpoints_written, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot format unit coverage.
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointFormat, SaveLoadRoundTripsEveryBit) {
+  const std::string path = fresh_checkpoint_path("format_roundtrip");
+  checkpoint::Snapshot snap;
+  snap.fingerprint.estimator = "overflow_is";
+  snap.fingerprint.accumulator = "score";
+  snap.fingerprint.config_hash = 0xDEADBEEFCAFEF00DULL;
+  snap.fingerprint.replications = 1000;
+  snap.fingerprint.shard_size = 64;
+  RandomEngine rng(31337);
+  (void)rng.normal();  // populate the Box-Muller cache
+  snap.fingerprint.rng = rng.state();
+  snap.shards_total = 16;
+  snap.replications_done = 128;
+  // Denormals, negative zero, infinities: hex round-trip must be exact.
+  snap.shards.push_back({0, {1, bits(-0.0), bits(1e-310), 0}});
+  snap.shards.push_back({7, {2, bits(0.1), bits(-INFINITY), ~0ULL}});
+
+  checkpoint::save(path, snap);
+  const checkpoint::Snapshot back = checkpoint::load(path);
+  EXPECT_TRUE(back.fingerprint == snap.fingerprint);
+  EXPECT_EQ(back.shards_total, snap.shards_total);
+  EXPECT_EQ(back.replications_done, snap.replications_done);
+  ASSERT_EQ(back.shards.size(), snap.shards.size());
+  for (std::size_t s = 0; s < snap.shards.size(); ++s) {
+    EXPECT_EQ(back.shards[s].index, snap.shards[s].index);
+    EXPECT_EQ(back.shards[s].words, snap.shards[s].words);
+  }
+  const std::vector<char> flags = back.completed_flags();
+  ASSERT_EQ(flags.size(), 16u);
+  EXPECT_EQ(flags[0], 1);
+  EXPECT_EQ(flags[7], 1);
+  EXPECT_EQ(flags[1], 0);
+}
+
+TEST(CheckpointFormat, LoadRejectsDuplicateShardIndices) {
+  const std::string path = fresh_checkpoint_path("format_dup");
+  checkpoint::Snapshot snap;
+  snap.fingerprint.estimator = "overflow_mc";
+  snap.fingerprint.accumulator = "hit";
+  snap.shards_total = 4;
+  snap.shards.push_back({1, {1, 0}});
+  snap.shards.push_back({1, {1, 0}});  // duplicate
+  checkpoint::save(path, snap);
+  try {
+    checkpoint::load(path);
+    FAIL() << "duplicate shard records must be rejected";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCheckpointCorrupt);
+  }
+}
+
+TEST(RunControlErrors, ErrorCodeStringsAndFormatting) {
+  EXPECT_STREQ(to_string(ErrorCode::kFingerprintMismatch), "fingerprint_mismatch");
+  EXPECT_STREQ(to_string(RunStatus::kBudgetExhausted), "budget_exhausted");
+  const Error err{ErrorCode::kUnwritableCheckpoint, "no such directory", "/tmp/x"};
+  const RunError wrapped(err);
+  EXPECT_NE(std::string(wrapped.what()).find("unwritable_checkpoint"),
+            std::string::npos);
+  EXPECT_NE(std::string(wrapped.what()).find("/tmp/x"), std::string::npos);
+}
+
+TEST(RunControlSigint, LatchInstallAndReset) {
+  install_sigint_cancellation();  // idempotent; must not disturb gtest
+  reset_sigint_flag();
+  EXPECT_FALSE(sigint_flag().load());
+}
+
+}  // namespace
+}  // namespace ssvbr::engine

@@ -79,6 +79,12 @@ TEST(TwistSearch, EstimatesAgreeAcrossTwists) {
   }
 }
 
+TEST(TwistSearch, FindBestRejectsEmptySweep) {
+  // An empty sweep is a caller bug (nothing was scanned), distinct from
+  // the numerical "every twist missed" case below.
+  EXPECT_THROW(find_best_twist({}), InvalidArgument);
+}
+
 TEST(TwistSearch, FindBestRejectsAllZeroHitSweeps) {
   std::vector<TwistSweepPoint> sweep(3);
   for (auto& p : sweep) p.estimate.hits = 0;
