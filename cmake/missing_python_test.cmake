@@ -1,0 +1,13 @@
+# Failing stand-in for a schema-check ctest whose python3 interpreter
+# was not found at configure time. Registering this instead of silently
+# dropping the test turns "python3 missing" into a visible red test run
+# rather than a quietly shrunken suite.
+#
+# Invoked as:  cmake -DCHECK_NAME=<test> -P missing_python_test.cmake
+if(NOT DEFINED CHECK_NAME)
+  set(CHECK_NAME "unknown schema check")
+endif()
+message(FATAL_ERROR
+  "${CHECK_NAME}: python3 was not found when this build tree was "
+  "configured, so the schema validation it performs cannot run. Install "
+  "python3 and re-run cmake to restore the real test.")

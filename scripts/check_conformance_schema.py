@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Schema + determinism check for the ssvbr_validate conformance report.
+
+Runs the conformance CLI twice with the same seed into two report files
+and enforces:
+
+  * determinism — the two JSON documents are byte-identical (the report
+    promises "%.17g" doubles, fixed key order, and no wall-clock data);
+  * schema — magic/version header; meta with hex-string seed, scale,
+    family_alpha, per_check_alpha consistent with the Bonferroni split,
+    n_checks, and build provenance; a checks list whose entries carry
+    name / claim / kind / statistic / threshold / p_value / alpha /
+    passed / detail with the per-kind invariants (p-value checks have a
+    finite p and the shared alpha; exact checks have threshold 0);
+  * verdict bookkeeping — n_passed + n_failed == n_checks, "passed" is
+    the conjunction, and per-entry "passed" matches the recorded
+    statistic/threshold/p-value comparison;
+  * coverage — the documented paper claims are all present.
+
+The run uses a reduced --scale so the two full-suite runs stay fast;
+scale does not affect any schema property, and pass/fail verdicts are
+NOT asserted here (thresholds are calibrated at scale 1.0 — the
+conformance_* ctests run the real thing).
+
+Usage: check_conformance_schema.py /path/to/ssvbr_validate
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REQUIRED_CHECKS = [
+    "marginal_ks_exact",
+    "marginal_ks_tabulated",
+    "acf_srd_below_knee",
+    "acf_lrd_above_knee",
+    "attenuation_factor",
+    "hurst_rs_preserved",
+    "hurst_periodogram_preserved",
+    "gop_rescaling",
+    "lindley_duality",
+    "norros_tail",
+    "is_mc_agreement",
+    "is_variance_reduction",
+    "run_control_resume_identity",
+    "atm_invariants",
+]
+
+KINDS = {"p_value", "upper_bound", "lower_bound", "exact"}
+
+
+def fail(message):
+    print(f"check_conformance_schema: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_suite(binary, report_path, scratch):
+    proc = subprocess.run(
+        [binary, "--seed", "1", "--scale", "0.05", "--threads", "2",
+         "--report", report_path, "--scratch-dir", scratch],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, timeout=480,
+    )
+    # Exit 0 (all pass) and 1 (a check failed) both produce a report;
+    # only usage/I-O errors (2) are fatal here.
+    if proc.returncode not in (0, 1):
+        fail(f"ssvbr_validate exited {proc.returncode}: {proc.stderr.strip()}")
+    if not os.path.exists(report_path):
+        fail(f"no report written at {report_path}")
+
+
+def check_entry(entry, per_check_alpha):
+    for key in ("name", "claim", "kind", "statistic", "threshold", "p_value",
+                "alpha", "passed", "detail"):
+        if key not in entry:
+            fail(f"check entry {entry.get('name', '?')} missing key {key!r}")
+    name = entry["name"]
+    if entry["kind"] not in KINDS:
+        fail(f"{name}: unknown kind {entry['kind']!r}")
+    if not entry["claim"]:
+        fail(f"{name}: empty claim (every check must cite its paper anchor)")
+    if entry["kind"] == "p_value":
+        if abs(entry["alpha"] - per_check_alpha) > 1e-15:
+            fail(f"{name}: alpha {entry['alpha']} != Bonferroni share "
+                 f"{per_check_alpha}")
+        # p is null when the check body threw: never a pass.
+        expect_pass = (entry["p_value"] is not None
+                       and entry["p_value"] >= entry["alpha"])
+    else:
+        if entry["kind"] == "exact" and entry["threshold"] != 0:
+            fail(f"{name}: exact check with non-zero threshold")
+        stat = entry["statistic"]
+        if stat is None:
+            expect_pass = False  # non-finite statistic never passes
+        elif entry["kind"] == "lower_bound":
+            expect_pass = stat >= entry["threshold"]
+        else:  # upper_bound and exact are both <=-style
+            expect_pass = stat <= entry["threshold"]
+    if bool(entry["passed"]) != expect_pass:
+        fail(f"{name}: recorded verdict {entry['passed']} disagrees with "
+             f"statistic/threshold/p-value")
+
+
+def check_schema(doc):
+    if doc.get("magic") != "ssvbr-conformance":
+        fail(f"bad magic: {doc.get('magic')!r}")
+    if doc.get("version") != 1:
+        fail(f"unsupported version: {doc.get('version')!r}")
+
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        fail("missing meta object")
+    for key in ("seed", "scale", "family_alpha", "per_check_alpha",
+                "n_checks", "build"):
+        if key not in meta:
+            fail(f"meta missing key {key!r}")
+    if not str(meta["seed"]).startswith("0x"):
+        fail(f"meta.seed must be a hex string, got {meta['seed']!r}")
+    for key in ("version", "sha", "build_type"):
+        if key not in meta["build"]:
+            fail(f"meta.build missing key {key!r}")
+
+    checks = doc.get("checks")
+    if not isinstance(checks, list) or not checks:
+        fail("missing checks list")
+    if meta["n_checks"] != len(checks):
+        fail(f"meta.n_checks {meta['n_checks']} != len(checks) {len(checks)}")
+
+    n_pvalue = sum(1 for c in checks if c.get("kind") == "p_value")
+    expected_share = meta["family_alpha"] / max(n_pvalue, 1)
+    if abs(meta["per_check_alpha"] - expected_share) > 1e-15:
+        fail(f"per_check_alpha {meta['per_check_alpha']} is not "
+             f"family_alpha / n_pvalue_checks = {expected_share}")
+
+    for entry in checks:
+        check_entry(entry, meta["per_check_alpha"])
+
+    names = [c["name"] for c in checks]
+    if len(set(names)) != len(names):
+        fail("duplicate check names in report")
+    missing = [n for n in REQUIRED_CHECKS if n not in names]
+    if missing:
+        fail(f"required paper-claim checks missing from report: {missing}")
+
+    n_passed = sum(1 for c in checks if c["passed"])
+    if doc.get("n_passed") != n_passed:
+        fail(f"n_passed {doc.get('n_passed')} != recomputed {n_passed}")
+    if doc.get("n_failed") != len(checks) - n_passed:
+        fail(f"n_failed {doc.get('n_failed')} != recomputed "
+             f"{len(checks) - n_passed}")
+    if doc.get("passed") != (n_passed == len(checks)):
+        fail("top-level passed flag disagrees with the per-check verdicts")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} /path/to/ssvbr_validate")
+    binary = sys.argv[1]
+    if not os.access(binary, os.X_OK):
+        fail(f"not executable: {binary}")
+
+    with tempfile.TemporaryDirectory(prefix="ssvbr_conformance_") as tmp:
+        first = os.path.join(tmp, "report_a.json")
+        second = os.path.join(tmp, "report_b.json")
+        run_suite(binary, first, tmp)
+        run_suite(binary, second, tmp)
+
+        with open(first, "rb") as f:
+            raw_a = f.read()
+        with open(second, "rb") as f:
+            raw_b = f.read()
+        if raw_a != raw_b:
+            fail("two same-seed runs produced different report bytes "
+                 "(determinism contract broken)")
+
+        check_schema(json.loads(raw_a))
+
+    print("check_conformance_schema: PASS: deterministic report, "
+          f"{len(REQUIRED_CHECKS)} required claims covered")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,14 @@ for bin in "$gen_bin" "$engine_bin"; do
   fi
 done
 
+# The output is validated with python3 before it is declared written; a
+# missing interpreter is a hard error, not a silent skip — an unchecked
+# BENCH_pipeline.json could carry malformed rows into trend tracking.
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "run_benches.sh: python3 is required to validate the output JSON" >&2
+  exit 1
+fi
+
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
@@ -51,5 +59,10 @@ echo "run_benches.sh: running bench_perf_engine..." >&2
     "$tmp/engine.jsonl"
   printf ']\n}\n'
 } > "$out"
+
+python3 -c 'import json, sys; json.load(open(sys.argv[1]))' "$out" || {
+  echo "run_benches.sh: $out is not valid JSON" >&2
+  exit 1
+}
 
 echo "run_benches.sh: wrote $out" >&2

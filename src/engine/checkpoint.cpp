@@ -185,6 +185,13 @@ Snapshot deserialize(const std::string& text, const std::string& path) {
         fail(ErrorCode::kCheckpointCorrupt, "shard records out of order", path);
       }
     }
+    // The "completed" bitmap is redundant with the shard records, which
+    // makes it a cheap integrity check: a snapshot whose bitmap and
+    // records disagree was hand-edited or corrupted in place.
+    if (progress.get("completed").as_string() != completed_bitmap_hex(snap)) {
+      fail(ErrorCode::kCheckpointCorrupt,
+           "completed bitmap disagrees with shard records", path);
+    }
     return snap;
   } catch (const RunError&) {
     throw;

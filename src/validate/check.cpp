@@ -1,0 +1,146 @@
+#include "validate/check.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace ssvbr::validate {
+namespace {
+
+// FNV-1a over the check name; folded into the suite seed with the
+// golden-ratio mix so distinct names give uncorrelated xoshiro seeds.
+std::uint64_t fnv1a(const std::string& s) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t x = a + 0x9E3779B97F4A7C15ULL * (b | 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+const char* to_string(CheckKind kind) noexcept {
+  switch (kind) {
+    case CheckKind::kPValue:
+      return "p_value";
+    case CheckKind::kUpperBound:
+      return "upper_bound";
+    case CheckKind::kLowerBound:
+      return "lower_bound";
+    case CheckKind::kExact:
+      return "exact";
+  }
+  return "unknown";
+}
+
+RandomEngine check_engine(std::uint64_t suite_seed, const std::string& check_name) {
+  return RandomEngine(mix(suite_seed, fnv1a(check_name)));
+}
+
+Suite::Suite(double family_alpha) : family_alpha_(family_alpha) {
+  SSVBR_REQUIRE(family_alpha > 0.0 && family_alpha < 1.0,
+                "family_alpha must lie in (0, 1)");
+}
+
+void Suite::add(Check check) {
+  SSVBR_REQUIRE(!check.name.empty(), "check name must be non-empty");
+  SSVBR_REQUIRE(static_cast<bool>(check.body), "check body must be callable");
+  for (const Check& existing : checks_) {
+    SSVBR_REQUIRE(existing.name != check.name,
+                  "duplicate check name: " + check.name);
+  }
+  checks_.push_back(std::move(check));
+}
+
+std::size_t Suite::n_pvalue_checks() const noexcept {
+  std::size_t n = 0;
+  for (const Check& check : checks_) {
+    if (check.kind == CheckKind::kPValue) ++n;
+  }
+  return n;
+}
+
+double Suite::per_check_alpha() const noexcept {
+  const std::size_t n = n_pvalue_checks();
+  return n == 0 ? family_alpha_ : family_alpha_ / static_cast<double>(n);
+}
+
+CheckResult Suite::run_check(const Check& check, const CheckContext& context) const {
+  SSVBR_REQUIRE(context.scale > 0.0 && context.scale <= 1.0,
+                "scale must lie in (0, 1]");
+  CheckResult result;
+  result.name = check.name;
+  result.claim = check.claim;
+  result.kind = check.kind;
+  result.p_value = std::numeric_limits<double>::quiet_NaN();
+  result.alpha =
+      check.kind == CheckKind::kPValue ? per_check_alpha() : 0.0;
+
+  RandomEngine rng = check_engine(context.seed, check.name);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    check.body(context, rng, result);
+  } catch (const std::exception& e) {
+    // A throwing body is a failed check, not an aborted suite: record
+    // the exception and let the uniform verdict below reject the
+    // non-finite statistic / p-value.
+    result.statistic = std::numeric_limits<double>::infinity();
+    result.p_value = std::numeric_limits<double>::quiet_NaN();
+    result.detail = std::string("check body threw: ") + e.what();
+  }
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  switch (check.kind) {
+    case CheckKind::kPValue:
+      result.passed = std::isfinite(result.p_value) &&
+                      result.p_value >= result.alpha;
+      break;
+    case CheckKind::kUpperBound:
+      result.passed = std::isfinite(result.statistic) &&
+                      result.statistic <= result.threshold;
+      break;
+    case CheckKind::kLowerBound:
+      result.passed = std::isfinite(result.statistic) &&
+                      result.statistic >= result.threshold;
+      break;
+    case CheckKind::kExact:
+      result.threshold = 0.0;
+      result.passed = result.statistic == 0.0;
+      break;
+  }
+  return result;
+}
+
+std::vector<CheckResult> Suite::run_all(const CheckContext& context) const {
+  std::vector<CheckResult> results;
+  results.reserve(checks_.size());
+  for (const Check& check : checks_) {
+    results.push_back(run_check(check, context));
+  }
+  return results;
+}
+
+std::optional<CheckResult> Suite::run_one(const std::string& name,
+                                          const CheckContext& context) const {
+  for (const Check& check : checks_) {
+    if (check.name == name) return run_check(check, context);
+  }
+  return std::nullopt;
+}
+
+}  // namespace ssvbr::validate

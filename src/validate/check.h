@@ -1,0 +1,136 @@
+// ssvbr/validate/check.h
+//
+// The paper-conformance check abstraction: a named, seeded statistical
+// acceptance test with a designed false-failure rate.
+//
+// Every check re-derives one quantitative claim of the paper through
+// the real library pipeline (generator -> transform -> estimator) and
+// reduces it to a single statistic compared against either
+//
+//   * a null distribution  (CheckKind::kPValue)   — the check computes
+//     a p-value under "the library implements the claim" and fails
+//     when p < alpha, where alpha is the Bonferroni share of the
+//     suite-wide family alpha; or
+//   * a tolerance          (kUpperBound / kLowerBound) — the statistic
+//     must stay below / above a calibrated threshold; or
+//   * an exact invariant   (kExact)               — the statistic counts
+//     violations and the threshold is zero.
+//
+// Determinism contract: a check draws all randomness from a RandomEngine
+// seeded by mix(context seed, FNV-1a of the check name), so (a) two runs
+// with the same seed produce bit-identical results, and (b) adding,
+// removing, or reordering checks never disturbs the streams of the
+// others. The "designed false-failure rate" is therefore a statement
+// about a *freshly drawn* seed: over random seeds the suite fails with
+// probability <= family_alpha even when every claim holds; for the
+// pinned default seed the outcome is simply fixed (and green).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/random.h"
+
+namespace ssvbr::validate {
+
+/// How a check's statistic is judged.
+enum class CheckKind {
+  kPValue,      ///< fail when p_value < alpha (Bonferroni-adjusted)
+  kUpperBound,  ///< fail when statistic > threshold
+  kLowerBound,  ///< fail when statistic < threshold
+  kExact,       ///< fail when statistic != 0 (violation count)
+};
+
+/// Identifier string for a CheckKind ("p_value", "upper_bound", ...).
+const char* to_string(CheckKind kind) noexcept;
+
+/// Shared inputs of a conformance run.
+struct CheckContext {
+  /// Base seed of the whole suite; each check derives its own fixed
+  /// stream from (seed, check name).
+  std::uint64_t seed = 1;
+  /// Workload multiplier in (0, 1]: scales replication counts and path
+  /// lengths. Thresholds are calibrated at 1.0; smoke runs may shrink
+  /// the workload, in which case only the exact (kExact) checks retain
+  /// their designed error rate.
+  double scale = 1.0;
+  /// Engine worker threads for the RunRequest-driven checks
+  /// (0 = hardware concurrency). Never changes any result — the
+  /// replication engine is bit-deterministic across thread counts.
+  unsigned threads = 0;
+  /// Directory for scratch files (checkpoint snapshots written by the
+  /// run-control checks). Empty selects the system temp directory.
+  std::string scratch_dir;
+};
+
+/// Outcome of one check.
+struct CheckResult {
+  std::string name;
+  std::string claim;  ///< paper anchor: equation / figure / appendix
+  CheckKind kind = CheckKind::kUpperBound;
+  double statistic = 0.0;
+  double threshold = 0.0;  ///< tolerance, bound, or critical value
+  /// P-value under the claim's null; NaN for tolerance/exact checks.
+  double p_value = 0.0;
+  /// Designed false-failure rate of THIS check: the Bonferroni share
+  /// for p-value checks, 0 for exact checks, and the calibrated
+  /// nominal rate recorded by tolerance checks.
+  double alpha = 0.0;
+  bool passed = false;
+  std::string detail;  ///< human-readable measurement summary
+  double seconds = 0.0;  ///< wall clock; NOT part of the JSON report
+};
+
+/// One registered conformance check. `body` fills statistic /
+/// threshold / p_value / detail; the suite owns name, claim, kind,
+/// alpha, and the pass verdict so every check is judged uniformly.
+struct Check {
+  std::string name;
+  std::string claim;
+  CheckKind kind = CheckKind::kUpperBound;
+  std::function<void(const CheckContext&, RandomEngine&, CheckResult&)> body;
+};
+
+/// Derive the fixed per-check engine for (suite seed, check name).
+RandomEngine check_engine(std::uint64_t suite_seed, const std::string& check_name);
+
+/// An ordered collection of checks with family-wise error control:
+/// the suite-wide false-failure rate `family_alpha` is split evenly
+/// (Bonferroni) across the p-value checks, so the designed probability
+/// that a fresh seed fails ANY p-value check is at most family_alpha.
+class Suite {
+ public:
+  explicit Suite(double family_alpha = 0.01);
+
+  /// Register a check. Names must be unique; registration order is the
+  /// run/report order.
+  void add(Check check);
+
+  const std::vector<Check>& checks() const noexcept { return checks_; }
+  double family_alpha() const noexcept { return family_alpha_; }
+
+  /// Number of registered p-value checks (the Bonferroni denominator).
+  std::size_t n_pvalue_checks() const noexcept;
+
+  /// Bonferroni-adjusted alpha for each p-value check.
+  double per_check_alpha() const noexcept;
+
+  /// Run every check in registration order.
+  std::vector<CheckResult> run_all(const CheckContext& context) const;
+
+  /// Run one check by name; std::nullopt when no such check exists.
+  /// The result (alpha included) is identical to its run_all entry.
+  std::optional<CheckResult> run_one(const std::string& name,
+                                     const CheckContext& context) const;
+
+ private:
+  CheckResult run_check(const Check& check, const CheckContext& context) const;
+
+  double family_alpha_;
+  std::vector<Check> checks_;
+};
+
+}  // namespace ssvbr::validate

@@ -1,0 +1,33 @@
+// ssvbr/validate/checks.h
+//
+// The concrete paper-conformance suite: every quantitative claim of the
+// paper that the library reproduces, re-derived end-to-end through the
+// real pipeline and judged by the Check machinery of check.h. The
+// registration order here is the canonical report order.
+//
+// Paper claims covered (see EXPERIMENTS.md, "Conformance checks"):
+//   eq. (7)        marginal inversion, exact and tabulated transform
+//   eqs. (10)-(13) composite SRD+LRD ACF below/above the knee Kt
+//   eq. (30)       attenuation factor a = E[h(X)X]^2 / Var(h(X))
+//   Appendix A     Hurst preservation under h (R/S + periodogram)
+//   eq. (15)       GOP rescaling r(k) = r_I(k / K_I)
+//   eqs. (16)-(17) Lindley terminal / first-passage duality
+//   ref [23]       Norros fBm overflow asymptotic (Fig. 17)
+//   Section 4      IS unbiasedness and Fig. 14 variance reduction
+// plus two library-level invariants under statistical workloads:
+// checkpoint/resume bit-identity through RunRequest, and the ATM
+// segmentation conservation/pacing properties.
+#pragma once
+
+#include "validate/check.h"
+
+namespace ssvbr::validate {
+
+/// Build the full conformance suite with the given family-wise
+/// false-failure rate (default 1%: over fresh random seeds, at most 1%
+/// of suite runs fail any p-value check when every claim holds;
+/// tolerance checks are calibrated to at least that margin at
+/// scale = 1).
+Suite default_suite(double family_alpha = 0.01);
+
+}  // namespace ssvbr::validate

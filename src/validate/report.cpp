@@ -1,0 +1,87 @@
+#include "validate/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/version.h"
+
+namespace ssvbr::validate {
+namespace {
+
+// Round-trip-exact, locale-independent double rendering; non-finite
+// values become JSON null (only p_value can legitimately be NaN).
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_report(const Suite& suite, const CheckContext& context,
+                          const std::vector<CheckResult>& results) {
+  std::size_t n_passed = 0;
+  for (const CheckResult& r : results) {
+    if (r.passed) ++n_passed;
+  }
+  const BuildInfo& build = build_info();
+
+  std::string out = "{\"magic\":\"ssvbr-conformance\",\"version\":1";
+  out += ",\"meta\":{";
+  out += "\"seed\":" + json::quote(json::hex_u64(context.seed));
+  out += ",\"scale\":" + number(context.scale);
+  out += ",\"family_alpha\":" + number(suite.family_alpha());
+  out += ",\"per_check_alpha\":" + number(suite.per_check_alpha());
+  out += ",\"n_checks\":" + std::to_string(results.size());
+  out += ",\"build\":{\"version\":" + json::quote(build.version);
+  out += ",\"sha\":" + json::quote(build.git_sha);
+  out += ",\"build_type\":" + json::quote(build.build_type);
+  out += "}}";
+
+  out += ",\"checks\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CheckResult& r = results[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":" + json::quote(r.name);
+    out += ",\"claim\":" + json::quote(r.claim);
+    out += ",\"kind\":" + json::quote(to_string(r.kind));
+    out += ",\"statistic\":" + number(r.statistic);
+    out += ",\"threshold\":" + number(r.threshold);
+    out += ",\"p_value\":" + number(r.p_value);
+    out += ",\"alpha\":" + number(r.alpha);
+    out += std::string(",\"passed\":") + (r.passed ? "true" : "false");
+    out += ",\"detail\":" + json::quote(r.detail);
+    out += "}";
+  }
+  out += "]";
+
+  out += std::string(",\"passed\":") +
+         (n_passed == results.size() ? "true" : "false");
+  out += ",\"n_passed\":" + std::to_string(n_passed);
+  out += ",\"n_failed\":" + std::to_string(results.size() - n_passed);
+  out += "}\n";
+  return out;
+}
+
+void write_report(const std::string& path, const Suite& suite,
+                  const CheckContext& context,
+                  const std::vector<CheckResult>& results) {
+  const std::string body = render_report(suite, context, results);
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file.good()) {
+    throw RunError({ErrorCode::kIoError,
+                    "cannot open conformance report for writing", path});
+  }
+  file.write(body.data(), static_cast<std::streamsize>(body.size()));
+  file.flush();
+  if (!file.good()) {
+    throw RunError(
+        {ErrorCode::kIoError, "failed writing conformance report", path});
+  }
+}
+
+}  // namespace ssvbr::validate

@@ -1,0 +1,28 @@
+// ssvbr/validate/report.h
+//
+// Deterministic JSON conformance report. Two runs with the same seed,
+// scale, and build produce byte-identical files: doubles are printed
+// with "%.17g" (round-trip exact), keys are emitted in a fixed order,
+// and no wall-clock data enters the report (timings stay on stderr).
+// Schema is enforced by scripts/check_conformance_schema.py.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "validate/check.h"
+
+namespace ssvbr::validate {
+
+/// Render the full conformance report as a JSON document (trailing
+/// newline included).
+std::string render_report(const Suite& suite, const CheckContext& context,
+                          const std::vector<CheckResult>& results);
+
+/// Write `render_report` output to `path`. Throws Error{kIoError} when
+/// the file cannot be written.
+void write_report(const std::string& path, const Suite& suite,
+                  const CheckContext& context,
+                  const std::vector<CheckResult>& results);
+
+}  // namespace ssvbr::validate

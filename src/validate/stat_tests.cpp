@@ -1,0 +1,71 @@
+#include "validate/stat_tests.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "dist/special_functions.h"
+
+namespace ssvbr::validate {
+
+double kolmogorov_sf(double x) {
+  if (x <= 0.0) return 1.0;
+  // The alternating series converges extremely fast for x >~ 0.5; for
+  // smaller x use the (equivalent) theta-function dual expansion which
+  // converges fast there instead.
+  if (x < 0.5) {
+    // P(K <= x) = sqrt(2*pi)/x * sum_{j>=1} exp(-(2j-1)^2 pi^2 / (8 x^2))
+    const double f = M_PI * M_PI / (8.0 * x * x);
+    double cdf = 0.0;
+    for (int j = 1; j <= 5; ++j) {
+      const double odd = 2.0 * j - 1.0;
+      cdf += std::exp(-odd * odd * f);
+    }
+    cdf *= std::sqrt(2.0 * M_PI) / x;
+    return std::clamp(1.0 - cdf, 0.0, 1.0);
+  }
+  double sf = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * x * x);
+    sf += sign * term;
+    sign = -sign;
+    if (term < 1e-16) break;
+  }
+  return std::clamp(2.0 * sf, 0.0, 1.0);
+}
+
+double ks_p_value(double d, std::size_t n) {
+  SSVBR_REQUIRE(n > 0, "ks_p_value needs a non-empty sample");
+  SSVBR_REQUIRE(d >= 0.0 && d <= 1.0, "KS statistic must lie in [0, 1]");
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  const double x = d * (sqrt_n + 0.12 + 0.11 / sqrt_n);
+  return kolmogorov_sf(x);
+}
+
+double two_proportion_p_value(std::size_t x1, std::size_t n1,
+                              std::size_t x2, std::size_t n2) {
+  SSVBR_REQUIRE(n1 > 0 && n2 > 0, "two_proportion_p_value needs samples");
+  SSVBR_REQUIRE(x1 <= n1 && x2 <= n2, "hit count exceeds sample size");
+  const double p1 = static_cast<double>(x1) / static_cast<double>(n1);
+  const double p2 = static_cast<double>(x2) / static_cast<double>(n2);
+  const double pooled = static_cast<double>(x1 + x2) /
+                        static_cast<double>(n1 + n2);
+  const double var = pooled * (1.0 - pooled) *
+                     (1.0 / static_cast<double>(n1) +
+                      1.0 / static_cast<double>(n2));
+  if (var <= 0.0) return p1 == p2 ? 1.0 : 0.0;
+  const double z = (p1 - p2) / std::sqrt(var);
+  return 2.0 * ssvbr::normal_cdf(-std::fabs(z));
+}
+
+double two_estimate_z_p_value(double est1, double var1, double est2,
+                              double var2) {
+  SSVBR_REQUIRE(var1 >= 0.0 && var2 >= 0.0, "variances must be non-negative");
+  const double var = var1 + var2;
+  if (var <= 0.0) return est1 == est2 ? 1.0 : 0.0;
+  const double z = (est1 - est2) / std::sqrt(var);
+  return 2.0 * ssvbr::normal_cdf(-std::fabs(z));
+}
+
+}  // namespace ssvbr::validate

@@ -1,0 +1,36 @@
+// ssvbr/validate/stat_tests.h
+//
+// Small collection of classical significance tests used by the
+// conformance checks. Each returns a p-value under the stated null so
+// the Suite can apply a uniform Bonferroni-adjusted acceptance rule.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace ssvbr::validate {
+
+/// Asymptotic survival function of the Kolmogorov distribution:
+/// P(K > x) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 x^2).
+/// Clamped to [0, 1]; returns 1 for x <= 0.
+double kolmogorov_sf(double x);
+
+/// P-value of the one-sample KS test with statistic `d` (sup distance
+/// between the ECDF of `n` iid draws and a fully specified continuous
+/// null CDF), using the asymptotic distribution of sqrt(n)*D with the
+/// standard small-sample correction sqrt(n) + 0.12 + 0.11/sqrt(n).
+double ks_p_value(double d, std::size_t n);
+
+/// Two-sided p-value of the two-proportion z-test for H0: p1 == p2
+/// given hit counts x1/n1 and x2/n2 (pooled variance). Returns 1 when
+/// both samples are hitless (no evidence either way).
+double two_proportion_p_value(std::size_t x1, std::size_t n1,
+                              std::size_t x2, std::size_t n2);
+
+/// Two-sided p-value of the z-test for H0: the two estimates share a
+/// common mean, given each estimate and its variance (Welch-style
+/// combined variance). Returns 1 when both variances are zero and the
+/// estimates agree exactly.
+double two_estimate_z_p_value(double est1, double var1, double est2, double var2);
+
+}  // namespace ssvbr::validate

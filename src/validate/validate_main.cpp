@@ -1,0 +1,174 @@
+// ssvbr_validate — paper-conformance acceptance harness.
+//
+// Runs the seeded statistical checks of validate/checks.h and reports
+// pass/fail per check plus an optional deterministic JSON report
+// (byte-identical across runs with the same seed, scale, and build).
+//
+//   ssvbr_validate [--seed N] [--scale X] [--threads N]
+//                  [--check NAME]... [--list] [--report PATH]
+//                  [--family-alpha A] [--scratch-dir DIR]
+//
+// Exit status: 0 all selected checks passed, 1 at least one failed,
+// 2 usage or I/O error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "validate/checks.h"
+#include "validate/report.h"
+
+namespace {
+
+using namespace ssvbr;
+using namespace ssvbr::validate;
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: ssvbr_validate [options]\n"
+      "  --seed N          base seed of the suite (default 1)\n"
+      "  --scale X         workload multiplier in (0, 1] (default 1.0;\n"
+      "                    thresholds are calibrated at 1.0)\n"
+      "  --threads N       engine worker threads (default 0 = all cores)\n"
+      "  --check NAME      run only this check (repeatable)\n"
+      "  --list            list registered checks and exit\n"
+      "  --report PATH     write the JSON conformance report to PATH\n"
+      "  --family-alpha A  family-wise false-failure rate (default 0.01)\n"
+      "  --scratch-dir DIR directory for scratch checkpoint files\n"
+      "  --help            this message\n",
+      out);
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 0);
+  if (end == s || *end != '\0') return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_double(const char* s, double& out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CheckContext context;
+  double family_alpha = 0.01;
+  std::vector<std::string> selected;
+  std::string report_path;
+  bool list_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ssvbr_validate: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--seed") {
+      if (!parse_u64(next("--seed"), context.seed)) {
+        std::fprintf(stderr, "ssvbr_validate: bad --seed\n");
+        return 2;
+      }
+    } else if (arg == "--scale") {
+      if (!parse_double(next("--scale"), context.scale) ||
+          context.scale <= 0.0 || context.scale > 1.0) {
+        std::fprintf(stderr, "ssvbr_validate: --scale must be in (0, 1]\n");
+        return 2;
+      }
+    } else if (arg == "--threads") {
+      std::uint64_t threads = 0;
+      if (!parse_u64(next("--threads"), threads)) {
+        std::fprintf(stderr, "ssvbr_validate: bad --threads\n");
+        return 2;
+      }
+      context.threads = static_cast<unsigned>(threads);
+    } else if (arg == "--check") {
+      selected.emplace_back(next("--check"));
+    } else if (arg == "--report") {
+      report_path = next("--report");
+    } else if (arg == "--family-alpha") {
+      if (!parse_double(next("--family-alpha"), family_alpha) ||
+          family_alpha <= 0.0 || family_alpha >= 1.0) {
+        std::fprintf(stderr, "ssvbr_validate: --family-alpha must be in (0, 1)\n");
+        return 2;
+      }
+    } else if (arg == "--scratch-dir") {
+      context.scratch_dir = next("--scratch-dir");
+    } else {
+      std::fprintf(stderr, "ssvbr_validate: unknown option %s\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  try {
+    const Suite suite = default_suite(family_alpha);
+
+    if (list_only) {
+      for (const Check& check : suite.checks()) {
+        std::printf("%-28s [%s] %s\n", check.name.c_str(),
+                    to_string(check.kind), check.claim.c_str());
+      }
+      return 0;
+    }
+
+    std::vector<CheckResult> results;
+    if (selected.empty()) {
+      results = suite.run_all(context);
+    } else {
+      for (const std::string& name : selected) {
+        auto result = suite.run_one(name, context);
+        if (!result) {
+          std::fprintf(stderr, "ssvbr_validate: no such check: %s\n",
+                       name.c_str());
+          return 2;
+        }
+        results.push_back(std::move(*result));
+      }
+    }
+
+    std::size_t n_failed = 0;
+    for (const CheckResult& r : results) {
+      if (!r.passed) ++n_failed;
+      std::printf("%s %-28s stat=%-11.5g thr=%-9.5g", r.passed ? "PASS" : "FAIL",
+                  r.name.c_str(), r.statistic, r.threshold);
+      if (r.kind == CheckKind::kPValue) {
+        std::printf(" p=%-9.4g alpha=%-9.4g", r.p_value, r.alpha);
+      } else {
+        std::printf(" %-29s", "");
+      }
+      std::printf(" (%.2fs)\n", r.seconds);
+      std::printf("     %s\n", r.detail.c_str());
+    }
+    std::printf("%zu/%zu checks passed (family alpha %.3g, per-check alpha "
+                "%.3g over %zu p-value checks)\n",
+                results.size() - n_failed, results.size(), suite.family_alpha(),
+                suite.per_check_alpha(), suite.n_pvalue_checks());
+
+    if (!report_path.empty()) {
+      write_report(report_path, suite, context, results);
+      std::printf("report: %s\n", report_path.c_str());
+    }
+    return n_failed == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ssvbr_validate: %s\n", e.what());
+    return 2;
+  }
+}

@@ -4,10 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <vector>
 
 #include "common/error.h"
+#include "dist/random.h"
 
 namespace ssvbr::atm {
 namespace {
@@ -146,6 +149,76 @@ TEST(MultiplexFreeFunction, CombinesSources) {
   EXPECT_EQ(stats.cells_arrived, 12u);
   EXPECT_EQ(stats.slots, 3u);
   EXPECT_EQ(stats.cells_dropped, 0u);
+}
+
+// Property-style sweep over random frame-size traces (the in-test twin
+// of the conformance harness's atm_invariants check): for every trace,
+// slot count, and pacing mode, segmentation must conserve cells exactly,
+// keep burst cells in each interval's first slot, and spread smooth
+// cells within one cell of even. Frame sizes mix zeros, sub-cell PDUs,
+// and multi-thousand-cell frames to hit the rounding edges.
+TEST(SegmentationProperty, RandomTracesPreserveAllInvariants) {
+  RandomEngine rng(20260807);
+  for (std::size_t iter = 0; iter < 64; ++iter) {
+    const std::size_t n_frames = 1 + static_cast<std::size_t>(rng.uniform() * 96.0);
+    std::vector<double> frames(n_frames);
+    for (double& f : frames) {
+      const double u = rng.uniform();
+      if (u < 0.15) {
+        f = 0.0;  // empty frame: still one AAL5 cell
+      } else if (u < 0.4) {
+        f = rng.uniform() * 60.0;  // sub-cell and near-boundary PDUs
+      } else {
+        f = rng.uniform() * 200000.0;
+      }
+    }
+    const std::size_t slots = 1 + static_cast<std::size_t>(rng.uniform() * 24.0);
+    const std::size_t expected_total = total_cells(frames);
+
+    for (const auto mode : {PacingMode::kBurst, PacingMode::kSmooth}) {
+      const std::vector<std::size_t> cells = segment_frames(frames, slots, mode);
+      ASSERT_EQ(cells.size(), n_frames * slots);
+      EXPECT_EQ(std::accumulate(cells.begin(), cells.end(), std::size_t{0}),
+                expected_total);
+
+      for (std::size_t f = 0; f < n_frames; ++f) {
+        const auto first = cells.begin() + static_cast<std::ptrdiff_t>(f * slots);
+        const auto last = first + static_cast<std::ptrdiff_t>(slots);
+        const std::size_t frame_total =
+            std::accumulate(first, last, std::size_t{0});
+        // Per-frame conservation: the interval carries exactly this
+        // frame's AAL5 cell count, independent of pacing.
+        EXPECT_EQ(frame_total, aal5_cells_for(static_cast<std::size_t>(
+                                   std::llround(frames[f]))));
+        if (mode == PacingMode::kBurst) {
+          // Ordering: all cells in the first slot of the interval.
+          EXPECT_EQ(*first, frame_total);
+          EXPECT_EQ(std::accumulate(first + 1, last, std::size_t{0}), 0u);
+        } else {
+          const auto [lo, hi] = std::minmax_element(first, last);
+          EXPECT_LE(*hi - *lo, 1u);
+        }
+      }
+    }
+  }
+}
+
+TEST(SegmentationProperty, SegmentedTraceSurvivesTheMultiplexer) {
+  // Reassembly-side conservation: feeding a segmented trace through the
+  // multiplexer slot by slot preserves every cell in arrived = served +
+  // dropped + queued, and a capacity-dominant service empties the queue.
+  RandomEngine rng(777);
+  std::vector<double> frames(48);
+  for (double& f : frames) f = rng.uniform() * 50000.0;
+  const std::size_t slots = 8;
+  const std::vector<std::size_t> cells =
+      segment_frames(frames, slots, PacingMode::kSmooth);
+
+  Multiplexer mux(1u << 20, 1e9);  // effectively lossless
+  for (const std::size_t c : cells) mux.step(c);
+  EXPECT_EQ(mux.stats().cells_arrived, total_cells(frames));
+  EXPECT_EQ(mux.stats().cells_dropped, 0u);
+  EXPECT_EQ(mux.stats().cells_served + mux.queue_cells(), total_cells(frames));
 }
 
 TEST(MultiplexFreeFunction, Validation) {

@@ -1,0 +1,244 @@
+// Corrupt-input hardening for engine/checkpoint: every malformed
+// snapshot — truncated JSON, duplicated or out-of-range shard records,
+// hex-bit damage, wrong version, bitmap/record disagreement — must be
+// rejected by load() with the documented error code, never a crash or a
+// silently-wrong Snapshot. The mutations are applied to the text of a
+// genuine save()d snapshot so the tests track the real writer format.
+#include "engine/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/error.h"
+
+namespace ssvbr::engine::checkpoint {
+namespace {
+
+std::string scratch_path(const char* name) {
+  const std::string path =
+      ::testing::TempDir() + "ssvbr_hardening_" + name + ".json";
+  std::remove(path.c_str());
+  return path;
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(text.data(), 1, text.size(), f), text.size());
+  std::fclose(f);
+}
+
+std::string read_text(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::string text;
+  char buf[1 << 14];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+/// The serialized text of a small valid snapshot: shards 0 and 2 of 4
+/// complete, two accumulator words each, distinctive hex values so the
+/// mutations below have unique anchors.
+std::string base_snapshot_text(const char* name) {
+  Snapshot snap;
+  snap.fingerprint.estimator = "overflow_is";
+  snap.fingerprint.accumulator = "score";
+  snap.fingerprint.config_hash = 0xDEADBEEF;
+  snap.fingerprint.replications = 64;
+  snap.fingerprint.shard_size = 16;
+  snap.fingerprint.rng.words[0] = 0x1111;
+  snap.fingerprint.rng.words[1] = 0x2222;
+  snap.fingerprint.rng.words[2] = 0x3333;
+  snap.fingerprint.rng.words[3] = 0x4444;
+  snap.shards_total = 4;
+  snap.replications_done = 32;
+  snap.shards.push_back({0, {0xaaaa, 0xbbbb}});
+  snap.shards.push_back({2, {0xcccc, 0xdddd}});
+  const std::string path = scratch_path(name);
+  save(path, snap);
+  std::string text = read_text(path);
+  std::remove(path.c_str());
+  return text;
+}
+
+/// Replace the unique occurrence of `from` with `to` (the test fails if
+/// the anchor is missing or ambiguous — the writer format changed).
+std::string mutate(std::string text, const std::string& from,
+                   const std::string& to) {
+  const std::size_t at = text.find(from);
+  EXPECT_NE(at, std::string::npos) << "anchor not found: " << from;
+  EXPECT_EQ(text.find(from, at + 1), std::string::npos)
+      << "anchor ambiguous: " << from;
+  return text.replace(at, from.size(), to);
+}
+
+/// load() must throw RunError with exactly `code`; returns the message.
+std::string expect_load_error(const std::string& name, const std::string& text,
+                              ErrorCode code) {
+  const std::string path = scratch_path(name.c_str());
+  write_text(path, text);
+  std::string what;
+  try {
+    (void)load(path);
+    ADD_FAILURE() << name << ": load() accepted a corrupt snapshot";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.code(), code) << name << ": " << e.what();
+    what = e.what();
+  }
+  std::remove(path.c_str());
+  return what;
+}
+
+TEST(CheckpointHardening, BaseSnapshotIsValid) {
+  const std::string path = scratch_path("valid");
+  write_text(path, base_snapshot_text("valid_src"));
+  const Snapshot snap = load(path);
+  EXPECT_EQ(snap.shards_total, 4u);
+  EXPECT_EQ(snap.shards.size(), 2u);
+  EXPECT_EQ(snap.fingerprint.rng.words[0], 0x1111u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointHardening, TruncatedJsonIsCorrupt) {
+  const std::string text = base_snapshot_text("trunc");
+  // Cut anywhere inside the document: parse failure, not a crash.
+  for (const double frac : {0.25, 0.5, 0.9}) {
+    const std::size_t cut = static_cast<std::size_t>(text.size() * frac);
+    const std::string what = expect_load_error(
+        "truncated", text.substr(0, cut), ErrorCode::kCheckpointCorrupt);
+    EXPECT_NE(what.find("JSON"), std::string::npos);
+  }
+}
+
+TEST(CheckpointHardening, EmptyFileIsCorrupt) {
+  expect_load_error("empty", "", ErrorCode::kCheckpointCorrupt);
+}
+
+TEST(CheckpointHardening, WrongMagicIsCorrupt) {
+  const std::string text = mutate(base_snapshot_text("magic"),
+                                  "\"ssvbr-checkpoint\"", "\"ssvbr-metrics\"");
+  const std::string what =
+      expect_load_error("magic", text, ErrorCode::kCheckpointCorrupt);
+  EXPECT_NE(what.find("magic"), std::string::npos);
+}
+
+TEST(CheckpointHardening, WrongVersionIsCorrupt) {
+  const std::string text =
+      mutate(base_snapshot_text("version"), "\"version\":1,", "\"version\":99,");
+  const std::string what =
+      expect_load_error("version", text, ErrorCode::kCheckpointCorrupt);
+  EXPECT_NE(what.find("version"), std::string::npos);
+}
+
+TEST(CheckpointHardening, DuplicateShardRecordIsCorrupt) {
+  const std::string text =
+      mutate(base_snapshot_text("dup"), "{\"i\":2,", "{\"i\":0,");
+  const std::string what =
+      expect_load_error("dup", text, ErrorCode::kCheckpointCorrupt);
+  EXPECT_NE(what.find("duplicate"), std::string::npos);
+}
+
+TEST(CheckpointHardening, OutOfRangeShardIndexIsCorrupt) {
+  const std::string text =
+      mutate(base_snapshot_text("range"), "{\"i\":2,", "{\"i\":9,");
+  const std::string what =
+      expect_load_error("range", text, ErrorCode::kCheckpointCorrupt);
+  EXPECT_NE(what.find("out of range"), std::string::npos);
+}
+
+TEST(CheckpointHardening, OutOfOrderShardRecordsAreCorrupt) {
+  // 0 -> 3 turns the record order into (3, 2): descending.
+  const std::string text =
+      mutate(base_snapshot_text("order"), "{\"i\":0,", "{\"i\":3,");
+  expect_load_error("order", text, ErrorCode::kCheckpointCorrupt);
+}
+
+TEST(CheckpointHardening, DamagedHexWordIsCorrupt) {
+  const std::string text =
+      mutate(base_snapshot_text("hex"), "\"0xaaaa\"", "\"0xZZZZ\"");
+  expect_load_error("hex", text, ErrorCode::kCheckpointCorrupt);
+}
+
+TEST(CheckpointHardening, NumberInsteadOfHexStringIsCorrupt) {
+  // Accumulator words must be hex STRINGS (JSON numbers cannot carry a
+  // u64 exactly); a plain number is a schema violation.
+  const std::string text =
+      mutate(base_snapshot_text("number"), "\"0xaaaa\"", "43690");
+  expect_load_error("number", text, ErrorCode::kCheckpointCorrupt);
+}
+
+TEST(CheckpointHardening, InconsistentShardWordCountsAreCorrupt) {
+  const std::string text = mutate(base_snapshot_text("words"),
+                                  "\"0xcccc\",\"0xdddd\"", "\"0xcccc\"");
+  const std::string what =
+      expect_load_error("words", text, ErrorCode::kCheckpointCorrupt);
+  EXPECT_NE(what.find("word counts"), std::string::npos);
+}
+
+TEST(CheckpointHardening, EmptyShardRecordIsCorrupt) {
+  const std::string text =
+      mutate(base_snapshot_text("nowords"), "\"w\":[\"0xaaaa\",\"0xbbbb\"]", "\"w\":[]");
+  expect_load_error("nowords", text, ErrorCode::kCheckpointCorrupt);
+}
+
+TEST(CheckpointHardening, ShortRngStateIsCorrupt) {
+  const std::string text =
+      mutate(base_snapshot_text("rng"), "\"0x1111\",", "");
+  const std::string what =
+      expect_load_error("rng", text, ErrorCode::kCheckpointCorrupt);
+  EXPECT_NE(what.find("4 words"), std::string::npos);
+}
+
+TEST(CheckpointHardening, ShardsDoneMismatchIsCorrupt) {
+  const std::string text = mutate(base_snapshot_text("done"),
+                                  "\"shards_done\":2", "\"shards_done\":3");
+  const std::string what =
+      expect_load_error("done", text, ErrorCode::kCheckpointCorrupt);
+  EXPECT_NE(what.find("shards_done"), std::string::npos);
+}
+
+TEST(CheckpointHardening, CompletedBitmapMismatchIsCorrupt) {
+  // Shards 0 and 2 -> bitmap 0b0101 = "0x5". A bitmap that disagrees
+  // with the records means the snapshot was edited or damaged in place.
+  const std::string text = mutate(base_snapshot_text("bitmap"),
+                                  "\"completed\":\"0x5\"", "\"completed\":\"0x7\"");
+  const std::string what =
+      expect_load_error("bitmap", text, ErrorCode::kCheckpointCorrupt);
+  EXPECT_NE(what.find("bitmap"), std::string::npos);
+}
+
+TEST(CheckpointHardening, MissingFileIsIoErrorNotCorrupt) {
+  const std::string path = scratch_path("missing");
+  try {
+    (void)load(path);
+    FAIL() << "load() of a missing file must throw";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoError);
+  }
+}
+
+TEST(CheckpointHardening, MutationsDoNotAffectTheOriginal) {
+  // Round-trip sanity after the whole matrix ran: the pristine text
+  // still loads and carries the exact accumulator bits.
+  const std::string path = scratch_path("pristine");
+  write_text(path, base_snapshot_text("pristine_src"));
+  const Snapshot snap = load(path);
+  ASSERT_EQ(snap.shards.size(), 2u);
+  EXPECT_EQ(snap.shards[0].words[0], 0xaaaau);
+  EXPECT_EQ(snap.shards[1].words[1], 0xddddu);
+  const std::vector<char> flags = snap.completed_flags();
+  ASSERT_EQ(flags.size(), 4u);
+  EXPECT_EQ(flags[0], 1);
+  EXPECT_EQ(flags[1], 0);
+  EXPECT_EQ(flags[2], 1);
+  EXPECT_EQ(flags[3], 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ssvbr::engine::checkpoint

@@ -1,0 +1,189 @@
+// Deprecation-contract tests for engine/parallel_estimators.h: every
+// deprecated estimate_*_par wrapper must be bit-identical to the
+// corresponding RunRequest run — same estimate bits, same caller-visible
+// RNG stream — so callers can migrate (and the wrappers can eventually
+// be deleted) with zero numerical drift. Complements the facade tests
+// in test_run_control.cpp with the superposed-source wrapper, the
+// terminal-event MC variant, thread-count invariance, and sequential
+// stream continuation.
+#include "engine/parallel_estimators.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dist/distributions.h"
+#include "engine/run.h"
+#include "fractal/autocorrelation.h"
+
+namespace ssvbr::engine {
+namespace {
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+core::UnifiedVbrModel make_model() {
+  auto corr = std::make_shared<fractal::ExponentialAutocorrelation>(0.1);
+  core::MarginalTransform h(std::make_shared<GammaDistribution>(2.0, 1.0));
+  return core::UnifiedVbrModel(std::move(corr), std::move(h));
+}
+
+ArrivalFactory gamma_arrivals() {
+  auto gamma = std::make_shared<GammaDistribution>(2.0, 1.0);
+  return [gamma] { return std::make_unique<queueing::IidArrivalProcess>(gamma); };
+}
+
+is::IsOverflowSettings rare_settings(const core::UnifiedVbrModel& model,
+                                     std::size_t replications) {
+  is::IsOverflowSettings settings;
+  settings.twisted_mean = 2.0;
+  settings.service_rate = model.mean() / 0.3;
+  settings.buffer = 15.0 * model.mean();
+  settings.stop_time = 60;
+  settings.replications = replications;
+  return settings;
+}
+
+TEST(ParallelEquivalence, SuperposedWrapperMatchesFacadeBitwise) {
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 60);
+  const is::IsOverflowSettings settings = rare_settings(model, 96);
+  const std::size_t n_sources = 3;
+
+  ReplicationEngine engine(EngineConfig{2, 16});
+  RandomEngine rng_old(2468);
+  const is::IsOverflowEstimate via_wrapper = estimate_overflow_is_superposed_par(
+      model, background, n_sources, settings, rng_old, engine);
+
+  RunRequest request;
+  request.kind = EstimatorKind::kOverflowIsSuperposed;
+  request.is.model = &model;
+  request.is.background = &background;
+  request.is.n_sources = n_sources;
+  request.is.settings = settings;
+  RandomEngine rng_new(2468);
+  const RunResult via_facade = run_with(request, engine, rng_new);
+
+  EXPECT_TRUE(via_facade.complete());
+  EXPECT_EQ(bits(via_facade.is_estimate.probability), bits(via_wrapper.probability));
+  EXPECT_EQ(bits(via_facade.is_estimate.estimator_variance),
+            bits(via_wrapper.estimator_variance));
+  EXPECT_EQ(via_facade.is_estimate.hits, via_wrapper.hits);
+  EXPECT_TRUE(rng_new.state() == rng_old.state());
+}
+
+TEST(ParallelEquivalence, McTerminalEventWrapperMatchesFacade) {
+  // The non-default event / initial-occupancy arguments must forward
+  // into McStudy unchanged.
+  ReplicationEngine engine(EngineConfig{2, 32});
+  RandomEngine rng_old(777);
+  const queueing::OverflowEstimate via_wrapper = estimate_overflow_mc_par(
+      gamma_arrivals(), 2.5, 6.0, 40, 256, rng_old, engine,
+      queueing::OverflowEvent::kTerminal, 2.0);
+
+  RunRequest request;
+  request.kind = EstimatorKind::kOverflowMc;
+  request.mc.make_arrivals = gamma_arrivals();
+  request.mc.service_rate = 2.5;
+  request.mc.buffer = 6.0;
+  request.mc.stop_time = 40;
+  request.mc.replications = 256;
+  request.mc.event = queueing::OverflowEvent::kTerminal;
+  request.mc.initial_occupancy = 2.0;
+  RandomEngine rng_new(777);
+  const RunResult via_facade = run_with(request, engine, rng_new);
+
+  EXPECT_EQ(bits(via_facade.mc.probability), bits(via_wrapper.probability));
+  EXPECT_EQ(via_facade.mc.hits, via_wrapper.hits);
+  EXPECT_TRUE(rng_new.state() == rng_old.state());
+}
+
+TEST(ParallelEquivalence, WrapperIsThreadCountInvariant) {
+  // The deprecation contract inherits the engine's bit-determinism: for
+  // a fixed shard size, wrapper results cannot depend on thread count.
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 60);
+  const is::IsOverflowSettings settings = rare_settings(model, 128);
+
+  ReplicationEngine serial(EngineConfig{1, 16});
+  RandomEngine rng_serial(13);
+  const is::IsOverflowEstimate on_one =
+      estimate_overflow_is_par(model, background, settings, rng_serial, serial);
+
+  ReplicationEngine threaded(EngineConfig{4, 16});
+  RandomEngine rng_threaded(13);
+  const is::IsOverflowEstimate on_four = estimate_overflow_is_par(
+      model, background, settings, rng_threaded, threaded);
+
+  EXPECT_EQ(bits(on_one.probability), bits(on_four.probability));
+  EXPECT_EQ(bits(on_one.estimator_variance), bits(on_four.estimator_variance));
+  EXPECT_EQ(on_one.hits, on_four.hits);
+  EXPECT_TRUE(rng_serial.state() == rng_threaded.state());
+}
+
+TEST(ParallelEquivalence, SequentialCampaignsContinueTheSameStream) {
+  // Two back-to-back wrapper calls on one engine must consume exactly
+  // the stream real estate of two back-to-back facade runs, so mixed
+  // old/new call sites interleave without perturbing each other.
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 60);
+  const is::IsOverflowSettings settings = rare_settings(model, 64);
+
+  ReplicationEngine engine_old(EngineConfig{2, 16});
+  RandomEngine rng_old(555);
+  const is::IsOverflowEstimate first_old =
+      estimate_overflow_is_par(model, background, settings, rng_old, engine_old);
+  const is::IsOverflowEstimate second_old =
+      estimate_overflow_is_par(model, background, settings, rng_old, engine_old);
+
+  RunRequest request;
+  request.kind = EstimatorKind::kOverflowIs;
+  request.is.model = &model;
+  request.is.background = &background;
+  request.is.settings = settings;
+  ReplicationEngine engine_new(EngineConfig{2, 16});
+  RandomEngine rng_new(555);
+  const RunResult first_new = run_with(request, engine_new, rng_new);
+  const RunResult second_new = run_with(request, engine_new, rng_new);
+
+  EXPECT_EQ(bits(first_new.is_estimate.probability), bits(first_old.probability));
+  EXPECT_EQ(bits(second_new.is_estimate.probability), bits(second_old.probability));
+  // The two campaigns drew from disjoint stream segments, so they are
+  // distinct estimates of the same probability.
+  EXPECT_NE(bits(first_old.probability), bits(second_old.probability));
+  EXPECT_TRUE(rng_new.state() == rng_old.state());
+}
+
+TEST(ParallelEquivalence, SweepWrapperMatchesPerPointSingleRuns) {
+  // sweep_twist_par long-jumps the caller engine once per grid point;
+  // each point must equal a standalone single-twist run started from
+  // the same long-jumped engine.
+  const core::UnifiedVbrModel model = make_model();
+  const fractal::HoskingModel background(model.background_correlation(), 60);
+  is::IsOverflowSettings settings = rare_settings(model, 48);
+  const std::vector<double> twists{1.2, 1.8, 2.4};
+
+  ReplicationEngine engine(EngineConfig{2, 16});
+  RandomEngine rng_sweep(909);
+  const std::vector<is::TwistSweepPoint> sweep =
+      sweep_twist_par(model, background, settings, twists, rng_sweep, engine);
+  ASSERT_EQ(sweep.size(), twists.size());
+
+  RandomEngine rng_base(909);
+  for (std::size_t j = 0; j < twists.size(); ++j) {
+    RandomEngine rng_point = rng_base;  // grid point j: j long-jumps
+    for (std::size_t hop = 0; hop < j; ++hop) rng_point.jump_long();
+    is::IsOverflowSettings point = settings;
+    point.twisted_mean = twists[j];
+    const is::IsOverflowEstimate single =
+        estimate_overflow_is_par(model, background, point, rng_point, engine);
+    EXPECT_EQ(bits(sweep[j].estimate.probability), bits(single.probability))
+        << "grid point " << j;
+    EXPECT_EQ(sweep[j].estimate.hits, single.hits) << "grid point " << j;
+  }
+}
+
+}  // namespace
+}  // namespace ssvbr::engine

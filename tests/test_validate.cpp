@@ -1,0 +1,232 @@
+// Unit tests for the conformance harness itself (src/validate): the
+// check abstraction, family-wise error control, the Kolmogorov /
+// two-sample helpers, and the deterministic JSON report.
+#include "validate/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "validate/checks.h"
+#include "validate/report.h"
+#include "validate/stat_tests.h"
+
+namespace ssvbr::validate {
+namespace {
+
+Check trivial_check(std::string name, CheckKind kind,
+                    double statistic, double threshold, double p = 0.0) {
+  return {std::move(name), "unit-test claim", kind,
+          [statistic, threshold, p](const CheckContext&, RandomEngine&,
+                                    CheckResult& r) {
+            r.statistic = statistic;
+            r.threshold = threshold;
+            r.p_value = p;
+          }};
+}
+
+// ---------------------------------------------------------------------------
+// Per-check stream derivation.
+// ---------------------------------------------------------------------------
+
+TEST(CheckEngine, SameSeedSameNameIsDeterministic) {
+  RandomEngine a = check_engine(1, "marginal_ks_exact");
+  RandomEngine b = check_engine(1, "marginal_ks_exact");
+  EXPECT_TRUE(a.state() == b.state());
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(CheckEngine, DistinctNamesAndSeedsGetDistinctStreams) {
+  RandomEngine base = check_engine(1, "acf_srd_below_knee");
+  EXPECT_FALSE(base.state() == check_engine(1, "acf_lrd_above_knee").state());
+  EXPECT_FALSE(base.state() == check_engine(2, "acf_srd_below_knee").state());
+}
+
+// ---------------------------------------------------------------------------
+// Suite: Bonferroni split and uniform verdicts.
+// ---------------------------------------------------------------------------
+
+TEST(SuiteFamilyError, BonferroniSplitsOverPValueChecksOnly) {
+  Suite suite(0.02);
+  suite.add(trivial_check("p1", CheckKind::kPValue, 0.1, 0.0, 0.5));
+  suite.add(trivial_check("p2", CheckKind::kPValue, 0.1, 0.0, 0.5));
+  suite.add(trivial_check("tol", CheckKind::kUpperBound, 0.1, 0.2));
+  suite.add(trivial_check("exact", CheckKind::kExact, 0.0, 0.0));
+  EXPECT_EQ(suite.n_pvalue_checks(), 2u);
+  EXPECT_DOUBLE_EQ(suite.per_check_alpha(), 0.01);
+}
+
+TEST(SuiteVerdicts, EachKindIsJudgedUniformly) {
+  Suite suite(0.01);
+  suite.add(trivial_check("p_pass", CheckKind::kPValue, 0.0, 0.0, 0.5));
+  suite.add(trivial_check("p_fail", CheckKind::kPValue, 0.0, 0.0, 1e-9));
+  suite.add(trivial_check("ub_pass", CheckKind::kUpperBound, 0.1, 0.2));
+  suite.add(trivial_check("ub_fail", CheckKind::kUpperBound, 0.3, 0.2));
+  suite.add(trivial_check("lb_pass", CheckKind::kLowerBound, 5.0, 1.0));
+  suite.add(trivial_check("lb_fail", CheckKind::kLowerBound, 0.5, 1.0));
+  suite.add(trivial_check("ex_pass", CheckKind::kExact, 0.0, 0.0));
+  suite.add(trivial_check("ex_fail", CheckKind::kExact, 2.0, 0.0));
+
+  const std::vector<CheckResult> results = suite.run_all(CheckContext{});
+  ASSERT_EQ(results.size(), 8u);
+  for (const CheckResult& r : results) {
+    const bool expect_pass = r.name.ends_with("_pass");
+    EXPECT_EQ(r.passed, expect_pass) << r.name;
+    if (r.kind == CheckKind::kPValue) {
+      EXPECT_DOUBLE_EQ(r.alpha, suite.per_check_alpha()) << r.name;
+    }
+    if (r.kind == CheckKind::kExact) {
+      EXPECT_DOUBLE_EQ(r.threshold, 0.0) << r.name;
+    }
+  }
+}
+
+TEST(SuiteVerdicts, NonFinitePValueFails) {
+  Suite suite(0.01);
+  suite.add(trivial_check("p_nan", CheckKind::kPValue, 0.0, 0.0,
+                          std::nan("")));
+  const std::vector<CheckResult> results = suite.run_all(CheckContext{});
+  EXPECT_FALSE(results.at(0).passed);
+}
+
+TEST(SuiteVerdicts, RunOneMatchesRunAllEntry) {
+  Suite suite(0.01);
+  suite.add(trivial_check("a", CheckKind::kPValue, 0.25, 0.0, 0.5));
+  suite.add(trivial_check("b", CheckKind::kUpperBound, 0.1, 0.2));
+  const CheckContext context;
+  const std::vector<CheckResult> all = suite.run_all(context);
+  const auto one = suite.run_one("a", context);
+  ASSERT_TRUE(one.has_value());
+  EXPECT_EQ(one->statistic, all[0].statistic);
+  EXPECT_EQ(one->alpha, all[0].alpha);
+  EXPECT_EQ(one->passed, all[0].passed);
+  EXPECT_FALSE(suite.run_one("no_such_check", context).has_value());
+}
+
+TEST(SuiteValidation, RejectsDuplicateNamesAndBadScale) {
+  Suite suite(0.01);
+  suite.add(trivial_check("dup", CheckKind::kExact, 0.0, 0.0));
+  EXPECT_THROW(suite.add(trivial_check("dup", CheckKind::kExact, 0.0, 0.0)),
+               InvalidArgument);
+  CheckContext bad;
+  bad.scale = 0.0;
+  EXPECT_THROW(suite.run_all(bad), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Statistical helpers.
+// ---------------------------------------------------------------------------
+
+TEST(StatTests, KolmogorovSurvivalKnownValues) {
+  // Classic critical values of the Kolmogorov distribution.
+  EXPECT_NEAR(kolmogorov_sf(1.2238), 0.10, 1e-3);
+  EXPECT_NEAR(kolmogorov_sf(1.3581), 0.05, 1e-3);
+  EXPECT_NEAR(kolmogorov_sf(1.6276), 0.01, 1e-3);
+  EXPECT_DOUBLE_EQ(kolmogorov_sf(0.0), 1.0);
+  // The two expansion branches agree to truncation error (~1e-4) where
+  // they meet — orders of magnitude below any alpha the suite uses.
+  EXPECT_NEAR(kolmogorov_sf(0.4999), kolmogorov_sf(0.5001), 5e-4);
+  // Monotone decreasing.
+  double prev = 1.0;
+  for (double x = 0.1; x < 3.0; x += 0.1) {
+    const double sf = kolmogorov_sf(x);
+    EXPECT_LE(sf, prev + 1e-12);
+    prev = sf;
+  }
+}
+
+TEST(StatTests, TwoProportionDegenerateCases) {
+  EXPECT_DOUBLE_EQ(two_proportion_p_value(0, 100, 0, 100), 1.0);
+  EXPECT_DOUBLE_EQ(two_proportion_p_value(100, 100, 100, 100), 1.0);
+  EXPECT_GT(two_proportion_p_value(50, 100, 52, 100), 0.5);
+  EXPECT_LT(two_proportion_p_value(10, 100, 60, 100), 1e-6);
+}
+
+TEST(StatTests, TwoEstimateZTest) {
+  EXPECT_DOUBLE_EQ(two_estimate_z_p_value(1.0, 0.0, 1.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(two_estimate_z_p_value(1.0, 0.0, 2.0, 0.0), 0.0);
+  EXPECT_NEAR(two_estimate_z_p_value(0.0, 0.5, 1.0, 0.5), 0.3173, 1e-3);
+}
+
+// ---------------------------------------------------------------------------
+// Report rendering.
+// ---------------------------------------------------------------------------
+
+TEST(Report, RenderIsDeterministicAndWellFormed) {
+  Suite suite(0.01);
+  suite.add(trivial_check("alpha_check", CheckKind::kPValue, 0.25, 0.0, 0.5));
+  suite.add(trivial_check("tol_check", CheckKind::kUpperBound, 0.1, 0.2));
+  const CheckContext context;
+  const std::vector<CheckResult> results = suite.run_all(context);
+
+  const std::string a = render_report(suite, context, results);
+  const std::string b = render_report(suite, context, results);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"magic\":\"ssvbr-conformance\""), std::string::npos);
+  EXPECT_NE(a.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(a.find("\"name\":\"alpha_check\""), std::string::npos);
+  EXPECT_NE(a.find("\"passed\":true"), std::string::npos);
+  EXPECT_EQ(a.back(), '\n');
+  // Timings are wall clock and must never enter the deterministic report.
+  EXPECT_EQ(a.find("seconds"), std::string::npos);
+}
+
+TEST(Report, WriteToUnwritablePathThrowsIoError) {
+  Suite suite(0.01);
+  const std::vector<CheckResult> results;
+  try {
+    write_report("/nonexistent-ssvbr-dir/report.json", suite, CheckContext{},
+                 results);
+    FAIL() << "write_report must reject an unwritable path";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoError);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The default suite's registry (the claims the CLI runs).
+// ---------------------------------------------------------------------------
+
+TEST(DefaultSuite, CoversTheDocumentedClaims) {
+  const Suite suite = default_suite();
+  ASSERT_GE(suite.checks().size(), 14u);
+  const char* required[] = {
+      "marginal_ks_exact",      "marginal_ks_tabulated",
+      "acf_srd_below_knee",     "acf_lrd_above_knee",
+      "attenuation_factor",     "hurst_rs_preserved",
+      "hurst_periodogram_preserved", "gop_rescaling",
+      "lindley_duality",        "norros_tail",
+      "is_mc_agreement",        "is_variance_reduction",
+      "run_control_resume_identity", "atm_invariants",
+  };
+  for (const char* name : required) {
+    bool found = false;
+    for (const Check& check : suite.checks()) {
+      if (check.name == name) {
+        found = true;
+        EXPECT_FALSE(check.claim.empty()) << name;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "missing check: " << name;
+  }
+}
+
+TEST(DefaultSuite, SmokeScaleRunsTheCheapExactChecks) {
+  // The exact (violation-count) checks keep their full meaning at tiny
+  // scales; run them for real as a fast structural smoke.
+  const Suite suite = default_suite();
+  CheckContext context;
+  context.scale = 0.01;
+  context.threads = 2;
+  const auto atm = suite.run_one("atm_invariants", context);
+  ASSERT_TRUE(atm.has_value());
+  EXPECT_TRUE(atm->passed) << atm->detail;
+  EXPECT_DOUBLE_EQ(atm->statistic, 0.0);
+}
+
+}  // namespace
+}  // namespace ssvbr::validate
