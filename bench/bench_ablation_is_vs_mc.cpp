@@ -9,7 +9,7 @@
 #include <memory>
 
 #include "bench_util.h"
-#include "engine/parallel_estimators.h"
+#include "engine/run.h"
 #include "is/is_estimator.h"
 #include "queueing/overflow_mc.h"
 
@@ -45,12 +45,23 @@ int main() {
     settings.stop_time = k;
     settings.replications = reps;
     RandomEngine rng1(31);
+    engine::RunRequest is_req;
+    is_req.kind = engine::EstimatorKind::kOverflowIs;
+    is_req.is.model = &fitted.model;
+    is_req.is.background = &background;
+    is_req.is.settings = settings;
     const is::IsOverflowEstimate is_est =
-        engine::estimate_overflow_is_par(fitted.model, background, settings, rng1, engine);
+        engine::run_with(is_req, engine, rng1).is_estimate;
 
     RandomEngine rng2(32);
-    const queueing::OverflowEstimate mc_est = engine::estimate_overflow_mc_par(
-        make_arrivals, service, settings.buffer, k, reps, rng2, engine);
+    engine::RunRequest mc_req;
+    mc_req.kind = engine::EstimatorKind::kOverflowMc;
+    mc_req.mc.make_arrivals = make_arrivals;
+    mc_req.mc.service_rate = service;
+    mc_req.mc.buffer = settings.buffer;
+    mc_req.mc.stop_time = k;
+    mc_req.mc.replications = reps;
+    const queueing::OverflowEstimate mc_est = engine::run_with(mc_req, engine, rng2).mc;
 
     // Replications needed for a 10% relative 95% CI: N = (1.96/0.1)^2 * nv.
     const double target = (1.96 / 0.1) * (1.96 / 0.1);

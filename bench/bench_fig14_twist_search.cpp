@@ -9,7 +9,7 @@
 
 #include "bench_util.h"
 #include "common/error.h"
-#include "engine/parallel_estimators.h"
+#include "engine/run.h"
 #include "is/twist_search.h"
 
 int main() {
@@ -38,8 +38,13 @@ int main() {
   engine::ReplicationEngine engine(bench::engine_config());
   std::printf("# engine_threads: %u\n", engine.threads());
   RandomEngine rng(14);
-  const auto sweep =
-      engine::sweep_twist_par(fitted.model, background, settings, twists, rng, engine);
+  engine::RunRequest req;
+  req.kind = engine::EstimatorKind::kTwistSweep;
+  req.is.model = &fitted.model;
+  req.is.background = &background;
+  req.is.settings = settings;
+  req.is.twists = twists;
+  const std::vector<is::TwistSweepPoint> sweep = engine::run_with(req, engine, rng).sweep;
 
   std::printf("twisted_mean,normalized_variance,probability,hits,variance_reduction,ess\n");
   for (const auto& p : sweep) {

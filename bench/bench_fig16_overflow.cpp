@@ -11,7 +11,7 @@
 #include <cmath>
 
 #include "bench_util.h"
-#include "engine/parallel_estimators.h"
+#include "engine/run.h"
 #include "is/is_estimator.h"
 #include "queueing/overflow_mc.h"
 #include "stats/descriptive.h"
@@ -59,8 +59,12 @@ int main() {
       settings.stop_time = static_cast<std::size_t>(10.0 * b);
       settings.replications = reps;
       RandomEngine rng(1600 + 10 * u + j);
-      const is::IsOverflowEstimate est = engine::estimate_overflow_is_par(
-          fitted.model, background, settings, rng, engine);
+      engine::RunRequest req;
+      req.kind = engine::EstimatorKind::kOverflowIs;
+      req.is.model = &fitted.model;
+      req.is.background = &background;
+      req.is.settings = settings;
+      const is::IsOverflowEstimate est = engine::run_with(req, engine, rng).is_estimate;
       const double log_model = est.probability > 0.0 ? std::log10(est.probability) : -99.0;
       const double log_trace =
           trace_probs[j] > 0.0 ? std::log10(trace_probs[j]) : -99.0;

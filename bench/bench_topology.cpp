@@ -1,0 +1,167 @@
+// Network-scale scenario benchmark: TopologyRunRequest campaigns over a
+// nodes x classes x path-length grid, swept across thread counts, with
+// per-cell bit-identity verification (every thread count must reproduce
+// the T=1 merged totals exactly).
+//
+// Prints ONE machine-readable JSON line per grid cell so future PRs can
+// track topology throughput:
+//
+//   {"bench":"topology","scenario":"mux_tree_3x2","nodes":7,"classes":4,
+//    "path_length":3,"population":1000,"replications":64,
+//    "results":[{"threads":1,"seconds":...,"replications_per_s":...,
+//                "speedup":...,"deterministic":true}, ...]}
+//
+// REPRO_BENCH_SCALE scales the replication counts.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "dist/distributions.h"
+#include "fractal/autocorrelation.h"
+#include "net/run.h"
+
+namespace {
+
+using namespace ssvbr;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+std::shared_ptr<const core::UnifiedVbrModel> make_model() {
+  auto corr = std::make_shared<fractal::ExponentialAutocorrelation>(0.1);
+  core::MarginalTransform h(std::make_shared<GammaDistribution>(2.0, 1.0));
+  return std::make_shared<const core::UnifiedVbrModel>(std::move(corr), std::move(h));
+}
+
+struct GridCell {
+  std::string name;
+  net::ScenarioConfig scenario;
+  std::size_t classes = 0;
+  std::size_t path_length = 0;
+  std::size_t population = 0;
+};
+
+/// A mux tree with `levels` levels of fanout 2, a 1000-source class at
+/// every leaf, service per level sized just above the offered load.
+GridCell mux_tree_cell(const std::shared_ptr<const core::UnifiedVbrModel>& model,
+                       std::size_t levels) {
+  GridCell cell;
+  cell.name = "mux_tree_" + std::to_string(levels) + "x2";
+  cell.population = 1000;
+  const double m = model->mean();
+  std::vector<double> service, buffer;
+  std::size_t sources = cell.population;  // per ingress at this level
+  for (std::size_t l = 0; l < levels; ++l) {
+    service.push_back(1.02 * static_cast<double>(sources) * m);
+    buffer.push_back(1.5 * static_cast<double>(sources) * m);
+    sources *= 2;
+  }
+  cell.scenario.topology = net::make_mux_tree(levels, 2, service, buffer);
+  for (const std::size_t leaf : net::mux_tree_leaves(levels, 2)) {
+    net::SourceClassConfig cls;
+    cls.model = model;
+    cls.population = cell.population;
+    cls.ingress = leaf;
+    cell.scenario.classes.push_back(cls);
+  }
+  cell.classes = cell.scenario.classes.size();
+  cell.path_length = levels;
+  cell.scenario.slots = 256;
+  cell.scenario.warmup = 32;
+  return cell;
+}
+
+/// A tandem line of `length` hops with one batched class at the head
+/// and an ABR flow riding the whole path.
+GridCell tandem_cell(const std::shared_ptr<const core::UnifiedVbrModel>& model,
+                     std::size_t length) {
+  GridCell cell;
+  cell.name = "tandem_" + std::to_string(length) + "_abr";
+  cell.population = 500;
+  const double m = model->mean();
+  const double offered = static_cast<double>(cell.population) * m;
+  cell.scenario.topology =
+      net::make_tandem(length, 1.02 * offered, 1.3 * offered);
+  net::SourceClassConfig cls;
+  cls.model = model;
+  cls.population = cell.population;
+  cell.scenario.classes.push_back(cls);
+  cell.scenario.abr.enabled = true;
+  cell.scenario.abr.initial_rate = m;
+  cell.scenario.abr.min_rate = 0.1 * m;
+  cell.scenario.abr.peak_rate = 0.1 * offered;
+  cell.scenario.abr.additive_increase = 0.5 * m;
+  cell.scenario.abr.queue_threshold = 0.05 * offered;
+  cell.classes = 1;
+  cell.path_length = length;
+  cell.scenario.slots = 256;
+  cell.scenario.warmup = 32;
+  return cell;
+}
+
+void report(const GridCell& cell, std::size_t replications,
+            const std::vector<unsigned>& thread_counts) {
+  struct Row {
+    unsigned threads;
+    double seconds;
+    bool deterministic;
+  };
+  std::vector<Row> rows;
+  std::vector<std::uint64_t> words_ref;
+  for (const unsigned t : thread_counts) {
+    net::TopologyRunRequest request;
+    request.scenario = cell.scenario;
+    request.replications = replications;
+    request.seed = 4242;
+    request.engine.threads = t;
+    request.engine.shard_size = 8;
+    const auto t0 = std::chrono::steady_clock::now();
+    const net::TopologyRunResult res = net::run_topology(request);
+    const double secs = seconds_since(t0);
+    bool deterministic = true;
+    if (t == thread_counts.front()) {
+      words_ref = res.totals.to_words();
+    } else {
+      deterministic = res.totals.to_words() == words_ref;
+    }
+    rows.push_back(Row{t, secs, deterministic});
+  }
+  std::printf("{\"bench\":\"topology\",\"scenario\":\"%s\",\"nodes\":%zu,"
+              "\"classes\":%zu,\"path_length\":%zu,\"population\":%zu,"
+              "\"replications\":%zu,\"results\":[",
+              cell.name.c_str(), cell.scenario.topology.n_nodes(), cell.classes,
+              cell.path_length, cell.population, replications);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double rps = rows[i].seconds > 0.0
+                           ? static_cast<double>(replications) / rows[i].seconds
+                           : 0.0;
+    std::printf("%s{\"threads\":%u,\"seconds\":%.4f,\"replications_per_s\":%.1f,"
+                "\"speedup\":%.2f,\"deterministic\":%s}",
+                i == 0 ? "" : ",", rows[i].threads, rows[i].seconds, rps,
+                rows[i].seconds > 0.0 ? rows[0].seconds / rows[i].seconds : 0.0,
+                rows[i].deterministic ? "true" : "false");
+  }
+  std::printf("]}\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace ssvbr;
+  bench::banner("Perf: network-scale topology campaigns (nodes x classes x path length)",
+                "bit-identical totals at every thread count");
+  const std::vector<unsigned> thread_counts{1, 2, 4, 8};
+  const std::size_t replications = bench::scaled(64, 16);
+  const auto model = make_model();
+
+  report(mux_tree_cell(model, 2), replications, thread_counts);
+  report(mux_tree_cell(model, 3), replications, thread_counts);
+  report(tandem_cell(model, 2), replications, thread_counts);
+  report(tandem_cell(model, 4), replications, thread_counts);
+  report(tandem_cell(model, 8), replications, thread_counts);
+  return 0;
+}

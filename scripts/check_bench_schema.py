@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Smoke-run the perf-trajectory harness and validate BENCH_pipeline.json.
+"""Smoke-run the perf-trajectory harness and validate its JSON outputs.
 
 Invokes scripts/run_benches.sh against the given build directory with a
 tiny REPRO_BENCH_SCALE, then checks the schema the perf trajectory
@@ -14,7 +14,12 @@ promises to future revisions:
   * the bench set covers the tracked hot paths (davies_harte_path,
     is_twist_sweep_fig14, ...);
   * engine rows: estimator / replications / results with per-thread
-    seconds and deterministic flags.
+    seconds and deterministic flags;
+  * BENCH_topology.json: a "topology" list covering the tracked
+    scenario grid (nodes x classes x path length), every row carrying
+    nodes / classes / path_length / replications and per-thread results
+    whose deterministic flags are all true (thread-count bit-identity
+    is a hard invariant of the network layer, not a perf property).
 
 Deliberately NO speedup threshold: CI machines are noisy; thresholds
 live in the ISSUE acceptance run, not in the smoke test.
@@ -36,6 +41,14 @@ EXPECTED_BENCHES = [
     "is_twist_sweep_fig14",
 ]
 
+EXPECTED_TOPOLOGY_SCENARIOS = [
+    "mux_tree_2x2",
+    "mux_tree_3x2",
+    "tandem_2_abr",
+    "tandem_4_abr",
+    "tandem_8_abr",
+]
+
 
 def fail(message):
     print(f"check_bench_schema: FAIL: {message}", file=sys.stderr)
@@ -50,9 +63,10 @@ def main():
 
     with tempfile.TemporaryDirectory() as tmp:
         out_path = os.path.join(tmp, "BENCH_pipeline.json")
+        topology_path = os.path.join(tmp, "BENCH_topology.json")
         env = dict(os.environ, REPRO_BENCH_SCALE="0.02")
         proc = subprocess.run(
-            ["sh", script, build_dir, out_path],
+            ["sh", script, build_dir, out_path, topology_path],
             env=env,
             stdout=subprocess.PIPE,
             stderr=subprocess.PIPE,
@@ -66,6 +80,11 @@ def main():
                 doc = json.load(f)
         except (OSError, json.JSONDecodeError) as err:
             fail(f"output is not valid JSON: {err}")
+        try:
+            with open(topology_path, encoding="utf-8") as f:
+                topology_doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            fail(f"topology output is not valid JSON: {err}")
 
     if not isinstance(doc.get("pipeline"), dict):
         fail("missing 'pipeline' object")
@@ -108,8 +127,32 @@ def main():
                 if key not in res:
                     fail(f"engine result missing '{key}': {res}")
 
+    rows = topology_doc.get("topology")
+    if not isinstance(rows, list) or not rows:
+        fail("BENCH_topology.json missing or empty 'topology' list")
+    seen_scenarios = set()
+    for row in rows:
+        for key in ("scenario", "nodes", "classes", "path_length",
+                    "replications", "results"):
+            if key not in row:
+                fail(f"topology row missing '{key}': {row}")
+        if not row["results"]:
+            fail(f"topology row '{row['scenario']}' has no results")
+        for res in row["results"]:
+            for key in ("threads", "seconds", "replications_per_s",
+                        "deterministic"):
+                if key not in res:
+                    fail(f"topology result missing '{key}': {res}")
+            if res["deterministic"] is not True:
+                fail(f"topology scenario '{row['scenario']}' not bit-identical "
+                     f"at {res['threads']} threads")
+        seen_scenarios.add(row["scenario"])
+    missing = [s for s in EXPECTED_TOPOLOGY_SCENARIOS if s not in seen_scenarios]
+    if missing:
+        fail(f"tracked topology scenarios missing: {missing}")
+
     print(f"check_bench_schema: OK ({len(benches)} pipeline benches, "
-          f"{len(doc['engine'])} engine rows)")
+          f"{len(doc['engine'])} engine rows, {len(rows)} topology rows)")
 
 
 if __name__ == "__main__":

@@ -1,11 +1,14 @@
 #!/usr/bin/env sh
-# Produce BENCH_pipeline.json: the machine-readable perf trajectory for
-# this revision (hot-path before/after from bench_perf_generators, plus
-# thread-scaling rows from bench_perf_engine).
+# Produce the machine-readable perf trajectory for this revision:
+#   BENCH_pipeline.json  hot-path before/after (bench_perf_generators)
+#                        plus thread-scaling rows (bench_perf_engine)
+#   BENCH_topology.json  network-scale campaign grid (bench_topology):
+#                        nodes x classes x path-length, per-thread rows
 #
-# Usage: scripts/run_benches.sh [build_dir] [output_file]
-#   build_dir    defaults to build-bench, falling back to build
-#   output_file  defaults to BENCH_pipeline.json in the repo root
+# Usage: scripts/run_benches.sh [build_dir] [output_file] [topology_output]
+#   build_dir        defaults to build-bench, falling back to build
+#   output_file      defaults to BENCH_pipeline.json in the repo root
+#   topology_output  defaults to BENCH_topology.json in the repo root
 #
 # Environment:
 #   REPRO_BENCH_SCALE  workload multiplier (smoke runs use e.g. 0.02)
@@ -22,10 +25,12 @@ if [ -z "$build_dir" ]; then
   fi
 fi
 out=${2:-$repo_root/BENCH_pipeline.json}
+topology_out=${3:-$repo_root/BENCH_topology.json}
 
 gen_bin=$build_dir/bench/bench_perf_generators
 engine_bin=$build_dir/bench/bench_perf_engine
-for bin in "$gen_bin" "$engine_bin"; do
+topology_bin=$build_dir/bench/bench_topology
+for bin in "$gen_bin" "$engine_bin" "$topology_bin"; do
   if [ ! -x "$bin" ]; then
     echo "run_benches.sh: missing $bin (build the bench targets first)" >&2
     exit 1
@@ -66,3 +71,21 @@ python3 -c 'import json, sys; json.load(open(sys.argv[1]))' "$out" || {
 }
 
 echo "run_benches.sh: wrote $out" >&2
+
+echo "run_benches.sh: running bench_topology..." >&2
+# The topology bench prints '#' banner lines before its JSON rows.
+"$topology_bin" | grep '^{' > "$tmp/topology.jsonl"
+
+{
+  printf '{\n"topology": [\n'
+  awk 'NR > 1 { printf ",\n" } { printf "%s", $0 } END { printf "\n" }' \
+    "$tmp/topology.jsonl"
+  printf ']\n}\n'
+} > "$topology_out"
+
+python3 -c 'import json, sys; json.load(open(sys.argv[1]))' "$topology_out" || {
+  echo "run_benches.sh: $topology_out is not valid JSON" >&2
+  exit 1
+}
+
+echo "run_benches.sh: wrote $topology_out" >&2

@@ -7,19 +7,21 @@
 
 namespace ssvbr::atm {
 
-std::vector<std::size_t> segment_frames(std::span<const double> frame_sizes,
-                                        std::size_t slots_per_frame, PacingMode mode) {
+void segment_frames_into(std::span<const double> frame_sizes,
+                         std::size_t slots_per_frame, PacingMode mode,
+                         std::span<std::size_t> out) {
   SSVBR_REQUIRE(slots_per_frame >= 1, "need at least one slot per frame");
-  std::vector<std::size_t> slots;
-  slots.reserve(frame_sizes.size() * slots_per_frame);
+  SSVBR_REQUIRE(out.size() == frame_sizes.size() * slots_per_frame,
+                "segmentation output span has the wrong size");
+  std::size_t* slot = out.data();
   for (const double bytes : frame_sizes) {
     SSVBR_REQUIRE(bytes >= 0.0, "frame sizes must be non-negative");
     const std::size_t cells =
         aal5_cells_for(static_cast<std::size_t>(std::llround(bytes)));
     switch (mode) {
       case PacingMode::kBurst: {
-        slots.push_back(cells);
-        for (std::size_t s = 1; s < slots_per_frame; ++s) slots.push_back(0);
+        *slot++ = cells;
+        for (std::size_t s = 1; s < slots_per_frame; ++s) *slot++ = 0;
         break;
       }
       case PacingMode::kSmooth: {
@@ -30,12 +32,19 @@ std::vector<std::size_t> segment_frames(std::span<const double> frame_sizes,
         for (std::size_t s = 0; s < slots_per_frame; ++s) {
           // Spread the `extra` remainder cells at evenly spaced slots.
           const bool bonus = (s * extra) % slots_per_frame + extra >= slots_per_frame;
-          slots.push_back(base + (bonus ? 1 : 0));
+          *slot++ = base + (bonus ? 1 : 0);
         }
         break;
       }
     }
   }
+}
+
+std::vector<std::size_t> segment_frames(std::span<const double> frame_sizes,
+                                        std::size_t slots_per_frame, PacingMode mode) {
+  SSVBR_REQUIRE(slots_per_frame >= 1, "need at least one slot per frame");
+  std::vector<std::size_t> slots(frame_sizes.size() * slots_per_frame);
+  segment_frames_into(frame_sizes, slots_per_frame, mode, slots);
   return slots;
 }
 

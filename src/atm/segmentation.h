@@ -28,6 +28,14 @@ std::vector<std::size_t> segment_frames(std::span<const double> frame_sizes,
                                         std::size_t slots_per_frame,
                                         PacingMode mode = PacingMode::kSmooth);
 
+/// Allocation-free variant for replication loops (the network layer
+/// re-segments one class path per replication): writes into `out`,
+/// which must have exactly frame_sizes.size() * slots_per_frame
+/// entries. Identical output to segment_frames.
+void segment_frames_into(std::span<const double> frame_sizes,
+                         std::size_t slots_per_frame, PacingMode mode,
+                         std::span<std::size_t> out);
+
 /// Total AAL5 cells needed for a frame-size sequence.
 std::size_t total_cells(std::span<const double> frame_sizes);
 

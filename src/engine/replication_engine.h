@@ -408,6 +408,10 @@ class ReplicationEngine {
     }
 
     out.shards_done = completed_total.load(std::memory_order_relaxed);
+    // Snapshot BEFORE the merge: the merge moves shard accumulators
+    // into the total, and a moved-from accumulator with heap state
+    // (e.g. per-node vectors) would serialize hollow.
+    snapshot();
     {
       SSVBR_TIMER("engine.merge");
       bool first = true;
@@ -425,7 +429,6 @@ class ReplicationEngine {
 
     if (out.shards_done == n_shards) {
       out.status = RunStatus::kComplete;
-      snapshot();  // final snapshot records the campaign as complete
       reporter.finish();
       if (!have_end.load(std::memory_order_relaxed)) {
         // The study-closing shard was restored, so no worker recomputed
@@ -443,7 +446,6 @@ class ReplicationEngine {
         default: out.status = RunStatus::kCancelled; break;
       }
       SSVBR_COUNTER_ADD("engine.run.stopped_early", 1);
-      snapshot();
       reporter.finish();
       // rng deliberately untouched: an incomplete study consumed no
       // caller-visible stream real estate.

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "engine/checkpoint.h"
+#include "engine/study_harness.h"
 #include "obs/instrument.h"
 #include "queueing/lindley.h"
 
@@ -23,24 +24,6 @@ static_assert(std::atomic<bool>::is_always_lock_free);
 
 extern "C" void ssvbr_sigint_handler(int) {
   g_sigint.store(true, std::memory_order_relaxed);
-}
-
-/// SSVBR_FAULT_AFTER_SHARDS=N arms a hard process kill after N shards
-/// complete in one engine call — the recovery tests' stand-in for a
-/// crash. Unset, empty, or unparsable values leave it disarmed.
-std::optional<std::size_t> fault_after_shards_from_env() {
-  const char* raw = std::getenv("SSVBR_FAULT_AFTER_SHARDS");
-  if (raw == nullptr || *raw == '\0') return std::nullopt;
-  char* end = nullptr;
-  const unsigned long long n = std::strtoull(raw, &end, 10);
-  if (end == raw || *end != '\0') return std::nullopt;
-  return static_cast<std::size_t>(n);
-}
-
-std::size_t is_total_replications(const RunRequest& request) {
-  return request.kind == EstimatorKind::kTwistSweep
-             ? request.is.twists.size() * request.is.settings.replications
-             : request.is.settings.replications;
 }
 
 std::optional<Error> validate_is_study(const IsStudy& is) {
@@ -110,124 +93,13 @@ std::uint64_t config_hash_of(const RunRequest& request) {
   return h.digest();
 }
 
-/// Shared per-study plumbing: fingerprint construction, snapshot
-/// load/verify/decode on resume, save callback, cancellation controls,
-/// and the composed fault hook. One instance per engine call.
-template <MergeableAccumulator Acc>
-class StudyHarness {
- public:
-  StudyHarness(const RunRequest& request, const ReplicationEngine& engine,
-               const RandomEngine& rng, std::size_t replications)
-      : path_(request.checkpoint.path) {
-    fingerprint_.estimator = to_string(request.kind);
-    fingerprint_.accumulator = accumulator_name(Acc{});
-    fingerprint_.config_hash = config_hash_of(request);
-    fingerprint_.replications = replications;
-    fingerprint_.shard_size = engine.shard_size();
-    fingerprint_.rng = rng.state();
-
-    controls_.stop = request.controls.stop;
-    if (request.controls.cancel_on_sigint) controls_.stop_secondary = &g_sigint;
-    controls_.deadline_seconds = request.controls.deadline_seconds;
-    controls_.max_replications = request.controls.max_replications;
-
-    if (!path_.empty()) {
-      hooks_.save_every_shards = request.checkpoint.every_shards;
-      hooks_.save = [this](const std::vector<char>& done, const std::vector<Acc>& shards,
-                           std::size_t replications_done) {
-        checkpoint::Snapshot snap;
-        snap.fingerprint = fingerprint_;
-        snap.shards_total = done.size();
-        snap.replications_done = replications_done;
-        for (std::size_t s = 0; s < done.size(); ++s) {
-          if (!done[s]) continue;
-          snap.shards.push_back({s, encode_words(shards[s])});
-        }
-        checkpoint::save(path_, snap);
-        ++saves_;
-        SSVBR_COUNTER_ADD("engine.checkpoint.saves", 1);
-      };
-      if (request.checkpoint.resume && checkpoint::exists(path_)) {
-        restore(engine, replications);
-      }
-    }
-
-    // Compose the in-process fault hook with the environment-armed hard
-    // kill. The cadence snapshot runs before after_shard, so at the
-    // moment of the kill the latest snapshot already covers the shard
-    // count the test asked for.
-    const std::optional<std::size_t> kill_after = fault_after_shards_from_env();
-    if (request.controls.fault_hook || kill_after.has_value()) {
-      hooks_.after_shard = [user = request.controls.fault_hook,
-                            kill_after](std::size_t k) {
-        if (user) user(k);
-        if (kill_after.has_value() && k >= *kill_after) {
-          // _Exit: a crash does not unwind. Durability must come from
-          // the snapshots already renamed into place, nothing else.
-          std::_Exit(kFaultExitCode);
-        }
-      };
-    }
-  }
-
-  const DurableControls& controls() const noexcept { return controls_; }
-  const DurableHooks<Acc>& hooks() const noexcept { return hooks_; }
-
-  void fill_provenance(RunProvenance& prov, const DurableResult<Acc>& res) const {
-    prov.resumed = resumed_;
-    prov.resumed_shards = res.restored_shards;
-    prov.shards_total = res.shards_total;
-    prov.checkpoints_written = saves_;
-    prov.checkpoint_path = path_;
-  }
-
- private:
-  void restore(const ReplicationEngine& engine, std::size_t replications) {
-    checkpoint::Snapshot snap = checkpoint::load(path_);
-    if (!(snap.fingerprint == fingerprint_)) {
-      throw RunError(Error{ErrorCode::kFingerprintMismatch,
-                           "checkpoint belongs to a different campaign "
-                           "(estimator config, RNG seed, replication count, or "
-                           "shard size changed)",
-                           path_});
-    }
-    const std::size_t n_shards =
-        (replications + engine.shard_size() - 1) / engine.shard_size();
-    if (snap.shards_total != n_shards) {
-      throw RunError(Error{ErrorCode::kCheckpointCorrupt,
-                           "snapshot shard count disagrees with the shard plan",
-                           path_});
-    }
-    restored_done_ = snap.completed_flags();
-    restored_.assign(n_shards, Acc{});
-    try {
-      for (const checkpoint::ShardRecord& rec : snap.shards) {
-        decode_words(rec.words, restored_[rec.index]);
-      }
-    } catch (const std::exception& e) {
-      throw RunError(Error{ErrorCode::kCheckpointCorrupt, e.what(), path_});
-    }
-    hooks_.restored_done = &restored_done_;
-    hooks_.restored = &restored_;
-    resumed_ = true;
-    SSVBR_COUNTER_ADD("engine.checkpoint.resumed_shards",
-                      static_cast<std::int64_t>(snap.shards.size()));
-  }
-
-  std::string path_;
-  checkpoint::Fingerprint fingerprint_;
-  DurableControls controls_;
-  DurableHooks<Acc> hooks_;
-  std::vector<char> restored_done_;
-  std::vector<Acc> restored_;
-  bool resumed_ = false;
-  std::size_t saves_ = 0;
-};
-
 RunResult run_mc(const RunRequest& request, ReplicationEngine& engine,
                  RandomEngine& rng) {
   const McStudy& mc = request.mc;
-  StudyHarness<HitAccumulator> harness(request, engine, rng, mc.replications);
+  StudyHarness<HitAccumulator> harness(request.checkpoint, request.controls,
+                                       to_string(request.kind),
+                                       config_hash_of(request), engine, rng,
+                                       mc.replications);
   const DurableResult<HitAccumulator> res = engine.run_durable<HitAccumulator>(
       mc.replications, rng,
       [&] {
@@ -257,7 +129,9 @@ RunResult run_mc(const RunRequest& request, ReplicationEngine& engine,
 RunResult run_is(const RunRequest& request, ReplicationEngine& engine,
                  RandomEngine& rng) {
   const IsStudy& is = request.is;
-  StudyHarness<ScoreAccumulator> harness(request, engine, rng,
+  StudyHarness<ScoreAccumulator> harness(request.checkpoint, request.controls,
+                                         to_string(request.kind),
+                                         config_hash_of(request), engine, rng,
                                          is.settings.replications);
   const DurableResult<ScoreAccumulator> res = engine.run_durable<ScoreAccumulator>(
       is.settings.replications, rng,

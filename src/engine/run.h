@@ -15,8 +15,8 @@
 //   req.checkpoint.resume = true;
 //   engine::RunResult res = engine::run(req);
 //
-// What the façade adds over the per-estimator entry points it replaces
-// (engine/parallel_estimators.h, now thin deprecated wrappers):
+// What the façade adds over the per-estimator entry points it replaced
+// (the removed engine/parallel_estimators.h free functions):
 //
 //  * Durable checkpointing — shard-level snapshots (see
 //    engine/checkpoint.h) written crash-safely on a configurable shard

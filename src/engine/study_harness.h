@@ -1,0 +1,157 @@
+// ssvbr/engine/study_harness.h
+//
+// Shared per-study durability plumbing for run_durable campaigns:
+// fingerprint construction, snapshot load/verify/decode on resume, the
+// save callback, cancellation controls, and the composed fault hook.
+//
+// Extracted from engine/run.cpp so every RunRequest-style front-end
+// (the single-queue estimators there, the network-scale scenarios in
+// net/run.cpp) shares one implementation of checkpoint/resume and
+// cancellation instead of re-deriving the invariants. One instance per
+// engine call.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/checkpoint.h"
+#include "engine/replication_engine.h"
+#include "engine/run.h"
+#include "obs/instrument.h"
+
+namespace ssvbr::engine {
+
+/// SSVBR_FAULT_AFTER_SHARDS=N arms a hard process kill after N shards
+/// complete in one engine call — the recovery tests' stand-in for a
+/// crash. Unset, empty, or unparsable values leave it disarmed.
+inline std::optional<std::size_t> fault_after_shards_from_env() {
+  const char* raw = std::getenv("SSVBR_FAULT_AFTER_SHARDS");
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return std::nullopt;
+  return static_cast<std::size_t>(n);
+}
+
+/// Everything durable about one campaign, bound to an accumulator type.
+/// `estimator` + `config_hash` identify the study; the harness adds the
+/// accumulator name, shard plan, and base RNG state to complete the
+/// snapshot fingerprint.
+template <MergeableAccumulator Acc>
+class StudyHarness {
+ public:
+  StudyHarness(const CheckpointPolicy& checkpoint_policy, const RunControls& run_controls,
+               std::string estimator, std::uint64_t config_hash,
+               const ReplicationEngine& engine, const RandomEngine& rng,
+               std::size_t replications)
+      : path_(checkpoint_policy.path) {
+    fingerprint_.estimator = std::move(estimator);
+    fingerprint_.accumulator = accumulator_name(Acc{});
+    fingerprint_.config_hash = config_hash;
+    fingerprint_.replications = replications;
+    fingerprint_.shard_size = engine.shard_size();
+    fingerprint_.rng = rng.state();
+
+    controls_.stop = run_controls.stop;
+    if (run_controls.cancel_on_sigint) controls_.stop_secondary = &sigint_flag();
+    controls_.deadline_seconds = run_controls.deadline_seconds;
+    controls_.max_replications = run_controls.max_replications;
+
+    if (!path_.empty()) {
+      hooks_.save_every_shards = checkpoint_policy.every_shards;
+      hooks_.save = [this](const std::vector<char>& done, const std::vector<Acc>& shards,
+                           std::size_t replications_done) {
+        checkpoint::Snapshot snap;
+        snap.fingerprint = fingerprint_;
+        snap.shards_total = done.size();
+        snap.replications_done = replications_done;
+        for (std::size_t s = 0; s < done.size(); ++s) {
+          if (!done[s]) continue;
+          snap.shards.push_back({s, encode_words(shards[s])});
+        }
+        checkpoint::save(path_, snap);
+        ++saves_;
+        SSVBR_COUNTER_ADD("engine.checkpoint.saves", 1);
+      };
+      if (checkpoint_policy.resume && checkpoint::exists(path_)) {
+        restore(engine, replications);
+      }
+    }
+
+    // Compose the in-process fault hook with the environment-armed hard
+    // kill. The cadence snapshot runs before after_shard, so at the
+    // moment of the kill the latest snapshot already covers the shard
+    // count the test asked for.
+    const std::optional<std::size_t> kill_after = fault_after_shards_from_env();
+    if (run_controls.fault_hook || kill_after.has_value()) {
+      hooks_.after_shard = [user = run_controls.fault_hook,
+                            kill_after](std::size_t k) {
+        if (user) user(k);
+        if (kill_after.has_value() && k >= *kill_after) {
+          // _Exit: a crash does not unwind. Durability must come from
+          // the snapshots already renamed into place, nothing else.
+          std::_Exit(kFaultExitCode);
+        }
+      };
+    }
+  }
+
+  const DurableControls& controls() const noexcept { return controls_; }
+  const DurableHooks<Acc>& hooks() const noexcept { return hooks_; }
+
+  void fill_provenance(RunProvenance& prov, const DurableResult<Acc>& res) const {
+    prov.resumed = resumed_;
+    prov.resumed_shards = res.restored_shards;
+    prov.shards_total = res.shards_total;
+    prov.checkpoints_written = saves_;
+    prov.checkpoint_path = path_;
+  }
+
+ private:
+  void restore(const ReplicationEngine& engine, std::size_t replications) {
+    checkpoint::Snapshot snap = checkpoint::load(path_);
+    if (!(snap.fingerprint == fingerprint_)) {
+      throw RunError(Error{ErrorCode::kFingerprintMismatch,
+                           "checkpoint belongs to a different campaign "
+                           "(estimator config, RNG seed, replication count, or "
+                           "shard size changed)",
+                           path_});
+    }
+    const std::size_t n_shards =
+        (replications + engine.shard_size() - 1) / engine.shard_size();
+    if (snap.shards_total != n_shards) {
+      throw RunError(Error{ErrorCode::kCheckpointCorrupt,
+                           "snapshot shard count disagrees with the shard plan",
+                           path_});
+    }
+    restored_done_ = snap.completed_flags();
+    restored_.assign(n_shards, Acc{});
+    try {
+      for (const checkpoint::ShardRecord& rec : snap.shards) {
+        decode_words(rec.words, restored_[rec.index]);
+      }
+    } catch (const std::exception& e) {
+      throw RunError(Error{ErrorCode::kCheckpointCorrupt, e.what(), path_});
+    }
+    hooks_.restored_done = &restored_done_;
+    hooks_.restored = &restored_;
+    resumed_ = true;
+    SSVBR_COUNTER_ADD("engine.checkpoint.resumed_shards",
+                      static_cast<std::int64_t>(snap.shards.size()));
+  }
+
+  std::string path_;
+  checkpoint::Fingerprint fingerprint_;
+  DurableControls controls_;
+  DurableHooks<Acc> hooks_;
+  std::vector<char> restored_done_;
+  std::vector<Acc> restored_;
+  bool resumed_ = false;
+  std::size_t saves_ = 0;
+};
+
+}  // namespace ssvbr::engine

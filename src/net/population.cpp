@@ -1,0 +1,65 @@
+#include "net/population.h"
+
+#include <cmath>
+#include <utility>
+
+#include "atm/cell.h"
+#include "common/error.h"
+
+namespace ssvbr::net {
+
+PopulationSampler::PopulationSampler(SourceClassConfig config, std::size_t frames)
+    : config_(std::move(config)), frames_(frames) {
+  SSVBR_REQUIRE(config_.model != nullptr, "source class needs a model");
+  SSVBR_REQUIRE(config_.population >= 1, "source class population must be >= 1");
+  SSVBR_REQUIRE(config_.slots_per_frame >= 1, "slots per frame must be >= 1");
+  SSVBR_REQUIRE(config_.segment_to_cells || config_.slots_per_frame == 1,
+                "slots_per_frame > 1 requires cell segmentation");
+  SSVBR_REQUIRE(frames_ >= 1, "replication needs at least one frame");
+  sampler_ = std::make_shared<const core::BackgroundPathSampler>(
+      *config_.model, frames_, config_.generator);
+}
+
+double PopulationSampler::mean_rate() const {
+  const double n = static_cast<double>(config_.population);
+  if (!config_.segment_to_cells) return n * config_.model->mean();
+  const auto mean_bytes =
+      static_cast<std::size_t>(std::llround(n * config_.model->mean()));
+  return static_cast<double>(atm::aal5_cells_for(mean_bytes)) /
+         static_cast<double>(config_.slots_per_frame);
+}
+
+void PopulationSampler::sample(RandomEngine& rng, std::span<double> frame_scratch,
+                               std::span<std::size_t> cell_scratch,
+                               std::span<double> out) const {
+  SSVBR_REQUIRE(frame_scratch.size() == frames_,
+                "frame scratch has the wrong size");
+  SSVBR_REQUIRE(out.size() == slots(), "population output span has the wrong size");
+  // Same draw order as ModelArrivalProcess::begin_replication: one
+  // background path, then the marginal transform in place.
+  sampler_->sample(rng, frame_scratch);
+  config_.model->transform().apply(frame_scratch, frame_scratch);
+  if (config_.population > 1) {
+    const double n = static_cast<double>(config_.population);
+    const double m = config_.model->mean();
+    const double root_n = std::sqrt(n);
+    for (double& y : frame_scratch) {
+      y = std::max(n * m + root_n * (y - m), 0.0);
+    }
+  }
+  if (!config_.segment_to_cells) {
+    // slots_per_frame == 1 here (enforced at construction): the frame
+    // aggregate is the slot workload, untouched.
+    for (std::size_t t = 0; t < frames_; ++t) out[t] = frame_scratch[t];
+    return;
+  }
+  SSVBR_REQUIRE(cell_scratch.size() == slots(),
+                "cell scratch has the wrong size");
+  atm::segment_frames_into(frame_scratch, config_.slots_per_frame, config_.pacing,
+                           cell_scratch);
+  for (std::size_t t = 0; t < cell_scratch.size(); ++t) {
+    out[t] = static_cast<double>(cell_scratch[t]);
+  }
+}
+
+}  // namespace ssvbr::net

@@ -1,0 +1,97 @@
+// ssvbr/net/population.h
+//
+// Batched VBR source populations: the per-ingress traffic of a
+// network-scale scenario is N homogeneous sources of one fitted
+// unified model, synthesized as a single superposed process instead of
+// N independent paths.
+//
+// For N homogeneous sources with foreground marginal mean m and
+// per-source process Y_t = h(X_t), the superposition has mean N*m and
+// — because the background X is Gaussian and the sources independent —
+// the same normalized autocorrelation as a single source. We therefore
+// draw ONE background path, transform it, and rescale:
+//
+//     A_t = N*m + sqrt(N) * (h(X_t) - m),   clamped at 0,
+//
+// which preserves the aggregate mean (N*m), the aggregate variance
+// (N * Var h(X)), and the full foreground ACF, at the cost of one path
+// per class per replication regardless of N. This is what makes
+// thousand-source ingress populations affordable inside a replication
+// study. N == 1 bypasses the rescaling entirely so a single source is
+// bit-identical to queueing::ModelArrivalProcess fed the same engine
+// state (the single-queue regression gate depends on this).
+//
+// A class may optionally be segmented to integer ATM cells
+// (atm::segment_frames_into), giving integer-valued workloads for the
+// exact conservation conformance check.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "atm/segmentation.h"
+#include "core/background_sampler.h"
+#include "core/unified_model.h"
+#include "dist/random.h"
+
+namespace ssvbr::net {
+
+/// One homogeneous population of VBR sources feeding one ingress node.
+struct SourceClassConfig {
+  /// Fitted unified model of a single source. Required.
+  std::shared_ptr<const core::UnifiedVbrModel> model;
+  /// Number of superposed homogeneous sources (>= 1).
+  std::size_t population = 1;
+  /// Ingress node index in the scenario's topology.
+  std::size_t ingress = 0;
+  /// Background synthesis algorithm (kHosking matches the paper's
+  /// queueing experiments and the single-queue gate).
+  core::BackgroundGenerator generator = core::BackgroundGenerator::kHosking;
+  /// Slots per video frame interval. Must be 1 unless segmenting.
+  std::size_t slots_per_frame = 1;
+  /// Quantize the aggregate to integer AAL5 cells per slot.
+  bool segment_to_cells = false;
+  /// Cell placement within the frame interval when segmenting.
+  atm::PacingMode pacing = atm::PacingMode::kSmooth;
+};
+
+/// Immutable per-class synthesizer with all per-horizon generator setup
+/// precomputed; safe to share across worker threads. Scratch buffers
+/// are supplied by the caller so replication loops stay allocation-free.
+class PopulationSampler {
+ public:
+  /// `frames` is the number of video frame intervals per replication;
+  /// the slot horizon is frames * slots_per_frame.
+  PopulationSampler(SourceClassConfig config, std::size_t frames);
+
+  std::size_t frames() const noexcept { return frames_; }
+  /// Queue slots per replication (frames * slots_per_frame).
+  std::size_t slots() const noexcept {
+    return frames_ * config_.slots_per_frame;
+  }
+  std::size_t ingress() const noexcept { return config_.ingress; }
+  std::size_t population() const noexcept { return config_.population; }
+  bool segmented() const noexcept { return config_.segment_to_cells; }
+
+  /// Long-run mean workload per slot (exact for unsegmented classes;
+  /// for segmented classes the AAL5 per-frame rounding is approximated
+  /// by applying it to the mean frame size).
+  double mean_rate() const;
+
+  /// Draw one aggregate workload path into `out` (out.size() ==
+  /// slots()). `frame_scratch` must hold frames() entries;
+  /// `cell_scratch` must hold slots() entries when segmented() and may
+  /// be empty otherwise. Consumes the engine exactly like
+  /// ModelArrivalProcess::begin_replication for the same model/horizon.
+  void sample(RandomEngine& rng, std::span<double> frame_scratch,
+              std::span<std::size_t> cell_scratch,
+              std::span<double> out) const;
+
+ private:
+  SourceClassConfig config_;
+  std::size_t frames_;
+  std::shared_ptr<const core::BackgroundPathSampler> sampler_;
+};
+
+}  // namespace ssvbr::net

@@ -1,0 +1,372 @@
+#include "net/run.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+
+#include "engine/checkpoint.h"
+#include "engine/study_harness.h"
+#include "obs/instrument.h"
+
+namespace ssvbr::net {
+
+// ------------------------------------------------------- Accumulator
+
+void TopologyAccumulator::add(const ScenarioStats& s) {
+  if (count_ == 0 && nodes_.empty()) {
+    nodes_.resize(s.nodes.size());
+    slots_ = s.slots;
+    measured_ = s.measured_slots;
+  }
+  ++count_;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    NodeTotals& n = nodes_[i];
+    const NodeStats& src = s.nodes[i];
+    n.arrived += src.arrived;
+    n.served += src.served;
+    n.dropped += src.dropped;
+    n.end_queue += src.end_queue;
+    n.sum_queue += src.sum_queue;
+    n.peak_queue = std::max(n.peak_queue, src.peak_queue);
+    n.overflow_slots += src.overflow_slots;
+  }
+  external_arrived_ += s.external_arrived;
+  delivered_ += s.delivered;
+  in_flight_ += s.in_flight;
+  abr_sent_ += s.abr_sent;
+  abr_rate_sum_ += s.abr_rate_sum;
+  abr_min_ = std::min(abr_min_, s.abr_min_rate);
+  abr_max_ = std::max(abr_max_, s.abr_max_rate);
+  abr_congested_ += s.abr_congested_slots;
+}
+
+void TopologyAccumulator::merge(const TopologyAccumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  if (nodes_.size() != other.nodes_.size() || slots_ != other.slots_ ||
+      measured_ != other.measured_) {
+    throw std::runtime_error("topology accumulator: shard shape mismatch");
+  }
+  count_ += other.count_;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    NodeTotals& n = nodes_[i];
+    const NodeTotals& o = other.nodes_[i];
+    n.arrived += o.arrived;
+    n.served += o.served;
+    n.dropped += o.dropped;
+    n.end_queue += o.end_queue;
+    n.sum_queue += o.sum_queue;
+    n.peak_queue = std::max(n.peak_queue, o.peak_queue);
+    n.overflow_slots += o.overflow_slots;
+  }
+  external_arrived_ += other.external_arrived_;
+  delivered_ += other.delivered_;
+  in_flight_ += other.in_flight_;
+  abr_sent_ += other.abr_sent_;
+  abr_rate_sum_ += other.abr_rate_sum_;
+  abr_min_ = std::min(abr_min_, other.abr_min_);
+  abr_max_ = std::max(abr_max_, other.abr_max_);
+  abr_congested_ += other.abr_congested_;
+}
+
+namespace {
+
+constexpr std::size_t kHeaderWords = 12;
+constexpr std::size_t kWordsPerNode = 7;
+
+}  // namespace
+
+std::vector<std::uint64_t> TopologyAccumulator::to_words() const {
+  std::vector<std::uint64_t> w;
+  w.reserve(kHeaderWords + kWordsPerNode * nodes_.size());
+  w.push_back(static_cast<std::uint64_t>(nodes_.size()));
+  w.push_back(static_cast<std::uint64_t>(count_));
+  w.push_back(slots_);
+  w.push_back(measured_);
+  w.push_back(std::bit_cast<std::uint64_t>(external_arrived_));
+  w.push_back(std::bit_cast<std::uint64_t>(delivered_));
+  w.push_back(std::bit_cast<std::uint64_t>(in_flight_));
+  w.push_back(std::bit_cast<std::uint64_t>(abr_sent_));
+  w.push_back(std::bit_cast<std::uint64_t>(abr_rate_sum_));
+  w.push_back(std::bit_cast<std::uint64_t>(abr_min_));
+  w.push_back(std::bit_cast<std::uint64_t>(abr_max_));
+  w.push_back(abr_congested_);
+  for (const NodeTotals& n : nodes_) {
+    w.push_back(std::bit_cast<std::uint64_t>(n.arrived));
+    w.push_back(std::bit_cast<std::uint64_t>(n.served));
+    w.push_back(std::bit_cast<std::uint64_t>(n.dropped));
+    w.push_back(std::bit_cast<std::uint64_t>(n.end_queue));
+    w.push_back(std::bit_cast<std::uint64_t>(n.sum_queue));
+    w.push_back(std::bit_cast<std::uint64_t>(n.peak_queue));
+    w.push_back(n.overflow_slots);
+  }
+  return w;
+}
+
+TopologyAccumulator TopologyAccumulator::from_words(
+    const std::vector<std::uint64_t>& words) {
+  if (words.size() < kHeaderWords) {
+    throw std::runtime_error("topology accumulator: truncated words");
+  }
+  const std::size_t n_nodes = static_cast<std::size_t>(words[0]);
+  if (words.size() != kHeaderWords + kWordsPerNode * n_nodes) {
+    throw std::runtime_error("topology accumulator: bad word count");
+  }
+  TopologyAccumulator out;
+  out.nodes_.resize(n_nodes);
+  out.count_ = static_cast<std::size_t>(words[1]);
+  out.slots_ = words[2];
+  out.measured_ = words[3];
+  out.external_arrived_ = std::bit_cast<double>(words[4]);
+  out.delivered_ = std::bit_cast<double>(words[5]);
+  out.in_flight_ = std::bit_cast<double>(words[6]);
+  out.abr_sent_ = std::bit_cast<double>(words[7]);
+  out.abr_rate_sum_ = std::bit_cast<double>(words[8]);
+  out.abr_min_ = std::bit_cast<double>(words[9]);
+  out.abr_max_ = std::bit_cast<double>(words[10]);
+  out.abr_congested_ = words[11];
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const std::uint64_t* w = words.data() + kHeaderWords + kWordsPerNode * i;
+    NodeTotals& n = out.nodes_[i];
+    n.arrived = std::bit_cast<double>(w[0]);
+    n.served = std::bit_cast<double>(w[1]);
+    n.dropped = std::bit_cast<double>(w[2]);
+    n.end_queue = std::bit_cast<double>(w[3]);
+    n.sum_queue = std::bit_cast<double>(w[4]);
+    n.peak_queue = std::bit_cast<double>(w[5]);
+    n.overflow_slots = w[6];
+  }
+  return out;
+}
+
+static_assert(engine::MergeableAccumulator<TopologyAccumulator>);
+
+// -------------------------------------------------------- Validation
+
+namespace {
+
+/// Everything that shapes a campaign's numbers, pinned into the
+/// snapshot fingerprint. Model objects cannot be hashed structurally;
+/// their cheaply observable moments stand in for them (a mistake
+/// detector, not a cryptographic identity).
+std::uint64_t config_hash_of(const TopologyRunRequest& request) {
+  engine::checkpoint::ConfigHasher h;
+  const ScenarioConfig& sc = request.scenario;
+  h.u64(sc.slots).u64(sc.warmup);
+  h.u64(sc.topology.n_nodes());
+  for (const NodeConfig& n : sc.topology.nodes()) {
+    h.f64(n.service_rate)
+        .f64(n.buffer)
+        .f64(n.overflow_threshold)
+        .u64(static_cast<std::uint64_t>(n.downstream))
+        .u64(n.link_delay);
+  }
+  h.u64(sc.classes.size());
+  for (const SourceClassConfig& c : sc.classes) {
+    h.u64(c.population)
+        .u64(c.ingress)
+        .u64(static_cast<std::uint64_t>(c.generator))
+        .u64(c.slots_per_frame)
+        .u64(c.segment_to_cells ? 1 : 0)
+        .u64(static_cast<std::uint64_t>(c.pacing))
+        .f64(c.model != nullptr ? c.model->mean() : 0.0)
+        .f64(c.model != nullptr ? c.model->variance() : 0.0);
+  }
+  const AbrFlowConfig& abr = sc.abr;
+  h.u64(abr.enabled ? 1 : 0);
+  if (abr.enabled) {
+    h.u64(abr.ingress)
+        .f64(abr.initial_rate)
+        .f64(abr.min_rate)
+        .f64(abr.peak_rate)
+        .f64(abr.additive_increase)
+        .f64(abr.decrease_factor)
+        .f64(abr.queue_threshold);
+  }
+  return h.digest();
+}
+
+Error invalid(const char* what, const char* field) {
+  return Error{ErrorCode::kInvalidArgument, what, field};
+}
+
+}  // namespace
+
+std::optional<Error> validate(const TopologyRunRequest& request) {
+  if (request.replications < 1) {
+    return invalid("need at least one replication", "TopologyRunRequest.replications");
+  }
+  if (request.engine.shard_size < 1) {
+    return invalid("shard size must be at least 1", "TopologyRunRequest.engine.shard_size");
+  }
+  if (!(request.engine.progress_interval_seconds >= 0.0)) {
+    return invalid("progress interval must be non-negative",
+                   "TopologyRunRequest.engine.progress_interval_seconds");
+  }
+  if (!(request.controls.deadline_seconds >= 0.0)) {
+    return invalid("deadline must be non-negative",
+                   "TopologyRunRequest.controls.deadline_seconds");
+  }
+  const ScenarioConfig& sc = request.scenario;
+  if (sc.topology.empty()) {
+    return invalid("scenario needs a topology", "TopologyRunRequest.scenario.topology");
+  }
+  if (sc.slots < 1) {
+    return invalid("scenario needs at least one slot", "TopologyRunRequest.scenario.slots");
+  }
+  if (sc.warmup >= sc.slots) {
+    return invalid("warmup must leave at least one measured slot",
+                   "TopologyRunRequest.scenario.warmup");
+  }
+  if (sc.classes.empty() && !sc.abr.enabled) {
+    return invalid("scenario needs at least one source class or an ABR flow",
+                   "TopologyRunRequest.scenario.classes");
+  }
+  for (const SourceClassConfig& c : sc.classes) {
+    if (c.model == nullptr) {
+      return invalid("source class needs a model",
+                     "TopologyRunRequest.scenario.classes[].model");
+    }
+    if (c.population < 1) {
+      return invalid("source class population must be >= 1",
+                     "TopologyRunRequest.scenario.classes[].population");
+    }
+    if (c.ingress >= sc.topology.n_nodes()) {
+      return invalid("source class ingress is not a topology node",
+                     "TopologyRunRequest.scenario.classes[].ingress");
+    }
+    if (c.slots_per_frame < 1 || sc.slots % c.slots_per_frame != 0) {
+      return invalid("slots must be a whole number of frame intervals",
+                     "TopologyRunRequest.scenario.classes[].slots_per_frame");
+    }
+    if (!c.segment_to_cells && c.slots_per_frame != 1) {
+      return invalid("slots_per_frame > 1 requires cell segmentation",
+                     "TopologyRunRequest.scenario.classes[].segment_to_cells");
+    }
+  }
+  const AbrFlowConfig& abr = sc.abr;
+  if (abr.enabled) {
+    if (abr.ingress >= sc.topology.n_nodes()) {
+      return invalid("ABR ingress is not a topology node",
+                     "TopologyRunRequest.scenario.abr.ingress");
+    }
+    if (!(abr.min_rate >= 0.0) || !(abr.peak_rate >= abr.min_rate)) {
+      return invalid("ABR needs 0 <= min_rate <= peak_rate",
+                     "TopologyRunRequest.scenario.abr.min_rate");
+    }
+    if (!(abr.initial_rate >= abr.min_rate) || !(abr.initial_rate <= abr.peak_rate)) {
+      return invalid("ABR initial rate must lie in [min_rate, peak_rate]",
+                     "TopologyRunRequest.scenario.abr.initial_rate");
+    }
+    if (!(abr.decrease_factor > 0.0) || !(abr.decrease_factor <= 1.0)) {
+      return invalid("ABR decrease factor must be in (0, 1]",
+                     "TopologyRunRequest.scenario.abr.decrease_factor");
+    }
+    if (!(abr.additive_increase >= 0.0)) {
+      return invalid("ABR additive increase must be non-negative",
+                     "TopologyRunRequest.scenario.abr.additive_increase");
+    }
+    if (!(abr.queue_threshold >= 0.0)) {
+      return invalid("ABR queue threshold must be non-negative",
+                     "TopologyRunRequest.scenario.abr.queue_threshold");
+    }
+  }
+  if (!request.checkpoint.path.empty()) {
+    try {
+      engine::checkpoint::require_writable(request.checkpoint.path);
+    } catch (const RunError& e) {
+      return e.error();
+    }
+  }
+  return std::nullopt;
+}
+
+// --------------------------------------------------------------- Run
+
+namespace {
+
+void fill_derived(TopologyRunResult& out, const ScenarioConfig& scenario) {
+  const TopologyAccumulator& acc = out.totals;
+  if (acc.count() == 0) return;
+  const double reps = static_cast<double>(acc.count());
+  const double measured_total = reps * static_cast<double>(acc.measured_slots());
+  const double slots_total = reps * static_cast<double>(acc.slots());
+  out.nodes.resize(acc.n_nodes());
+  for (std::size_t i = 0; i < acc.n_nodes(); ++i) {
+    const TopologyAccumulator::NodeTotals& n = acc.nodes()[i];
+    NodeReport& r = out.nodes[i];
+    r.loss_ratio = n.arrived > 0.0 ? n.dropped / n.arrived : 0.0;
+    r.overflow_fraction =
+        static_cast<double>(n.overflow_slots) / measured_total;
+    r.mean_queue = n.sum_queue / measured_total;
+    r.peak_queue = n.peak_queue;
+    const double throughput = n.served / slots_total;  // work per slot
+    r.mean_delay_slots = throughput > 0.0 ? r.mean_queue / throughput : 0.0;
+    r.utilization =
+        n.served / (slots_total * scenario.topology.node(i).service_rate);
+  }
+  const double injected = acc.external_arrived() + acc.abr_sent();
+  if (injected > 0.0) {
+    double dropped = 0.0;
+    for (const TopologyAccumulator::NodeTotals& n : acc.nodes()) {
+      dropped += n.dropped;
+    }
+    out.end_to_end_loss_ratio = dropped / injected;
+    out.delivered_fraction = acc.delivered() / injected;
+  }
+  if (scenario.abr.enabled) {
+    out.abr_mean_rate = acc.abr_rate_sum() / measured_total;
+    out.abr_congested_fraction =
+        static_cast<double>(acc.abr_congested_slots()) / measured_total;
+  }
+}
+
+}  // namespace
+
+TopologyRunResult run_topology_with(const TopologyRunRequest& request,
+                                    engine::ReplicationEngine& engine,
+                                    RandomEngine& rng) {
+  if (auto err = validate(request)) throw RunError(std::move(*err));
+  SSVBR_SPAN("net.run_request");
+  const auto start = std::chrono::steady_clock::now();
+
+  const ScenarioContext context(request.scenario);
+  engine::StudyHarness<TopologyAccumulator> harness(
+      request.checkpoint, request.controls, "topology", config_hash_of(request),
+      engine, rng, request.replications);
+  const engine::DurableResult<TopologyAccumulator> res =
+      engine.run_durable<TopologyAccumulator>(
+          request.replications, rng,
+          [&] {
+            return [kernel = ScenarioKernel(context)](
+                       std::size_t, RandomEngine& stream,
+                       TopologyAccumulator& acc) mutable {
+              acc.add(kernel.run_one(stream));
+            };
+          },
+          harness.controls(), harness.hooks());
+
+  TopologyRunResult out;
+  out.status = res.status;
+  out.replications_done = res.replications_done;
+  out.replications_total = request.replications;
+  harness.fill_provenance(out.provenance, res);
+  out.totals = res.total;
+  fill_derived(out, request.scenario);
+  out.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return out;
+}
+
+TopologyRunResult run_topology(const TopologyRunRequest& request) {
+  if (auto err = validate(request)) throw RunError(std::move(*err));
+  engine::ReplicationEngine engine(request.engine);
+  RandomEngine rng(request.seed);
+  return run_topology_with(request, engine, rng);
+}
+
+}  // namespace ssvbr::net

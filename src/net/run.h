@@ -1,0 +1,146 @@
+// ssvbr/net/run.h
+//
+// Front door for network-scale scenario studies: a TopologyRunRequest
+// bundles a scenario (topology + source populations + optional ABR
+// flow) with replications, seed, engine shape, checkpointing, and run
+// controls, and runs through the same deterministic shard machinery as
+// the single-queue estimators (engine/run.h). Replication i draws from
+// the base engine jumped i times; shards merge in index order; results
+// are bit-identical across thread counts and across
+// checkpoint/resume.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/run.h"
+#include "net/simulator.h"
+
+namespace ssvbr::net {
+
+/// Mergeable whole-study totals of scenario replications. Sums (and
+/// min/max extrema) merge exactly, so the merged result is bit-exact
+/// regardless of how replications were grouped into shards.
+class TopologyAccumulator {
+ public:
+  struct NodeTotals {
+    double arrived = 0.0;
+    double served = 0.0;
+    double dropped = 0.0;
+    double end_queue = 0.0;   ///< summed over replications
+    double sum_queue = 0.0;
+    double peak_queue = 0.0;  ///< max over replications
+    std::uint64_t overflow_slots = 0;
+  };
+
+  void add(const ScenarioStats& s);
+  void merge(const TopologyAccumulator& other);
+
+  std::size_t count() const noexcept { return count_; }
+  std::size_t n_nodes() const noexcept { return nodes_.size(); }
+  std::uint64_t slots() const noexcept { return slots_; }
+  std::uint64_t measured_slots() const noexcept { return measured_; }
+  const std::vector<NodeTotals>& nodes() const noexcept { return nodes_; }
+  double external_arrived() const noexcept { return external_arrived_; }
+  double delivered() const noexcept { return delivered_; }
+  double in_flight() const noexcept { return in_flight_; }
+  double abr_sent() const noexcept { return abr_sent_; }
+  double abr_rate_sum() const noexcept { return abr_rate_sum_; }
+  double abr_min_rate() const noexcept { return count_ > 0 ? abr_min_ : 0.0; }
+  double abr_max_rate() const noexcept { return count_ > 0 ? abr_max_ : 0.0; }
+  std::uint64_t abr_congested_slots() const noexcept { return abr_congested_; }
+
+  /// Checkpoint restore (see decode_words below).
+  static TopologyAccumulator from_words(const std::vector<std::uint64_t>& words);
+  std::vector<std::uint64_t> to_words() const;
+
+ private:
+  std::vector<NodeTotals> nodes_;
+  std::size_t count_ = 0;
+  std::uint64_t slots_ = 0;
+  std::uint64_t measured_ = 0;
+  double external_arrived_ = 0.0;
+  double delivered_ = 0.0;
+  double in_flight_ = 0.0;
+  double abr_sent_ = 0.0;
+  double abr_rate_sum_ = 0.0;
+  double abr_min_ = std::numeric_limits<double>::infinity();
+  double abr_max_ = -std::numeric_limits<double>::infinity();
+  std::uint64_t abr_congested_ = 0;
+};
+
+/// Stable checkpoint format hooks (found via ADL by the engine's
+/// durable layer, like the "hit"/"score" accumulators).
+inline const char* accumulator_name(const TopologyAccumulator&) noexcept {
+  return "topology";
+}
+inline std::vector<std::uint64_t> encode_words(const TopologyAccumulator& acc) {
+  return acc.to_words();
+}
+inline void decode_words(const std::vector<std::uint64_t>& words,
+                         TopologyAccumulator& out) {
+  out = TopologyAccumulator::from_words(words);
+}
+
+/// One network-scale campaign.
+struct TopologyRunRequest {
+  ScenarioConfig scenario;
+  std::size_t replications = 0;
+  std::uint64_t seed = 0;
+  engine::EngineConfig engine;
+  engine::CheckpointPolicy checkpoint;
+  engine::RunControls controls;
+};
+
+/// Derived per-node steady-state report (all ratios over the completed
+/// replications).
+struct NodeReport {
+  double loss_ratio = 0.0;         ///< dropped / arrived (whole run)
+  double overflow_fraction = 0.0;  ///< post-warmup P(Q > threshold)
+  double mean_queue = 0.0;         ///< post-warmup mean end-of-slot queue
+  double peak_queue = 0.0;         ///< max over replications
+  double mean_delay_slots = 0.0;   ///< Little's law: mean_queue / throughput
+  double utilization = 0.0;        ///< served / (slots * service_rate)
+};
+
+struct TopologyRunResult {
+  engine::RunStatus status = engine::RunStatus::kComplete;
+  std::size_t replications_done = 0;
+  std::size_t replications_total = 0;
+  double elapsed_seconds = 0.0;
+  engine::RunProvenance provenance;
+
+  /// Raw merged totals (bit-exact across thread counts and resumes).
+  TopologyAccumulator totals;
+  /// Derived per-node reports; empty until replications complete.
+  std::vector<NodeReport> nodes;
+  double end_to_end_loss_ratio = 0.0;  ///< sum dropped / work injected
+  double delivered_fraction = 0.0;     ///< delivered / work injected
+  double abr_mean_rate = 0.0;          ///< post-warmup mean ABR rate
+  double abr_congested_fraction = 0.0; ///< post-warmup congested slots
+
+  bool complete() const noexcept {
+    return status == engine::RunStatus::kComplete;
+  }
+};
+
+/// Structural validation mirroring engine::validate: returns the first
+/// problem found, or nullopt if the request is runnable.
+std::optional<Error> validate(const TopologyRunRequest& request);
+
+/// Run a campaign with a private engine and RNG seeded from the request.
+TopologyRunResult run_topology(const TopologyRunRequest& request);
+
+/// Same, on a caller-owned engine/rng (for engine reuse and for
+/// deterministic composition with other studies: on complete the rng
+/// has been advanced by `replications` jumps).
+TopologyRunResult run_topology_with(const TopologyRunRequest& request,
+                                    engine::ReplicationEngine& engine,
+                                    RandomEngine& rng);
+
+}  // namespace ssvbr::net

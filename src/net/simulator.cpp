@@ -1,0 +1,189 @@
+#include "net/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/error.h"
+#include "obs/instrument.h"
+
+namespace ssvbr::net {
+
+ScenarioContext::ScenarioContext(ScenarioConfig config)
+    : config_(std::move(config)) {
+  const Topology& topo = config_.topology;
+  SSVBR_REQUIRE(!topo.empty(), "scenario needs a topology");
+  SSVBR_REQUIRE(config_.slots >= 1, "scenario needs at least one slot");
+  SSVBR_REQUIRE(config_.warmup < config_.slots,
+                "warmup must leave at least one measured slot");
+  SSVBR_REQUIRE(!config_.classes.empty() || config_.abr.enabled,
+                "scenario needs at least one source class or an ABR flow");
+  samplers_.reserve(config_.classes.size());
+  for (const SourceClassConfig& cls : config_.classes) {
+    SSVBR_REQUIRE(cls.ingress < topo.n_nodes(),
+                  "source class ingress is not a topology node");
+    SSVBR_REQUIRE(cls.slots_per_frame >= 1 &&
+                      config_.slots % cls.slots_per_frame == 0,
+                  "slots must be a whole number of frame intervals");
+    samplers_.emplace_back(cls, config_.slots / cls.slots_per_frame);
+  }
+  const AbrFlowConfig& abr = config_.abr;
+  if (abr.enabled) {
+    SSVBR_REQUIRE(abr.ingress < topo.n_nodes(),
+                  "ABR ingress is not a topology node");
+    SSVBR_REQUIRE(abr.min_rate >= 0.0 && abr.peak_rate >= abr.min_rate,
+                  "ABR needs 0 <= min_rate <= peak_rate");
+    SSVBR_REQUIRE(abr.initial_rate >= abr.min_rate &&
+                      abr.initial_rate <= abr.peak_rate,
+                  "ABR initial rate must lie in [min_rate, peak_rate]");
+    SSVBR_REQUIRE(abr.decrease_factor > 0.0 && abr.decrease_factor <= 1.0,
+                  "ABR decrease factor must be in (0, 1]");
+    SSVBR_REQUIRE(abr.additive_increase >= 0.0,
+                  "ABR additive increase must be non-negative");
+    SSVBR_REQUIRE(abr.queue_threshold >= 0.0,
+                  "ABR queue threshold must be non-negative");
+    abr_path_ = topo.path_to_sink(abr.ingress);
+  }
+}
+
+double ScenarioContext::mean_offered_rate() const {
+  double rate = 0.0;
+  for (const PopulationSampler& s : samplers_) rate += s.mean_rate();
+  return rate;
+}
+
+ScenarioKernel::ScenarioKernel(const ScenarioContext& context)
+    : context_(context),
+      wheel_(context.topology().n_nodes(), context.topology().max_link_delay()),
+      queues_(context.topology().n_nodes(), 0.0),
+      external_(context.topology().n_nodes(), 0.0) {
+  std::size_t max_frames = 0;
+  bool any_segmented = false;
+  class_paths_.resize(context_.samplers().size());
+  for (std::size_t c = 0; c < context_.samplers().size(); ++c) {
+    const PopulationSampler& s = context_.samplers()[c];
+    max_frames = std::max(max_frames, s.frames());
+    any_segmented = any_segmented || s.segmented();
+    class_paths_[c].resize(s.slots());
+  }
+  frame_scratch_.resize(max_frames);
+  cell_scratch_.resize(any_segmented ? context_.slots() : 0);
+  stats_.nodes.reserve(context_.topology().n_nodes());
+}
+
+const ScenarioStats& ScenarioKernel::run_one(RandomEngine& rng) {
+  SSVBR_SPAN("net.replication");
+  const ScenarioConfig& cfg = context_.config();
+  const Topology& topo = cfg.topology;
+  const std::size_t n = topo.n_nodes();
+  const std::size_t slots = cfg.slots;
+  const std::size_t warmup = cfg.warmup;
+  const AbrFlowConfig& abr = cfg.abr;
+
+  wheel_.clear();
+  std::fill(queues_.begin(), queues_.end(), 0.0);
+  stats_.nodes.assign(n, NodeStats{});
+  stats_.external_arrived = 0.0;
+  stats_.delivered = 0.0;
+  stats_.in_flight = 0.0;
+  stats_.slots = slots;
+  stats_.measured_slots = slots - warmup;
+  stats_.abr_sent = 0.0;
+  stats_.abr_rate_sum = 0.0;
+  stats_.abr_congested_slots = 0;
+  double abr_min = std::numeric_limits<double>::infinity();
+  double abr_max = -std::numeric_limits<double>::infinity();
+
+  // One background path per class, in class order — this fixes the
+  // engine-consumption pattern independent of the slot dynamics.
+  const std::vector<PopulationSampler>& samplers = context_.samplers();
+  for (std::size_t c = 0; c < samplers.size(); ++c) {
+    const PopulationSampler& s = samplers[c];
+    const std::span<double> frames(frame_scratch_.data(), s.frames());
+    const std::span<std::size_t> cells =
+        s.segmented() ? std::span<std::size_t>(cell_scratch_.data(), s.slots())
+                      : std::span<std::size_t>();
+    s.sample(rng, frames, cells, class_paths_[c]);
+  }
+
+  double abr_rate = abr.initial_rate;
+  bool congested_prev = false;
+  for (std::size_t t = 0; t < slots; ++t) {
+    const std::span<double> row = wheel_.advance();
+    std::fill(external_.begin(), external_.end(), 0.0);
+    for (std::size_t c = 0; c < samplers.size(); ++c) {
+      const double a = class_paths_[c][t];
+      external_[samplers[c].ingress()] += a;
+      stats_.external_arrived += a;
+    }
+    if (abr.enabled) {
+      if (t > 0) {
+        // One-slot feedback delay: react to the previous slot's bit.
+        abr_rate = congested_prev
+                       ? std::max(abr_rate * abr.decrease_factor, abr.min_rate)
+                       : std::min(abr_rate + abr.additive_increase,
+                                  abr.peak_rate);
+      }
+      external_[abr.ingress] += abr_rate;
+      stats_.abr_sent += abr_rate;
+      if (t >= warmup) {
+        stats_.abr_rate_sum += abr_rate;
+        abr_min = std::min(abr_min, abr_rate);
+        abr_max = std::max(abr_max, abr_rate);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeConfig& nc = topo.node(i);
+      const double y = row[i] + external_[i];
+      // Zero the consumed bucket so pending_total() is exactly the
+      // work still in flight on links.
+      row[i] = 0.0;
+      double total = queues_[i] + y;
+      double dropped = 0.0;
+      if (total > nc.buffer) {
+        dropped = total - nc.buffer;
+        total = nc.buffer;
+      }
+      const double served = std::min(total, nc.service_rate);
+      const double q = total - served;
+      queues_[i] = q;
+      NodeStats& ns = stats_.nodes[i];
+      ns.arrived += y;
+      ns.served += served;
+      ns.dropped += dropped;
+      if (t >= warmup) {
+        ns.sum_queue += q;
+        if (q > ns.peak_queue) ns.peak_queue = q;
+        if (q > nc.overflow_threshold) ++ns.overflow_slots;
+      }
+      if (served > 0.0) {
+        if (nc.downstream == kSink) {
+          stats_.delivered += served;
+        } else {
+          wheel_.deposit(nc.downstream, nc.link_delay, served);
+        }
+      }
+    }
+    if (abr.enabled) {
+      congested_prev = false;
+      for (const std::size_t node : context_.abr_path()) {
+        if (queues_[node] > abr.queue_threshold) {
+          congested_prev = true;
+          break;
+        }
+      }
+      if (t >= warmup && congested_prev) ++stats_.abr_congested_slots;
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) stats_.nodes[i].end_queue = queues_[i];
+  stats_.in_flight = wheel_.pending_total();
+  stats_.abr_min_rate = std::isfinite(abr_min) ? abr_min : 0.0;
+  stats_.abr_max_rate = std::isfinite(abr_max) ? abr_max : 0.0;
+  SSVBR_COUNTER_ADD("net.replications", 1);
+  SSVBR_COUNTER_ADD("net.slots", slots);
+  return stats_;
+}
+
+}  // namespace ssvbr::net

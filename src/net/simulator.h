@@ -1,0 +1,150 @@
+// ssvbr/net/simulator.h
+//
+// Slotted network simulator: the dynamics of a multi-node ATM topology
+// fed by batched VBR source populations and an optional rate-adaptive
+// (ABR-style) foreground flow.
+//
+// Per slot, every node performs the admit-then-serve update
+//
+//     total   = q + arrivals
+//     dropped = max(total - buffer, 0)
+//     served  = min(total - dropped, service_rate)
+//     q       = total - dropped - served
+//
+// and its served work is deposited on the output link's slot wheel,
+// arriving downstream link_delay slots later. With an infinite buffer
+// this is bit-identical to queueing::LindleyQueue::step's
+// max(q + y - mu, 0) in both branches (total >= mu: both round
+// (q+y)-mu once; total < mu: both are exactly 0), which is what lets a
+// one-node topology reproduce the Section 4 single-queue results
+// bit-for-bit. (queueing::FiniteBufferQueue uses the serve-first
+// convention instead; the network layer deliberately matches Lindley,
+// not FiniteBufferQueue, and documents the divergence here.)
+//
+// The ABR flow injects `rate` work units per slot at its ingress and
+// reacts to one-bit congestion feedback with one slot of delay: if any
+// node on its path to the sink ended the previous slot above
+// queue_threshold, the rate is cut multiplicatively; otherwise it
+// climbs additively (classic additive-increase/multiplicative-decrease
+// against the LRD background).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "dist/random.h"
+#include "net/population.h"
+#include "net/slot_wheel.h"
+#include "net/topology.h"
+
+namespace ssvbr::net {
+
+/// Rate-adaptive foreground flow competing with the VBR background.
+struct AbrFlowConfig {
+  bool enabled = false;
+  /// Node where the flow enters the network.
+  std::size_t ingress = 0;
+  double initial_rate = 0.0;
+  double min_rate = 0.0;
+  double peak_rate = std::numeric_limits<double>::infinity();
+  /// Rate added per uncongested slot.
+  double additive_increase = 0.0;
+  /// Multiplier applied per congested slot (in (0, 1]).
+  double decrease_factor = 0.5;
+  /// Congestion bit: any path node's end-of-slot queue above this.
+  double queue_threshold = 0.0;
+};
+
+/// One complete network scenario: who feeds what, for how long.
+struct ScenarioConfig {
+  Topology topology;
+  std::vector<SourceClassConfig> classes;
+  AbrFlowConfig abr;
+  /// Queue slots per replication.
+  std::size_t slots = 0;
+  /// Slots excluded from steady-state statistics (transient removal).
+  std::size_t warmup = 0;
+};
+
+/// Whole-run per-node accounting. The conservation identity
+/// arrived == served + dropped + end_queue holds exactly (to double
+/// rounding; exactly exact for integer-cell workloads).
+struct NodeStats {
+  double arrived = 0.0;    ///< work offered to the node, whole run
+  double served = 0.0;     ///< work sent downstream, whole run
+  double dropped = 0.0;    ///< work lost to buffer overflow, whole run
+  double end_queue = 0.0;  ///< backlog at the end of the run
+  double sum_queue = 0.0;  ///< post-warmup sum of end-of-slot queues
+  double peak_queue = 0.0; ///< post-warmup max end-of-slot queue
+  std::size_t overflow_slots = 0;  ///< post-warmup slots with q > threshold
+};
+
+/// One replication's results.
+struct ScenarioStats {
+  std::vector<NodeStats> nodes;
+  double external_arrived = 0.0;  ///< class workload injected, whole run
+  double delivered = 0.0;         ///< work that reached the sink
+  double in_flight = 0.0;         ///< work still on links at the end
+  std::size_t slots = 0;
+  std::size_t measured_slots = 0;  ///< slots - warmup
+  // ABR flow (all zero when disabled):
+  double abr_sent = 0.0;       ///< work injected by the flow, whole run
+  double abr_rate_sum = 0.0;   ///< post-warmup sum of per-slot rates
+  double abr_min_rate = 0.0;   ///< post-warmup min rate
+  double abr_max_rate = 0.0;   ///< post-warmup max rate
+  std::size_t abr_congested_slots = 0;  ///< post-warmup congested slots
+};
+
+/// Validated, immutable scenario shared by all workers: per-class
+/// population samplers (with their precomputed generator state) and the
+/// ABR flow's path to the sink.
+class ScenarioContext {
+ public:
+  explicit ScenarioContext(ScenarioConfig config);
+
+  const ScenarioConfig& config() const noexcept { return config_; }
+  const Topology& topology() const noexcept { return config_.topology; }
+  const std::vector<PopulationSampler>& samplers() const noexcept {
+    return samplers_;
+  }
+  const std::vector<std::size_t>& abr_path() const noexcept { return abr_path_; }
+  std::size_t slots() const noexcept { return config_.slots; }
+  std::size_t warmup() const noexcept { return config_.warmup; }
+
+  /// Mean external workload per slot (classes + ABR initial rate is
+  /// excluded — the flow's rate is endogenous).
+  double mean_offered_rate() const;
+
+ private:
+  ScenarioConfig config_;
+  std::vector<PopulationSampler> samplers_;
+  std::vector<std::size_t> abr_path_;
+};
+
+/// Per-worker simulation kernel: owns all scratch (class paths, frame
+/// and cell buffers, the slot wheel, queue state) so that run_one is
+/// allocation-free after construction.
+class ScenarioKernel {
+ public:
+  explicit ScenarioKernel(const ScenarioContext& context);
+
+  /// Run one independent replication, consuming `rng` deterministically
+  /// (one background path per class, in class order, before the slot
+  /// loop). Returns the replication's statistics by reference to avoid
+  /// per-call vector churn; the returned object is reused by the next
+  /// run_one call.
+  const ScenarioStats& run_one(RandomEngine& rng);
+
+ private:
+  const ScenarioContext& context_;
+  SlotWheel wheel_;
+  std::vector<double> queues_;
+  std::vector<double> frame_scratch_;
+  std::vector<std::size_t> cell_scratch_;
+  std::vector<std::vector<double>> class_paths_;
+  std::vector<double> external_;  ///< per-node external workload, per slot
+  ScenarioStats stats_;
+};
+
+}  // namespace ssvbr::net

@@ -1,0 +1,124 @@
+#include "net/topology.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.h"
+
+namespace ssvbr::net {
+
+Topology::Topology(std::vector<NodeConfig> nodes) : nodes_(std::move(nodes)) {
+  SSVBR_REQUIRE(!nodes_.empty(), "topology needs at least one node");
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const NodeConfig& n = nodes_[i];
+    SSVBR_REQUIRE(n.service_rate > 0.0, "node service rate must be positive");
+    SSVBR_REQUIRE(n.buffer > 0.0, "node buffer must be positive (or infinite)");
+    SSVBR_REQUIRE(!(n.overflow_threshold < 0.0),
+                  "overflow threshold must be non-negative");
+    SSVBR_REQUIRE(n.link_delay >= 1, "link delay must be at least one slot");
+    SSVBR_REQUIRE(n.downstream == kSink || n.downstream < nodes_.size(),
+                  "downstream must name an existing node or kSink");
+    SSVBR_REQUIRE(n.downstream != i, "a node cannot feed itself");
+  }
+  // Out-degree is one, so a walk that has not reached the sink after
+  // n_nodes hops must have entered a cycle.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    std::size_t at = i;
+    std::size_t hops = 0;
+    while (at != kSink) {
+      SSVBR_REQUIRE(hops++ < nodes_.size(), "topology contains a routing cycle");
+      at = nodes_[at].downstream;
+    }
+  }
+}
+
+std::size_t Topology::depth(std::size_t i) const {
+  SSVBR_REQUIRE(i < nodes_.size(), "node index out of range");
+  std::size_t hops = 0;
+  for (std::size_t at = i; at != kSink; at = nodes_[at].downstream) ++hops;
+  return hops;
+}
+
+std::vector<std::size_t> Topology::path_to_sink(std::size_t from) const {
+  SSVBR_REQUIRE(from < nodes_.size(), "node index out of range");
+  std::vector<std::size_t> path;
+  for (std::size_t at = from; at != kSink; at = nodes_[at].downstream) {
+    path.push_back(at);
+  }
+  return path;
+}
+
+std::vector<std::size_t> Topology::leaves() const {
+  std::vector<char> fed(nodes_.size(), 0);
+  for (const NodeConfig& n : nodes_) {
+    if (n.downstream != kSink) fed[n.downstream] = 1;
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!fed[i]) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t Topology::max_link_delay() const {
+  std::size_t d = 1;
+  for (const NodeConfig& n : nodes_) d = std::max(d, n.link_delay);
+  return d;
+}
+
+namespace {
+
+std::size_t pow_size(std::size_t base, std::size_t exp) {
+  std::size_t v = 1;
+  for (std::size_t i = 0; i < exp; ++i) v *= base;
+  return v;
+}
+
+}  // namespace
+
+Topology make_mux_tree(std::size_t levels, std::size_t fanout,
+                       std::span<const double> level_service,
+                       std::span<const double> level_buffer) {
+  SSVBR_REQUIRE(levels >= 1, "mux tree needs at least one level");
+  SSVBR_REQUIRE(fanout >= 1, "mux tree fanout must be at least 1");
+  SSVBR_REQUIRE(level_service.size() == levels && level_buffer.size() == levels,
+                "need one service rate and one buffer per tree level");
+  std::vector<NodeConfig> nodes;
+  // Level l has fanout^(levels-1-l) nodes; child j of level l feeds
+  // node j/fanout of level l+1.
+  std::vector<std::size_t> level_offset(levels + 1, 0);
+  for (std::size_t l = 0; l < levels; ++l) {
+    level_offset[l + 1] = level_offset[l] + pow_size(fanout, levels - 1 - l);
+  }
+  for (std::size_t l = 0; l < levels; ++l) {
+    const std::size_t count = pow_size(fanout, levels - 1 - l);
+    for (std::size_t j = 0; j < count; ++j) {
+      NodeConfig n;
+      n.service_rate = level_service[l];
+      n.buffer = level_buffer[l];
+      n.downstream = l + 1 < levels ? level_offset[l + 1] + j / fanout : kSink;
+      nodes.push_back(n);
+    }
+  }
+  return Topology(std::move(nodes));
+}
+
+std::vector<std::size_t> mux_tree_leaves(std::size_t levels, std::size_t fanout) {
+  SSVBR_REQUIRE(levels >= 1 && fanout >= 1, "invalid mux tree shape");
+  std::vector<std::size_t> out(pow_size(fanout, levels - 1));
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = i;
+  return out;
+}
+
+Topology make_tandem(std::size_t length, double service_rate, double buffer) {
+  SSVBR_REQUIRE(length >= 1, "tandem needs at least one queue");
+  std::vector<NodeConfig> nodes(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    nodes[i].service_rate = service_rate;
+    nodes[i].buffer = buffer;
+    nodes[i].downstream = i + 1 < length ? i + 1 : kSink;
+  }
+  return Topology(std::move(nodes));
+}
+
+}  // namespace ssvbr::net

@@ -1,0 +1,100 @@
+// ssvbr/net/topology.h
+//
+// Static description of an ATM multiplexer topology: a forest of
+// slotted store-and-forward nodes, each with one deterministic output
+// link, routed towards a single sink (the egress of the network).
+//
+// A node is the finite-buffer slotted queue of Section 4 (admit up to
+// the buffer, then serve up to `service_rate` work units per slot);
+// the served work of a slot travels its output link and arrives at the
+// downstream node `link_delay` slots later. Out-degree is exactly one
+// (multiplexer trees and tandem lines — the topologies an ATM access
+// network is built from), which makes routing static and the whole
+// simulation deterministic.
+//
+// The description layer is pure data + validation; the dynamics live in
+// net/simulator.h.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace ssvbr::net {
+
+/// Downstream index meaning "leaves the network" (the sink).
+inline constexpr std::size_t kSink = static_cast<std::size_t>(-1);
+
+/// One slotted store-and-forward node and its output link.
+struct NodeConfig {
+  /// Deterministic service per slot (work units: bytes, or cells for
+  /// segmented source classes). Must be positive.
+  double service_rate = 1.0;
+  /// Buffer capacity in work units; infinity = lossless (pure Lindley).
+  double buffer = std::numeric_limits<double>::infinity();
+  /// Level whose exceedance is counted into overflow_slots (the
+  /// P(Q > b) statistic of the paper); infinity disables the counter.
+  double overflow_threshold = std::numeric_limits<double>::infinity();
+  /// Where served work goes: a node index, or kSink.
+  std::size_t downstream = kSink;
+  /// Slots of propagation delay on the output link. Must be >= 1 (work
+  /// served in slot t arrives downstream no earlier than slot t+1).
+  std::size_t link_delay = 1;
+};
+
+/// A validated node/link graph. Immutable after construction.
+class Topology {
+ public:
+  Topology() = default;
+
+  /// Validates on construction: every downstream index must name an
+  /// existing node or kSink, link delays must be >= 1, service rates
+  /// positive, buffers positive (or infinite), and every node's
+  /// downstream walk must reach the sink (out-degree one, so "acyclic"
+  /// and "drains to the sink" are the same condition). Throws
+  /// ssvbr::Error via SSVBR_REQUIRE-style checks on violation.
+  explicit Topology(std::vector<NodeConfig> nodes);
+
+  std::size_t n_nodes() const noexcept { return nodes_.size(); }
+  bool empty() const noexcept { return nodes_.empty(); }
+  const NodeConfig& node(std::size_t i) const { return nodes_[i]; }
+  const std::vector<NodeConfig>& nodes() const noexcept { return nodes_; }
+
+  /// Hops from node `i` to the sink (1 for a node that feeds the sink
+  /// directly).
+  std::size_t depth(std::size_t i) const;
+
+  /// Node indices on the walk from `from` to the sink, inclusive of
+  /// `from`, exclusive of the sink.
+  std::vector<std::size_t> path_to_sink(std::size_t from) const;
+
+  /// Nodes no other node feeds (the ingress points of the network).
+  std::vector<std::size_t> leaves() const;
+
+  /// Largest link_delay in the topology (sizes the simulator's wheel).
+  std::size_t max_link_delay() const;
+
+ private:
+  std::vector<NodeConfig> nodes_;
+};
+
+/// A complete `levels`-level multiplexer tree with `fanout` children
+/// per internal node. Nodes are laid out level by level, leaves first:
+/// level 0 holds fanout^(levels-1) leaf multiplexers, the last level
+/// holds the root (which feeds the sink). `level_service[l]` /
+/// `level_buffer[l]` configure every node of level l (both spans must
+/// have `levels` entries).
+Topology make_mux_tree(std::size_t levels, std::size_t fanout,
+                       std::span<const double> level_service,
+                       std::span<const double> level_buffer);
+
+/// Leaf node indices of make_mux_tree(levels, fanout, ...): the first
+/// fanout^(levels-1) nodes.
+std::vector<std::size_t> mux_tree_leaves(std::size_t levels, std::size_t fanout);
+
+/// A tandem line of `length` identical queues: node 0 feeds node 1
+/// feeds ... feeds the sink. Ingress is node 0.
+Topology make_tandem(std::size_t length, double service_rate, double buffer);
+
+}  // namespace ssvbr::net

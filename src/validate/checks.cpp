@@ -20,6 +20,7 @@
 #include "engine/run.h"
 #include "fractal/autocorrelation.h"
 #include "fractal/hosking.h"
+#include "net/simulator.h"
 #include "fractal/hurst.h"
 #include "fractal/periodogram_hurst.h"
 #include "queueing/arrival.h"
@@ -625,6 +626,96 @@ void atm_invariants_body(const CheckContext& context, RandomEngine& rng,
                       static_cast<double>(frames_checked));
 }
 
+/// Cell conservation through a 3-level multiplexer tree. With
+/// cell-segmented workloads (integers), integer service rates and
+/// buffers, and a dyadic-rate ABR flow, every double operation in the
+/// simulator is exact, so the identities must hold with zero error:
+/// per node  arrived == served + dropped + end_queue, and end to end
+/// external + abr == delivered + sum(dropped) + sum(end_queue) + in_flight.
+void topology_conservation_body(const CheckContext& context, RandomEngine& rng,
+                                CheckResult& result) {
+  const std::size_t reps =
+      std::max<std::size_t>(2, static_cast<std::size_t>(6.0 * context.scale));
+  std::size_t violations = 0;
+  std::size_t nodes_checked = 0;
+
+  auto corr = std::make_shared<fractal::ExponentialAutocorrelation>(0.1);
+  core::MarginalTransform h(std::make_shared<GammaDistribution>(2.0, 1.0));
+  const auto model = std::make_shared<const core::UnifiedVbrModel>(
+      std::move(corr), std::move(h));
+
+  // Scenario A: the mux tree under pure VBR background load, with a
+  // 2-slot link delay on the middle level so in-flight work is live.
+  net::ScenarioConfig tree;
+  {
+    const std::vector<double> service{40.0, 70.0, 120.0};
+    const std::vector<double> buffer{60.0, 100.0, 150.0};
+    std::vector<net::NodeConfig> nodes =
+        net::make_mux_tree(3, 2, service, buffer).nodes();
+    for (std::size_t i = 4; i < 6; ++i) nodes[i].link_delay = 2;
+    tree.topology = net::Topology(nodes);
+    for (const std::size_t leaf : net::mux_tree_leaves(3, 2)) {
+      net::SourceClassConfig cls;
+      cls.model = model;
+      cls.population = 2000;
+      cls.ingress = leaf;
+      cls.slots_per_frame = 2;
+      cls.segment_to_cells = true;
+      tree.classes.push_back(cls);
+    }
+    tree.slots = scaled(context.scale, 512, 128) / 2 * 2;
+    tree.warmup = tree.slots / 8;
+  }
+
+  // Scenario B: a tandem line with an ABR flow whose rates stay dyadic
+  // (halving against an integer floor), so its arithmetic is exact too.
+  net::ScenarioConfig tandem;
+  {
+    tandem.topology = net::make_tandem(3, 24.0, 40.0);
+    net::SourceClassConfig cls;
+    cls.model = model;
+    cls.population = 500;
+    cls.slots_per_frame = 1;
+    cls.segment_to_cells = true;
+    tandem.classes.push_back(cls);
+    tandem.abr.enabled = true;
+    tandem.abr.initial_rate = 4.0;
+    tandem.abr.min_rate = 1.0;
+    tandem.abr.peak_rate = 16.0;
+    tandem.abr.additive_increase = 1.0;
+    tandem.abr.decrease_factor = 0.5;
+    tandem.abr.queue_threshold = 8.0;
+    tandem.slots = scaled(context.scale, 512, 128);
+    tandem.warmup = tandem.slots / 8;
+  }
+
+  for (const net::ScenarioConfig& scenario : {tree, tandem}) {
+    const net::ScenarioContext ctx(scenario);
+    net::ScenarioKernel kernel(ctx);
+    for (std::size_t r = 0; r < reps; ++r) {
+      const net::ScenarioStats& stats = kernel.run_one(rng);
+      double dropped = 0.0, queued = 0.0;
+      for (const net::NodeStats& n : stats.nodes) {
+        if (n.arrived != n.served + n.dropped + n.end_queue) ++violations;
+        dropped += n.dropped;
+        queued += n.end_queue;
+        ++nodes_checked;
+      }
+      const double injected = stats.external_arrived + stats.abr_sent;
+      if (injected !=
+          stats.delivered + dropped + queued + stats.in_flight) {
+        ++violations;
+      }
+      if (injected <= 0.0) ++violations;  // the identity must be non-vacuous
+    }
+  }
+
+  result.statistic = static_cast<double>(violations);
+  result.detail = fmt("%.0f violations across %.0f node-replications",
+                      static_cast<double>(violations),
+                      static_cast<double>(nodes_checked));
+}
+
 }  // namespace
 
 Suite default_suite(double family_alpha) {
@@ -689,6 +780,10 @@ Suite default_suite(double family_alpha) {
              "ATM adaptation layer: AAL5 segmentation conserves cells and "
              "honours burst/smooth pacing",
              CheckKind::kExact, atm_invariants_body});
+  suite.add({"topology_conservation",
+             "network layer: cells in == out + losses + queued, per node and "
+             "end-to-end through a 3-level multiplexer tree",
+             CheckKind::kExact, topology_conservation_body});
   return suite;
 }
 

@@ -1,4 +1,4 @@
-#include "engine/parallel_estimators.h"
+#include "engine/run.h"
 
 #include <gtest/gtest.h>
 
@@ -44,6 +44,51 @@ is::IsOverflowSettings rare_settings(const core::UnifiedVbrModel& model,
   settings.stop_time = 60;
   settings.replications = replications;
   return settings;
+}
+
+// run_with()-based equivalents of the removed estimate_*_par wrappers,
+// so the engine determinism properties keep their original shape.
+queueing::OverflowEstimate mc_estimate(const ArrivalFactory& factory, double service,
+                                       double buffer, std::size_t k, std::size_t reps,
+                                       RandomEngine& rng, ReplicationEngine& engine) {
+  RunRequest req;
+  req.kind = EstimatorKind::kOverflowMc;
+  req.mc.make_arrivals = factory;
+  req.mc.service_rate = service;
+  req.mc.buffer = buffer;
+  req.mc.stop_time = k;
+  req.mc.replications = reps;
+  return run_with(req, engine, rng).mc;
+}
+
+is::IsOverflowEstimate is_estimate(const core::UnifiedVbrModel& model,
+                                   const fractal::HoskingModel& background,
+                                   const is::IsOverflowSettings& settings,
+                                   RandomEngine& rng, ReplicationEngine& engine,
+                                   std::size_t n_sources = 1) {
+  RunRequest req;
+  req.kind = n_sources > 1 ? EstimatorKind::kOverflowIsSuperposed
+                           : EstimatorKind::kOverflowIs;
+  req.is.model = &model;
+  req.is.background = &background;
+  req.is.n_sources = n_sources;
+  req.is.settings = settings;
+  return run_with(req, engine, rng).is_estimate;
+}
+
+std::vector<is::TwistSweepPoint> sweep_estimate(const core::UnifiedVbrModel& model,
+                                                const fractal::HoskingModel& background,
+                                                const is::IsOverflowSettings& settings,
+                                                const std::vector<double>& twists,
+                                                RandomEngine& rng,
+                                                ReplicationEngine& engine) {
+  RunRequest req;
+  req.kind = EstimatorKind::kTwistSweep;
+  req.is.model = &model;
+  req.is.background = &background;
+  req.is.settings = settings;
+  req.is.twists = twists;
+  return run_with(req, engine, rng).sweep;
 }
 
 TEST(ThreadPool, RunsEveryWorkerExactlyOnce) {
@@ -135,7 +180,7 @@ TEST(ReplicationEngine, McBitIdenticalAcrossThreadCounts) {
     ReplicationEngine engine(EngineConfig{threads, 32});
     RandomEngine rng(404);
     results.push_back(
-        estimate_overflow_mc_par(factory, 2.5, 8.0, 100, reps, rng, engine));
+        mc_estimate(factory, 2.5, 8.0, 100, reps, rng, engine));
   }
   for (std::size_t i = 1; i < results.size(); ++i) {
     EXPECT_EQ(results[i].hits, results[0].hits);
@@ -154,7 +199,7 @@ TEST(ReplicationEngine, IsBitIdenticalAcrossThreadCounts) {
   for (const unsigned threads : {1u, 2u, 8u}) {
     ReplicationEngine engine(EngineConfig{threads, 32});
     RandomEngine rng(405);
-    results.push_back(estimate_overflow_is_par(model, background, settings, rng, engine));
+    results.push_back(is_estimate(model, background, settings, rng, engine));
   }
   for (std::size_t i = 1; i < results.size(); ++i) {
     EXPECT_EQ(results[i].hits, results[0].hits);
@@ -180,7 +225,7 @@ TEST(ReplicationEngine, McMatchesSerialEstimatorExactly) {
   ReplicationEngine engine(EngineConfig{4, 32});
   RandomEngine rng_par(42);
   const queueing::OverflowEstimate par =
-      estimate_overflow_mc_par(factory, 2.5, 8.0, 100, reps, rng_par, engine);
+      mc_estimate(factory, 2.5, 8.0, 100, reps, rng_par, engine);
 
   EXPECT_EQ(par.hits, serial.hits);
   EXPECT_EQ(bits(par.probability), bits(serial.probability));
@@ -202,7 +247,7 @@ TEST(ReplicationEngine, IsMatchesSerialEstimatorStreams) {
   ReplicationEngine engine(EngineConfig{4, 32});
   RandomEngine rng_par(43);
   const is::IsOverflowEstimate par =
-      estimate_overflow_is_par(model, background, settings, rng_par, engine);
+      is_estimate(model, background, settings, rng_par, engine);
 
   EXPECT_EQ(par.hits, serial.hits);
   ASSERT_GT(serial.hits, 0u);
@@ -224,7 +269,7 @@ TEST(ReplicationEngine, SweepBitIdenticalAcrossThreadCountsAndMatchesSerial) {
   for (const unsigned threads : {1u, 2u, 8u}) {
     ReplicationEngine engine(EngineConfig{threads, 32});
     RandomEngine rng(44);
-    sweeps.push_back(sweep_twist_par(model, background, settings, grid, rng, engine));
+    sweeps.push_back(sweep_estimate(model, background, settings, grid, rng, engine));
   }
   for (std::size_t j = 0; j < grid.size(); ++j) {
     for (std::size_t i = 1; i < sweeps.size(); ++i) {
@@ -242,7 +287,7 @@ TEST(ReplicationEngine, SweepBitIdenticalAcrossThreadCountsAndMatchesSerial) {
   // And the caller's engine is left at the same stream position.
   ReplicationEngine engine(EngineConfig{2, 32});
   RandomEngine rng_par(44);
-  (void)sweep_twist_par(model, background, settings, grid, rng_par, engine);
+  (void)sweep_estimate(model, background, settings, grid, rng_par, engine);
   EXPECT_EQ(rng_serial(), rng_par());
 }
 
@@ -261,8 +306,8 @@ TEST(ReplicationEngine, SuperposedParMatchesSerial) {
       is::estimate_overflow_is_superposed(model, background, 3, settings, rng_serial);
   ReplicationEngine engine(EngineConfig{4, 16});
   RandomEngine rng_par(45);
-  const is::IsOverflowEstimate par = estimate_overflow_is_superposed_par(
-      model, background, 3, settings, rng_par, engine);
+  const is::IsOverflowEstimate par = is_estimate(
+      model, background, settings, rng_par, engine, 3);
   EXPECT_EQ(par.hits, serial.hits);
   EXPECT_NEAR(par.probability, serial.probability,
               1e-12 * std::max(1.0, serial.probability));
@@ -273,11 +318,11 @@ TEST(ReplicationEngine, ShardSizeOneAndOversizedShardsWork) {
   RandomEngine rng_a(7);
   ReplicationEngine tiny(EngineConfig{2, 1});
   const queueing::OverflowEstimate a =
-      estimate_overflow_mc_par(factory, 2.5, 8.0, 50, 40, rng_a, tiny);
+      mc_estimate(factory, 2.5, 8.0, 50, 40, rng_a, tiny);
   RandomEngine rng_b(7);
   ReplicationEngine huge(EngineConfig{2, 4096});
   const queueing::OverflowEstimate b =
-      estimate_overflow_mc_par(factory, 2.5, 8.0, 50, 40, rng_b, huge);
+      mc_estimate(factory, 2.5, 8.0, 50, 40, rng_b, huge);
   // Hit counts are exact integers, so they agree across shard sizes too.
   EXPECT_EQ(a.hits, b.hits);
   EXPECT_EQ(a.replications, 40u);
@@ -301,26 +346,26 @@ TEST(ReplicationEngine, ValidatesArguments) {
   ReplicationEngine engine(EngineConfig{1, 16});
   RandomEngine rng(1);
   EXPECT_THROW(ReplicationEngine(EngineConfig{1, 0}), InvalidArgument);
-  EXPECT_THROW(estimate_overflow_mc_par(nullptr, 1.0, 1.0, 10, 10, rng, engine),
-               InvalidArgument);
+  // The façade rejects malformed requests with structured RunErrors.
+  EXPECT_THROW(mc_estimate(nullptr, 1.0, 1.0, 10, 10, rng, engine), RunError);
   const ArrivalFactory factory = gamma_arrivals();
-  EXPECT_THROW(estimate_overflow_mc_par(factory, 1.0, 1.0, 0, 10, rng, engine),
-               InvalidArgument);
-  EXPECT_THROW(estimate_overflow_mc_par(factory, 1.0, 1.0, 10, 0, rng, engine),
-               InvalidArgument);
-  EXPECT_THROW(estimate_overflow_mc_par(factory, 1.0, -1.0, 10, 10, rng, engine),
-               InvalidArgument);
+  EXPECT_THROW(mc_estimate(factory, 1.0, 1.0, 0, 10, rng, engine), RunError);
+  EXPECT_THROW(mc_estimate(factory, 1.0, 1.0, 10, 0, rng, engine), RunError);
+  EXPECT_THROW(mc_estimate(factory, 1.0, -1.0, 10, 10, rng, engine), RunError);
 
   const core::UnifiedVbrModel model = make_model();
   const fractal::HoskingModel background(model.background_correlation(), 20);
   is::IsOverflowSettings settings;
   settings.stop_time = 50;  // exceeds horizon
   settings.replications = 10;
-  EXPECT_THROW(estimate_overflow_is_par(model, background, settings, rng, engine),
-               InvalidArgument);
+  EXPECT_THROW(is_estimate(model, background, settings, rng, engine), RunError);
   settings.stop_time = 10;
-  EXPECT_THROW(sweep_twist_par(model, background, settings, {}, rng, engine),
-               InvalidArgument);
+  try {
+    (void)sweep_estimate(model, background, settings, {}, rng, engine);
+    FAIL() << "empty twist grid must be rejected";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kEmptyTwistGrid);
+  }
 }
 
 }  // namespace

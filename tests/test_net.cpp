@@ -1,0 +1,413 @@
+// Network-scale scenario layer: topology validation, the slot wheel,
+// population batching, the single-queue regression gate (a one-node
+// topology must reproduce queueing::steady_state_overflow bit-for-bit),
+// exact conservation, and the ABR feedback flow.
+#include "net/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "common/error.h"
+#include "dist/distributions.h"
+#include "fractal/autocorrelation.h"
+#include "net/population.h"
+#include "net/slot_wheel.h"
+#include "net/topology.h"
+#include "queueing/arrival.h"
+#include "queueing/overflow_mc.h"
+
+namespace ssvbr::net {
+namespace {
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+std::shared_ptr<const core::UnifiedVbrModel> make_model() {
+  auto corr = std::make_shared<fractal::ExponentialAutocorrelation>(0.1);
+  core::MarginalTransform h(std::make_shared<GammaDistribution>(2.0, 1.0));
+  return std::make_shared<const core::UnifiedVbrModel>(std::move(corr), std::move(h));
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ------------------------------------------------------------ Topology
+
+TEST(Topology, ValidatesStructure) {
+  EXPECT_THROW(Topology(std::vector<NodeConfig>{}), InvalidArgument);
+
+  NodeConfig bad_service;
+  bad_service.service_rate = 0.0;
+  EXPECT_THROW(Topology({bad_service}), InvalidArgument);
+
+  NodeConfig self_loop;
+  self_loop.downstream = 0;
+  EXPECT_THROW(Topology({self_loop}), InvalidArgument);
+
+  NodeConfig dangling;
+  dangling.downstream = 7;
+  EXPECT_THROW(Topology({dangling}), InvalidArgument);
+
+  // 2-cycle: 0 -> 1 -> 0.
+  NodeConfig a, b;
+  a.downstream = 1;
+  b.downstream = 0;
+  EXPECT_THROW(Topology({a, b}), InvalidArgument);
+
+  NodeConfig zero_delay;
+  zero_delay.link_delay = 0;
+  EXPECT_THROW(Topology({zero_delay}), InvalidArgument);
+}
+
+TEST(Topology, MuxTreeShapeAndRouting) {
+  const std::vector<double> service{2.0, 3.0, 4.0};
+  const std::vector<double> buffer{10.0, 20.0, 30.0};
+  const Topology tree = make_mux_tree(3, 2, service, buffer);
+  ASSERT_EQ(tree.n_nodes(), 7u);  // 4 + 2 + 1
+
+  const std::vector<std::size_t> leaves = tree.leaves();
+  EXPECT_EQ(leaves, mux_tree_leaves(3, 2));
+  ASSERT_EQ(leaves.size(), 4u);
+  for (const std::size_t leaf : leaves) {
+    EXPECT_EQ(tree.depth(leaf), 3u);
+    EXPECT_EQ(tree.node(leaf).service_rate, 2.0);
+  }
+  // Leaves 0,1 feed the first level-1 node; 2,3 the second; the root
+  // (node 6) feeds the sink.
+  EXPECT_EQ(tree.node(0).downstream, tree.node(1).downstream);
+  EXPECT_EQ(tree.node(2).downstream, tree.node(3).downstream);
+  EXPECT_NE(tree.node(0).downstream, tree.node(2).downstream);
+  EXPECT_EQ(tree.node(6).downstream, kSink);
+  EXPECT_EQ(tree.node(6).service_rate, 4.0);
+
+  const std::vector<std::size_t> path = tree.path_to_sink(0);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], 0u);
+  EXPECT_EQ(path[2], 6u);
+}
+
+TEST(Topology, TandemRouting) {
+  const Topology line = make_tandem(4, 1.5, 12.0);
+  ASSERT_EQ(line.n_nodes(), 4u);
+  EXPECT_EQ(line.depth(0), 4u);
+  EXPECT_EQ(line.leaves(), std::vector<std::size_t>{0});
+  EXPECT_EQ(line.node(3).downstream, kSink);
+  for (std::size_t i = 0; i + 1 < 4; ++i) EXPECT_EQ(line.node(i).downstream, i + 1);
+}
+
+// ----------------------------------------------------------- SlotWheel
+
+TEST(SlotWheel, DelaysDepositsByTheRequestedSlots) {
+  SlotWheel wheel(2, 3);
+  wheel.deposit(0, 1, 5.0);
+  wheel.deposit(1, 3, 7.0);
+  EXPECT_DOUBLE_EQ(wheel.pending_total(), 12.0);
+
+  std::span<double> row = wheel.advance();  // slot 1
+  EXPECT_EQ(row[0], 5.0);
+  EXPECT_EQ(row[1], 0.0);
+  row[0] = 0.0;  // consume, as the simulator does
+  row = wheel.advance();  // slot 2
+  EXPECT_EQ(row[0], 0.0);
+  EXPECT_EQ(row[1], 0.0);
+  row = wheel.advance();  // slot 3
+  EXPECT_EQ(row[0], 0.0);
+  EXPECT_EQ(row[1], 7.0);
+  row[1] = 0.0;
+  EXPECT_EQ(wheel.pending_total(), 0.0);
+
+  // Same-bucket deposits accumulate.
+  wheel.deposit(0, 2, 1.0);
+  wheel.deposit(0, 2, 2.0);
+  wheel.advance();
+  row = wheel.advance();
+  EXPECT_EQ(row[0], 3.0);
+
+  wheel.clear();
+  EXPECT_EQ(wheel.pending_total(), 0.0);
+}
+
+TEST(SlotWheel, RejectsOutOfRangeDeposits) {
+  SlotWheel wheel(2, 2);
+  EXPECT_THROW(wheel.deposit(2, 1, 1.0), InvalidArgument);
+  EXPECT_THROW(wheel.deposit(0, 0, 1.0), InvalidArgument);
+  EXPECT_THROW(wheel.deposit(0, 3, 1.0), InvalidArgument);
+}
+
+// ---------------------------------------------------------- Population
+
+TEST(PopulationSampler, SingleSourceMatchesModelArrivalProcessExactly) {
+  const auto model = make_model();
+  const std::size_t slots = 128;
+
+  SourceClassConfig cls;
+  cls.model = model;
+  cls.population = 1;
+  const PopulationSampler sampler(cls, slots);
+
+  std::vector<double> aggregate(slots), frames(slots);
+  RandomEngine rng_a(2024);
+  sampler.sample(rng_a, frames, {}, aggregate);
+
+  queueing::ModelArrivalProcess reference(model, core::BackgroundGenerator::kHosking);
+  RandomEngine rng_b(2024);
+  reference.begin_replication(rng_b, slots);
+  for (std::size_t t = 0; t < slots; ++t) {
+    EXPECT_EQ(bits(aggregate[t]), bits(reference.next())) << "slot " << t;
+  }
+  EXPECT_EQ(rng_a.state(), rng_b.state());
+}
+
+TEST(PopulationSampler, BatchedAggregateAppliesTheScalingLaw) {
+  const auto model = make_model();
+  const std::size_t slots = 64;
+  const std::size_t n = 1000;
+  const double m = model->mean();
+
+  SourceClassConfig single;
+  single.model = model;
+  const PopulationSampler one(single, slots);
+
+  SourceClassConfig batched = single;
+  batched.population = n;
+  const PopulationSampler many(batched, slots);
+  EXPECT_DOUBLE_EQ(many.mean_rate(), static_cast<double>(n) * m);
+
+  std::vector<double> y1(slots), yn(slots), frames(slots);
+  RandomEngine rng_a(9);
+  one.sample(rng_a, frames, {}, y1);
+  RandomEngine rng_b(9);
+  many.sample(rng_b, frames, {}, yn);
+
+  const double root_n = std::sqrt(static_cast<double>(n));
+  for (std::size_t t = 0; t < slots; ++t) {
+    const double expected =
+        std::max(static_cast<double>(n) * m + root_n * (y1[t] - m), 0.0);
+    EXPECT_EQ(bits(yn[t]), bits(expected)) << "slot " << t;
+  }
+}
+
+TEST(PopulationSampler, SegmentationConservesCellsExactly) {
+  const auto model = make_model();
+  const std::size_t frames_n = 32;
+  const std::size_t spf = 4;
+
+  SourceClassConfig cls;
+  cls.model = model;
+  cls.population = 50;
+  cls.slots_per_frame = spf;
+  cls.segment_to_cells = true;
+  const PopulationSampler sampler(cls, frames_n);
+  ASSERT_EQ(sampler.slots(), frames_n * spf);
+
+  std::vector<double> aggregate(sampler.slots());
+  std::vector<double> frames(frames_n);
+  std::vector<std::size_t> cells(sampler.slots());
+  RandomEngine rng(31);
+  sampler.sample(rng, frames, cells, aggregate);
+
+  // The per-slot outputs are integers whose total equals the exact
+  // AAL5 segmentation of the (scaled) frame path.
+  double total = 0.0;
+  for (const double v : aggregate) {
+    EXPECT_EQ(v, std::floor(v));
+    total += v;
+  }
+  EXPECT_EQ(total, static_cast<double>(atm::total_cells(frames)));
+}
+
+TEST(PopulationSampler, RejectsBadConfigs) {
+  const auto model = make_model();
+  SourceClassConfig no_model;
+  EXPECT_THROW(PopulationSampler(no_model, 8), InvalidArgument);
+
+  SourceClassConfig zero_pop;
+  zero_pop.model = model;
+  zero_pop.population = 0;
+  EXPECT_THROW(PopulationSampler(zero_pop, 8), InvalidArgument);
+
+  SourceClassConfig unsegmented_spf;
+  unsegmented_spf.model = model;
+  unsegmented_spf.slots_per_frame = 3;  // needs segment_to_cells
+  EXPECT_THROW(PopulationSampler(unsegmented_spf, 8), InvalidArgument);
+}
+
+// ------------------------------------------- Single-queue regression gate
+
+TEST(ScenarioKernel, SingleNodeReproducesSteadyStateOverflowBitForBit) {
+  // A one-node, one-class topology IS the Section 4 slotted queue: same
+  // seed, same background path, identical overflow fraction to the
+  // last bit. This is the regression gate that pins the network layer's
+  // node update to LindleyQueue::step.
+  const auto model = make_model();
+  const std::size_t slots = 400;
+  const std::size_t warmup = 50;
+  const double service = model->mean() / 0.8;
+  const double threshold = 4.0 * model->mean();
+
+  queueing::ModelArrivalProcess arrivals(model, core::BackgroundGenerator::kHosking);
+  RandomEngine rng_ref(777);
+  const queueing::SteadyStateEstimate reference = queueing::steady_state_overflow(
+      arrivals, service, threshold, slots, warmup, rng_ref);
+
+  NodeConfig node;
+  node.service_rate = service;
+  node.overflow_threshold = threshold;
+  ScenarioConfig scenario;
+  scenario.topology = Topology({node});
+  SourceClassConfig cls;
+  cls.model = model;
+  scenario.classes = {cls};
+  scenario.slots = slots;
+  scenario.warmup = warmup;
+
+  const ScenarioContext context(scenario);
+  ScenarioKernel kernel(context);
+  RandomEngine rng_net(777);
+  const ScenarioStats& stats = kernel.run_one(rng_net);
+
+  ASSERT_EQ(stats.measured_slots, reference.slots);
+  const double fraction = static_cast<double>(stats.nodes[0].overflow_slots) /
+                          static_cast<double>(stats.measured_slots);
+  EXPECT_EQ(stats.nodes[0].overflow_slots * 1.0,
+            reference.probability * static_cast<double>(reference.slots));
+  EXPECT_EQ(bits(fraction), bits(reference.probability));
+  EXPECT_EQ(rng_net.state(), rng_ref.state());
+  EXPECT_GT(stats.nodes[0].overflow_slots, 0u);  // the gate must bite
+}
+
+// -------------------------------------------------------- Conservation
+
+TEST(ScenarioKernel, IntegerCellWorkloadsConserveExactly) {
+  // Segmented classes give integer cells; with integer service rates
+  // and buffers every double op is exact, so conservation must hold
+  // with zero error: per node arrived == served + dropped + end_queue,
+  // and end-to-end external == delivered + dropped + queued + in-flight.
+  const auto model = make_model();
+  const std::vector<double> service{40.0, 70.0, 120.0};
+  const std::vector<double> buffer{60.0, 100.0, 150.0};
+  ScenarioConfig scenario;
+  scenario.topology = make_mux_tree(3, 2, service, buffer);
+  for (const std::size_t leaf : mux_tree_leaves(3, 2)) {
+    SourceClassConfig cls;
+    cls.model = model;
+    cls.population = 2000;
+    cls.ingress = leaf;
+    cls.slots_per_frame = 2;
+    cls.segment_to_cells = true;
+    scenario.classes.push_back(cls);
+  }
+  scenario.slots = 200;
+  scenario.warmup = 20;
+
+  const ScenarioContext context(scenario);
+  ScenarioKernel kernel(context);
+  RandomEngine rng(12);
+  const ScenarioStats& stats = kernel.run_one(rng);
+
+  double dropped = 0.0, queued = 0.0;
+  for (std::size_t i = 0; i < stats.nodes.size(); ++i) {
+    const NodeStats& n = stats.nodes[i];
+    EXPECT_EQ(n.arrived, n.served + n.dropped + n.end_queue) << "node " << i;
+    dropped += n.dropped;
+    queued += n.end_queue;
+  }
+  EXPECT_GT(stats.external_arrived, 0.0);
+  EXPECT_GT(stats.delivered, 0.0);
+  EXPECT_EQ(stats.external_arrived,
+            stats.delivered + dropped + queued + stats.in_flight);
+  // Finite buffers under offered load must actually drop something for
+  // the identity to be non-trivial.
+  EXPECT_GT(dropped, 0.0);
+}
+
+// ----------------------------------------------------------------- ABR
+
+TEST(ScenarioKernel, AbrClimbsToPeakWhenUncongested) {
+  NodeConfig node;
+  node.service_rate = 100.0;  // far above the flow's peak: never queues
+  ScenarioConfig scenario;
+  scenario.topology = Topology({node});
+  scenario.abr.enabled = true;
+  scenario.abr.initial_rate = 1.0;
+  scenario.abr.min_rate = 0.5;
+  scenario.abr.peak_rate = 10.0;
+  scenario.abr.additive_increase = 0.5;
+  scenario.abr.queue_threshold = 5.0;
+  scenario.slots = 100;
+  scenario.warmup = 50;
+
+  const ScenarioContext context(scenario);
+  ScenarioKernel kernel(context);
+  RandomEngine rng(3);
+  const ScenarioStats& stats = kernel.run_one(rng);
+  EXPECT_EQ(stats.abr_congested_slots, 0u);
+  EXPECT_EQ(stats.abr_min_rate, 10.0);  // at peak before warmup ends
+  EXPECT_EQ(stats.abr_max_rate, 10.0);
+  EXPECT_EQ(stats.external_arrived, 0.0);
+  // The flow's work obeys the same conservation identity.
+  EXPECT_EQ(stats.abr_sent, stats.delivered + stats.nodes[0].end_queue +
+                                stats.in_flight);
+}
+
+TEST(ScenarioKernel, AbrBacksOffUnderCongestion) {
+  // Service far below the flow's rate: the queue grows past the
+  // threshold and multiplicative decrease must pin the rate to min.
+  NodeConfig node;
+  node.service_rate = 0.25;
+  ScenarioConfig scenario;
+  scenario.topology = Topology({node});
+  scenario.abr.enabled = true;
+  scenario.abr.initial_rate = 4.0;
+  scenario.abr.min_rate = 0.125;
+  scenario.abr.peak_rate = 8.0;
+  scenario.abr.additive_increase = 1.0;
+  scenario.abr.decrease_factor = 0.5;
+  scenario.abr.queue_threshold = 1.0;
+  scenario.slots = 200;
+  scenario.warmup = 100;
+
+  const ScenarioContext context(scenario);
+  ScenarioKernel kernel(context);
+  RandomEngine rng(4);
+  const ScenarioStats& stats = kernel.run_one(rng);
+  EXPECT_GT(stats.abr_congested_slots, 0u);
+  EXPECT_EQ(stats.abr_min_rate, 0.125);
+  EXPECT_LE(stats.abr_max_rate, 8.0);
+  EXPECT_GE(stats.abr_min_rate, 0.125);
+}
+
+TEST(ScenarioContext, ValidatesScenario) {
+  const auto model = make_model();
+  NodeConfig node;
+
+  ScenarioConfig no_sources;
+  no_sources.topology = Topology({node});
+  no_sources.slots = 10;
+  EXPECT_THROW(ScenarioContext{no_sources}, InvalidArgument);
+
+  ScenarioConfig bad_ingress;
+  bad_ingress.topology = Topology({node});
+  bad_ingress.slots = 10;
+  SourceClassConfig cls;
+  cls.model = model;
+  cls.ingress = 5;
+  bad_ingress.classes = {cls};
+  EXPECT_THROW(ScenarioContext{bad_ingress}, InvalidArgument);
+
+  ScenarioConfig bad_warmup;
+  bad_warmup.topology = Topology({node});
+  bad_warmup.slots = 10;
+  bad_warmup.warmup = 10;
+  cls.ingress = 0;
+  bad_warmup.classes = {cls};
+  EXPECT_THROW(ScenarioContext{bad_warmup}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ssvbr::net

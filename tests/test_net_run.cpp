@@ -1,0 +1,263 @@
+// TopologyRunRequest front door: thread-count bit-identity on a
+// 3-level mux tree fed by >= 1000-source populations, checkpoint/resume
+// bit-identity, fingerprint rejection, and front-door validation.
+#include "net/run.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "dist/distributions.h"
+#include "fractal/autocorrelation.h"
+
+namespace ssvbr::net {
+namespace {
+
+using engine::EngineConfig;
+using engine::ReplicationEngine;
+using engine::RunStatus;
+
+std::shared_ptr<const core::UnifiedVbrModel> make_model() {
+  auto corr = std::make_shared<fractal::ExponentialAutocorrelation>(0.1);
+  core::MarginalTransform h(std::make_shared<GammaDistribution>(2.0, 1.0));
+  return std::make_shared<const core::UnifiedVbrModel>(std::move(corr), std::move(h));
+}
+
+std::string fresh_checkpoint_path(const char* name) {
+  const std::string path = ::testing::TempDir() + "ssvbr_net_" + name + ".json";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  return path;
+}
+
+/// The acceptance scenario: a 3-level fanout-2 multiplexer tree whose
+/// four leaves each carry a 1000-source population (slots kept modest
+/// so the suite stays tier-1 fast).
+TopologyRunRequest acceptance_request(
+    const std::shared_ptr<const core::UnifiedVbrModel>& model) {
+  TopologyRunRequest request;
+  const double m = model->mean();
+  // Per-level service sized to the offered load the level multiplexes.
+  const std::vector<double> service{1100.0 * m, 2150.0 * m, 4250.0 * m};
+  const std::vector<double> buffer{400.0 * m, 700.0 * m, 1200.0 * m};
+  request.scenario.topology = make_mux_tree(3, 2, service, buffer);
+  for (const std::size_t leaf : mux_tree_leaves(3, 2)) {
+    SourceClassConfig cls;
+    cls.model = model;
+    cls.population = 1000;
+    cls.ingress = leaf;
+    request.scenario.classes.push_back(cls);
+  }
+  request.scenario.slots = 192;
+  request.scenario.warmup = 32;
+  request.replications = 40;
+  request.seed = 6001;
+  request.engine.threads = 1;
+  request.engine.shard_size = 8;
+  return request;
+}
+
+void expect_bitwise_equal(const TopologyAccumulator& a,
+                          const TopologyAccumulator& b) {
+  EXPECT_EQ(a.to_words(), b.to_words());
+}
+
+TEST(TopologyRun, MuxTreeIsBitIdenticalAcrossThreadCounts) {
+  const auto model = make_model();
+  const TopologyRunRequest request = acceptance_request(model);
+
+  std::vector<TopologyRunResult> results;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    TopologyRunRequest r = request;
+    r.engine.threads = threads;
+    ReplicationEngine engine(EngineConfig{threads, r.engine.shard_size});
+    RandomEngine rng(r.seed);
+    results.push_back(run_topology_with(r, engine, rng));
+    ASSERT_TRUE(results.back().complete());
+    ASSERT_EQ(results.back().replications_done, request.replications);
+  }
+  expect_bitwise_equal(results[0].totals, results[1].totals);
+  expect_bitwise_equal(results[0].totals, results[2].totals);
+
+  // The campaign must be doing real work: every node carries traffic,
+  // reports are populated, and the tree conserves cells end to end
+  // (allowing the accumulated double rounding of non-integer rates).
+  const TopologyRunResult& res = results[0];
+  ASSERT_EQ(res.nodes.size(), 7u);
+  EXPECT_GT(res.totals.external_arrived(), 0.0);
+  EXPECT_GT(res.totals.delivered(), 0.0);
+  for (const auto& node : res.totals.nodes()) EXPECT_GT(node.arrived, 0.0);
+  double dropped = 0.0, queued = 0.0;
+  for (const auto& node : res.totals.nodes()) {
+    dropped += node.dropped;
+    queued += node.end_queue;
+  }
+  const double injected = res.totals.external_arrived();
+  const double accounted =
+      res.totals.delivered() + dropped + queued + res.totals.in_flight();
+  EXPECT_NEAR(accounted / injected, 1.0, 1e-12);
+  EXPECT_GT(res.delivered_fraction, 0.0);
+  EXPECT_LE(res.delivered_fraction, 1.0);
+}
+
+TEST(TopologyRun, SingleReplicationMatchesKernelStream) {
+  // Replication 0 of the engine draws from the base RNG unjumped, so a
+  // one-replication campaign must equal a bare kernel run on
+  // RandomEngine(seed).
+  const auto model = make_model();
+  TopologyRunRequest request = acceptance_request(model);
+  request.replications = 1;
+
+  const TopologyRunResult res = run_topology(request);
+  ASSERT_TRUE(res.complete());
+
+  const ScenarioContext context(request.scenario);
+  ScenarioKernel kernel(context);
+  RandomEngine rng(request.seed);
+  TopologyAccumulator expected;
+  expected.add(kernel.run_one(rng));
+  expect_bitwise_equal(res.totals, expected);
+}
+
+TEST(TopologyRun, CheckpointResumeIsBitIdenticalToUninterrupted) {
+  const auto model = make_model();
+  const std::string path = fresh_checkpoint_path("resume");
+
+  // Uninterrupted reference, single thread.
+  TopologyRunRequest reference = acceptance_request(model);
+  const TopologyRunResult ref = run_topology(reference);
+  ASSERT_TRUE(ref.complete());
+
+  // Same campaign in budget-bounded slices, saving every shard and
+  // hopping thread counts between slices.
+  const unsigned thread_plan[] = {2u, 1u, 4u};
+  std::size_t slice_index = 0;
+  TopologyRunResult fin;
+  for (;;) {
+    TopologyRunRequest slice = acceptance_request(model);
+    slice.checkpoint.path = path;
+    slice.checkpoint.every_shards = 1;
+    slice.checkpoint.resume = slice_index > 0;
+    slice.controls.max_replications = 16;  // 2 shards per slice
+    slice.engine.threads = thread_plan[slice_index % 3];
+    ++slice_index;
+    fin = run_topology(slice);
+    if (fin.complete()) break;
+    ASSERT_EQ(fin.status, RunStatus::kBudgetExhausted);
+    ASSERT_LT(slice_index, 10u) << "campaign failed to converge";
+  }
+  EXPECT_GT(slice_index, 1u) << "budget never interrupted the campaign";
+  EXPECT_TRUE(fin.provenance.resumed);
+  expect_bitwise_equal(fin.totals, ref.totals);
+  EXPECT_EQ(fin.replications_done, ref.replications_done);
+  std::remove(path.c_str());
+}
+
+TEST(TopologyRun, ResumeRejectsForeignFingerprint) {
+  const auto model = make_model();
+  const std::string path = fresh_checkpoint_path("fingerprint");
+
+  TopologyRunRequest first = acceptance_request(model);
+  first.checkpoint.path = path;
+  first.checkpoint.every_shards = 1;
+  first.controls.max_replications = 8;  // leave a partial snapshot
+  const TopologyRunResult partial = run_topology(first);
+  ASSERT_EQ(partial.status, RunStatus::kBudgetExhausted);
+
+  TopologyRunRequest changed_seed = acceptance_request(model);
+  changed_seed.seed = first.seed + 1;
+  changed_seed.checkpoint.path = path;
+  changed_seed.checkpoint.resume = true;
+  try {
+    run_topology(changed_seed);
+    FAIL() << "resume must reject a snapshot with a different seed";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kFingerprintMismatch);
+  }
+
+  TopologyRunRequest changed_scenario = acceptance_request(model);
+  changed_scenario.scenario.slots *= 2;
+  changed_scenario.scenario.warmup = 0;
+  changed_scenario.checkpoint.path = path;
+  changed_scenario.checkpoint.resume = true;
+  try {
+    run_topology(changed_scenario);
+    FAIL() << "resume must reject a snapshot with a different scenario";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kFingerprintMismatch);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TopologyRun, ValidatesRequests) {
+  const auto model = make_model();
+
+  TopologyRunRequest zero_reps = acceptance_request(model);
+  zero_reps.replications = 0;
+  const auto err = validate(zero_reps);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ErrorCode::kInvalidArgument);
+  EXPECT_THROW(run_topology(zero_reps), RunError);
+
+  TopologyRunRequest empty_topology = acceptance_request(model);
+  empty_topology.scenario.topology = Topology();
+  EXPECT_TRUE(validate(empty_topology).has_value());
+
+  TopologyRunRequest no_sources = acceptance_request(model);
+  no_sources.scenario.classes.clear();
+  EXPECT_TRUE(validate(no_sources).has_value());
+
+  TopologyRunRequest bad_ingress = acceptance_request(model);
+  bad_ingress.scenario.classes[0].ingress = 99;
+  EXPECT_TRUE(validate(bad_ingress).has_value());
+
+  TopologyRunRequest bad_warmup = acceptance_request(model);
+  bad_warmup.scenario.warmup = bad_warmup.scenario.slots;
+  EXPECT_TRUE(validate(bad_warmup).has_value());
+
+  TopologyRunRequest bad_checkpoint = acceptance_request(model);
+  bad_checkpoint.checkpoint.path = "/nonexistent-ssvbr-dir/topo.ckpt";
+  const auto ckpt_err = validate(bad_checkpoint);
+  ASSERT_TRUE(ckpt_err.has_value());
+  EXPECT_EQ(ckpt_err->code, ErrorCode::kUnwritableCheckpoint);
+
+  EXPECT_FALSE(validate(acceptance_request(model)).has_value());
+}
+
+TEST(TopologyRun, AbrCampaignReportsFeedbackStatistics) {
+  const auto model = make_model();
+  TopologyRunRequest request;
+  const double m = model->mean();
+  request.scenario.topology = make_tandem(3, 120.0 * m, 60.0 * m);
+  SourceClassConfig cls;
+  cls.model = model;
+  cls.population = 100;
+  request.scenario.classes = {cls};
+  request.scenario.abr.enabled = true;
+  request.scenario.abr.initial_rate = m;
+  request.scenario.abr.min_rate = 0.1 * m;
+  request.scenario.abr.peak_rate = 40.0 * m;
+  request.scenario.abr.additive_increase = 0.5 * m;
+  request.scenario.abr.queue_threshold = 10.0 * m;
+  request.scenario.slots = 128;
+  request.scenario.warmup = 16;
+  request.replications = 8;
+  request.seed = 77;
+  request.engine.shard_size = 4;
+
+  const TopologyRunResult res = run_topology(request);
+  ASSERT_TRUE(res.complete());
+  EXPECT_GT(res.totals.abr_sent(), 0.0);
+  EXPECT_GT(res.abr_mean_rate, 0.0);
+  EXPECT_GE(res.totals.abr_min_rate(), request.scenario.abr.min_rate);
+  EXPECT_LE(res.totals.abr_max_rate(), request.scenario.abr.peak_rate);
+  EXPECT_GE(res.abr_congested_fraction, 0.0);
+  EXPECT_LE(res.abr_congested_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace ssvbr::net

@@ -18,7 +18,6 @@
 #include "common/error.h"
 #include "dist/distributions.h"
 #include "engine/checkpoint.h"
-#include "engine/parallel_estimators.h"
 #include "fractal/autocorrelation.h"
 
 namespace ssvbr::engine {
@@ -141,85 +140,6 @@ TEST(RunControlValidation, RejectsSweepCheckpointing) {
   const auto err = validate(request);
   ASSERT_TRUE(err.has_value());
   EXPECT_EQ(err->code, ErrorCode::kUnsupported);
-}
-
-// ---------------------------------------------------------------------------
-// Façade vs. deprecated wrappers: one execution path, identical numbers.
-// ---------------------------------------------------------------------------
-
-TEST(RunControlFacade, MatchesDeprecatedIsWrapperBitwise) {
-  const core::UnifiedVbrModel model = make_model();
-  const fractal::HoskingModel background(model.background_correlation(), 60);
-  const is::IsOverflowSettings settings = rare_settings(model, 96);
-
-  ReplicationEngine engine(EngineConfig{2, 16});
-  RandomEngine rng_old(4242);
-  const is::IsOverflowEstimate via_wrapper =
-      estimate_overflow_is_par(model, background, settings, rng_old, engine);
-
-  RunRequest request;
-  request.kind = EstimatorKind::kOverflowIs;
-  request.is.model = &model;
-  request.is.background = &background;
-  request.is.settings = settings;
-  RandomEngine rng_new(4242);
-  const RunResult via_facade = run_with(request, engine, rng_new);
-
-  EXPECT_TRUE(via_facade.complete());
-  EXPECT_EQ(bits(via_facade.is_estimate.probability), bits(via_wrapper.probability));
-  EXPECT_EQ(bits(via_facade.is_estimate.estimator_variance),
-            bits(via_wrapper.estimator_variance));
-  EXPECT_EQ(via_facade.is_estimate.hits, via_wrapper.hits);
-  EXPECT_TRUE(rng_new.state() == rng_old.state());  // same stream contract
-}
-
-TEST(RunControlFacade, MatchesDeprecatedMcWrapperBitwise) {
-  ReplicationEngine engine(EngineConfig{2, 32});
-  RandomEngine rng_old(99);
-  const queueing::OverflowEstimate via_wrapper = estimate_overflow_mc_par(
-      gamma_arrivals(), 2.5, 10.0, 50, 300, rng_old, engine);
-
-  RunRequest request;
-  request.kind = EstimatorKind::kOverflowMc;
-  request.mc.make_arrivals = gamma_arrivals();
-  request.mc.service_rate = 2.5;
-  request.mc.buffer = 10.0;
-  request.mc.stop_time = 50;
-  request.mc.replications = 300;
-  RandomEngine rng_new(99);
-  const RunResult via_facade = run_with(request, engine, rng_new);
-
-  EXPECT_EQ(bits(via_facade.mc.probability), bits(via_wrapper.probability));
-  EXPECT_EQ(via_facade.mc.hits, via_wrapper.hits);
-  EXPECT_TRUE(rng_new.state() == rng_old.state());
-}
-
-TEST(RunControlFacade, MatchesDeprecatedSweepWrapperBitwise) {
-  const core::UnifiedVbrModel model = make_model();
-  const fractal::HoskingModel background(model.background_correlation(), 60);
-  const is::IsOverflowSettings settings = rare_settings(model, 48);
-  const std::vector<double> twists{1.5, 2.0, 2.5};
-
-  ReplicationEngine engine(EngineConfig{2, 16});
-  RandomEngine rng_old(555);
-  const auto via_wrapper =
-      sweep_twist_par(model, background, settings, twists, rng_old, engine);
-
-  RunRequest request;
-  request.kind = EstimatorKind::kTwistSweep;
-  request.is.model = &model;
-  request.is.background = &background;
-  request.is.settings = settings;
-  request.is.twists = twists;
-  RandomEngine rng_new(555);
-  const RunResult via_facade = run_with(request, engine, rng_new);
-
-  ASSERT_EQ(via_facade.sweep.size(), via_wrapper.size());
-  for (std::size_t j = 0; j < twists.size(); ++j) {
-    EXPECT_EQ(bits(via_facade.sweep[j].estimate.probability),
-              bits(via_wrapper[j].estimate.probability));
-  }
-  EXPECT_TRUE(rng_new.state() == rng_old.state());
 }
 
 // ---------------------------------------------------------------------------
