@@ -9,7 +9,15 @@
 //
 //   {"bench":"engine_scaling","estimator":"mc", ...,
 //    "results":[{"threads":1,"seconds":...,"replications_per_s":...,
-//                "speedup":...,"deterministic":true}, ...]}
+//                "speedup":...,"efficiency":...,"deterministic":true,
+//                "breakdown":{...}}, ...],
+//    "telemetry_enabled":true,"scaling_report":{...}}
+//
+// In SSVBR_OBS=ON builds each result carries a telemetry breakdown
+// (where that cell's thread-seconds went) and the row closes with a
+// ScalingReport decomposing the sweep's inefficiency into named causes
+// (Amdahl serial fraction, load imbalance, setup cost, pool idle); in
+// OBS=OFF builds only the wall-clock trajectory is emitted.
 //
 // REPRO_BENCH_SCALE scales the replication counts. The default
 // workload is the acceptance target: 10^4 replications.
@@ -17,13 +25,14 @@
 #include <cmath>
 #include <cstdio>
 #include <memory>
-#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
 #include "dist/distributions.h"
 #include "engine/run.h"
 #include "fractal/autocorrelation.h"
+#include "obs/telemetry.h"
 #include "queueing/arrival.h"
 
 namespace {
@@ -34,8 +43,16 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
-/// Run `study(engine)` at each thread count; returns per-thread-count
-/// wall-clock seconds and whether the estimate matched T=1 exactly.
+struct StudyOutcome {
+  double probability = 0.0;
+  double variance = 0.0;
+  std::size_t hits = 0;
+  obs::RunTelemetry telemetry;
+};
+
+/// Run `study(engine)` at each thread count and print the scaling row:
+/// wall-clock + bit-identity per cell, plus (telemetry builds) the
+/// thread-second breakdown per cell and the sweep's ScalingReport.
 template <class Study>
 void report(const char* estimator, std::size_t replications,
             const std::vector<unsigned>& thread_counts, Study&& study) {
@@ -43,6 +60,7 @@ void report(const char* estimator, std::size_t replications,
     unsigned threads;
     double seconds;
     bool deterministic;
+    obs::RunTelemetry telemetry;
   };
   std::vector<Row> rows;
   double p_ref = 0.0, var_ref = 0.0;
@@ -50,18 +68,34 @@ void report(const char* estimator, std::size_t replications,
   for (const unsigned t : thread_counts) {
     engine::ReplicationEngine eng(t);
     const auto t0 = std::chrono::steady_clock::now();
-    const auto [p, var, hits] = study(eng);
+    StudyOutcome out = study(eng);
     const double secs = seconds_since(t0);
     bool deterministic = true;
     if (t == thread_counts.front()) {
-      p_ref = p;
-      var_ref = var;
-      hits_ref = hits;
+      p_ref = out.probability;
+      var_ref = out.variance;
+      hits_ref = out.hits;
     } else {
-      deterministic = p == p_ref && var == var_ref && hits == hits_ref;
+      deterministic = out.probability == p_ref && out.variance == var_ref &&
+                      out.hits == hits_ref;
     }
-    rows.push_back(Row{t, secs, deterministic});
+    rows.push_back(Row{t, secs, deterministic, std::move(out.telemetry)});
   }
+
+  std::vector<obs::RunTelemetry> runs;
+  runs.reserve(rows.size());
+  bool telemetry_enabled = true;
+  for (const Row& r : rows) {
+    obs::RunTelemetry t = r.telemetry;
+    if (!t.enabled) {
+      telemetry_enabled = false;
+      t.threads = r.threads;
+      t.wall_seconds = r.seconds;
+    }
+    runs.push_back(std::move(t));
+  }
+  const obs::ScalingReport scaling = obs::ScalingReport::from_runs(runs);
+
   std::printf("{\"bench\":\"engine_scaling\",\"estimator\":\"%s\","
               "\"replications\":%zu,\"probability\":%.17g,\"results\":[",
               estimator, replications, p_ref);
@@ -69,13 +103,30 @@ void report(const char* estimator, std::size_t replications,
     const double rps = rows[i].seconds > 0.0
                            ? static_cast<double>(replications) / rows[i].seconds
                            : 0.0;
+    const double speedup =
+        rows[i].seconds > 0.0 ? rows[0].seconds / rows[i].seconds : 0.0;
     std::printf("%s{\"threads\":%u,\"seconds\":%.4f,\"replications_per_s\":%.1f,"
-                "\"speedup\":%.2f,\"deterministic\":%s}",
+                "\"speedup\":%.2f,\"efficiency\":%.3f,\"deterministic\":%s",
                 i == 0 ? "" : ",", rows[i].threads, rows[i].seconds, rps,
-                rows[i].seconds > 0.0 ? rows[0].seconds / rows[i].seconds : 0.0,
+                speedup, speedup / static_cast<double>(rows[i].threads),
                 rows[i].deterministic ? "true" : "false");
+    const obs::RunTelemetry& t = rows[i].telemetry;
+    if (t.enabled) {
+      const double budget = static_cast<double>(t.threads) * t.wall_seconds;
+      const double denom = budget > 0.0 ? budget : 1.0;
+      std::printf(",\"breakdown\":{\"loop\":%.3f,\"shard_setup\":%.3f,"
+                  "\"worker_setup\":%.3f,\"merge\":%.3f,\"checkpoint\":%.3f,"
+                  "\"idle\":%.3f,\"load_imbalance\":%.3f}",
+                  t.loop_seconds() / denom, t.shard_setup_seconds() / denom,
+                  t.worker_setup_seconds() / denom, t.merge_seconds / denom,
+                  t.checkpoint_seconds / denom, t.idle_seconds() / denom,
+                  t.load_imbalance());
+    }
+    std::printf("}");
   }
-  std::printf("]}\n");
+  std::printf("],\"telemetry_enabled\":%s,\"scaling_report\":%s}\n",
+              telemetry_enabled ? "true" : "false",
+              scaling.to_json().c_str());
 }
 
 }  // namespace
@@ -104,9 +155,9 @@ int main() {
     request.mc.replications = reps;
     report("mc", reps, thread_counts, [&](engine::ReplicationEngine& eng) {
       RandomEngine rng(1001);
-      const queueing::OverflowEstimate est =
-          engine::run_with(request, eng, rng).mc;
-      return std::make_tuple(est.probability, est.estimator_variance, est.hits);
+      engine::RunResult res = engine::run_with(request, eng, rng);
+      return StudyOutcome{res.mc.probability, res.mc.estimator_variance,
+                          res.mc.hits, std::move(res.telemetry)};
     });
   }
 
@@ -131,9 +182,10 @@ int main() {
     request.is.settings = settings;
     report("is", reps, thread_counts, [&](engine::ReplicationEngine& eng) {
       RandomEngine rng(1002);
-      const is::IsOverflowEstimate est =
-          engine::run_with(request, eng, rng).is_estimate;
-      return std::make_tuple(est.probability, est.estimator_variance, est.hits);
+      engine::RunResult res = engine::run_with(request, eng, rng);
+      return StudyOutcome{res.is_estimate.probability,
+                          res.is_estimate.estimator_variance,
+                          res.is_estimate.hits, std::move(res.telemetry)};
     });
   }
   return 0;

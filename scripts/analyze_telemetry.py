@@ -1,0 +1,339 @@
+#!/usr/bin/env python3
+"""Analyze (or validate) an SSVBR_TELEMETRY_JSONL event log.
+
+The obs layer's telemetry collector (src/obs/telemetry.h) appends three
+kinds of lines per engine run:
+
+  {"event":"run","schema":1,"study":...,"run":N,"threads":...,
+   "shard_size":...,"shards_total":...,"shards_executed":...,
+   "replications":...,"wall_seconds":...,"merge_seconds":...,
+   "checkpoint_seconds":...}
+  {"event":"worker","run":N,"thread":...,"setup_seconds":...,
+   "busy_seconds":...,"shards":...,"replications":...}
+  {"event":"shard","run":N,"shard":...,"task":...,"thread":...,
+   "replications":...,"claim_seconds":...,"wait_seconds":...,
+   "setup_seconds":...,"loop_seconds":...}
+
+Analysis mode (default) groups runs by study label, decomposes each
+run's thread-second budget (replication loop / stream-repositioning
+setup / per-worker sampler construction / merge / checkpoint I/O /
+idle), and — when a study was run at several thread counts — fits
+Amdahl's law T(n) = s + p/n to name the causes of imperfect scaling,
+mirroring obs::ScalingReport::from_runs in src/obs/telemetry.cpp.
+
+Validation mode (--check) verifies the schema and the structural
+invariants the collector promises:
+
+  * every line is one of the three events with the full key set;
+  * every worker/shard line's run id has a run line;
+  * per run: shard-event count == shards_executed, shard replications
+    sum to the run's replications, no shard index repeats, thread ids
+    are < threads;
+  * per (run, thread): claim timestamps strictly increase (events are
+    recorded in claim order by one worker);
+  * per (run, thread): the worker line's busy_seconds equals the sum of
+    its shard setup+loop to float tolerance.
+
+--check --run BIN first smoke-runs BIN (a bench or example binary) with
+SSVBR_TELEMETRY_JSONL pointing at a temp file and a tiny
+REPRO_BENCH_SCALE, then validates what it emitted. This is wired as the
+check_telemetry_schema ctest in obs builds.
+
+Usage:
+  analyze_telemetry.py LOG.jsonl [--json]
+  analyze_telemetry.py --check LOG.jsonl
+  analyze_telemetry.py --check --run /path/to/bench_binary
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+RUN_KEYS = {
+    "study", "run", "threads", "shard_size", "shards_total",
+    "shards_executed", "replications", "wall_seconds", "merge_seconds",
+    "checkpoint_seconds",
+}
+WORKER_KEYS = {"run", "thread", "setup_seconds", "busy_seconds", "shards",
+               "replications"}
+SHARD_KEYS = {"run", "shard", "task", "thread", "replications",
+              "claim_seconds", "wait_seconds", "setup_seconds",
+              "loop_seconds"}
+
+
+def fail(message):
+    print(f"analyze_telemetry: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_log(path):
+    """Return {run_id: {"run": line, "workers": [...], "shards": [...]}}."""
+    runs = {}
+    orphans = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                line = json.loads(raw)
+            except json.JSONDecodeError as err:
+                fail(f"{path}:{lineno}: not valid JSON: {err}")
+            kind = line.get("event")
+            if kind == "run":
+                missing = RUN_KEYS - line.keys()
+                if missing:
+                    fail(f"{path}:{lineno}: run line missing {sorted(missing)}")
+                if line.get("schema") != 1:
+                    fail(f"{path}:{lineno}: unknown telemetry schema "
+                         f"{line.get('schema')!r}")
+                runs[line["run"]] = {"run": line, "workers": [], "shards": []}
+            elif kind == "worker":
+                missing = WORKER_KEYS - line.keys()
+                if missing:
+                    fail(f"{path}:{lineno}: worker line missing {sorted(missing)}")
+                orphans.append((lineno, "workers", line))
+            elif kind == "shard":
+                missing = SHARD_KEYS - line.keys()
+                if missing:
+                    fail(f"{path}:{lineno}: shard line missing {sorted(missing)}")
+                orphans.append((lineno, "shards", line))
+            else:
+                fail(f"{path}:{lineno}: unknown event {kind!r}")
+    for lineno, bucket, line in orphans:
+        run = runs.get(line["run"])
+        if run is None:
+            fail(f"{path}:{lineno}: {bucket[:-1]} line for unknown run "
+                 f"{line['run']}")
+        run[bucket].append(line)
+    if not runs:
+        fail(f"{path}: no run events")
+    return runs
+
+
+def check_invariants(runs):
+    for run_id, bundle in sorted(runs.items()):
+        run = bundle["run"]
+        shards = bundle["shards"]
+        if len(shards) != run["shards_executed"]:
+            fail(f"run {run_id}: {len(shards)} shard events but "
+                 f"shards_executed={run['shards_executed']}")
+        if sum(s["replications"] for s in shards) != run["replications"]:
+            fail(f"run {run_id}: shard replications do not sum to "
+                 f"{run['replications']}")
+        indices = [s["shard"] for s in shards]
+        if len(set(indices)) != len(indices):
+            fail(f"run {run_id}: duplicate shard indices")
+        if any(i >= run["shards_total"] for i in indices):
+            fail(f"run {run_id}: shard index beyond shards_total")
+        by_thread = {}
+        for s in shards:
+            if s["thread"] >= run["threads"]:
+                fail(f"run {run_id}: shard thread {s['thread']} >= "
+                     f"threads {run['threads']}")
+            by_thread.setdefault(s["thread"], []).append(s)
+        for thread, events in by_thread.items():
+            claims = [e["claim_seconds"] for e in events]
+            if any(b <= a for a, b in zip(claims, claims[1:])):
+                fail(f"run {run_id}: thread {thread} claim timestamps not "
+                     f"strictly increasing")
+        workers = {w["thread"]: w for w in bundle["workers"]}
+        if len(workers) != len(bundle["workers"]):
+            fail(f"run {run_id}: duplicate worker threads")
+        for thread, events in by_thread.items():
+            w = workers.get(thread)
+            if w is None:
+                fail(f"run {run_id}: shard events for thread {thread} but "
+                     f"no worker line")
+            if w["shards"] != len(events):
+                fail(f"run {run_id}: worker {thread} shards={w['shards']} "
+                     f"but {len(events)} shard events")
+            busy = sum(e["setup_seconds"] + e["loop_seconds"] for e in events)
+            if abs(busy - w["busy_seconds"]) > 1e-6 + 1e-3 * max(busy, 1e-9):
+                fail(f"run {run_id}: worker {thread} busy_seconds "
+                     f"{w['busy_seconds']} != shard sum {busy}")
+
+
+def breakdown(bundle):
+    """Thread-second budget fractions of one run, as a dict."""
+    run = bundle["run"]
+    budget = run["threads"] * run["wall_seconds"]
+    loop = sum(s["loop_seconds"] for s in bundle["shards"])
+    shard_setup = sum(s["setup_seconds"] for s in bundle["shards"])
+    worker_setup = sum(w["setup_seconds"] for w in bundle["workers"])
+    busy = sum(w["busy_seconds"] for w in bundle["workers"])
+    idle = max(0.0, budget - busy - worker_setup - run["merge_seconds"]
+               - run["checkpoint_seconds"])
+    busy_by_worker = [w["busy_seconds"] for w in bundle["workers"]
+                      if w["busy_seconds"] > 0.0]
+    if len(busy_by_worker) > 1:
+        imbalance = 1.0 - (sum(busy_by_worker) / len(busy_by_worker)
+                           / max(busy_by_worker))
+    else:
+        imbalance = 0.0
+    denom = budget if budget > 0.0 else 1.0
+    return {
+        "threads": run["threads"],
+        "wall_seconds": run["wall_seconds"],
+        "loop_fraction": loop / denom,
+        "shard_setup_fraction": shard_setup / denom,
+        "worker_setup_fraction": worker_setup / denom,
+        "merge_fraction": run["merge_seconds"] / denom,
+        "checkpoint_fraction": run["checkpoint_seconds"] / denom,
+        "idle_fraction": idle / denom,
+        "load_imbalance": imbalance,
+    }
+
+
+def amdahl_fit(cells):
+    """Least-squares fit of T(n) = a + b/n; returns (serial_fraction, r2)."""
+    if len(cells) < 2:
+        return 0.0, 0.0
+    xs = [1.0 / c["threads"] for c in cells]
+    ys = [c["wall_seconds"] for c in cells]
+    m = len(cells)
+    sx, sy = sum(xs), sum(ys)
+    sxx = sum(x * x for x in xs)
+    sxy = sum(x * y for x, y in zip(xs, ys))
+    det = m * sxx - sx * sx
+    if det <= 0.0:
+        return 0.0, 0.0
+    b = (m * sxy - sx * sy) / det
+    a = (sy - b * sx) / m
+    mean_y = sy / m
+    ss_res = sum((y - (a + b * x)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    serial = min(max(a / (a + b), 0.0), 1.0) if a + b > 0.0 else 0.0
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0.0 else 1.0
+    return serial, r2
+
+
+def analyze(runs):
+    """Group runs by study and build one scaling report per study."""
+    studies = {}
+    for run_id in sorted(runs):
+        bundle = runs[run_id]
+        study = bundle["run"]["study"] or "(unlabeled)"
+        studies.setdefault(study, []).append(bundle)
+    reports = {}
+    for study, bundles in studies.items():
+        # One cell per thread count (first run wins), ascending.
+        by_threads = {}
+        for bundle in bundles:
+            by_threads.setdefault(bundle["run"]["threads"], bundle)
+        cells = [breakdown(by_threads[t]) for t in sorted(by_threads)]
+        base = cells[0]
+        for c in cells:
+            c["speedup"] = (base["wall_seconds"] / c["wall_seconds"]
+                            if c["wall_seconds"] > 0.0 else 0.0)
+            c["efficiency"] = (c["speedup"] * base["threads"] / c["threads"])
+        serial, r2 = amdahl_fit(cells)
+        top = cells[-1]
+        attribution = {
+            "serial_fraction": serial,
+            "load_imbalance": top["load_imbalance"],
+            "setup_cost": (top["shard_setup_fraction"]
+                           + top["worker_setup_fraction"]),
+            "pool_idle": top["idle_fraction"],
+        }
+        causes = sorted(attribution.items(), key=lambda kv: -kv[1])
+        reports[study] = {
+            "cells": cells,
+            "serial_fraction": serial,
+            "amdahl_r2": r2,
+            "attribution": attribution,
+            "causes": [f"{name} {100.0 * value:.1f}%"
+                       for name, value in causes if value >= 0.02]
+                      or ["no single cause above 2% of thread-seconds"],
+            "runs": len(bundles),
+        }
+    return reports
+
+
+def print_text(reports):
+    for study, rep in reports.items():
+        print(f"study: {study}  ({rep['runs']} runs)")
+        header = (f"  {'thr':>4} {'wall_s':>9} {'speedup':>8} {'eff':>6} "
+                  f"{'loop':>6} {'setup':>6} {'wsetup':>6} {'merge':>6} "
+                  f"{'ckpt':>6} {'idle':>6} {'imbal':>6}")
+        print(header)
+        for c in rep["cells"]:
+            print(f"  {c['threads']:>4} {c['wall_seconds']:>9.4f} "
+                  f"{c['speedup']:>8.2f} {c['efficiency']:>6.2f} "
+                  f"{c['loop_fraction']:>6.1%} "
+                  f"{c['shard_setup_fraction']:>6.1%} "
+                  f"{c['worker_setup_fraction']:>6.1%} "
+                  f"{c['merge_fraction']:>6.1%} "
+                  f"{c['checkpoint_fraction']:>6.1%} "
+                  f"{c['idle_fraction']:>6.1%} "
+                  f"{c['load_imbalance']:>6.1%}")
+        if len(rep["cells"]) >= 2:
+            print(f"  Amdahl serial fraction: {rep['serial_fraction']:.1%} "
+                  f"(r2={rep['amdahl_r2']:.3f})")
+        print("  inefficiency attribution (top thread count): "
+              + ", ".join(rep["causes"]))
+        print()
+
+
+def smoke_emit(binary):
+    """Run `binary` with telemetry pointed at a temp log; return its path."""
+    fd, path = tempfile.mkstemp(suffix=".jsonl", prefix="ssvbr_telemetry_")
+    os.close(fd)
+    env = dict(os.environ,
+               SSVBR_TELEMETRY_JSONL=path,
+               REPRO_BENCH_SCALE=os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+    proc = subprocess.run([binary], env=env, stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE, text=True, timeout=1200)
+    if proc.returncode != 0:
+        os.unlink(path)
+        fail(f"{binary} exited {proc.returncode}:\n{proc.stderr}")
+    if os.path.getsize(path) == 0:
+        os.unlink(path)
+        fail(f"{binary} emitted no telemetry (is this an SSVBR_OBS=ON "
+             f"build?)")
+    return path
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Analyze or validate an SSVBR_TELEMETRY_JSONL log.")
+    parser.add_argument("log", nargs="?", help="telemetry JSONL file")
+    parser.add_argument("--check", action="store_true",
+                        help="validate schema + invariants instead of "
+                             "printing the analysis")
+    parser.add_argument("--run", metavar="BIN",
+                        help="first run BIN with SSVBR_TELEMETRY_JSONL set "
+                             "to a temp file, then operate on that log")
+    parser.add_argument("--json", action="store_true",
+                        help="print the analysis as JSON instead of text")
+    args = parser.parse_args()
+
+    if bool(args.log) == bool(args.run):
+        parser.error("provide exactly one of LOG or --run BIN")
+
+    path = smoke_emit(args.run) if args.run else args.log
+    cleanup = bool(args.run)
+    try:
+        runs = parse_log(path)
+        check_invariants(runs)
+        if args.check:
+            shard_count = sum(len(b["shards"]) for b in runs.values())
+            print(f"analyze_telemetry: OK ({len(runs)} runs, "
+                  f"{shard_count} shard events)")
+            return
+        reports = analyze(runs)
+        if args.json:
+            json.dump(reports, sys.stdout, indent=2)
+            print()
+        else:
+            print_text(reports)
+    finally:
+        if cleanup:
+            os.unlink(path)
+
+
+if __name__ == "__main__":
+    main()

@@ -14,7 +14,11 @@ promises to future revisions:
   * the bench set covers the tracked hot paths (davies_harte_path,
     is_twist_sweep_fig14, ...);
   * engine rows: estimator / replications / results with per-thread
-    seconds and deterministic flags;
+    seconds and deterministic flags, plus the telemetry_enabled flag
+    and a scaling_report object (whose cells / attribution / causes
+    must be fully populated when telemetry_enabled is true);
+  * BENCH_engine.json: the same engine rows as a standalone "engine"
+    list (the committed thread-scaling trajectory);
   * BENCH_topology.json: a "topology" list covering the tracked
     scenario grid (nodes x classes x path length), every row carrying
     nodes / classes / path_length / replications and per-thread results
@@ -64,9 +68,10 @@ def main():
     with tempfile.TemporaryDirectory() as tmp:
         out_path = os.path.join(tmp, "BENCH_pipeline.json")
         topology_path = os.path.join(tmp, "BENCH_topology.json")
+        engine_path = os.path.join(tmp, "BENCH_engine.json")
         env = dict(os.environ, REPRO_BENCH_SCALE="0.02")
         proc = subprocess.run(
-            ["sh", script, build_dir, out_path, topology_path],
+            ["sh", script, build_dir, out_path, topology_path, engine_path],
             env=env,
             stdout=subprocess.PIPE,
             stderr=subprocess.PIPE,
@@ -85,6 +90,11 @@ def main():
                 topology_doc = json.load(f)
         except (OSError, json.JSONDecodeError) as err:
             fail(f"topology output is not valid JSON: {err}")
+        try:
+            with open(engine_path, encoding="utf-8") as f:
+                engine_doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            fail(f"engine output is not valid JSON: {err}")
 
     if not isinstance(doc.get("pipeline"), dict):
         fail("missing 'pipeline' object")
@@ -116,16 +126,54 @@ def main():
     if missing:
         fail(f"tracked hot-path benches missing: {missing}")
 
-    for row in doc["engine"]:
-        for key in ("estimator", "replications", "results"):
-            if key not in row:
-                fail(f"engine row missing '{key}'")
-        if not row["results"]:
-            fail(f"engine row for '{row['estimator']}' has no results")
-        for res in row["results"]:
-            for key in ("threads", "seconds", "replications_per_s", "deterministic"):
-                if key not in res:
-                    fail(f"engine result missing '{key}': {res}")
+    def check_engine_rows(rows, where):
+        for row in rows:
+            for key in ("estimator", "replications", "results",
+                        "telemetry_enabled", "scaling_report"):
+                if key not in row:
+                    fail(f"{where} row missing '{key}'")
+            if not row["results"]:
+                fail(f"{where} row for '{row['estimator']}' has no results")
+            telemetry = row["telemetry_enabled"] is True
+            for res in row["results"]:
+                for key in ("threads", "seconds", "replications_per_s",
+                            "speedup", "efficiency", "deterministic"):
+                    if key not in res:
+                        fail(f"{where} result missing '{key}': {res}")
+                if telemetry:
+                    bd = res.get("breakdown")
+                    if not isinstance(bd, dict):
+                        fail(f"{where} telemetry result missing breakdown: {res}")
+                    for key in ("loop", "shard_setup", "worker_setup", "merge",
+                                "checkpoint", "idle", "load_imbalance"):
+                        if key not in bd:
+                            fail(f"{where} breakdown missing '{key}': {bd}")
+            report = row["scaling_report"]
+            if not isinstance(report, dict):
+                fail(f"{where} scaling_report is not an object")
+            for key in ("cells", "serial_fraction", "amdahl_r2",
+                        "attribution", "causes"):
+                if key not in report:
+                    fail(f"{where} scaling_report missing '{key}'")
+            if len(report["cells"]) != len(row["results"]):
+                fail(f"{where} scaling_report has {len(report['cells'])} cells "
+                     f"for {len(row['results'])} results")
+            for key in ("serial_fraction", "load_imbalance", "setup_cost",
+                        "pool_idle"):
+                if key not in report["attribution"]:
+                    fail(f"{where} attribution missing '{key}'")
+            if telemetry and not report["causes"]:
+                fail(f"{where} telemetry scaling_report names no causes")
+
+    check_engine_rows(doc["engine"], "engine")
+
+    engine_rows = engine_doc.get("engine")
+    if not isinstance(engine_rows, list) or not engine_rows:
+        fail("BENCH_engine.json missing or empty 'engine' list")
+    if len(engine_rows) != len(doc["engine"]):
+        fail("BENCH_engine.json row count differs from the pipeline's "
+             "engine section")
+    check_engine_rows(engine_rows, "BENCH_engine")
 
     rows = topology_doc.get("topology")
     if not isinstance(rows, list) or not rows:
@@ -151,8 +199,10 @@ def main():
     if missing:
         fail(f"tracked topology scenarios missing: {missing}")
 
+    telemetry_rows = sum(1 for r in engine_rows if r["telemetry_enabled"])
     print(f"check_bench_schema: OK ({len(benches)} pipeline benches, "
-          f"{len(doc['engine'])} engine rows, {len(rows)} topology rows)")
+          f"{len(doc['engine'])} engine rows ({telemetry_rows} with "
+          f"telemetry), {len(rows)} topology rows)")
 
 
 if __name__ == "__main__":

@@ -4,11 +4,17 @@
 #                        plus thread-scaling rows (bench_perf_engine)
 #   BENCH_topology.json  network-scale campaign grid (bench_topology):
 #                        nodes x classes x path-length, per-thread rows
+#   BENCH_engine.json    the engine thread-scaling trajectory alone
+#                        (same rows as BENCH_pipeline's engine section;
+#                        in SSVBR_OBS=ON builds each row carries the
+#                        telemetry breakdown and a ScalingReport naming
+#                        the causes of imperfect scaling)
 #
-# Usage: scripts/run_benches.sh [build_dir] [output_file] [topology_output]
+# Usage: scripts/run_benches.sh [build_dir] [output_file] [topology_output] [engine_output]
 #   build_dir        defaults to build-bench, falling back to build
 #   output_file      defaults to BENCH_pipeline.json in the repo root
 #   topology_output  defaults to BENCH_topology.json in the repo root
+#   engine_output    defaults to BENCH_engine.json in the repo root
 #
 # Environment:
 #   REPRO_BENCH_SCALE  workload multiplier (smoke runs use e.g. 0.02)
@@ -26,6 +32,7 @@ if [ -z "$build_dir" ]; then
 fi
 out=${2:-$repo_root/BENCH_pipeline.json}
 topology_out=${3:-$repo_root/BENCH_topology.json}
+engine_out=${4:-$repo_root/BENCH_engine.json}
 
 gen_bin=$build_dir/bench/bench_perf_generators
 engine_bin=$build_dir/bench/bench_perf_engine
@@ -71,6 +78,20 @@ python3 -c 'import json, sys; json.load(open(sys.argv[1]))' "$out" || {
 }
 
 echo "run_benches.sh: wrote $out" >&2
+
+{
+  printf '{\n"engine": [\n'
+  awk 'NR > 1 { printf ",\n" } { printf "%s", $0 } END { printf "\n" }' \
+    "$tmp/engine.jsonl"
+  printf ']\n}\n'
+} > "$engine_out"
+
+python3 -c 'import json, sys; json.load(open(sys.argv[1]))' "$engine_out" || {
+  echo "run_benches.sh: $engine_out is not valid JSON" >&2
+  exit 1
+}
+
+echo "run_benches.sh: wrote $engine_out" >&2
 
 echo "run_benches.sh: running bench_topology..." >&2
 # The topology bench prints '#' banner lines before its JSON rows.

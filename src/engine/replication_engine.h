@@ -29,7 +29,10 @@
 // ("engine.run" / "engine.shard" / "engine.merge"), and an
 // "engine.reps_per_sec" gauge; an optional EngineConfig::progress
 // callback delivers rate-limited heartbeats (shards done, reps/sec,
-// ETA) while a study runs. Neither affects the simulated numbers.
+// ETA) while a study runs; and every run leaves a shard-level
+// obs::RunTelemetry (per-shard thread/wait/setup/loop split, merge and
+// checkpoint costs — see obs/telemetry.h) readable via
+// last_telemetry(). None of it affects the simulated numbers.
 // Durable run-control (run_durable): the same shard loop, extended
 // with cooperative cancellation (stop flags checked at shard
 // boundaries), wall-clock deadlines, per-call replication budgets, and
@@ -48,6 +51,8 @@
 #include <cstddef>
 #include <functional>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -56,6 +61,7 @@
 #include "engine/accumulator.h"
 #include "engine/thread_pool.h"
 #include "obs/instrument.h"
+#include "obs/telemetry.h"
 
 namespace ssvbr::engine {
 
@@ -212,6 +218,17 @@ class ReplicationEngine {
   unsigned threads() const noexcept { return pool_.size(); }
   std::size_t shard_size() const noexcept { return shard_size_; }
 
+  /// Label attached to the next runs' telemetry (e.g. the estimator
+  /// kind). Purely descriptive; never affects the simulation.
+  void set_study_label(std::string_view label) { study_label_ = label; }
+
+  /// Telemetry of the most recent run()/run_durable()/run_many() call.
+  /// Empty (enabled == false) when the library was built without
+  /// -DSSVBR_OBS=ON, or before the first run.
+  const obs::RunTelemetry& last_telemetry() const noexcept {
+    return telemetry_;
+  }
+
   /// Run `replications` independent replications and return the merged
   /// accumulator.
   ///
@@ -257,11 +274,14 @@ class ReplicationEngine {
                                  const DurableControls& controls = {},
                                  const DurableHooks<Acc>& hooks = {}) {
     DurableResult<Acc> out;
+    telemetry_ = {};
     if (replications == 0) return out;
     SSVBR_SPAN("engine.run");
     SSVBR_GAUGE_SET("engine.threads", static_cast<double>(pool_.size()));
     SSVBR_GAUGE_SET("engine.shard_size", static_cast<double>(shard_size_));
     const std::size_t n_shards = (replications + shard_size_ - 1) / shard_size_;
+    obs::TelemetryCollector telem(study_label_, pool_.size(), n_shards,
+                                  shard_size_);
     out.shards_total = n_shards;
     const auto shard_width = [&](std::size_t s) {
       return std::min((s + 1) * shard_size_, replications) - s * shard_size_;
@@ -304,6 +324,7 @@ class ReplicationEngine {
     const auto snapshot = [&]() {
       if (!hooks.save) return;
       std::lock_guard<std::mutex> lock(save_mu);
+      const std::uint64_t save_t0 = obs::now_ns();
       std::vector<char> flags(n_shards, 0);
       std::size_t reps_done = 0;
       for (std::size_t s = 0; s < n_shards; ++s) {
@@ -315,6 +336,9 @@ class ReplicationEngine {
         }
       }
       hooks.save(flags, shard_result, reps_done);
+      // Serialized by save_mu, so the collector's plain accumulator is
+      // safe here.
+      telem.add_checkpoint_ns(obs::now_ns() - save_t0);
     };
 
     const auto should_stop = [&]() -> bool {
@@ -345,8 +369,11 @@ class ReplicationEngine {
     };
 
     try {
-      pool_.parallel([&](unsigned) {
+      pool_.parallel([&](unsigned worker_id) {
+        auto tw = telem.worker(worker_id);
+        tw.begin_setup();
         auto worker = make_worker();
+        tw.end_setup();
         RandomEngine stream = base;
         std::size_t position = 0;  // jumps applied to `stream` so far
         try {
@@ -357,12 +384,14 @@ class ReplicationEngine {
             if (s >= n_shards) break;
             if (done[s].load(std::memory_order_acquire)) continue;  // restored
             SSVBR_TIMER("engine.shard");
+            tw.claimed();
             const std::size_t lo = s * shard_size_;
             const std::size_t hi = std::min(lo + shard_size_, replications);
             while (position < lo) {
               stream.jump();
               ++position;
             }
+            tw.loop_started();
             Acc acc{};
             for (std::size_t i = lo; i < hi; ++i) {
               RandomEngine replication_stream = stream;
@@ -372,6 +401,7 @@ class ReplicationEngine {
             }
             shard_result[s] = std::move(acc);
             done[s].store(1, std::memory_order_release);
+            tw.shard_done(s, /*task=*/0, hi - lo);
             completed_total.fetch_add(1, std::memory_order_relaxed);
             reps_this_call.fetch_add(hi - lo, std::memory_order_relaxed);
             // Exactly one shard ends at `replications`; its stream then
@@ -414,6 +444,7 @@ class ReplicationEngine {
     snapshot();
     {
       SSVBR_TIMER("engine.merge");
+      const std::uint64_t merge_t0 = obs::now_ns();
       bool first = true;
       for (std::size_t s = 0; s < n_shards; ++s) {
         if (!done[s].load(std::memory_order_acquire)) continue;
@@ -425,7 +456,11 @@ class ReplicationEngine {
           out.total.merge(shard_result[s]);
         }
       }
+      telem.add_merge_ns(obs::now_ns() - merge_t0);
     }
+    telemetry_ =
+        telem.finish(completed_this_call.load(std::memory_order_relaxed),
+                     reps_this_call.load(std::memory_order_relaxed));
 
     if (out.shards_done == n_shards) {
       out.status = RunStatus::kComplete;
@@ -473,6 +508,7 @@ class ReplicationEngine {
   std::vector<Acc> run_many(std::size_t tasks, std::size_t replications, RandomEngine& rng,
                             MakeWorker&& make_worker) {
     std::vector<Acc> totals(tasks);
+    telemetry_ = {};
     if (tasks == 0 || replications == 0) {
       for (std::size_t t = 0; t < tasks; ++t) rng.jump_long();
       return totals;
@@ -482,14 +518,19 @@ class ReplicationEngine {
     SSVBR_GAUGE_SET("engine.shard_size", static_cast<double>(shard_size_));
     const std::size_t shards_per_task = (replications + shard_size_ - 1) / shard_size_;
     const std::size_t n_shards = tasks * shards_per_task;
+    obs::TelemetryCollector telem(study_label_, pool_.size(), n_shards,
+                                  shard_size_);
     std::vector<Acc> shard_result(n_shards);
     const RandomEngine base = rng;
     std::atomic<std::size_t> next_shard{0};
     ProgressReporter reporter(&progress_, progress_interval_seconds_, n_shards,
                               tasks * replications);
 
-    pool_.parallel([&](unsigned) {
+    pool_.parallel([&](unsigned worker_id) {
+      auto tw = telem.worker(worker_id);
+      tw.begin_setup();
       auto worker = make_worker();
+      tw.end_setup();
       RandomEngine task_base = base;
       std::size_t task_position = 0;  // long jumps applied to `task_base`
       RandomEngine stream = base;
@@ -499,6 +540,7 @@ class ReplicationEngine {
         const std::size_t g = next_shard.fetch_add(1, std::memory_order_relaxed);
         if (g >= n_shards) break;
         SSVBR_TIMER("engine.shard");
+        tw.claimed();
         const std::size_t t = g / shards_per_task;
         const std::size_t s = g % shards_per_task;
         const std::size_t lo = s * shard_size_;
@@ -518,6 +560,7 @@ class ReplicationEngine {
           stream.jump();
           ++position;
         }
+        tw.loop_started();
         Acc acc{};
         for (std::size_t i = lo; i < hi; ++i) {
           RandomEngine replication_stream = stream;
@@ -526,6 +569,7 @@ class ReplicationEngine {
           ++position;
         }
         shard_result[g] = std::move(acc);
+        tw.shard_done(g, t, hi - lo);
         SSVBR_COUNTER_ADD("engine.shards", 1);
         SSVBR_COUNTER_ADD("engine.replications", hi - lo);
         reporter.shard_done(hi - lo);
@@ -534,6 +578,7 @@ class ReplicationEngine {
 
     {
       SSVBR_TIMER("engine.merge");
+      const std::uint64_t merge_t0 = obs::now_ns();
       for (std::size_t t = 0; t < tasks; ++t) {
         totals[t] = std::move(shard_result[t * shards_per_task]);
         for (std::size_t s = 1; s < shards_per_task; ++s) {
@@ -541,16 +586,20 @@ class ReplicationEngine {
         }
         rng.jump_long();
       }
+      telem.add_merge_ns(obs::now_ns() - merge_t0);
     }
+    telemetry_ = telem.finish(n_shards, tasks * replications);
     reporter.finish();
     return totals;
   }
 
  private:
   std::size_t shard_size_;
+  std::string study_label_;
   ProgressFn progress_;
   double progress_interval_seconds_;
   ThreadPool pool_;
+  obs::RunTelemetry telemetry_;
 };
 
 }  // namespace ssvbr::engine

@@ -10,6 +10,7 @@
 #include "engine/checkpoint.h"
 #include "engine/study_harness.h"
 #include "obs/instrument.h"
+#include "obs/metrics.h"
 #include "queueing/lindley.h"
 
 namespace ssvbr::engine {
@@ -117,6 +118,7 @@ RunResult run_mc(const RunRequest& request, ReplicationEngine& engine,
   out.status = res.status;
   out.replications_done = res.replications_done;
   out.replications_total = mc.replications;
+  out.telemetry = engine.last_telemetry();
   harness.fill_provenance(out.provenance, res);
   if (res.replications_done > 0) {
     // For a drained (partial) run this estimates from the completed
@@ -149,6 +151,7 @@ RunResult run_is(const RunRequest& request, ReplicationEngine& engine,
   out.status = res.status;
   out.replications_done = res.replications_done;
   out.replications_total = is.settings.replications;
+  out.telemetry = engine.last_telemetry();
   harness.fill_provenance(out.provenance, res);
   if (res.replications_done > 0) {
     out.is_estimate =
@@ -226,6 +229,7 @@ RunResult run_sweep(const RunRequest& request, ReplicationEngine& engine,
       out.replications_done += per_point[j].count();
     }
     out.status = RunStatus::kComplete;
+    out.telemetry = engine.last_telemetry();
     return out;
   }
 
@@ -260,6 +264,7 @@ RunResult run_sweep(const RunRequest& request, ReplicationEngine& engine,
     }
     RandomEngine point_rng = cursor;
     const RunResult point_result = run_is(point, engine, point_rng);
+    out.telemetry.accumulate(point_result.telemetry);
     if (!point_result.complete()) {
       // A drained point's estimate covers a subset of its replications;
       // the sweep reports whole points only, so it is dropped.
@@ -365,7 +370,11 @@ std::optional<Error> validate(const RunRequest& request) {
 RunResult run_with(const RunRequest& request, ReplicationEngine& engine,
                    RandomEngine& rng) {
   if (auto err = validate(request)) throw RunError(std::move(*err));
+  // Honor SSVBR_METRICS_JSON / SSVBR_TRACE_JSON / SSVBR_OBS_SUMMARY even
+  // when the caller is a bare library user with no bench-style main.
+  obs::install_env_exit_dump();
   SSVBR_SPAN("engine.run_request");
+  engine.set_study_label(to_string(request.kind));
   const auto start = std::chrono::steady_clock::now();
   RunResult out;
   switch (request.kind) {

@@ -167,6 +167,12 @@ struct RunResult {
   std::size_t replications_done = 0;   ///< completed, incl. restored shards
   std::size_t replications_total = 0;  ///< the campaign's full size
   RunProvenance provenance;
+  /// Shard-level execution telemetry (obs/telemetry.h): per-shard
+  /// thread/wait/setup/loop split, merge and checkpoint costs. For a
+  /// twist sweep on the controlled path this is the accumulation over
+  /// the per-point campaigns. Empty (enabled == false) when the library
+  /// was built without -DSSVBR_OBS=ON.
+  obs::RunTelemetry telemetry;
 
   bool complete() const noexcept { return status == RunStatus::kComplete; }
 };

@@ -5,6 +5,7 @@
 
 #include "atm/cell.h"
 #include "common/error.h"
+#include "obs/instrument.h"
 
 namespace ssvbr::net {
 
@@ -32,9 +33,13 @@ double PopulationSampler::mean_rate() const {
 void PopulationSampler::sample(RandomEngine& rng, std::span<double> frame_scratch,
                                std::span<std::size_t> cell_scratch,
                                std::span<double> out) const {
+  SSVBR_SPAN("net.population.sample");
   SSVBR_REQUIRE(frame_scratch.size() == frames_,
                 "frame scratch has the wrong size");
   SSVBR_REQUIRE(out.size() == slots(), "population output span has the wrong size");
+  SSVBR_COUNTER_ADD("net.population.draws", 1);
+  SSVBR_COUNTER_ADD("net.population.frames", frames_);
+  SSVBR_COUNTER_ADD("net.population.sources", config_.population);
   // Same draw order as ModelArrivalProcess::begin_replication: one
   // background path, then the marginal transform in place.
   sampler_->sample(rng, frame_scratch);

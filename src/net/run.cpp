@@ -8,6 +8,7 @@
 #include "engine/checkpoint.h"
 #include "engine/study_harness.h"
 #include "obs/instrument.h"
+#include "obs/metrics.h"
 
 namespace ssvbr::net {
 
@@ -331,7 +332,12 @@ TopologyRunResult run_topology_with(const TopologyRunRequest& request,
                                     engine::ReplicationEngine& engine,
                                     RandomEngine& rng) {
   if (auto err = validate(request)) throw RunError(std::move(*err));
+  // Topology campaigns get the same SSVBR_METRICS_JSON / SSVBR_TRACE_JSON
+  // / SSVBR_OBS_SUMMARY exit artifacts as the engine front door — they
+  // previously never emitted them unless the binary's main opted in.
+  obs::install_env_exit_dump();
   SSVBR_SPAN("net.run_request");
+  engine.set_study_label("topology");
   const auto start = std::chrono::steady_clock::now();
 
   const ScenarioContext context(request.scenario);
@@ -354,6 +360,7 @@ TopologyRunResult run_topology_with(const TopologyRunRequest& request,
   out.status = res.status;
   out.replications_done = res.replications_done;
   out.replications_total = request.replications;
+  out.telemetry = engine.last_telemetry();
   harness.fill_provenance(out.provenance, res);
   out.totals = res.total;
   fill_derived(out, request.scenario);

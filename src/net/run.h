@@ -114,6 +114,9 @@ struct TopologyRunResult {
   std::size_t replications_total = 0;
   double elapsed_seconds = 0.0;
   engine::RunProvenance provenance;
+  /// Shard-level execution telemetry (obs/telemetry.h); empty when the
+  /// library was built without -DSSVBR_OBS=ON.
+  obs::RunTelemetry telemetry;
 
   /// Raw merged totals (bit-exact across thread counts and resumes).
   TopologyAccumulator totals;

@@ -97,18 +97,24 @@ const ScenarioStats& ScenarioKernel::run_one(RandomEngine& rng) {
 
   // One background path per class, in class order — this fixes the
   // engine-consumption pattern independent of the slot dynamics.
-  const std::vector<PopulationSampler>& samplers = context_.samplers();
-  for (std::size_t c = 0; c < samplers.size(); ++c) {
-    const PopulationSampler& s = samplers[c];
-    const std::span<double> frames(frame_scratch_.data(), s.frames());
-    const std::span<std::size_t> cells =
-        s.segmented() ? std::span<std::size_t>(cell_scratch_.data(), s.slots())
-                      : std::span<std::size_t>();
-    s.sample(rng, frames, cells, class_paths_[c]);
+  {
+    SSVBR_SPAN("net.class_draws");
+    const std::vector<PopulationSampler>& samplers = context_.samplers();
+    for (std::size_t c = 0; c < samplers.size(); ++c) {
+      const PopulationSampler& s = samplers[c];
+      const std::span<double> frames(frame_scratch_.data(), s.frames());
+      const std::span<std::size_t> cells =
+          s.segmented() ? std::span<std::size_t>(cell_scratch_.data(), s.slots())
+                        : std::span<std::size_t>();
+      s.sample(rng, frames, cells, class_paths_[c]);
+    }
   }
 
+  const std::vector<PopulationSampler>& samplers = context_.samplers();
   double abr_rate = abr.initial_rate;
   bool congested_prev = false;
+  SSVBR_SPAN("net.slot_loop");
+  SSVBR_TIMER("net.slot_loop");
   for (std::size_t t = 0; t < slots; ++t) {
     const std::span<double> row = wheel_.advance();
     std::fill(external_.begin(), external_.end(), 0.0);

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "obs/instrument.h"
 
 namespace ssvbr::net {
 
@@ -42,6 +43,8 @@ class SlotWheel {
     SSVBR_REQUIRE(node < n_nodes_ && delay >= 1 && delay < rows_,
                   "slot wheel deposit out of range");
     buckets_[((cursor_ + delay) % rows_) * n_nodes_ + node] += amount;
+    SSVBR_COUNTER_ADD("net.wheel.deposits", 1);
+    SSVBR_HIST_RECORD("net.wheel.deposit_amount", amount);
   }
 
   /// Rotate to the next slot and expose its per-node arrivals. The

@@ -465,20 +465,23 @@ void env_exit_dump() {
 }  // namespace
 
 void install_env_exit_dump() {
-  static const bool installed = [] {
-    if (std::getenv("SSVBR_METRICS_JSON") == nullptr &&
-        std::getenv("SSVBR_TRACE_JSON") == nullptr &&
-        std::getenv("SSVBR_OBS_SUMMARY") == nullptr) {
-      return false;
-    }
+  // Re-check the environment on every call: library front doors call
+  // this unconditionally, possibly before the caller has exported any
+  // SSVBR_* knob. A first no-knob call must not latch the dump off for
+  // the rest of the process (it used to, via a static-init lambda).
+  if (std::getenv("SSVBR_METRICS_JSON") == nullptr &&
+      std::getenv("SSVBR_TRACE_JSON") == nullptr &&
+      std::getenv("SSVBR_OBS_SUMMARY") == nullptr) {
+    return;
+  }
+  static std::once_flag once;
+  std::call_once(once, [] {
     // Touch the leaked singletons before registering so the atexit hook
     // can never run against uninitialized state.
     MetricsRegistry::instance();
     TraceBuffer::instance();
     std::atexit(env_exit_dump);
-    return true;
-  }();
-  (void)installed;
+  });
 }
 
 #endif  // SSVBR_OBS_ENABLED

@@ -1,0 +1,571 @@
+// ssvbr/obs/telemetry.cpp
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace ssvbr::obs {
+
+namespace {
+
+constexpr double kNsToSec = 1e-9;
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_num(std::string& out, double v) {
+  char buf[40];
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_num(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_field(std::string& out, const char* key, double v) {
+  out += '"';
+  out += key;
+  out += "\":";
+  append_num(out, v);
+}
+
+void append_field(std::string& out, const char* key, std::uint64_t v) {
+  out += '"';
+  out += key;
+  out += "\":";
+  append_num(out, v);
+}
+
+std::string worker_json(const WorkerTelemetry& w) {
+  std::string out = "{";
+  append_field(out, "thread", static_cast<std::uint64_t>(w.thread));
+  out += ',';
+  append_field(out, "setup_seconds", kNsToSec * static_cast<double>(w.setup_ns));
+  out += ',';
+  append_field(out, "busy_seconds", kNsToSec * static_cast<double>(w.busy_ns));
+  out += ',';
+  append_field(out, "shards", w.shards);
+  out += ',';
+  append_field(out, "replications", w.replications);
+  out += '}';
+  return out;
+}
+
+std::string shard_json(const ShardTelemetry& e) {
+  std::string out = "{";
+  append_field(out, "shard", e.shard);
+  out += ',';
+  append_field(out, "task", e.task);
+  out += ',';
+  append_field(out, "thread", static_cast<std::uint64_t>(e.thread));
+  out += ',';
+  append_field(out, "replications", e.replications);
+  out += ',';
+  append_field(out, "claim_seconds", kNsToSec * static_cast<double>(e.claim_ns));
+  out += ',';
+  append_field(out, "wait_seconds", kNsToSec * static_cast<double>(e.wait_ns));
+  out += ',';
+  append_field(out, "setup_seconds", kNsToSec * static_cast<double>(e.setup_ns));
+  out += ',';
+  append_field(out, "loop_seconds", kNsToSec * static_cast<double>(e.loop_ns));
+  out += '}';
+  return out;
+}
+
+void append_run_scalars(std::string& out, const RunTelemetry& t) {
+  out += "\"study\":\"";
+  out += json_escape(t.study);
+  out += "\",";
+  append_field(out, "run", t.run_id);
+  out += ',';
+  append_field(out, "threads", static_cast<std::uint64_t>(t.threads));
+  out += ',';
+  append_field(out, "shard_size", t.shard_size);
+  out += ',';
+  append_field(out, "shards_total", t.shards_total);
+  out += ',';
+  append_field(out, "shards_executed", t.shards_executed);
+  out += ',';
+  append_field(out, "replications", t.replications);
+  out += ',';
+  append_field(out, "wall_seconds", t.wall_seconds);
+  out += ',';
+  append_field(out, "merge_seconds", t.merge_seconds);
+  out += ',';
+  append_field(out, "checkpoint_seconds", t.checkpoint_seconds);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RunTelemetry derived quantities.
+// ---------------------------------------------------------------------------
+
+double RunTelemetry::busy_seconds() const noexcept {
+  std::uint64_t ns = 0;
+  for (const auto& w : workers) ns += w.busy_ns;
+  return kNsToSec * static_cast<double>(ns);
+}
+
+double RunTelemetry::worker_setup_seconds() const noexcept {
+  std::uint64_t ns = 0;
+  for (const auto& w : workers) ns += w.setup_ns;
+  return kNsToSec * static_cast<double>(ns);
+}
+
+double RunTelemetry::shard_setup_seconds() const noexcept {
+  std::uint64_t ns = 0;
+  for (const auto& e : shard_events) ns += e.setup_ns;
+  return kNsToSec * static_cast<double>(ns);
+}
+
+double RunTelemetry::loop_seconds() const noexcept {
+  std::uint64_t ns = 0;
+  for (const auto& e : shard_events) ns += e.loop_ns;
+  return kNsToSec * static_cast<double>(ns);
+}
+
+double RunTelemetry::idle_seconds() const noexcept {
+  const double budget = static_cast<double>(threads) * wall_seconds;
+  const double used = busy_seconds() + worker_setup_seconds() + merge_seconds +
+                      checkpoint_seconds;
+  return std::max(0.0, budget - used);
+}
+
+double RunTelemetry::load_imbalance() const noexcept {
+  std::uint64_t max_busy = 0;
+  std::uint64_t sum_busy = 0;
+  std::size_t busy_workers = 0;
+  for (const auto& w : workers) {
+    if (w.busy_ns == 0) continue;
+    ++busy_workers;
+    sum_busy += w.busy_ns;
+    max_busy = std::max(max_busy, w.busy_ns);
+  }
+  if (busy_workers <= 1 || max_busy == 0) return 0.0;
+  const double mean = static_cast<double>(sum_busy) /
+                      static_cast<double>(busy_workers);
+  return 1.0 - mean / static_cast<double>(max_busy);
+}
+
+void RunTelemetry::accumulate(const RunTelemetry& other) {
+  if (!other.enabled) return;
+  if (!enabled) {
+    *this = other;
+    return;
+  }
+  threads = std::max(threads, other.threads);
+  shard_size = shard_size != 0 ? shard_size : other.shard_size;
+  shards_total += other.shards_total;
+  shards_executed += other.shards_executed;
+  replications += other.replications;
+  wall_seconds += other.wall_seconds;
+  merge_seconds += other.merge_seconds;
+  checkpoint_seconds += other.checkpoint_seconds;
+  for (const auto& ow : other.workers) {
+    auto it = std::find_if(workers.begin(), workers.end(),
+                           [&](const WorkerTelemetry& w) {
+                             return w.thread == ow.thread;
+                           });
+    if (it == workers.end()) {
+      workers.push_back(ow);
+    } else {
+      it->setup_ns += ow.setup_ns;
+      it->busy_ns += ow.busy_ns;
+      it->shards += ow.shards;
+      it->replications += ow.replications;
+    }
+  }
+  shard_events.insert(shard_events.end(), other.shard_events.begin(),
+                      other.shard_events.end());
+}
+
+std::string to_json(const RunTelemetry& t) {
+  std::string out = "{\"enabled\":";
+  out += t.enabled ? "true" : "false";
+  out += ',';
+  append_run_scalars(out, t);
+  out += ',';
+  append_field(out, "busy_seconds", t.busy_seconds());
+  out += ',';
+  append_field(out, "worker_setup_seconds", t.worker_setup_seconds());
+  out += ',';
+  append_field(out, "shard_setup_seconds", t.shard_setup_seconds());
+  out += ',';
+  append_field(out, "loop_seconds", t.loop_seconds());
+  out += ',';
+  append_field(out, "idle_seconds", t.idle_seconds());
+  out += ',';
+  append_field(out, "load_imbalance", t.load_imbalance());
+  out += ",\"workers\":[";
+  for (std::size_t i = 0; i < t.workers.size(); ++i) {
+    if (i != 0) out += ',';
+    out += worker_json(t.workers[i]);
+  }
+  out += "],";
+  append_field(out, "shard_events",
+               static_cast<std::uint64_t>(t.shard_events.size()));
+  out += '}';
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ScalingReport.
+// ---------------------------------------------------------------------------
+
+ScalingReport ScalingReport::from_runs(const std::vector<RunTelemetry>& runs) {
+  ScalingReport report;
+  std::vector<const RunTelemetry*> ordered;
+  ordered.reserve(runs.size());
+  for (const auto& r : runs) {
+    if (r.threads == 0 || r.wall_seconds <= 0.0) continue;
+    const bool dup = std::any_of(ordered.begin(), ordered.end(),
+                                 [&](const RunTelemetry* p) {
+                                   return p->threads == r.threads;
+                                 });
+    if (!dup) ordered.push_back(&r);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const RunTelemetry* a, const RunTelemetry* b) {
+              return a->threads < b->threads;
+            });
+  if (ordered.empty()) return report;
+
+  const double base_wall = ordered.front()->wall_seconds;
+  const double base_threads = static_cast<double>(ordered.front()->threads);
+  for (const RunTelemetry* r : ordered) {
+    ScalingCell cell;
+    cell.threads = r->threads;
+    cell.wall_seconds = r->wall_seconds;
+    cell.speedup = base_wall / r->wall_seconds;
+    cell.efficiency =
+        cell.speedup * base_threads / static_cast<double>(r->threads);
+    if (r->enabled) {
+      const double budget =
+          static_cast<double>(r->threads) * r->wall_seconds;
+      if (budget > 0.0) {
+        cell.loop_fraction = r->loop_seconds() / budget;
+        cell.shard_setup_fraction = r->shard_setup_seconds() / budget;
+        cell.worker_setup_fraction = r->worker_setup_seconds() / budget;
+        cell.merge_fraction = r->merge_seconds / budget;
+        cell.checkpoint_fraction = r->checkpoint_seconds / budget;
+        cell.idle_fraction = r->idle_seconds() / budget;
+      }
+      cell.load_imbalance = r->load_imbalance();
+    }
+    report.cells.push_back(cell);
+  }
+
+  // Amdahl fit: T(n) = a + b / n, least squares in x = 1/n. The serial
+  // fraction is a / (a + b) — the share of the single-thread time that
+  // does not shrink with n.
+  if (report.cells.size() >= 2) {
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    const double m = static_cast<double>(report.cells.size());
+    for (const auto& c : report.cells) {
+      const double x = 1.0 / static_cast<double>(c.threads);
+      sx += x;
+      sy += c.wall_seconds;
+      sxx += x * x;
+      sxy += x * c.wall_seconds;
+    }
+    const double det = m * sxx - sx * sx;
+    if (det > 0.0) {
+      const double b = (m * sxy - sx * sy) / det;  // parallel part
+      const double a = (sy - b * sx) / m;          // serial part
+      double ss_res = 0.0, ss_tot = 0.0;
+      const double mean_y = sy / m;
+      for (const auto& c : report.cells) {
+        const double fit = a + b / static_cast<double>(c.threads);
+        ss_res += (c.wall_seconds - fit) * (c.wall_seconds - fit);
+        ss_tot += (c.wall_seconds - mean_y) * (c.wall_seconds - mean_y);
+      }
+      if (a + b > 0.0) {
+        report.serial_fraction = std::clamp(a / (a + b), 0.0, 1.0);
+      }
+      report.amdahl_r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+    }
+  }
+
+  const ScalingCell& top = report.cells.back();
+  report.attribution.serial_fraction = report.serial_fraction;
+  report.attribution.load_imbalance = top.load_imbalance;
+  report.attribution.setup_cost =
+      top.shard_setup_fraction + top.worker_setup_fraction;
+  report.attribution.pool_idle = top.idle_fraction;
+
+  // Rank the named causes; keep everything above 2% of the top cell's
+  // thread-second budget so the report names real effects, not noise.
+  struct Cause {
+    const char* fmt;
+    double value;
+  };
+  char buf[160];
+  std::vector<Cause> causes = {
+      {"serial fraction %.1f%% (Amdahl fit over the sweep, r2=%.3f)",
+       report.attribution.serial_fraction},
+      {"load imbalance %.1f%% (1 - mean/max worker busy at the top cell)",
+       report.attribution.load_imbalance},
+      {"setup cost %.1f%% of thread-seconds (stream repositioning + "
+       "per-worker sampler construction)",
+       report.attribution.setup_cost},
+      {"pool idle %.1f%% of thread-seconds (waits, wakeup latency, "
+       "stragglers)",
+       report.attribution.pool_idle},
+  };
+  std::stable_sort(causes.begin(), causes.end(),
+                   [](const Cause& a, const Cause& b) {
+                     return a.value > b.value;
+                   });
+  for (const auto& c : causes) {
+    if (c.value < 0.02) continue;
+    if (std::string_view(c.fmt).find("r2") != std::string_view::npos) {
+      std::snprintf(buf, sizeof buf, c.fmt, 100.0 * c.value, report.amdahl_r2);
+    } else {
+      std::snprintf(buf, sizeof buf, c.fmt, 100.0 * c.value);
+    }
+    report.causes.push_back(buf);
+  }
+  if (report.causes.empty()) {
+    report.causes.push_back("no single cause above 2% of thread-seconds");
+  }
+  return report;
+}
+
+std::string ScalingReport::to_json() const {
+  std::string out = "{\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out += ',';
+    const ScalingCell& c = cells[i];
+    out += '{';
+    append_field(out, "threads", static_cast<std::uint64_t>(c.threads));
+    out += ',';
+    append_field(out, "wall_seconds", c.wall_seconds);
+    out += ',';
+    append_field(out, "speedup", c.speedup);
+    out += ',';
+    append_field(out, "efficiency", c.efficiency);
+    out += ',';
+    append_field(out, "loop_fraction", c.loop_fraction);
+    out += ',';
+    append_field(out, "shard_setup_fraction", c.shard_setup_fraction);
+    out += ',';
+    append_field(out, "worker_setup_fraction", c.worker_setup_fraction);
+    out += ',';
+    append_field(out, "merge_fraction", c.merge_fraction);
+    out += ',';
+    append_field(out, "checkpoint_fraction", c.checkpoint_fraction);
+    out += ',';
+    append_field(out, "idle_fraction", c.idle_fraction);
+    out += ',';
+    append_field(out, "load_imbalance", c.load_imbalance);
+    out += '}';
+  }
+  out += "],";
+  append_field(out, "serial_fraction", serial_fraction);
+  out += ',';
+  append_field(out, "amdahl_r2", amdahl_r2);
+  out += ",\"attribution\":{";
+  append_field(out, "serial_fraction", attribution.serial_fraction);
+  out += ',';
+  append_field(out, "load_imbalance", attribution.load_imbalance);
+  out += ',';
+  append_field(out, "setup_cost", attribution.setup_cost);
+  out += ',';
+  append_field(out, "pool_idle", attribution.pool_idle);
+  out += "},\"causes\":[";
+  for (std::size_t i = 0; i < causes.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    out += json_escape(causes[i]);
+    out += '"';
+  }
+  out += "]}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Collector.
+// ---------------------------------------------------------------------------
+#if SSVBR_OBS_ENABLED
+
+namespace {
+
+std::uint64_t next_run_id() {
+  static std::atomic<std::uint64_t> seq{0};
+  return seq.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::mutex& jsonl_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+TelemetryCollector::TelemetryCollector(std::string_view study, unsigned threads,
+                                       std::uint64_t shards_total,
+                                       std::uint64_t shard_size)
+    : study_(study),
+      run_id_(next_run_id()),
+      threads_(threads),
+      shards_total_(shards_total),
+      shard_size_(shard_size),
+      start_ns_(now_ns()),
+      slots_(threads == 0 ? 1 : threads) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i].totals.thread = static_cast<std::uint32_t>(i);
+  }
+}
+
+void TelemetryCollector::Worker::begin_setup() noexcept {
+  mark_ns_ = now_ns();
+}
+
+void TelemetryCollector::Worker::end_setup() noexcept {
+  if (col_ == nullptr) return;
+  const std::uint64_t end = now_ns();
+  auto& slot = col_->slots_[thread_ % col_->slots_.size()];
+  slot.totals.setup_ns += end - mark_ns_;
+  last_end_ns_ = end;
+}
+
+void TelemetryCollector::Worker::claimed() noexcept {
+  claim_ns_ = now_ns();
+  loop_start_ns_ = claim_ns_;
+}
+
+void TelemetryCollector::Worker::loop_started() noexcept {
+  loop_start_ns_ = now_ns();
+}
+
+void TelemetryCollector::Worker::shard_done(std::uint64_t shard,
+                                            std::uint64_t task,
+                                            std::uint64_t replications) {
+  if (col_ == nullptr) return;
+  const std::uint64_t end = now_ns();
+  auto& slot = col_->slots_[thread_ % col_->slots_.size()];
+  ShardTelemetry ev;
+  ev.shard = shard;
+  ev.task = task;
+  ev.thread = thread_;
+  ev.replications = replications;
+  ev.claim_ns = claim_ns_ - std::min(claim_ns_, col_->start_ns_);
+  const std::uint64_t baseline =
+      last_end_ns_ != 0 ? last_end_ns_ : col_->start_ns_;
+  ev.wait_ns = claim_ns_ > baseline ? claim_ns_ - baseline : 0;
+  ev.setup_ns = loop_start_ns_ - std::min(loop_start_ns_, claim_ns_);
+  ev.loop_ns = end - std::min(end, loop_start_ns_);
+  slot.events.push_back(ev);
+  slot.totals.busy_ns += ev.exec_ns();
+  slot.totals.shards += 1;
+  slot.totals.replications += replications;
+  last_end_ns_ = end;
+}
+
+void TelemetryCollector::add_merge_ns(std::uint64_t ns) noexcept {
+  merge_ns_ += ns;
+}
+
+void TelemetryCollector::add_checkpoint_ns(std::uint64_t ns) noexcept {
+  checkpoint_ns_ += ns;
+}
+
+RunTelemetry TelemetryCollector::finish(std::uint64_t shards_executed,
+                                        std::uint64_t replications) {
+  RunTelemetry t;
+  t.enabled = true;
+  t.study = study_;
+  t.run_id = run_id_;
+  t.threads = threads_;
+  t.shard_size = shard_size_;
+  t.shards_total = shards_total_;
+  t.shards_executed = shards_executed;
+  t.replications = replications;
+  t.wall_seconds = kNsToSec * static_cast<double>(now_ns() - start_ns_);
+  t.merge_seconds = kNsToSec * static_cast<double>(merge_ns_);
+  t.checkpoint_seconds = kNsToSec * static_cast<double>(checkpoint_ns_);
+  std::size_t total_events = 0;
+  for (const auto& slot : slots_) total_events += slot.events.size();
+  t.workers.reserve(slots_.size());
+  t.shard_events.reserve(total_events);
+  for (const auto& slot : slots_) {
+    t.workers.push_back(slot.totals);
+    t.shard_events.insert(t.shard_events.end(), slot.events.begin(),
+                          slot.events.end());
+  }
+  if (const char* path = std::getenv("SSVBR_TELEMETRY_JSONL")) {
+    append_telemetry_jsonl(path, t);
+  }
+  return t;
+}
+
+void append_telemetry_jsonl(const std::string& path, const RunTelemetry& t) {
+  std::string out;
+  out.reserve(256 + 128 * t.shard_events.size());
+  out += "{\"event\":\"run\",\"schema\":1,";
+  append_run_scalars(out, t);
+  out += "}\n";
+  for (const auto& w : t.workers) {
+    out += "{\"event\":\"worker\",";
+    append_field(out, "run", t.run_id);
+    out += ',';
+    // Re-use the worker object body minus its braces.
+    const std::string body = worker_json(w);
+    out.append(body, 1, body.size() - 2);
+    out += "}\n";
+  }
+  for (const auto& e : t.shard_events) {
+    out += "{\"event\":\"shard\",";
+    append_field(out, "run", t.run_id);
+    out += ',';
+    const std::string body = shard_json(e);
+    out.append(body, 1, body.size() - 2);
+    out += "}\n";
+  }
+  const std::lock_guard<std::mutex> lock(jsonl_mutex());
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "ssvbr: cannot append telemetry to '%s'\n",
+                 path.c_str());
+    return;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+}
+
+#endif  // SSVBR_OBS_ENABLED
+
+}  // namespace ssvbr::obs

@@ -1,0 +1,279 @@
+// ssvbr/obs/telemetry.h
+//
+// Shard-level run telemetry for the replication engine, and the scaling
+// analysis built on top of it.
+//
+// The metrics registry (obs/metrics.h) answers "how much, in total":
+// counters and histograms merged across threads. This layer answers the
+// question the flat thread-scaling numbers posed — *where did the
+// thread-seconds go* — by recording one structured event per executed
+// shard (claiming thread, queue wait since that worker's previous
+// shard, the stream-repositioning setup vs replication-loop split) plus
+// per-worker sampler-construction time and the run-level merge and
+// checkpoint-I/O costs. The aggregate is a plain RunTelemetry value
+// attached to RunResult / TopologyRunResult, and optionally emitted as
+// a JSONL event log:
+//
+//   SSVBR_TELEMETRY_JSONL=<path>   append one "run" line, one "worker"
+//                                  line per pool worker, and one
+//                                  "shard" line per executed shard,
+//                                  after every engine run
+//
+// Shard events carry a claim timestamp relative to the run start, so a
+// tail of the log is a live per-shard heartbeat — the straggler-
+// detection signal the planned distributed tier needs.
+//
+// ScalingReport turns a thread sweep (one RunTelemetry per thread
+// count, same workload) into a decomposition of parallel inefficiency:
+// an Amdahl fit for the serial fraction, per-cell load imbalance,
+// setup amortization, and pool idle time, with the dominant causes
+// named. The report types and the analysis are pure value math and are
+// available in every build; scripts/analyze_telemetry.py performs the
+// same decomposition offline from a JSONL log.
+//
+// Build gating matches the rest of src/obs: without -DSSVBR_OBS=ON the
+// TelemetryCollector collapses to a constexpr no-op mirror, RunTelemetry
+// values stay empty (enabled == false), and recording cannot perturb a
+// single simulated bit. With it ON, recording is a handful of
+// steady-clock reads per shard on worker-private state — estimates are
+// bit-identical either way because telemetry consumes no randomness and
+// never touches the accumulation order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ssvbr::obs {
+
+// ---------------------------------------------------------------------------
+// Value types (available in both build modes, like MetricsSnapshot).
+// ---------------------------------------------------------------------------
+
+/// One executed shard, as seen by the worker that claimed it.
+struct ShardTelemetry {
+  std::uint64_t shard = 0;  ///< shard index (global index for run_many)
+  std::uint64_t task = 0;   ///< run_many task; 0 for single-study runs
+  std::uint32_t thread = 0; ///< pool worker id
+  std::uint64_t replications = 0;
+  std::uint64_t claim_ns = 0;  ///< claim time since run start (heartbeat)
+  std::uint64_t wait_ns = 0;   ///< gap since this worker's previous shard
+  std::uint64_t setup_ns = 0;  ///< stream repositioning (forward jumps)
+  std::uint64_t loop_ns = 0;   ///< the replication loop itself
+
+  std::uint64_t exec_ns() const noexcept { return setup_ns + loop_ns; }
+};
+
+/// Per-pool-worker totals for one run.
+struct WorkerTelemetry {
+  std::uint32_t thread = 0;
+  std::uint64_t setup_ns = 0;  ///< make_worker(): sampler/kernel construction
+  std::uint64_t busy_ns = 0;   ///< sum of shard exec (setup + loop)
+  std::uint64_t shards = 0;
+  std::uint64_t replications = 0;
+};
+
+/// Everything one engine run recorded. Empty (enabled == false) when
+/// the library is built without -DSSVBR_OBS=ON.
+struct RunTelemetry {
+  bool enabled = false;
+  std::string study;          ///< front-door label ("overflow_is", "topology", ...)
+  std::uint64_t run_id = 0;   ///< process-wide run sequence number
+  std::uint32_t threads = 0;
+  std::uint64_t shard_size = 0;
+  std::uint64_t shards_total = 0;     ///< the campaign's shard plan
+  std::uint64_t shards_executed = 0;  ///< computed this call (restored excluded)
+  std::uint64_t replications = 0;     ///< executed this call
+  double wall_seconds = 0.0;
+  double merge_seconds = 0.0;       ///< in-order shard merge (serial)
+  double checkpoint_seconds = 0.0;  ///< snapshot serialization + file I/O
+  std::vector<WorkerTelemetry> workers;      ///< one per pool worker
+  std::vector<ShardTelemetry> shard_events;  ///< per worker, in claim order
+
+  /// Σ shard exec across workers, seconds.
+  double busy_seconds() const noexcept;
+  /// Σ make_worker() construction time, seconds.
+  double worker_setup_seconds() const noexcept;
+  /// Σ per-shard stream-repositioning time, seconds.
+  double shard_setup_seconds() const noexcept;
+  /// Σ per-shard replication-loop time, seconds.
+  double loop_seconds() const noexcept;
+  /// Thread-seconds not accounted for by work, setup, merge, or
+  /// checkpoint I/O: threads * wall - busy - worker_setup - merge -
+  /// checkpoint, clamped at 0 (pool wakeup latency, waits, stragglers).
+  double idle_seconds() const noexcept;
+  /// 1 - mean(worker busy) / max(worker busy); 0 for <= 1 busy worker.
+  double load_imbalance() const noexcept;
+
+  /// Fold another run into this one (used by the controlled twist-sweep
+  /// path, which runs one engine campaign per grid point): scalars add,
+  /// worker totals merge by thread id, shard events concatenate.
+  void accumulate(const RunTelemetry& other);
+};
+
+/// Render one run as a JSON object (single line, no trailing newline).
+std::string to_json(const RunTelemetry& t);
+
+// ---------------------------------------------------------------------------
+// Scaling analysis (pure value math; both build modes).
+// ---------------------------------------------------------------------------
+
+/// One thread-count measurement of a fixed workload, with the
+/// thread-second budget decomposed into named fractions (each in
+/// [0, 1], of threads * wall_seconds).
+struct ScalingCell {
+  unsigned threads = 0;
+  double wall_seconds = 0.0;
+  double speedup = 0.0;     ///< T(1) / T(n)
+  double efficiency = 0.0;  ///< speedup / n
+  double loop_fraction = 0.0;          ///< replication work
+  double shard_setup_fraction = 0.0;   ///< stream repositioning (jumps)
+  double worker_setup_fraction = 0.0;  ///< per-worker sampler construction
+  double merge_fraction = 0.0;         ///< serial in-order merge
+  double checkpoint_fraction = 0.0;    ///< snapshot I/O
+  double idle_fraction = 0.0;          ///< unaccounted (waits, stragglers)
+  double load_imbalance = 0.0;         ///< 1 - mean/max worker busy
+};
+
+/// Named attribution of the inefficiency at the largest thread count.
+struct ScalingAttribution {
+  double serial_fraction = 0.0;  ///< Amdahl fit over the sweep
+  double load_imbalance = 0.0;
+  double setup_cost = 0.0;  ///< shard repositioning + worker construction
+  double pool_idle = 0.0;
+};
+
+/// Decomposition of a thread sweep. Produced by from_runs() from the
+/// telemetry of one fixed workload at several thread counts.
+struct ScalingReport {
+  std::vector<ScalingCell> cells;  ///< ascending by threads
+  /// Amdahl fit T(n) = T1 * (s + (1 - s)/n) over the sweep; s clamped
+  /// to [0, 1]. Meaningful only when the sweep spans >= 2 thread counts.
+  double serial_fraction = 0.0;
+  double amdahl_r2 = 0.0;  ///< goodness of the fit (1 = perfect)
+  ScalingAttribution attribution;   ///< at the largest thread count
+  std::vector<std::string> causes;  ///< dominant causes, ranked, human-readable
+
+  /// Build a report from one RunTelemetry per thread count (any order;
+  /// duplicates of a thread count keep the first). Entries with
+  /// enabled == false contribute wall-clock-only cells (no breakdown).
+  static ScalingReport from_runs(const std::vector<RunTelemetry>& runs);
+
+  /// Render as a JSON object (single line, no trailing newline).
+  std::string to_json() const;
+};
+
+// ---------------------------------------------------------------------------
+// Collector (engine-facing recording surface).
+// ---------------------------------------------------------------------------
+#if SSVBR_OBS_ENABLED
+
+/// Records one engine run. Created by ReplicationEngine at the top of a
+/// run; workers record through per-worker handles onto worker-private
+/// slots (no shared mutable state until finish(), which runs after the
+/// pool joined), so recording is TSan-clean by construction.
+class TelemetryCollector {
+ public:
+  /// `threads` sizes the per-worker slots; `shards_total` / `shard_size`
+  /// / `study` flow through to the aggregate.
+  TelemetryCollector(std::string_view study, unsigned threads,
+                     std::uint64_t shards_total, std::uint64_t shard_size);
+
+  /// Worker-thread recording handle. Bound to one worker slot; all
+  /// methods touch only that slot plus the shared monotonic clock.
+  class Worker {
+   public:
+    Worker() = default;
+
+    /// Call around make_worker() — the per-worker sampler/kernel setup.
+    void begin_setup() noexcept;
+    void end_setup() noexcept;
+
+    /// Call when a runnable shard has been claimed (restored shards are
+    /// skipped silently and extend the next wait).
+    void claimed() noexcept;
+    /// Call when stream repositioning is done and the loop starts.
+    void loop_started() noexcept;
+    /// Call when the shard's replications are accumulated.
+    void shard_done(std::uint64_t shard, std::uint64_t task,
+                    std::uint64_t replications);
+
+   private:
+    friend class TelemetryCollector;
+    Worker(TelemetryCollector* col, std::uint32_t thread)
+        : col_(col), thread_(thread) {}
+    TelemetryCollector* col_ = nullptr;
+    std::uint32_t thread_ = 0;
+    std::uint64_t mark_ns_ = 0;        // begin_setup timestamp
+    std::uint64_t claim_ns_ = 0;       // current shard's claim timestamp
+    std::uint64_t loop_start_ns_ = 0;  // current shard's loop start
+    std::uint64_t last_end_ns_ = 0;    // previous shard end (wait baseline)
+  };
+
+  Worker worker(unsigned thread_id) noexcept { return Worker(this, thread_id); }
+
+  /// Run-level serial costs, recorded on whichever thread incurs them
+  /// (checkpoint saves happen under the engine's save mutex).
+  void add_merge_ns(std::uint64_t ns) noexcept;
+  void add_checkpoint_ns(std::uint64_t ns) noexcept;
+
+  /// Aggregate everything recorded, emit the JSONL log if
+  /// SSVBR_TELEMETRY_JSONL is set, and return the run's telemetry.
+  /// Call once, after the pool joined.
+  RunTelemetry finish(std::uint64_t shards_executed, std::uint64_t replications);
+
+ private:
+  struct Slot {
+    WorkerTelemetry totals;
+    std::vector<ShardTelemetry> events;
+  };
+
+  std::string study_;
+  std::uint64_t run_id_ = 0;
+  std::uint32_t threads_ = 0;
+  std::uint64_t shards_total_ = 0;
+  std::uint64_t shard_size_ = 0;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t merge_ns_ = 0;
+  std::uint64_t checkpoint_ns_ = 0;  // serialized by the engine's save mutex
+  std::vector<Slot> slots_;
+};
+
+/// Append the run's event lines to `path` (one JSON object per line,
+/// schema validated by scripts/analyze_telemetry.py). Process-wide
+/// serialized; exposed for tests.
+void append_telemetry_jsonl(const std::string& path, const RunTelemetry& t);
+
+#else  // !SSVBR_OBS_ENABLED — constexpr no-op mirrors.
+
+class TelemetryCollector {
+ public:
+  constexpr TelemetryCollector(std::string_view, unsigned, std::uint64_t,
+                               std::uint64_t) noexcept {}
+
+  class Worker {
+   public:
+    constexpr Worker() = default;
+    constexpr void begin_setup() const noexcept {}
+    constexpr void end_setup() const noexcept {}
+    constexpr void claimed() const noexcept {}
+    constexpr void loop_started() const noexcept {}
+    constexpr void shard_done(std::uint64_t, std::uint64_t,
+                              std::uint64_t) const noexcept {}
+  };
+
+  constexpr Worker worker(unsigned) const noexcept { return {}; }
+  constexpr void add_merge_ns(std::uint64_t) const noexcept {}
+  constexpr void add_checkpoint_ns(std::uint64_t) const noexcept {}
+  RunTelemetry finish(std::uint64_t, std::uint64_t) { return {}; }
+};
+
+inline void append_telemetry_jsonl(const std::string&, const RunTelemetry&) {}
+
+#endif  // SSVBR_OBS_ENABLED
+
+}  // namespace ssvbr::obs

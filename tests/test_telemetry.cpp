@@ -1,0 +1,496 @@
+// Tests for the shard-level run telemetry subsystem (obs/telemetry.h):
+// the golden-bits guarantee that telemetry cannot perturb estimates
+// (the same fixed-seed constants are asserted in SSVBR_OBS=ON and OFF
+// builds), the JSONL event log's schema and round-trip, the shard-event
+// count/ordering invariants at several thread counts, and concurrent
+// emission (exercised under TSan by the sanitize-thread preset).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "dist/distributions.h"
+#include "engine/run.h"
+#include "net/run.h"
+#include "obs/telemetry.h"
+#include "queueing/arrival.h"
+
+namespace {
+
+using namespace ssvbr;
+
+// ---------------------------------------------------------------------------
+// Fixed-seed workload shared by the bit-identity tests.
+// ---------------------------------------------------------------------------
+
+engine::RunRequest golden_request() {
+  engine::RunRequest request;
+  request.kind = engine::EstimatorKind::kOverflowMc;
+  request.seed = 424242;
+  request.engine.threads = 2;
+  request.engine.shard_size = 64;
+  request.mc.make_arrivals = [] {
+    return std::make_unique<queueing::IidArrivalProcess>(
+        std::make_shared<GammaDistribution>(2.0, 1.0));
+  };
+  request.mc.service_rate = 2.5;
+  request.mc.buffer = 10.0;
+  request.mc.stop_time = 50;
+  request.mc.replications = 1000;
+  return request;
+}
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+// The exact bits of the golden workload's estimate, recorded from an
+// SSVBR_OBS=OFF build. The same assertions compile into OBS=ON builds
+// (including the TSan preset), so a green run there PROVES estimates
+// are bit-identical with telemetry enabled vs compiled out — the
+// tentpole's acceptance criterion. If a deliberate pipeline change
+// shifts these bits, re-record them from the OBS=OFF build first.
+constexpr std::uint64_t kGoldenProbabilityBits = 0x3f889374bc6a7efaULL;
+constexpr std::uint64_t kGoldenVarianceBits = 0x3ee8dd243b7c358eULL;
+constexpr std::uint64_t kGoldenHits = 12;
+
+TEST(TelemetryBitIdentity, GoldenBitsMatchAcrossObsModes) {
+  const engine::RunResult res = engine::run(golden_request());
+  ASSERT_TRUE(res.complete());
+  EXPECT_EQ(bits(res.mc.probability), kGoldenProbabilityBits)
+      << std::hex << "probability bits 0x" << bits(res.mc.probability);
+  EXPECT_EQ(bits(res.mc.estimator_variance), kGoldenVarianceBits)
+      << std::hex << "variance bits 0x" << bits(res.mc.estimator_variance);
+  EXPECT_EQ(res.mc.hits, kGoldenHits);
+}
+
+TEST(TelemetryBitIdentity, JsonlEmissionDoesNotPerturbEstimates) {
+  // Within one build: run with the JSONL knob unset, then set; the
+  // estimates must not move by a bit either way.
+  unsetenv("SSVBR_TELEMETRY_JSONL");
+  const engine::RunResult plain = engine::run(golden_request());
+
+  const std::string path =
+      testing::TempDir() + "telemetry_identity.jsonl";
+  std::remove(path.c_str());
+  setenv("SSVBR_TELEMETRY_JSONL", path.c_str(), 1);
+  const engine::RunResult logged = engine::run(golden_request());
+  unsetenv("SSVBR_TELEMETRY_JSONL");
+
+  EXPECT_EQ(bits(plain.mc.probability), bits(logged.mc.probability));
+  EXPECT_EQ(bits(plain.mc.estimator_variance),
+            bits(logged.mc.estimator_variance));
+  EXPECT_EQ(plain.mc.hits, logged.mc.hits);
+#if SSVBR_OBS_ENABLED
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "telemetry log was not written";
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"event\":\"run\""), std::string::npos);
+#endif
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Pure value-type behavior (identical in both build modes).
+// ---------------------------------------------------------------------------
+
+obs::RunTelemetry synthetic_run(unsigned threads, double wall,
+                                double loop_per_shard, std::uint64_t shards) {
+  obs::RunTelemetry t;
+  t.enabled = true;
+  t.study = "synthetic";
+  t.threads = threads;
+  t.shard_size = 10;
+  t.shards_total = shards;
+  t.shards_executed = shards;
+  t.replications = shards * 10;
+  t.wall_seconds = wall;
+  for (unsigned w = 0; w < threads; ++w) {
+    obs::WorkerTelemetry wt;
+    wt.thread = w;
+    t.workers.push_back(wt);
+  }
+  for (std::uint64_t s = 0; s < shards; ++s) {
+    obs::ShardTelemetry ev;
+    ev.shard = s;
+    ev.thread = static_cast<std::uint32_t>(s % threads);
+    ev.replications = 10;
+    ev.loop_ns = static_cast<std::uint64_t>(loop_per_shard * 1e9);
+    t.shard_events.push_back(ev);
+    auto& wt = t.workers[ev.thread];
+    wt.busy_ns += ev.loop_ns;
+    wt.shards += 1;
+    wt.replications += 10;
+  }
+  return t;
+}
+
+TEST(RunTelemetryValue, DerivedQuantities) {
+  // 2 threads, 4 shards x 0.5s of loop, 2s wall: busy = 2.0s of the
+  // 4.0 thread-second budget; the rest is idle.
+  const obs::RunTelemetry t = synthetic_run(2, 2.0, 0.5, 4);
+  EXPECT_NEAR(t.busy_seconds(), 2.0, 1e-9);
+  EXPECT_NEAR(t.loop_seconds(), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(t.shard_setup_seconds(), 0.0);
+  EXPECT_NEAR(t.idle_seconds(), 2.0, 1e-9);
+  // Even split: no imbalance.
+  EXPECT_DOUBLE_EQ(t.load_imbalance(), 0.0);
+}
+
+TEST(RunTelemetryValue, LoadImbalanceDetectsSkew) {
+  obs::RunTelemetry t = synthetic_run(2, 2.0, 0.5, 4);
+  // Pile all busy time onto worker 0: mean/max = 0.5.
+  t.workers[0].busy_ns += t.workers[1].busy_ns;
+  t.workers[1].busy_ns = 0;
+  EXPECT_DOUBLE_EQ(t.load_imbalance(), 0.0);  // one busy worker
+  t.workers[1].busy_ns = t.workers[0].busy_ns / 3;
+  EXPECT_GT(t.load_imbalance(), 0.2);
+}
+
+TEST(RunTelemetryValue, AccumulateMergesWorkerTotalsAndEvents) {
+  obs::RunTelemetry a = synthetic_run(2, 1.0, 0.1, 2);
+  const obs::RunTelemetry b = synthetic_run(2, 2.0, 0.1, 4);
+  a.accumulate(b);
+  EXPECT_EQ(a.shards_executed, 6u);
+  EXPECT_EQ(a.replications, 60u);
+  EXPECT_NEAR(a.wall_seconds, 3.0, 1e-12);
+  ASSERT_EQ(a.workers.size(), 2u);
+  EXPECT_EQ(a.workers[0].shards, 3u);
+  EXPECT_EQ(a.shard_events.size(), 6u);
+
+  // Accumulating into a disabled (empty) telemetry adopts the source.
+  obs::RunTelemetry empty;
+  empty.accumulate(b);
+  EXPECT_TRUE(empty.enabled);
+  EXPECT_EQ(empty.shards_executed, 4u);
+
+  // Accumulating a disabled run is a no-op.
+  obs::RunTelemetry c = synthetic_run(2, 1.0, 0.1, 2);
+  c.accumulate(obs::RunTelemetry{});
+  EXPECT_EQ(c.shards_executed, 2u);
+}
+
+TEST(ScalingReportValue, PerfectScalingHasNoSerialFraction) {
+  // T(n) = 8 / n: pure parallel work.
+  std::vector<obs::RunTelemetry> runs;
+  for (const unsigned n : {1u, 2u, 4u, 8u}) {
+    runs.push_back(synthetic_run(n, 8.0 / n, 0.0, 8));
+  }
+  const obs::ScalingReport report = obs::ScalingReport::from_runs(runs);
+  ASSERT_EQ(report.cells.size(), 4u);
+  EXPECT_EQ(report.cells.front().threads, 1u);
+  EXPECT_NEAR(report.cells.back().speedup, 8.0, 1e-9);
+  EXPECT_NEAR(report.cells.back().efficiency, 1.0, 1e-9);
+  EXPECT_LT(report.serial_fraction, 1e-9);
+  EXPECT_GT(report.amdahl_r2, 0.999);
+}
+
+TEST(ScalingReportValue, AmdahlFitRecoversSerialFraction) {
+  // T(n) = 4 + 4/n: serial fraction 0.5 of the single-thread time.
+  std::vector<obs::RunTelemetry> runs;
+  for (const unsigned n : {1u, 2u, 4u, 8u}) {
+    runs.push_back(synthetic_run(n, 4.0 + 4.0 / n, 0.0, 8));
+  }
+  const obs::ScalingReport report = obs::ScalingReport::from_runs(runs);
+  EXPECT_NEAR(report.serial_fraction, 0.5, 1e-6);
+  EXPECT_GT(report.amdahl_r2, 0.999);
+  EXPECT_NEAR(report.attribution.serial_fraction, 0.5, 1e-6);
+  // The synthetic workers report no busy time, so pool idle may rank
+  // above the serial fraction; it must be named somewhere in the list.
+  ASSERT_FALSE(report.causes.empty());
+  bool named = false;
+  for (const std::string& cause : report.causes) {
+    named = named || cause.find("serial fraction") != std::string::npos;
+  }
+  EXPECT_TRUE(named);
+}
+
+TEST(ScalingReportValue, JsonRendersNamedAttribution) {
+  std::vector<obs::RunTelemetry> runs;
+  for (const unsigned n : {1u, 2u, 4u}) {
+    runs.push_back(synthetic_run(n, 4.0 + 4.0 / n, 0.1, 8));
+  }
+  const obs::ScalingReport report = obs::ScalingReport::from_runs(runs);
+  const json::Value doc = json::parse(report.to_json());
+  ASSERT_NE(doc.find("cells"), nullptr);
+  EXPECT_EQ(doc.find("cells")->as_array().size(), 3u);
+  const json::Value* attribution = doc.find("attribution");
+  ASSERT_NE(attribution, nullptr);
+  for (const char* key :
+       {"serial_fraction", "load_imbalance", "setup_cost", "pool_idle"}) {
+    EXPECT_NE(attribution->find(key), nullptr) << key;
+  }
+  ASSERT_NE(doc.find("causes"), nullptr);
+  EXPECT_FALSE(doc.find("causes")->as_array().empty());
+}
+
+TEST(ScalingReportValue, DisabledRunsYieldWallClockOnlyCells) {
+  std::vector<obs::RunTelemetry> runs;
+  for (const unsigned n : {1u, 2u}) {
+    obs::RunTelemetry t;
+    t.threads = n;
+    t.wall_seconds = 2.0 / n;
+    runs.push_back(t);
+  }
+  const obs::ScalingReport report = obs::ScalingReport::from_runs(runs);
+  ASSERT_EQ(report.cells.size(), 2u);
+  EXPECT_NEAR(report.cells.back().speedup, 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(report.cells.back().loop_fraction, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Live collection through the engine (SSVBR_OBS=ON builds only; the
+// OFF build asserts the subsystem stays compiled out).
+// ---------------------------------------------------------------------------
+#if SSVBR_OBS_ENABLED
+
+void check_run_invariants(const obs::RunTelemetry& t, unsigned threads,
+                          std::size_t replications, std::size_t shard_size) {
+  const std::uint64_t n_shards = (replications + shard_size - 1) / shard_size;
+  EXPECT_TRUE(t.enabled);
+  EXPECT_EQ(t.threads, threads);
+  EXPECT_EQ(t.shard_size, shard_size);
+  EXPECT_EQ(t.shards_total, n_shards);
+  EXPECT_EQ(t.shards_executed, n_shards);
+  EXPECT_EQ(t.replications, replications);
+  EXPECT_GT(t.wall_seconds, 0.0);
+  ASSERT_EQ(t.workers.size(), threads);
+  ASSERT_EQ(t.shard_events.size(), n_shards);
+
+  // Every shard index exactly once.
+  std::set<std::uint64_t> indices;
+  for (const obs::ShardTelemetry& ev : t.shard_events) {
+    indices.insert(ev.shard);
+    EXPECT_LT(ev.thread, threads);
+    EXPECT_GT(ev.replications, 0u);
+  }
+  EXPECT_EQ(indices.size(), n_shards);
+  EXPECT_EQ(*indices.rbegin(), n_shards - 1);
+
+  // Events are per-worker in claim order, and worker totals tie out to
+  // their shard events exactly (same integer nanoseconds).
+  for (const obs::WorkerTelemetry& w : t.workers) {
+    std::uint64_t busy = 0, shards = 0, reps = 0, last_claim = 0;
+    bool first = true;
+    for (const obs::ShardTelemetry& ev : t.shard_events) {
+      if (ev.thread != w.thread) continue;
+      if (!first) EXPECT_GE(ev.claim_ns, last_claim);
+      first = false;
+      last_claim = ev.claim_ns;
+      busy += ev.exec_ns();
+      ++shards;
+      reps += ev.replications;
+    }
+    EXPECT_EQ(w.busy_ns, busy);
+    EXPECT_EQ(w.shards, shards);
+    EXPECT_EQ(w.replications, reps);
+  }
+
+  // The loop did the work; the budget identity holds by construction.
+  EXPECT_GT(t.loop_seconds(), 0.0);
+  EXPECT_NEAR(t.busy_seconds(),
+              t.loop_seconds() + t.shard_setup_seconds(), 1e-9);
+}
+
+TEST(TelemetryCollection, ShardEventInvariantsAcrossThreadCounts) {
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    engine::RunRequest request = golden_request();
+    request.engine.threads = threads;
+    engine::ReplicationEngine eng(request.engine);
+    RandomEngine rng(request.seed);
+    const engine::RunResult res = engine::run_with(request, eng, rng);
+    ASSERT_TRUE(res.complete());
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    check_run_invariants(res.telemetry, threads, request.mc.replications,
+                         request.engine.shard_size);
+    EXPECT_EQ(res.telemetry.study, "overflow_mc");
+  }
+}
+
+TEST(TelemetryCollection, SweepAccumulatesOnControlledPath) {
+  // A stop flag (never raised) forces the per-point durable path, whose
+  // RunResult telemetry accumulates one engine campaign per twist.
+  auto corr = std::make_shared<fractal::ExponentialAutocorrelation>(0.1);
+  core::MarginalTransform h(std::make_shared<GammaDistribution>(2.0, 1.0));
+  const core::UnifiedVbrModel model(std::move(corr), std::move(h));
+  const fractal::HoskingModel background(model.background_correlation(), 30);
+  std::atomic<bool> stop{false};
+
+  engine::RunRequest request;
+  request.kind = engine::EstimatorKind::kTwistSweep;
+  request.seed = 7;
+  request.engine.threads = 2;
+  request.engine.shard_size = 16;
+  request.is.model = &model;
+  request.is.background = &background;
+  request.is.settings.twisted_mean = 2.0;
+  request.is.settings.service_rate = model.mean() / 0.3;
+  request.is.settings.buffer = 20.0 * model.mean();
+  request.is.settings.stop_time = 20;
+  request.is.settings.replications = 64;
+  request.is.twists = {1.8, 2.0, 2.2};
+  request.controls.stop = &stop;
+
+  const engine::RunResult res = engine::run(request);
+  ASSERT_TRUE(res.complete());
+  EXPECT_TRUE(res.telemetry.enabled);
+  const std::uint64_t shards_per_point = (64 + 16 - 1) / 16;
+  EXPECT_EQ(res.telemetry.shards_executed, 3 * shards_per_point);
+  EXPECT_EQ(res.telemetry.replications, 3u * 64u);
+  EXPECT_EQ(res.telemetry.shard_events.size(), 3 * shards_per_point);
+}
+
+TEST(TelemetryCollection, TopologyRunCarriesTelemetry) {
+  auto corr = std::make_shared<fractal::ExponentialAutocorrelation>(0.2);
+  core::MarginalTransform h(std::make_shared<GammaDistribution>(2.0, 1.0));
+  const auto model = std::make_shared<core::UnifiedVbrModel>(std::move(corr),
+                                                             std::move(h));
+  net::TopologyRunRequest request;
+  request.scenario.topology = net::make_tandem(2, 4.0, 64.0);
+  net::SourceClassConfig cls;
+  cls.model = model;
+  cls.population = 2;
+  cls.ingress = 0;
+  request.scenario.classes = {cls};
+  request.scenario.slots = 64;
+  request.scenario.warmup = 8;
+  request.replications = 48;
+  request.seed = 11;
+  request.engine.threads = 2;
+  request.engine.shard_size = 8;
+
+  const net::TopologyRunResult res = net::run_topology(request);
+  ASSERT_TRUE(res.complete());
+  EXPECT_TRUE(res.telemetry.enabled);
+  EXPECT_EQ(res.telemetry.study, "topology");
+  check_run_invariants(res.telemetry, 2, 48, 8);
+}
+
+TEST(TelemetryCollection, CheckpointTimeIsRecorded) {
+  engine::RunRequest request = golden_request();
+  request.checkpoint.path = testing::TempDir() + "telemetry_ckpt.json";
+  request.checkpoint.every_shards = 2;
+  const engine::RunResult res = engine::run(request);
+  ASSERT_TRUE(res.complete());
+  EXPECT_GT(res.telemetry.checkpoint_seconds, 0.0);
+  std::remove(request.checkpoint.path.c_str());
+}
+
+TEST(TelemetryJsonl, RoundTripMatchesAggregate) {
+  const std::string path = testing::TempDir() + "telemetry_roundtrip.jsonl";
+  std::remove(path.c_str());
+  setenv("SSVBR_TELEMETRY_JSONL", path.c_str(), 1);
+  engine::RunRequest request = golden_request();
+  request.engine.threads = 2;
+  const engine::RunResult res = engine::run(request);
+  unsetenv("SSVBR_TELEMETRY_JSONL");
+  ASSERT_TRUE(res.complete());
+  const obs::RunTelemetry& t = res.telemetry;
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t runs = 0, workers = 0, shards = 0;
+  while (std::getline(in, line)) {
+    const json::Value doc = json::parse(line);
+    const std::string event = doc.get("event").as_string();
+    if (event == "run") {
+      ++runs;
+      EXPECT_EQ(doc.get("schema").as_uint(), 1u);
+      EXPECT_EQ(doc.get("study").as_string(), t.study);
+      EXPECT_EQ(doc.get("run").as_uint(), t.run_id);
+      EXPECT_EQ(doc.get("threads").as_uint(), t.threads);
+      EXPECT_EQ(doc.get("shards_executed").as_uint(), t.shards_executed);
+      EXPECT_EQ(doc.get("replications").as_uint(), t.replications);
+      EXPECT_DOUBLE_EQ(doc.get("wall_seconds").as_number(), t.wall_seconds);
+    } else if (event == "worker") {
+      EXPECT_EQ(doc.get("run").as_uint(), t.run_id);
+      ++workers;
+    } else if (event == "shard") {
+      EXPECT_EQ(doc.get("run").as_uint(), t.run_id);
+      const std::uint64_t s = doc.get("shard").as_uint();
+      ASSERT_LT(s, t.shards_total);
+      ++shards;
+    } else {
+      FAIL() << "unknown event: " << event;
+    }
+  }
+  EXPECT_EQ(runs, 1u);
+  EXPECT_EQ(workers, t.workers.size());
+  EXPECT_EQ(shards, t.shard_events.size());
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryJsonl, ConcurrentEmissionIsSerialized) {
+  // Two engines on two threads appending runs to one log: the
+  // process-wide file mutex must keep lines whole (and TSan must stay
+  // quiet — this test is part of the sanitize-thread suite).
+  const std::string path = testing::TempDir() + "telemetry_concurrent.jsonl";
+  std::remove(path.c_str());
+  setenv("SSVBR_TELEMETRY_JSONL", path.c_str(), 1);
+  const auto campaign = [](unsigned seed) {
+    engine::RunRequest request = golden_request();
+    request.seed = seed;
+    request.mc.replications = 256;
+    request.engine.threads = 2;
+    request.engine.shard_size = 16;
+    (void)engine::run(request);
+  };
+  std::thread a(campaign, 1u);
+  std::thread b(campaign, 2u);
+  a.join();
+  b.join();
+  unsetenv("SSVBR_TELEMETRY_JSONL");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t runs = 0, shards = 0;
+  while (std::getline(in, line)) {
+    const json::Value doc = json::parse(line);  // throws on a torn line
+    const std::string event = doc.get("event").as_string();
+    if (event == "run") ++runs;
+    if (event == "shard") ++shards;
+  }
+  EXPECT_EQ(runs, 2u);
+  EXPECT_EQ(shards, 2u * (256u / 16u));
+  std::remove(path.c_str());
+}
+
+#else  // !SSVBR_OBS_ENABLED
+
+TEST(TelemetryDisabled, CollectorIsANoOpAndResultsStayEmpty) {
+  // The no-op mirror accepts the full recording API...
+  obs::TelemetryCollector col("study", 2, 4, 16);
+  obs::TelemetryCollector::Worker w = col.worker(0);
+  w.begin_setup();
+  w.end_setup();
+  w.claimed();
+  w.loop_started();
+  w.shard_done(0, 0, 16);
+  col.add_merge_ns(5);
+  col.add_checkpoint_ns(5);
+  EXPECT_FALSE(col.finish(4, 64).enabled);
+
+  // ...and a real run through the engine leaves the result's telemetry
+  // empty: nothing is collected in an OBS=OFF build.
+  const engine::RunResult res = engine::run(golden_request());
+  ASSERT_TRUE(res.complete());
+  EXPECT_FALSE(res.telemetry.enabled);
+  EXPECT_TRUE(res.telemetry.workers.empty());
+  EXPECT_TRUE(res.telemetry.shard_events.empty());
+}
+
+#endif  // SSVBR_OBS_ENABLED
+
+}  // namespace
