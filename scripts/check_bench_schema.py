@@ -25,8 +25,15 @@ promises to future revisions:
     whose deterministic flags are all true (thread-count bit-identity
     is a hard invariant of the network layer, not a perf property).
 
-Deliberately NO speedup threshold: CI machines are noisy; thresholds
-live in the ISSUE acceptance run, not in the smoke test.
+The freshly generated (smoke-scale) outputs carry deliberately NO
+speedup threshold: CI machines are noisy, and a 0.02-scale cell
+measures mostly fixed costs. The COMMITTED repo-root BENCH_engine.json
+is different — it is a text file, so checking it is deterministic on
+any machine — and it IS gated: every engine_scaling row's
+largest-thread-count cell must report efficiency_vs_cores of at least
+MIN_COMMITTED_EFFICIENCY_VS_CORES. That stops a future PR from
+committing a trajectory that has regressed back into the
+contended-loop regime without saying so.
 
 Usage: check_bench_schema.py /path/to/build_dir
 """
@@ -52,6 +59,15 @@ EXPECTED_TOPOLOGY_SCENARIOS = [
     "tandem_4_abr",
     "tandem_8_abr",
 ]
+
+# Gate on the committed thread-scaling trajectory (repo-root
+# BENCH_engine.json): speedup normalized by min(threads, cores) at the
+# sweep's top thread count. The de-contended engine measures ~0.95-1.0
+# on the reference single-core runner (see ROADMAP.md "parallel engine"
+# item for the measured sweep); 0.5 is that baseline minus a wide
+# machine-variance tolerance — an efficiency below it means the
+# replication loop is contended again, not that the runner was slow.
+MIN_COMMITTED_EFFICIENCY_VS_CORES = 0.5
 
 
 def fail(message):
@@ -128,8 +144,8 @@ def main():
 
     def check_engine_rows(rows, where):
         for row in rows:
-            for key in ("estimator", "replications", "results",
-                        "telemetry_enabled", "scaling_report"):
+            for key in ("estimator", "replications", "hw_concurrency",
+                        "results", "telemetry_enabled", "scaling_report"):
                 if key not in row:
                     fail(f"{where} row missing '{key}'")
             if not row["results"]:
@@ -137,7 +153,8 @@ def main():
             telemetry = row["telemetry_enabled"] is True
             for res in row["results"]:
                 for key in ("threads", "seconds", "replications_per_s",
-                            "speedup", "efficiency", "deterministic"):
+                            "speedup", "efficiency", "efficiency_vs_cores",
+                            "deterministic"):
                     if key not in res:
                         fail(f"{where} result missing '{key}': {res}")
                 if telemetry:
@@ -199,10 +216,44 @@ def main():
     if missing:
         fail(f"tracked topology scenarios missing: {missing}")
 
+    # Hard gate on the COMMITTED trajectory. This reads the checked-in
+    # repo-root BENCH_engine.json (not the smoke-scale rerun above), so
+    # the check is a deterministic property of the commit, immune to CI
+    # machine noise.
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    committed_path = os.path.join(repo_root, "BENCH_engine.json")
+    try:
+        with open(committed_path, encoding="utf-8") as f:
+            committed = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"committed BENCH_engine.json unreadable: {err}")
+    committed_rows = committed.get("engine")
+    if not isinstance(committed_rows, list) or not committed_rows:
+        fail("committed BENCH_engine.json missing or empty 'engine' list")
+    for row in committed_rows:
+        estimator = row.get("estimator", "?")
+        results = row.get("results") or []
+        if not results:
+            fail(f"committed engine row '{estimator}' has no results")
+        top = max(results, key=lambda r: r.get("threads", 0))
+        eff = top.get("efficiency_vs_cores")
+        if not isinstance(eff, (int, float)):
+            fail(f"committed engine row '{estimator}' top cell lacks "
+                 f"'efficiency_vs_cores' — regenerate BENCH_engine.json with "
+                 f"the current bench_perf_engine")
+        if eff < MIN_COMMITTED_EFFICIENCY_VS_CORES:
+            fail(f"committed engine row '{estimator}' reports "
+                 f"efficiency_vs_cores {eff:.3f} at {top.get('threads')} "
+                 f"threads, below the floor "
+                 f"{MIN_COMMITTED_EFFICIENCY_VS_CORES} — the replication "
+                 f"loop has re-contended (or the trajectory was committed "
+                 f"from a bad run)")
+
     telemetry_rows = sum(1 for r in engine_rows if r["telemetry_enabled"])
     print(f"check_bench_schema: OK ({len(benches)} pipeline benches, "
           f"{len(doc['engine'])} engine rows ({telemetry_rows} with "
-          f"telemetry), {len(rows)} topology rows)")
+          f"telemetry), {len(rows)} topology rows; committed "
+          f"engine trajectory above the efficiency floor)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,181 @@
+// AVX2 kernels + runtime dispatch for common/simd.h. Compiled only
+// under -DSSVBR_SIMD=ON (the build gates the option to x86-64 GCC or
+// Clang); the vector bodies carry per-function target attributes so the
+// rest of the translation unit — and the whole library — needs no
+// global -mavx2 and stays runnable on any x86-64.
+//
+// Bit-identity contract: every kernel reproduces the scalar evaluation
+// order exactly — see the header. In particular only _mm256_mul_pd and
+// _mm256_add_pd/_mm256_sub_pd appear below, never an FMA: the library
+// builds in ISO mode (-std=c++20) where the compiler does not contract
+// the scalar kernels, so a fused vector path would produce different
+// bits.
+#include "common/simd.h"
+
+#if SSVBR_SIMD_ENABLED
+
+#include <immintrin.h>
+
+#include <cstdlib>
+
+namespace ssvbr::simd {
+
+namespace detail {
+
+bool g_use_avx2 = false;
+
+__attribute__((target("avx2"))) double dot_avx2(const double* a,
+                                                const double* b,
+                                                std::size_t n) noexcept {
+  // Lane j accumulates the scalar kernel's s_j: elements j, j+4, j+8...
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  // Reduce exactly as the scalar kernel: (s0 + s1) + (s2 + s3).
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const double s01 =
+      _mm_cvtsd_f64(lo) + _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo));
+  const double s23 =
+      _mm_cvtsd_f64(hi) + _mm_cvtsd_f64(_mm_unpackhi_pd(hi, hi));
+  double s = s01 + s23;
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+__attribute__((target("avx2"))) double dot_reversed_avx2(
+    const double* a, const double* b, std::size_t n) noexcept {
+  const double* const br = b + (n - 1);
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const auto d = static_cast<std::ptrdiff_t>(i);
+    const __m256d va = _mm256_loadu_pd(a + i);
+    // Memory at br - d - 3 holds {br[-d-3], br[-d-2], br[-d-1], br[-d]};
+    // reversing the lanes lines lane j up with the scalar kernel's s_j.
+    const __m256d vb =
+        _mm256_permute4x64_pd(_mm256_loadu_pd(br - d - 3), 0x1B);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(va, vb));
+  }
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const double s01 =
+      _mm_cvtsd_f64(lo) + _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo));
+  const double s23 =
+      _mm_cvtsd_f64(hi) + _mm_cvtsd_f64(_mm_unpackhi_pd(hi, hi));
+  double s = s01 + s23;
+  for (; i < n; ++i) s += a[i] * br[-static_cast<std::ptrdiff_t>(i)];
+  return s;
+}
+
+__attribute__((target("avx2"))) void axpy_avx2(double c, const double* h,
+                                               double* out,
+                                               std::size_t n) noexcept {
+  const __m256d vc = _mm256_set1_pd(c);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_add_pd(_mm256_loadu_pd(out + i),
+                                    _mm256_mul_pd(vc, _mm256_loadu_pd(h + i)));
+    _mm256_storeu_pd(out + i, v);
+  }
+  for (; i < n; ++i) out[i] += c * h[i];
+}
+
+__attribute__((target("avx2"))) void hermite_apply_avx2(
+    const HermiteTable& t, const double* xs, std::size_t n, double* out,
+    HermiteTailFn tail, const void* ctx) {
+  const __m256d vlo = _mm256_set1_pd(t.lo);
+  const __m256d vhi = _mm256_set1_pd(t.hi);
+  const __m256d vinv = _mm256_set1_pd(t.inv_step);
+  const __m256d vstep = _mm256_set1_pd(t.step);
+  const __m128i vlast = _mm_set1_epi32(static_cast<int>(t.last_cell));
+  const __m128i vone = _mm_set1_epi32(1);
+  const __m256d c2 = _mm256_set1_pd(2.0);
+  const __m256d c3 = _mm256_set1_pd(3.0);
+  const __m256d cm2 = _mm256_set1_pd(-2.0);
+  const __m256d cone = _mm256_set1_pd(1.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(xs + i);
+    // In-range test matching the scalar `x < lo || x > hi` branch
+    // (NGE/NLE so a NaN lane counts as in-range, like the scalar path).
+    const __m256d in = _mm256_and_pd(_mm256_cmp_pd(x, vlo, _CMP_NLT_UQ),
+                                     _mm256_cmp_pd(x, vhi, _CMP_NGT_UQ));
+    if (_mm256_movemask_pd(in) != 0xF) {
+      // At least one grid-exterior lane: evaluate the whole block
+      // scalar, in order (reads before writes, so aliasing holds).
+      for (std::size_t j = i; j < i + 4; ++j) {
+        const double xj = xs[j];
+        out[j] =
+            (xj < t.lo || xj > t.hi) ? tail(ctx, xj) : hermite_eval(t, xj);
+      }
+      continue;
+    }
+    const __m256d u = _mm256_mul_pd(_mm256_sub_pd(x, vlo), vinv);
+    // Truncation == the scalar size_t cast (u >= 0 here); intervals are
+    // always < 2^31 so int32 indices suffice for the gathers.
+    __m128i cell = _mm256_cvttpd_epi32(u);
+    cell = _mm_min_epi32(cell, vlast);
+    const __m256d s = _mm256_sub_pd(u, _mm256_cvtepi32_pd(cell));
+    const __m128i cell1 = _mm_add_epi32(cell, vone);
+    const __m256d yi = _mm256_i32gather_pd(t.y, cell, 8);
+    const __m256d yi1 = _mm256_i32gather_pd(t.y, cell1, 8);
+    const __m256d di = _mm256_i32gather_pd(t.d, cell, 8);
+    const __m256d di1 = _mm256_i32gather_pd(t.d, cell1, 8);
+    const __m256d s2 = _mm256_mul_pd(s, s);
+    const __m256d s3 = _mm256_mul_pd(s2, s);
+    // Basis and combination in the scalar interpolate()'s exact order.
+    const __m256d h00 = _mm256_add_pd(
+        _mm256_sub_pd(_mm256_mul_pd(c2, s3), _mm256_mul_pd(c3, s2)), cone);
+    const __m256d h10 =
+        _mm256_add_pd(_mm256_sub_pd(s3, _mm256_mul_pd(c2, s2)), s);
+    const __m256d h01 =
+        _mm256_add_pd(_mm256_mul_pd(cm2, s3), _mm256_mul_pd(c3, s2));
+    const __m256d h11 = _mm256_sub_pd(s3, s2);
+    __m256d r = _mm256_mul_pd(h00, yi);
+    r = _mm256_add_pd(r, _mm256_mul_pd(_mm256_mul_pd(h10, vstep), di));
+    r = _mm256_add_pd(r, _mm256_mul_pd(h01, yi1));
+    r = _mm256_add_pd(r, _mm256_mul_pd(_mm256_mul_pd(h11, vstep), di1));
+    _mm256_storeu_pd(out + i, r);
+  }
+  for (; i < n; ++i) {
+    const double x = xs[i];
+    out[i] = (x < t.lo || x > t.hi) ? tail(ctx, x) : hermite_eval(t, x);
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+bool detect_avx2() noexcept {
+  if (const char* force = std::getenv("SSVBR_SIMD_FORCE_SCALAR")) {
+    // Any value except empty / "0" forces the scalar kernels.
+    if (force[0] != '\0' && !(force[0] == '0' && force[1] == '\0')) {
+      return false;
+    }
+  }
+  return __builtin_cpu_supports("avx2") != 0;
+}
+
+// Resolve the dispatch during static initialization so the first kernel
+// call — from any thread — sees a settled decision.
+struct DispatchInit {
+  DispatchInit() noexcept { refresh_dispatch(); }
+};
+const DispatchInit g_dispatch_init;
+
+}  // namespace
+
+IsaLevel active_level() noexcept {
+  return detail::g_use_avx2 ? IsaLevel::kAvx2 : IsaLevel::kScalar;
+}
+
+void refresh_dispatch() noexcept { detail::g_use_avx2 = detect_avx2(); }
+
+}  // namespace ssvbr::simd
+
+#endif  // SSVBR_SIMD_ENABLED

@@ -1,0 +1,190 @@
+// ssvbr/common/simd.h
+//
+// Opt-in SIMD layer for the replication hot kernels (-DSSVBR_SIMD=ON).
+//
+// Design rules, in order of priority:
+//
+//   1. Bit-identical results. Every vector kernel mirrors the exact
+//      floating-point evaluation order of its scalar counterpart in
+//      math_util.h / the call site — the same four-accumulator blocking,
+//      the same (s0 + s1) + (s2 + s3) reduction, the same scalar tail,
+//      and multiply + add only (no FMA contraction: the library compiles
+//      under -std=c++20, where GCC/Clang disable contraction, so an
+//      fmadd in the vector path would change bits). Fixed-seed outputs,
+//      golden baselines, and checkpoint bit-identity are therefore
+//      unaffected by the dispatch decision.
+//   2. Runtime dispatch with a scalar fallback. The AVX2 kernels are
+//      compiled via per-function target attributes (no global -mavx2),
+//      selected once at startup by CPUID, and can be disabled at run
+//      time with SSVBR_SIMD_FORCE_SCALAR=1 in the environment — the
+//      same binary always runs correctly on any x86-64.
+//   3. Zero cost when off. Without -DSSVBR_SIMD=ON every entry point
+//      below is an inline alias of the scalar kernel; no dispatch, no
+//      indirection, no behavioural difference of any kind.
+//
+// Consumers: the Durbin-Levinson / Hosking conditional-mean dots
+// (src/fractal), the conditional_means_batch axpy (src/fractal), the
+// tabulated-transform Hermite apply (src/core), and the ziggurat
+// fill_normal batch (src/dist, which implements its own vector body and
+// only takes the dispatch decision from here).
+#pragma once
+
+#include <cstddef>
+
+#include "common/math_util.h"
+
+namespace ssvbr::simd {
+
+/// Instruction-set level selected for the current process.
+enum class IsaLevel {
+  kScalar,  ///< portable scalar kernels (always available)
+  kAvx2,    ///< AVX2 256-bit kernels (x86-64, runtime-detected)
+};
+
+/// True when the library was compiled with -DSSVBR_SIMD=ON (the AVX2
+/// kernels exist in the binary; whether they run is a runtime question).
+constexpr bool compiled_with_simd() noexcept {
+#if SSVBR_SIMD_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if SSVBR_SIMD_ENABLED
+
+/// The level the dispatcher currently routes to.
+IsaLevel active_level() noexcept;
+
+/// Re-run the dispatch decision (CPUID + the SSVBR_SIMD_FORCE_SCALAR
+/// environment override). Called once automatically before first use;
+/// exposed so tests can flip the override and exercise both paths in
+/// one process. Not thread-safe against concurrent kernel calls — call
+/// it only while no worker threads are running.
+void refresh_dispatch() noexcept;
+
+namespace detail {
+// Resolved once by refresh_dispatch(); read on every kernel call. A
+// plain bool (not atomic): it is written only during single-threaded
+// setup, and a stale read would merely select the other bit-identical
+// kernel.
+extern bool g_use_avx2;
+
+double dot_avx2(const double* a, const double* b, std::size_t n) noexcept;
+double dot_reversed_avx2(const double* a, const double* b,
+                         std::size_t n) noexcept;
+void axpy_avx2(double c, const double* h, double* out, std::size_t n) noexcept;
+}  // namespace detail
+
+/// blocked_dot with the active kernel (bit-identical either way).
+inline double dot(const double* a, const double* b, std::size_t n) noexcept {
+  if (detail::g_use_avx2) return detail::dot_avx2(a, b, n);
+  return blocked_dot(a, b, n);
+}
+
+/// blocked_dot_reversed with the active kernel (bit-identical either way).
+inline double dot_reversed(const double* a, const double* b,
+                           std::size_t n) noexcept {
+  if (detail::g_use_avx2) return detail::dot_reversed_avx2(a, b, n);
+  return blocked_dot_reversed(a, b, n);
+}
+
+/// out[i] += c * h[i] for i < n — the inner loop of
+/// conditional_means_batch. Each lane is independent, so the vector
+/// form is trivially bit-identical.
+inline void axpy(double c, const double* h, double* out,
+                 std::size_t n) noexcept {
+  if (detail::g_use_avx2) {
+    detail::axpy_avx2(c, h, out, n);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] += c * h[i];
+}
+
+#else  // !SSVBR_SIMD_ENABLED — inline scalar aliases, zero overhead.
+
+constexpr IsaLevel active_level() noexcept { return IsaLevel::kScalar; }
+constexpr void refresh_dispatch() noexcept {}
+
+inline double dot(const double* a, const double* b, std::size_t n) noexcept {
+  return blocked_dot(a, b, n);
+}
+
+inline double dot_reversed(const double* a, const double* b,
+                           std::size_t n) noexcept {
+  return blocked_dot_reversed(a, b, n);
+}
+
+inline void axpy(double c, const double* h, double* out,
+                 std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] += c * h[i];
+}
+
+#endif  // SSVBR_SIMD_ENABLED
+
+// ---------------------------------------------------------------------------
+// Tabulated-transform Hermite apply.
+// ---------------------------------------------------------------------------
+
+/// View of a uniform-grid cubic Hermite table (core::TabulatedTransform
+/// internals) in the form the gather kernel consumes.
+struct HermiteTable {
+  const double* y;        ///< node values, last_cell + 2 entries
+  const double* d;        ///< node slopes, last_cell + 2 entries
+  std::size_t last_cell;  ///< clamp index: n_intervals - 1
+  double lo;              ///< grid origin
+  double hi;              ///< grid end
+  double step;            ///< uniform cell width
+  double inv_step;        ///< 1 / step
+};
+
+/// Exact evaluation callback for grid-exterior points (|x| outside
+/// [lo, hi]); `ctx` is the caller's transform object.
+using HermiteTailFn = double (*)(const void* ctx, double x);
+
+#if SSVBR_SIMD_ENABLED
+
+namespace detail {
+void hermite_apply_avx2(const HermiteTable& t, const double* xs, std::size_t n,
+                        double* out, HermiteTailFn tail, const void* ctx);
+}  // namespace detail
+
+#endif  // SSVBR_SIMD_ENABLED
+
+/// Scalar reference: one Hermite cell evaluation, the exact operation
+/// order of TabulatedTransform::interpolate (mul + add, no FMA).
+inline double hermite_eval(const HermiteTable& t, double x) noexcept {
+  const double u = (x - t.lo) * t.inv_step;
+  std::size_t i = static_cast<std::size_t>(u);
+  if (i > t.last_cell) i = t.last_cell;  // x == hi lands here
+  const double s = u - static_cast<double>(i);
+  const double s2 = s * s;
+  const double s3 = s2 * s;
+  const double h00 = 2.0 * s3 - 3.0 * s2 + 1.0;
+  const double h10 = s3 - 2.0 * s2 + s;
+  const double h01 = -2.0 * s3 + 3.0 * s2;
+  const double h11 = s3 - s2;
+  return h00 * t.y[i] + h10 * t.step * t.d[i] + h01 * t.y[i + 1] +
+         h11 * t.step * t.d[i + 1];
+}
+
+/// Elementwise out[i] = H(xs[i]) with exact-tail fallback for points
+/// outside [lo, hi]. Processes strictly in index order and reads xs[i]
+/// before writing out[i], so full aliasing (out == xs) is safe — the
+/// in-place use in ModelArrivalProcess depends on it.
+inline void hermite_apply(const HermiteTable& t, const double* xs,
+                          std::size_t n, double* out, HermiteTailFn tail,
+                          const void* ctx) {
+#if SSVBR_SIMD_ENABLED
+  if (detail::g_use_avx2) {
+    detail::hermite_apply_avx2(t, xs, n, out, tail, ctx);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = xs[i];
+    out[i] = (x < t.lo || x > t.hi) ? tail(ctx, x) : hermite_eval(t, x);
+  }
+}
+
+}  // namespace ssvbr::simd

@@ -49,4 +49,22 @@ void BackgroundPathSampler::sample(RandomEngine& rng, std::span<double> out) con
   std::copy(x.begin(), x.end(), out.begin());
 }
 
+void BackgroundPathSampler::sample(RandomEngine& rng, std::span<double> out,
+                                   BackgroundWorkspace& ws) const {
+  SSVBR_REQUIRE(out.size() >= horizon_, "output span shorter than the horizon");
+  if (davies_harte_) {
+    davies_harte_->sample_path(rng, out, ws.davies_harte);
+    return;
+  }
+  // Hosking and the streaming fallback write straight into `out`; no
+  // scratch needed, so the overloads coincide (and stay bit-identical).
+  if (hosking_) {
+    hosking_->sample_path(rng, out.first(horizon_));
+    return;
+  }
+  const std::vector<double> x =
+      fractal::hosking_sample_streaming(*correlation_, horizon_, rng);
+  std::copy(x.begin(), x.end(), out.begin());
+}
+
 }  // namespace ssvbr::core

@@ -28,13 +28,22 @@
 
 #include "core/unified_model.h"
 #include "dist/random.h"
+#include "fractal/davies_harte.h"
 
 namespace ssvbr::fractal {
-class DaviesHarteModel;
 class HoskingModel;
 }  // namespace ssvbr::fractal
 
 namespace ssvbr::core {
+
+/// Caller-owned scratch for BackgroundPathSampler::sample. Long-lived
+/// consumers (one arrival process per engine worker) own one apiece, so
+/// the replication steady state touches no thread_local lookup and no
+/// state shared between workers — each worker's buffers stay hot in its
+/// own cache lines (DESIGN.md §7f).
+struct BackgroundWorkspace {
+  fractal::DaviesHarteModel::Workspace davies_harte;
+};
 
 /// Background generator with all per-horizon setup precomputed.
 /// Immutable after construction; safe to share across threads.
@@ -54,7 +63,14 @@ class BackgroundPathSampler {
   /// Draw one background path x_0..x_{horizon-1} into `out`
   /// (out.size() >= horizon() required; extra entries untouched).
   /// Steady-state allocation-free except in the streaming fallback.
+  /// Uses the per-thread workspace cache; bit-identical to the
+  /// explicit-workspace overload.
   void sample(RandomEngine& rng, std::span<double> out) const;
+
+  /// Same draw with caller-owned scratch (resized as needed) — the
+  /// form the parallel engine's per-worker arrival processes use.
+  void sample(RandomEngine& rng, std::span<double> out,
+              BackgroundWorkspace& ws) const;
 
  private:
   std::size_t horizon_;

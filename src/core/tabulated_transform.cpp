@@ -83,21 +83,16 @@ TabulatedTransform::TabulatedTransform(const MarginalTransform& exact,
   }
 }
 
+simd::HermiteTable TabulatedTransform::table_view() const noexcept {
+  return simd::HermiteTable{y_.data(), d_.data(), y_.size() - 2,
+                            kLo,       kHi,       step_,
+                            inv_step_};
+}
+
 double TabulatedTransform::interpolate(double x) const {
-  const double u = (x - kLo) * inv_step_;
-  std::size_t i = static_cast<std::size_t>(u);
-  const std::size_t last = y_.size() - 2;
-  if (i > last) i = last;  // x == kHi lands here
-  const double t = u - static_cast<double>(i);
-  // Cubic Hermite basis on the unit interval, with slopes pre-scaled by
-  // the uniform step.
-  const double t2 = t * t;
-  const double t3 = t2 * t;
-  const double h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
-  const double h10 = t3 - 2.0 * t2 + t;
-  const double h01 = -2.0 * t3 + 3.0 * t2;
-  const double h11 = t3 - t2;
-  return h00 * y_[i] + h10 * step_ * d_[i] + h01 * y_[i + 1] + h11 * step_ * d_[i + 1];
+  // One shared Hermite evaluation (common/simd.h) keeps the scalar
+  // operator() and the vectorised apply() from ever drifting apart.
+  return simd::hermite_eval(table_view(), x);
 }
 
 double TabulatedTransform::operator()(double x) const {
@@ -108,9 +103,21 @@ double TabulatedTransform::operator()(double x) const {
   return interpolate(x);
 }
 
+namespace {
+
+// Exact-tail callback for the grid-exterior lanes of the SIMD apply:
+// identical to operator()'s saturated branch.
+double exact_tail(const void* ctx, double x) {
+  const auto* target = static_cast<const Distribution*>(ctx);
+  return target->quantile(clamped_normal_cdf(x));
+}
+
+}  // namespace
+
 void TabulatedTransform::apply(std::span<const double> xs, std::span<double> out) const {
   SSVBR_REQUIRE(out.size() >= xs.size(), "output span too short");
-  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (*this)(xs[i]);
+  simd::hermite_apply(table_view(), xs.data(), xs.size(), out.data(),
+                      &exact_tail, target_.get());
 }
 
 }  // namespace ssvbr::core

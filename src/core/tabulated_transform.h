@@ -32,6 +32,7 @@
 #include <span>
 #include <vector>
 
+#include "common/simd.h"
 #include "core/marginal_transform.h"
 
 namespace ssvbr::core {
@@ -66,6 +67,7 @@ class TabulatedTransform {
 
  private:
   double interpolate(double x) const;
+  simd::HermiteTable table_view() const noexcept;
 
   DistributionPtr target_;   // for the exact tail fallback
   std::vector<double> y_;    // h at the grid nodes

@@ -59,7 +59,10 @@ class RandomEngine {
   /// Gaussian synthesis in Davies-Harte needs. Consumes the same
   /// underlying bit stream as every other primitive but neither uses
   /// nor disturbs the Box-Muller cache, so the variate *values* differ
-  /// from an equivalent sequence of normal() calls.
+  /// from an equivalent sequence of normal() calls. In SSVBR_SIMD
+  /// builds with AVX2 active the fill runs a speculative four-wide
+  /// batch whose output (and final engine state) is bit-identical to
+  /// the scalar loop — see dist/random.cpp.
   void fill_normal(std::span<double> out) noexcept;
 
   /// Standard exponential variate (rate 1).

@@ -1,0 +1,43 @@
+// ssvbr/engine/cacheline.h
+//
+// Cache-line placement helpers for the replication engine's shared
+// words (DESIGN.md §7f).
+//
+// The engine's hot shared state is a handful of atomic counters that
+// every worker hammers once per shard. Correctness never cared where
+// they live, but throughput does: two unrelated atomics in one 64-byte
+// line ping-pong that line between cores on every update ("false
+// sharing"), and an atomic that shares its line with read-mostly data
+// (a mutex, a config field, a vector header) invalidates readers that
+// never touched it. The rule used throughout the engine:
+//
+//   * a word that is WRITTEN concurrently by several workers gets a
+//     cache line that contains nothing else — wrap it in CacheAligned;
+//   * words that are always written TOGETHER by the same call may share
+//     one aligned line (splitting them would just double the ping-pong);
+//   * read-only worker inputs (the base engine state, shard geometry,
+//     plan pointers) are kept out of those lines entirely.
+#pragma once
+
+#include <cstddef>
+
+namespace ssvbr::engine {
+
+/// Assumed destructive-interference granularity. 64 bytes covers every
+/// x86-64 and most AArch64 parts; std::hardware_destructive_interference_size
+/// is deliberately not used because its value is ABI-fragile (GCC warns
+/// that it varies with -mtune) and 64 is the conservative constant the
+/// rest of the repo documents.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// A `T` with a 64-byte line to itself. alignas gives the object line
+/// alignment AND rounds sizeof up to a multiple of the alignment, so
+/// adjacent CacheAligned values (locals or array elements) never share
+/// a line. Aggregate: initialize as `CacheAligned<std::atomic<T>> x{{v}};`
+/// and access through `x.value`.
+template <class T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value;
+};
+
+}  // namespace ssvbr::engine

@@ -34,8 +34,8 @@ ProgressReporter::ProgressReporter(const ProgressFn* fn, double interval_seconds
       resumed_shards_(resumed_shards),
       resumed_replications_(resumed_replications),
       start_(std::chrono::steady_clock::now()) {
-  shards_done_.store(resumed_shards, std::memory_order_relaxed);
-  replications_done_.store(resumed_replications, std::memory_order_relaxed);
+  counters_.shards_done.store(resumed_shards, std::memory_order_relaxed);
+  counters_.replications_done.store(resumed_replications, std::memory_order_relaxed);
 }
 
 double ProgressReporter::elapsed_seconds() const noexcept {
@@ -66,16 +66,16 @@ EngineProgress ProgressReporter::make_progress(std::size_t shards, std::size_t r
 
 void ProgressReporter::shard_done(std::size_t replications) noexcept {
   const std::size_t reps =
-      replications_done_.fetch_add(replications, std::memory_order_relaxed) +
+      counters_.replications_done.fetch_add(replications, std::memory_order_relaxed) +
       replications;
-  const std::size_t shards = shards_done_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::size_t shards = counters_.shards_done.fetch_add(1, std::memory_order_relaxed) + 1;
   if (fn_ == nullptr) return;
   const double elapsed = elapsed_seconds();
   const auto now_ns = static_cast<std::int64_t>(elapsed * 1e9);
-  std::int64_t last = last_beat_ns_.load(std::memory_order_relaxed);
+  std::int64_t last = counters_.last_beat_ns.load(std::memory_order_relaxed);
   if (static_cast<double>(now_ns - last) < interval_seconds_ * 1e9) return;
   // One winner per interval; losers skip (another worker just reported).
-  if (!last_beat_ns_.compare_exchange_strong(last, now_ns, std::memory_order_relaxed)) {
+  if (!counters_.last_beat_ns.compare_exchange_strong(last, now_ns, std::memory_order_relaxed)) {
     return;
   }
   (*fn_)(make_progress(shards, reps, elapsed));
@@ -83,13 +83,13 @@ void ProgressReporter::shard_done(std::size_t replications) noexcept {
 
 void ProgressReporter::finish() noexcept {
   const double elapsed = elapsed_seconds();
-  const std::size_t reps = replications_done_.load(std::memory_order_relaxed);
+  const std::size_t reps = counters_.replications_done.load(std::memory_order_relaxed);
   const std::size_t fresh = reps - resumed_replications_;
   if (elapsed > 0.0 && fresh > 0) {
     SSVBR_GAUGE_SET("engine.reps_per_sec", static_cast<double>(fresh) / elapsed);
   }
   if (fn_ == nullptr) return;
-  EngineProgress p = make_progress(shards_done_.load(std::memory_order_relaxed), reps,
+  EngineProgress p = make_progress(counters_.shards_done.load(std::memory_order_relaxed), reps,
                                    elapsed);
   p.final_update = true;
   (*fn_)(p);

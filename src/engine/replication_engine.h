@@ -59,6 +59,7 @@
 #include "common/error.h"
 #include "dist/random.h"
 #include "engine/accumulator.h"
+#include "engine/cacheline.h"
 #include "engine/thread_pool.h"
 #include "obs/instrument.h"
 #include "obs/telemetry.h"
@@ -133,9 +134,15 @@ class ProgressReporter {
   std::size_t resumed_shards_;
   std::size_t resumed_replications_;
   std::chrono::steady_clock::time_point start_;
-  std::atomic<std::size_t> shards_done_{0};
-  std::atomic<std::size_t> replications_done_{0};
-  std::atomic<std::int64_t> last_beat_ns_{0};
+  // The three counters are always updated together by one shard_done
+  // call, so they share one aligned line (separate lines would triple
+  // the ping-pong); the alignment keeps them off the read-only config
+  // fields above, which workers read on every heartbeat check.
+  struct alignas(kCacheLineSize) Counters {
+    std::atomic<std::size_t> shards_done{0};
+    std::atomic<std::size_t> replications_done{0};
+    std::atomic<std::int64_t> last_beat_ns{0};
+  } counters_;
 };
 
 /// How a durable run ended.
@@ -309,13 +316,23 @@ class ReplicationEngine {
 
     const RandomEngine base = rng;
     RandomEngine end_state = rng;  // written by the worker that finishes the study
-    std::atomic<bool> have_end{false};
-    std::atomic<std::size_t> next_shard{0};
-    std::atomic<std::size_t> completed_total{restored};
-    std::atomic<std::size_t> completed_this_call{0};
-    std::atomic<std::size_t> reps_this_call{0};
-    std::atomic<int> stop_reason{0};  // 1 cancel, 2 deadline, 3 budget
-    std::atomic<bool> aborted{false};
+    // Every worker updates these once per shard; as plain consecutive
+    // locals they would all land in one or two stack cache lines and
+    // each fetch_add would invalidate its neighbours' lines on every
+    // other core (see engine/cacheline.h). Each multi-writer word gets
+    // its own line; the rare-write stop words share one.
+    CacheAligned<std::atomic<std::size_t>> next_shard{{0}};
+    CacheAligned<std::atomic<std::size_t>> completed_total{{restored}};
+    CacheAligned<std::atomic<std::size_t>> completed_this_call{{0}};
+    CacheAligned<std::atomic<std::size_t>> reps_this_call{{0}};
+    struct alignas(kCacheLineSize) StopWords {
+      std::atomic<bool> have_end{false};
+      std::atomic<int> stop_reason{0};  // 1 cancel, 2 deadline, 3 budget
+      std::atomic<bool> aborted{false};
+    } stop_words;
+    std::atomic<bool>& have_end = stop_words.have_end;
+    std::atomic<int>& stop_reason = stop_words.stop_reason;
+    std::atomic<bool>& aborted = stop_words.aborted;
     std::mutex save_mu;
     const auto start = std::chrono::steady_clock::now();
     ProgressReporter reporter(&progress_, progress_interval_seconds_, n_shards,
@@ -361,7 +378,7 @@ class ReplicationEngine {
         }
       }
       if (controls.max_replications > 0 &&
-          reps_this_call.load(std::memory_order_relaxed) >= controls.max_replications) {
+          reps_this_call.value.load(std::memory_order_relaxed) >= controls.max_replications) {
         stop_reason.store(3, std::memory_order_relaxed);
         return true;
       }
@@ -380,7 +397,7 @@ class ReplicationEngine {
           for (;;) {
             if (aborted.load(std::memory_order_relaxed)) break;
             if (should_stop()) break;
-            const std::size_t s = next_shard.fetch_add(1, std::memory_order_relaxed);
+            const std::size_t s = next_shard.value.fetch_add(1, std::memory_order_relaxed);
             if (s >= n_shards) break;
             if (done[s].load(std::memory_order_acquire)) continue;  // restored
             SSVBR_TIMER("engine.shard");
@@ -402,8 +419,8 @@ class ReplicationEngine {
             shard_result[s] = std::move(acc);
             done[s].store(1, std::memory_order_release);
             tw.shard_done(s, /*task=*/0, hi - lo);
-            completed_total.fetch_add(1, std::memory_order_relaxed);
-            reps_this_call.fetch_add(hi - lo, std::memory_order_relaxed);
+            completed_total.value.fetch_add(1, std::memory_order_relaxed);
+            reps_this_call.value.fetch_add(hi - lo, std::memory_order_relaxed);
             // Exactly one shard ends at `replications`; its stream then
             // sits `replications` jumps past `base` — the state the
             // caller's engine continues from. pool_.parallel() joining
@@ -416,7 +433,7 @@ class ReplicationEngine {
             SSVBR_COUNTER_ADD("engine.replications", hi - lo);
             reporter.shard_done(hi - lo);
             const std::size_t k =
-                completed_this_call.fetch_add(1, std::memory_order_relaxed) + 1;
+                completed_this_call.value.fetch_add(1, std::memory_order_relaxed) + 1;
             if (hooks.save_every_shards != 0 && k % hooks.save_every_shards == 0) {
               snapshot();
             }
@@ -437,7 +454,7 @@ class ReplicationEngine {
       throw;
     }
 
-    out.shards_done = completed_total.load(std::memory_order_relaxed);
+    out.shards_done = completed_total.value.load(std::memory_order_relaxed);
     // Snapshot BEFORE the merge: the merge moves shard accumulators
     // into the total, and a moved-from accumulator with heap state
     // (e.g. per-node vectors) would serialize hollow.
@@ -459,8 +476,8 @@ class ReplicationEngine {
       telem.add_merge_ns(obs::now_ns() - merge_t0);
     }
     telemetry_ =
-        telem.finish(completed_this_call.load(std::memory_order_relaxed),
-                     reps_this_call.load(std::memory_order_relaxed));
+        telem.finish(completed_this_call.value.load(std::memory_order_relaxed),
+                     reps_this_call.value.load(std::memory_order_relaxed));
 
     if (out.shards_done == n_shards) {
       out.status = RunStatus::kComplete;
@@ -522,7 +539,9 @@ class ReplicationEngine {
                                   shard_size_);
     std::vector<Acc> shard_result(n_shards);
     const RandomEngine base = rng;
-    std::atomic<std::size_t> next_shard{0};
+    // Sole multi-writer word of the flat shard pool; line to itself
+    // (see the run_durable locals and engine/cacheline.h).
+    CacheAligned<std::atomic<std::size_t>> next_shard{{0}};
     ProgressReporter reporter(&progress_, progress_interval_seconds_, n_shards,
                               tasks * replications);
 
@@ -537,7 +556,7 @@ class ReplicationEngine {
       std::size_t position = 0;        // jumps applied to `stream` within its task
       std::size_t stream_task = 0;     // task `stream` belongs to
       for (;;) {
-        const std::size_t g = next_shard.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t g = next_shard.value.fetch_add(1, std::memory_order_relaxed);
         if (g >= n_shards) break;
         SSVBR_TIMER("engine.shard");
         tw.claimed();

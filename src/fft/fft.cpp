@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 
@@ -34,16 +35,28 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
 }
 
 std::shared_ptr<const FftPlan> FftPlan::get(std::size_t n) {
-  // Recursive mutex: building a plan builds its half-size plan through
-  // this same entry point.
-  static std::recursive_mutex mutex;
+  // Readers share the lock: after warm-up every thread's lookup takes
+  // the uncontended shared path instead of serializing on the exclusive
+  // mutex the cache used to hold. (Long-lived samplers additionally
+  // cache the resolved shared_ptr — e.g. DaviesHarteModel::plan_ and
+  // the per-thread plan slot in stats::autocorrelation_fft — so the
+  // steady state of a replication loop does not touch this map at all.)
+  static std::shared_mutex mutex;
   static std::unordered_map<std::size_t, std::shared_ptr<const FftPlan>> cache;
-  const std::lock_guard<std::recursive_mutex> lock(mutex);
-  auto it = cache.find(n);
-  if (it != cache.end()) return it->second;
+  {
+    const std::shared_lock<std::shared_mutex> lock(mutex);
+    const auto it = cache.find(n);
+    if (it != cache.end()) return it->second;
+  }
+  // Build OUTSIDE any lock: the constructor recurses into get(n / 2)
+  // for the half-size plan, which would self-deadlock a held
+  // shared_mutex (the old recursive_mutex existed for this call chain).
+  // Two threads may race to build the same size; the first insert wins
+  // and the loser's copy is dropped — plans are immutable, so both are
+  // interchangeable.
   auto plan = std::make_shared<const FftPlan>(n);
-  cache.emplace(n, plan);
-  return plan;
+  const std::unique_lock<std::shared_mutex> lock(mutex);
+  return cache.emplace(n, std::move(plan)).first->second;
 }
 
 void FftPlan::transform(std::span<Complex> data, bool inverse) const {

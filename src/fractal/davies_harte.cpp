@@ -1,6 +1,7 @@
 #include "fractal/davies_harte.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/error.h"
 #include "common/math_util.h"
@@ -50,9 +51,30 @@ DaviesHarteModel::DaviesHarteModel(const AutocorrelationModel& model, std::size_
   }
 }
 
+namespace {
+
+// Per-thread workspace cache keyed by embedding size. One shared
+// thread_local Workspace used to serve every model, so a thread
+// alternating between models of different sizes re-allocated (resized)
+// all four buffers on every call; keying by m keeps one warm workspace
+// per distinct size and makes the steady state allocation-free
+// regardless of how many models a worker interleaves. A worker touches
+// a handful of sizes at most, so a linear scan beats a map.
+DaviesHarteModel::Workspace& thread_workspace(std::size_t m) {
+  static thread_local std::vector<
+      std::pair<std::size_t, std::unique_ptr<DaviesHarteModel::Workspace>>>
+      cache;
+  for (auto& [size, ws] : cache) {
+    if (size == m) return *ws;
+  }
+  cache.emplace_back(m, std::make_unique<DaviesHarteModel::Workspace>());
+  return *cache.back().second;
+}
+
+}  // namespace
+
 void DaviesHarteModel::sample_path(RandomEngine& rng, std::span<double> out) const {
-  static thread_local Workspace workspace;
-  sample_path(rng, out, workspace);
+  sample_path(rng, out, thread_workspace(m_));
 }
 
 void DaviesHarteModel::sample_path(RandomEngine& rng, std::span<double> out,

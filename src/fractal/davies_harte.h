@@ -56,7 +56,9 @@ class DaviesHarteModel {
 
   /// Draw one path of length path_length() into `out`
   /// (out.size() >= path_length() required; extra entries untouched).
-  /// Uses a thread-local Workspace; bit-identical to the explicit
+  /// Uses a per-thread workspace keyed by the embedding size (so
+  /// threads alternating between models of different sizes stay
+  /// allocation-free in steady state); bit-identical to the explicit
   /// workspace overload for the same engine state.
   void sample_path(RandomEngine& rng, std::span<double> out) const;
 

@@ -4,7 +4,7 @@
 #include <utility>
 
 #include "common/error.h"
-#include "common/math_util.h"
+#include "common/simd.h"
 
 namespace ssvbr::fractal {
 
@@ -19,7 +19,7 @@ std::span<const double> DurbinLevinson::advance() {
   const std::size_t k = ++k_;
   SSVBR_REQUIRE(k < r_.size(), "Durbin-Levinson advanced past the correlation table");
   const double num =
-      r_[k] - blocked_dot_reversed(prev_.data(), r_.data() + 1, k - 1);
+      r_[k] - simd::dot_reversed(prev_.data(), r_.data() + 1, k - 1);
   const double phi_kk = num / v_;
   if (!(phi_kk > -1.0 && phi_kk < 1.0) || !std::isfinite(phi_kk)) {
     throw NumericalError("correlation '" + label_ +

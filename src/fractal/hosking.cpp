@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/math_util.h"
+#include "common/simd.h"
 #include "fractal/durbin_levinson.h"
 #include "obs/instrument.h"
 
@@ -69,7 +70,7 @@ double HoskingModel::conditional_mean(std::size_t k,
   if (k == 0) return 0.0;
   SSVBR_REQUIRE(history.size() >= k, "history shorter than step index");
   const std::span<const double> row = phi_row(k);
-  return blocked_dot_reversed(row.data(), history.data(), k);
+  return simd::dot_reversed(row.data(), history.data(), k);
 }
 
 void HoskingModel::conditional_means_batch(std::size_t k, const double* history,
@@ -80,9 +81,7 @@ void HoskingModel::conditional_means_batch(std::size_t k, const double* history,
   const std::span<const double> row = phi_row(k);
   SSVBR_REQUIRE(stride >= count, "history stride narrower than the batch");
   for (std::size_t j = 1; j <= k; ++j) {
-    const double c = row[j - 1];
-    const double* h = history + (k - j) * stride;
-    for (std::size_t s = 0; s < count; ++s) out[s] += c * h[s];
+    simd::axpy(row[j - 1], history + (k - j) * stride, out, count);
   }
 }
 
@@ -94,7 +93,7 @@ void HoskingModel::sample_path(RandomEngine& rng, std::span<double> out) const {
   out[0] = rng.normal(0.0, 1.0);
   const double* phi = phi_.data();
   for (std::size_t k = 1; k < n; ++k) {
-    const double m = blocked_dot_reversed(phi + row_offset(k), out.data(), k);
+    const double m = simd::dot_reversed(phi + row_offset(k), out.data(), k);
     out[k] = rng.normal(m, sd_[k]);
   }
 }
@@ -135,7 +134,7 @@ std::vector<double> hosking_sample_streaming(const AutocorrelationModel& model,
   DurbinLevinson dl(r, model.describe());
   for (std::size_t k = 1; k < n; ++k) {
     const std::span<const double> row = dl.advance();
-    const double m = blocked_dot_reversed(row.data(), x.data(), k);
+    const double m = simd::dot_reversed(row.data(), x.data(), k);
     x[k] = rng.normal(m, std::sqrt(dl.variance()));
   }
   return x;

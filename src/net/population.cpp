@@ -33,6 +33,23 @@ double PopulationSampler::mean_rate() const {
 void PopulationSampler::sample(RandomEngine& rng, std::span<double> frame_scratch,
                                std::span<std::size_t> cell_scratch,
                                std::span<double> out) const {
+  // Convenience form: per-thread cached generator scratch. Bit-identical
+  // to the explicit-workspace overload below.
+  sample_impl(rng, frame_scratch, cell_scratch, out, nullptr);
+}
+
+void PopulationSampler::sample(RandomEngine& rng, std::span<double> frame_scratch,
+                               std::span<std::size_t> cell_scratch,
+                               std::span<double> out,
+                               core::BackgroundWorkspace& ws) const {
+  sample_impl(rng, frame_scratch, cell_scratch, out, &ws);
+}
+
+void PopulationSampler::sample_impl(RandomEngine& rng,
+                                    std::span<double> frame_scratch,
+                                    std::span<std::size_t> cell_scratch,
+                                    std::span<double> out,
+                                    core::BackgroundWorkspace* ws) const {
   SSVBR_SPAN("net.population.sample");
   SSVBR_REQUIRE(frame_scratch.size() == frames_,
                 "frame scratch has the wrong size");
@@ -42,7 +59,11 @@ void PopulationSampler::sample(RandomEngine& rng, std::span<double> frame_scratc
   SSVBR_COUNTER_ADD("net.population.sources", config_.population);
   // Same draw order as ModelArrivalProcess::begin_replication: one
   // background path, then the marginal transform in place.
-  sampler_->sample(rng, frame_scratch);
+  if (ws != nullptr) {
+    sampler_->sample(rng, frame_scratch, *ws);
+  } else {
+    sampler_->sample(rng, frame_scratch);
+  }
   config_.model->transform().apply(frame_scratch, frame_scratch);
   if (config_.population > 1) {
     const double n = static_cast<double>(config_.population);

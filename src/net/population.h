@@ -88,7 +88,18 @@ class PopulationSampler {
               std::span<std::size_t> cell_scratch,
               std::span<double> out) const;
 
+  /// Same draw with caller-owned generator scratch (the form
+  /// ScenarioKernel uses, one workspace per kernel, so parallel
+  /// replication workers never share mutable generator state).
+  void sample(RandomEngine& rng, std::span<double> frame_scratch,
+              std::span<std::size_t> cell_scratch, std::span<double> out,
+              core::BackgroundWorkspace& ws) const;
+
  private:
+  void sample_impl(RandomEngine& rng, std::span<double> frame_scratch,
+                   std::span<std::size_t> cell_scratch, std::span<double> out,
+                   core::BackgroundWorkspace* ws) const;
+
   SourceClassConfig config_;
   std::size_t frames_;
   std::shared_ptr<const core::BackgroundPathSampler> sampler_;

@@ -106,7 +106,7 @@ const ScenarioStats& ScenarioKernel::run_one(RandomEngine& rng) {
       const std::span<std::size_t> cells =
           s.segmented() ? std::span<std::size_t>(cell_scratch_.data(), s.slots())
                         : std::span<std::size_t>();
-      s.sample(rng, frames, cells, class_paths_[c]);
+      s.sample(rng, frames, cells, class_paths_[c], generator_scratch_);
     }
   }
 

@@ -140,6 +140,7 @@ class ScenarioKernel {
   const ScenarioContext& context_;
   SlotWheel wheel_;
   std::vector<double> queues_;
+  core::BackgroundWorkspace generator_scratch_;
   std::vector<double> frame_scratch_;
   std::vector<std::size_t> cell_scratch_;
   std::vector<std::vector<double>> class_paths_;

@@ -227,7 +227,13 @@ class TelemetryCollector {
   RunTelemetry finish(std::uint64_t shards_executed, std::uint64_t replications);
 
  private:
-  struct Slot {
+  // One slot per pool worker, written on every shard_done by that
+  // worker alone. alignas(64) keeps neighbouring slots out of each
+  // other's cache lines: without it, slot i's totals and slot i+1's
+  // event-vector header pack into one line and every record ping-pongs
+  // it between the two workers (DESIGN.md §7f) — worker-private data
+  // must also be cache-line-private.
+  struct alignas(64) Slot {
     WorkerTelemetry totals;
     std::vector<ShardTelemetry> events;
   };

@@ -35,7 +35,7 @@ void ModelArrivalProcess::begin_replication(RandomEngine& rng, std::size_t horiz
                                                                    generator_);
   }
   path_.resize(horizon);
-  sampler_->sample(rng, path_);
+  sampler_->sample(rng, path_, workspace_);
   model_->transform().apply(path_, path_);
   pos_ = 0;
 }

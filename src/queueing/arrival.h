@@ -70,6 +70,10 @@ class ModelArrivalProcess final : public ArrivalProcess {
   std::shared_ptr<const core::UnifiedVbrModel> model_;
   core::BackgroundGenerator generator_;
   std::shared_ptr<const core::BackgroundPathSampler> sampler_;
+  // Owned scratch: each engine worker constructs its own arrival
+  // process, so path generation never shares mutable state (or cache
+  // lines) across workers and never consults thread_local caches.
+  core::BackgroundWorkspace workspace_;
   std::vector<double> path_;
   std::size_t pos_ = 0;
 };

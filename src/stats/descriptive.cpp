@@ -144,7 +144,11 @@ std::vector<double> autocorrelation_fft(std::span<const double> xs, std::size_t 
   // buffers persist per thread so repeated estimation (e.g. per-scene
   // trace analysis) does not reallocate.
   const std::size_t padded = next_power_of_two(2 * n);
-  const std::shared_ptr<const fft::FftPlan> plan = fft::FftPlan::get(padded);
+  // Size-keyed per-thread plan slot: repeated estimation at one length
+  // (the common case) resolves the plan without touching the global
+  // cache or its lock.
+  static thread_local std::shared_ptr<const fft::FftPlan> plan;
+  if (!plan || plan->size() != padded) plan = fft::FftPlan::get(padded);
   static thread_local std::vector<double> buf;
   static thread_local std::vector<fft::Complex> spec;
   static thread_local std::vector<fft::Complex> scratch;

@@ -1,0 +1,173 @@
+// Steady-state allocation audit for the replication hot path.
+//
+// The performance contract (DESIGN.md §7f) is that after a warm-up
+// call, the replication loop performs ZERO heap allocations: the
+// Davies-Harte workspaces, the arrival process path buffer, and the
+// background sampler scratch are all preallocated and reused. This file
+// enforces the contract with replacement global operator new/delete
+// that count every allocation, so a regression (a stray resize, a
+// workspace cache that thrashes between sizes, a std::function rebind)
+// fails loudly instead of showing up as a 2x slowdown in a bench
+// nobody reruns.
+//
+// Rules for the measured regions: no gtest assertions, no stream
+// output, nothing but the code under audit — the counter cannot tell
+// test-harness allocations from product ones.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "core/background_sampler.h"
+#include "core/marginal_transform.h"
+#include "core/unified_model.h"
+#include "dist/distributions.h"
+#include "dist/random.h"
+#include "fractal/autocorrelation.h"
+#include "fractal/davies_harte.h"
+#include "queueing/arrival.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  void* p = nullptr;
+  if (::posix_memalign(&p, alignment, size != 0 ? size : 1) == 0) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+// Replacement allocation functions (process-wide for this test binary).
+// Every new-form delegates to the counted malloc; every delete-form to
+// free, which posix_memalign memory also accepts on POSIX.
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(al));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace ssvbr {
+namespace {
+
+/// Allocations performed by `body()`.
+template <class Fn>
+std::uint64_t allocations_in(Fn&& body) {
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  body();
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+std::shared_ptr<const core::UnifiedVbrModel> make_model() {
+  auto corr = std::make_shared<fractal::ExponentialAutocorrelation>(0.05);
+  core::MarginalTransform h(std::make_shared<GammaDistribution>(2.0, 100.0));
+  return std::make_shared<core::UnifiedVbrModel>(std::move(corr), std::move(h));
+}
+
+TEST(AllocationFree, DaviesHarteSteadyState) {
+  const fractal::FgnAutocorrelation acf(0.8);
+  const fractal::DaviesHarteModel model(acf, 256, 0.05);
+  RandomEngine rng(11);
+  std::vector<double> out(256);
+  model.sample_path(rng, out);  // warm-up: workspace + FFT scratch sized
+  const std::uint64_t n = allocations_in([&] {
+    for (int i = 0; i < 10; ++i) model.sample_path(rng, out);
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(AllocationFree, DaviesHarteExplicitWorkspaceSteadyState) {
+  const fractal::FgnAutocorrelation acf(0.8);
+  const fractal::DaviesHarteModel model(acf, 300, 0.05);
+  RandomEngine rng(12);
+  std::vector<double> out(300);
+  fractal::DaviesHarteModel::Workspace ws;
+  model.sample_path(rng, out, ws);  // warm-up
+  const std::uint64_t n = allocations_in([&] {
+    for (int i = 0; i < 10; ++i) model.sample_path(rng, out, ws);
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(AllocationFree, AlternatingModelSizesDoNotThrashTheWorkspaceCache) {
+  // Two models with different embedding sizes on one thread. The
+  // per-thread workspace cache is keyed by size, so after one warm call
+  // apiece, interleaving them must never resize (the historical single
+  // shared workspace was re-sized on every alternation).
+  const fractal::FgnAutocorrelation acf(0.8);
+  const fractal::DaviesHarteModel small(acf, 200, 0.05);   // m = 512
+  const fractal::DaviesHarteModel large(acf, 1500, 0.05);  // m = 4096
+  RandomEngine rng(13);
+  std::vector<double> out(1500);
+  small.sample_path(rng, out);
+  large.sample_path(rng, out);
+  const std::uint64_t n = allocations_in([&] {
+    for (int i = 0; i < 8; ++i) {
+      small.sample_path(rng, out);
+      large.sample_path(rng, out);
+    }
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(AllocationFree, ModelArrivalProcessReplicationSteadyState) {
+  // The full per-replication arrival path: background draw (Hosking
+  // table sampler) + in-place marginal transform + slot playback.
+  queueing::ModelArrivalProcess arr(make_model());
+  RandomEngine rng(14);
+  constexpr std::size_t kHorizon = 400;
+  arr.begin_replication(rng, kHorizon);  // warm-up: sampler + path buffer
+  for (std::size_t t = 0; t < kHorizon; ++t) arr.next();
+  const std::uint64_t n = allocations_in([&] {
+    for (int rep = 0; rep < 5; ++rep) {
+      arr.begin_replication(rng, kHorizon);
+      for (std::size_t t = 0; t < kHorizon; ++t) arr.next();
+    }
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(AllocationFree, BackgroundSamplerWithWorkspaceSteadyState) {
+  const auto model = make_model();
+  const core::BackgroundPathSampler sampler(
+      *model, 512, core::BackgroundGenerator::kDaviesHarte);
+  RandomEngine rng(15);
+  std::vector<double> out(512);
+  core::BackgroundWorkspace ws;
+  sampler.sample(rng, out, ws);  // warm-up
+  const std::uint64_t n = allocations_in([&] {
+    for (int i = 0; i < 10; ++i) sampler.sample(rng, out, ws);
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+}  // namespace
+}  // namespace ssvbr
