@@ -47,6 +47,9 @@ import tempfile
 EXPECTED_BENCHES = [
     "davies_harte_path",
     "hosking_path_shared_table",
+    "paxson_vs_davies_harte_path",
+    "paxson_vs_hosking_path",
+    "paxson_stream_16m_vs_dh_extrapolated",
     "marginal_transform_apply",
     "autocorrelation_fft",
     "is_twist_sweep_fig14",

@@ -13,6 +13,7 @@ const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::kFingerprintMismatch: return "fingerprint_mismatch";
     case ErrorCode::kUnsupported: return "unsupported";
     case ErrorCode::kIoError: return "io_error";
+    case ErrorCode::kStreamingIncompatible: return "streaming_incompatible";
   }
   return "unknown";
 }

@@ -47,6 +47,9 @@ enum class ErrorCode {
   kFingerprintMismatch,   ///< snapshot belongs to a different campaign/config
   kUnsupported,           ///< valid request, not implemented for this estimator
   kIoError,               ///< read/write failed mid-operation
+  kStreamingIncompatible, ///< a source class asks for block streaming but its
+                          ///< config cannot stream (non-Paxson generator, cell
+                          ///< segmentation, or a zero block size)
 };
 
 /// Stable identifier string for an ErrorCode (used in messages and by

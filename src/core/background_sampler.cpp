@@ -1,45 +1,94 @@
 #include "core/background_sampler.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
+#include "common/math_util.h"
 #include "fractal/davies_harte.h"
 #include "fractal/hosking.h"
 
 namespace ssvbr::core {
 
-BackgroundPathSampler::BackgroundPathSampler(const UnifiedVbrModel& model,
-                                             std::size_t horizon,
-                                             BackgroundGenerator generator)
-    : horizon_(horizon), correlation_(model.background_correlation_ptr()) {
+BackgroundPathSampler::BackgroundPathSampler(
+    fractal::AutocorrelationPtr correlation, std::size_t horizon,
+    BackgroundGenerator generator)
+    : horizon_(horizon),
+      generator_(generator),
+      correlation_(std::move(correlation)) {
+  SSVBR_REQUIRE(correlation_ != nullptr, "sampler needs a correlation model");
   SSVBR_REQUIRE(horizon >= 1, "sampler horizon must be positive");
-  if (generator == BackgroundGenerator::kDaviesHarte) {
-    try {
-      davies_harte_ = std::make_shared<const fractal::DaviesHarteModel>(
-          *correlation_, horizon, /*tolerance=*/0.05);
+  switch (generator) {
+    case BackgroundGenerator::kDaviesHarte:
+      try {
+        davies_harte_ = std::make_shared<const fractal::DaviesHarteModel>(
+            *correlation_, horizon, /*tolerance=*/0.05);
+        return;
+      } catch (const NumericalError&) {
+        // Not circulant-embeddable within tolerance (notably the
+        // knee-discontinuous composites produced by iterative
+        // calibration steps); Hosking applies to any valid correlation.
+        break;
+      }
+    case BackgroundGenerator::kHosking:
+      break;
+    case BackgroundGenerator::kPaxson: {
+      // Single classic Paxson window when the horizon fits in one;
+      // otherwise the default window streams the horizon in
+      // fixed-size chunks with horizon-independent memory.
+      const std::size_t window =
+          std::max<std::size_t>(2, std::min(next_power_of_two(horizon),
+                                            fractal::PaxsonModel::kDefaultWindow));
+      paxson_ =
+          std::make_shared<const fractal::PaxsonModel>(*correlation_, window);
       return;
-    } catch (const NumericalError&) {
-      // Not circulant-embeddable within tolerance; same fallback as
-      // UnifiedVbrModel::generate_background.
     }
   }
-  // Hosking: precompute the coefficient table when it fits; the packed
-  // triangular phi rows dominate at horizon^2 / 2 doubles.
+  // Hosking resolution: precompute the coefficient table when it fits
+  // (the packed triangular phi rows dominate at horizon^2 / 2 doubles);
+  // otherwise the streaming recursion generates on demand.
   const std::size_t table_bytes = horizon * (horizon - 1) / 2 * sizeof(double);
   if (table_bytes <= kMaxHoskingTableBytes) {
-    hosking_ = std::make_shared<const fractal::HoskingModel>(*correlation_, horizon);
+    hosking_ =
+        std::make_shared<const fractal::HoskingModel>(*correlation_, horizon);
   }
 }
 
-void BackgroundPathSampler::sample(RandomEngine& rng, std::span<double> out) const {
-  SSVBR_REQUIRE(out.size() >= horizon_, "output span shorter than the horizon");
+BackgroundPathSampler::BackgroundPathSampler(const UnifiedVbrModel& model,
+                                             std::size_t horizon,
+                                             BackgroundGenerator generator)
+    : BackgroundPathSampler(model.background_correlation_ptr(), horizon,
+                            generator) {}
+
+void BackgroundPathSampler::synthesize_full(RandomEngine& rng,
+                                            std::span<double> out,
+                                            BackgroundWorkspace& ws) const {
   if (davies_harte_) {
-    davies_harte_->sample_path(rng, out);
+    davies_harte_->sample_path(rng, out, ws.davies_harte);
+    return;
+  }
+  if (paxson_) {
+    // Window-granular synthesis even for a whole-horizon request, so
+    // the engine consumption (ceil(horizon / window) windows) — and
+    // hence the produced path — is identical to any blocked delivery.
+    const std::size_t m = paxson_->window();
+    std::size_t t = 0;
+    while (out.size() - t >= m) {
+      paxson_->synthesize_window(rng, out.subspan(t), ws.paxson);
+      t += m;
+    }
+    if (t < out.size()) {
+      ws.stage.resize(m);
+      paxson_->synthesize_window(rng, ws.stage, ws.paxson);
+      std::copy(ws.stage.begin(),
+                ws.stage.begin() + static_cast<std::ptrdiff_t>(out.size() - t),
+                out.begin() + static_cast<std::ptrdiff_t>(t));
+    }
     return;
   }
   if (hosking_) {
-    hosking_->sample_path(rng, out.first(horizon_));
+    hosking_->sample_path(rng, out);
     return;
   }
   // Streaming fallback for horizons whose coefficient table would not
@@ -49,22 +98,79 @@ void BackgroundPathSampler::sample(RandomEngine& rng, std::span<double> out) con
   std::copy(x.begin(), x.end(), out.begin());
 }
 
+void BackgroundPathSampler::Stream::refill() {
+  const BackgroundPathSampler& s = *sampler_;
+  BackgroundWorkspace& ws = *ws_;
+  stage_pos_ = 0;
+  if (s.paxson_) {
+    // One fixed window per refill, independent of the caller's block
+    // sizes — the source of block-size bit-invariance and of the
+    // horizon-independent memory bound.
+    const std::size_t m = s.paxson_->window();
+    ws.stage.resize(m);
+    s.paxson_->synthesize_window(*rng_, ws.stage, ws.paxson);
+    staged_ = m;
+    return;
+  }
+  // Exact backends synthesize the whole path once and hand it out in
+  // blocks (their memory is horizon-bound regardless; see the header).
+  SSVBR_ENSURE(produced_ == 0, "exact-backend stage exhausted early");
+  ws.stage.resize(s.horizon_);
+  s.synthesize_full(*rng_, ws.stage, ws);
+  staged_ = s.horizon_;
+}
+
+std::size_t BackgroundPathSampler::Stream::next_block(std::span<double> out) {
+  const std::size_t want = std::min(out.size(), remaining());
+  if (want == 0) return 0;
+  // Full-horizon fast path (the one-shot sample() shape): dispatch
+  // straight into the caller's span, skipping the stage copy.
+  if (produced_ == 0 && staged_ == 0 && want == sampler_->horizon_) {
+    sampler_->synthesize_full(*rng_, out.first(want), *ws_);
+    produced_ = want;
+    return want;
+  }
+  std::size_t written = 0;
+  while (written < want) {
+    if (stage_pos_ == staged_) refill();
+    const std::size_t n = std::min(want - written, staged_ - stage_pos_);
+    const double* src = ws_->stage.data() + stage_pos_;
+    std::copy(src, src + n, out.data() + written);
+    stage_pos_ += n;
+    written += n;
+    produced_ += n;
+  }
+  return want;
+}
+
+namespace {
+
+// Per-thread workspace cache for the convenience (no-workspace) sample
+// overload, keyed by horizon — mirrors the Davies-Harte per-size cache
+// so a thread alternating between samplers of different horizons stays
+// allocation-free in steady state.
+BackgroundWorkspace& thread_workspace(std::size_t horizon) {
+  static thread_local std::vector<
+      std::pair<std::size_t, std::unique_ptr<BackgroundWorkspace>>>
+      cache;
+  for (auto& [size, ws] : cache) {
+    if (size == horizon) return *ws;
+  }
+  cache.emplace_back(horizon, std::make_unique<BackgroundWorkspace>());
+  return *cache.back().second;
+}
+
+}  // namespace
+
+void BackgroundPathSampler::sample(RandomEngine& rng, std::span<double> out) const {
+  sample(rng, out, thread_workspace(horizon_));
+}
+
 void BackgroundPathSampler::sample(RandomEngine& rng, std::span<double> out,
                                    BackgroundWorkspace& ws) const {
   SSVBR_REQUIRE(out.size() >= horizon_, "output span shorter than the horizon");
-  if (davies_harte_) {
-    davies_harte_->sample_path(rng, out, ws.davies_harte);
-    return;
-  }
-  // Hosking and the streaming fallback write straight into `out`; no
-  // scratch needed, so the overloads coincide (and stay bit-identical).
-  if (hosking_) {
-    hosking_->sample_path(rng, out.first(horizon_));
-    return;
-  }
-  const std::vector<double> x =
-      fractal::hosking_sample_streaming(*correlation_, horizon_, rng);
-  std::copy(x.begin(), x.end(), out.begin());
+  Stream stream = begin_stream(rng, ws);
+  stream.next_block(out.first(horizon_));
 }
 
 }  // namespace ssvbr::core

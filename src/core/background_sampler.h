@@ -1,34 +1,48 @@
 // ssvbr/core/background_sampler.h
 //
-// Replication-ready background path generator, built once per
-// (model, horizon) pair and reused across replications.
+// Replication-ready background path generation, built once per
+// (correlation, horizon) pair and reused across replications — and,
+// since PR 9, the ONE place that resolves a BackgroundGenerator choice
+// into a concrete backend. UnifiedVbrModel::generate_background,
+// GopVbrModel, ModelArrivalProcess, PopulationSampler and
+// ScenarioKernel all construct a sampler and draw through it; the
+// Davies-Harte embeddability check and its Hosking fallback live only
+// here.
 //
-// UnifiedVbrModel::generate_background resolves the generator choice —
-// including the Davies-Harte embeddability check and its Hosking
-// fallback — on every call, and the Hosking path rebuilds the
-// Durbin-Levinson recursion from scratch each time. That is the right
-// trade-off for one-shot synthesis but wrong for a replication study,
-// where thousands of paths share one (correlation, horizon): the setup
-// cost and the per-call allocations dominate.
+// Backends (all seeded-deterministic; draws depend only on engine
+// state, never on blocking):
+//   * kDaviesHarte — exact. Eigenvalue table + FFT plan built once;
+//     falls back to Hosking when the correlation is not
+//     circulant-embeddable within tolerance. O(horizon) memory.
+//   * kHosking — exact. The Durbin-Levinson coefficient table is
+//     precomputed when it fits in kMaxHoskingTableBytes (table-driven
+//     dot products per replication); beyond that, the O(n) memory /
+//     O(n^2) time streaming recursion. O(horizon) memory either way
+//     (the conditional law needs the full history).
+//   * kPaxson — approximate spectral synthesis in fixed windows
+//     (fractal/paxson.h). The only backend whose peak memory is
+//     bounded by the synthesis window rather than the horizon, which
+//     is what makes >= 10^7-frame streamed paths affordable.
 //
-// BackgroundPathSampler hoists all of that to construction time:
-//   * Davies-Harte: eigenvalue table + FFT plan built once; sampling
-//     reuses the model's per-thread workspace (allocation-free).
-//   * Hosking: the Durbin-Levinson coefficient table is built once when
-//     it fits in kMaxHoskingTableBytes, turning each replication from
-//     O(n^2) recursion + allocation into table-driven dot products; the
-//     streaming one-shot path remains as the large-horizon fallback.
-// Draw sequences are identical to generate_background for the same
-// engine state, so swapping one for the other never changes results.
+// The streaming API: begin_stream(rng, ws) returns a Stream session
+// that yields the path in caller-sized blocks via next_block. The
+// concatenation of blocks is bit-identical for ANY blocking of the
+// same horizon (block sizes 1, 64, 4096, or one full-horizon block)
+// because synthesis granularity is fixed per backend — whole-path for
+// the exact backends, whole-window for Paxson — and the engine is
+// consumed at synthesis time only. One-shot sample() is a thin wrapper
+// over begin_stream + one full-horizon block.
 #pragma once
 
 #include <cstddef>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "core/unified_model.h"
 #include "dist/random.h"
 #include "fractal/davies_harte.h"
+#include "fractal/paxson.h"
 
 namespace ssvbr::fractal {
 class HoskingModel;
@@ -36,17 +50,23 @@ class HoskingModel;
 
 namespace ssvbr::core {
 
-/// Caller-owned scratch for BackgroundPathSampler::sample. Long-lived
-/// consumers (one arrival process per engine worker) own one apiece, so
-/// the replication steady state touches no thread_local lookup and no
-/// state shared between workers — each worker's buffers stay hot in its
-/// own cache lines (DESIGN.md §7f).
+/// Caller-owned scratch for BackgroundPathSampler sampling and
+/// streaming. Long-lived consumers (one arrival process per engine
+/// worker, one per streamed source class) own one apiece, so the
+/// replication steady state touches no thread_local lookup and no
+/// state shared between workers (DESIGN.md §7f). A workspace may be
+/// lent to at most one active Stream at a time.
 struct BackgroundWorkspace {
   fractal::DaviesHarteModel::Workspace davies_harte;
+  fractal::PaxsonModel::Workspace paxson;
+  /// Staged synthesis output a Stream hands out block by block: the
+  /// whole path for the exact backends, one window for kPaxson.
+  std::vector<double> stage;
 };
 
 /// Background generator with all per-horizon setup precomputed.
-/// Immutable after construction; safe to share across threads.
+/// Immutable after construction; safe to share across threads (each
+/// thread brings its own RandomEngine + BackgroundWorkspace).
 class BackgroundPathSampler {
  public:
   /// Largest Hosking coefficient table the sampler will precompute
@@ -54,16 +74,86 @@ class BackgroundPathSampler {
   /// this the kHosking path falls back to streaming generation.
   static constexpr std::size_t kMaxHoskingTableBytes = 32u << 20;
 
+  /// One in-progress background path, delivered in blocks. Borrows the
+  /// sampler, the engine and the workspace passed to begin_stream —
+  /// all three must outlive the stream, and the (rng, ws) pair must
+  /// not be shared with another live stream. No heap state of its own.
+  class Stream {
+   public:
+    /// Samples not yet delivered.
+    std::size_t remaining() const noexcept {
+      return sampler_->horizon() - produced_;
+    }
+    /// Samples delivered so far.
+    std::size_t produced() const noexcept { return produced_; }
+
+    /// Deliver the next min(out.size(), remaining()) samples of the
+    /// path into the front of `out`; returns the count written (0 once
+    /// the horizon is exhausted). The concatenation across calls is
+    /// independent of the block sizes chosen. Steady-state
+    /// allocation-free once the workspace is warm (kPaxson), or after
+    /// the one staged-path synthesis (exact backends).
+    std::size_t next_block(std::span<double> out);
+
+   private:
+    friend class BackgroundPathSampler;
+    Stream(const BackgroundPathSampler& sampler, RandomEngine& rng,
+           BackgroundWorkspace& ws)
+        : sampler_(&sampler), rng_(&rng), ws_(&ws) {}
+
+    void refill();
+
+    const BackgroundPathSampler* sampler_;
+    RandomEngine* rng_;
+    BackgroundWorkspace* ws_;
+    std::size_t produced_ = 0;   // samples delivered to the caller
+    std::size_t staged_ = 0;     // valid samples in ws_->stage
+    std::size_t stage_pos_ = 0;  // consumed prefix of the stage
+  };
+
+  /// Resolve `generator` for `correlation` over `horizon`. This is the
+  /// single validated resolution path: Davies-Harte embeddability and
+  /// the Hosking table-vs-streaming split are decided here and nowhere
+  /// else.
+  BackgroundPathSampler(fractal::AutocorrelationPtr correlation,
+                        std::size_t horizon,
+                        BackgroundGenerator generator =
+                            BackgroundGenerator::kDaviesHarte);
+
+  /// Convenience: sample the background process of a unified model.
   BackgroundPathSampler(const UnifiedVbrModel& model, std::size_t horizon,
                         BackgroundGenerator generator =
                             BackgroundGenerator::kDaviesHarte);
 
   std::size_t horizon() const noexcept { return horizon_; }
+  /// The generator that was requested (the Davies-Harte fallback does
+  /// not change it; see hosking_fallback()).
+  BackgroundGenerator generator() const noexcept { return generator_; }
+  /// True when kDaviesHarte was requested but the correlation is not
+  /// circulant-embeddable, so Hosking generates instead.
+  bool hosking_fallback() const noexcept {
+    return generator_ == BackgroundGenerator::kDaviesHarte && !davies_harte_;
+  }
+  /// True when peak sampling memory is bounded by the synthesis window
+  /// rather than the horizon (the kPaxson backend).
+  bool window_bounded_memory() const noexcept { return paxson_ != nullptr; }
+  /// Synthesis window of the kPaxson backend; 0 for exact backends.
+  std::size_t window() const noexcept {
+    return paxson_ ? paxson_->window() : 0;
+  }
+
+  /// Open a block-streaming session: the returned Stream yields one
+  /// horizon()-length path through next_block. Consumes `rng` only as
+  /// blocks are produced; the total consumption per completed stream
+  /// is a fixed function of (correlation, horizon, generator).
+  Stream begin_stream(RandomEngine& rng, BackgroundWorkspace& ws) const {
+    return Stream(*this, rng, ws);
+  }
 
   /// Draw one background path x_0..x_{horizon-1} into `out`
-  /// (out.size() >= horizon() required; extra entries untouched).
-  /// Steady-state allocation-free except in the streaming fallback.
-  /// Uses the per-thread workspace cache; bit-identical to the
+  /// (out.size() >= horizon() required; extra entries untouched): a
+  /// thin wrapper over begin_stream + one full-horizon block. Uses a
+  /// per-thread workspace cache; bit-identical to the
   /// explicit-workspace overload.
   void sample(RandomEngine& rng, std::span<double> out) const;
 
@@ -73,10 +163,18 @@ class BackgroundPathSampler {
               BackgroundWorkspace& ws) const;
 
  private:
+  /// One whole-horizon draw straight into `out` (out.size() ==
+  /// horizon()): the Stream's full-block fast path. Engine consumption
+  /// is identical to any blocked delivery of the same horizon.
+  void synthesize_full(RandomEngine& rng, std::span<double> out,
+                       BackgroundWorkspace& ws) const;
+
   std::size_t horizon_;
+  BackgroundGenerator generator_;
   fractal::AutocorrelationPtr correlation_;
   std::shared_ptr<const fractal::DaviesHarteModel> davies_harte_;
   std::shared_ptr<const fractal::HoskingModel> hosking_;
+  std::shared_ptr<const fractal::PaxsonModel> paxson_;
 };
 
 }  // namespace ssvbr::core

@@ -4,8 +4,7 @@
 #include <utility>
 
 #include "common/error.h"
-#include "fractal/davies_harte.h"
-#include "fractal/hosking.h"
+#include "core/background_sampler.h"
 #include "stats/empirical_distribution.h"
 
 namespace ssvbr::core {
@@ -36,17 +35,11 @@ trace::VideoTrace GopVbrModel::generate(std::size_t n_frames, RandomEngine& rng,
   // One background process for the whole composite stream (the paper's
   // construction): per-frame correlation at the frame level, then the
   // per-type transform picks the histogram of the slot's frame type.
-  std::vector<double> x;
-  switch (generator) {
-    case BackgroundGenerator::kDaviesHarte: {
-      const fractal::DaviesHarteModel dh(*correlation_, n_frames, /*tolerance=*/0.05);
-      x = dh.sample(rng);
-      break;
-    }
-    case BackgroundGenerator::kHosking:
-      x = fractal::hosking_sample_streaming(*correlation_, n_frames, rng);
-      break;
-  }
+  // Generator resolution is BackgroundPathSampler's job (the single
+  // validated code path); this model just draws through it.
+  const BackgroundPathSampler sampler(correlation_, n_frames, generator);
+  std::vector<double> x(n_frames);
+  sampler.sample(rng, x);
   std::vector<double> sizes(n_frames);
   for (std::size_t i = 0; i < n_frames; ++i) {
     sizes[i] = transform(gop_.type_at(i))(x[i]);

@@ -3,8 +3,7 @@
 #include <utility>
 
 #include "common/error.h"
-#include "fractal/davies_harte.h"
-#include "fractal/hosking.h"
+#include "core/background_sampler.h"
 
 namespace ssvbr::core {
 
@@ -17,22 +16,14 @@ UnifiedVbrModel::UnifiedVbrModel(fractal::AutocorrelationPtr background_correlat
 std::vector<double> UnifiedVbrModel::generate_background(
     std::size_t n, RandomEngine& rng, BackgroundGenerator generator) const {
   SSVBR_REQUIRE(n >= 1, "cannot generate an empty path");
-  switch (generator) {
-    case BackgroundGenerator::kDaviesHarte:
-      try {
-        const fractal::DaviesHarteModel dh(*correlation_, n, /*tolerance=*/0.05);
-        return dh.sample(rng);
-      } catch (const NumericalError&) {
-        // Some composite correlations (notably knee-discontinuous ones
-        // produced by iterative calibration steps) are positive definite
-        // but not circulant-embeddable within tolerance; Hosking's
-        // method applies to any valid correlation.
-        return fractal::hosking_sample_streaming(*correlation_, n, rng);
-      }
-    case BackgroundGenerator::kHosking:
-      return fractal::hosking_sample_streaming(*correlation_, n, rng);
-  }
-  throw InternalError("unknown background generator");
+  // One-shot synthesis goes through the same resolution path as the
+  // replication engines: BackgroundPathSampler owns the Davies-Harte
+  // embeddability probe and the Hosking table-vs-streaming split, so
+  // this function no longer re-derives either.
+  const BackgroundPathSampler sampler(correlation_, n, generator);
+  std::vector<double> out(n);
+  sampler.sample(rng, out);
+  return out;
 }
 
 std::vector<double> UnifiedVbrModel::generate(std::size_t n, RandomEngine& rng,

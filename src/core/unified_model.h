@@ -15,10 +15,13 @@
 
 namespace ssvbr::core {
 
-/// Which exact Gaussian generator synthesizes the background process.
+/// Which Gaussian generator synthesizes the background process.
 enum class BackgroundGenerator {
-  kDaviesHarte,  ///< O(n log n); best for long traces
-  kHosking,      ///< O(n^2) streaming; always applicable
+  kDaviesHarte,  ///< exact, O(n log n); materializes the whole path
+  kHosking,      ///< exact, O(n^2) streaming; always applicable
+  kPaxson,       ///< approximate FFT synthesis in fixed windows; the only
+                 ///< backend whose memory is bounded by its synthesis
+                 ///< window instead of the horizon (fractal/paxson.h)
 };
 
 /// Background correlation + marginal transform = synthetic VBR source.

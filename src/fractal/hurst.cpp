@@ -108,4 +108,67 @@ RsResult rs_analysis(std::span<const double> xs, const RsOptions& options) {
   return result;
 }
 
+namespace {
+
+// MAVAR(n) from precomputed prefix sums p (p[k] = sum of xs[0..k-1]).
+// The inner sum over i in [j, j+n) of the second differences
+// x_{i+2n} - 2 x_{i+n} + x_i telescopes into a second difference of
+// three adjacent n-block sums, each a prefix-sum difference.
+double mavar_from_prefix(std::span<const double> p, std::size_t n) {
+  const std::size_t size = p.size() - 1;  // number of samples
+  SSVBR_REQUIRE(n >= 1 && 3 * n < size,
+                "MAVAR averaging factor needs 3n + 1 samples");
+  const std::size_t terms = size - 3 * n + 1;
+  double sum_sq = 0.0;
+  for (std::size_t j = 0; j < terms; ++j) {
+    const double b0 = p[j + n] - p[j];
+    const double b1 = p[j + 2 * n] - p[j + n];
+    const double b2 = p[j + 3 * n] - p[j + 2 * n];
+    const double s = b2 - 2.0 * b1 + b0;
+    sum_sq += s * s;
+  }
+  const double nd = static_cast<double>(n);
+  return sum_sq / (2.0 * nd * nd * nd * nd * static_cast<double>(terms));
+}
+
+std::vector<double> prefix_sums(std::span<const double> xs) {
+  std::vector<double> p(xs.size() + 1, 0.0);
+  for (std::size_t i = 0; i < xs.size(); ++i) p[i + 1] = p[i] + xs[i];
+  return p;
+}
+
+}  // namespace
+
+double modified_allan_variance(std::span<const double> xs, std::size_t n) {
+  SSVBR_REQUIRE(xs.size() >= 4, "MAVAR needs at least 4 samples");
+  return mavar_from_prefix(prefix_sums(xs), n);
+}
+
+MavarResult mavar_analysis(std::span<const double> xs,
+                           const MavarOptions& options) {
+  SSVBR_REQUIRE(xs.size() >= 64, "MAVAR analysis needs at least 64 samples");
+  const std::size_t max_n = options.max_n == 0 ? xs.size() / 5 : options.max_n;
+  SSVBR_REQUIRE(max_n >= options.min_n && 3 * max_n < xs.size(),
+                "empty or oversized MAVAR averaging range");
+
+  const std::vector<double> p = prefix_sums(xs);
+  MavarResult result;
+  std::vector<double> fit_x;
+  std::vector<double> fit_y;
+  for (const std::size_t n : log_spaced_levels(options.min_n, max_n, options.n_levels)) {
+    const double mavar = mavar_from_prefix(p, n);
+    if (mavar <= 0.0) continue;
+    const double lx = std::log10(static_cast<double>(n));
+    const double ly = std::log10(mavar);
+    result.points.push_back({lx, ly});
+    fit_x.push_back(lx);
+    fit_y.push_back(ly);
+  }
+  SSVBR_REQUIRE(fit_x.size() >= 2, "too few MAVAR levels for a log-log fit");
+  result.fit = stats::fit_line(fit_x, fit_y);
+  result.mu = result.fit.slope;
+  result.hurst = (result.mu + 4.0) / 2.0;
+  return result;
+}
+
 }  // namespace ssvbr::fractal

@@ -1,7 +1,9 @@
 // ssvbr/fractal/hurst.h
 //
 // Hurst-parameter estimation: the two graphical estimators the paper
-// uses in Step 1 of its modeling procedure (Section 3.2):
+// uses in Step 1 of its modeling procedure (Section 3.2), plus the
+// Modified Allan Variance estimator used to adjudicate approximate
+// synthesis:
 //
 //   * variance-time plots — the variance of the m-aggregated series
 //     X^(m) decays like m^(-beta) for a self-similar process; the
@@ -10,7 +12,15 @@
 //
 //   * R/S analysis — E[R(n)/S(n)] ~ c n^H (Hurst effect, eq. (8)-(9));
 //     the pox diagram plots log10 R/S of K non-overlapping blocks
-//     against log10 n and fits a line (Fig. 4).
+//     against log10 n and fits a line (Fig. 4);
+//
+//   * Modified Allan Variance — the time-domain clock-stability
+//     statistic repurposed as an LRD estimator (PAPERS.md: arxiv
+//     cs/0510006, Bregni & Primerano): for a stationary series with
+//     power-law correlation, MAVAR(n) ~ n^mu and H = (mu + 4) / 2.
+//     Independent of both the R/S and periodogram machinery, which is
+//     exactly why the conformance suite uses it as the third
+//     adjudicator for approximate-vs-exact fGn synthesis.
 #pragma once
 
 #include <cstddef>
@@ -73,5 +83,39 @@ RsResult rs_analysis(std::span<const double> xs, const RsOptions& options = {});
 /// R/S statistic of a single block (eq. (8)): the rescaled adjusted
 /// range of xs. Requires at least two samples and non-zero variance.
 double rescaled_adjusted_range(std::span<const double> xs);
+
+/// Result of the Modified Allan Variance analysis.
+struct MavarResult {
+  std::vector<LogLogPoint> points;  ///< (log10 n, log10 MAVAR(n))
+  stats::LineFit fit;
+  double mu = 0.0;     ///< slope of the fit
+  double hurst = 0.5;  ///< (mu + 4) / 2
+};
+
+struct MavarOptions {
+  /// Averaging factors n are log-spaced between min_n and max_n
+  /// (max_n = 0 means series length / 5; the statistic needs 3n + 1
+  /// samples, so max_n must satisfy 3 * max_n < xs.size()).
+  std::size_t min_n = 1;
+  std::size_t max_n = 0;
+  std::size_t n_levels = 25;
+};
+
+/// MAVAR(n) of the series at averaging factor n (unit base sampling
+/// interval), treating xs as the phase samples of cs/0510006 eq. (2):
+///
+///   MAVAR(n) = 1 / (2 n^4 (N - 3n + 1)) *
+///              sum_j [ sum_{i=j}^{j+n-1} (x_{i+2n} - 2 x_{i+n} + x_i) ]^2.
+///
+/// Computed in O(N) per level via prefix sums (each inner sum is a
+/// second difference of three adjacent n-blocks). Requires 3n < N.
+double modified_allan_variance(std::span<const double> xs, std::size_t n);
+
+/// Log-log fit of MAVAR(n) over log-spaced averaging factors. For a
+/// stationary LRD series with Hurst parameter H the slope is
+/// mu = 2H - 4 (white noise: -3; H -> 1: -2), inverted as
+/// H = (mu + 4) / 2.
+MavarResult mavar_analysis(std::span<const double> xs,
+                           const MavarOptions& options = {});
 
 }  // namespace ssvbr::fractal

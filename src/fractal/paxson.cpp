@@ -1,0 +1,177 @@
+#include "fractal/paxson.h"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "obs/instrument.h"
+
+namespace ssvbr::fractal {
+
+double PaxsonModel::fgn_spectral_density(double lambda, double hurst) {
+  SSVBR_REQUIRE(lambda > 0.0 && lambda <= kPi,
+                "fGn spectral density is evaluated on (0, pi]");
+  SSVBR_REQUIRE(hurst > 0.0 && hurst < 1.0, "Hurst parameter must be in (0, 1)");
+  // f(lambda; H) = 2 c_f (1 - cos lambda) [ lambda^{-2H-1} + B3(lambda, H) ]
+  // with c_f = sin(pi H) Gamma(2H + 1) / (2 pi). B3 is the Appendix-A
+  // approximation of the aliased tail sum_{j != 0} |2 pi j + lambda|^{-2H-1}:
+  // the first three image terms plus an Euler-Maclaurin integral
+  // correction for the remainder.
+  const double cf = std::sin(kPi * hurst) * std::tgamma(2.0 * hurst + 1.0) /
+                    kTwoPi;
+  const double d = -2.0 * hurst - 1.0;
+  const double dprime = -2.0 * hurst;
+  double b3 = 0.0;
+  for (int j = 1; j <= 3; ++j) {
+    const double a = kTwoPi * j + lambda;
+    const double b = kTwoPi * j - lambda;
+    b3 += std::pow(a, d) + std::pow(b, d);
+  }
+  const double a3 = kTwoPi * 3.0 + lambda;
+  const double b3t = kTwoPi * 3.0 - lambda;
+  const double a4 = kTwoPi * 4.0 + lambda;
+  const double b4 = kTwoPi * 4.0 - lambda;
+  b3 += (std::pow(a3, dprime) + std::pow(b3t, dprime) + std::pow(a4, dprime) +
+         std::pow(b4, dprime)) /
+        (8.0 * hurst * kPi);
+  return 2.0 * cf * (1.0 - std::cos(lambda)) * (std::pow(lambda, d) + b3);
+}
+
+PaxsonModel::PaxsonModel(const AutocorrelationModel& model, std::size_t window)
+    : m_(next_power_of_two(window)) {
+  SSVBR_REQUIRE(window >= 2, "synthesis window must be at least 2");
+  SSVBR_SPAN("fractal.paxson.setup");
+  plan_ = fft::FftPlan::get(m_);
+  const std::size_t half = m_ / 2;
+  std::vector<double> eigen(m_);
+  double neg_mass = 0.0;
+  double total_mass = 0.0;
+  if (const auto* fgn = dynamic_cast<const FgnAutocorrelation*>(&model)) {
+    // Closed-form branch: eigenvalues are the spectral density sampled
+    // at the Fourier frequencies, lambda_k ~ 2 pi f(2 pi k / m; H). The
+    // k = 0 bin sits on the |lambda|^{-2H-1} pole for H > 1/2; it is
+    // zeroed (the synthesized window is mean-free) and its share of the
+    // variance is restored by the renormalization below.
+    closed_form_ = true;
+    const double hurst = fgn->hurst();
+    eigen[0] = 0.0;
+    for (std::size_t k = 1; k <= half; ++k) {
+      const double lambda =
+          kTwoPi * static_cast<double>(k) / static_cast<double>(m_);
+      eigen[k] = kTwoPi * fgn_spectral_density(lambda, hurst);
+      if (k < half) eigen[m_ - k] = eigen[k];  // f is even
+    }
+  } else {
+    // Tabulated-circulant branch: the Davies-Harte eigenvalue
+    // construction over the fixed window, with unconditional clipping —
+    // this generator is approximate by contract, so negative mass is
+    // recorded in clipped_mass() instead of thrown.
+    const std::vector<double> r = model.tabulate(half);
+    std::vector<fft::Complex> c(m_);
+    for (std::size_t j = 0; j <= half; ++j) c[j] = fft::Complex(r[j], 0.0);
+    for (std::size_t j = half + 1; j < m_; ++j) {
+      c[j] = fft::Complex(r[m_ - j], 0.0);
+    }
+    plan_->forward(c);
+    for (std::size_t k = 0; k < m_; ++k) {
+      const double lambda = c[k].real();
+      total_mass += std::fabs(lambda);
+      if (lambda < 0.0) {
+        neg_mass += -lambda;
+        eigen[k] = 0.0;
+      } else {
+        eigen[k] = lambda;
+      }
+    }
+  }
+  clipped_mass_ = total_mass > 0.0 ? neg_mass / total_mass : 0.0;
+
+  // Renormalize to an exactly unit marginal: the achieved variance of
+  // the synthesized window is (1/m) sum_k lambda_k, which the truncated
+  // spectrum / zeroed DC bin / clipped eigenvalues all bias away from
+  // r(0) = 1 (about -13% for raw closed-form H = 0.9 at m = 2^16).
+  double achieved = 0.0;
+  for (const double lambda : eigen) achieved += lambda;
+  achieved /= static_cast<double>(m_);
+  SSVBR_ENSURE(achieved > 0.0, "Paxson eigenvalue table has no positive mass");
+  const double scale =
+      1.0 / std::sqrt(achieved * static_cast<double>(m_));
+  scaled_sqrt_eigenvalues_.resize(m_);
+  for (std::size_t k = 0; k < m_; ++k) {
+    scaled_sqrt_eigenvalues_[k] = std::sqrt(eigen[k]) * scale;
+  }
+}
+
+namespace {
+
+// Per-thread workspace cache keyed by window size, mirroring the
+// Davies-Harte cache: one warm workspace per distinct size keeps a
+// worker interleaving several models allocation-free in steady state.
+PaxsonModel::Workspace& thread_workspace(std::size_t m) {
+  static thread_local std::vector<
+      std::pair<std::size_t, std::unique_ptr<PaxsonModel::Workspace>>>
+      cache;
+  for (auto& [size, ws] : cache) {
+    if (size == m) return *ws;
+  }
+  cache.emplace_back(m, std::make_unique<PaxsonModel::Workspace>());
+  return *cache.back().second;
+}
+
+}  // namespace
+
+void PaxsonModel::synthesize_window(RandomEngine& rng, std::span<double> out) const {
+  synthesize_window(rng, out, thread_workspace(m_));
+}
+
+void PaxsonModel::synthesize_window(RandomEngine& rng, std::span<double> out,
+                                    Workspace& ws) const {
+  SSVBR_REQUIRE(out.size() >= m_, "output span shorter than the window");
+  SSVBR_TIMER("fractal.paxson.synthesize_window");
+  SSVBR_COUNTER_ADD("fractal.paxson.windows", 1);
+  SSVBR_COUNTER_ADD("fractal.paxson.points", m_);
+  const std::size_t half = m_ / 2;
+  // Hermitian-symmetric spectral synthesis, exactly as in Davies-Harte:
+  // real Z_0 and Z_{m/2}, independent complex Gaussians with half
+  // variance in the interior bins. (Paxson draws exponential powers
+  // with uniform phases; complex Gaussians have the same distribution
+  // bin by bin and reuse the ziggurat batch fill.) Every one of the m
+  // synthesized samples is kept, so the FFT writes straight into `out`.
+  ws.normals.resize(m_);
+  ws.spec.resize(half + 1);
+  rng.fill_normal(ws.normals);
+  const double* nb = ws.normals.data();
+  const double* se = scaled_sqrt_eigenvalues_.data();
+  ws.spec[0] = fft::Complex(se[0] * nb[0], 0.0);
+  ws.spec[half] = fft::Complex(se[half] * nb[m_ - 1], 0.0);
+  const double inv_sqrt2 = 1.0 / kSqrt2;
+  for (std::size_t k = 1; k < half; ++k) {
+    const double s = se[k] * inv_sqrt2;
+    ws.spec[k] = fft::Complex(s * nb[2 * k - 1], s * nb[2 * k]);
+  }
+  plan_->synthesize_real(ws.spec, out.first(m_), ws.fft_scratch);
+}
+
+double PaxsonModel::implied_correlation(std::size_t lag) const {
+  SSVBR_REQUIRE(lag < m_, "lag must be inside the window");
+  // se_k = sqrt(lambda'_k) / sqrt(m) with (1/m) sum lambda'_k = 1, so
+  // cov(lag) = sum_k se_k^2 cos(2 pi k lag / m) and cov(0) = 1 exactly.
+  double cov = 0.0;
+  for (std::size_t k = 0; k < m_; ++k) {
+    const double se = scaled_sqrt_eigenvalues_[k];
+    cov += se * se *
+           std::cos(kTwoPi * static_cast<double>(k) * static_cast<double>(lag) /
+                    static_cast<double>(m_));
+  }
+  return cov;
+}
+
+std::vector<double> PaxsonModel::sample(RandomEngine& rng) const {
+  std::vector<double> out(m_);
+  synthesize_window(rng, out);
+  return out;
+}
+
+}  // namespace ssvbr::fractal

@@ -17,8 +17,46 @@ PopulationSampler::PopulationSampler(SourceClassConfig config, std::size_t frame
   SSVBR_REQUIRE(config_.segment_to_cells || config_.slots_per_frame == 1,
                 "slots_per_frame > 1 requires cell segmentation");
   SSVBR_REQUIRE(frames_ >= 1, "replication needs at least one frame");
+  if (config_.streaming) {
+    // Mirrors net::validate's kStreamingIncompatible checks for callers
+    // that construct samplers directly.
+    SSVBR_REQUIRE(config_.generator == core::BackgroundGenerator::kPaxson,
+                  "streaming delivery requires the kPaxson generator");
+    SSVBR_REQUIRE(!config_.segment_to_cells,
+                  "streaming delivery is incompatible with cell segmentation");
+    SSVBR_REQUIRE(config_.streaming_block >= 1,
+                  "streaming block must hold at least one slot");
+  }
   sampler_ = std::make_shared<const core::BackgroundPathSampler>(
       *config_.model, frames_, config_.generator);
+}
+
+PopulationSampler::Stream PopulationSampler::begin_stream(
+    RandomEngine& rng, core::BackgroundWorkspace& ws) const {
+  SSVBR_REQUIRE(!config_.segment_to_cells,
+                "segmented classes cannot stream (cell pacing couples a whole "
+                "frame interval)");
+  return Stream(*this, sampler_->begin_stream(rng, ws));
+}
+
+std::size_t PopulationSampler::Stream::next_block(std::span<double> out) {
+  const std::size_t n = inner_.next_block(out);
+  if (n == 0) return 0;
+  const std::span<double> block = out.first(n);
+  const SourceClassConfig& cfg = sampler_->config_;
+  // Same per-sample pipeline as sample_impl: transform in place, then
+  // the sqrt(N) superposition rescale. Both are elementwise, so per-
+  // block application reproduces the whole-path values exactly.
+  cfg.model->transform().apply(block, block);
+  if (cfg.population > 1) {
+    const double pop = static_cast<double>(cfg.population);
+    const double m = cfg.model->mean();
+    const double root_n = std::sqrt(pop);
+    for (double& y : block) {
+      y = std::max(pop * m + root_n * (y - m), 0.0);
+    }
+  }
+  return n;
 }
 
 double PopulationSampler::mean_rate() const {

@@ -54,6 +54,21 @@ struct SourceClassConfig {
   bool segment_to_cells = false;
   /// Cell placement within the frame interval when segmenting.
   atm::PacingMode pacing = atm::PacingMode::kSmooth;
+  /// Deliver this class's aggregate in fixed-size blocks instead of
+  /// one whole-replication path, so the scenario kernel's per-class
+  /// memory is bounded by the block (and the generator's synthesis
+  /// window) rather than the slot horizon. Streaming requires
+  /// generator == kPaxson — the only window-bounded-memory backend;
+  /// streaming an exact backend would silently materialize the whole
+  /// path anyway — and is incompatible with segment_to_cells (cell
+  /// pacing couples a whole frame interval, so a segmented class is
+  /// frame-batched by construction). Incompatible configs are rejected
+  /// by net::validate with ErrorCode::kStreamingIncompatible. For a
+  /// fixed seed a streamed class produces the bit-identical workload
+  /// path as the same class with streaming = false.
+  bool streaming = false;
+  /// Aggregate slots delivered per block when streaming (>= 1).
+  std::size_t streaming_block = 4096;
 };
 
 /// Immutable per-class synthesizer with all per-horizon generator setup
@@ -61,6 +76,30 @@ struct SourceClassConfig {
 /// are supplied by the caller so replication loops stay allocation-free.
 class PopulationSampler {
  public:
+  /// One in-progress aggregate workload path, delivered in blocks: the
+  /// background stream's blocks with the marginal transform and the
+  /// sqrt(N) population rescaling applied per block (both are
+  /// elementwise, so the concatenation across any blocking is
+  /// bit-identical to a whole-path sample). Borrows the sampler, the
+  /// engine and the workspace for its lifetime.
+  class Stream {
+   public:
+    /// Aggregate slots not yet delivered.
+    std::size_t remaining() const noexcept { return inner_.remaining(); }
+    /// Deliver the next min(out.size(), remaining()) slots of the
+    /// aggregate workload into the front of `out`; returns the count.
+    std::size_t next_block(std::span<double> out);
+
+   private:
+    friend class PopulationSampler;
+    Stream(const PopulationSampler& sampler,
+           core::BackgroundPathSampler::Stream inner)
+        : sampler_(&sampler), inner_(inner) {}
+
+    const PopulationSampler* sampler_;
+    core::BackgroundPathSampler::Stream inner_;
+  };
+
   /// `frames` is the number of video frame intervals per replication;
   /// the slot horizon is frames * slots_per_frame.
   PopulationSampler(SourceClassConfig config, std::size_t frames);
@@ -73,6 +112,12 @@ class PopulationSampler {
   std::size_t ingress() const noexcept { return config_.ingress; }
   std::size_t population() const noexcept { return config_.population; }
   bool segmented() const noexcept { return config_.segment_to_cells; }
+  /// True when the class asked for block-streamed delivery.
+  bool streaming() const noexcept { return config_.streaming; }
+  /// Aggregate slots per streamed block (meaningful when streaming()).
+  std::size_t streaming_block() const noexcept {
+    return config_.streaming_block;
+  }
 
   /// Long-run mean workload per slot (exact for unsegmented classes;
   /// for segmented classes the AAL5 per-frame rounding is approximated
@@ -95,7 +140,16 @@ class PopulationSampler {
               std::span<std::size_t> cell_scratch, std::span<double> out,
               core::BackgroundWorkspace& ws) const;
 
+  /// Open a block-streaming session over one replication's aggregate
+  /// (unsegmented classes only). Consumes `rng` exactly like one
+  /// sample() call once the stream is drained; for a fixed engine
+  /// state the concatenated blocks equal the sample() path bit for
+  /// bit, for any blocking. `rng` and `ws` must outlive the stream and
+  /// must not be shared with another live stream.
+  Stream begin_stream(RandomEngine& rng, core::BackgroundWorkspace& ws) const;
+
  private:
+  friend class Stream;
   void sample_impl(RandomEngine& rng, std::span<double> frame_scratch,
                    std::span<std::size_t> cell_scratch, std::span<double> out,
                    core::BackgroundWorkspace* ws) const;

@@ -174,6 +174,8 @@ std::uint64_t config_hash_of(const TopologyRunRequest& request) {
         .u64(c.slots_per_frame)
         .u64(c.segment_to_cells ? 1 : 0)
         .u64(static_cast<std::uint64_t>(c.pacing))
+        .u64(c.streaming ? 1 : 0)
+        .u64(c.streaming ? c.streaming_block : 0)
         .f64(c.model != nullptr ? c.model->mean() : 0.0)
         .f64(c.model != nullptr ? c.model->variance() : 0.0);
   }
@@ -193,6 +195,10 @@ std::uint64_t config_hash_of(const TopologyRunRequest& request) {
 
 Error invalid(const char* what, const char* field) {
   return Error{ErrorCode::kInvalidArgument, what, field};
+}
+
+Error streaming_incompatible(const char* what, const char* field) {
+  return Error{ErrorCode::kStreamingIncompatible, what, field};
 }
 
 }  // namespace
@@ -247,6 +253,27 @@ std::optional<Error> validate(const TopologyRunRequest& request) {
     if (!c.segment_to_cells && c.slots_per_frame != 1) {
       return invalid("slots_per_frame > 1 requires cell segmentation",
                      "TopologyRunRequest.scenario.classes[].segment_to_cells");
+    }
+    if (c.streaming) {
+      // Distinct code: these requests are well-formed campaigns that
+      // merely ask for a delivery mode the class cannot support, so
+      // callers can downgrade to whole-path delivery programmatically.
+      if (c.generator != core::BackgroundGenerator::kPaxson) {
+        return streaming_incompatible(
+            "streaming delivery requires the kPaxson generator (the only "
+            "window-bounded-memory backend)",
+            "TopologyRunRequest.scenario.classes[].generator");
+      }
+      if (c.segment_to_cells) {
+        return streaming_incompatible(
+            "streaming delivery is incompatible with cell segmentation",
+            "TopologyRunRequest.scenario.classes[].segment_to_cells");
+      }
+      if (c.streaming_block < 1) {
+        return streaming_incompatible(
+            "streaming block must hold at least one slot",
+            "TopologyRunRequest.scenario.classes[].streaming_block");
+      }
     }
   }
   const AbrFlowConfig& abr = sc.abr;

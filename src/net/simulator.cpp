@@ -61,8 +61,17 @@ ScenarioKernel::ScenarioKernel(const ScenarioContext& context)
   std::size_t max_frames = 0;
   bool any_segmented = false;
   class_paths_.resize(context_.samplers().size());
+  stream_scratch_.resize(context_.samplers().size());
+  streams_.resize(context_.samplers().size());
   for (std::size_t c = 0; c < context_.samplers().size(); ++c) {
     const PopulationSampler& s = context_.samplers()[c];
+    if (s.streaming()) {
+      // Block-sized buffer: the kernel's per-class memory for a
+      // streamed class is bounded by the block, not the slot horizon.
+      any_streaming_ = true;
+      class_paths_[c].resize(std::min(s.streaming_block(), s.slots()));
+      continue;
+    }
     max_frames = std::max(max_frames, s.frames());
     any_segmented = any_segmented || s.segmented();
     class_paths_[c].resize(s.slots());
@@ -95,13 +104,22 @@ const ScenarioStats& ScenarioKernel::run_one(RandomEngine& rng) {
   double abr_min = std::numeric_limits<double>::infinity();
   double abr_max = -std::numeric_limits<double>::infinity();
 
-  // One background path per class, in class order — this fixes the
-  // engine-consumption pattern independent of the slot dynamics.
+  // One background path per whole-path class, in class order — this
+  // fixes the engine-consumption pattern independent of the slot
+  // dynamics. Streaming classes open their sessions here (no draws
+  // yet) and synthesize window by window inside the slot loop, which
+  // consumes no randomness of its own, so the overall pattern stays
+  // deterministic: whole-path draws first, then streamed windows in
+  // block order.
   {
     SSVBR_SPAN("net.class_draws");
     const std::vector<PopulationSampler>& samplers = context_.samplers();
     for (std::size_t c = 0; c < samplers.size(); ++c) {
       const PopulationSampler& s = samplers[c];
+      if (s.streaming()) {
+        streams_[c].emplace(s.begin_stream(rng, stream_scratch_[c]));
+        continue;
+      }
       const std::span<double> frames(frame_scratch_.data(), s.frames());
       const std::span<std::size_t> cells =
           s.segmented() ? std::span<std::size_t>(cell_scratch_.data(), s.slots())
@@ -118,10 +136,28 @@ const ScenarioStats& ScenarioKernel::run_one(RandomEngine& rng) {
   for (std::size_t t = 0; t < slots; ++t) {
     const std::span<double> row = wheel_.advance();
     std::fill(external_.begin(), external_.end(), 0.0);
-    for (std::size_t c = 0; c < samplers.size(); ++c) {
-      const double a = class_paths_[c][t];
-      external_[samplers[c].ingress()] += a;
-      stats_.external_arrived += a;
+    if (!any_streaming_) {
+      for (std::size_t c = 0; c < samplers.size(); ++c) {
+        const double a = class_paths_[c][t];
+        external_[samplers[c].ingress()] += a;
+        stats_.external_arrived += a;
+      }
+    } else {
+      for (std::size_t c = 0; c < samplers.size(); ++c) {
+        double a;
+        if (samplers[c].streaming()) {
+          const std::size_t block = class_paths_[c].size();
+          const std::size_t offset = t % block;
+          // Block boundary: pull the next block of the aggregate. The
+          // final block may be partial; its stale tail is never read.
+          if (offset == 0) streams_[c]->next_block(class_paths_[c]);
+          a = class_paths_[c][offset];
+        } else {
+          a = class_paths_[c][t];
+        }
+        external_[samplers[c].ingress()] += a;
+        stats_.external_arrived += a;
+      }
     }
     if (abr.enabled) {
       if (t > 0) {
@@ -183,6 +219,8 @@ const ScenarioStats& ScenarioKernel::run_one(RandomEngine& rng) {
     }
   }
 
+  // Streams borrow `rng`, which does not outlive this call.
+  for (auto& stream : streams_) stream.reset();
   for (std::size_t i = 0; i < n; ++i) stats_.nodes[i].end_queue = queues_[i];
   stats_.in_flight = wheel_.pending_total();
   stats_.abr_min_rate = std::isfinite(abr_min) ? abr_min : 0.0;

@@ -31,6 +31,7 @@
 
 #include <cstddef>
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "dist/random.h"
@@ -125,13 +126,26 @@ class ScenarioContext {
 /// Per-worker simulation kernel: owns all scratch (class paths, frame
 /// and cell buffers, the slot wheel, queue state) so that run_one is
 /// allocation-free after construction.
+///
+/// Streaming classes (SourceClassConfig::streaming) hold a block-sized
+/// path buffer instead of a whole-replication one, refilled from a
+/// PopulationSampler::Stream at block boundaries inside the slot loop;
+/// each streamed class owns a private BackgroundWorkspace so its
+/// generator state never aliases another live stream's. Because the
+/// slot dynamics consume no randomness, refilling mid-loop keeps the
+/// engine-consumption pattern deterministic: whole-path classes draw
+/// first, in class order, then streamed classes draw one synthesis
+/// window at a time, in class order at each block boundary. A scenario
+/// whose only class streams is bit-identical to the same scenario with
+/// streaming off (block-size invariance of the background stream).
 class ScenarioKernel {
  public:
   explicit ScenarioKernel(const ScenarioContext& context);
 
   /// Run one independent replication, consuming `rng` deterministically
-  /// (one background path per class, in class order, before the slot
-  /// loop). Returns the replication's statistics by reference to avoid
+  /// (one background path per whole-path class, in class order, before
+  /// the slot loop; streamed classes draw window by window inside it).
+  /// Returns the replication's statistics by reference to avoid
   /// per-call vector churn; the returned object is reused by the next
   /// run_one call.
   const ScenarioStats& run_one(RandomEngine& rng);
@@ -143,7 +157,13 @@ class ScenarioKernel {
   core::BackgroundWorkspace generator_scratch_;
   std::vector<double> frame_scratch_;
   std::vector<std::size_t> cell_scratch_;
+  /// Whole path per non-streaming class; one block per streaming class.
   std::vector<std::vector<double>> class_paths_;
+  /// Private generator scratch per streaming class (empty otherwise).
+  std::vector<core::BackgroundWorkspace> stream_scratch_;
+  /// Live per-replication streams of the streaming classes.
+  std::vector<std::optional<PopulationSampler::Stream>> streams_;
+  bool any_streaming_ = false;
   std::vector<double> external_;  ///< per-node external workload, per slot
   ScenarioStats stats_;
 };

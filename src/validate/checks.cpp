@@ -13,6 +13,7 @@
 #include "atm/segmentation.h"
 #include "common/error.h"
 #include "common/json.h"
+#include "core/background_sampler.h"
 #include "core/gop_model.h"
 #include "core/marginal_transform.h"
 #include "core/unified_model.h"
@@ -44,9 +45,10 @@ std::size_t scaled(double scale, std::size_t n, std::size_t floor_n = 64) {
   return std::max(floor_n, scaled_n);
 }
 
-std::string fmt(const char* format, double a, double b = 0.0, double c = 0.0) {
+std::string fmt(const char* format, double a, double b = 0.0, double c = 0.0,
+                double d = 0.0) {
   char buf[160];
-  std::snprintf(buf, sizeof(buf), format, a, b, c);
+  std::snprintf(buf, sizeof(buf), format, a, b, c, d);
   return buf;
 }
 
@@ -268,6 +270,39 @@ void hurst_periodogram_body(const CheckContext& context, RandomEngine& rng,
   result.detail = fmt("mean periodogram H over 4 paths: foreground %.4g vs "
                       "background %.4g (true 0.9)",
                       pair.foreground, pair.background);
+}
+
+void paxson_hurst_body(const CheckContext& context, RandomEngine& rng,
+                       CheckResult& result) {
+  // The PR 9 approximation contract: kPaxson paths — approximate FFT
+  // synthesis with renormalized eigenvalues — must still carry the
+  // target Hurst parameter under three independent estimators. The
+  // horizon equals the synthesis window here, so the periodogram (which
+  // reads H off the lowest frequencies, exactly where cross-window
+  // independence would flatten a multi-window path) sees a single
+  // window; R/S and MAVAR aggregate over within-window scales and are
+  // also window-safe.
+  const double hurst = 0.8;
+  const std::size_t n = scaled(context.scale, std::size_t{1} << 16, 2048);
+  const core::BackgroundPathSampler sampler(
+      std::make_shared<fractal::FgnAutocorrelation>(hurst), n,
+      core::BackgroundGenerator::kPaxson);
+  constexpr std::size_t kPaths = 4;
+  double h_rs = 0.0, h_pg = 0.0, h_mv = 0.0;
+  std::vector<double> path(n);
+  for (std::size_t p = 0; p < kPaths; ++p) {
+    sampler.sample(rng, path);
+    h_rs += fractal::rs_analysis(path).hurst / kPaths;
+    h_pg += fractal::periodogram_hurst(path).hurst / kPaths;
+    h_mv += fractal::mavar_analysis(path).hurst / kPaths;
+  }
+  result.statistic = std::max({std::fabs(h_rs - hurst), std::fabs(h_pg - hurst),
+                               std::fabs(h_mv - hurst)});
+  result.threshold = 0.10;
+  result.detail = fmt("mean H over 4 Paxson paths (target 0.8): R/S %.4g, "
+                      "periodogram %.4g, MAVAR %.4g; single window of %.0f",
+                      h_rs, h_pg, h_mv,
+                      static_cast<double>(sampler.window()));
 }
 
 void gop_rescaling_body(const CheckContext& context, RandomEngine& rng,
@@ -752,6 +787,10 @@ Suite default_suite(double family_alpha) {
              "Appendix A / Fig. 4: h preserves the Hurst parameter "
              "(periodogram)",
              CheckKind::kUpperBound, hurst_periodogram_body});
+  suite.add({"paxson_hurst_preservation",
+             "streaming backend (cs/9809030): renormalized Paxson synthesis "
+             "preserves H under R/S, periodogram, and MAVAR",
+             CheckKind::kUpperBound, paxson_hurst_body});
   suite.add({"gop_rescaling",
              "eq. (15) / Figs. 9-11: GOP rescaling r(k) = r_I(k / K_I) on "
              "the I-frame subseries",

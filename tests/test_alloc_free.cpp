@@ -169,5 +169,50 @@ TEST(AllocationFree, BackgroundSamplerWithWorkspaceSteadyState) {
   EXPECT_EQ(n, 0u);
 }
 
+TEST(AllocationFree, PaxsonStreamSteadyState) {
+  // The PR 9 streaming contract: once the workspace is warm (one
+  // drained stream), further streams — window synthesis, staging, and
+  // blocked delivery included — allocate nothing, whatever the block
+  // size. Horizon 5000 against window 8192 also exercises the
+  // partial-window staging path.
+  const auto model = make_model();
+  const core::BackgroundPathSampler sampler(
+      *model, 5000, core::BackgroundGenerator::kPaxson);
+  RandomEngine rng(16);
+  core::BackgroundWorkspace ws;
+  std::vector<double> block(640);
+  {
+    core::BackgroundPathSampler::Stream warm = sampler.begin_stream(rng, ws);
+    while (warm.next_block(block) > 0) {
+    }
+  }
+  const std::uint64_t n = allocations_in([&] {
+    for (int i = 0; i < 5; ++i) {
+      core::BackgroundPathSampler::Stream stream = sampler.begin_stream(rng, ws);
+      while (stream.next_block(block) > 0) {
+      }
+    }
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(AllocationFree, MultiWindowPaxsonSampleSteadyState) {
+  // Whole-path sample() over several Paxson windows reuses the same
+  // window-sized scratch for every window.
+  const auto model = make_model();
+  // Two full default windows plus a partial third.
+  constexpr std::size_t kHorizon = 2 * 65536 + 100;
+  const core::BackgroundPathSampler sampler(
+      *model, kHorizon, core::BackgroundGenerator::kPaxson);
+  RandomEngine rng(17);
+  std::vector<double> out(kHorizon);
+  core::BackgroundWorkspace ws;
+  sampler.sample(rng, out, ws);  // warm-up
+  const std::uint64_t n = allocations_in([&] {
+    for (int i = 0; i < 5; ++i) sampler.sample(rng, out, ws);
+  });
+  EXPECT_EQ(n, 0u);
+}
+
 }  // namespace
 }  // namespace ssvbr

@@ -1,0 +1,381 @@
+// Streaming contract of core::BackgroundPathSampler (PR 9) and the
+// net-layer streaming-class mode built on it.
+//
+// The contracts under test:
+//   1. Block-size invariance — for a fixed seed, the concatenation of
+//      next_block calls is bit-identical for ANY blocking (1, 64, 4096,
+//      one full-horizon block) and bit-identical to one-shot sample(),
+//      for every generator backend.
+//   2. Bounded memory — a >= 10^7-frame kPaxson stream keeps every
+//      workspace buffer bounded by the synthesis window, never the
+//      horizon.
+//   3. Thread safety — a shared const sampler streamed from several
+//      threads (private rng + workspace apiece) produces each stream's
+//      serial result (run under -DSSVBR_TSAN=ON for the data-race
+//      half of the claim).
+//   4. Net integration — a scenario whose class streams is
+//      bit-identical to the same scenario with streaming off, and
+//      net::validate rejects streaming-incompatible classes with
+//      ErrorCode::kStreamingIncompatible.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "core/background_sampler.h"
+#include "core/unified_model.h"
+#include "dist/distributions.h"
+#include "dist/random.h"
+#include "fractal/autocorrelation.h"
+#include "fractal/paxson.h"
+#include "net/run.h"
+#include "net/simulator.h"
+#include "net/topology.h"
+
+namespace ssvbr {
+namespace {
+
+using core::BackgroundGenerator;
+using core::BackgroundPathSampler;
+using core::BackgroundWorkspace;
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+fractal::AutocorrelationPtr fgn(double hurst = 0.8) {
+  return std::make_shared<fractal::FgnAutocorrelation>(hurst);
+}
+
+/// Drain a whole stream through blocks of `block` samples into `out`.
+void stream_in_blocks(const BackgroundPathSampler& sampler, std::uint64_t seed,
+                      std::size_t block, std::vector<double>& out) {
+  RandomEngine rng(seed);
+  BackgroundWorkspace ws;
+  BackgroundPathSampler::Stream stream = sampler.begin_stream(rng, ws);
+  out.assign(sampler.horizon(), 0.0);
+  std::vector<double> buf(block);
+  std::size_t pos = 0;
+  while (stream.remaining() > 0) {
+    const std::size_t n = stream.next_block(buf);
+    ASSERT_GT(n, 0u) << "stream stalled at " << pos;
+    std::copy(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n),
+              out.begin() + static_cast<std::ptrdiff_t>(pos));
+    pos += n;
+  }
+  ASSERT_EQ(pos, sampler.horizon());
+  EXPECT_EQ(stream.produced(), sampler.horizon());
+  EXPECT_EQ(stream.next_block(buf), 0u) << "exhausted stream must yield 0";
+}
+
+class StreamBlockInvariance
+    : public ::testing::TestWithParam<BackgroundGenerator> {};
+
+TEST_P(StreamBlockInvariance, AnyBlockingIsBitIdenticalToSample) {
+  const BackgroundGenerator generator = GetParam();
+  // 3000 exercises a Paxson partial final window (window 4096) and the
+  // Hosking table path; large enough that blocks of 64 need many
+  // refill boundaries.
+  const std::size_t horizon = 3000;
+  const BackgroundPathSampler sampler(fgn(), horizon, generator);
+
+  RandomEngine rng(401);
+  std::vector<double> reference(horizon);
+  sampler.sample(rng, reference);
+
+  std::vector<double> streamed;
+  for (const std::size_t block : {std::size_t{1}, std::size_t{64},
+                                  std::size_t{4096}, horizon}) {
+    SCOPED_TRACE(block);
+    stream_in_blocks(sampler, 401, block, streamed);
+    if (HasFatalFailure()) return;
+    for (std::size_t t = 0; t < horizon; ++t) {
+      ASSERT_EQ(bits(streamed[t]), bits(reference[t]))
+          << "block " << block << " slot " << t;
+    }
+  }
+
+  // Draw-for-draw engine equivalence: a drained stream leaves the
+  // engine exactly where sample() does.
+  RandomEngine rng_a(77), rng_b(77);
+  BackgroundWorkspace ws;
+  std::vector<double> tmp(horizon);
+  sampler.sample(rng_a, tmp, ws);
+  BackgroundPathSampler::Stream stream = sampler.begin_stream(rng_b, ws);
+  std::vector<double> buf(128);
+  while (stream.next_block(buf) > 0) {
+  }
+  EXPECT_EQ(rng_a.state(), rng_b.state());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, StreamBlockInvariance,
+                         ::testing::Values(BackgroundGenerator::kDaviesHarte,
+                                           BackgroundGenerator::kHosking,
+                                           BackgroundGenerator::kPaxson));
+
+TEST(StreamBlockInvariance, PaxsonMultiWindowHorizon) {
+  // Horizon > kDefaultWindow: the stream crosses window boundaries
+  // (synthesis granularity) as well as block boundaries.
+  const std::size_t horizon = fractal::PaxsonModel::kDefaultWindow * 2 + 1234;
+  const BackgroundPathSampler sampler(fgn(), horizon,
+                                      BackgroundGenerator::kPaxson);
+  ASSERT_EQ(sampler.window(), fractal::PaxsonModel::kDefaultWindow);
+  ASSERT_TRUE(sampler.window_bounded_memory());
+
+  RandomEngine rng(402);
+  std::vector<double> reference(horizon);
+  sampler.sample(rng, reference);
+
+  std::vector<double> streamed;
+  stream_in_blocks(sampler, 402, 4096, streamed);
+  if (HasFatalFailure()) return;
+  for (std::size_t t = 0; t < horizon; ++t) {
+    ASSERT_EQ(bits(streamed[t]), bits(reference[t])) << "slot " << t;
+  }
+}
+
+TEST(StreamBoundedMemory, TenMillionFramePaxsonStream) {
+  // The acceptance horizon: 10^7 frames through one stream. Every
+  // workspace buffer stays bounded by the synthesis window m (the FFT
+  // scratch and spectrum are O(m); the stage holds one window); nothing
+  // is ever sized by the horizon.
+  const std::size_t horizon = 10'000'000;
+  const BackgroundPathSampler sampler(fgn(), horizon,
+                                      BackgroundGenerator::kPaxson);
+  const std::size_t m = sampler.window();
+  ASSERT_EQ(m, fractal::PaxsonModel::kDefaultWindow);
+
+  RandomEngine rng(403);
+  BackgroundWorkspace ws;
+  BackgroundPathSampler::Stream stream = sampler.begin_stream(rng, ws);
+  std::vector<double> block(8192);
+  std::size_t produced = 0;
+  double sum = 0.0, sum_sq = 0.0;
+  while (stream.remaining() > 0) {
+    const std::size_t n = stream.next_block(block);
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += block[i];
+      sum_sq += block[i] * block[i];
+    }
+    produced += n;
+  }
+  EXPECT_EQ(produced, horizon);
+
+  // Memory bound: window-sized scratch, not horizon-sized.
+  EXPECT_LE(ws.stage.capacity(), 2 * m);
+  EXPECT_LE(ws.paxson.normals.capacity(), 2 * m);
+  EXPECT_LE(ws.paxson.spec.capacity(), 2 * m);
+  EXPECT_LE(ws.paxson.fft_scratch.capacity(), 2 * m);
+  EXPECT_EQ(ws.davies_harte.normals.capacity(), 0u)
+      << "Paxson streaming must not touch the Davies-Harte workspace";
+
+  // Sanity on the 10^7-sample marginal (renormalized to N(0,1)).
+  const double n = static_cast<double>(horizon);
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(StreamThreadSafety, SharedSamplerConcurrentStreamsMatchSerial) {
+  // One immutable sampler, four workers, private (rng, workspace) per
+  // worker. Each worker's stream must equal its serial reference. Under
+  // -DSSVBR_TSAN=ON this doubles as the data-race check for the shared
+  // eigenvalue table and the FftPlan cache.
+  const std::size_t horizon = 20'000;
+  const BackgroundPathSampler sampler(fgn(), horizon,
+                                      BackgroundGenerator::kPaxson);
+  constexpr std::size_t kWorkers = 4;
+
+  std::vector<std::vector<double>> serial(kWorkers);
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    serial[w].resize(horizon);
+    RandomEngine rng(500 + w);
+    sampler.sample(rng, serial[w]);
+  }
+
+  std::vector<std::vector<double>> streamed(kWorkers,
+                                            std::vector<double>(horizon));
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kWorkers);
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+      workers.emplace_back([&, w] {
+        RandomEngine rng(500 + w);
+        BackgroundWorkspace ws;
+        BackgroundPathSampler::Stream stream = sampler.begin_stream(rng, ws);
+        std::size_t pos = 0;
+        // Worker-dependent blocking: invariance means they still agree.
+        std::vector<double> buf(512 * (w + 1));
+        while (stream.remaining() > 0) {
+          const std::size_t n = stream.next_block(buf);
+          std::copy(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n),
+                    streamed[w].begin() + static_cast<std::ptrdiff_t>(pos));
+          pos += n;
+        }
+      });
+    }
+    for (std::thread& t : workers) t.join();
+  }
+
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    for (std::size_t t = 0; t < horizon; ++t) {
+      ASSERT_EQ(bits(streamed[w][t]), bits(serial[w][t]))
+          << "worker " << w << " slot " << t;
+    }
+  }
+}
+
+// ------------------------------------------------ Net streaming mode
+
+std::shared_ptr<const core::UnifiedVbrModel> make_model() {
+  core::MarginalTransform h(std::make_shared<GammaDistribution>(2.0, 1.0));
+  return std::make_shared<const core::UnifiedVbrModel>(fgn(), std::move(h));
+}
+
+net::ScenarioConfig one_class_scenario(
+    const std::shared_ptr<const core::UnifiedVbrModel>& model, bool streaming,
+    std::size_t streaming_block) {
+  net::ScenarioConfig scenario;
+  scenario.topology = net::make_tandem(2, 210.0, 500.0);
+  net::SourceClassConfig cls;
+  cls.model = model;
+  cls.population = 100;
+  cls.generator = BackgroundGenerator::kPaxson;
+  cls.streaming = streaming;
+  if (streaming) cls.streaming_block = streaming_block;
+  scenario.classes.push_back(cls);
+  scenario.slots = 3000;
+  scenario.warmup = 500;
+  return scenario;
+}
+
+TEST(NetStreaming, StreamedClassIsBitIdenticalToWholePath) {
+  const auto model = make_model();
+  const net::ScenarioContext whole(one_class_scenario(model, false, 0));
+  net::ScenarioKernel whole_kernel(whole);
+  RandomEngine rng_a(9001);
+  net::TopologyAccumulator ref_acc;
+  ref_acc.add(whole_kernel.run_one(rng_a));
+
+  // Blocks that divide the horizon, that don't, one degenerate to a
+  // slot, and one larger than the whole run.
+  for (const std::size_t block :
+       {std::size_t{1}, std::size_t{250}, std::size_t{1024}, std::size_t{3000},
+        std::size_t{1} << 20}) {
+    SCOPED_TRACE(block);
+    const net::ScenarioContext streamed(one_class_scenario(model, true, block));
+    net::ScenarioKernel kernel(streamed);
+    RandomEngine rng_b(9001);
+    net::TopologyAccumulator acc;
+    acc.add(kernel.run_one(rng_b));
+    EXPECT_EQ(acc.to_words(), ref_acc.to_words());
+    EXPECT_EQ(rng_a.state(), rng_b.state());
+  }
+}
+
+TEST(NetStreaming, StreamedAndWholePathClassesCoexist) {
+  // Mixed scenario: class 0 streams, class 1 does not. Required here:
+  // the kernel runs, injects work from both, and conserves work at
+  // every node (arrived == served + dropped + end_queue).
+  const auto model = make_model();
+  net::ScenarioConfig scenario = one_class_scenario(model, true, 512);
+  net::SourceClassConfig whole;
+  whole.model = model;
+  whole.population = 50;
+  whole.ingress = 1;
+  whole.generator = BackgroundGenerator::kHosking;
+  scenario.classes.push_back(whole);
+
+  const net::ScenarioContext context(scenario);
+  net::ScenarioKernel kernel(context);
+  RandomEngine rng(9002);
+  const net::ScenarioStats& stats = kernel.run_one(rng);
+  for (const net::NodeStats& node : stats.nodes) {
+    EXPECT_NEAR(node.arrived, node.served + node.dropped + node.end_queue,
+                1e-6 * std::max(1.0, node.arrived));
+  }
+  EXPECT_GT(stats.external_arrived, 0.0);
+}
+
+TEST(NetStreaming, ValidateRejectsIncompatibleConfigs) {
+  const auto model = make_model();
+  net::TopologyRunRequest request;
+  request.scenario = one_class_scenario(model, true, 512);
+  request.replications = 1;
+
+  ASSERT_FALSE(net::validate(request).has_value());
+
+  // Streaming with an exact (whole-path) generator.
+  net::TopologyRunRequest bad_generator = request;
+  bad_generator.scenario.classes[0].generator = BackgroundGenerator::kHosking;
+  auto err = net::validate(bad_generator);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ErrorCode::kStreamingIncompatible);
+
+  // Streaming with cell segmentation.
+  net::TopologyRunRequest bad_segmentation = request;
+  bad_segmentation.scenario.classes[0].segment_to_cells = true;
+  err = net::validate(bad_segmentation);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ErrorCode::kStreamingIncompatible);
+
+  // Degenerate block.
+  net::TopologyRunRequest bad_block = request;
+  bad_block.scenario.classes[0].streaming_block = 0;
+  err = net::validate(bad_block);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, ErrorCode::kStreamingIncompatible);
+
+  // The same rejection at direct construction.
+  net::SourceClassConfig cls = request.scenario.classes[0];
+  cls.generator = BackgroundGenerator::kDaviesHarte;
+  EXPECT_THROW(net::PopulationSampler(cls, 64), InvalidArgument);
+
+  // run_topology surfaces the code through RunError.
+  try {
+    (void)net::run_topology(bad_generator);
+    FAIL() << "run_topology accepted a streaming-incompatible request";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kStreamingIncompatible);
+  }
+}
+
+TEST(NetStreaming, PopulationStreamMatchesPopulationSample) {
+  const auto model = make_model();
+  net::SourceClassConfig cls;
+  cls.model = model;
+  cls.population = 1000;
+  cls.generator = BackgroundGenerator::kPaxson;
+  cls.streaming = true;
+  cls.streaming_block = 300;
+  const std::size_t slots = 2000;
+  const net::PopulationSampler sampler(cls, slots);
+
+  std::vector<double> reference(slots), frames(slots);
+  RandomEngine rng_a(6);
+  sampler.sample(rng_a, frames, {}, reference);
+
+  RandomEngine rng_b(6);
+  BackgroundWorkspace ws;
+  net::PopulationSampler::Stream stream = sampler.begin_stream(rng_b, ws);
+  std::vector<double> buf(cls.streaming_block);
+  std::size_t pos = 0;
+  while (stream.remaining() > 0) {
+    const std::size_t n = stream.next_block(buf);
+    ASSERT_GT(n, 0u);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(bits(buf[i]), bits(reference[pos + i])) << "slot " << pos + i;
+    }
+    pos += n;
+  }
+  EXPECT_EQ(pos, slots);
+  EXPECT_EQ(rng_a.state(), rng_b.state());
+}
+
+}  // namespace
+}  // namespace ssvbr
