@@ -23,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "baselines/markov_lrd.h"
 #include "bench_util.h"
 #include "common/math_util.h"
 #include "common/version.h"
@@ -341,6 +342,29 @@ int main() {
         },
         min_seconds);
     add_row("paxson_stream_16m_vs_dh_extrapolated", n, dh_extrapolated_ns, cur);
+  }
+
+  // ---- Markov-chain LRD baseline vs Paxson synthesis (same H) ----
+  // Quantifies what the O(1)-per-slot countdown chain buys over the
+  // cheapest Gaussian fGn backend at the same horizon and Hurst
+  // parameter. The "baseline" is the CURRENT Paxson path (not legacy
+  // code): the row tracks the cost ratio between the two live LRD
+  // generators, the number a user trades against the Markov chain's
+  // two-point marginal (see src/baselines/markov_lrd.h).
+  {
+    const std::size_t n = 16384;
+    const core::BackgroundPathSampler paxson(
+        std::make_shared<fractal::FgnAutocorrelation>(0.8), n,
+        core::BackgroundGenerator::kPaxson);
+    const baselines::MarkovLrdProcess chain(0.8);
+    std::vector<double> path(n);
+    core::BackgroundWorkspace ws;
+    RandomEngine rng_old(49), rng_new(49);
+    const double base =
+        time_ns([&] { paxson.sample(rng_old, path, ws); }, min_seconds);
+    const double cur =
+        time_ns([&] { chain.sample_into(path, rng_new); }, min_seconds);
+    add_row("markov_vs_paxson_path", n, base, cur);
   }
 
   // ---- Marginal transform: exact inverse-CDF vs tabulated ----

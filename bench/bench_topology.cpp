@@ -103,6 +103,45 @@ GridCell tandem_cell(const std::shared_ptr<const core::UnifiedVbrModel>& model,
   return cell;
 }
 
+/// A tandem path carrying a chunked-streaming ABR client alongside a
+/// batched VBR background population — the client-workload cell of the
+/// grid. Exercises the kAbrClient kernel path (per-slot client stepping
+/// against the shared bandwidth trace) under the same bit-identity
+/// contract as the pure-population cells.
+GridCell abr_client_cell(const std::shared_ptr<const core::UnifiedVbrModel>& model) {
+  GridCell cell;
+  cell.name = "abr_client_scenario";
+  cell.population = 200;
+  const double m = model->mean();
+  const double offered = static_cast<double>(cell.population) * m;
+  cell.scenario.topology = net::make_tandem(3, 1.05 * offered, 1.3 * offered);
+
+  net::SourceClassConfig background;
+  background.model = model;
+  background.population = cell.population;
+  cell.scenario.classes.push_back(background);
+
+  net::SourceClassConfig client;
+  client.kind = net::SourceKind::kAbrClient;
+  client.model = model;
+  client.population = 1;
+  client.ingress = 1;
+  client.abr_client.bandwidth_trace = {6.0 * m, 10.0 * m, 2.0 * m,
+                                       8.0 * m, 0.0,     12.0 * m};
+  client.abr_client.chunk_slots = 8;
+  client.abr_client.startup_chunks = 2;
+  client.abr_client.max_buffer_slots = 48.0;
+  client.abr_client.low_buffer_slots = 8.0;
+  client.abr_client.high_buffer_slots = 24.0;
+  cell.scenario.classes.push_back(client);
+
+  cell.classes = cell.scenario.classes.size();
+  cell.path_length = 3;
+  cell.scenario.slots = 256;
+  cell.scenario.warmup = 32;
+  return cell;
+}
+
 void report(const GridCell& cell, std::size_t replications,
             const std::vector<unsigned>& thread_counts) {
   struct Row {
@@ -163,5 +202,6 @@ int main() {
   report(tandem_cell(model, 2), replications, thread_counts);
   report(tandem_cell(model, 4), replications, thread_counts);
   report(tandem_cell(model, 8), replications, thread_counts);
+  report(abr_client_cell(model), replications, thread_counts);
   return 0;
 }

@@ -1,0 +1,156 @@
+// Cross-model workload comparison: the unified model against every
+// alternative generator in the repo, all driving the same single-server
+// queue at the same utilization. Two columns tell the story the paper
+// tells across Figs. 14-17: the estimated Hurst parameter (does the
+// generator actually carry long-range dependence?) and the buffer-tail
+// probability P(Q > b) (what that dependence costs a multiplexer).
+//
+// The long-memory generators (unified fGn, activity-modulated fGn,
+// Markov-chain LRD) should agree on H ~ 0.8 and on a heavy queue tail;
+// the short-memory baselines (DAR(1), TES, MMPP) report H near 1/2 and
+// a tail that is orders of magnitude lighter at the same utilization —
+// the paper's argument for why Markovian traffic models underestimate
+// buffer requirements for VBR video.
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "baselines/dar.h"
+#include "baselines/markov_lrd.h"
+#include "baselines/mmpp.h"
+#include "baselines/tes.h"
+#include "core/activity_model.h"
+#include "core/marginal_transform.h"
+#include "core/unified_model.h"
+#include "dist/distributions.h"
+#include "dist/random.h"
+#include "fractal/autocorrelation.h"
+#include "fractal/hurst.h"
+#include "queueing/lindley.h"
+
+namespace {
+
+using namespace ssvbr;
+
+constexpr std::size_t kPathLength = 1u << 15;
+constexpr std::size_t kReplications = 8;
+constexpr std::size_t kWarmup = 1024;
+constexpr double kUtilization = 0.7;
+constexpr double kBufferMeans = 30.0;  // deep buffer: where the tails separate
+
+struct WorkloadRow {
+  const char* name;
+  double mean;           ///< analytic long-run mean of the generator
+  double hurst;          ///< R/S estimate averaged over replications
+  double overflow;       ///< post-warmup fraction of slots with Q > b
+  double mean_queue;     ///< post-warmup mean queue (in source means)
+};
+
+/// Feed `path` through a Lindley queue at the row's operating point and
+/// fold the post-warmup tail statistics into the row.
+void drive_queue(WorkloadRow& row, std::span<const double> path) {
+  const double service = row.mean / kUtilization;
+  const double buffer = kBufferMeans * row.mean;
+  queueing::LindleyQueue queue(service);
+  std::size_t over = 0;
+  double queue_sum = 0.0;
+  for (std::size_t t = 0; t < path.size(); ++t) {
+    const double q = queue.step(path[t]);
+    if (t < kWarmup) continue;
+    if (q > buffer) ++over;
+    queue_sum += q;
+  }
+  const double measured = static_cast<double>(path.size() - kWarmup);
+  row.overflow += static_cast<double>(over) / measured / kReplications;
+  row.mean_queue += queue_sum / measured / row.mean / kReplications;
+}
+
+/// Run one generator: `sample(rng)` returns a fresh path per call.
+template <class Sampler>
+WorkloadRow measure(const char* name, double mean, RandomEngine& rng,
+                    Sampler&& sample) {
+  WorkloadRow row{name, mean, 0.0, 0.0, 0.0};
+  for (std::size_t rep = 0; rep < kReplications; ++rep) {
+    const std::vector<double> path = sample(rng);
+    row.hurst += fractal::rs_analysis(path).hurst / kReplications;
+    drive_queue(row, path);
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using core::BackgroundGenerator;
+
+  std::printf("=== Workload comparison: every generator, one queue ===\n\n");
+  std::printf("operating point: utilization %.2f, buffer %.0f x mean, "
+              "%zu slots x %zu replications\n\n",
+              kUtilization, kBufferMeans, kPathLength, kReplications);
+
+  // Common long-memory target (H = 0.8) and marginal (Gamma(2,1)), so
+  // the rows differ only in the correlation machinery each generator
+  // can actually express.
+  const auto model = std::make_shared<const core::UnifiedVbrModel>(
+      std::make_shared<fractal::FgnAutocorrelation>(0.8),
+      core::MarginalTransform(std::make_shared<GammaDistribution>(2.0, 1.0)));
+
+  core::ActivityConfig activity_cfg;
+  activity_cfg.busy_mean_frames = 8.0;
+  activity_cfg.idle_mean_frames = 4.0;
+  const core::ActivityModulatedModel activity(model, activity_cfg);
+
+  // Markov LRD chain at the same H, with the ON rate chosen so the
+  // long-run mean (on + off) / 2 matches the unified model's mean.
+  const baselines::MarkovLrdProcess markov(0.8, 2.0 * model->mean(), 0.0);
+
+  // DAR(1) fitted the traditional way: same marginal, rho matched to
+  // the fGn lag-1 autocorrelation. The match is exact at lag 1 and
+  // collapses geometrically beyond — the failure mode the paper's
+  // Fig. 17 comparison targets.
+  const auto gamma = std::make_shared<GammaDistribution>(2.0, 1.0);
+  const baselines::Dar1Process dar(
+      model->predicted_foreground_acf(1.0), gamma);
+  const baselines::TesProcess tes(0.3, 0.5, gamma, /*plus=*/true);
+  const baselines::MmppProcess mmpp =
+      baselines::MmppProcess::two_state(1.0, 3.0, 20.0, 10.0);
+
+  RandomEngine rng(1995);
+  std::vector<WorkloadRow> rows;
+  rows.push_back(measure("unified_fgn", model->mean(), rng, [&](RandomEngine& r) {
+    return model->generate(kPathLength, r, BackgroundGenerator::kDaviesHarte);
+  }));
+  rows.push_back(measure("activity_modulated", activity.mean(), rng,
+                         [&](RandomEngine& r) {
+                           return activity.generate(kPathLength, r,
+                                                    BackgroundGenerator::kDaviesHarte);
+                         }));
+  rows.push_back(measure("markov_lrd", markov.mean(), rng, [&](RandomEngine& r) {
+    return markov.sample(kPathLength, r);
+  }));
+  rows.push_back(measure("dar1", gamma->mean(), rng, [&](RandomEngine& r) {
+    return dar.sample(kPathLength, r);
+  }));
+  rows.push_back(measure("tes_plus", gamma->mean(), rng, [&](RandomEngine& r) {
+    return tes.sample(kPathLength, r);
+  }));
+  rows.push_back(measure("mmpp_2state", mmpp.mean_rate(), rng,
+                         [&](RandomEngine& r) {
+                           return mmpp.sample(kPathLength, r);
+                         }));
+
+  std::printf("generator,mean,hurst_rs,overflow_fraction,mean_queue_over_mean\n");
+  for (const WorkloadRow& row : rows) {
+    std::printf("%s,%.3f,%.3f,%.3e,%.2f\n", row.name, row.mean, row.hurst,
+                row.overflow, row.mean_queue);
+  }
+  std::printf("\nReading the table: the long-memory rows (unified, activity,\n"
+              "markov_lrd) estimate H well above the short-memory baselines\n"
+              "(R/S reads those near 0.6 only through its small-sample bias)\n"
+              "and pay one to two orders of magnitude more buffer overflow at\n"
+              "the same utilization; matching the marginal (DAR/TES reuse the\n"
+              "same Gamma(2,1)) buys none of the queueing behaviour — the\n"
+              "correlation tail does.\n");
+  return 0;
+}

@@ -50,6 +50,7 @@ EXPECTED_BENCHES = [
     "paxson_vs_davies_harte_path",
     "paxson_vs_hosking_path",
     "paxson_stream_16m_vs_dh_extrapolated",
+    "markov_vs_paxson_path",
     "marginal_transform_apply",
     "autocorrelation_fft",
     "is_twist_sweep_fig14",
@@ -61,6 +62,7 @@ EXPECTED_TOPOLOGY_SCENARIOS = [
     "tandem_2_abr",
     "tandem_4_abr",
     "tandem_8_abr",
+    "abr_client_scenario",
 ]
 
 # Gate on the committed thread-scaling trajectory (repo-root

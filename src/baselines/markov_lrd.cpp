@@ -1,0 +1,60 @@
+#include "baselines/markov_lrd.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ssvbr::baselines {
+
+MarkovLrdProcess::MarkovLrdProcess(double hurst, double on_rate, double off_rate)
+    : hurst_(hurst),
+      alpha_(3.0 - 2.0 * hurst),
+      on_rate_(on_rate),
+      off_rate_(off_rate) {
+  SSVBR_REQUIRE(hurst > 0.5 && hurst < 1.0,
+                "Markov LRD chain needs hurst in (0.5, 1)");
+  SSVBR_REQUIRE(off_rate >= 0.0 && on_rate > off_rate,
+                "Markov LRD chain needs on_rate > off_rate >= 0");
+}
+
+std::uint64_t MarkovLrdProcess::sample_run_length(RandomEngine& rng) const {
+  // Inverse transform for the discrete Pareto tail P(L >= k) = k^(-alpha):
+  // L = floor(U^(-1/alpha)) with U in (0, 1) hits every k >= 1 with
+  // exactly P(L = k) = k^(-alpha) - (k+1)^(-alpha). The cap keeps a
+  // once-per-2^53-ish tiny uniform from overflowing the countdown; it
+  // truncates the tail at ~1e15 slots, beyond any reachable horizon.
+  const double u = rng.uniform_open();
+  const double len = std::floor(std::pow(u, -1.0 / alpha_));
+  constexpr double kCap = 9.0e15;
+  return static_cast<std::uint64_t>(len < kCap ? len : kCap);
+}
+
+MarkovLrdProcess::State MarkovLrdProcess::begin(RandomEngine& rng) const {
+  State state;
+  state.on = rng.uniform() < 0.5;
+  state.remaining = sample_run_length(rng);
+  return state;
+}
+
+double MarkovLrdProcess::next(State& state, RandomEngine& rng) const {
+  if (state.remaining == 0) {
+    // Renewal: flip the phase, draw the next heavy-tailed run.
+    state.on = !state.on;
+    state.remaining = sample_run_length(rng);
+  }
+  --state.remaining;
+  return state.on ? on_rate_ : off_rate_;
+}
+
+void MarkovLrdProcess::sample_into(std::span<double> out, RandomEngine& rng) const {
+  State state = begin(rng);
+  for (double& x : out) x = next(state, rng);
+}
+
+std::vector<double> MarkovLrdProcess::sample(std::size_t n, RandomEngine& rng) const {
+  std::vector<double> out(n);
+  sample_into(out, rng);
+  return out;
+}
+
+}  // namespace ssvbr::baselines

@@ -1,0 +1,99 @@
+// ssvbr/baselines/markov_lrd.h
+//
+// Markov-chain LRD generator (Clegg & Dodson, PAPERS.md: cs/0610134) —
+// a cheap long-range-dependent baseline against the Gaussian fGn
+// backends (Hosking / Davies-Harte / Paxson).
+//
+// Construction: an alternating on/off renewal process whose run lengths
+// are heavy-tailed,
+//
+//     P(L >= k) = k^(-alpha),   k = 1, 2, ...,   alpha in (1, 2),
+//
+// embedded as a countdown Markov chain (state = phase + slots left in
+// the current run; every transition either decrements the countdown or,
+// at a renewal, flips the phase and draws a fresh run length by exact
+// inverse transform L = floor(U^(-1/alpha))). Finite-mean (zeta(alpha))
+// but infinite-variance run lengths make the binary series long-range
+// dependent with Hurst parameter
+//
+//     H = (3 - alpha) / 2,   i.e.  alpha = 3 - 2H  for  H in (1/2, 1).
+//
+// The chain is O(1) work and O(1) state per slot with no setup cost —
+// the whole point of the baseline: it generates LRD traffic orders of
+// magnitude cheaper than exact Gaussian synthesis, at the price of a
+// two-point marginal and only-asymptotic control of the correlation
+// shape (see the markov_lrd_hurst_preservation conformance check).
+//
+// Stationarity caveat: each path starts at a renewal (equal-probability
+// phase, fresh run). The true stationary ON fraction is 1/2 by
+// symmetry, but the heavy tail makes the equilibrium residual-life
+// distribution infinite-mean, so paths converge to stationarity only
+// asymptotically — the standard (and unavoidable) pre-asymptotic
+// behaviour of heavy-tailed on/off models.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dist/random.h"
+
+namespace ssvbr::baselines {
+
+/// Alternating heavy-tailed on/off chain with Hurst parameter `hurst`.
+class MarkovLrdProcess {
+ public:
+  /// `hurst` in (1/2, 1); the series takes value `on_rate` during ON
+  /// runs and `off_rate` during OFF runs (`on_rate > off_rate >= 0`).
+  explicit MarkovLrdProcess(double hurst, double on_rate = 1.0,
+                            double off_rate = 0.0);
+
+  double hurst() const noexcept { return hurst_; }
+  /// Run-length tail exponent alpha = 3 - 2H in (1, 2).
+  double alpha() const noexcept { return alpha_; }
+  double on_rate() const noexcept { return on_rate_; }
+  double off_rate() const noexcept { return off_rate_; }
+
+  /// Long-run mean (on + off) / 2: both phases have the same run-length
+  /// law, so the stationary ON fraction is exactly 1/2.
+  double mean() const noexcept { return 0.5 * (on_rate_ + off_rate_); }
+  /// Long-run variance ((on - off) / 2)^2 of the two-point marginal.
+  double variance() const noexcept {
+    const double half = 0.5 * (on_rate_ - off_rate_);
+    return half * half;
+  }
+
+  /// Countdown-chain state: the current phase and the slots left in its
+  /// run. Plain value type so replication loops keep it on the stack.
+  struct State {
+    bool on = false;
+    std::uint64_t remaining = 0;
+  };
+
+  /// Start a fresh path at a renewal: equal-probability phase, fresh
+  /// run length. Consumes exactly two uniforms.
+  State begin(RandomEngine& rng) const;
+
+  /// Value of the current slot; advances the chain (one uniform is
+  /// consumed only at renewals). O(1), allocation-free.
+  double next(State& state, RandomEngine& rng) const;
+
+  /// Draw one heavy-tailed run length L >= 1 with P(L >= k) = k^(-alpha)
+  /// by inverse transform; consumes exactly one uniform.
+  std::uint64_t sample_run_length(RandomEngine& rng) const;
+
+  /// Fill `out` with a path (allocation-free form for hot loops).
+  void sample_into(std::span<double> out, RandomEngine& rng) const;
+
+  /// Draw a path of length n (convenience; same values as sample_into).
+  std::vector<double> sample(std::size_t n, RandomEngine& rng) const;
+
+ private:
+  double hurst_;
+  double alpha_;
+  double on_rate_;
+  double off_rate_;
+};
+
+}  // namespace ssvbr::baselines

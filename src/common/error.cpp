@@ -14,6 +14,7 @@ const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::kUnsupported: return "unsupported";
     case ErrorCode::kIoError: return "io_error";
     case ErrorCode::kStreamingIncompatible: return "streaming_incompatible";
+    case ErrorCode::kSourceKindIncompatible: return "source_kind_incompatible";
   }
   return "unknown";
 }

@@ -50,6 +50,10 @@ enum class ErrorCode {
   kStreamingIncompatible, ///< a source class asks for block streaming but its
                           ///< config cannot stream (non-Paxson generator, cell
                           ///< segmentation, or a zero block size)
+  kSourceKindIncompatible,///< a source class combines a non-default SourceKind
+                          ///< with a feature only kVbrModel classes support
+                          ///< (multi-slot frames, cell segmentation, block
+                          ///< streaming, or a batched ABR-client population)
 };
 
 /// Stable identifier string for an ErrorCode (used in messages and by

@@ -1,0 +1,75 @@
+#include "core/activity_model.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.h"
+
+namespace ssvbr::core {
+
+ActivityModulatedModel::ActivityModulatedModel(
+    std::shared_ptr<const UnifiedVbrModel> inner, ActivityConfig config)
+    : inner_(std::move(inner)), config_(config) {
+  SSVBR_REQUIRE(inner_ != nullptr, "activity modulation needs an inner model");
+  SSVBR_REQUIRE(config_.busy_mean_frames >= 1.0,
+                "mean busy period must be at least one frame");
+  SSVBR_REQUIRE(config_.idle_mean_frames >= 1.0,
+                "mean idle period must be at least one frame");
+  SSVBR_REQUIRE(config_.idle_rate >= 0.0, "idle rate must be non-negative");
+  busy_fraction_ = config_.busy_mean_frames /
+                   (config_.busy_mean_frames + config_.idle_mean_frames);
+  exit_busy_ = 1.0 / config_.busy_mean_frames;
+  exit_idle_ = 1.0 / config_.idle_mean_frames;
+  gate_rho_ = 1.0 - exit_busy_ - exit_idle_;
+}
+
+double ActivityModulatedModel::mean() const {
+  return config_.idle_rate +
+         busy_fraction_ * (inner_->mean() - config_.idle_rate);
+}
+
+double ActivityModulatedModel::variance() const {
+  const double p = busy_fraction_;
+  const double d = inner_->mean() - config_.idle_rate;
+  return p * inner_->variance() + p * (1.0 - p) * d * d;
+}
+
+double ActivityModulatedModel::predicted_autocorrelation(double lag) const {
+  const double p = busy_fraction_;
+  const double d = inner_->mean() - config_.idle_rate;
+  // E[S_t S_{t+k}] for the stationary two-state chain.
+  const double ss = p * p + p * (1.0 - p) * std::pow(gate_rho_, lag);
+  // E[(Y_t - c)(Y_{t+k} - c)] with c = idle_rate, via the inner
+  // foreground ACF (exact for a Gaussian marginal, Appendix A
+  // attenuation approximation otherwise).
+  const double r_y = lag == 0.0 ? 1.0 : inner_->predicted_foreground_acf(lag);
+  const double yy = inner_->variance() * r_y + d * d;
+  const double cov = ss * yy - p * p * d * d;
+  const double var = variance();
+  return var > 0.0 ? cov / var : 0.0;
+}
+
+void ActivityModulatedModel::modulate_in_place(std::span<double> path,
+                                               RandomEngine& rng) const {
+  bool busy = false;
+  for (std::size_t t = 0; t < path.size(); ++t) {
+    const double u = rng.uniform();
+    if (t == 0) {
+      // Stationary start: the predicted marginal/ACF formulas hold from
+      // the first frame.
+      busy = u < busy_fraction_;
+    } else {
+      busy = busy ? (u >= exit_busy_) : (u < exit_idle_);
+    }
+    if (!busy) path[t] = config_.idle_rate;
+  }
+}
+
+std::vector<double> ActivityModulatedModel::generate(
+    std::size_t n, RandomEngine& rng, BackgroundGenerator generator) const {
+  std::vector<double> path = inner_->generate(n, rng, generator);
+  modulate_in_place(path, rng);
+  return path;
+}
+
+}  // namespace ssvbr::core

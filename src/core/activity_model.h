@@ -1,0 +1,99 @@
+// ssvbr/core/activity_model.h
+//
+// Busy/idle activity modulation for conferencing-style VBR sources
+// (SNIPPETS.md snippet 3 territory): a video-conference source emits
+// frames only while its participant is active, alternating busy periods
+// (frames synthesized by the unified model) with idle periods (silence,
+// or a low constant fill rate).
+//
+// Construction: a two-state busy/idle Markov chain S_t with geometric
+// sojourns (per-frame exit probabilities 1/busy_mean and 1/idle_mean),
+// independent of the unified model's foreground Y_t = h(X_t):
+//
+//     Z_t = S_t Y_t + (1 - S_t) idle_rate.
+//
+// Everything about Z has a closed form in terms of the chain and the
+// inner model: with p = busy / (busy + idle) the stationary busy
+// fraction and rho_s = 1 - 1/busy_mean - 1/idle_mean the chain's
+// second eigenvalue,
+//
+//     E[S_t S_{t+k}] = p^2 + p (1 - p) rho_s^k,
+//
+// which the activity_marginal_acf conformance check exploits: for a
+// Gaussian inner marginal the predicted mean, variance, zero fraction,
+// busy-slot marginal, and lag-k ACF are all exact (the attenuation of a
+// linear transform is 1), so the generator is gated against formulas,
+// not against itself.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/unified_model.h"
+#include "dist/random.h"
+
+namespace ssvbr::core {
+
+/// Two-state busy/idle chain parameters, in frame intervals.
+struct ActivityConfig {
+  /// Mean busy-period length in frames (>= 1).
+  double busy_mean_frames = 1.0;
+  /// Mean idle-period length in frames (>= 1).
+  double idle_mean_frames = 1.0;
+  /// Constant emission during idle frames (>= 0; 0 = silent).
+  double idle_rate = 0.0;
+};
+
+/// A unified VBR model gated by an independent busy/idle chain.
+class ActivityModulatedModel {
+ public:
+  ActivityModulatedModel(std::shared_ptr<const UnifiedVbrModel> inner,
+                         ActivityConfig config);
+
+  const UnifiedVbrModel& inner() const noexcept { return *inner_; }
+  std::shared_ptr<const UnifiedVbrModel> inner_ptr() const noexcept {
+    return inner_;
+  }
+  const ActivityConfig& config() const noexcept { return config_; }
+
+  /// Stationary busy fraction p = busy / (busy + idle).
+  double busy_fraction() const noexcept { return busy_fraction_; }
+  /// Second eigenvalue of the chain, rho_s = 1 - 1/busy - 1/idle.
+  double gate_correlation() const noexcept { return gate_rho_; }
+
+  /// Long-run mean idle_rate + p (m - idle_rate). Exact.
+  double mean() const;
+  /// Long-run variance p Var(Y) + p (1 - p) (m - idle_rate)^2. Exact.
+  double variance() const;
+
+  /// Predicted lag-k autocorrelation of Z (k >= 1):
+  ///   cov(k) = (p^2 + p(1-p) rho_s^k)(Var(Y) r_Y(k) + d^2) - p^2 d^2,
+  /// with d = m - idle_rate and r_Y the inner model's predicted
+  /// foreground ACF. Exact for a Gaussian inner marginal; attenuation-
+  /// approximate otherwise (Appendix A).
+  double predicted_autocorrelation(double lag) const;
+
+  /// Apply the gate to an already-transformed foreground path in place,
+  /// consuming exactly path.size() uniforms (one per frame: the first
+  /// draws the stationary initial state, the rest the transitions).
+  /// Allocation-free.
+  void modulate_in_place(std::span<double> path, RandomEngine& rng) const;
+
+  /// Convenience: synthesize a modulated foreground path of length n
+  /// (inner generate, then the gate; same draw order as the net layer).
+  std::vector<double> generate(std::size_t n, RandomEngine& rng,
+                               BackgroundGenerator generator =
+                                   BackgroundGenerator::kDaviesHarte) const;
+
+ private:
+  std::shared_ptr<const UnifiedVbrModel> inner_;
+  ActivityConfig config_;
+  double busy_fraction_;
+  double gate_rho_;
+  double exit_busy_;  // per-frame P(busy -> idle) = 1 / busy_mean
+  double exit_idle_;  // per-frame P(idle -> busy) = 1 / idle_mean
+};
+
+}  // namespace ssvbr::core

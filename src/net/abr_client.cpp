@@ -1,0 +1,125 @@
+#include "net/abr_client.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.h"
+
+namespace ssvbr::net {
+
+AbrClient::AbrClient(const AbrClientConfig& config) : config_(&config) {
+  SSVBR_REQUIRE(!config_->bandwidth_trace.empty(),
+                "ABR client needs a bandwidth trace");
+  double trace_total = 0.0;
+  for (const double c : config_->bandwidth_trace) {
+    SSVBR_REQUIRE(c >= 0.0, "bandwidth trace entries must be non-negative");
+    trace_total += c;
+  }
+  SSVBR_REQUIRE(trace_total > 0.0, "bandwidth trace must carry some capacity");
+  SSVBR_REQUIRE(config_->chunk_slots >= 1, "chunks must hold at least one slot");
+  SSVBR_REQUIRE(!config_->bitrate_ladder.empty(),
+                "ABR client needs a bitrate ladder");
+  double prev = 0.0;
+  for (const double level : config_->bitrate_ladder) {
+    SSVBR_REQUIRE(level > prev, "bitrate ladder must be positive and ascending");
+    prev = level;
+  }
+  SSVBR_REQUIRE(config_->startup_chunks >= 1,
+                "startup threshold must be at least one chunk");
+  SSVBR_REQUIRE(config_->low_buffer_slots >= 0.0 &&
+                    config_->high_buffer_slots >= config_->low_buffer_slots &&
+                    config_->max_buffer_slots >= config_->high_buffer_slots,
+                "ABR client needs 0 <= low <= high <= max buffer");
+}
+
+void AbrClient::begin(std::span<const double> chunk_sizes) {
+  chunks_ = chunk_sizes;
+  stats_ = AbrClientStats{};
+  buffer_ = 0.0;
+  chunk_remaining_ = 0.0;
+  next_chunk_ = 0;
+  fetching_ = false;
+  started_ = false;
+  played_ = 0.0;
+  content_total_ = static_cast<double>(chunk_sizes.size()) *
+                   static_cast<double>(config_->chunk_slots);
+}
+
+std::size_t AbrClient::pick_level(double buffer_slots) const noexcept {
+  const std::size_t top = config_->bitrate_ladder.size() - 1;
+  if (top == 0 || buffer_slots <= config_->low_buffer_slots) return 0;
+  if (buffer_slots >= config_->high_buffer_slots) return top;
+  // Linear map of the (low, high) buffer band onto the ladder.
+  const double span = config_->high_buffer_slots - config_->low_buffer_slots;
+  const double frac = (buffer_slots - config_->low_buffer_slots) / span;
+  const auto level =
+      static_cast<std::size_t>(frac * static_cast<double>(top + 1));
+  return std::min(level, top);
+}
+
+double AbrClient::step(double capacity) {
+  // Download half-slot first, so a chunk finishing now can start
+  // playback in the same slot.
+  double downloaded = 0.0;
+  if (!fetching_ && next_chunk_ < chunks_.size() &&
+      buffer_ < config_->max_buffer_slots) {
+    const std::size_t level = pick_level(buffer_);
+    chunk_remaining_ = config_->bitrate_ladder[level] * chunks_[next_chunk_];
+    stats_.quality_sum += level;
+    fetching_ = true;
+  }
+  if (fetching_) {
+    downloaded = std::min(capacity, chunk_remaining_);
+    chunk_remaining_ -= downloaded;
+    stats_.downloaded += downloaded;
+    if (chunk_remaining_ <= 0.0) {
+      // At most one chunk completes per slot; leftover capacity in the
+      // completion slot is not rolled into the next fetch (the next
+      // request goes out next slot), which keeps the stepper's
+      // per-slot accounting trivially exact.
+      buffer_ += static_cast<double>(config_->chunk_slots);
+      ++stats_.chunks_completed;
+      ++next_chunk_;
+      fetching_ = false;
+      chunk_remaining_ = 0.0;
+    }
+  }
+  // Playback half-slot: exactly one of the four classes per slot.
+  const bool playlist_drained = next_chunk_ >= chunks_.size() && !fetching_;
+  if (!started_ &&
+      (buffer_ >= static_cast<double>(config_->startup_chunks) *
+                      static_cast<double>(config_->chunk_slots) ||
+       (playlist_drained && buffer_ > 0.0))) {
+    // Short playlists can end below the startup threshold; play what
+    // arrived rather than waiting forever.
+    started_ = true;
+  }
+  if (!started_) {
+    ++stats_.startup_slots;
+  } else if (played_ >= content_total_) {
+    ++stats_.finished_slots;
+  } else if (buffer_ > 0.0) {
+    buffer_ -= 1.0;
+    played_ += 1.0;
+    ++stats_.play_slots;
+  } else {
+    ++stats_.rebuffer_slots;
+  }
+  stats_.buffer_end = buffer_;
+  return downloaded;
+}
+
+void AbrClient::run(std::span<const double> chunk_sizes, std::size_t slots,
+                    std::span<double> downloads_out) {
+  SSVBR_REQUIRE(downloads_out.empty() || downloads_out.size() == slots,
+                "downloads span must be empty or hold one entry per slot");
+  begin(chunk_sizes);
+  const std::size_t trace_n = config_->bandwidth_trace.size();
+  for (std::size_t t = 0; t < slots; ++t) {
+    const double d = step(config_->bandwidth_trace[t % trace_n]);
+    if (!downloads_out.empty()) downloads_out[t] = d;
+  }
+}
+
+}  // namespace ssvbr::net

@@ -1,0 +1,118 @@
+// ssvbr/net/abr_client.h
+//
+// Chunked adaptive-bitrate (ABR) streaming client over a bandwidth
+// trace — the oboe-style fixed_env simulation (SNIPPETS.md snippet 1):
+// a client downloads video chunks over a per-slot bandwidth trace,
+// fills a playback buffer measured in slots of content, starts playback
+// once enough chunks are buffered, and stalls (rebuffers) whenever the
+// buffer drains. A buffer-based rate policy (BBA-style thresholds)
+// picks the next chunk's quality level from a bitrate ladder.
+//
+// The stepper is fully deterministic given (config, chunk sizes): it
+// consumes no randomness of its own. Per slot it is classified into
+// exactly one of {startup, playing, rebuffering, finished}, giving the
+// exact wall-time partition
+//
+//     startup + play + rebuffer + finished == slots,
+//
+// and the bytes it downloads per slot are min(capacity, bytes still
+// needed), so downloads are conserved against the trace slot by slot.
+// Both identities are enforced by randomized property tests and the
+// abr_client_accounting conformance check.
+//
+// In a network scenario (SourceKind::kAbrClient) the per-slot
+// downloaded bytes are the workload injected at the class's ingress:
+// a trace-driven open-loop source whose burst structure comes from the
+// client dynamics instead of directly from a marginal/ACF model. Chunk
+// sizes are synthesized from the class's unified VBR model (one
+// foreground frame per slot of content, summed per chunk), so the
+// video being streamed is itself a paper-model VBR title.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dist/random.h"
+
+namespace ssvbr::net {
+
+/// Client parameters. Sizes are in the same work units as the
+/// bandwidth trace (bytes, cells, ... — the simulator is unit-agnostic).
+struct AbrClientConfig {
+  /// Download capacity per slot; cycled when shorter than the run.
+  std::vector<double> bandwidth_trace;
+  /// Slots of playback content per chunk (>= 1).
+  std::size_t chunk_slots = 16;
+  /// Quality ladder: multipliers on the nominal chunk size, ascending,
+  /// all positive. The policy picks an index into this ladder.
+  std::vector<double> bitrate_ladder{0.5, 1.0, 2.0};
+  /// Playback starts once this many chunks are buffered (>= 1).
+  std::size_t startup_chunks = 2;
+  /// Stop downloading while the buffer holds more than this many slots.
+  double max_buffer_slots = 64.0;
+  /// Buffer-based rate policy: at/below `low` pick the lowest level, at/
+  /// above `high` the highest, linear interpolation in between
+  /// (0 <= low <= high <= max_buffer_slots).
+  double low_buffer_slots = 8.0;
+  double high_buffer_slots = 32.0;
+};
+
+/// Whole-run accounting of one client. The slot classes partition wall
+/// time exactly: startup + play + rebuffer + finished == slots stepped.
+struct AbrClientStats {
+  double downloaded = 0.0;        ///< work units fetched, whole run
+  std::size_t startup_slots = 0;  ///< before playback first started
+  std::size_t play_slots = 0;     ///< buffer consumed normally
+  std::size_t rebuffer_slots = 0; ///< stalled after startup
+  std::size_t finished_slots = 0; ///< all buffered content played out
+  std::size_t chunks_completed = 0;
+  std::size_t quality_sum = 0;    ///< sum of ladder indices over chunks
+  double buffer_end = 0.0;        ///< slots of content left at the end
+};
+
+/// Deterministic per-slot stepper. Borrows its config (which must
+/// outlive it) and holds only scalar state, so constructing one per
+/// replication is validation plus zero heap allocations.
+class AbrClient {
+ public:
+  explicit AbrClient(const AbrClientConfig& config);
+
+  const AbrClientConfig& config() const noexcept { return *config_; }
+
+  /// Start a run over a playlist of nominal chunk sizes (borrowed; must
+  /// outlive the run). Resets all state and stats.
+  void begin(std::span<const double> chunk_sizes);
+
+  /// Advance one slot against `capacity` download bandwidth; returns
+  /// the work actually downloaded this slot (<= capacity).
+  double step(double capacity);
+
+  /// Slots of buffered content right now (never negative).
+  double buffer_slots() const noexcept { return buffer_; }
+  const AbrClientStats& stats() const noexcept { return stats_; }
+
+  /// Run the whole playlist against the configured bandwidth trace for
+  /// `slots` steps, optionally recording per-slot downloads.
+  /// Equivalent to begin() + slots x step(trace[t % trace size]).
+  void run(std::span<const double> chunk_sizes, std::size_t slots,
+           std::span<double> downloads_out = {});
+
+  /// Ladder index the policy picks at a given buffer level (exposed for
+  /// tests).
+  std::size_t pick_level(double buffer_slots) const noexcept;
+
+ private:
+  const AbrClientConfig* config_;
+  std::span<const double> chunks_;
+  AbrClientStats stats_;
+  double buffer_ = 0.0;          // slots of content buffered
+  double chunk_remaining_ = 0.0; // work left in the in-flight chunk
+  std::size_t next_chunk_ = 0;   // playlist index of the next fetch
+  bool fetching_ = false;
+  bool started_ = false;
+  double played_ = 0.0;          // slots of content consumed
+  double content_total_ = 0.0;   // slots of content in the playlist
+};
+
+}  // namespace ssvbr::net

@@ -6,17 +6,28 @@
 #include "atm/cell.h"
 #include "common/error.h"
 #include "obs/instrument.h"
+#include "stats/descriptive.h"
 
 namespace ssvbr::net {
 
 PopulationSampler::PopulationSampler(SourceClassConfig config, std::size_t frames)
     : config_(std::move(config)), frames_(frames) {
-  SSVBR_REQUIRE(config_.model != nullptr, "source class needs a model");
   SSVBR_REQUIRE(config_.population >= 1, "source class population must be >= 1");
   SSVBR_REQUIRE(config_.slots_per_frame >= 1, "slots per frame must be >= 1");
   SSVBR_REQUIRE(config_.segment_to_cells || config_.slots_per_frame == 1,
                 "slots_per_frame > 1 requires cell segmentation");
   SSVBR_REQUIRE(frames_ >= 1, "replication needs at least one frame");
+  if (config_.kind != SourceKind::kVbrModel) {
+    // Mirrors net::validate's kSourceKindIncompatible checks for callers
+    // that construct samplers directly: the non-default kinds are
+    // frame-per-slot whole-path sources.
+    SSVBR_REQUIRE(config_.slots_per_frame == 1,
+                  "only kVbrModel classes support multi-slot frame intervals");
+    SSVBR_REQUIRE(!config_.segment_to_cells,
+                  "only kVbrModel classes support cell segmentation");
+    SSVBR_REQUIRE(!config_.streaming,
+                  "only kVbrModel classes support block streaming");
+  }
   if (config_.streaming) {
     // Mirrors net::validate's kStreamingIncompatible checks for callers
     // that construct samplers directly.
@@ -27,12 +38,42 @@ PopulationSampler::PopulationSampler(SourceClassConfig config, std::size_t frame
     SSVBR_REQUIRE(config_.streaming_block >= 1,
                   "streaming block must hold at least one slot");
   }
-  sampler_ = std::make_shared<const core::BackgroundPathSampler>(
-      *config_.model, frames_, config_.generator);
+  switch (config_.kind) {
+    case SourceKind::kVbrModel:
+      SSVBR_REQUIRE(config_.model != nullptr, "source class needs a model");
+      break;
+    case SourceKind::kActivityModulated:
+      SSVBR_REQUIRE(config_.model != nullptr, "source class needs a model");
+      // The ActivityModulatedModel constructor validates the gate.
+      activity_ = std::make_shared<const core::ActivityModulatedModel>(
+          config_.model, config_.activity);
+      break;
+    case SourceKind::kMarkovLrd:
+      // The MarkovLrdProcess constructor validates hurst and the rates.
+      markov_.emplace(config_.markov_hurst, config_.markov_on_rate,
+                      config_.markov_off_rate);
+      break;
+    case SourceKind::kAbrClient: {
+      SSVBR_REQUIRE(config_.model != nullptr, "source class needs a model");
+      SSVBR_REQUIRE(config_.population == 1,
+                    "an ABR client class models one client (population == 1)");
+      // The AbrClient constructor validates trace/ladder/buffer config.
+      [[maybe_unused]] const AbrClient probe(config_.abr_client);
+      SSVBR_REQUIRE(frames_ % config_.abr_client.chunk_slots == 0,
+                    "slots must be a whole number of ABR chunks");
+      break;
+    }
+  }
+  if (config_.kind != SourceKind::kMarkovLrd) {
+    sampler_ = std::make_shared<const core::BackgroundPathSampler>(
+        *config_.model, frames_, config_.generator);
+  }
 }
 
 PopulationSampler::Stream PopulationSampler::begin_stream(
     RandomEngine& rng, core::BackgroundWorkspace& ws) const {
+  SSVBR_REQUIRE(config_.kind == SourceKind::kVbrModel,
+                "only kVbrModel classes support block streaming");
   SSVBR_REQUIRE(!config_.segment_to_cells,
                 "segmented classes cannot stream (cell pacing couples a whole "
                 "frame interval)");
@@ -48,19 +89,29 @@ std::size_t PopulationSampler::Stream::next_block(std::span<double> out) {
   // the sqrt(N) superposition rescale. Both are elementwise, so per-
   // block application reproduces the whole-path values exactly.
   cfg.model->transform().apply(block, block);
-  if (cfg.population > 1) {
-    const double pop = static_cast<double>(cfg.population);
-    const double m = cfg.model->mean();
-    const double root_n = std::sqrt(pop);
-    for (double& y : block) {
-      y = std::max(pop * m + root_n * (y - m), 0.0);
-    }
-  }
+  sampler_->rescale_population(block, cfg.model->mean());
   return n;
 }
 
 double PopulationSampler::mean_rate() const {
   const double n = static_cast<double>(config_.population);
+  switch (config_.kind) {
+    case SourceKind::kActivityModulated:
+      return n * activity_->mean();
+    case SourceKind::kMarkovLrd:
+      return n * markov_->mean();
+    case SourceKind::kAbrClient: {
+      // Long-run download rate: capped by the trace's mean capacity and
+      // by the content consumption rate at the top quality (an upper-
+      // bound approximation — good enough for utilization bookkeeping).
+      const double capacity = stats::mean(config_.abr_client.bandwidth_trace);
+      const double content =
+          config_.model->mean() * config_.abr_client.bitrate_ladder.back();
+      return std::min(capacity, content);
+    }
+    case SourceKind::kVbrModel:
+      break;
+  }
   if (!config_.segment_to_cells) return n * config_.model->mean();
   const auto mean_bytes =
       static_cast<std::size_t>(std::llround(n * config_.model->mean()));
@@ -68,26 +119,46 @@ double PopulationSampler::mean_rate() const {
          static_cast<double>(config_.slots_per_frame);
 }
 
+void PopulationSampler::rescale_population(std::span<double> values,
+                                           double source_mean) const {
+  if (config_.population <= 1) return;
+  const double n = static_cast<double>(config_.population);
+  const double root_n = std::sqrt(n);
+  for (double& y : values) {
+    y = std::max(n * source_mean + root_n * (y - source_mean), 0.0);
+  }
+}
+
 void PopulationSampler::sample(RandomEngine& rng, std::span<double> frame_scratch,
                                std::span<std::size_t> cell_scratch,
                                std::span<double> out) const {
   // Convenience form: per-thread cached generator scratch. Bit-identical
   // to the explicit-workspace overload below.
-  sample_impl(rng, frame_scratch, cell_scratch, out, nullptr);
+  sample_impl(rng, frame_scratch, cell_scratch, out, nullptr, nullptr);
 }
 
 void PopulationSampler::sample(RandomEngine& rng, std::span<double> frame_scratch,
                                std::span<std::size_t> cell_scratch,
                                std::span<double> out,
                                core::BackgroundWorkspace& ws) const {
-  sample_impl(rng, frame_scratch, cell_scratch, out, &ws);
+  sample_impl(rng, frame_scratch, cell_scratch, out, &ws, nullptr);
+}
+
+void PopulationSampler::sample(RandomEngine& rng, std::span<double> frame_scratch,
+                               std::span<std::size_t> cell_scratch,
+                               std::span<double> out,
+                               core::BackgroundWorkspace& ws,
+                               AbrClientStats& client_stats) const {
+  client_stats = AbrClientStats{};
+  sample_impl(rng, frame_scratch, cell_scratch, out, &ws, &client_stats);
 }
 
 void PopulationSampler::sample_impl(RandomEngine& rng,
                                     std::span<double> frame_scratch,
                                     std::span<std::size_t> cell_scratch,
                                     std::span<double> out,
-                                    core::BackgroundWorkspace* ws) const {
+                                    core::BackgroundWorkspace* ws,
+                                    AbrClientStats* client_stats) const {
   SSVBR_SPAN("net.population.sample");
   SSVBR_REQUIRE(frame_scratch.size() == frames_,
                 "frame scratch has the wrong size");
@@ -95,6 +166,16 @@ void PopulationSampler::sample_impl(RandomEngine& rng,
   SSVBR_COUNTER_ADD("net.population.draws", 1);
   SSVBR_COUNTER_ADD("net.population.frames", frames_);
   SSVBR_COUNTER_ADD("net.population.sources", config_.population);
+
+  if (config_.kind == SourceKind::kMarkovLrd) {
+    // Countdown chain straight into the slot path: no background draw,
+    // no transform. The sqrt(N) rescale applies to any stationary
+    // per-source process, so populations batch exactly as for kVbrModel.
+    markov_->sample_into(out, rng);
+    rescale_population(out, markov_->mean());
+    return;
+  }
+
   // Same draw order as ModelArrivalProcess::begin_replication: one
   // background path, then the marginal transform in place.
   if (ws != nullptr) {
@@ -103,14 +184,39 @@ void PopulationSampler::sample_impl(RandomEngine& rng,
     sampler_->sample(rng, frame_scratch);
   }
   config_.model->transform().apply(frame_scratch, frame_scratch);
-  if (config_.population > 1) {
-    const double n = static_cast<double>(config_.population);
-    const double m = config_.model->mean();
-    const double root_n = std::sqrt(n);
-    for (double& y : frame_scratch) {
-      y = std::max(n * m + root_n * (y - m), 0.0);
-    }
+
+  if (config_.kind == SourceKind::kActivityModulated) {
+    // Gate the transformed path (one uniform per frame), then batch the
+    // population around the modulated mean.
+    activity_->modulate_in_place(frame_scratch, rng);
+    rescale_population(frame_scratch, activity_->mean());
+    for (std::size_t t = 0; t < frames_; ++t) out[t] = frame_scratch[t];
+    return;
   }
+
+  if (config_.kind == SourceKind::kAbrClient) {
+    // The transformed path is the per-slot frame size of the title being
+    // streamed; fold it into nominal chunk sizes in place (chunk c =
+    // sum of its chunk_slots frames), then replay the client against
+    // the bandwidth trace. The injected workload is what the client
+    // actually downloads each slot.
+    const std::size_t chunk_slots = config_.abr_client.chunk_slots;
+    const std::size_t n_chunks = frames_ / chunk_slots;
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      double size = 0.0;
+      for (std::size_t j = 0; j < chunk_slots; ++j) {
+        size += frame_scratch[c * chunk_slots + j];
+      }
+      frame_scratch[c] = size;
+    }
+    AbrClient client(config_.abr_client);
+    client.run(std::span<const double>(frame_scratch.data(), n_chunks),
+               slots(), out);
+    if (client_stats != nullptr) *client_stats = client.stats();
+    return;
+  }
+
+  rescale_population(frame_scratch, config_.model->mean());
   if (!config_.segment_to_cells) {
     // slots_per_frame == 1 here (enforced at construction): the frame
     // aggregate is the slot workload, untouched.

@@ -28,19 +28,56 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <span>
 
 #include "atm/segmentation.h"
+#include "baselines/markov_lrd.h"
+#include "core/activity_model.h"
 #include "core/background_sampler.h"
 #include "core/unified_model.h"
 #include "dist/random.h"
+#include "net/abr_client.h"
 
 namespace ssvbr::net {
 
+/// What kind of traffic a source class generates (the workload-
+/// diversity tier; ROADMAP "Workload diversity").
+enum class SourceKind {
+  /// Unified-model VBR population (the default; the paper's source).
+  kVbrModel,
+  /// Busy/idle-gated VBR population for conferencing-style traffic
+  /// (core::ActivityModulatedModel over the class's unified model).
+  kActivityModulated,
+  /// Markov-chain on/off LRD baseline (baselines::MarkovLrdProcess);
+  /// needs no unified model.
+  kMarkovLrd,
+  /// One chunked ABR streaming client over a bandwidth trace
+  /// (net::AbrClient); its per-slot downloads are the injected
+  /// workload, its chunk sizes are synthesized from the class model.
+  kAbrClient,
+};
+
 /// One homogeneous population of VBR sources feeding one ingress node.
 struct SourceClassConfig {
-  /// Fitted unified model of a single source. Required.
+  /// Traffic generator for this class. The non-default kinds are
+  /// frame-per-slot sources: they require slots_per_frame == 1, no cell
+  /// segmentation, and no block streaming (net::validate rejects the
+  /// combinations with ErrorCode::kSourceKindIncompatible).
+  SourceKind kind = SourceKind::kVbrModel;
+  /// Fitted unified model of a single source. Required for every kind
+  /// except kMarkovLrd (which ignores it).
   std::shared_ptr<const core::UnifiedVbrModel> model;
+  /// Busy/idle gate parameters (kActivityModulated only).
+  core::ActivityConfig activity;
+  /// Markov-chain parameters (kMarkovLrd only): target Hurst parameter
+  /// in (1/2, 1) and the two-point on/off emission rates.
+  double markov_hurst = 0.8;
+  double markov_on_rate = 1.0;
+  double markov_off_rate = 0.0;
+  /// Client parameters (kAbrClient only; population must be 1 — client
+  /// dynamics are nonlinear and do not superpose).
+  AbrClientConfig abr_client;
   /// Number of superposed homogeneous sources (>= 1).
   std::size_t population = 1;
   /// Ingress node index in the scenario's topology.
@@ -105,6 +142,7 @@ class PopulationSampler {
   PopulationSampler(SourceClassConfig config, std::size_t frames);
 
   std::size_t frames() const noexcept { return frames_; }
+  SourceKind kind() const noexcept { return config_.kind; }
   /// Queue slots per replication (frames * slots_per_frame).
   std::size_t slots() const noexcept {
     return frames_ * config_.slots_per_frame;
@@ -140,6 +178,13 @@ class PopulationSampler {
               std::span<std::size_t> cell_scratch, std::span<double> out,
               core::BackgroundWorkspace& ws) const;
 
+  /// kAbrClient form: additionally reports the client's whole-run
+  /// accounting (rebuffering, wall-time partition, quality choices).
+  /// For other kinds `client_stats` is zeroed.
+  void sample(RandomEngine& rng, std::span<double> frame_scratch,
+              std::span<std::size_t> cell_scratch, std::span<double> out,
+              core::BackgroundWorkspace& ws, AbrClientStats& client_stats) const;
+
   /// Open a block-streaming session over one replication's aggregate
   /// (unsegmented classes only). Consumes `rng` exactly like one
   /// sample() call once the stream is drained; for a fixed engine
@@ -152,11 +197,19 @@ class PopulationSampler {
   friend class Stream;
   void sample_impl(RandomEngine& rng, std::span<double> frame_scratch,
                    std::span<std::size_t> cell_scratch, std::span<double> out,
-                   core::BackgroundWorkspace* ws) const;
+                   core::BackgroundWorkspace* ws,
+                   AbrClientStats* client_stats) const;
+  /// The sqrt(N) superposition rescale around a per-source mean.
+  void rescale_population(std::span<double> values, double source_mean) const;
 
   SourceClassConfig config_;
   std::size_t frames_;
+  /// Null for kMarkovLrd (the chain needs no Gaussian background).
   std::shared_ptr<const core::BackgroundPathSampler> sampler_;
+  /// Present for kActivityModulated.
+  std::shared_ptr<const core::ActivityModulatedModel> activity_;
+  /// Present for kMarkovLrd.
+  std::optional<baselines::MarkovLrdProcess> markov_;
 };
 
 }  // namespace ssvbr::net

@@ -148,8 +148,6 @@ static_assert(engine::MergeableAccumulator<TopologyAccumulator>);
 
 // -------------------------------------------------------- Validation
 
-namespace {
-
 /// Everything that shapes a campaign's numbers, pinned into the
 /// snapshot fingerprint. Model objects cannot be hashed structurally;
 /// their cheaply observable moments stand in for them (a mistake
@@ -168,7 +166,8 @@ std::uint64_t config_hash_of(const TopologyRunRequest& request) {
   }
   h.u64(sc.classes.size());
   for (const SourceClassConfig& c : sc.classes) {
-    h.u64(c.population)
+    h.u64(static_cast<std::uint64_t>(c.kind))
+        .u64(c.population)
         .u64(c.ingress)
         .u64(static_cast<std::uint64_t>(c.generator))
         .u64(c.slots_per_frame)
@@ -178,6 +177,31 @@ std::uint64_t config_hash_of(const TopologyRunRequest& request) {
         .u64(c.streaming ? c.streaming_block : 0)
         .f64(c.model != nullptr ? c.model->mean() : 0.0)
         .f64(c.model != nullptr ? c.model->variance() : 0.0);
+    switch (c.kind) {
+      case SourceKind::kVbrModel:
+        break;
+      case SourceKind::kActivityModulated:
+        h.f64(c.activity.busy_mean_frames)
+            .f64(c.activity.idle_mean_frames)
+            .f64(c.activity.idle_rate);
+        break;
+      case SourceKind::kMarkovLrd:
+        h.f64(c.markov_hurst).f64(c.markov_on_rate).f64(c.markov_off_rate);
+        break;
+      case SourceKind::kAbrClient: {
+        const AbrClientConfig& a = c.abr_client;
+        h.u64(a.chunk_slots)
+            .u64(a.startup_chunks)
+            .f64(a.max_buffer_slots)
+            .f64(a.low_buffer_slots)
+            .f64(a.high_buffer_slots);
+        h.u64(a.bitrate_ladder.size());
+        for (const double level : a.bitrate_ladder) h.f64(level);
+        h.u64(a.bandwidth_trace.size());
+        for (const double cap : a.bandwidth_trace) h.f64(cap);
+        break;
+      }
+    }
   }
   const AbrFlowConfig& abr = sc.abr;
   h.u64(abr.enabled ? 1 : 0);
@@ -193,12 +217,18 @@ std::uint64_t config_hash_of(const TopologyRunRequest& request) {
   return h.digest();
 }
 
+namespace {
+
 Error invalid(const char* what, const char* field) {
   return Error{ErrorCode::kInvalidArgument, what, field};
 }
 
 Error streaming_incompatible(const char* what, const char* field) {
   return Error{ErrorCode::kStreamingIncompatible, what, field};
+}
+
+Error kind_incompatible(const char* what, const char* field) {
+  return Error{ErrorCode::kSourceKindIncompatible, what, field};
 }
 
 }  // namespace
@@ -234,7 +264,7 @@ std::optional<Error> validate(const TopologyRunRequest& request) {
                    "TopologyRunRequest.scenario.classes");
   }
   for (const SourceClassConfig& c : sc.classes) {
-    if (c.model == nullptr) {
+    if (c.model == nullptr && c.kind != SourceKind::kMarkovLrd) {
       return invalid("source class needs a model",
                      "TopologyRunRequest.scenario.classes[].model");
     }
@@ -253,6 +283,105 @@ std::optional<Error> validate(const TopologyRunRequest& request) {
     if (!c.segment_to_cells && c.slots_per_frame != 1) {
       return invalid("slots_per_frame > 1 requires cell segmentation",
                      "TopologyRunRequest.scenario.classes[].segment_to_cells");
+    }
+    if (c.kind != SourceKind::kVbrModel) {
+      // Same spirit as kStreamingIncompatible: a well-formed campaign
+      // asking for a feature combination the class kind cannot serve,
+      // reported with its own code so callers can downgrade the config
+      // programmatically.
+      if (c.slots_per_frame != 1) {
+        return kind_incompatible(
+            "only kVbrModel classes support multi-slot frame intervals",
+            "TopologyRunRequest.scenario.classes[].slots_per_frame");
+      }
+      if (c.segment_to_cells) {
+        return kind_incompatible(
+            "only kVbrModel classes support cell segmentation",
+            "TopologyRunRequest.scenario.classes[].segment_to_cells");
+      }
+      if (c.streaming) {
+        return kind_incompatible(
+            "only kVbrModel classes support block streaming",
+            "TopologyRunRequest.scenario.classes[].streaming");
+      }
+    }
+    switch (c.kind) {
+      case SourceKind::kVbrModel:
+        break;
+      case SourceKind::kActivityModulated:
+        if (!(c.activity.busy_mean_frames >= 1.0) ||
+            !(c.activity.idle_mean_frames >= 1.0)) {
+          return invalid("activity busy/idle means must be at least one frame",
+                         "TopologyRunRequest.scenario.classes[].activity");
+        }
+        if (!(c.activity.idle_rate >= 0.0)) {
+          return invalid("activity idle rate must be non-negative",
+                         "TopologyRunRequest.scenario.classes[].activity.idle_rate");
+        }
+        break;
+      case SourceKind::kMarkovLrd:
+        if (!(c.markov_hurst > 0.5) || !(c.markov_hurst < 1.0)) {
+          return invalid("Markov LRD chain needs hurst in (0.5, 1)",
+                         "TopologyRunRequest.scenario.classes[].markov_hurst");
+        }
+        if (!(c.markov_off_rate >= 0.0) ||
+            !(c.markov_on_rate > c.markov_off_rate)) {
+          return invalid("Markov LRD chain needs on_rate > off_rate >= 0",
+                         "TopologyRunRequest.scenario.classes[].markov_on_rate");
+        }
+        break;
+      case SourceKind::kAbrClient: {
+        if (c.population != 1) {
+          return kind_incompatible(
+              "an ABR client class models one client (population == 1); "
+              "client dynamics are nonlinear and do not superpose",
+              "TopologyRunRequest.scenario.classes[].population");
+        }
+        const AbrClientConfig& a = c.abr_client;
+        if (a.bandwidth_trace.empty()) {
+          return invalid("ABR client needs a bandwidth trace",
+                         "TopologyRunRequest.scenario.classes[].abr_client.bandwidth_trace");
+        }
+        double trace_total = 0.0;
+        for (const double cap : a.bandwidth_trace) {
+          if (!(cap >= 0.0)) {
+            return invalid("bandwidth trace entries must be non-negative",
+                           "TopologyRunRequest.scenario.classes[].abr_client.bandwidth_trace");
+          }
+          trace_total += cap;
+        }
+        if (!(trace_total > 0.0)) {
+          return invalid("bandwidth trace must carry some capacity",
+                         "TopologyRunRequest.scenario.classes[].abr_client.bandwidth_trace");
+        }
+        if (a.chunk_slots < 1 || sc.slots % a.chunk_slots != 0) {
+          return invalid("slots must be a whole number of ABR chunks",
+                         "TopologyRunRequest.scenario.classes[].abr_client.chunk_slots");
+        }
+        if (a.bitrate_ladder.empty()) {
+          return invalid("ABR client needs a bitrate ladder",
+                         "TopologyRunRequest.scenario.classes[].abr_client.bitrate_ladder");
+        }
+        double prev = 0.0;
+        for (const double level : a.bitrate_ladder) {
+          if (!(level > prev)) {
+            return invalid("bitrate ladder must be positive and ascending",
+                           "TopologyRunRequest.scenario.classes[].abr_client.bitrate_ladder");
+          }
+          prev = level;
+        }
+        if (a.startup_chunks < 1) {
+          return invalid("startup threshold must be at least one chunk",
+                         "TopologyRunRequest.scenario.classes[].abr_client.startup_chunks");
+        }
+        if (!(a.low_buffer_slots >= 0.0) ||
+            !(a.high_buffer_slots >= a.low_buffer_slots) ||
+            !(a.max_buffer_slots >= a.high_buffer_slots)) {
+          return invalid("ABR client needs 0 <= low <= high <= max buffer",
+                         "TopologyRunRequest.scenario.classes[].abr_client.max_buffer_slots");
+        }
+        break;
+      }
     }
     if (c.streaming) {
       // Distinct code: these requests are well-formed campaigns that

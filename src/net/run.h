@@ -136,6 +136,13 @@ struct TopologyRunResult {
 /// problem found, or nullopt if the request is runnable.
 std::optional<Error> validate(const TopologyRunRequest& request);
 
+/// Campaign fingerprint over everything that shapes the numbers —
+/// topology, per-class config (including the per-kind generator
+/// parameters), and the ABR flow. Model objects are represented by
+/// their observable moments: a mistake detector for checkpoint resume,
+/// not a cryptographic identity.
+std::uint64_t config_hash_of(const TopologyRunRequest& request);
+
 /// Run a campaign with a private engine and RNG seeded from the request.
 TopologyRunResult run_topology(const TopologyRunRequest& request);
 

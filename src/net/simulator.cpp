@@ -101,6 +101,7 @@ const ScenarioStats& ScenarioKernel::run_one(RandomEngine& rng) {
   stats_.abr_sent = 0.0;
   stats_.abr_rate_sum = 0.0;
   stats_.abr_congested_slots = 0;
+  stats_.clients = AbrClientStats{};
   double abr_min = std::numeric_limits<double>::infinity();
   double abr_max = -std::numeric_limits<double>::infinity();
 
@@ -124,6 +125,21 @@ const ScenarioStats& ScenarioKernel::run_one(RandomEngine& rng) {
       const std::span<std::size_t> cells =
           s.segmented() ? std::span<std::size_t>(cell_scratch_.data(), s.slots())
                         : std::span<std::size_t>();
+      if (s.kind() == SourceKind::kAbrClient) {
+        // Client classes report their whole-run accounting alongside
+        // the injected per-slot downloads.
+        s.sample(rng, frames, cells, class_paths_[c], generator_scratch_,
+                 client_scratch_);
+        stats_.clients.downloaded += client_scratch_.downloaded;
+        stats_.clients.startup_slots += client_scratch_.startup_slots;
+        stats_.clients.play_slots += client_scratch_.play_slots;
+        stats_.clients.rebuffer_slots += client_scratch_.rebuffer_slots;
+        stats_.clients.finished_slots += client_scratch_.finished_slots;
+        stats_.clients.chunks_completed += client_scratch_.chunks_completed;
+        stats_.clients.quality_sum += client_scratch_.quality_sum;
+        stats_.clients.buffer_end += client_scratch_.buffer_end;
+        continue;
+      }
       s.sample(rng, frames, cells, class_paths_[c], generator_scratch_);
     }
   }

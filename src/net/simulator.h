@@ -95,6 +95,11 @@ struct ScenarioStats {
   double abr_min_rate = 0.0;   ///< post-warmup min rate
   double abr_max_rate = 0.0;   ///< post-warmup max rate
   std::size_t abr_congested_slots = 0;  ///< post-warmup congested slots
+  /// ABR streaming clients (SourceKind::kAbrClient), summed across the
+  /// scenario's client classes; all zero when there are none. The slot
+  /// counters partition each client's wall time exactly, so
+  /// startup + play + rebuffer + finished == slots * n_client_classes.
+  AbrClientStats clients;
 };
 
 /// Validated, immutable scenario shared by all workers: per-class
@@ -165,6 +170,7 @@ class ScenarioKernel {
   std::vector<std::optional<PopulationSampler::Stream>> streams_;
   bool any_streaming_ = false;
   std::vector<double> external_;  ///< per-node external workload, per slot
+  AbrClientStats client_scratch_;  ///< per-class client accounting
   ScenarioStats stats_;
 };
 

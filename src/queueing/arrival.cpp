@@ -47,6 +47,38 @@ double ModelArrivalProcess::next() {
 
 double ModelArrivalProcess::mean_rate() const { return model_->mean(); }
 
+// -------------------------------------------------------------- Activity
+
+ActivityArrivalProcess::ActivityArrivalProcess(
+    std::shared_ptr<const core::ActivityModulatedModel> model,
+    core::BackgroundGenerator generator)
+    : model_(std::move(model)), generator_(generator) {
+  SSVBR_REQUIRE(model_ != nullptr, "activity arrival model must not be null");
+}
+
+void ActivityArrivalProcess::begin_replication(RandomEngine& rng,
+                                               std::size_t horizon) {
+  SSVBR_REQUIRE(horizon >= 1, "replication horizon must be positive");
+  if (!sampler_ || sampler_->horizon() != horizon) {
+    sampler_ = std::make_shared<const core::BackgroundPathSampler>(
+        model_->inner(), horizon, generator_);
+  }
+  path_.resize(horizon);
+  // Same draw order as the net layer's kActivityModulated classes:
+  // background path, marginal transform, then the gate's uniforms.
+  sampler_->sample(rng, path_, workspace_);
+  model_->inner().transform().apply(path_, path_);
+  model_->modulate_in_place(path_, rng);
+  pos_ = 0;
+}
+
+double ActivityArrivalProcess::next() {
+  SSVBR_REQUIRE(pos_ < path_.size(), "arrival process exhausted its horizon");
+  return path_[pos_++];
+}
+
+double ActivityArrivalProcess::mean_rate() const { return model_->mean(); }
+
 // ----------------------------------------------------------------- Trace
 
 TraceArrivalProcess::TraceArrivalProcess(std::span<const double> series,

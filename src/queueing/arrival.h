@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "core/activity_model.h"
 #include "core/background_sampler.h"
 #include "core/unified_model.h"
 #include "dist/random.h"
@@ -73,6 +74,31 @@ class ModelArrivalProcess final : public ArrivalProcess {
   // Owned scratch: each engine worker constructs its own arrival
   // process, so path generation never shares mutable state (or cache
   // lines) across workers and never consults thread_local caches.
+  core::BackgroundWorkspace workspace_;
+  std::vector<double> path_;
+  std::size_t pos_ = 0;
+};
+
+/// Arrivals from a busy/idle activity-modulated VBR source
+/// (core::ActivityModulatedModel): each replication draws an
+/// independent background path, transforms it, then applies the
+/// two-state gate — the conferencing-style workload of the
+/// workload-diversity tier. Same setup-once/steady-state-allocation-
+/// free contract as ModelArrivalProcess.
+class ActivityArrivalProcess final : public ArrivalProcess {
+ public:
+  ActivityArrivalProcess(std::shared_ptr<const core::ActivityModulatedModel> model,
+                         core::BackgroundGenerator generator =
+                             core::BackgroundGenerator::kHosking);
+
+  void begin_replication(RandomEngine& rng, std::size_t horizon) override;
+  double next() override;
+  double mean_rate() const override;
+
+ private:
+  std::shared_ptr<const core::ActivityModulatedModel> model_;
+  core::BackgroundGenerator generator_;
+  std::shared_ptr<const core::BackgroundPathSampler> sampler_;
   core::BackgroundWorkspace workspace_;
   std::vector<double> path_;
   std::size_t pos_ = 0;

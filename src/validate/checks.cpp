@@ -11,7 +11,12 @@
 
 #include "atm/cell.h"
 #include "atm/segmentation.h"
+#include "baselines/dar.h"
+#include "baselines/markov_lrd.h"
+#include "baselines/mmpp.h"
+#include "baselines/tes.h"
 #include "common/error.h"
+#include "core/activity_model.h"
 #include "common/json.h"
 #include "core/background_sampler.h"
 #include "core/gop_model.h"
@@ -751,6 +756,281 @@ void topology_conservation_body(const CheckContext& context, RandomEngine& rng,
                       static_cast<double>(nodes_checked));
 }
 
+void markov_lrd_hurst_body(const CheckContext& context, RandomEngine& rng,
+                           CheckResult& result) {
+  // The Clegg-Dodson chain (cs/0610134) claims H = (3 - alpha) / 2 from
+  // heavy-tailed on/off runs. Convergence to the asymptotic Hurst is
+  // much slower than for exact Gaussian synthesis (the run-length tail
+  // only expresses itself over many renewals), so the tolerance is
+  // wider than the Paxson check's; the same three estimators are
+  // averaged over independent paths.
+  const double hurst = 0.8;
+  const baselines::MarkovLrdProcess chain(hurst);
+  const std::size_t n = scaled(context.scale, std::size_t{1} << 16, 4096);
+  constexpr std::size_t kPaths = 4;
+  double h_rs = 0.0, h_pg = 0.0, h_mv = 0.0;
+  std::vector<double> path(n);
+  for (std::size_t p = 0; p < kPaths; ++p) {
+    chain.sample_into(path, rng);
+    h_rs += fractal::rs_analysis(path).hurst / kPaths;
+    h_pg += fractal::periodogram_hurst(path).hurst / kPaths;
+    h_mv += fractal::mavar_analysis(path).hurst / kPaths;
+  }
+  result.statistic = std::max({std::fabs(h_rs - hurst), std::fabs(h_pg - hurst),
+                               std::fabs(h_mv - hurst)});
+  result.threshold = 0.15;
+  result.detail = fmt("mean H over 4 Markov-chain paths (target 0.8): "
+                      "R/S %.4g, periodogram %.4g, MAVAR %.4g",
+                      h_rs, h_pg, h_mv);
+}
+
+void activity_marginal_acf_body(const CheckContext& context, RandomEngine& rng,
+                                CheckResult& result) {
+  // Gaussian inner marginal makes every closed form exact (attenuation
+  // of a linear transform is 1), so the three components compare the
+  // generated path against the model's own busy fraction, busy-slot
+  // marginal, and modulated ACF. All samples are dependent, so each
+  // component is a tolerance ratio (sized ~4 sigma for its effective
+  // sample size), not a KS p-value.
+  const auto inner = std::make_shared<const core::UnifiedVbrModel>(
+      std::make_shared<fractal::ExponentialAutocorrelation>(0.2),
+      core::MarginalTransform(std::make_shared<NormalDistribution>(4.0, 1.0)));
+  core::ActivityConfig gate;
+  gate.busy_mean_frames = 8.0;
+  gate.idle_mean_frames = 4.0;
+  gate.idle_rate = 0.0;
+  const core::ActivityModulatedModel model(inner, gate);
+
+  const std::size_t n = scaled(context.scale, std::size_t{1} << 16, 4096);
+  const std::vector<double> path = model.generate(n, rng);
+
+  // Component 1: idle fraction. With idle_rate = 0 and a continuous
+  // busy marginal, a slot reads exactly 0.0 iff the gate was idle.
+  std::vector<double> busy_values;
+  busy_values.reserve(n);
+  for (const double v : path) {
+    if (v != 0.0) busy_values.push_back(v);
+  }
+  const double p_busy = model.busy_fraction();
+  const double busy_frac =
+      static_cast<double>(busy_values.size()) / static_cast<double>(n);
+  const double e_frac = std::fabs(busy_frac - p_busy);
+
+  // Component 2: busy-slot marginal is the inner foreground marginal.
+  const NormalDistribution busy_marginal(4.0, 1.0);
+  const double ks = ks_distance(busy_values, busy_marginal);
+
+  // Component 3: the modulated ACF against the closed form
+  // cov(k) = (p^2 + p(1-p) rho_s^k)(VarY r(k) + d^2) - p^2 d^2.
+  const std::vector<double> acf = stats::autocorrelation_fft(path, 20);
+  double e_acf = 0.0;
+  for (std::size_t k = 1; k <= 20; ++k) {
+    const double predicted =
+        model.predicted_autocorrelation(static_cast<double>(k));
+    e_acf = std::max(e_acf, std::fabs(acf[k] - predicted));
+  }
+
+  result.statistic = std::max({e_frac / 0.02, ks / 0.04, e_acf / 0.04});
+  result.threshold = 1.0;
+  result.detail = fmt("component/tol ratios: busy fraction %.3g (err %.4g), "
+                      "busy-slot KS %.3g, max ACF err %.4g",
+                      e_frac / 0.02, e_frac, ks / 0.04, e_acf);
+}
+
+void abr_client_accounting_body(const CheckContext& context, RandomEngine& rng,
+                                CheckResult& result) {
+  (void)context;  // exact check: the sweep size is not statistical
+  std::size_t violations = 0;
+  std::size_t slots_checked = 0;
+
+  // Randomized direct sweep: the client's documented identities must
+  // hold exactly for any trace/playlist, including zero-capacity slots
+  // (forced rebuffering) and playlists shorter than the startup window.
+  constexpr std::size_t kChunkChoices[] = {2, 4, 8};
+  for (std::size_t iter = 0; iter < 16; ++iter) {
+    net::AbrClientConfig cfg;
+    cfg.chunk_slots = kChunkChoices[iter % 3];
+    cfg.bitrate_ladder = {0.5, 1.0, 2.0};
+    cfg.startup_chunks = 1 + iter % 3;
+    cfg.low_buffer_slots = 2.0;
+    cfg.high_buffer_slots = 2.0 + rng.uniform() * 12.0;
+    cfg.max_buffer_slots = cfg.high_buffer_slots + rng.uniform() * 16.0;
+    cfg.bandwidth_trace.resize(
+        50 + static_cast<std::size_t>(rng.uniform() * 150.0));
+    for (double& c : cfg.bandwidth_trace) {
+      c = rng.uniform() < 0.1 ? 0.0 : rng.uniform() * 8.0;
+    }
+    const std::size_t n_chunks =
+        1 + static_cast<std::size_t>(rng.uniform() * 40.0);
+    std::vector<double> chunk_sizes(n_chunks);
+    for (double& s : chunk_sizes) s = 1.0 + rng.uniform() * 30.0;
+    const std::size_t slots = std::max<std::size_t>(
+        8, static_cast<std::size_t>(rng.uniform() * 2.0 *
+                                    static_cast<double>(n_chunks) *
+                                    static_cast<double>(cfg.chunk_slots)));
+
+    net::AbrClient client(cfg);
+    client.begin(chunk_sizes);
+    const std::size_t trace_n = cfg.bandwidth_trace.size();
+    double download_sum = 0.0;
+    for (std::size_t t = 0; t < slots; ++t) {
+      const double cap = cfg.bandwidth_trace[t % trace_n];
+      const double d = client.step(cap);
+      // Per-slot conservation against the trace, and the buffer can
+      // never go negative.
+      if (d > cap) ++violations;
+      if (client.buffer_slots() < 0.0) ++violations;
+      download_sum += d;
+      ++slots_checked;
+    }
+    const net::AbrClientStats& s = client.stats();
+    // Wall-time partition and whole-run byte conservation (the same
+    // addition sequence, so the doubles must match bit for bit).
+    if (s.startup_slots + s.play_slots + s.rebuffer_slots +
+            s.finished_slots != slots) {
+      ++violations;
+    }
+    if (s.downloaded != download_sum) ++violations;
+    double max_content = 0.0;
+    for (const double c : chunk_sizes) max_content += c;
+    if (s.downloaded > cfg.bitrate_ladder.back() * max_content) ++violations;
+    if (s.chunks_completed > n_chunks) ++violations;
+  }
+
+  // The same identities must survive the network kernel: a one-client
+  // scenario's injected workload IS the client's downloads.
+  {
+    const auto model = std::make_shared<const core::UnifiedVbrModel>(
+        std::make_shared<fractal::ExponentialAutocorrelation>(0.1),
+        core::MarginalTransform(std::make_shared<GammaDistribution>(2.0, 1.0)));
+    net::ScenarioConfig scenario;
+    scenario.topology = net::make_tandem(2, 6.0, 40.0);
+    net::SourceClassConfig cls;
+    cls.kind = net::SourceKind::kAbrClient;
+    cls.model = model;
+    cls.population = 1;
+    cls.abr_client.bandwidth_trace = {4.0, 6.0, 0.0, 8.0, 2.0, 5.0, 3.0};
+    cls.abr_client.chunk_slots = 8;
+    cls.abr_client.startup_chunks = 2;
+    cls.abr_client.max_buffer_slots = 32.0;
+    cls.abr_client.low_buffer_slots = 4.0;
+    cls.abr_client.high_buffer_slots = 16.0;
+    scenario.classes.push_back(cls);
+    scenario.slots = 512;
+    scenario.warmup = 64;
+    const net::ScenarioContext ctx(scenario);
+    net::ScenarioKernel kernel(ctx);
+    for (std::size_t r = 0; r < 4; ++r) {
+      const net::ScenarioStats& stats = kernel.run_one(rng);
+      const net::AbrClientStats& c = stats.clients;
+      if (c.startup_slots + c.play_slots + c.rebuffer_slots +
+              c.finished_slots != scenario.slots) {
+        ++violations;
+      }
+      if (stats.external_arrived != c.downloaded) ++violations;
+      if (c.buffer_end < 0.0) ++violations;
+      slots_checked += scenario.slots;
+    }
+  }
+
+  result.statistic = static_cast<double>(violations);
+  result.detail = fmt("%.0f violations across %.0f client slots",
+                      static_cast<double>(violations),
+                      static_cast<double>(slots_checked));
+}
+
+void dar_marginal_acf_body(const CheckContext& context, RandomEngine& rng,
+                           CheckResult& result) {
+  // DAR(1) matches any marginal exactly and has ACF exactly rho^k; the
+  // sampled path is strongly dependent (runs of repeated values), so
+  // the marginal component is a tolerance on the KS distance sized for
+  // the effective sample size n (1-rho)/(1+rho), not a KS p-value.
+  const double rho = 0.7;
+  const auto marginal = std::make_shared<GammaDistribution>(2.0, 1.0);
+  const baselines::Dar1Process dar(rho, marginal);
+  const std::size_t n = scaled(context.scale, std::size_t{1} << 16, 4096);
+  const std::vector<double> path = dar.sample(n, rng);
+
+  const double ks = ks_distance(path, *marginal);
+  const std::vector<double> acf = stats::autocorrelation_fft(path, 2);
+  const double e1 = std::fabs(acf[1] - rho);
+  const double e2 = std::fabs(acf[2] - rho * rho);
+
+  result.statistic = std::max({ks / 0.035, e1 / 0.02, e2 / 0.03});
+  result.threshold = 1.0;
+  result.detail = fmt("KS %.4g (tol 0.035); |r1 - %.2g| = %.4g; "
+                      "|r2 - rho^2| = %.4g",
+                      ks, rho, e1, e2);
+}
+
+void tes_marginal_acf_body(const CheckContext& context, RandomEngine& rng,
+                           CheckResult& result) {
+  // TES+ with symmetric stitching: the foreground marginal is exact by
+  // construction (inversion of a Uniform(0,1) stitched walk) and the
+  // stitched background ACF has the closed Fourier form of
+  // tes.h - both are checked on sampled paths with dependence-sized
+  // tolerances.
+  const auto marginal = std::make_shared<GammaDistribution>(2.0, 1.0);
+  const baselines::TesProcess tes(0.3, 0.5, marginal, /*plus=*/true);
+  const std::size_t n = scaled(context.scale, std::size_t{1} << 16, 4096);
+
+  const std::vector<double> foreground = tes.sample(n, rng);
+  const double ks = ks_distance(foreground, *marginal);
+
+  std::vector<double> stitched = tes.sample_background(n, rng);
+  for (double& u : stitched) u = tes.stitch(u);
+  const std::vector<double> acf = stats::autocorrelation_fft(stitched, 2);
+  const double e1 = std::fabs(acf[1] - tes.background_autocorrelation(1));
+  const double e2 = std::fabs(acf[2] - tes.background_autocorrelation(2));
+
+  result.statistic = std::max({ks / 0.035, e1 / 0.025, e2 / 0.03});
+  result.threshold = 1.0;
+  result.detail = fmt("KS %.4g (tol 0.035); ACF errors %.4g, %.4g vs the "
+                      "sinc^k closed form r(1) = %.4g",
+                      ks, e1, e2, tes.background_autocorrelation(1));
+}
+
+void mmpp_marginal_acf_body(const CheckContext& context, RandomEngine& rng,
+                            CheckResult& result) {
+  // dMMPP: the slot marginal is a Poisson mixture under the stationary
+  // state distribution, and the ACF has the 2-state closed form. The
+  // mixture CDF is built by the iterative pmf recursion (no incomplete
+  // gamma needed); the sup distance runs over the integer support.
+  const baselines::MmppProcess mmpp =
+      baselines::MmppProcess::two_state(2.0, 10.0, 20.0, 10.0);
+  const std::size_t n = scaled(context.scale, std::size_t{1} << 16, 4096);
+  const std::vector<double> path = mmpp.sample(n, rng);
+  const std::vector<double> pi = mmpp.stationary_distribution();
+  const double rates[2] = {2.0, 10.0};
+
+  std::size_t kmax = 0;
+  for (const double v : path) {
+    kmax = std::max(kmax, static_cast<std::size_t>(v));
+  }
+  std::vector<double> hist(kmax + 1, 0.0);
+  for (const double v : path) hist[static_cast<std::size_t>(v)] += 1.0;
+
+  double pmf[2] = {std::exp(-rates[0]), std::exp(-rates[1])};
+  double ecdf = 0.0, cdf = 0.0, sup = 0.0;
+  for (std::size_t k = 0; k <= kmax; ++k) {
+    ecdf += hist[k] / static_cast<double>(n);
+    cdf += pi[0] * pmf[0] + pi[1] * pmf[1];
+    sup = std::max(sup, std::fabs(ecdf - cdf));
+    pmf[0] *= rates[0] / static_cast<double>(k + 1);
+    pmf[1] *= rates[1] / static_cast<double>(k + 1);
+  }
+
+  const std::vector<double> acf = stats::autocorrelation_fft(path, 2);
+  const double e1 = std::fabs(acf[1] - mmpp.autocorrelation(1));
+  const double e2 = std::fabs(acf[2] - mmpp.autocorrelation(2));
+
+  result.statistic = std::max({sup / 0.05, e1 / 0.04, e2 / 0.04});
+  result.threshold = 1.0;
+  result.detail = fmt("mixture-CDF sup distance %.4g (tol 0.05); ACF errors "
+                      "%.4g, %.4g vs closed form r(1) = %.4g",
+                      sup, e1, e2, mmpp.autocorrelation(1));
+}
+
 }  // namespace
 
 Suite default_suite(double family_alpha) {
@@ -823,6 +1103,31 @@ Suite default_suite(double family_alpha) {
              "network layer: cells in == out + losses + queued, per node and "
              "end-to-end through a 3-level multiplexer tree",
              CheckKind::kExact, topology_conservation_body});
+  suite.add({"markov_lrd_hurst",
+             "Markov-chain LRD baseline (cs/0610134): heavy-tailed on/off "
+             "runs carry H = (3 - alpha)/2 under R/S, periodogram, and MAVAR",
+             CheckKind::kUpperBound, markov_lrd_hurst_body});
+  suite.add({"activity_marginal_acf",
+             "activity modulation: busy fraction, busy-slot marginal, and "
+             "the gated ACF match their closed forms (Gaussian inner model)",
+             CheckKind::kUpperBound, activity_marginal_acf_body});
+  suite.add({"abr_client_accounting",
+             "ABR client: wall-time partition, byte conservation vs the "
+             "trace, and a non-negative buffer, direct and through the "
+             "network kernel",
+             CheckKind::kExact, abr_client_accounting_body});
+  suite.add({"dar_marginal_acf",
+             "DAR(1) baseline (ref [10]): exact marginal and rho^k ACF on "
+             "sampled paths",
+             CheckKind::kUpperBound, dar_marginal_acf_body});
+  suite.add({"tes_marginal_acf",
+             "TES baseline (refs [21], [22]): exact marginal inversion and "
+             "the sinc^k stitched-background ACF on sampled paths",
+             CheckKind::kUpperBound, tes_marginal_acf_body});
+  suite.add({"mmpp_marginal_acf",
+             "dMMPP baseline (Section 1): Poisson-mixture slot marginal and "
+             "the 2-state geometric ACF on sampled paths",
+             CheckKind::kUpperBound, mmpp_marginal_acf_body});
   return suite;
 }
 

@@ -1,0 +1,248 @@
+// ABR chunked-streaming client: randomized property tests for the
+// documented invariants (non-negative buffer, exact wall-time
+// partition, byte conservation against the trace), policy behaviour,
+// validation, and thread-count bit-identity of a client-fed scenario
+// through the TopologyRunRequest front door.
+#include "net/abr_client.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "dist/distributions.h"
+#include "dist/random.h"
+#include "fractal/autocorrelation.h"
+#include "net/run.h"
+
+namespace ssvbr::net {
+namespace {
+
+using engine::EngineConfig;
+using engine::ReplicationEngine;
+
+AbrClientConfig base_config() {
+  AbrClientConfig cfg;
+  cfg.bandwidth_trace = {4.0, 6.0, 2.0, 8.0};
+  cfg.chunk_slots = 4;
+  cfg.bitrate_ladder = {0.5, 1.0, 2.0};
+  cfg.startup_chunks = 2;
+  cfg.max_buffer_slots = 24.0;
+  cfg.low_buffer_slots = 4.0;
+  cfg.high_buffer_slots = 12.0;
+  return cfg;
+}
+
+TEST(AbrClient, RejectsInvalidConfigs) {
+  {
+    AbrClientConfig cfg = base_config();
+    cfg.bandwidth_trace.clear();
+    EXPECT_THROW(AbrClient{cfg}, InvalidArgument);
+  }
+  {
+    AbrClientConfig cfg = base_config();
+    cfg.bandwidth_trace = {0.0, 0.0};  // no capacity at all
+    EXPECT_THROW(AbrClient{cfg}, InvalidArgument);
+  }
+  {
+    AbrClientConfig cfg = base_config();
+    cfg.bandwidth_trace[1] = -1.0;
+    EXPECT_THROW(AbrClient{cfg}, InvalidArgument);
+  }
+  {
+    AbrClientConfig cfg = base_config();
+    cfg.chunk_slots = 0;
+    EXPECT_THROW(AbrClient{cfg}, InvalidArgument);
+  }
+  {
+    AbrClientConfig cfg = base_config();
+    cfg.bitrate_ladder = {1.0, 1.0};  // not strictly ascending
+    EXPECT_THROW(AbrClient{cfg}, InvalidArgument);
+  }
+  {
+    AbrClientConfig cfg = base_config();
+    cfg.startup_chunks = 0;
+    EXPECT_THROW(AbrClient{cfg}, InvalidArgument);
+  }
+  {
+    AbrClientConfig cfg = base_config();
+    cfg.low_buffer_slots = 20.0;  // low > high
+    EXPECT_THROW(AbrClient{cfg}, InvalidArgument);
+  }
+}
+
+TEST(AbrClient, PolicyInterpolatesTheLadder) {
+  const AbrClientConfig cfg = base_config();
+  const AbrClient client(cfg);
+  EXPECT_EQ(client.pick_level(0.0), 0u);
+  EXPECT_EQ(client.pick_level(cfg.low_buffer_slots), 0u);
+  EXPECT_EQ(client.pick_level(cfg.high_buffer_slots), 2u);
+  EXPECT_EQ(client.pick_level(cfg.max_buffer_slots), 2u);
+  // Strictly inside the band the level is monotone non-decreasing.
+  std::size_t prev = 0;
+  for (double b = cfg.low_buffer_slots; b <= cfg.high_buffer_slots; b += 0.5) {
+    const std::size_t level = client.pick_level(b);
+    EXPECT_GE(level, prev);
+    prev = level;
+  }
+}
+
+TEST(AbrClient, RandomizedRunsKeepTheDocumentedInvariants) {
+  RandomEngine rng(404);
+  for (int iter = 0; iter < 50; ++iter) {
+    AbrClientConfig cfg;
+    cfg.chunk_slots = 1 + static_cast<std::size_t>(rng.uniform() * 8.0);
+    cfg.bitrate_ladder = {0.5, 1.0, 1.5, 2.0};
+    cfg.startup_chunks = 1 + static_cast<std::size_t>(rng.uniform() * 3.0);
+    cfg.low_buffer_slots = rng.uniform() * 4.0;
+    cfg.high_buffer_slots = cfg.low_buffer_slots + rng.uniform() * 12.0;
+    cfg.max_buffer_slots = cfg.high_buffer_slots + rng.uniform() * 12.0;
+    cfg.bandwidth_trace.resize(
+        10 + static_cast<std::size_t>(rng.uniform() * 100.0));
+    for (double& c : cfg.bandwidth_trace) {
+      c = rng.uniform() < 0.15 ? 0.0 : rng.uniform() * 6.0;
+    }
+    std::vector<double> chunks(
+        1 + static_cast<std::size_t>(rng.uniform() * 30.0));
+    for (double& c : chunks) c = 0.5 + rng.uniform() * 20.0;
+    const std::size_t slots = std::max<std::size_t>(
+        4, static_cast<std::size_t>(rng.uniform() * 2.5 *
+                                    static_cast<double>(chunks.size()) *
+                                    static_cast<double>(cfg.chunk_slots)));
+
+    AbrClient client(cfg);
+    client.begin(chunks);
+    double download_sum = 0.0;
+    const std::size_t trace_n = cfg.bandwidth_trace.size();
+    for (std::size_t t = 0; t < slots; ++t) {
+      const double cap = cfg.bandwidth_trace[t % trace_n];
+      const double d = client.step(cap);
+      ASSERT_LE(d, cap) << "download exceeded the trace capacity";
+      ASSERT_GE(d, 0.0);
+      ASSERT_GE(client.buffer_slots(), 0.0) << "buffer went negative";
+      download_sum += d;
+    }
+    const AbrClientStats& s = client.stats();
+    // Every slot lands in exactly one accounting class.
+    ASSERT_EQ(
+        s.startup_slots + s.play_slots + s.rebuffer_slots + s.finished_slots,
+        slots);
+    // Byte conservation: the same additions in the same order.
+    ASSERT_EQ(s.downloaded, download_sum);
+    ASSERT_LE(s.chunks_completed, chunks.size());
+    ASSERT_EQ(s.buffer_end, client.buffer_slots());
+    // Quality indices stay on the ladder (one pick per started chunk).
+    ASSERT_LE(s.quality_sum,
+              (cfg.bitrate_ladder.size() - 1) * (s.chunks_completed + 1));
+  }
+}
+
+TEST(AbrClient, ShortPlaylistsFinishInsteadOfStallingInStartup) {
+  // A playlist below the startup threshold must still play out.
+  AbrClientConfig cfg = base_config();
+  cfg.startup_chunks = 3;
+  const std::vector<double> chunks = {8.0};  // one chunk < threshold
+  AbrClient client(cfg);
+  client.run(chunks, 64);
+  const AbrClientStats& s = client.stats();
+  EXPECT_EQ(s.chunks_completed, 1u);
+  EXPECT_EQ(s.play_slots, cfg.chunk_slots);
+  EXPECT_GT(s.finished_slots, 0u);
+}
+
+TEST(AbrClient, RunMatchesManualStepping) {
+  const AbrClientConfig cfg = base_config();
+  const std::vector<double> chunks = {10.0, 12.0, 8.0, 20.0, 6.0};
+  constexpr std::size_t kSlots = 96;
+
+  AbrClient manual(cfg);
+  manual.begin(chunks);
+  std::vector<double> expected(kSlots);
+  for (std::size_t t = 0; t < kSlots; ++t) {
+    expected[t] =
+        manual.step(cfg.bandwidth_trace[t % cfg.bandwidth_trace.size()]);
+  }
+
+  AbrClient batch(cfg);
+  std::vector<double> downloads(kSlots);
+  batch.run(chunks, kSlots, downloads);
+  EXPECT_EQ(downloads, expected);
+  EXPECT_EQ(batch.stats().downloaded, manual.stats().downloaded);
+  EXPECT_EQ(batch.stats().play_slots, manual.stats().play_slots);
+}
+
+/// A tandem scenario mixing one ABR client class with a VBR background
+/// population class, runnable through the front door.
+TopologyRunRequest client_scenario_request() {
+  const auto model = std::make_shared<const core::UnifiedVbrModel>(
+      std::make_shared<fractal::ExponentialAutocorrelation>(0.1),
+      core::MarginalTransform(std::make_shared<GammaDistribution>(2.0, 1.0)));
+  TopologyRunRequest request;
+  const double m = model->mean();
+  request.scenario.topology = make_tandem(3, 130.0 * m, 80.0 * m);
+
+  SourceClassConfig background;
+  background.model = model;
+  background.population = 100;
+  request.scenario.classes.push_back(background);
+
+  SourceClassConfig client;
+  client.kind = SourceKind::kAbrClient;
+  client.model = model;
+  client.population = 1;
+  client.ingress = 1;
+  client.abr_client.bandwidth_trace = {6.0 * m, 10.0 * m, 2.0 * m,
+                                       8.0 * m, 0.0,     12.0 * m};
+  client.abr_client.chunk_slots = 8;
+  client.abr_client.startup_chunks = 2;
+  client.abr_client.max_buffer_slots = 48.0;
+  client.abr_client.low_buffer_slots = 8.0;
+  client.abr_client.high_buffer_slots = 24.0;
+  request.scenario.classes.push_back(client);
+
+  request.scenario.slots = 192;
+  request.scenario.warmup = 32;
+  request.replications = 24;
+  request.seed = 8101;
+  request.engine.shard_size = 8;
+  return request;
+}
+
+TEST(AbrClient, ScenarioIsBitIdenticalAcrossThreadCounts) {
+  const TopologyRunRequest request = client_scenario_request();
+  std::vector<TopologyRunResult> results;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    TopologyRunRequest r = request;
+    r.engine.threads = threads;
+    ReplicationEngine engine(EngineConfig{threads, r.engine.shard_size});
+    RandomEngine rng(r.seed);
+    results.push_back(run_topology_with(r, engine, rng));
+    ASSERT_TRUE(results.back().complete());
+  }
+  EXPECT_EQ(results[0].totals.to_words(), results[1].totals.to_words());
+  EXPECT_EQ(results[0].totals.to_words(), results[2].totals.to_words());
+  EXPECT_GT(results[0].totals.external_arrived(), 0.0);
+}
+
+TEST(AbrClient, KernelAccountsClientWallTime) {
+  const TopologyRunRequest request = client_scenario_request();
+  const ScenarioContext context(request.scenario);
+  ScenarioKernel kernel(context);
+  RandomEngine rng(request.seed);
+  for (int rep = 0; rep < 4; ++rep) {
+    const ScenarioStats& stats = kernel.run_one(rng);
+    const AbrClientStats& c = stats.clients;
+    // One client class: its slot classes partition the replication.
+    EXPECT_EQ(c.startup_slots + c.play_slots + c.rebuffer_slots +
+                  c.finished_slots,
+              request.scenario.slots);
+    EXPECT_GT(c.downloaded, 0.0);
+    EXPECT_GE(c.buffer_end, 0.0);
+    EXPECT_LE(c.downloaded, stats.external_arrived);
+  }
+}
+
+}  // namespace
+}  // namespace ssvbr::net

@@ -1,0 +1,144 @@
+// Busy/idle activity modulation: closed-form mean/variance/ACF, the
+// exact one-uniform-per-frame gate draw pattern, validation, and the
+// queueing-layer ActivityArrivalProcess contract.
+#include "core/activity_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "core/unified_model.h"
+#include "dist/distributions.h"
+#include "dist/random.h"
+#include "fractal/autocorrelation.h"
+#include "queueing/arrival.h"
+#include "stats/descriptive.h"
+
+namespace ssvbr::core {
+namespace {
+
+std::shared_ptr<const UnifiedVbrModel> make_inner() {
+  return std::make_shared<const UnifiedVbrModel>(
+      std::make_shared<fractal::ExponentialAutocorrelation>(0.2),
+      MarginalTransform(std::make_shared<GammaDistribution>(2.0, 1.0)));
+}
+
+TEST(ActivityModel, ClosedFormMoments) {
+  ActivityConfig gate;
+  gate.busy_mean_frames = 6.0;
+  gate.idle_mean_frames = 3.0;
+  gate.idle_rate = 0.5;
+  const ActivityModulatedModel model(make_inner(), gate);
+
+  const double p = 6.0 / 9.0;
+  EXPECT_DOUBLE_EQ(model.busy_fraction(), p);
+  // rho_s = 1 - 1/busy - 1/idle for the two-state gate chain.
+  EXPECT_DOUBLE_EQ(model.gate_correlation(), 1.0 - 1.0 / 6.0 - 1.0 / 3.0);
+
+  const double m = model.inner().mean();
+  const double d = m - gate.idle_rate;
+  EXPECT_DOUBLE_EQ(model.mean(), gate.idle_rate + p * d);
+  EXPECT_DOUBLE_EQ(model.variance(),
+                   p * model.inner().variance() + p * (1.0 - p) * d * d);
+
+  // lag 0 of the predicted ACF is exactly 1 by construction.
+  EXPECT_DOUBLE_EQ(model.predicted_autocorrelation(0.0), 1.0);
+}
+
+TEST(ActivityModel, RejectsInvalidConfigs) {
+  ActivityConfig gate;
+  gate.busy_mean_frames = 0.5;  // sub-frame sojourns are not a chain
+  EXPECT_THROW(ActivityModulatedModel(make_inner(), gate), InvalidArgument);
+  gate.busy_mean_frames = 2.0;
+  gate.idle_mean_frames = 0.0;
+  EXPECT_THROW(ActivityModulatedModel(make_inner(), gate), InvalidArgument);
+  gate.idle_mean_frames = 2.0;
+  gate.idle_rate = -1.0;
+  EXPECT_THROW(ActivityModulatedModel(make_inner(), gate), InvalidArgument);
+  gate.idle_rate = 0.0;
+  EXPECT_THROW(ActivityModulatedModel(nullptr, gate), InvalidArgument);
+}
+
+TEST(ActivityModel, ModulationConsumesExactlyOneUniformPerFrame) {
+  ActivityConfig gate;
+  gate.busy_mean_frames = 4.0;
+  gate.idle_mean_frames = 2.0;
+  const ActivityModulatedModel model(make_inner(), gate);
+  constexpr std::size_t kFrames = 257;
+  std::vector<double> path(kFrames, 1.0);
+
+  RandomEngine rng(31);
+  model.modulate_in_place(path, rng);
+  RandomEngine probe(31);
+  for (std::size_t i = 0; i < kFrames; ++i) probe.uniform();
+  // After n gate draws the two engines must be in the same state:
+  // their next outputs coincide.
+  EXPECT_DOUBLE_EQ(rng.uniform(), probe.uniform());
+}
+
+TEST(ActivityModel, SampleMomentsTrackTheClosedForms) {
+  ActivityConfig gate;
+  gate.busy_mean_frames = 8.0;
+  gate.idle_mean_frames = 4.0;
+  const ActivityModulatedModel model(make_inner(), gate);
+  RandomEngine rng(32);
+  const std::vector<double> path = model.generate(1 << 15, rng);
+  EXPECT_NEAR(stats::mean(path), model.mean(), 0.1);
+  EXPECT_NEAR(stats::variance(path), model.variance(), 0.2);
+  // Idle frames carry exactly idle_rate; their fraction ~ 1 - p.
+  std::size_t idle = 0;
+  for (const double v : path) {
+    if (v == gate.idle_rate) ++idle;
+  }
+  const double idle_frac =
+      static_cast<double>(idle) / static_cast<double>(path.size());
+  EXPECT_NEAR(idle_frac, 1.0 - model.busy_fraction(), 0.03);
+}
+
+TEST(ActivityModel, PredictedAcfDecaysThroughBothFactors) {
+  // The modulated correlation decays strictly faster than the inner
+  // foreground ACF alone (the gate multiplies in rho_s^k), and tends to
+  // zero at long lags.
+  ActivityConfig gate;
+  gate.busy_mean_frames = 6.0;
+  gate.idle_mean_frames = 6.0;
+  const auto inner = make_inner();
+  const ActivityModulatedModel model(inner, gate);
+  double prev = 1.0;
+  for (const double lag : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const double r = model.predicted_autocorrelation(lag);
+    EXPECT_LT(r, prev);
+    EXPECT_GT(r, 0.0);
+    prev = r;
+  }
+  EXPECT_LT(model.predicted_autocorrelation(64.0), 0.01);
+}
+
+TEST(ActivityModel, ArrivalProcessMatchesDirectGeneration) {
+  // The queueing adapter must reproduce generate()'s exact draw order:
+  // inner background + transform, then the gate pass.
+  const auto inner = make_inner();
+  ActivityConfig gate;
+  gate.busy_mean_frames = 5.0;
+  gate.idle_mean_frames = 5.0;
+  const auto model =
+      std::make_shared<const ActivityModulatedModel>(inner, gate);
+
+  constexpr std::size_t kHorizon = 512;
+  queueing::ActivityArrivalProcess arr(model,
+                                       core::BackgroundGenerator::kHosking);
+  RandomEngine a(77), b(77);
+  arr.begin_replication(a, kHorizon);
+  const std::vector<double> direct =
+      model->generate(kHorizon, b, core::BackgroundGenerator::kHosking);
+  for (std::size_t t = 0; t < kHorizon; ++t) {
+    EXPECT_EQ(arr.next(), direct[t]) << "at slot " << t;
+  }
+  EXPECT_DOUBLE_EQ(arr.mean_rate(), model->mean());
+}
+
+}  // namespace
+}  // namespace ssvbr::core

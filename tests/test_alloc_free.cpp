@@ -22,6 +22,8 @@
 #include <new>
 #include <vector>
 
+#include "baselines/markov_lrd.h"
+#include "core/activity_model.h"
 #include "core/background_sampler.h"
 #include "core/marginal_transform.h"
 #include "core/unified_model.h"
@@ -29,6 +31,8 @@
 #include "dist/random.h"
 #include "fractal/autocorrelation.h"
 #include "fractal/davies_harte.h"
+#include "net/abr_client.h"
+#include "net/population.h"
 #include "queueing/arrival.h"
 
 namespace {
@@ -192,6 +196,90 @@ TEST(AllocationFree, PaxsonStreamSteadyState) {
       while (stream.next_block(block) > 0) {
       }
     }
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(AllocationFree, MarkovLrdSampleIntoIsAllocationFree) {
+  // The countdown chain holds its state on the stack; even the first
+  // call must not touch the heap.
+  const baselines::MarkovLrdProcess chain(0.8, 2.0, 0.5);
+  RandomEngine rng(21);
+  std::vector<double> out(2048);
+  const std::uint64_t n = allocations_in([&] {
+    for (int i = 0; i < 10; ++i) chain.sample_into(out, rng);
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(AllocationFree, ActivityModulationReplicationSteadyState) {
+  // The full per-replication modulated path through the population
+  // sampler: background draw + transform + gate, all into preallocated
+  // spans.
+  net::SourceClassConfig cls;
+  cls.kind = net::SourceKind::kActivityModulated;
+  cls.model = make_model();
+  cls.activity.busy_mean_frames = 4.0;
+  cls.activity.idle_mean_frames = 2.0;
+  cls.population = 50;
+  const net::PopulationSampler sampler(cls, 400);
+  RandomEngine rng(22);
+  std::vector<double> frames(400), out(400);
+  core::BackgroundWorkspace ws;
+  sampler.sample(rng, frames, {}, out, ws);  // warm-up
+  const std::uint64_t n = allocations_in([&] {
+    for (int i = 0; i < 5; ++i) sampler.sample(rng, frames, {}, out, ws);
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(AllocationFree, AbrClientReplicationSteadyState) {
+  // A fresh client per replication is the kernel's usage pattern: the
+  // client borrows its config and playlist, so construction + begin +
+  // a whole run must stay off the heap.
+  net::AbrClientConfig cfg;
+  cfg.bandwidth_trace = {4.0, 6.0, 2.0, 8.0, 0.0, 5.0};
+  cfg.chunk_slots = 4;
+  cfg.startup_chunks = 2;
+  cfg.max_buffer_slots = 24.0;
+  cfg.low_buffer_slots = 4.0;
+  cfg.high_buffer_slots = 12.0;
+  const std::vector<double> chunks = {10.0, 14.0, 8.0, 22.0, 12.0, 9.0};
+  std::vector<double> downloads(64);
+  {
+    net::AbrClient warm(cfg);
+    warm.run(chunks, downloads.size(), downloads);
+  }
+  const std::uint64_t n = allocations_in([&] {
+    for (int rep = 0; rep < 5; ++rep) {
+      net::AbrClient client(cfg);
+      client.run(chunks, downloads.size(), downloads);
+    }
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(AllocationFree, AbrClientScenarioReplicationSteadyState) {
+  // End to end through the population sampler: model-synthesized chunk
+  // sizes folded in place, then the client replay into the slot path.
+  net::SourceClassConfig cls;
+  cls.kind = net::SourceKind::kAbrClient;
+  cls.model = make_model();
+  cls.population = 1;
+  cls.abr_client.bandwidth_trace = {300.0, 500.0, 100.0, 800.0};
+  cls.abr_client.chunk_slots = 8;
+  cls.abr_client.startup_chunks = 2;
+  cls.abr_client.max_buffer_slots = 48.0;
+  cls.abr_client.low_buffer_slots = 8.0;
+  cls.abr_client.high_buffer_slots = 24.0;
+  const net::PopulationSampler sampler(cls, 384);
+  RandomEngine rng(23);
+  std::vector<double> frames(384), out(384);
+  core::BackgroundWorkspace ws;
+  net::AbrClientStats stats;
+  sampler.sample(rng, frames, {}, out, ws, stats);  // warm-up
+  const std::uint64_t n = allocations_in([&] {
+    for (int i = 0; i < 5; ++i) sampler.sample(rng, frames, {}, out, ws, stats);
   });
   EXPECT_EQ(n, 0u);
 }

@@ -1,0 +1,98 @@
+// Markov-chain LRD baseline (Clegg & Dodson, cs/0610134): parameter
+// mapping H = (3 - alpha)/2, the inverse-transform run-length law,
+// two-point marginal moments, determinism, and input validation.
+#include "baselines/markov_lrd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "dist/random.h"
+#include "stats/descriptive.h"
+
+namespace ssvbr::baselines {
+namespace {
+
+TEST(MarkovLrd, ParameterMapping) {
+  const MarkovLrdProcess chain(0.75);
+  EXPECT_DOUBLE_EQ(chain.hurst(), 0.75);
+  EXPECT_DOUBLE_EQ(chain.alpha(), 3.0 - 2.0 * 0.75);
+  EXPECT_DOUBLE_EQ(chain.on_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(chain.off_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(chain.mean(), 0.5);
+  EXPECT_DOUBLE_EQ(chain.variance(), 0.25);
+
+  const MarkovLrdProcess scaled(0.9, 8.0, 2.0);
+  EXPECT_DOUBLE_EQ(scaled.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(scaled.variance(), 9.0);
+}
+
+TEST(MarkovLrd, RejectsInvalidParameters) {
+  EXPECT_THROW(MarkovLrdProcess(0.5), InvalidArgument);   // H must exceed 1/2
+  EXPECT_THROW(MarkovLrdProcess(1.0), InvalidArgument);   // and stay below 1
+  EXPECT_THROW(MarkovLrdProcess(0.8, 1.0, 1.0), InvalidArgument);  // on == off
+  EXPECT_THROW(MarkovLrdProcess(0.8, 1.0, -0.5), InvalidArgument);
+}
+
+TEST(MarkovLrd, RunLengthsFollowTheHeavyTailLaw) {
+  // L = floor(U^(-1/alpha)) gives P(L >= k) = k^(-alpha) exactly: the
+  // empirical survival at small k must match to binomial noise.
+  const double hurst = 0.8;  // alpha = 1.4
+  const MarkovLrdProcess chain(hurst);
+  RandomEngine rng(101);
+  constexpr std::size_t kRuns = 200000;
+  std::vector<std::size_t> exceed(6, 0);  // counts of L >= k, k = 1..6
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    const std::uint64_t len = chain.sample_run_length(rng);
+    ASSERT_GE(len, 1u);
+    for (std::size_t k = 1; k <= 6; ++k) {
+      if (len >= k) ++exceed[k - 1];
+    }
+  }
+  for (std::size_t k = 1; k <= 6; ++k) {
+    const double expected = std::pow(static_cast<double>(k), -chain.alpha());
+    const double observed =
+        static_cast<double>(exceed[k - 1]) / static_cast<double>(kRuns);
+    EXPECT_NEAR(observed, expected, 0.01) << "at run length " << k;
+  }
+}
+
+TEST(MarkovLrd, PathMomentsMatchTheTwoPointMarginal) {
+  const MarkovLrdProcess chain(0.7, 3.0, 1.0);
+  RandomEngine rng(102);
+  const std::vector<double> path = chain.sample(1 << 16, rng);
+  for (const double v : path) {
+    ASSERT_TRUE(v == 3.0 || v == 1.0);
+  }
+  // alpha = 1.6 has finite mean but infinite run-length variance, so
+  // the time-average converges slowly; the tolerance reflects that.
+  EXPECT_NEAR(stats::mean(path), chain.mean(), 0.15);
+}
+
+TEST(MarkovLrd, SamplingIsDeterministicPerSeed) {
+  const MarkovLrdProcess chain(0.85);
+  RandomEngine a(7), b(7), c(8);
+  const std::vector<double> pa = chain.sample(4096, a);
+  const std::vector<double> pb = chain.sample(4096, b);
+  const std::vector<double> pc = chain.sample(4096, c);
+  EXPECT_EQ(pa, pb);
+  EXPECT_NE(pa, pc);
+}
+
+TEST(MarkovLrd, StateStepperMatchesSampleInto) {
+  // sample_into is begin() + n x next() by definition; the two paths
+  // must agree bit for bit from the same engine state.
+  const MarkovLrdProcess chain(0.8, 2.0, 0.5);
+  RandomEngine a(55), b(55);
+  std::vector<double> bulk(1024);
+  chain.sample_into(bulk, a);
+  MarkovLrdProcess::State state = chain.begin(b);
+  for (std::size_t t = 0; t < bulk.size(); ++t) {
+    EXPECT_EQ(bulk[t], chain.next(state, b)) << "at slot " << t;
+  }
+}
+
+}  // namespace
+}  // namespace ssvbr::baselines

@@ -1,0 +1,277 @@
+// SourceKind wiring through the network layer: front-door validate()
+// rejection of every invalid kind/feature combination (with the
+// kSourceKindIncompatible code where documented), config-hash coverage
+// of the per-kind fields, and N == 1 equivalence of the kernel's
+// per-class draws against the bare generators.
+#include "net/run.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/markov_lrd.h"
+#include "common/error.h"
+#include "core/activity_model.h"
+#include "dist/distributions.h"
+#include "fractal/autocorrelation.h"
+
+namespace ssvbr::net {
+namespace {
+
+std::shared_ptr<const core::UnifiedVbrModel> make_model() {
+  return std::make_shared<const core::UnifiedVbrModel>(
+      std::make_shared<fractal::ExponentialAutocorrelation>(0.1),
+      core::MarginalTransform(std::make_shared<GammaDistribution>(2.0, 1.0)));
+}
+
+/// A minimal valid one-node request around a single configurable class.
+TopologyRunRequest one_class_request(SourceClassConfig cls) {
+  TopologyRunRequest request;
+  request.scenario.topology = make_tandem(1, 50.0, 100.0);
+  request.scenario.classes = {std::move(cls)};
+  request.scenario.slots = 64;
+  request.scenario.warmup = 8;
+  request.replications = 2;
+  request.seed = 900;
+  return request;
+}
+
+SourceClassConfig markov_class() {
+  SourceClassConfig cls;
+  cls.kind = SourceKind::kMarkovLrd;
+  cls.markov_hurst = 0.8;
+  cls.markov_on_rate = 2.0;
+  cls.markov_off_rate = 0.5;
+  cls.population = 10;
+  return cls;
+}
+
+SourceClassConfig activity_class() {
+  SourceClassConfig cls;
+  cls.kind = SourceKind::kActivityModulated;
+  cls.model = make_model();
+  cls.activity.busy_mean_frames = 4.0;
+  cls.activity.idle_mean_frames = 2.0;
+  cls.population = 10;
+  return cls;
+}
+
+SourceClassConfig abr_class() {
+  SourceClassConfig cls;
+  cls.kind = SourceKind::kAbrClient;
+  cls.model = make_model();
+  cls.population = 1;
+  cls.abr_client.bandwidth_trace = {3.0, 5.0, 1.0};
+  cls.abr_client.chunk_slots = 8;  // 64 slots = 8 chunks
+  cls.abr_client.startup_chunks = 1;
+  cls.abr_client.max_buffer_slots = 32.0;
+  cls.abr_client.low_buffer_slots = 4.0;
+  cls.abr_client.high_buffer_slots = 16.0;
+  return cls;
+}
+
+void expect_rejected(const TopologyRunRequest& request, ErrorCode code,
+                     const char* what) {
+  const auto err = validate(request);
+  ASSERT_TRUE(err.has_value()) << what;
+  EXPECT_EQ(err->code, code) << what << ": " << err->to_string();
+}
+
+TEST(NetKinds, ValidatesKindFeatureCombinations) {
+  // Every non-default kind is a frame-per-slot whole-path source; the
+  // kVbrModel-only features are rejected with the dedicated code.
+  for (const SourceClassConfig& base :
+       {markov_class(), activity_class(), abr_class()}) {
+    {
+      SourceClassConfig cls = base;
+      cls.slots_per_frame = 2;
+      cls.segment_to_cells = true;  // makes slots_per_frame well-formed
+      expect_rejected(one_class_request(cls),
+                      ErrorCode::kSourceKindIncompatible, "multi-slot frames");
+    }
+    {
+      SourceClassConfig cls = base;
+      cls.segment_to_cells = true;
+      expect_rejected(one_class_request(cls),
+                      ErrorCode::kSourceKindIncompatible, "cell segmentation");
+    }
+    {
+      SourceClassConfig cls = base;
+      cls.streaming = true;
+      cls.generator = core::BackgroundGenerator::kPaxson;
+      expect_rejected(one_class_request(cls),
+                      ErrorCode::kSourceKindIncompatible, "block streaming");
+    }
+  }
+
+  {
+    SourceClassConfig cls = abr_class();
+    cls.population = 2;  // client dynamics do not superpose
+    expect_rejected(one_class_request(cls),
+                    ErrorCode::kSourceKindIncompatible, "client population");
+  }
+}
+
+TEST(NetKinds, ValidatesKindParameterBounds) {
+  {
+    SourceClassConfig cls = markov_class();
+    cls.markov_hurst = 0.4;
+    expect_rejected(one_class_request(cls), ErrorCode::kInvalidArgument,
+                    "hurst below 1/2");
+  }
+  {
+    SourceClassConfig cls = markov_class();
+    cls.markov_on_rate = 0.5;
+    cls.markov_off_rate = 0.5;
+    expect_rejected(one_class_request(cls), ErrorCode::kInvalidArgument,
+                    "on_rate == off_rate");
+  }
+  {
+    SourceClassConfig cls = activity_class();
+    cls.activity.busy_mean_frames = 0.25;
+    expect_rejected(one_class_request(cls), ErrorCode::kInvalidArgument,
+                    "sub-frame busy period");
+  }
+  {
+    SourceClassConfig cls = activity_class();
+    cls.activity.idle_rate = -1.0;
+    expect_rejected(one_class_request(cls), ErrorCode::kInvalidArgument,
+                    "negative idle rate");
+  }
+  {
+    SourceClassConfig cls = activity_class();
+    cls.model = nullptr;  // modulation needs an inner model
+    expect_rejected(one_class_request(cls), ErrorCode::kInvalidArgument,
+                    "activity without model");
+  }
+  {
+    SourceClassConfig cls = abr_class();
+    cls.abr_client.bandwidth_trace.clear();
+    expect_rejected(one_class_request(cls), ErrorCode::kInvalidArgument,
+                    "empty trace");
+  }
+  {
+    SourceClassConfig cls = abr_class();
+    cls.abr_client.chunk_slots = 5;  // 64 % 5 != 0
+    expect_rejected(one_class_request(cls), ErrorCode::kInvalidArgument,
+                    "partial chunk horizon");
+  }
+  {
+    SourceClassConfig cls = abr_class();
+    cls.abr_client.bitrate_ladder = {2.0, 1.0};
+    expect_rejected(one_class_request(cls), ErrorCode::kInvalidArgument,
+                    "descending ladder");
+  }
+  {
+    SourceClassConfig cls = abr_class();
+    cls.abr_client.low_buffer_slots = 20.0;
+    cls.abr_client.high_buffer_slots = 10.0;
+    expect_rejected(one_class_request(cls), ErrorCode::kInvalidArgument,
+                    "low above high buffer");
+  }
+
+  // A Markov class needs no model; every valid base passes whole.
+  SourceClassConfig no_model = markov_class();
+  no_model.model = nullptr;
+  EXPECT_FALSE(validate(one_class_request(no_model)).has_value());
+  EXPECT_FALSE(validate(one_class_request(activity_class())).has_value());
+  EXPECT_FALSE(validate(one_class_request(abr_class())).has_value());
+
+  // kVbrModel still requires one.
+  SourceClassConfig vbr;
+  vbr.model = nullptr;
+  expect_rejected(one_class_request(vbr), ErrorCode::kInvalidArgument,
+                  "kVbrModel without model");
+}
+
+TEST(NetKinds, ConfigHashCoversPerKindFields) {
+  const TopologyRunRequest base = one_class_request(markov_class());
+  const std::uint64_t h0 = config_hash_of(base);
+
+  TopologyRunRequest hurst = base;
+  hurst.scenario.classes[0].markov_hurst = 0.9;
+  EXPECT_NE(config_hash_of(hurst), h0);
+
+  TopologyRunRequest kind = base;
+  kind.scenario.classes[0] = activity_class();
+  EXPECT_NE(config_hash_of(kind), h0);
+
+  const TopologyRunRequest act = one_class_request(activity_class());
+  TopologyRunRequest gate = act;
+  gate.scenario.classes[0].activity.idle_mean_frames = 7.0;
+  EXPECT_NE(config_hash_of(gate), config_hash_of(act));
+
+  const TopologyRunRequest abr = one_class_request(abr_class());
+  TopologyRunRequest trace = abr;
+  trace.scenario.classes[0].abr_client.bandwidth_trace.push_back(9.0);
+  EXPECT_NE(config_hash_of(trace), config_hash_of(abr));
+  TopologyRunRequest ladder = abr;
+  ladder.scenario.classes[0].abr_client.bitrate_ladder = {0.5, 1.0};
+  EXPECT_NE(config_hash_of(ladder), config_hash_of(abr));
+}
+
+TEST(NetKinds, SingleSourceMarkovClassMatchesTheBareChain) {
+  // population == 1 bypasses the sqrt(N) rescale, so the kernel's
+  // injected workload is exactly the chain's path — same engine, same
+  // draws, same addition order.
+  SourceClassConfig cls = markov_class();
+  cls.population = 1;
+  const TopologyRunRequest request = one_class_request(cls);
+  const ScenarioContext context(request.scenario);
+  ScenarioKernel kernel(context);
+  RandomEngine rng(request.seed);
+  const ScenarioStats& stats = kernel.run_one(rng);
+
+  const baselines::MarkovLrdProcess chain(cls.markov_hurst, cls.markov_on_rate,
+                                          cls.markov_off_rate);
+  RandomEngine probe(request.seed);
+  std::vector<double> path(request.scenario.slots);
+  chain.sample_into(path, probe);
+  double arrived = 0.0;
+  for (const double a : path) arrived += a;
+  EXPECT_EQ(stats.external_arrived, arrived);
+}
+
+TEST(NetKinds, SingleSourceActivityClassMatchesDirectGeneration) {
+  SourceClassConfig cls = activity_class();
+  cls.population = 1;
+  const TopologyRunRequest request = one_class_request(cls);
+  const ScenarioContext context(request.scenario);
+  ScenarioKernel kernel(context);
+  RandomEngine rng(request.seed);
+  const ScenarioStats& stats = kernel.run_one(rng);
+
+  const core::ActivityModulatedModel model(cls.model, cls.activity);
+  RandomEngine probe(request.seed);
+  const std::vector<double> path =
+      model.generate(request.scenario.slots, probe, cls.generator);
+  double arrived = 0.0;
+  for (const double a : path) arrived += a;
+  EXPECT_EQ(stats.external_arrived, arrived);
+}
+
+TEST(NetKinds, MixedKindScenarioRunsThroughTheFrontDoor) {
+  // All four kinds coexist in one scenario, draw in class order, and
+  // the campaign completes with every class contributing workload.
+  TopologyRunRequest request;
+  request.scenario.topology = make_tandem(2, 80.0, 160.0);
+  SourceClassConfig vbr;
+  vbr.model = make_model();
+  vbr.population = 20;
+  request.scenario.classes = {vbr, activity_class(), markov_class(),
+                              abr_class()};
+  request.scenario.slots = 64;
+  request.scenario.warmup = 8;
+  request.replications = 6;
+  request.seed = 901;
+  request.engine.shard_size = 2;
+
+  const TopologyRunResult res = run_topology(request);
+  ASSERT_TRUE(res.complete());
+  EXPECT_GT(res.totals.external_arrived(), 0.0);
+  EXPECT_GT(res.totals.delivered(), 0.0);
+}
+
+}  // namespace
+}  // namespace ssvbr::net
